@@ -1,0 +1,111 @@
+package truthfulufp
+
+import (
+	"math/rand/v2"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/mechanism"
+)
+
+// Re-exported UFP types. See internal/core for full documentation.
+type (
+	// Request is a connection request (source, target, demand, value).
+	Request = core.Request
+	// Instance is a UFP instance: capacitated graph plus requests.
+	Instance = core.Instance
+	// Allocation is an algorithm outcome: routed (request, path) pairs.
+	Allocation = core.Allocation
+	// Routed is one (request, path) pair of an allocation.
+	Routed = core.Routed
+	// Options tunes the solvers (workers, tie-breaking, iteration caps).
+	Options = core.Options
+	// Graph is an edge-capacitated directed or undirected multigraph.
+	Graph = graph.Graph
+)
+
+// Re-exported auction types. See internal/auction.
+type (
+	// AuctionRequest is a single-minded bundle request.
+	AuctionRequest = auction.Request
+	// AuctionInstance is a multi-unit combinatorial auction instance.
+	AuctionInstance = auction.Instance
+	// AuctionAllocation is an auction algorithm outcome.
+	AuctionAllocation = auction.Allocation
+)
+
+// Mechanism outcomes (allocation + critical-value payments).
+type (
+	// UFPOutcome pairs a UFP allocation with per-winner payments.
+	UFPOutcome = mechanism.UFPOutcome
+	// AuctionOutcome pairs an auction allocation with payments.
+	AuctionOutcome = mechanism.AuctionOutcome
+)
+
+// NewGraph returns an empty directed graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewUndirectedGraph returns an empty undirected graph with n vertices.
+func NewUndirectedGraph(n int) *Graph { return graph.NewUndirected(n) }
+
+// SolveUFP runs the paper's headline algorithm with the Theorem 3.1
+// calling convention (Bounded-UFP with accuracy ε/6): feasible, monotone,
+// exact, and ((1+ε)·e/(e-1))-approximate for B >= ln(m)/ε²-bounded
+// instances.
+func SolveUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.SolveUFP(inst, eps, opt)
+}
+
+// BoundedUFP runs Algorithm 1 with the raw accuracy parameter (see
+// internal/core.BoundedUFP for the exact semantics and the dual bound).
+func BoundedUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.BoundedUFP(inst, eps, opt)
+}
+
+// SolveUFPRepeat runs Algorithm 3 with the Theorem 5.1 convention:
+// (1+ε)-approximate when repetitions are allowed.
+func SolveUFPRepeat(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.SolveUFPRepeat(inst, eps, opt)
+}
+
+// SequentialPrimalDual is the single-pass exponential-price baseline
+// (our stand-in for the ≈e prior art); also monotone.
+func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.SequentialPrimalDual(inst, eps, opt)
+}
+
+// GreedyByDensity is the classic value-density greedy baseline.
+func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
+	return core.GreedyByDensity(inst, opt)
+}
+
+// RandomizedRounding is the non-truthful LP-rounding baseline; rng makes
+// it deterministic per seed.
+func RandomizedRounding(inst *Instance, rng *rand.Rand) (*Allocation, error) {
+	return core.RandomizedRounding(inst, rng, core.RoundingOptions{})
+}
+
+// SolveMUCA runs Algorithm 2 with the Theorem 4.1 calling convention
+// (Bounded-MUCA with accuracy ε/6).
+func SolveMUCA(inst *AuctionInstance, eps float64) (*AuctionAllocation, error) {
+	return auction.SolveMUCA(inst, eps)
+}
+
+// BoundedMUCA runs Algorithm 2 with the raw accuracy parameter.
+func BoundedMUCA(inst *AuctionInstance, eps float64) (*AuctionAllocation, error) {
+	return auction.BoundedMUCA(inst, eps, nil)
+}
+
+// RunUFPMechanism runs Bounded-UFP(eps) and charges every winner its
+// critical value: the truthful mechanism of Corollary 3.2.
+func RunUFPMechanism(inst *Instance, eps float64, opt *Options) (*UFPOutcome, error) {
+	return mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(eps, opt), inst)
+}
+
+// RunAuctionMechanism runs Bounded-MUCA(eps) with critical-value
+// payments: the truthful mechanism of Corollary 4.2, truthful even for
+// unknown single-minded agents.
+func RunAuctionMechanism(inst *AuctionInstance, eps float64) (*AuctionOutcome, error) {
+	return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps), inst)
+}

@@ -1,0 +1,191 @@
+package truthfulufp_test
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp"
+	"truthfulufp/internal/workload"
+)
+
+func tinyInstance() *truthfulufp.Instance {
+	g := truthfulufp.NewGraph(2)
+	g.AddEdge(0, 1, 30)
+	return &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+		{Source: 0, Target: 1, Demand: 1, Value: 2},
+		{Source: 0, Target: 1, Demand: 0.5, Value: 1},
+	}}
+}
+
+func TestFacadeSolveUFP(t *testing.T) {
+	a, err := truthfulufp.SolveUFP(tinyInstance(), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != 3 {
+		t.Fatalf("value = %g, want 3 (both requests fit)", a.Value)
+	}
+}
+
+func TestFacadeMechanism(t *testing.T) {
+	out, err := truthfulufp.RunUFPMechanism(tinyInstance(), 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payments) != 2 {
+		t.Fatalf("payments for %d winners, want 2", len(out.Payments))
+	}
+	for r, pay := range out.Payments {
+		if pay < -1e-9 {
+			t.Fatalf("negative payment %g for %d", pay, r)
+		}
+	}
+}
+
+func TestFacadeAuction(t *testing.T) {
+	inst := &truthfulufp.AuctionInstance{
+		Multiplicity: []float64{30, 30},
+		Requests: []truthfulufp.AuctionRequest{
+			{Bundle: []int{0}, Value: 2},
+			{Bundle: []int{0, 1}, Value: 1},
+		},
+	}
+	a, err := truthfulufp.SolveMUCA(inst, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value <= 0 {
+		t.Fatal("auction allocated nothing")
+	}
+	out, err := truthfulufp.RunAuctionMechanism(inst, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payments) != len(a.Selected) {
+		t.Fatalf("payments %d != winners %d", len(out.Payments), len(a.Selected))
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	inst := tinyInstance()
+	data, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := truthfulufp.UnmarshalInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.NumVertices() != 2 || back.G.NumEdges() != 1 || len(back.Requests) != 2 {
+		t.Fatalf("round trip lost structure: %v", back)
+	}
+	if back.Requests[0] != inst.Requests[0] {
+		t.Fatalf("request mismatch: %+v vs %+v", back.Requests[0], inst.Requests[0])
+	}
+	if back.G.Directed() != inst.G.Directed() {
+		t.Fatal("directedness lost")
+	}
+	a1, _ := truthfulufp.SolveUFP(inst, 0.5, nil)
+	a2, _ := truthfulufp.SolveUFP(back, 0.5, nil)
+	if a1.Value != a2.Value {
+		t.Fatalf("solve differs after round trip: %g vs %g", a1.Value, a2.Value)
+	}
+}
+
+func TestInstanceJSONUndirected(t *testing.T) {
+	g := truthfulufp.NewUndirectedGraph(3)
+	g.AddEdge(0, 1, 30)
+	g.AddEdge(1, 2, 30)
+	inst := &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+		{Source: 2, Target: 0, Demand: 1, Value: 1},
+	}}
+	data, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := truthfulufp.UnmarshalInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := truthfulufp.SolveUFP(back, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != 1 {
+		t.Fatalf("undirected round-trip solve = %g, want 1", a.Value)
+	}
+}
+
+func TestInstanceJSONRejectsBadEdges(t *testing.T) {
+	bad := []byte(`{"directed":true,"vertices":2,"edges":[{"from":0,"to":9,"capacity":1}],"requests":[]}`)
+	if _, err := truthfulufp.UnmarshalInstance(bad); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := truthfulufp.UnmarshalInstance([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestAuctionJSONRoundTrip(t *testing.T) {
+	inst := &truthfulufp.AuctionInstance{
+		Multiplicity: []float64{3, 4},
+		Requests: []truthfulufp.AuctionRequest{
+			{Bundle: []int{0, 1}, Value: 1.5},
+		},
+	}
+	data, err := truthfulufp.MarshalAuction(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := truthfulufp.UnmarshalAuction(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumItems() != 2 || len(back.Requests) != 1 || back.Requests[0].Value != 1.5 {
+		t.Fatalf("auction round trip lost data: %+v", back)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	cfg := workload.DefaultUFPConfig()
+	inst, err := workload.RandomUFP(workload.NewRNG(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := truthfulufp.SequentialPrimalDual(inst, 0.25, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := truthfulufp.GreedyByDensity(inst, nil); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := truthfulufp.RandomizedRounding(smallContended(), workload.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.CheckFeasible(smallContended(), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func smallContended() *truthfulufp.Instance {
+	g := truthfulufp.NewGraph(2)
+	g.AddEdge(0, 1, 2)
+	return &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+		{Source: 0, Target: 1, Demand: 1, Value: 2},
+		{Source: 0, Target: 1, Demand: 1, Value: 1},
+		{Source: 0, Target: 1, Demand: 1, Value: 1.5},
+	}}
+}
+
+func TestFacadeRepeat(t *testing.T) {
+	a, err := truthfulufp.SolveUFPRepeat(tinyInstance(), 0.6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Routed) <= 2 {
+		t.Fatalf("repetitions variant routed only %d", len(a.Routed))
+	}
+	if math.IsInf(a.DualBound, 1) {
+		t.Fatal("no dual bound tracked")
+	}
+}

@@ -1,0 +1,301 @@
+// Benchmarks: one testing.B entry per experiment in DESIGN.md's index
+// (tables/figures of the paper), plus microbenchmarks for the substrate
+// hot paths and the ablations DESIGN.md calls out (parallel shortest
+// paths, LP-bounded branch and bound). Experiment benches run at reduced
+// scale; cmd/ufpbench regenerates the full tables.
+package truthfulufp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/experiments"
+	"truthfulufp/internal/lowerbound"
+	"truthfulufp/internal/lp"
+	"truthfulufp/internal/mcf"
+	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/pathfind"
+	"truthfulufp/internal/workload"
+)
+
+// benchConfig keeps experiment benches quick while exercising the full
+// code path of every table.
+var benchConfig = experiments.Config{Scale: 0.3, Seeds: 1}
+
+func benchExperiment(b *testing.B, run func(experiments.Config) (*experiments.Report, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(benchConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1Theorem31(b *testing.B)    { benchExperiment(b, experiments.E1Theorem31) }
+func BenchmarkE2Staircase(b *testing.B)    { benchExperiment(b, experiments.E2Staircase) }
+func BenchmarkE3SevenVertex(b *testing.B)  { benchExperiment(b, experiments.E3SevenVertex) }
+func BenchmarkE4MUCA(b *testing.B)         { benchExperiment(b, experiments.E4MUCA) }
+func BenchmarkE5MUCAGrid(b *testing.B)     { benchExperiment(b, experiments.E5MUCAGrid) }
+func BenchmarkE6Repetitions(b *testing.B)  { benchExperiment(b, experiments.E6Repetitions) }
+func BenchmarkE7Truthfulness(b *testing.B) { benchExperiment(b, experiments.E7Truthfulness) }
+func BenchmarkE8Rounding(b *testing.B)     { benchExperiment(b, experiments.E8Rounding) }
+func BenchmarkE9Comparison(b *testing.B)   { benchExperiment(b, experiments.E9Comparison) }
+func BenchmarkF1LPGap(b *testing.B)        { benchExperiment(b, experiments.F1LPGap) }
+
+// BenchmarkBoundedUFP measures the core solver across instance sizes.
+func BenchmarkBoundedUFP(b *testing.B) {
+	for _, size := range []struct {
+		name                string
+		vertices, edges, rq int
+	}{
+		{"n12_m36_r60", 12, 36, 60},
+		{"n24_m96_r150", 24, 96, 150},
+		{"n48_m240_r300", 48, 240, 300},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			cfg := workload.UFPConfig{
+				Vertices: size.vertices, Edges: size.edges, Requests: size.rq,
+				Directed: true, B: 40, CapSpread: 0.3,
+				DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+			}
+			inst, err := workload.RandomUFP(workload.NewRNG(1), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BoundedUFP(inst, 0.25, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoundedUFPWorkers is the parallelism ablation: per-iteration
+// shortest paths with 1 worker versus many.
+func BenchmarkBoundedUFPWorkers(b *testing.B) {
+	cfg := workload.UFPConfig{
+		Vertices: 32, Edges: 128, Requests: 200, Directed: true,
+		B: 40, CapSpread: 0.3,
+		DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(2), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BoundedUFP(inst, 0.25, &core.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDijkstra measures the shortest-path oracle in isolation.
+func BenchmarkDijkstra(b *testing.B) {
+	cfg := workload.UFPConfig{
+		Vertices: 200, Edges: 1200, Requests: 1, Directed: true,
+		B: 10, CapSpread: 0.5,
+		DemandMin: 0.5, DemandMax: 1, ValueMin: 1, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(3), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := make([]float64, inst.G.NumEdges())
+	for e := range w {
+		w[e] = 1 / inst.G.Edge(e).Capacity
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pathfind.Dijkstra(inst.G, i%inst.G.NumVertices(), pathfind.FromSlice(w))
+	}
+}
+
+// BenchmarkSimplex measures the LP solver on a fractional UFP relaxation.
+func BenchmarkSimplex(b *testing.B) {
+	cfg := workload.UFPConfig{
+		Vertices: 8, Edges: 20, Requests: 10, Directed: true,
+		B: 5, CapSpread: 0.3,
+		DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(4), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FractionalUFP(inst, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplexRaw measures the simplex core on a dense packing LP.
+func BenchmarkSimplexRaw(b *testing.B) {
+	rng := workload.NewRNG(5)
+	const n, m = 60, 30
+	obj := make([]float64, n)
+	rows := make([][]float64, m)
+	for j := range obj {
+		obj[j] = rng.Float64() + 0.1
+	}
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := lp.NewMaximize(n)
+		for j, c := range obj {
+			p.SetObjectiveCoeff(j, c)
+		}
+		for _, row := range rows {
+			p.AddDense(row, lp.LE, 5)
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("%v %v", err, sol.Status)
+		}
+	}
+}
+
+// BenchmarkBoundedMUCA measures the auction solver.
+func BenchmarkBoundedMUCA(b *testing.B) {
+	inst, err := auction.RandomInstance(workload.NewRNG(6), auction.RandomConfig{
+		Items: 30, Requests: 300, B: 60, MultSpread: 0.3,
+		BundleMin: 2, BundleMax: 6, ValueMin: 0.5, ValueMax: 1.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := auction.BoundedMUCA(inst, 0.25, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepeat measures the repetitions variant (iteration count is
+// pseudo-polynomial, so this is the heavy solver loop).
+func BenchmarkRepeat(b *testing.B) {
+	cfg := workload.UFPConfig{
+		Vertices: 8, Edges: 20, Requests: 6, Directed: true,
+		B: 80, CapSpread: 0.2,
+		DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(7), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BoundedUFPRepeat(inst, 0.2, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGargKonemann measures the fractional FPTAS.
+func BenchmarkGargKonemann(b *testing.B) {
+	cfg := workload.UFPConfig{
+		Vertices: 16, Edges: 64, Requests: 20, Directed: true,
+		B: 20, CapSpread: 0.3,
+		DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(8), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcf.MaxProfitFlow(inst, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCriticalValue measures one truthful payment (≈60 algorithm
+// re-runs via bisection).
+func BenchmarkCriticalValue(b *testing.B) {
+	cfg := workload.UFPConfig{
+		Vertices: 10, Edges: 24, Requests: 60, Directed: true,
+		B: 30, CapSpread: 0.3,
+		DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(9), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := mechanism.BoundedUFPAlg(0.25, nil)
+	base, err := alg(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(base.Routed) == 0 {
+		b.Fatal("nothing selected")
+	}
+	winner := base.Routed[0].Request
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mechanism.UFPCriticalValue(alg, inst, winner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaircaseEngine measures the reasonable-rule engine on the
+// Figure 2 family (the E2 workhorse).
+func BenchmarkStaircaseEngine(b *testing.B) {
+	f := lowerbound.Staircase(16, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IterativePathMin(f.Inst, core.EngineOptions{
+			Rule: &core.ExpRule{}, Eps: 0.5, FeasibleOnly: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactOPT measures the branch-and-bound reference (with and
+// without LP bounding: the pruning ablation).
+func BenchmarkExactOPT(b *testing.B) {
+	inst, err := auction.RandomInstance(workload.NewRNG(10), auction.RandomConfig{
+		Items: 10, Requests: 18, B: 3, MultSpread: 0.5,
+		BundleMin: 1, BundleMax: 4, ValueMin: 0.5, ValueMax: 1.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := auction.ExactOPT(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

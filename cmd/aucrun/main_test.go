@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run([]string{"-sample"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "auc.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSolveSample(t *testing.T) {
+	path := writeSample(t)
+	var b strings.Builder
+	if err := run([]string{"-instance", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "value    : 3.4") {
+		t.Fatalf("expected all three winners (value 3.4):\n%s", out)
+	}
+}
+
+func TestPaymentsAndExact(t *testing.T) {
+	path := writeSample(t)
+	var b strings.Builder
+	if err := run([]string{"-instance", path, "-payments", "-exact"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "exact OPT") || !strings.Contains(out, "pays") {
+		t.Fatalf("missing payments/exact sections:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeSample(t)
+	var b strings.Builder
+	if err := run([]string{"-instance", path, "-json", "-exact"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Value    float64  `json:"value"`
+		Selected []int    `json:"selected"`
+		ExactOPT *float64 `json:"exactOPT"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, b.String())
+	}
+	if math.Abs(out.Value-3.4) > 1e-9 || out.ExactOPT == nil || math.Abs(*out.ExactOPT-3.4) > 1e-9 {
+		t.Fatalf("unexpected result: %+v", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Fatal("missing -instance accepted")
+	}
+	if err := run([]string{"-instance", "/nonexistent.json"}, &b); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"multiplicity":[0.5],"requests":[]}`), 0o644)
+	if err := run([]string{"-instance", bad}, &b); err == nil {
+		t.Fatal("B < 1 instance accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Command lbsim simulates the paper's lower-bound instance families
+// (Figures 2, 3, 4) under any reasonable rule and prints the forced gap.
+//
+// Usage:
+//
+//	lbsim -family staircase      [-l 20] [-b 6]  [-rule exp|hops|log-hops|bottleneck]
+//	lbsim -family staircase-sub  [-l 6]  [-b 3]
+//	lbsim -family seven-vertex   [-b 8]
+//	lbsim -family muca-grid      [-p 5]  [-b 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/lowerbound"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
+	var (
+		family   = fs.String("family", "staircase", "staircase|staircase-sub|seven-vertex|muca-grid")
+		l        = fs.Int("l", 20, "staircase blocks")
+		b        = fs.Int("b", 6, "capacity / multiplicity B")
+		p        = fs.Int("p", 5, "muca-grid parameter p (odd)")
+		ruleName = fs.String("rule", "exp", "exp|hops|log-hops|bottleneck")
+		eps      = fs.Float64("eps", 0.5, "accuracy parameter for price-based rules")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *family {
+	case "staircase", "staircase-sub":
+		var f *lowerbound.UFPFamily
+		if *family == "staircase" {
+			f = lowerbound.Staircase(*l, *b)
+		} else {
+			f = lowerbound.StaircaseSubdivided(*l, *b)
+		}
+		return runUFP(out, f, *ruleName, *eps)
+	case "seven-vertex":
+		if *b%2 != 0 {
+			return fmt.Errorf("seven-vertex needs even -b, got %d", *b)
+		}
+		return runUFP(out, lowerbound.SevenVertex(*b), *ruleName, *eps)
+	case "muca-grid":
+		f := lowerbound.MUCAGrid(*p, *b)
+		a, err := auction.IterativeBundleMin(f.Inst, auction.BundleEngineOptions{
+			Rule: auction.ExpBundleRule{}, Eps: *eps, FeasibleOnly: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "family    : %s (%d items, %d requests)\n", f.Name, f.Inst.NumItems(), len(f.Inst.Requests))
+		fmt.Fprintf(out, "OPT       : %g\n", f.OPT)
+		fmt.Fprintf(out, "predicted : %g\n", f.PredictedALG)
+		fmt.Fprintf(out, "ALG       : %g\n", a.Value)
+		fmt.Fprintf(out, "ratio     : %.4f (limit 4/3 ≈ 1.3333)\n", f.OPT/a.Value)
+		return nil
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+}
+
+func runUFP(out io.Writer, f *lowerbound.UFPFamily, ruleName string, eps float64) error {
+	var rule core.Rule
+	switch ruleName {
+	case "exp":
+		rule = &core.ExpRule{}
+	case "hops":
+		rule = &core.HopRule{}
+	case "log-hops":
+		rule = &core.LogHopsRule{}
+	case "bottleneck":
+		rule = &core.BottleneckRule{}
+	default:
+		return fmt.Errorf("unknown rule %q", ruleName)
+	}
+	a, err := core.IterativePathMin(f.Inst, core.EngineOptions{
+		Rule: rule, Eps: eps, FeasibleOnly: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := a.CheckFeasible(f.Inst, false); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "family    : %s (%s)\n", f.Name, f.Inst.G)
+	fmt.Fprintf(out, "rule      : %s\n", ruleName)
+	fmt.Fprintf(out, "OPT       : %g\n", f.OPT)
+	fmt.Fprintf(out, "predicted : %g (±%g)\n", f.PredictedALG, f.Slack)
+	fmt.Fprintf(out, "ALG       : %g (%d routed, stop %v)\n", a.Value, len(a.Routed), a.Stop)
+	fmt.Fprintf(out, "ratio     : %.4f (e/(e-1) ≈ 1.5820)\n", f.OPT/a.Value)
+	return nil
+}

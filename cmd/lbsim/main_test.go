@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaircaseRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "staircase", "-l", "10", "-b", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"staircase(l=10,B=4)", "OPT       : 40", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSubdividedRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "staircase-sub", "-l", "4", "-b", "2", "-eps", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "staircase-subdivided") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestSevenVertexRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "seven-vertex", "-b", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ALG       : 12") || !strings.Contains(out, "1.3333") {
+		t.Errorf("seven-vertex output wrong:\n%s", out)
+	}
+}
+
+func TestSevenVertexRejectsOddB(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "seven-vertex", "-b", "3"}, &b); err == nil {
+		t.Fatal("odd B accepted")
+	}
+}
+
+func TestMUCAGridRun(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "muca-grid", "-p", "3", "-b", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "muca-grid(p=3,B=4)") || !strings.Contains(out, "ALG       : 10") {
+		t.Errorf("muca-grid output wrong:\n%s", out)
+	}
+}
+
+func TestAllRules(t *testing.T) {
+	for _, rule := range []string{"exp", "hops", "log-hops", "bottleneck"} {
+		var b strings.Builder
+		if err := run([]string{"-family", "staircase", "-l", "6", "-b", "2", "-rule", rule}, &b); err != nil {
+			t.Fatalf("rule %s: %v", rule, err)
+		}
+	}
+}
+
+func TestUnknownFamilyAndRule(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-family", "nope"}, &b); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if err := run([]string{"-family", "staircase", "-rule", "nope"}, &b); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command ufpbench regenerates the paper's evaluation artifacts: one
+// report per experiment in DESIGN.md's index (E1-E9, F1), each printing
+// the series its theorem or figure predicts.
+//
+// Usage:
+//
+//	ufpbench [-experiment all|E1|E2|...] [-scale 1.0] [-seeds 3] [-workers 0]
+//
+// The output of a full-scale run is recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"truthfulufp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ufpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ufpbench", flag.ContinueOnError)
+	var (
+		which   = fs.String("experiment", "all", "experiment ID (E1..E9, F1) or 'all'")
+		scale   = fs.Float64("scale", 1, "workload scale in (0,1]")
+		seeds   = fs.Int("seeds", 3, "random instances per configuration point")
+		workers = fs.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		quiet   = fs.Bool("quiet", false, "suppress per-experiment timing lines")
+		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runners := experiments.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Fprintf(out, "%-4s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Scale: *scale, Seeds: *seeds, Workers: *workers}
+	ran := 0
+	for _, r := range runners {
+		if *which != "all" && !strings.EqualFold(*which, r.ID) {
+			continue
+		}
+		start := time.Now()
+		rep, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s failed: %w", r.ID, err)
+		}
+		fmt.Fprint(out, rep.String())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, rep); err != nil {
+				return err
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(out, "(%s completed in %v)\n", r.ID, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q (use -list)", *which)
+	}
+	return nil
+}
+
+// writeCSVs dumps every table of the report as <dir>/<id>_<table>.csv.
+func writeCSVs(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tab := range rep.Tables {
+		name := fmt.Sprintf("%s_%s.csv", strings.ToLower(rep.ID), tab.CSVName())
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

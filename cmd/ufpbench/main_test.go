@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"E1", "E5", "E9", "F1"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E3", "-scale", "0.3", "-seeds", "1", "-quiet"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "1.333") {
+		t.Fatalf("E3 output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "completed in") {
+		t.Fatal("-quiet did not suppress timing")
+	}
+}
+
+func TestCaseInsensitiveID(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "e5", "-scale", "0.3", "-seeds", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "E5") {
+		t.Fatalf("e5 did not run E5:\n%s", b.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E42"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E3", "-scale", "0.3", "-seeds", "1", "-csv", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	found := false
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "e3_") && strings.HasSuffix(e.Name(), ".csv") {
+			found = true
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), "ratio") {
+				t.Fatalf("CSV missing header: %s", data)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no e3_*.csv among %v", entries)
+	}
+}

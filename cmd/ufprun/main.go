@@ -1,0 +1,158 @@
+// Command ufprun solves a single unsplittable flow instance from a JSON
+// file (schema: see truthfulufp.MarshalInstance) and prints the
+// allocation, optionally with truthful critical-value payments.
+//
+// Usage:
+//
+//	ufprun -instance inst.json [-algorithm bounded|sequential|greedy|repeat]
+//	       [-eps 0.5] [-payments] [-json]
+//
+// With -algorithm bounded (default), -eps is the Theorem 3.1 ε and the
+// solver runs Bounded-UFP(ε/6). Generate a sample file with -sample.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"truthfulufp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ufprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ufprun", flag.ContinueOnError)
+	var (
+		path     = fs.String("instance", "", "path to instance JSON")
+		algo     = fs.String("algorithm", "bounded", "bounded|sequential|greedy|repeat")
+		eps      = fs.Float64("eps", 0.5, "accuracy parameter ε in (0,1]")
+		payments = fs.Bool("payments", false, "also compute critical-value payments (bounded only)")
+		asJSON   = fs.Bool("json", false, "emit machine-readable JSON")
+		sample   = fs.Bool("sample", false, "print a sample instance JSON and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sample {
+		return printSample(out)
+	}
+	if *path == "" {
+		return fmt.Errorf("-instance is required (try -sample)")
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	inst, err := truthfulufp.UnmarshalInstance(data)
+	if err != nil {
+		return err
+	}
+	if err := inst.Validate(); err != nil {
+		return fmt.Errorf("instance invalid: %w (normalize demands into (0,1] with capacities >= demands)", err)
+	}
+
+	var alloc *truthfulufp.Allocation
+	switch *algo {
+	case "bounded":
+		alloc, err = truthfulufp.SolveUFP(inst, *eps, nil)
+	case "sequential":
+		alloc, err = truthfulufp.SequentialPrimalDual(inst, *eps, nil)
+	case "greedy":
+		alloc, err = truthfulufp.GreedyByDensity(inst, nil)
+	case "repeat":
+		alloc, err = truthfulufp.SolveUFPRepeat(inst, *eps, nil)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	var pays map[int]float64
+	if *payments {
+		if *algo != "bounded" {
+			return fmt.Errorf("-payments requires -algorithm bounded")
+		}
+		mech, err := truthfulufp.RunUFPMechanism(inst, *eps/6, nil)
+		if err != nil {
+			return err
+		}
+		pays = mech.Payments
+	}
+
+	if *asJSON {
+		return emitJSON(out, alloc, pays)
+	}
+	fmt.Fprintf(out, "algorithm : %s (eps=%g)\n", *algo, *eps)
+	fmt.Fprintf(out, "instance  : %s, %d requests, B=%g\n", inst.G, len(inst.Requests), inst.B())
+	fmt.Fprintf(out, "value     : %g\n", alloc.Value)
+	fmt.Fprintf(out, "routed    : %d of %d requests\n", len(alloc.Routed), len(inst.Requests))
+	fmt.Fprintf(out, "stop      : %v after %d iterations\n", alloc.Stop, alloc.Iterations)
+	if alloc.DualBound > 0 && alloc.Value > 0 {
+		fmt.Fprintf(out, "dualbound : %g  (certified ratio <= %.4f)\n", alloc.DualBound, alloc.DualBound/alloc.Value)
+	}
+	for _, p := range alloc.Routed {
+		r := inst.Requests[p.Request]
+		fmt.Fprintf(out, "  request %d: %d->%d d=%g v=%g via edges %v", p.Request, r.Source, r.Target, r.Demand, r.Value, p.Path)
+		if pays != nil {
+			fmt.Fprintf(out, "  pays %.6g", pays[p.Request])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func emitJSON(out io.Writer, alloc *truthfulufp.Allocation, pays map[int]float64) error {
+	type routedOut struct {
+		Request int     `json:"request"`
+		Path    []int   `json:"path"`
+		Payment float64 `json:"payment,omitempty"`
+	}
+	res := struct {
+		Value      float64     `json:"value"`
+		DualBound  float64     `json:"dualBound"`
+		Iterations int         `json:"iterations"`
+		Stop       string      `json:"stop"`
+		Routed     []routedOut `json:"routed"`
+	}{
+		Value: alloc.Value, DualBound: alloc.DualBound,
+		Iterations: alloc.Iterations, Stop: alloc.Stop.String(),
+	}
+	for _, p := range alloc.Routed {
+		ro := routedOut{Request: p.Request, Path: p.Path}
+		if pays != nil {
+			ro.Payment = pays[p.Request]
+		}
+		res.Routed = append(res.Routed, ro)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func printSample(out io.Writer) error {
+	g := truthfulufp.NewGraph(4)
+	g.AddEdge(0, 1, 20)
+	g.AddEdge(1, 3, 20)
+	g.AddEdge(0, 2, 20)
+	g.AddEdge(2, 3, 20)
+	inst := &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+		{Source: 0, Target: 3, Demand: 1, Value: 2},
+		{Source: 0, Target: 3, Demand: 0.5, Value: 1.2},
+		{Source: 1, Target: 3, Demand: 0.8, Value: 0.9},
+	}}
+	data, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(data))
+	return err
+}

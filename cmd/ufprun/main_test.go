@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run([]string{"-sample"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSampleIsValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-sample"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &v); err != nil {
+		t.Fatalf("sample not JSON: %v", err)
+	}
+}
+
+func TestSolveSampleAllAlgorithms(t *testing.T) {
+	path := writeSample(t)
+	for _, algo := range []string{"bounded", "sequential", "greedy", "repeat"} {
+		var b strings.Builder
+		if err := run([]string{"-instance", path, "-algorithm", algo}, &b); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(b.String(), "value") {
+			t.Fatalf("%s output missing value:\n%s", algo, b.String())
+		}
+	}
+}
+
+func TestPayments(t *testing.T) {
+	path := writeSample(t)
+	var b strings.Builder
+	if err := run([]string{"-instance", path, "-payments"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pays") {
+		t.Fatalf("payments missing:\n%s", b.String())
+	}
+}
+
+func TestPaymentsRequireBounded(t *testing.T) {
+	path := writeSample(t)
+	var b strings.Builder
+	if err := run([]string{"-instance", path, "-payments", "-algorithm", "greedy"}, &b); err == nil {
+		t.Fatal("payments with greedy accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeSample(t)
+	var b strings.Builder
+	if err := run([]string{"-instance", path, "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Value  float64 `json:"value"`
+		Stop   string  `json:"stop"`
+		Routed []struct {
+			Request int   `json:"request"`
+			Path    []int `json:"path"`
+		} `json:"routed"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, b.String())
+	}
+	if out.Value <= 0 || len(out.Routed) == 0 {
+		t.Fatalf("unexpected JSON result: %+v", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{}, &b); err == nil {
+		t.Fatal("missing -instance accepted")
+	}
+	if err := run([]string{"-instance", "/nonexistent.json"}, &b); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"directed":true,"vertices":1,"edges":[],"requests":[{"source":0,"target":0,"demand":1,"value":1}]}`), 0o644)
+	if err := run([]string{"-instance", bad}, &b); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	path := writeSample(t)
+	if err := run([]string{"-instance", path, "-algorithm", "nope"}, &b); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,38 @@
+// Package truthfulufp is a reproduction of "Truthful Unsplittable Flow
+// for Large Capacity Networks" (Azar, Gamzu, Gutner; SPAA 2007): monotone
+// deterministic primal-dual algorithms for the Ω(ln m)-bounded
+// unsplittable flow problem and the single-minded multi-unit
+// combinatorial auction, with approximation ratio approaching e/(e-1),
+// together with the critical-value payment machinery that turns them into
+// truthful mechanisms, the paper's lower-bound instance families, the
+// (1+ε) repetitions variant, and the baselines the paper compares
+// against.
+//
+// This top-level package is a facade over the internal packages: it
+// re-exports the instance types and algorithm entry points a downstream
+// user needs, plus JSON serialization for the CLI tools. The full
+// machinery lives under internal/ (see DESIGN.md for the map):
+//
+//   - internal/core: Bounded-UFP (Algorithm 1), Bounded-UFP-Repeat
+//     (Algorithm 3), the reasonable iterative path minimizing engine,
+//     baselines, LP-based references.
+//   - internal/auction: Bounded-MUCA (Algorithm 2) and friends.
+//   - internal/mechanism: critical-value payments and truthfulness
+//     harness (Theorem 2.3).
+//   - internal/lowerbound: Figures 2, 3, 4 instance families.
+//   - internal/experiments: the table/figure reproduction harness.
+//
+// # Quick start
+//
+//	g := truthfulufp.NewGraph(2)
+//	g.AddEdge(0, 1, 30) // capacity 30
+//	inst := &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+//		{Source: 0, Target: 1, Demand: 1, Value: 2},
+//	}}
+//	alloc, err := truthfulufp.SolveUFP(inst, 0.5, nil)
+//
+// Demands must be normalized into (0, 1] with B = min edge capacity >= 1;
+// use Instance.Normalized. SolveUFP(inst, ε, nil) is the Theorem 3.1
+// mechanism-ready entry point: feasible, monotone, exact, and
+// ((1+ε)·e/(e-1))-approximate once B >= ln(m)/ε².
+package truthfulufp

@@ -1,0 +1,137 @@
+// Truthfulness: a selfish agent tries to game the mechanism. We run the
+// truthful mechanism (Bounded-UFP + critical values), then let one agent
+// try a grid of false declarations — inflated values, deflated demands,
+// understated values — and measure its utility each time. Truth-telling
+// is always a best response (Theorem 2.3 / Corollary 3.2). For contrast,
+// the same probe against randomized rounding exhibits a monotonicity
+// violation, which is exactly why rounding cannot be priced truthfully.
+//
+// Run with: go run ./examples/truthfulness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"truthfulufp"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/workload"
+)
+
+const eps = 0.25
+
+func main() {
+	// A contended bottleneck: two capacity-6 links in series shared by
+	// nine agents with ~8.3 total demand — someone must lose. (Capacity 6
+	// keeps e^{ε(B-1)} above m = 2 so the primal-dual loop runs.)
+	g := truthfulufp.NewGraph(3)
+	g.AddEdge(0, 1, 6)
+	g.AddEdge(1, 2, 6)
+	inst := &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+		{Source: 0, Target: 2, Demand: 1.0, Value: 1.9},
+		{Source: 0, Target: 2, Demand: 0.9, Value: 1.5},
+		{Source: 0, Target: 1, Demand: 0.8, Value: 0.8},
+		{Source: 1, Target: 2, Demand: 0.7, Value: 0.6},
+		{Source: 0, Target: 2, Demand: 1.0, Value: 1.0},
+		{Source: 0, Target: 2, Demand: 1.0, Value: 0.9},
+		{Source: 0, Target: 2, Demand: 1.0, Value: 0.85},
+		{Source: 0, Target: 2, Demand: 0.9, Value: 0.5},
+		{Source: 0, Target: 2, Demand: 1.0, Value: 0.4},
+	}}
+	if err := inst.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	outcome, err := truthfulufp.RunUFPMechanism(inst, eps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("truthful run:")
+	sel := outcome.Allocation.Selected(len(inst.Requests))
+	for r, req := range inst.Requests {
+		if sel[r] {
+			pay := outcome.Payments[r]
+			fmt.Printf("  agent %d WINS:  value %.2f, pays %.4f, utility %.4f\n", r, req.Value, pay, req.Value-pay)
+		} else {
+			fmt.Printf("  agent %d loses: value %.2f, utility 0\n", r, req.Value)
+		}
+	}
+
+	// Agent 0 probes misreports: every (demand multiplier, value
+	// multiplier) in a grid. Its TRUE type stays (1.0, 1.9); utility is
+	// evaluated against the truth.
+	agent := 0
+	trueType := inst.Requests[agent]
+	truthfulUtil := utility(outcome, inst, agent, trueType)
+	fmt.Printf("\nagent %d (true demand %g, true value %g) probes misreports; truthful utility %.4f:\n",
+		agent, trueType.Demand, trueType.Value, truthfulUtil)
+	bestGain := 0.0
+	for _, dm := range []float64{0.5, 0.8, 1.0} {
+		for _, vm := range []float64{0.5, 0.9, 1.2, 2.0} {
+			if dm == 1 && vm == 1 {
+				continue
+			}
+			decl := trueType
+			decl.Demand *= dm
+			decl.Value *= vm
+			mod := inst.Clone()
+			mod.Requests[agent] = decl
+			out, err := truthfulufp.RunUFPMechanism(mod, eps, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			u := utility(out, mod, agent, trueType)
+			verdict := "no gain"
+			if u > truthfulUtil+1e-6 {
+				verdict = "PROFITABLE (should never happen!)"
+				bestGain = u - truthfulUtil
+			}
+			fmt.Printf("  declare (d=%.2f, v=%.2f): utility %.4f  [%s]\n", decl.Demand, decl.Value, u, verdict)
+		}
+	}
+	if bestGain > 0 {
+		log.Fatalf("truthfulness violated by %g", bestGain)
+	}
+	fmt.Println("no profitable misreport found: truth-telling is a dominant strategy.")
+
+	// Why not just use randomized rounding (which nearly matches the
+	// fractional optimum)? Because it is not monotone:
+	fmt.Println("\ncontrast: searching for a monotonicity violation of randomized rounding ...")
+	roundAlg := func(in *core.Instance) (*core.Allocation, error) {
+		return core.RandomizedRounding(in, rand.New(rand.NewPCG(99, 1)), core.RoundingOptions{})
+	}
+	for seed := uint64(0); seed < 25; seed++ {
+		cfg := workload.UFPConfig{
+			Vertices: 6, Edges: 12, Requests: 10, Directed: true,
+			B: 3, CapSpread: 0.4, DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+		}
+		rinst, err := workload.RandomUFP(workload.NewRNG(seed+60), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := mechanism.FindUFPMonotonicityViolation(roundAlg, rinst, workload.NewRNG(seed), 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if w != nil {
+			fmt.Printf("found: %v\n", w)
+			fmt.Println("a winner improved its declaration and LOST — no payment rule can make that truthful.")
+			return
+		}
+	}
+	fmt.Println("(no witness in this search budget; rerun with more seeds)")
+}
+
+func utility(out *truthfulufp.UFPOutcome, inst *truthfulufp.Instance, agent int, trueType truthfulufp.Request) float64 {
+	pay, selected := out.Payments[agent]
+	if !selected {
+		return 0
+	}
+	gross := 0.0
+	if inst.Requests[agent].Demand >= trueType.Demand-1e-12 {
+		gross = trueType.Value
+	}
+	return gross - pay
+}

@@ -1,0 +1,390 @@
+// Package auction implements the paper's Section 4: the single-minded
+// multi-unit combinatorial auction (MUCA) problem and the monotone
+// primal-dual algorithm Bounded-MUCA, which the paper derives as a
+// specialization of Bounded-UFP (the bundle plays the role of the unique
+// path, demands are unit). BoundedMUCA achieves a ((1+ε)·e/(e-1))-
+// approximation for the Ω(ln m)-bounded problem (Theorem 4.1) and is
+// monotone and exact with respect to every request's value — and even
+// with respect to its bundle under set inclusion, which makes the
+// mechanism truthful for unknown single-minded agents (Corollary 4.2).
+//
+// The package also provides the "reasonable iterative bundle minimizing"
+// family (Definition 4.4) with pluggable rules for the lower-bound
+// experiments, sequential and greedy baselines, and exact/LP reference
+// optima.
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"truthfulufp/internal/ilp"
+	"truthfulufp/internal/lp"
+)
+
+// Request is a single-minded request: an items bundle and the value
+// gained if the whole bundle is allocated. Requests are identified by
+// index in the instance's Requests slice.
+type Request struct {
+	Bundle []int // distinct item indices
+	Value  float64
+}
+
+// Instance is a multi-unit combinatorial auction: m non-identical items
+// with positive multiplicities, and a set of single-minded requests.
+type Instance struct {
+	Multiplicity []float64 // per-item multiplicity c_u >= 1
+	Requests     []Request
+}
+
+// NumItems returns the number of distinct items.
+func (inst *Instance) NumItems() int { return len(inst.Multiplicity) }
+
+// B returns the paper's bound B = min_u c_u.
+func (inst *Instance) B() float64 {
+	if len(inst.Multiplicity) == 0 {
+		return 0
+	}
+	b := inst.Multiplicity[0]
+	for _, c := range inst.Multiplicity[1:] {
+		if c < b {
+			b = c
+		}
+	}
+	return b
+}
+
+// Validate checks well-formedness: positive multiplicities with B >= 1,
+// non-empty duplicate-free bundles with in-range items, positive finite
+// values.
+func (inst *Instance) Validate() error {
+	m := len(inst.Multiplicity)
+	for u, c := range inst.Multiplicity {
+		if !(c > 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("auction: item %d multiplicity %g not positive finite", u, c)
+		}
+	}
+	if m > 0 && inst.B() < 1 {
+		return fmt.Errorf("auction: B = %g < 1; the B-bounded model requires multiplicities >= 1", inst.B())
+	}
+	for i, r := range inst.Requests {
+		if len(r.Bundle) == 0 {
+			return fmt.Errorf("auction: request %d has an empty bundle", i)
+		}
+		seen := make(map[int]bool, len(r.Bundle))
+		for _, u := range r.Bundle {
+			if u < 0 || u >= m {
+				return fmt.Errorf("auction: request %d references item %d out of range [0,%d)", i, u, m)
+			}
+			if seen[u] {
+				return fmt.Errorf("auction: request %d lists item %d twice", i, u)
+			}
+			seen[u] = true
+		}
+		if !(r.Value > 0) || math.IsInf(r.Value, 0) || math.IsNaN(r.Value) {
+			return fmt.Errorf("auction: request %d value %g not positive finite", i, r.Value)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (inst *Instance) Clone() *Instance {
+	c := &Instance{
+		Multiplicity: append([]float64(nil), inst.Multiplicity...),
+		Requests:     make([]Request, len(inst.Requests)),
+	}
+	for i, r := range inst.Requests {
+		c.Requests[i] = Request{Bundle: append([]int(nil), r.Bundle...), Value: r.Value}
+	}
+	return c
+}
+
+// TotalValue returns the sum of all request values.
+func (inst *Instance) TotalValue() float64 {
+	v := 0.0
+	for _, r := range inst.Requests {
+		v += r.Value
+	}
+	return v
+}
+
+// StopReason mirrors the UFP stop reasons for the auction loop.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopAllSatisfied StopReason = iota
+	StopDualThreshold
+	StopNothingFits
+	StopIterationLimit
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopAllSatisfied:
+		return "all-satisfied"
+	case StopDualThreshold:
+		return "dual-threshold"
+	case StopNothingFits:
+		return "nothing-fits"
+	case StopIterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(s))
+}
+
+// Allocation is the outcome of an auction algorithm: selected request
+// indices in selection order plus diagnostics. DualBound is the
+// dual-fitting upper bound on the fractional optimum (same construction
+// as for UFP; +Inf when not established).
+type Allocation struct {
+	Selected   []int
+	Value      float64
+	Iterations int
+	Stop       StopReason
+	DualBound  float64
+}
+
+// SelectedSet returns membership over the instance's requests.
+func (a *Allocation) SelectedSet(numRequests int) []bool {
+	sel := make([]bool, numRequests)
+	for _, r := range a.Selected {
+		sel[r] = true
+	}
+	return sel
+}
+
+// ItemLoads returns the number of allocated copies per item.
+func (a *Allocation) ItemLoads(inst *Instance) []float64 {
+	load := make([]float64, inst.NumItems())
+	for _, r := range a.Selected {
+		for _, u := range inst.Requests[r].Bundle {
+			load[u]++
+		}
+	}
+	return load
+}
+
+// CheckFeasible verifies multiplicities, uniqueness of selection and the
+// reported value.
+func (a *Allocation) CheckFeasible(inst *Instance) error {
+	seen := make(map[int]bool)
+	value := 0.0
+	for _, r := range a.Selected {
+		if r < 0 || r >= len(inst.Requests) {
+			return fmt.Errorf("auction: selected request %d out of range", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("auction: request %d selected twice", r)
+		}
+		seen[r] = true
+		value += inst.Requests[r].Value
+	}
+	for u, load := range a.ItemLoads(inst) {
+		if load > inst.Multiplicity[u]+1e-7 {
+			return fmt.Errorf("auction: item %d oversold: %g > %g", u, load, inst.Multiplicity[u])
+		}
+	}
+	if math.Abs(value-a.Value) > 1e-6*(1+value) {
+		return fmt.Errorf("auction: reported value %g != recomputed %g", a.Value, value)
+	}
+	return nil
+}
+
+const maxSafeExponent = 600
+
+func validateEps(eps float64) error {
+	if !(eps > 0) || eps > 1 || math.IsNaN(eps) {
+		return fmt.Errorf("auction: accuracy parameter ε = %g outside (0,1]", eps)
+	}
+	return nil
+}
+
+// BoundedMUCA runs Algorithm 2 (Bounded-MUCA) with accuracy parameter
+// eps: prices start at y_u = 1/c_u, and while requests remain and
+// Σ_u c_u·y_u <= e^{ε(B-1)}, the request minimizing (1/v_r)·Σ_{u∈U_r} y_u
+// is allocated and its items' prices multiply by e^{εB/c_u}.
+//
+// Per Theorem 4.1, eps = ε/6 yields a ((1+ε)·e/(e-1))-approximation for
+// B >= ln(m)/ε²; use SolveMUCA for that calling convention.
+func BoundedMUCA(inst *Instance, eps float64, tie func(a, b int) bool) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	b := inst.B()
+	if len(inst.Requests) == 0 {
+		return &Allocation{Stop: StopAllSatisfied}, nil
+	}
+	if eps*b > maxSafeExponent {
+		return nil, fmt.Errorf("auction: ε·B = %g would overflow e^{ε(B-1)}", eps*b)
+	}
+	if tie == nil {
+		tie = func(a, b int) bool { return a < b }
+	}
+	m := inst.NumItems()
+	y := make([]float64, m)
+	dualSum := 0.0
+	for u := 0; u < m; u++ {
+		y[u] = 1 / inst.Multiplicity[u]
+		dualSum++
+	}
+	threshold := math.Exp(eps * (b - 1))
+	remaining := make([]bool, len(inst.Requests))
+	numRemaining := len(inst.Requests)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	argmin := func() (int, float64) {
+		best, bestRatio := -1, math.Inf(1)
+		for i, r := range inst.Requests {
+			if !remaining[i] {
+				continue
+			}
+			sum := 0.0
+			for _, u := range r.Bundle {
+				sum += y[u]
+			}
+			ratio := sum / r.Value
+			switch {
+			case best < 0 || ratio < bestRatio && !ratiosTied(ratio, bestRatio):
+				best, bestRatio = i, ratio
+			case ratiosTied(ratio, bestRatio) && tie(i, best):
+				best, bestRatio = i, ratio
+			}
+		}
+		return best, bestRatio
+	}
+	for numRemaining > 0 && dualSum <= threshold {
+		best, alpha := argmin()
+		if best < 0 {
+			break
+		}
+		if bound := dualSum/alpha + alloc.Value; bound < alloc.DualBound {
+			alloc.DualBound = bound
+		}
+		for _, u := range inst.Requests[best].Bundle {
+			c := inst.Multiplicity[u]
+			old := y[u]
+			y[u] = old * math.Exp(eps*b/c)
+			dualSum += c * (y[u] - old)
+		}
+		alloc.Selected = append(alloc.Selected, best)
+		alloc.Value += inst.Requests[best].Value
+		alloc.Iterations++
+		remaining[best] = false
+		numRemaining--
+	}
+	if numRemaining == 0 {
+		alloc.Stop = StopAllSatisfied
+		if alloc.Value < alloc.DualBound {
+			alloc.DualBound = alloc.Value
+		}
+	} else {
+		alloc.Stop = StopDualThreshold
+		if _, alpha := argmin(); !math.IsInf(alpha, 1) {
+			if bound := dualSum/alpha + alloc.Value; bound < alloc.DualBound {
+				alloc.DualBound = bound
+			}
+		}
+	}
+	return alloc, nil
+}
+
+// SolveMUCA is the Theorem 4.1 calling convention: BoundedMUCA(ε/6).
+func SolveMUCA(inst *Instance, eps float64) (*Allocation, error) {
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	return BoundedMUCA(inst, eps/6, nil)
+}
+
+const ratioTol = 1e-12
+
+func ratiosTied(a, b float64) bool {
+	return math.Abs(a-b) <= ratioTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// ExactOPT computes the exact optimum by branch and bound (the MUCA
+// integer program is a 0/1 packing program directly).
+func ExactOPT(inst *Instance) (float64, []bool, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, nil, err
+	}
+	pack := toPacking(inst)
+	res, err := ilp.SolvePacking(pack, ilp.Options{})
+	if err != nil {
+		return 0, nil, err
+	}
+	if !res.Proven {
+		return res.Value, res.Selected, errors.New("auction: branch and bound exhausted its node budget")
+	}
+	return res.Value, res.Selected, nil
+}
+
+// LPBound solves the fractional relaxation exactly and returns its value,
+// an upper bound on the integral optimum.
+func LPBound(inst *Instance) (float64, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	prob := lp.NewMaximize(len(inst.Requests))
+	itemCols := make(map[int][]int)
+	for i, r := range inst.Requests {
+		prob.SetObjectiveCoeff(i, r.Value)
+		prob.AddSparse([]int{i}, []float64{1}, lp.LE, 1)
+		for _, u := range r.Bundle {
+			itemCols[u] = append(itemCols[u], i)
+		}
+	}
+	for u := 0; u < inst.NumItems(); u++ {
+		js := itemCols[u]
+		if len(js) == 0 {
+			continue
+		}
+		coef := make([]float64, len(js))
+		for k := range coef {
+			coef[k] = 1
+		}
+		prob.AddSparse(js, coef, lp.LE, inst.Multiplicity[u])
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("auction: LP relaxation not optimal: %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+func toPacking(inst *Instance) *ilp.Packing {
+	pack := &ilp.Packing{Values: make([]float64, len(inst.Requests))}
+	itemCols := make(map[int][]int)
+	for i, r := range inst.Requests {
+		pack.Values[i] = r.Value
+		for _, u := range r.Bundle {
+			itemCols[u] = append(itemCols[u], i)
+		}
+	}
+	items := make([]int, 0, len(itemCols))
+	for u := range itemCols {
+		items = append(items, u)
+	}
+	sort.Ints(items)
+	for _, u := range items {
+		js := itemCols[u]
+		coef := make([]float64, len(js))
+		for k := range coef {
+			coef[k] = 1
+		}
+		pack.Rows = append(pack.Rows, ilp.Row{Idx: js, Coef: coef, Cap: inst.Multiplicity[u]})
+	}
+	return pack
+}

@@ -1,0 +1,407 @@
+package auction
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
+
+// twoItemContention: items {0, 1} with multiplicity 1; three requests.
+func twoItemContention() *Instance {
+	return &Instance{
+		Multiplicity: []float64{1, 1},
+		Requests: []Request{
+			{Bundle: []int{0, 1}, Value: 3},
+			{Bundle: []int{0}, Value: 2},
+			{Bundle: []int{1}, Value: 2},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := twoItemContention()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Instance{
+		"empty bundle":   {Multiplicity: []float64{1}, Requests: []Request{{Bundle: nil, Value: 1}}},
+		"dup item":       {Multiplicity: []float64{2}, Requests: []Request{{Bundle: []int{0, 0}, Value: 1}}},
+		"range":          {Multiplicity: []float64{2}, Requests: []Request{{Bundle: []int{5}, Value: 1}}},
+		"value":          {Multiplicity: []float64{2}, Requests: []Request{{Bundle: []int{0}, Value: 0}}},
+		"mult":           {Multiplicity: []float64{0}, Requests: nil},
+		"B less than 1":  {Multiplicity: []float64{0.5}, Requests: nil},
+		"negative value": {Multiplicity: []float64{2}, Requests: []Request{{Bundle: []int{0}, Value: -1}}},
+	}
+	for name, inst := range cases {
+		if err := inst.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestBoundedMUCASelectsCheapestRatio(t *testing.T) {
+	// Multiplicity 4 each, so the dual threshold e^{ε(B-1)} = e^{1.5} is
+	// above the initial dual value m = 2 and the loop runs. Ratios:
+	// request 0: (1/4+1/4)/3 ≈ 0.167; requests 1, 2: (1/4)/2 = 0.125 ->
+	// the singletons are picked first, index tie-break giving request 1.
+	inst := &Instance{
+		Multiplicity: []float64{4, 4},
+		Requests: []Request{
+			{Bundle: []int{0, 1}, Value: 3},
+			{Bundle: []int{0}, Value: 2},
+			{Bundle: []int{1}, Value: 2},
+		},
+	}
+	a, err := BoundedMUCA(inst, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(inst); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) < 2 || a.Selected[0] != 1 || a.Selected[1] != 2 {
+		t.Fatalf("selections %v, want [1 2 ...]", a.Selected)
+	}
+}
+
+func TestBoundedMUCAFeasibilityLemma(t *testing.T) {
+	// Lemma 3.3's analog: never oversell, across epsilons and seeds.
+	for _, eps := range []float64{0.1, 0.3, 1} {
+		for seed := uint64(0); seed < 6; seed++ {
+			cfg := DefaultRandomConfig()
+			cfg.B = 2 + float64(seed)
+			inst, err := RandomInstance(rng(seed), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := BoundedMUCA(inst, eps, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.CheckFeasible(inst); err != nil {
+				t.Fatalf("eps %g seed %d: %v", eps, seed, err)
+			}
+		}
+	}
+}
+
+func TestBoundedMUCAMonotoneInValue(t *testing.T) {
+	r := rng(77)
+	for seed := uint64(0); seed < 6; seed++ {
+		cfg := DefaultRandomConfig()
+		cfg.Requests = 25
+		cfg.B = 5
+		inst, err := RandomInstance(rng(seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := BoundedMUCA(inst, 0.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := base.SelectedSet(len(inst.Requests))
+		for trial := 0; trial < 10; trial++ {
+			i := r.IntN(len(inst.Requests))
+			mod := inst.Clone()
+			if sel[i] {
+				mod.Requests[i].Value *= 1 + r.Float64()
+			} else {
+				mod.Requests[i].Value *= 0.3 + 0.7*r.Float64()
+			}
+			got, err := BoundedMUCA(mod, 0.25, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSel := got.SelectedSet(len(mod.Requests))
+			if sel[i] && !gotSel[i] {
+				t.Fatalf("seed %d: raising request %d's value dropped it", seed, i)
+			}
+			if !sel[i] && gotSel[i] {
+				t.Fatalf("seed %d: lowering request %d's value admitted it", seed, i)
+			}
+		}
+	}
+}
+
+func TestBoundedMUCAMonotoneInBundleSubset(t *testing.T) {
+	// Unknown single-minded case: shrinking a selected request's bundle
+	// (subset) must keep it selected, since Σ_{U'} y <= Σ_U y.
+	r := rng(88)
+	for seed := uint64(10); seed < 16; seed++ {
+		cfg := DefaultRandomConfig()
+		cfg.BundleMin, cfg.BundleMax = 3, 6
+		cfg.B = 5
+		inst, err := RandomInstance(rng(seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := BoundedMUCA(inst, 0.25, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := base.SelectedSet(len(inst.Requests))
+		for trial := 0; trial < 10; trial++ {
+			i := r.IntN(len(inst.Requests))
+			if !sel[i] || len(inst.Requests[i].Bundle) < 2 {
+				continue
+			}
+			mod := inst.Clone()
+			// Drop one random item from the bundle.
+			b := mod.Requests[i].Bundle
+			k := r.IntN(len(b))
+			mod.Requests[i].Bundle = append(b[:k:k], b[k+1:]...)
+			got, err := BoundedMUCA(mod, 0.25, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.SelectedSet(len(mod.Requests))[i] {
+				t.Fatalf("seed %d: shrinking request %d's bundle dropped it", seed, i)
+			}
+		}
+	}
+}
+
+func TestBoundedMUCADualBoundDominatesOPT(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		cfg := RandomConfig{
+			Items: 8, Requests: 14, B: 2, MultSpread: 0.5,
+			BundleMin: 1, BundleMax: 4, ValueMin: 0.5, ValueMax: 1.5,
+		}
+		inst, err := RandomInstance(rng(seed+30), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := BoundedMUCA(inst, 0.3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := ExactOPT(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.DualBound < opt-1e-6 {
+			t.Fatalf("seed %d: dual bound %g < OPT %g", seed, a.DualBound, opt)
+		}
+		if a.Value > opt+1e-6 {
+			t.Fatalf("seed %d: value %g > OPT %g", seed, a.Value, opt)
+		}
+		lpv, err := LPBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpv < opt-1e-6 {
+			t.Fatalf("seed %d: LP bound %g < OPT %g", seed, lpv, opt)
+		}
+	}
+}
+
+func TestTheorem41Guarantee(t *testing.T) {
+	// B >= ln(m)/ε² regime: with ε = 1/6, m = 20 items -> B >= 108.
+	const eps = 1.0 / 6
+	guarantee := (1 + 6*eps) * math.E / (math.E - 1)
+	cfg := RandomConfig{
+		Items: 20, Requests: 600, B: 110, MultSpread: 0.3,
+		BundleMin: 2, BundleMax: 6, ValueMin: 0.5, ValueMax: 1.5,
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		inst, err := RandomInstance(rng(seed+50), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := BoundedMUCA(inst, eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckFeasible(inst); err != nil {
+			t.Fatal(err)
+		}
+		if a.Value == 0 {
+			t.Fatal("nothing allocated in guaranteed regime")
+		}
+		if ratio := a.DualBound / a.Value; ratio > guarantee*1.05 {
+			t.Fatalf("seed %d: ratio %.4f exceeds guarantee %.4f", seed, ratio, guarantee)
+		}
+	}
+}
+
+func TestSolveMUCAEpsilonConvention(t *testing.T) {
+	inst := twoItemContention()
+	if _, err := SolveMUCA(inst, 0); err == nil {
+		t.Fatal("eps = 0 accepted")
+	}
+	if _, err := SolveMUCA(inst, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeBundleMinMatchesBoundedMUCA(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		inst, err := RandomInstance(rng(seed+70), DefaultRandomConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 0.2
+		direct, err := BoundedMUCA(inst, eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := IterativeBundleMin(inst, BundleEngineOptions{
+			Rule: ExpBundleRule{}, Eps: eps, UseDualStop: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(direct.Selected) != len(engine.Selected) {
+			t.Fatalf("seed %d: lengths differ: %v vs %v", seed, direct.Selected, engine.Selected)
+		}
+		for k := range direct.Selected {
+			if direct.Selected[k] != engine.Selected[k] {
+				t.Fatalf("seed %d: selections differ at %d: %v vs %v", seed, k, direct.Selected, engine.Selected)
+			}
+		}
+	}
+}
+
+func TestIterativeBundleMinAllRulesFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		cfg := DefaultRandomConfig()
+		cfg.B = 3
+		inst, err := RandomInstance(rng(seed+90), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rule := range AllBundleRules() {
+			a, err := IterativeBundleMin(inst, BundleEngineOptions{
+				Rule: rule, Eps: 0.25, FeasibleOnly: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.CheckFeasible(inst); err != nil {
+				t.Fatalf("rule %s: %v", rule.Name(), err)
+			}
+			if a.Value <= 0 {
+				t.Fatalf("rule %s allocated nothing", rule.Name())
+			}
+		}
+	}
+}
+
+func TestIterativeBundleMinValidation(t *testing.T) {
+	inst := twoItemContention()
+	if _, err := IterativeBundleMin(inst, BundleEngineOptions{Rule: ExpBundleRule{}}); err == nil {
+		t.Fatal("no stop policy accepted")
+	}
+	if _, err := IterativeBundleMin(inst, BundleEngineOptions{FeasibleOnly: true}); err == nil {
+		t.Fatal("nil rule accepted")
+	}
+}
+
+func TestGreedyByValue(t *testing.T) {
+	inst := twoItemContention()
+	a, err := GreedyByValue(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(inst); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy takes the value-3 bundle first, blocking both singletons.
+	if a.Value != 3 {
+		t.Fatalf("greedy value %g, want 3", a.Value)
+	}
+	opt, _, err := ExactOPT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 4 {
+		t.Fatalf("OPT = %g, want 4", opt)
+	}
+}
+
+func TestGreedyByValuePerItem(t *testing.T) {
+	inst := twoItemContention()
+	a, err := GreedyByValuePerItem(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Densities: 1.5, 2, 2 -> singletons first: value 4 = OPT.
+	if a.Value != 4 {
+		t.Fatalf("density greedy value %g, want 4", a.Value)
+	}
+}
+
+func TestSequentialPrimalDualAuction(t *testing.T) {
+	inst := &Instance{
+		Multiplicity: []float64{5, 5},
+		Requests: []Request{
+			{Bundle: []int{0}, Value: 1},
+			{Bundle: []int{0, 1}, Value: 0.1}, // below fresh price 2/5
+			{Bundle: []int{1}, Value: 1},
+		},
+	}
+	a, err := SequentialPrimalDual(inst, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(inst); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != 2 || a.Selected[0] != 0 || a.Selected[1] != 2 {
+		t.Fatalf("selected %v, want [0 2]", a.Selected)
+	}
+}
+
+func TestRandomInstanceValidation(t *testing.T) {
+	bad := DefaultRandomConfig()
+	bad.BundleMax = 100 // more than items
+	if _, err := RandomInstance(rng(1), bad); err == nil {
+		t.Fatal("bad bundle config accepted")
+	}
+	bad2 := DefaultRandomConfig()
+	bad2.B = 0.2
+	if _, err := RandomInstance(rng(1), bad2); err == nil {
+		t.Fatal("B < 1 accepted")
+	}
+}
+
+func TestRandomInstanceDeterministic(t *testing.T) {
+	a, err := RandomInstance(rng(9), DefaultRandomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomInstance(rng(9), DefaultRandomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalValue() != b.TotalValue() {
+		t.Fatal("same seed, different instances")
+	}
+}
+
+func TestAllocationCheckFeasibleCatchesOversell(t *testing.T) {
+	inst := twoItemContention()
+	bad := &Allocation{Selected: []int{0, 1}, Value: 5} // items oversold
+	if err := bad.CheckFeasible(inst); err == nil {
+		t.Fatal("oversold allocation accepted")
+	}
+	badValue := &Allocation{Selected: []int{1}, Value: 99}
+	if err := badValue.CheckFeasible(inst); err == nil {
+		t.Fatal("wrong reported value accepted")
+	}
+	dup := &Allocation{Selected: []int{1, 1}, Value: 4}
+	if err := dup.CheckFeasible(inst); err == nil {
+		t.Fatal("duplicate selection accepted")
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	if StopAllSatisfied.String() != "all-satisfied" || StopNothingFits.String() != "nothing-fits" {
+		t.Fatal("stop reason strings wrong")
+	}
+	if StopReason(42).String() == "" {
+		t.Fatal("unknown stop reason empty")
+	}
+}

@@ -1,0 +1,102 @@
+package auction
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func quickAuction(seed uint64, bRaw, rRaw uint8) *Instance {
+	cfg := RandomConfig{
+		Items:      4 + int(bRaw%10),
+		Requests:   8 + int(rRaw%30),
+		B:          2 + float64(bRaw%30),
+		MultSpread: 0.5,
+		BundleMin:  1,
+		BundleMax:  3,
+		ValueMin:   0.3, ValueMax: 1.8,
+	}
+	inst, err := RandomInstance(rng(seed), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// TestQuickBoundedMUCAInvariants: arbitrary auctions and epsilons never
+// oversell an item, never select a request twice, and the dual bound
+// dominates the value.
+func TestQuickBoundedMUCAInvariants(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw, eRaw uint8) bool {
+		inst := quickAuction(seed, bRaw, rRaw)
+		eps := 0.05 + float64(eRaw%19)*0.05
+		a, err := BoundedMUCA(inst, eps, nil)
+		if err != nil {
+			return false
+		}
+		if a.CheckFeasible(inst) != nil {
+			return false
+		}
+		return a.DualBound >= a.Value-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValueMonotonicity: the quick-check form of Bounded-MUCA's
+// value monotonicity.
+func TestQuickValueMonotonicity(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw, pick uint8) bool {
+		inst := quickAuction(seed, bRaw, rRaw)
+		const eps = 0.3
+		base, err := BoundedMUCA(inst, eps, nil)
+		if err != nil {
+			return false
+		}
+		sel := base.SelectedSet(len(inst.Requests))
+		r := int(pick) % len(inst.Requests)
+		mod := inst.Clone()
+		if sel[r] {
+			mod.Requests[r].Value *= 1.8
+		} else {
+			mod.Requests[r].Value *= 0.4
+		}
+		got, err := BoundedMUCA(mod, eps, nil)
+		if err != nil {
+			return false
+		}
+		return got.SelectedSet(len(mod.Requests))[r] == sel[r]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGreedyNeverBeatsOPTBound: both greedy baselines stay below
+// the LP bound on arbitrary auctions.
+func TestQuickGreedyNeverBeatsOPTBound(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw uint8, byValue bool) bool {
+		inst := quickAuction(seed, bRaw%6, rRaw%12) // small enough for the LP
+		var a *Allocation
+		var err error
+		if byValue {
+			a, err = GreedyByValue(inst)
+		} else {
+			a, err = GreedyByValuePerItem(inst)
+		}
+		if err != nil {
+			return false
+		}
+		if a.CheckFeasible(inst) != nil {
+			return false
+		}
+		lpv, err := LPBound(inst)
+		if err != nil {
+			return false
+		}
+		return a.Value <= lpv+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

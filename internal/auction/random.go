@@ -1,0 +1,61 @@
+package auction
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RandomConfig parameterizes RandomInstance.
+type RandomConfig struct {
+	Items    int
+	Requests int
+	// B is the minimum multiplicity; multiplicities are drawn uniformly
+	// from the integers [B, B*(1+MultSpread)].
+	B          float64
+	MultSpread float64
+	// Bundle sizes are drawn uniformly from [BundleMin, BundleMax].
+	BundleMin, BundleMax int
+	// Values are drawn as bundleSize * Uniform[ValueMin, ValueMax], so
+	// larger bundles tend to be worth more (realistic contention).
+	ValueMin, ValueMax float64
+}
+
+// DefaultRandomConfig returns a moderately contended auction.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Items: 20, Requests: 40,
+		B: 10, MultSpread: 0.5,
+		BundleMin: 2, BundleMax: 6,
+		ValueMin: 0.5, ValueMax: 1.5,
+	}
+}
+
+// RandomInstance draws a random auction instance. Values are continuous,
+// so priority ties are measure-zero.
+func RandomInstance(rng *rand.Rand, c RandomConfig) (*Instance, error) {
+	if c.Items < 1 || c.BundleMin < 1 || c.BundleMax > c.Items || c.BundleMin > c.BundleMax {
+		return nil, fmt.Errorf("auction: bad bundle configuration %+v", c)
+	}
+	if c.B < 1 {
+		return nil, fmt.Errorf("auction: B = %g < 1", c.B)
+	}
+	if !(c.ValueMin > 0) || c.ValueMin > c.ValueMax {
+		return nil, fmt.Errorf("auction: bad value range [%g, %g]", c.ValueMin, c.ValueMax)
+	}
+	inst := &Instance{Multiplicity: make([]float64, c.Items)}
+	maxMult := int(c.B * (1 + c.MultSpread))
+	minMult := int(c.B)
+	for u := range inst.Multiplicity {
+		inst.Multiplicity[u] = float64(minMult + rng.IntN(maxMult-minMult+1))
+	}
+	for i := 0; i < c.Requests; i++ {
+		size := c.BundleMin + rng.IntN(c.BundleMax-c.BundleMin+1)
+		bundle := rng.Perm(c.Items)[:size]
+		value := float64(size) * (c.ValueMin + rng.Float64()*(c.ValueMax-c.ValueMin))
+		inst.Requests = append(inst.Requests, Request{Bundle: bundle, Value: value})
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

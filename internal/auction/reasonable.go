@@ -1,0 +1,314 @@
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BundleRule is a "reasonable function" over bundles (Definition 4.3): a
+// priority assigned to each request's bundle given the current per-item
+// allocation counts. The engine minimizes (1/v_r)·Length, matching the
+// paper's priority shapes.
+type BundleRule interface {
+	Name() string
+	// Length returns the raw bundle aggregate for request r under the
+	// current item loads.
+	Length(inst *Instance, r int, load []float64, eps, b float64) float64
+}
+
+// ExpBundleRule is Bounded-MUCA's h(s) = (1/v)·Σ_{u∈s} (1/c_u)e^{εB·f_u/c_u}.
+type ExpBundleRule struct{}
+
+// Name implements BundleRule.
+func (ExpBundleRule) Name() string { return "exp" }
+
+// Length implements BundleRule.
+func (ExpBundleRule) Length(inst *Instance, r int, load []float64, eps, b float64) float64 {
+	sum := 0.0
+	for _, u := range inst.Requests[r].Bundle {
+		c := inst.Multiplicity[u]
+		sum += math.Exp(eps*b*load[u]/c) / c
+	}
+	return sum
+}
+
+// SizeBundleRule is (1/v)·|U_r|: smallest bundle first. With unit values
+// and uniform multiplicities its priority depends only on the bundle
+// size, so it is reasonable per Definition 4.3.
+type SizeBundleRule struct{}
+
+// Name implements BundleRule.
+func (SizeBundleRule) Name() string { return "size" }
+
+// Length implements BundleRule.
+func (SizeBundleRule) Length(inst *Instance, r int, load []float64, eps, b float64) float64 {
+	return float64(len(inst.Requests[r].Bundle))
+}
+
+// BottleneckBundleRule is (1/v)·max_{u∈s} (1/c_u)e^{εB·f_u/c_u}: avoid
+// the scarcest item.
+type BottleneckBundleRule struct{}
+
+// Name implements BundleRule.
+func (BottleneckBundleRule) Name() string { return "bottleneck" }
+
+// Length implements BundleRule.
+func (BottleneckBundleRule) Length(inst *Instance, r int, load []float64, eps, b float64) float64 {
+	best := 0.0
+	for _, u := range inst.Requests[r].Bundle {
+		c := inst.Multiplicity[u]
+		if v := math.Exp(eps*b*load[u]/c) / c; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ProductBundleRule is the paper's h2 analog: (1/v)·Π_{u∈s} f_u/c_u.
+type ProductBundleRule struct{}
+
+// Name implements BundleRule.
+func (ProductBundleRule) Name() string { return "product" }
+
+// Length implements BundleRule.
+func (ProductBundleRule) Length(inst *Instance, r int, load []float64, eps, b float64) float64 {
+	prod := 1.0
+	for _, u := range inst.Requests[r].Bundle {
+		prod *= load[u] / inst.Multiplicity[u]
+	}
+	return prod
+}
+
+// AllBundleRules returns one instance of every built-in reasonable bundle
+// rule.
+func AllBundleRules() []BundleRule {
+	return []BundleRule{ExpBundleRule{}, SizeBundleRule{}, BottleneckBundleRule{}, ProductBundleRule{}}
+}
+
+// BundleEngineOptions configure IterativeBundleMin.
+type BundleEngineOptions struct {
+	Rule BundleRule // required
+	// Eps is used by price-based rules and the dual stop.
+	Eps float64
+	// FeasibleOnly restricts selection to requests whose bundles fit the
+	// residual multiplicities; with the default stop this matches the
+	// lower-bound proofs' "stops when nothing fits".
+	FeasibleOnly bool
+	// UseDualStop enables Bounded-MUCA's Σ c_u·y_u <= e^{ε(B-1)} guard.
+	UseDualStop bool
+	// TieBreak resolves priority ties between request indices (default:
+	// smaller index wins).
+	TieBreak      func(a, b int) bool
+	MaxIterations int
+}
+
+// IterativeBundleMin runs a reasonable iterative bundle minimizing
+// algorithm (Definition 4.4): repeatedly select the unselected request
+// minimizing (1/v_r)·Rule-length and allocate its bundle. With
+// ExpBundleRule and the dual stop this coincides with Bounded-MUCA.
+func IterativeBundleMin(inst *Instance, opt BundleEngineOptions) (*Allocation, error) {
+	if opt.Rule == nil {
+		return nil, errors.New("auction: IterativeBundleMin requires a Rule")
+	}
+	if !opt.FeasibleOnly && !opt.UseDualStop {
+		return nil, errors.New("auction: IterativeBundleMin requires FeasibleOnly or UseDualStop")
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	needEps := opt.UseDualStop
+	if _, ok := opt.Rule.(SizeBundleRule); !ok {
+		if _, ok := opt.Rule.(ProductBundleRule); !ok {
+			needEps = true
+		}
+	}
+	if needEps {
+		if err := validateEps(opt.Eps); err != nil {
+			return nil, err
+		}
+	}
+	tie := opt.TieBreak
+	if tie == nil {
+		tie = func(a, b int) bool { return a < b }
+	}
+	b := inst.B()
+	load := make([]float64, inst.NumItems())
+	remaining := make([]bool, len(inst.Requests))
+	numRemaining := len(inst.Requests)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	threshold := math.Exp(opt.Eps * (b - 1))
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	fits := func(r int) bool {
+		for _, u := range inst.Requests[r].Bundle {
+			if load[u]+1 > inst.Multiplicity[u]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		if numRemaining == 0 {
+			alloc.Stop = StopAllSatisfied
+			break
+		}
+		if opt.UseDualStop {
+			dual := 0.0
+			for u := range load {
+				dual += math.Exp(opt.Eps * b * load[u] / inst.Multiplicity[u])
+			}
+			if dual > threshold {
+				alloc.Stop = StopDualThreshold
+				break
+			}
+		}
+		if opt.MaxIterations > 0 && alloc.Iterations >= opt.MaxIterations {
+			alloc.Stop = StopIterationLimit
+			break
+		}
+		best, bestRatio := -1, math.Inf(1)
+		for i, r := range inst.Requests {
+			if !remaining[i] {
+				continue
+			}
+			if opt.FeasibleOnly && !fits(i) {
+				continue
+			}
+			ratio := opt.Rule.Length(inst, i, load, opt.Eps, b) / r.Value
+			switch {
+			case best < 0 || ratio < bestRatio && !ratiosTied(ratio, bestRatio):
+				best, bestRatio = i, ratio
+			case ratiosTied(ratio, bestRatio) && tie(i, best):
+				best, bestRatio = i, ratio
+			}
+		}
+		if best < 0 {
+			alloc.Stop = StopNothingFits
+			break
+		}
+		for _, u := range inst.Requests[best].Bundle {
+			load[u]++
+		}
+		alloc.Selected = append(alloc.Selected, best)
+		alloc.Value += inst.Requests[best].Value
+		alloc.Iterations++
+		remaining[best] = false
+		numRemaining--
+	}
+	if alloc.Stop == StopAllSatisfied && alloc.Value < alloc.DualBound {
+		alloc.DualBound = alloc.Value
+	}
+	return alloc, nil
+}
+
+// GreedyByValue selects requests by value (descending, index ties) while
+// their bundles fit: the classic baseline.
+func GreedyByValue(inst *Instance) (*Allocation, error) {
+	return greedyBy(inst, func(r Request) float64 { return r.Value })
+}
+
+// GreedyByValuePerItem selects by value density v/|U| (descending).
+func GreedyByValuePerItem(inst *Instance) (*Allocation, error) {
+	return greedyBy(inst, func(r Request) float64 { return r.Value / float64(len(r.Bundle)) })
+}
+
+func greedyBy(inst *Instance, key func(Request) float64) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(inst.Requests))
+	for i := range order {
+		order[i] = i
+	}
+	keys := make([]float64, len(order))
+	for i, r := range inst.Requests {
+		keys[i] = key(r)
+	}
+	sortByDesc(order, keys)
+	load := make([]float64, inst.NumItems())
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	for _, i := range order {
+		ok := true
+		for _, u := range inst.Requests[i].Bundle {
+			if load[u]+1 > inst.Multiplicity[u]+1e-9 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, u := range inst.Requests[i].Bundle {
+			load[u]++
+		}
+		alloc.Selected = append(alloc.Selected, i)
+		alloc.Value += inst.Requests[i].Value
+		alloc.Iterations++
+	}
+	alloc.Stop = StopAllSatisfied
+	if len(alloc.Selected) < len(inst.Requests) {
+		alloc.Stop = StopNothingFits
+	}
+	return alloc, nil
+}
+
+func sortByDesc(order []int, keys []float64) {
+	// Stable insertion sort by descending key, index ascending on ties;
+	// sizes here are small and determinism matters more than asymptotics.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if keys[a] > keys[b] || (keys[a] == keys[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+}
+
+// SequentialPrimalDual processes requests once in input order with
+// Bounded-MUCA's prices, admitting a request iff its bundle fits the
+// residual multiplicities and its price Σ_{u∈U_r} y_u is at most its
+// value — the auction analog of the sequential UFP baseline.
+func SequentialPrimalDual(inst *Instance, eps float64) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	b := inst.B()
+	if eps*b > maxSafeExponent {
+		return nil, fmt.Errorf("auction: ε·B = %g would overflow", eps*b)
+	}
+	load := make([]float64, inst.NumItems())
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	for i, r := range inst.Requests {
+		price := 0.0
+		fits := true
+		for _, u := range r.Bundle {
+			c := inst.Multiplicity[u]
+			if load[u]+1 > c+1e-9 {
+				fits = false
+				break
+			}
+			price += math.Exp(eps*b*load[u]/c) / c
+		}
+		if !fits || price > r.Value {
+			continue
+		}
+		for _, u := range r.Bundle {
+			load[u]++
+		}
+		alloc.Selected = append(alloc.Selected, i)
+		alloc.Value += r.Value
+		alloc.Iterations++
+	}
+	alloc.Stop = StopAllSatisfied
+	if len(alloc.Selected) < len(inst.Requests) {
+		alloc.Stop = StopNothingFits
+	}
+	return alloc, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"truthfulufp/internal/pathfind"
+)
+
+// SequentialPrimalDual processes requests in input order in a single
+// pass, maintaining the same exponential prices y_e = (1/c_e)e^{εB·f_e/c_e}
+// as Bounded-UFP, and admits a request iff its cheapest path both fits
+// the residual capacities and has price at most its value:
+// d_r·Σ_{e∈p} y_e <= v_r.
+//
+// This is our reconstruction of the sequential/"fixed-order" primal-dual
+// style of the prior-art ≈e mechanisms (Briest, Krysta, Vöcking): it uses
+// identical price dynamics but lacks Bounded-UFP's global
+// most-violated-constraint selection, the structural difference the paper
+// credits for the improvement from e to e/(e-1). Like Bounded-UFP it is
+// monotone in each request's (demand, value) — lowering d or raising v
+// only helps the admission test, and earlier requests are unaffected — so
+// it supports critical-value payments too.
+func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	b := inst.B()
+	if err := checkExponentRange(eps, b); err != nil {
+		return nil, err
+	}
+	g := inst.G
+	flow := make([]float64, g.NumEdges())
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	for i, r := range inst.Requests {
+		weight := func(e int) float64 {
+			c := g.Edge(e).Capacity
+			if flow[e]+r.Demand > c+feasTol {
+				return math.Inf(1)
+			}
+			return math.Exp(eps*b*flow[e]/c) / c
+		}
+		tree := pathfind.Dijkstra(g, r.Source, weight)
+		dist := tree.Dist[r.Target]
+		if math.IsInf(dist, 1) {
+			continue
+		}
+		if r.Demand*dist > r.Value {
+			continue // price exceeds value: reject
+		}
+		path, _ := tree.PathTo(r.Target)
+		for _, e := range path {
+			flow[e] += r.Demand
+		}
+		alloc.Routed = append(alloc.Routed, Routed{Request: i, Path: path})
+		alloc.Value += r.Value
+		alloc.Iterations++
+	}
+	alloc.Stop = StopAllSatisfied
+	if len(alloc.Routed) < len(inst.Requests) {
+		alloc.Stop = StopNoRoutablePath
+	}
+	return alloc, nil
+}
+
+// GreedyByDensity sorts requests by value density v_r/d_r (descending,
+// ties by index) and routes each along a fewest-hops residual-feasible
+// path. It is the classic combinatorial baseline: simple, feasible, and
+// neither monotone-by-design nor constant-factor in general.
+func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	g := inst.G
+	order := make([]int, len(inst.Requests))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := inst.Requests[order[a]], inst.Requests[order[b]]
+		da, db := ra.Value/ra.Demand, rb.Value/rb.Demand
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	flow := make([]float64, g.NumEdges())
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	for _, i := range order {
+		r := inst.Requests[i]
+		weight := func(e int) float64 {
+			if flow[e]+r.Demand > g.Edge(e).Capacity+feasTol {
+				return math.Inf(1)
+			}
+			return 1
+		}
+		tree := pathfind.Dijkstra(g, r.Source, weight)
+		if math.IsInf(tree.Dist[r.Target], 1) {
+			continue
+		}
+		path, _ := tree.PathTo(r.Target)
+		for _, e := range path {
+			flow[e] += r.Demand
+		}
+		alloc.Routed = append(alloc.Routed, Routed{Request: i, Path: path})
+		alloc.Value += r.Value
+		alloc.Iterations++
+	}
+	alloc.Stop = StopAllSatisfied
+	if len(alloc.Routed) < len(inst.Requests) {
+		alloc.Stop = StopNoRoutablePath
+	}
+	return alloc, nil
+}

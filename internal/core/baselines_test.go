@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/workload"
+)
+
+func TestSequentialPrimalDualAdmitsAffordable(t *testing.T) {
+	// Fresh prices on a capacity-20 edge are 1/20; a unit-demand request
+	// with value 1 passes the price test easily.
+	inst := singleEdge(20, [2]float64{1, 1}, [2]float64{1, 1})
+	a := mustSolve(t, func() (*core.Allocation, error) { return core.SequentialPrimalDual(inst, 0.3, nil) })
+	checkFeasible(t, inst, a, false)
+	if len(a.Routed) != 2 {
+		t.Fatalf("admitted %d, want 2", len(a.Routed))
+	}
+}
+
+func TestSequentialPrimalDualRejectsOverpriced(t *testing.T) {
+	// Value below the fresh path price d·y = 1/2: rejected.
+	inst := singleEdge(2, [2]float64{1, 0.4})
+	a := mustSolve(t, func() (*core.Allocation, error) { return core.SequentialPrimalDual(inst, 0.3, nil) })
+	if len(a.Routed) != 0 {
+		t.Fatalf("admitted an overpriced request")
+	}
+}
+
+func TestSequentialPrimalDualOrderDependence(t *testing.T) {
+	// Input order matters: with contention the first request wins even if
+	// the second is more valuable — the structural weakness versus
+	// Bounded-UFP's global selection.
+	lowFirst := singleEdge(1, [2]float64{1, 1.2}, [2]float64{1, 5})
+	a := mustSolve(t, func() (*core.Allocation, error) { return core.SequentialPrimalDual(lowFirst, 0.3, nil) })
+	if len(a.Routed) != 1 || a.Routed[0].Request != 0 {
+		t.Fatalf("expected first-come admission, got %+v", a.Routed)
+	}
+	ufp := mustSolve(t, func() (*core.Allocation, error) { return core.BoundedUFP(lowFirst, 0.3, nil) })
+	if ufp.Value <= a.Value {
+		t.Fatalf("Bounded-UFP (%g) should beat sequential (%g) here", ufp.Value, a.Value)
+	}
+}
+
+func TestSequentialPrimalDualMonotone(t *testing.T) {
+	cfg := workload.DefaultUFPConfig()
+	cfg.Requests = 20
+	cfg.B = 6
+	rng := workload.NewRNG(123)
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := randomInstance(t, seed+60, cfg)
+		base := mustSolve(t, func() (*core.Allocation, error) { return core.SequentialPrimalDual(inst, 0.25, nil) })
+		sel := base.Selected(len(inst.Requests))
+		for trial := 0; trial < 10; trial++ {
+			r := rng.IntN(len(inst.Requests))
+			mod := inst.Clone()
+			if sel[r] {
+				mod.Requests[r].Demand *= 0.5 + 0.5*rng.Float64()
+				mod.Requests[r].Value *= 1 + rng.Float64()
+			} else {
+				mod.Requests[r].Demand = math.Min(1, mod.Requests[r].Demand*(1+rng.Float64()))
+				mod.Requests[r].Value *= 0.5
+			}
+			got := mustSolve(t, func() (*core.Allocation, error) { return core.SequentialPrimalDual(mod, 0.25, nil) })
+			gotSel := got.Selected(len(mod.Requests))
+			if sel[r] && !gotSel[r] {
+				t.Fatalf("seed %d: sequential baseline not monotone (improvement dropped request %d)", seed, r)
+			}
+			if !sel[r] && gotSel[r] {
+				t.Fatalf("seed %d: sequential baseline not monotone (worsening admitted request %d)", seed, r)
+			}
+		}
+	}
+}
+
+func TestGreedyByDensityOrdersByDensity(t *testing.T) {
+	// Capacity 1: only one fits; greedy takes the densest (v/d).
+	inst := singleEdge(1, [2]float64{1, 1}, [2]float64{0.5, 0.9}) // densities 1 vs 1.8
+	a := mustSolve(t, func() (*core.Allocation, error) { return core.GreedyByDensity(inst, nil) })
+	if len(a.Routed) != 1 || a.Routed[0].Request != 1 {
+		t.Fatalf("greedy routed %+v, want request 1", a.Routed)
+	}
+}
+
+func TestGreedyByDensityFeasible(t *testing.T) {
+	cfg := workload.DefaultUFPConfig()
+	cfg.B = 4
+	cfg.Requests = 40
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := randomInstance(t, seed+80, cfg)
+		a := mustSolve(t, func() (*core.Allocation, error) { return core.GreedyByDensity(inst, nil) })
+		checkFeasible(t, inst, a, false)
+	}
+}
+
+func TestBaselinesNeverExceedExactOPT(t *testing.T) {
+	cfg := workload.UFPConfig{
+		Vertices: 6, Edges: 10, Requests: 7, Directed: true,
+		B: 2, CapSpread: 0.3,
+		DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := randomInstance(t, seed+200, cfg)
+		opt, err := core.ExactOPT(inst, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*core.Allocation, error){
+			"sequential": func() (*core.Allocation, error) { return core.SequentialPrimalDual(inst, 0.3, nil) },
+			"greedy":     func() (*core.Allocation, error) { return core.GreedyByDensity(inst, nil) },
+			"bounded":    func() (*core.Allocation, error) { return core.BoundedUFP(inst, 0.3, nil) },
+		} {
+			a := mustSolve(t, run)
+			checkFeasible(t, inst, a, false)
+			if a.Value > opt.Value+1e-6 {
+				t.Fatalf("seed %d: %s value %g exceeds OPT %g", seed, name, a.Value, opt.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"truthfulufp/internal/pathfind"
+)
+
+// Candidate is one request's best path in the current iteration, as seen
+// by the selection step: Ratio is the paper's normalized length
+// (d_r/v_r)·|p_r|. Tie-break rules compare candidates with equal ratios.
+type Candidate struct {
+	Request int
+	Ratio   float64
+	Path    []int
+}
+
+// TieBreak orders candidates whose ratios are (numerically) tied; it
+// returns true if a should be preferred over b. The default prefers the
+// smaller request index, which keeps the algorithm deterministic.
+type TieBreak func(a, b Candidate) bool
+
+// Options configure the primal-dual solvers. The zero value is ready to
+// use.
+type Options struct {
+	// Workers bounds the number of goroutines used for per-iteration
+	// shortest-path computations; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// TieBreak overrides the default tie-breaking between candidates with
+	// equal ratios. It never sees candidates with different ratios.
+	TieBreak TieBreak
+	// MaxIterations caps the main loop (0 = unlimited). Useful for the
+	// repetitions variant whose iteration count is pseudo-polynomial.
+	MaxIterations int
+	// OnIteration, if non-nil, observes each iteration after selection:
+	// the iteration index (from 0), the selected candidate, and the dual
+	// value Σ c_e·y_e before the price update.
+	OnIteration func(iter int, chosen Candidate, dualBefore float64)
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o *Options) tieBreak() TieBreak {
+	if o == nil || o.TieBreak == nil {
+		return func(a, b Candidate) bool { return a.Request < b.Request }
+	}
+	return o.TieBreak
+}
+
+// ratioTolerance treats ratios within a relative 1e-12 as tied, so that
+// tie-break rules (and hence the lower-bound constructions) behave
+// identically across floating-point noise.
+const ratioTolerance = 1e-12
+
+func ratiosTied(a, b float64) bool {
+	return math.Abs(a-b) <= ratioTolerance*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// BoundedUFP runs Algorithm 1 (Bounded-UFP) with accuracy parameter eps.
+//
+// It maintains dual prices y_e (initially 1/c_e), and while requests
+// remain and Σ_e c_e·y_e <= e^{ε(B-1)}, repeatedly routes the request
+// minimizing (d_r/v_r)·(shortest-path length under y), multiplying the
+// prices along the chosen path by e^{εB·d/c_e}.
+//
+// Per Theorem 3.1, calling BoundedUFP with eps = ε/6 on an instance with
+// B >= ln(m)/ε² yields a feasible ((1+ε)·e/(e-1))-approximate solution,
+// and the selection is monotone and exact in every request's (demand,
+// value), so critical-value payments make it truthful. Use SolveUFP for
+// the ε/6 calling convention.
+//
+// The returned allocation carries a certified DualBound: by Claim 3.6,
+// scaling y by 1/α(i) is dual feasible, so min over iterations of
+// D1(i)/α(i) + P(i) upper-bounds the fractional optimum.
+func BoundedUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return boundedUFPLoop(inst, eps, opt, false)
+}
+
+// SolveUFP is the Theorem 3.1 calling convention: BoundedUFP(ε/6), which
+// guarantees a ((1+ε)·e/(e-1))-approximation for B >= ln(m)/ε²-bounded
+// instances.
+func SolveUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	return BoundedUFP(inst, eps/6, opt)
+}
+
+// BoundedUFPRepeat runs Algorithm 3 (Bounded-UFP-Repeat) with accuracy
+// parameter eps: identical price dynamics, but requests stay in the pool
+// after selection and may be routed repeatedly. Per Theorem 5.1, eps =
+// ε/6 yields a (1+ε)-approximation for B >= ln(m)/ε²-bounded instances;
+// the iteration count is bounded by m·c_max/d_min.
+func BoundedUFPRepeat(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return boundedUFPLoop(inst, eps, opt, true)
+}
+
+// SolveUFPRepeat is the Theorem 5.1 calling convention:
+// BoundedUFPRepeat(ε/6).
+func SolveUFPRepeat(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	return BoundedUFPRepeat(inst, eps/6, opt)
+}
+
+func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	b := inst.B()
+	if len(inst.Requests) == 0 {
+		return &Allocation{Stop: StopAllSatisfied, DualBound: 0}, nil
+	}
+	if err := checkExponentRange(eps, b); err != nil {
+		return nil, err
+	}
+	g := inst.G
+	m := g.NumEdges()
+	y := make([]float64, m)
+	dualSum := 0.0 // Σ_e c_e·y_e, the quantity D1(i)
+	for e := 0; e < m; e++ {
+		y[e] = 1 / g.Edge(e).Capacity
+		dualSum++
+	}
+	threshold := math.Exp(eps * (b - 1))
+	remaining := make([]bool, len(inst.Requests))
+	numRemaining := len(inst.Requests)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	tie := opt.tieBreak()
+	sp := newShortestPaths(inst, opt.workers())
+	for {
+		if !repeat && numRemaining == 0 {
+			alloc.Stop = StopAllSatisfied
+			break
+		}
+		if dualSum > threshold {
+			alloc.Stop = StopDualThreshold
+			break
+		}
+		if opt != nil && opt.MaxIterations > 0 && alloc.Iterations >= opt.MaxIterations {
+			alloc.Stop = StopIterationLimit
+			break
+		}
+		best, ok := sp.bestCandidate(remaining, y, tie)
+		if !ok {
+			alloc.Stop = StopNoRoutablePath
+			break
+		}
+		// Dual-fitting bound (Claim 3.6): (y/α, z) is dual feasible, with
+		// value D1/α + P where P is the value routed so far.
+		if bound := dualSum/best.Ratio + alloc.Value; bound < alloc.DualBound {
+			alloc.DualBound = bound
+		}
+		if opt != nil && opt.OnIteration != nil {
+			opt.OnIteration(alloc.Iterations, best, dualSum)
+		}
+		r := inst.Requests[best.Request]
+		for _, e := range best.Path {
+			c := g.Edge(e).Capacity
+			old := y[e]
+			y[e] = old * math.Exp(eps*b*r.Demand/c)
+			dualSum += c * (y[e] - old)
+		}
+		alloc.Routed = append(alloc.Routed, Routed{Request: best.Request, Path: best.Path})
+		alloc.Value += r.Value
+		alloc.Iterations++
+		if !repeat {
+			remaining[best.Request] = false
+			numRemaining--
+		}
+	}
+	// One more dual-fitting sample after the loop: the final prices with
+	// the final α still certify a bound (and are the only sample if the
+	// loop exited immediately).
+	if alloc.Stop == StopDualThreshold {
+		if best, ok := sp.bestCandidate(remaining, y, tie); ok {
+			if bound := dualSum/best.Ratio + alloc.Value; bound < alloc.DualBound {
+				alloc.DualBound = bound
+			}
+		}
+	}
+	if alloc.Stop == StopAllSatisfied && alloc.Value < alloc.DualBound {
+		// Every request was satisfied, so the fractional optimum is at
+		// most the total value, which the allocation attains: optimal.
+		alloc.DualBound = alloc.Value
+	}
+	return alloc, nil
+}
+
+// shortestPaths computes, per iteration, the best candidate over all
+// remaining requests. Requests are grouped by source vertex so one
+// Dijkstra serves every remaining request sharing that source; distinct
+// sources run in parallel across a bounded worker pool, and the reduction
+// is deterministic (request-index order with explicit tie-breaking).
+type shortestPaths struct {
+	inst      *Instance
+	workers   int
+	bySource  map[int][]int // source vertex -> request indices
+	sources   []int
+	treeSpace []*pathfind.Tree // per-source scratch, index-aligned with sources
+	srcIndex  map[int]int
+}
+
+func newShortestPaths(inst *Instance, workers int) *shortestPaths {
+	sp := &shortestPaths{
+		inst:     inst,
+		workers:  workers,
+		bySource: make(map[int][]int),
+		srcIndex: make(map[int]int),
+	}
+	for i, r := range inst.Requests {
+		sp.bySource[r.Source] = append(sp.bySource[r.Source], i)
+	}
+	for s := 0; s < inst.G.NumVertices(); s++ {
+		if _, ok := sp.bySource[s]; ok {
+			sp.srcIndex[s] = len(sp.sources)
+			sp.sources = append(sp.sources, s)
+		}
+	}
+	sp.treeSpace = make([]*pathfind.Tree, len(sp.sources))
+	return sp
+}
+
+// bestCandidate runs the per-iteration path search: Dijkstra from every
+// source that still has remaining requests, then a deterministic argmin
+// of (d/v)·dist over remaining requests.
+func (sp *shortestPaths) bestCandidate(remaining []bool, y []float64, tie TieBreak) (Candidate, bool) {
+	// Collect active sources.
+	active := sp.activeSources(remaining)
+	if len(active) == 0 {
+		return Candidate{}, false
+	}
+	weight := pathfind.FromSlice(y)
+	if len(active) == 1 || sp.workers <= 1 {
+		for _, si := range active {
+			sp.treeSpace[si] = pathfind.Dijkstra(sp.inst.G, sp.sources[si], weight)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		nw := sp.workers
+		if nw > len(active) {
+			nw = len(active)
+		}
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range work {
+					sp.treeSpace[si] = pathfind.Dijkstra(sp.inst.G, sp.sources[si], weight)
+				}
+			}()
+		}
+		for _, si := range active {
+			work <- si
+		}
+		close(work)
+		wg.Wait()
+	}
+	best := Candidate{Request: -1, Ratio: math.Inf(1)}
+	for i, r := range sp.inst.Requests {
+		if !remaining[i] {
+			continue
+		}
+		tree := sp.treeSpace[sp.srcIndex[r.Source]]
+		dist := tree.Dist[r.Target]
+		if math.IsInf(dist, 1) {
+			continue
+		}
+		ratio := r.Demand / r.Value * dist
+		cand := Candidate{Request: i, Ratio: ratio}
+		switch {
+		case best.Request < 0 || ratio < best.Ratio && !ratiosTied(ratio, best.Ratio):
+			cand.Path, _ = tree.PathTo(r.Target)
+			best = cand
+		case ratiosTied(ratio, best.Ratio):
+			cand.Path, _ = tree.PathTo(r.Target)
+			if tie(cand, best) {
+				best = cand
+			}
+		}
+	}
+	if best.Request < 0 {
+		return Candidate{}, false
+	}
+	return best, true
+}
+
+func (sp *shortestPaths) activeSources(remaining []bool) []int {
+	seen := make([]bool, len(sp.sources))
+	var active []int
+	for i, r := range sp.inst.Requests {
+		if !remaining[i] {
+			continue
+		}
+		si := sp.srcIndex[r.Source]
+		if !seen[si] {
+			seen[si] = true
+			active = append(active, si)
+		}
+	}
+	return active
+}

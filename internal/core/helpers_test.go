@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/workload"
+)
+
+// singleEdge builds a one-edge instance 0 -> 1 with the given capacity
+// and the given (demand, value) requests all wanting that edge.
+func singleEdge(capacity float64, dv ...[2]float64) *core.Instance {
+	g := graph.New(2)
+	g.AddEdge(0, 1, capacity)
+	inst := &core.Instance{G: g}
+	for _, p := range dv {
+		inst.Requests = append(inst.Requests, core.Request{Source: 0, Target: 1, Demand: p[0], Value: p[1]})
+	}
+	return inst
+}
+
+// diamondInstance builds the 4-vertex diamond (two disjoint 0->3 paths)
+// with uniform capacity and the given 0->3 requests.
+func diamondInstance(capacity float64, dv ...[2]float64) *core.Instance {
+	g := graph.New(4)
+	g.AddEdge(0, 1, capacity) // e0
+	g.AddEdge(1, 3, capacity) // e1
+	g.AddEdge(0, 2, capacity) // e2
+	g.AddEdge(2, 3, capacity) // e3
+	inst := &core.Instance{G: g}
+	for _, p := range dv {
+		inst.Requests = append(inst.Requests, core.Request{Source: 0, Target: 3, Demand: p[0], Value: p[1]})
+	}
+	return inst
+}
+
+// randomInstance draws a contended random instance: total demand well
+// above single-edge capacity so selection is non-trivial.
+func randomInstance(t *testing.T, seed uint64, cfg workload.UFPConfig) *core.Instance {
+	t.Helper()
+	inst, err := workload.RandomUFP(workload.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatalf("RandomUFP: %v", err)
+	}
+	return inst
+}
+
+func mustSolve(t *testing.T, f func() (*core.Allocation, error)) *core.Allocation {
+	t.Helper()
+	a, err := f()
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return a
+}
+
+func checkFeasible(t *testing.T, inst *core.Instance, a *core.Allocation, repeat bool) {
+	t.Helper()
+	if err := a.CheckFeasible(inst, repeat); err != nil {
+		t.Fatalf("infeasible allocation: %v", err)
+	}
+}
+
+// requestSeq extracts the selected request IDs in selection order.
+func requestSeq(a *core.Allocation) []int {
+	out := make([]int, len(a.Routed))
+	for i, p := range a.Routed {
+		out[i] = p.Request
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

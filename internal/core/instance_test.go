@@ -1,0 +1,167 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+)
+
+func TestNormalizedScalesDemandsAndCapacities(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 100)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 1, Demand: 20, Value: 3},
+		{Source: 0, Target: 1, Demand: 5, Value: 1},
+	}}
+	norm, scale := inst.Normalized()
+	if scale != 20 {
+		t.Fatalf("scale = %g, want 20", scale)
+	}
+	if norm.Requests[0].Demand != 1 || norm.Requests[1].Demand != 0.25 {
+		t.Fatalf("demands = %v", norm.Requests)
+	}
+	if norm.G.Edge(0).Capacity != 5 {
+		t.Fatalf("capacity = %g, want 5", norm.G.Edge(0).Capacity)
+	}
+	if norm.Requests[0].Value != 3 {
+		t.Fatal("values must be untouched by normalization")
+	}
+	if err := norm.Validate(); err != nil {
+		t.Fatalf("normalized instance invalid: %v", err)
+	}
+	// The original instance is untouched.
+	if inst.Requests[0].Demand != 20 || inst.G.Edge(0).Capacity != 100 {
+		t.Fatal("Normalized mutated its receiver")
+	}
+}
+
+func TestNormalizedEmptyRequests(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 7)
+	norm, scale := (&core.Instance{G: g}).Normalized()
+	if scale != 1 || norm.G.Edge(0).Capacity != 7 {
+		t.Fatalf("empty normalization wrong: scale %g cap %g", scale, norm.G.Edge(0).Capacity)
+	}
+}
+
+func TestNormalizedThenSolveEquivalence(t *testing.T) {
+	// Solving a normalized instance must select the same request set as
+	// the manually scaled instance — normalization is just units.
+	g := graph.New(2)
+	g.AddEdge(0, 1, 12)
+	raw := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 1, Demand: 4, Value: 3},
+		{Source: 0, Target: 1, Demand: 4, Value: 5},
+		{Source: 0, Target: 1, Demand: 4, Value: 1},
+		{Source: 0, Target: 1, Demand: 2, Value: 2},
+	}}
+	norm, _ := raw.Normalized()
+	a, err := core.BoundedUFP(norm, 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, norm, a, false)
+	if a.Value <= 0 {
+		t.Fatal("nothing routed after normalization")
+	}
+}
+
+func TestBoundedUFPUndirectedSharedCapacity(t *testing.T) {
+	// One undirected capacity-1 edge with opposing unit requests: only
+	// one can be routed, whichever direction.
+	g := graph.NewUndirected(2)
+	g.AddEdge(0, 1, 1)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 1, Demand: 1, Value: 1},
+		{Source: 1, Target: 0, Demand: 1, Value: 2},
+	}}
+	a, err := core.BoundedUFP(inst, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, inst, a, false)
+	if len(a.Routed) != 1 || a.Routed[0].Request != 1 {
+		t.Fatalf("routed %+v, want only request 1 (higher value)", a.Routed)
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[core.StopReason]string{
+		core.StopAllSatisfied:   "all-satisfied",
+		core.StopDualThreshold:  "dual-threshold",
+		core.StopNoRoutablePath: "no-routable-path",
+		core.StopIterationLimit: "iteration-limit",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if core.StopReason(77).String() == "" {
+		t.Error("unknown stop reason should still format")
+	}
+}
+
+func TestAllocationSelectedAndLoads(t *testing.T) {
+	inst := diamondInstance(10, [2]float64{1, 1}, [2]float64{0.5, 2})
+	a := mustSolve(t, func() (*core.Allocation, error) { return core.BoundedUFP(inst, 0.5, nil) })
+	sel := a.Selected(len(inst.Requests))
+	if !sel[0] || !sel[1] {
+		t.Fatalf("both requests should be selected: %v", sel)
+	}
+	loads := a.EdgeLoads(inst)
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	// Each request uses a 2-edge path: total load = 2*(1 + 0.5).
+	if math.Abs(total-3) > 1e-9 {
+		t.Fatalf("total load = %g, want 3", total)
+	}
+}
+
+func TestCheckFeasibleRejectsBadAllocations(t *testing.T) {
+	inst := diamondInstance(1, [2]float64{1, 1}, [2]float64{1, 1})
+	// Overloaded edge: both requests on the same path.
+	bad := &core.Allocation{
+		Routed: []core.Routed{
+			{Request: 0, Path: []int{0, 1}},
+			{Request: 1, Path: []int{0, 1}},
+		},
+		Value: 2,
+	}
+	if bad.CheckFeasible(inst, false) == nil {
+		t.Error("overload accepted")
+	}
+	// Wrong path endpoints.
+	wrong := &core.Allocation{Routed: []core.Routed{{Request: 0, Path: []int{0}}}, Value: 1}
+	if wrong.CheckFeasible(inst, false) == nil {
+		t.Error("non-terminating path accepted")
+	}
+	// Repeated request without repetitions flag.
+	dup := &core.Allocation{
+		Routed: []core.Routed{
+			{Request: 0, Path: []int{0, 1}},
+			{Request: 0, Path: []int{2, 3}},
+		},
+		Value: 2,
+	}
+	if dup.CheckFeasible(inst, false) == nil {
+		t.Error("duplicate request accepted without repetitions")
+	}
+	if err := dup.CheckFeasible(inst, true); err != nil {
+		t.Errorf("repetitions flag should allow duplicates: %v", err)
+	}
+	// Misreported value.
+	lied := &core.Allocation{Routed: []core.Routed{{Request: 0, Path: []int{0, 1}}}, Value: 42}
+	if lied.CheckFeasible(inst, false) == nil {
+		t.Error("wrong reported value accepted")
+	}
+	// Out-of-range request index.
+	oob := &core.Allocation{Routed: []core.Routed{{Request: 9, Path: []int{0, 1}}}}
+	if oob.CheckFeasible(inst, false) == nil {
+		t.Error("out-of-range request accepted")
+	}
+}

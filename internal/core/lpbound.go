@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"truthfulufp/internal/ilp"
+	"truthfulufp/internal/lp"
+	"truthfulufp/internal/pathfind"
+)
+
+// WeightedPath is one path of a fractional flow decomposition, carrying
+// the fraction of the request's demand routed along it.
+type WeightedPath struct {
+	Path     []int
+	Fraction float64
+}
+
+// FracSolution is an optimal solution of the multicommodity relaxation
+// (the LP of Figure 1, or Figure 5 without the per-request cap).
+type FracSolution struct {
+	Objective float64
+	// X[r] is the satisfied fraction of request r (in [0,1] for the
+	// capped LP).
+	X []float64
+	// Decomposition[r] holds a path decomposition of request r's flow;
+	// fractions sum to ~X[r] (cycles in the LP solution carry no value
+	// and are dropped).
+	Decomposition [][]WeightedPath
+}
+
+// FractionalUFP solves the fractional relaxation of the instance exactly
+// with the simplex solver, using an arc-based formulation (per-request
+// edge flows plus a satisfaction variable). With capped=true requests are
+// capped at one copy (Figure 1's relaxation); with capped=false
+// repetitions are allowed (Figure 5's relaxation). The LP has about
+// |R|·m flow variables, so this is intended for small instances; larger
+// experiments use the primal-dual DualBound instead.
+func FractionalUFP(inst *Instance, capped bool) (*FracSolution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	g := inst.G
+	m := g.NumEdges()
+	nR := len(inst.Requests)
+	if nR == 0 {
+		return &FracSolution{}, nil
+	}
+	// Arc layout: directed graphs use one flow variable per (request,
+	// edge); undirected graphs use two (one per direction), sharing the
+	// edge capacity.
+	dirs := 1
+	if !g.Directed() {
+		dirs = 2
+	}
+	fvar := func(r, e, dir int) int { return r*m*dirs + e*dirs + dir }
+	xvar := func(r int) int { return nR*m*dirs + r }
+	numVars := nR*m*dirs + nR
+	prob := lp.NewMaximize(numVars)
+	for r, req := range inst.Requests {
+		prob.SetObjectiveCoeff(xvar(r), req.Value)
+	}
+	// Capacity rows: sum over requests and directions of flow on e <= c_e.
+	for e := 0; e < m; e++ {
+		idx := make([]int, 0, nR*dirs)
+		val := make([]float64, 0, nR*dirs)
+		for r := 0; r < nR; r++ {
+			for dir := 0; dir < dirs; dir++ {
+				idx = append(idx, fvar(r, e, dir))
+				val = append(val, 1)
+			}
+		}
+		prob.AddSparse(idx, val, lp.LE, g.Edge(e).Capacity)
+	}
+	// Conservation rows: for each request r and vertex v != target,
+	// outflow - inflow = d_r*x_r at the source and 0 elsewhere.
+	for r, req := range inst.Requests {
+		for v := 0; v < g.NumVertices(); v++ {
+			if v == req.Target {
+				continue // redundant row
+			}
+			coef := map[int]float64{}
+			for e := 0; e < m; e++ {
+				ed := g.Edge(e)
+				// Direction 0: From -> To; direction 1 (undirected only):
+				// To -> From.
+				if ed.From == v {
+					coef[fvar(r, e, 0)] += 1
+					if dirs == 2 {
+						coef[fvar(r, e, 1)] -= 1
+					}
+				}
+				if ed.To == v {
+					coef[fvar(r, e, 0)] -= 1
+					if dirs == 2 {
+						coef[fvar(r, e, 1)] += 1
+					}
+				}
+			}
+			if v == req.Source {
+				coef[xvar(r)] = -req.Demand
+			}
+			idx := make([]int, 0, len(coef))
+			for j := range coef {
+				idx = append(idx, j)
+			}
+			// Deterministic row construction.
+			sortInts(idx)
+			val := make([]float64, len(idx))
+			for k, j := range idx {
+				val[k] = coef[j]
+			}
+			prob.AddSparse(idx, val, lp.EQ, 0)
+		}
+		if capped {
+			prob.AddSparse([]int{xvar(r)}, []float64{1}, lp.LE, 1)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: fractional LP not optimal: %v", sol.Status)
+	}
+	fs := &FracSolution{
+		Objective:     sol.Objective,
+		X:             make([]float64, nR),
+		Decomposition: make([][]WeightedPath, nR),
+	}
+	for r, req := range inst.Requests {
+		fs.X[r] = sol.X[xvar(r)]
+		// Extract per-arc flow and strip paths.
+		arcFlow := make(map[[2]int]float64) // (edge, dir) -> flow
+		for e := 0; e < m; e++ {
+			for dir := 0; dir < dirs; dir++ {
+				if f := sol.X[fvar(r, e, dir)]; f > 1e-9 {
+					arcFlow[[2]int{e, dir}] = f
+				}
+			}
+		}
+		fs.Decomposition[r] = stripPaths(inst, req, arcFlow)
+	}
+	return fs, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// stripPaths decomposes a request's arc flow into simple source-target
+// paths by repeatedly following positive-flow arcs. Flow stuck in cycles
+// carries no objective value and is discarded.
+func stripPaths(inst *Instance, req Request, arcFlow map[[2]int]float64) []WeightedPath {
+	g := inst.G
+	var out []WeightedPath
+	const tol = 1e-9
+	for iter := 0; iter < 10000; iter++ {
+		// Walk from source following positive flow; stop at target or
+		// when stuck. Mark visited vertices to cut cycles.
+		v := req.Source
+		visited := map[int]bool{v: true}
+		var pathEdges []int
+		var pathArcs [][2]int
+		for v != req.Target {
+			advanced := false
+			for _, a := range g.OutArcs(v) {
+				dir := 0
+				if !g.Directed() && g.Edge(a.Edge).From != v {
+					dir = 1
+				}
+				key := [2]int{a.Edge, dir}
+				if arcFlow[key] > tol && !visited[a.To] {
+					pathEdges = append(pathEdges, a.Edge)
+					pathArcs = append(pathArcs, key)
+					v = a.To
+					visited[v] = true
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+		if v != req.Target || len(pathEdges) == 0 {
+			return out
+		}
+		// Route the bottleneck flow along the path.
+		f := math.Inf(1)
+		for _, key := range pathArcs {
+			if arcFlow[key] < f {
+				f = arcFlow[key]
+			}
+		}
+		for _, key := range pathArcs {
+			arcFlow[key] -= f
+		}
+		out = append(out, WeightedPath{Path: pathEdges, Fraction: f / req.Demand})
+	}
+	return out
+}
+
+// ExactResult is the output of ExactOPT.
+type ExactResult struct {
+	Value  float64
+	Routed []Routed
+	// Exact is true if the path enumeration was complete for every
+	// request, making Value the true integral optimum; otherwise Value is
+	// a lower bound.
+	Exact bool
+	Nodes int
+}
+
+// ExactOPT computes the exact integral optimum of a small instance by
+// enumerating up to pathLimit simple paths per request (0 = unlimited)
+// and solving the resulting 0/1 packing program by branch and bound. The
+// packing rows are the edge capacities plus one at-most-one-path row per
+// request — exactly the integer program of Figure 1.
+func ExactOPT(inst *Instance, pathLimit int) (*ExactResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	type col struct {
+		request int
+		path    []int
+	}
+	var cols []col
+	exact := true
+	for r, req := range inst.Requests {
+		paths := pathfind.SimplePaths(inst.G, req.Source, req.Target, pathLimit)
+		if pathLimit > 0 && len(paths) == pathLimit {
+			exact = false
+		}
+		for _, p := range paths {
+			cols = append(cols, col{r, p})
+		}
+	}
+	if len(cols) == 0 {
+		return &ExactResult{Exact: exact}, nil
+	}
+	pack := &ilp.Packing{Values: make([]float64, len(cols))}
+	edgeCols := make(map[int][]int)
+	reqCols := make(map[int][]int)
+	for j, c := range cols {
+		pack.Values[j] = inst.Requests[c.request].Value
+		reqCols[c.request] = append(reqCols[c.request], j)
+		for _, e := range c.path {
+			edgeCols[e] = append(edgeCols[e], j)
+		}
+	}
+	for e := 0; e < inst.G.NumEdges(); e++ {
+		js := edgeCols[e]
+		if len(js) == 0 {
+			continue
+		}
+		coef := make([]float64, len(js))
+		for k, j := range js {
+			coef[k] = inst.Requests[cols[j].request].Demand
+		}
+		pack.Rows = append(pack.Rows, ilp.Row{Idx: js, Coef: coef, Cap: inst.G.Edge(e).Capacity})
+	}
+	for r := 0; r < len(inst.Requests); r++ {
+		js := reqCols[r]
+		if len(js) <= 1 {
+			continue // a single path cannot be double-selected
+		}
+		coef := make([]float64, len(js))
+		for k := range coef {
+			coef[k] = 1
+		}
+		pack.Rows = append(pack.Rows, ilp.Row{Idx: js, Coef: coef, Cap: 1})
+	}
+	res, err := ilp.SolvePacking(pack, ilp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &ExactResult{Value: res.Value, Exact: exact && res.Proven, Nodes: res.Nodes}
+	for j, sel := range res.Selected {
+		if sel {
+			out.Routed = append(out.Routed, Routed{Request: cols[j].request, Path: cols[j].path})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/workload"
+)
+
+func TestFractionalUFPSingleEdgeContention(t *testing.T) {
+	// Capacity 1, unit demands, values 2 and 1: LP picks x = (1, 0).
+	inst := singleEdge(1, [2]float64{1, 2}, [2]float64{1, 1})
+	fs, err := core.FractionalUFP(inst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fs.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %g, want 2", fs.Objective)
+	}
+	if math.Abs(fs.X[0]-1) > 1e-6 || fs.X[1] > 1e-6 {
+		t.Fatalf("x = %v, want (1, 0)", fs.X)
+	}
+}
+
+func TestFractionalUFPSplitsAcrossPaths(t *testing.T) {
+	// Diamond with capacity 1 per edge and one demand-1 request per
+	// "slot": three requests can be fractionally packed to value 2 (two
+	// disjoint paths).
+	inst := diamondInstance(1, [2]float64{1, 1}, [2]float64{1, 1}, [2]float64{1, 1})
+	fs, err := core.FractionalUFP(inst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fs.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %g, want 2", fs.Objective)
+	}
+	// Decomposition fractions per request must sum to x_r.
+	for r := range inst.Requests {
+		sum := 0.0
+		for _, wp := range fs.Decomposition[r] {
+			sum += wp.Fraction
+		}
+		if math.Abs(sum-fs.X[r]) > 1e-6 {
+			t.Fatalf("request %d decomposition sums to %g, x = %g", r, sum, fs.X[r])
+		}
+	}
+	// Aggregated decomposition load must respect capacities.
+	load := make([]float64, inst.G.NumEdges())
+	for r, req := range inst.Requests {
+		for _, wp := range fs.Decomposition[r] {
+			for _, e := range wp.Path {
+				load[e] += wp.Fraction * req.Demand
+			}
+		}
+	}
+	for e, l := range load {
+		if l > inst.G.Edge(e).Capacity+1e-6 {
+			t.Fatalf("decomposition overloads edge %d: %g", e, l)
+		}
+	}
+}
+
+func TestFractionalUFPUndirectedSharedCapacity(t *testing.T) {
+	// One undirected edge of capacity 1 with opposing unit requests: they
+	// share the capacity, so the LP value is max(v0, v1) when both have
+	// demand 1... in fact x0 + x1 <= 1, so it is the larger value.
+	g := graph.NewUndirected(2)
+	g.AddEdge(0, 1, 1)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 1, Demand: 1, Value: 1},
+		{Source: 1, Target: 0, Demand: 1, Value: 3},
+	}}
+	fs, err := core.FractionalUFP(inst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fs.Objective-3) > 1e-6 {
+		t.Fatalf("objective = %g, want 3", fs.Objective)
+	}
+}
+
+func TestFractionalUFPUncappedAllowsRepetition(t *testing.T) {
+	// Figure 5's relaxation: without the x <= 1 cap a single request
+	// fills the whole edge.
+	inst := singleEdge(5, [2]float64{1, 1})
+	capped, err := core.FractionalUFP(inst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncapped, err := core.FractionalUFP(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(capped.Objective-1) > 1e-6 {
+		t.Fatalf("capped objective = %g, want 1", capped.Objective)
+	}
+	if math.Abs(uncapped.Objective-5) > 1e-6 {
+		t.Fatalf("uncapped objective = %g, want 5", uncapped.Objective)
+	}
+}
+
+func TestFractionalDominatesIntegralOPT(t *testing.T) {
+	cfg := workload.UFPConfig{
+		Vertices: 6, Edges: 10, Requests: 7, Directed: true,
+		B: 2, CapSpread: 0.5,
+		DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		inst := randomInstance(t, seed+300, cfg)
+		fs, err := core.FractionalUFP(inst, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.ExactOPT(inst, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Objective < opt.Value-1e-6 {
+			t.Fatalf("seed %d: fractional %g < integral %g", seed, fs.Objective, opt.Value)
+		}
+	}
+}
+
+func TestExactOPTDiamond(t *testing.T) {
+	// Capacity 1 per edge, three unit requests: two disjoint paths exist,
+	// so OPT takes the two highest values.
+	inst := diamondInstance(1, [2]float64{1, 3}, [2]float64{1, 2}, [2]float64{1, 1})
+	res, err := core.ExactOPT(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("enumeration should be complete on the diamond")
+	}
+	if res.Value != 5 {
+		t.Fatalf("OPT = %g, want 5", res.Value)
+	}
+	alloc := &core.Allocation{Routed: res.Routed, Value: res.Value}
+	checkFeasible(t, inst, alloc, false)
+}
+
+func TestExactOPTRespectsOnePathPerRequest(t *testing.T) {
+	// A single request cannot be counted twice even when two disjoint
+	// paths are available.
+	inst := diamondInstance(1, [2]float64{1, 1})
+	res, err := core.ExactOPT(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 || len(res.Routed) != 1 {
+		t.Fatalf("OPT = %g with %d paths, want 1 with 1", res.Value, len(res.Routed))
+	}
+}
+
+func TestExactOPTTruncationFlag(t *testing.T) {
+	g := graph.Complete(6, 1, true)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 5, Demand: 1, Value: 1},
+	}}
+	res, err := core.ExactOPT(inst, 3) // K6 has 65 simple 0->5 paths
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("truncated enumeration flagged as exact")
+	}
+}
+
+func TestExactOPTEmptyInstance(t *testing.T) {
+	inst := singleEdge(2)
+	res, err := core.ExactOPT(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 || !res.Exact {
+		t.Fatalf("empty OPT = %g exact=%v, want 0 exact", res.Value, res.Exact)
+	}
+}

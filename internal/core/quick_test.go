@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/workload"
+)
+
+// quickInstance derives a bounded random instance from quick-generated
+// primitives.
+func quickInstance(seed uint64, bRaw, rRaw uint8) *core.Instance {
+	cfg := workload.UFPConfig{
+		Vertices:  6 + int(bRaw%5),
+		Edges:     14 + int(rRaw%10),
+		Requests:  10 + int(rRaw%25),
+		Directed:  true,
+		B:         3 + float64(bRaw%28),
+		CapSpread: 0.4,
+		DemandMin: 0.2, DemandMax: 1,
+		ValueMin: 0.3, ValueMax: 2,
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(seed), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+func quickEps(eRaw uint8) float64 {
+	return 0.05 + float64(eRaw%20)*0.045 // in [0.05, 0.95]
+}
+
+// TestQuickBoundedUFPInvariants: for arbitrary instances and epsilons,
+// the allocation is feasible (Lemma 3.3), exact (each request at most
+// once, full demand), and the certified dual bound dominates the
+// achieved value.
+func TestQuickBoundedUFPInvariants(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw, eRaw uint8) bool {
+		inst := quickInstance(seed, bRaw, rRaw)
+		eps := quickEps(eRaw)
+		a, err := core.BoundedUFP(inst, eps, nil)
+		if err != nil {
+			return false
+		}
+		if a.CheckFeasible(inst, false) != nil {
+			return false
+		}
+		return a.DualBound >= a.Value-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRepeatInvariants: same invariants for the repetitions variant,
+// plus the Theorem 5.1 iteration bound m·c_max/d_min.
+func TestQuickRepeatInvariants(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw, eRaw uint8) bool {
+		inst := quickInstance(seed, bRaw%8, rRaw%8) // keep B small: iteration count is pseudo-polynomial
+		eps := 0.2 + float64(eRaw%8)*0.1
+		a, err := core.BoundedUFPRepeat(inst, eps, nil)
+		if err != nil {
+			return false
+		}
+		if a.CheckFeasible(inst, true) != nil {
+			return false
+		}
+		dMin := math.Inf(1)
+		for _, r := range inst.Requests {
+			dMin = math.Min(dMin, r.Demand)
+		}
+		bound := float64(inst.G.NumEdges()) * inst.G.MaxCapacity() / dMin
+		return float64(a.Iterations) <= bound+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMonotonicity: one random improvement/worsening probe per
+// generated instance — the quick-check form of Lemma 3.4.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw, pick uint8, improveDemand, improveValue bool) bool {
+		inst := quickInstance(seed, bRaw, rRaw)
+		const eps = 0.3
+		base, err := core.BoundedUFP(inst, eps, nil)
+		if err != nil {
+			return false
+		}
+		sel := base.Selected(len(inst.Requests))
+		r := int(pick) % len(inst.Requests)
+		mod := inst.Clone()
+		if sel[r] {
+			// Improve: lower demand and/or raise value.
+			if improveDemand {
+				mod.Requests[r].Demand *= 0.6
+			}
+			if improveValue {
+				mod.Requests[r].Value *= 1.7
+			}
+			got, err := core.BoundedUFP(mod, eps, nil)
+			if err != nil {
+				return false
+			}
+			return got.Selected(len(mod.Requests))[r]
+		}
+		// Worsen: raise demand and/or lower value.
+		if improveDemand {
+			mod.Requests[r].Demand = math.Min(1, mod.Requests[r].Demand*1.5)
+		}
+		if improveValue {
+			mod.Requests[r].Value *= 0.5
+		}
+		got, err := core.BoundedUFP(mod, eps, nil)
+		if err != nil {
+			return false
+		}
+		return !got.Selected(len(mod.Requests))[r]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBaselinesFeasible: the baselines never violate capacities
+// either, across arbitrary instances.
+func TestQuickBaselinesFeasible(t *testing.T) {
+	f := func(seed uint64, bRaw, rRaw uint8, useGreedy bool) bool {
+		inst := quickInstance(seed, bRaw, rRaw)
+		var a *core.Allocation
+		var err error
+		if useGreedy {
+			a, err = core.GreedyByDensity(inst, nil)
+		} else {
+			a, err = core.SequentialPrimalDual(inst, 0.3, nil)
+		}
+		if err != nil {
+			return false
+		}
+		return a.CheckFeasible(inst, false) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"truthfulufp/internal/pathfind"
+)
+
+// Group identifies requests that share a shortest-path computation: same
+// source vertex and same demand (the demand matters when candidate paths
+// are filtered by residual capacity).
+type Group struct {
+	Source int
+	Demand float64
+}
+
+// State is the engine state visible to priority rules. Flow is the
+// per-edge routed demand; prices are derived from it: routing flow f_e
+// on edge e under Bounded-UFP's update yields exactly y_e =
+// (1/c_e)·e^{εB·f_e/c_e}, so flow is the single source of truth.
+type State struct {
+	Inst         *Instance
+	Flow         []float64
+	Eps          float64
+	B            float64
+	FeasibleOnly bool    // restrict candidate paths to residual-feasible edges
+	ActiveGroups []Group // groups with remaining requests this iteration
+	Workers      int
+}
+
+const feasTol = 1e-9
+
+// ExpWeight is the paper's exponential price of an edge,
+// (1/c_e)·e^{εB·f_e/c_e}, with residual-capacity filtering for the given
+// demand when FeasibleOnly is set.
+func (st *State) ExpWeight(demand float64) pathfind.WeightFunc {
+	g := st.Inst.G
+	return func(e int) float64 {
+		c := g.Edge(e).Capacity
+		if st.FeasibleOnly && st.Flow[e]+demand > c+feasTol {
+			return math.Inf(1)
+		}
+		return math.Exp(st.Eps*st.B*st.Flow[e]/c) / c
+	}
+}
+
+// UnitWeight assigns every usable edge weight 1 (hop counting), with
+// residual filtering when FeasibleOnly is set.
+func (st *State) UnitWeight(demand float64) pathfind.WeightFunc {
+	g := st.Inst.G
+	return func(e int) float64 {
+		if st.FeasibleOnly && st.Flow[e]+demand > g.Edge(e).Capacity+feasTol {
+			return math.Inf(1)
+		}
+		return 1
+	}
+}
+
+// forEachGroup runs fn over the active groups on a bounded worker pool.
+func (st *State) forEachGroup(fn func(g Group)) {
+	groups := st.ActiveGroups
+	if st.Workers <= 1 || len(groups) <= 1 {
+		for _, g := range groups {
+			fn(g)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan Group)
+	nw := st.Workers
+	if nw > len(groups) {
+		nw = len(groups)
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				fn(g)
+			}
+		}()
+	}
+	for _, g := range groups {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Rule is a "reasonable function" (Definition 3.9): a priority over
+// candidate paths. The engine minimizes (d_r/v_r)·length where length is
+// the rule's raw path aggregate, matching the paper's priority shapes
+// h, h1, h2 which all carry the d/v prefactor.
+//
+// Prepare is called once per iteration (groups in st.ActiveGroups);
+// BestLen must return, for one group and target, a path minimizing the
+// rule's raw length. BestLen is called from a single goroutine; Prepare
+// may parallelize internally via State.forEachGroup.
+type Rule interface {
+	Name() string
+	Prepare(st *State)
+	BestLen(st *State, g Group, target int) (path []int, length float64, ok bool)
+}
+
+// ExpRule is the paper's function h(p) = (d/v)·Σ_{e∈p} (1/c_e)e^{εB·f_e/c_e}
+// — the rule that makes IterativePathMin coincide with Bounded-UFP.
+type ExpRule struct {
+	trees map[Group]*pathfind.Tree
+	mu    sync.Mutex
+}
+
+// Name implements Rule.
+func (r *ExpRule) Name() string { return "exp" }
+
+// Prepare implements Rule.
+func (r *ExpRule) Prepare(st *State) {
+	r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
+	st.forEachGroup(func(g Group) {
+		t := pathfind.Dijkstra(st.Inst.G, g.Source, st.ExpWeight(g.Demand))
+		r.mu.Lock()
+		r.trees[g] = t
+		r.mu.Unlock()
+	})
+}
+
+// BestLen implements Rule.
+func (r *ExpRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	t := r.trees[g]
+	if math.IsInf(t.Dist[target], 1) {
+		return nil, 0, false
+	}
+	p, _ := t.PathTo(target)
+	return p, t.Dist[target], true
+}
+
+// HopRule minimizes (d/v)·(number of edges): fewest-hops-first. Under
+// unit demands/values and uniform capacities its priority depends only on
+// the hop count, so it is reasonable per Definition 3.9.
+type HopRule struct {
+	trees map[Group]*pathfind.Tree
+	mu    sync.Mutex
+}
+
+// Name implements Rule.
+func (r *HopRule) Name() string { return "hops" }
+
+// Prepare implements Rule.
+func (r *HopRule) Prepare(st *State) {
+	r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
+	st.forEachGroup(func(g Group) {
+		t := pathfind.Dijkstra(st.Inst.G, g.Source, st.UnitWeight(g.Demand))
+		r.mu.Lock()
+		r.trees[g] = t
+		r.mu.Unlock()
+	})
+}
+
+// BestLen implements Rule.
+func (r *HopRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	t := r.trees[g]
+	if math.IsInf(t.Dist[target], 1) {
+		return nil, 0, false
+	}
+	p, _ := t.PathTo(target)
+	return p, t.Dist[target], true
+}
+
+// LogHopsRule is the paper's h1(p) = ln(1+|p|)·h(p): the exponential
+// price length scaled by a hop-count factor, mildly biased toward paths
+// with fewer edges. Minimization runs over a hop-bounded Bellman-Ford
+// table: min over k of ln(1+k)·(min exp-length among paths of <= k
+// edges).
+type LogHopsRule struct {
+	tables map[Group]*pathfind.HopTable
+	mu     sync.Mutex
+	// MaxHops caps the table depth (0 = number of vertices - 1).
+	MaxHops int
+}
+
+// Name implements Rule.
+func (r *LogHopsRule) Name() string { return "log-hops" }
+
+// Prepare implements Rule.
+func (r *LogHopsRule) Prepare(st *State) {
+	depth := r.MaxHops
+	if depth <= 0 {
+		depth = st.Inst.G.NumVertices() - 1
+	}
+	r.tables = make(map[Group]*pathfind.HopTable, len(st.ActiveGroups))
+	st.forEachGroup(func(g Group) {
+		t := pathfind.BellmanFordHops(st.Inst.G, g.Source, st.ExpWeight(g.Demand), depth)
+		r.mu.Lock()
+		r.tables[g] = t
+		r.mu.Unlock()
+	})
+}
+
+// BestLen implements Rule.
+func (r *LogHopsRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	t := r.tables[g]
+	bestK := -1
+	best := math.Inf(1)
+	for k := 1; k <= t.MaxHops; k++ {
+		d := t.Dist[k][target]
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if v := math.Log(1+float64(k)) * d; v < best {
+			best = v
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return nil, 0, false
+	}
+	p, ok := t.PathTo(target, bestK)
+	if !ok {
+		return nil, 0, false
+	}
+	return p, best, true
+}
+
+// BottleneckRule minimizes (d/v)·max_{e∈p} (1/c_e)e^{εB·f_e/c_e}: route
+// along the path whose most expensive edge is cheapest ("least congested
+// bottleneck"). Reasonable per Definition 3.9: pointwise-dominated flow
+// vectors cannot have a larger maximum.
+type BottleneckRule struct {
+	trees map[Group]*pathfind.Tree
+	mu    sync.Mutex
+}
+
+// Name implements Rule.
+func (r *BottleneckRule) Name() string { return "bottleneck" }
+
+// Prepare implements Rule.
+func (r *BottleneckRule) Prepare(st *State) {
+	r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
+	st.forEachGroup(func(g Group) {
+		t := pathfind.Bottleneck(st.Inst.G, g.Source, st.ExpWeight(g.Demand))
+		r.mu.Lock()
+		r.trees[g] = t
+		r.mu.Unlock()
+	})
+}
+
+// BestLen implements Rule.
+func (r *BottleneckRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	t := r.trees[g]
+	if math.IsInf(t.Dist[target], 1) {
+		return nil, 0, false
+	}
+	p, _ := t.PathTo(target)
+	return p, t.Dist[target], true
+}
+
+// ProductRule is the paper's h2(p) = (d/v)·Π_{e∈p} f_e/c_e, listed by the
+// paper as reasonable "although it is not clear why anyone would like to
+// use it". Since the product is not additive it is minimized by explicit
+// enumeration of simple paths, so this rule is only usable on small
+// graphs; PathLimit caps the enumeration (default 10000).
+type ProductRule struct {
+	PathLimit int
+}
+
+// Name implements Rule.
+func (r *ProductRule) Name() string { return "product" }
+
+// Prepare implements Rule.
+func (r *ProductRule) Prepare(*State) {}
+
+// BestLen implements Rule.
+func (r *ProductRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	limit := r.PathLimit
+	if limit <= 0 {
+		limit = 10000
+	}
+	gph := st.Inst.G
+	paths := pathfind.SimplePaths(gph, g.Source, target, limit)
+	best := math.Inf(1)
+	var bestPath []int
+	for _, p := range paths {
+		prod := 1.0
+		feasible := true
+		for _, e := range p {
+			c := gph.Edge(e).Capacity
+			if st.FeasibleOnly && st.Flow[e]+g.Demand > c+feasTol {
+				feasible = false
+				break
+			}
+			prod *= st.Flow[e] / c
+		}
+		if !feasible {
+			continue
+		}
+		if prod < best || (prod == best && bestPath == nil) {
+			best = prod
+			bestPath = p
+		}
+	}
+	if bestPath == nil {
+		return nil, 0, false
+	}
+	return bestPath, best, true
+}
+
+// EngineOptions configure IterativePathMin.
+type EngineOptions struct {
+	// Rule is the reasonable priority function (required).
+	Rule Rule
+	// Eps is the accuracy parameter used by price-based rules and by the
+	// dual-threshold stop (required by those; ignored by HopRule with
+	// capacity stop).
+	Eps float64
+	// FeasibleOnly restricts candidate paths to residual-feasible edges;
+	// combined with the default stop this yields the "route until nothing
+	// fits" behavior assumed by the lower-bound proofs (footnote 2).
+	FeasibleOnly bool
+	// UseDualStop enables Algorithm 1's main-loop guard: stop once
+	// Σ_e c_e·y_e(f) > e^{ε(B-1)}. At least one of FeasibleOnly and
+	// UseDualStop must be set, otherwise the engine could overload edges.
+	UseDualStop bool
+	// TieBreak resolves ratio ties between candidates (default: smaller
+	// request index).
+	TieBreak TieBreak
+	// MaxIterations caps the loop (0 = unlimited).
+	MaxIterations int
+	// Workers bounds parallelism in per-iteration path computations.
+	Workers int
+}
+
+// IterativePathMin runs a reasonable iterative path minimizing algorithm
+// (Definition 3.10): repeatedly select, among all paths of unselected
+// requests, one minimizing (d_r/v_r)·Rule-length, route it, and update
+// the flow. With ExpRule, UseDualStop and no feasibility filtering this
+// is exactly Bounded-UFP.
+func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
+	if opt.Rule == nil {
+		return nil, errors.New("core: IterativePathMin requires a Rule")
+	}
+	if !opt.FeasibleOnly && !opt.UseDualStop {
+		return nil, errors.New("core: IterativePathMin requires FeasibleOnly or UseDualStop (otherwise capacities can be violated)")
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.UseDualStop || usesPrices(opt.Rule) {
+		if err := validateEps(opt.Eps); err != nil {
+			return nil, err
+		}
+		if err := checkExponentRange(opt.Eps, inst.B()); err != nil {
+			return nil, err
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	st := &State{
+		Inst:         inst,
+		Flow:         make([]float64, inst.G.NumEdges()),
+		Eps:          opt.Eps,
+		B:            inst.B(),
+		FeasibleOnly: opt.FeasibleOnly,
+		Workers:      workers,
+	}
+	tie := opt.TieBreak
+	if tie == nil {
+		tie = func(a, b Candidate) bool { return a.Request < b.Request }
+	}
+	remaining := make([]bool, len(inst.Requests))
+	numRemaining := len(inst.Requests)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	threshold := math.Exp(opt.Eps * (st.B - 1))
+	alloc := &Allocation{DualBound: math.Inf(1)}
+	for {
+		if numRemaining == 0 {
+			alloc.Stop = StopAllSatisfied
+			break
+		}
+		if opt.UseDualStop && dualValue(st) > threshold {
+			alloc.Stop = StopDualThreshold
+			break
+		}
+		if opt.MaxIterations > 0 && alloc.Iterations >= opt.MaxIterations {
+			alloc.Stop = StopIterationLimit
+			break
+		}
+		st.ActiveGroups = activeGroups(inst, remaining)
+		opt.Rule.Prepare(st)
+		best := Candidate{Request: -1, Ratio: math.Inf(1)}
+		for i, r := range inst.Requests {
+			if !remaining[i] {
+				continue
+			}
+			path, length, ok := opt.Rule.BestLen(st, Group{r.Source, r.Demand}, r.Target)
+			if !ok {
+				continue
+			}
+			cand := Candidate{Request: i, Ratio: r.Demand / r.Value * length, Path: path}
+			switch {
+			case best.Request < 0 || cand.Ratio < best.Ratio && !ratiosTied(cand.Ratio, best.Ratio):
+				best = cand
+			case ratiosTied(cand.Ratio, best.Ratio) && tie(cand, best):
+				best = cand
+			}
+		}
+		if best.Request < 0 {
+			alloc.Stop = StopNoRoutablePath
+			break
+		}
+		d := inst.Requests[best.Request].Demand
+		for _, e := range best.Path {
+			st.Flow[e] += d
+		}
+		alloc.Routed = append(alloc.Routed, Routed{Request: best.Request, Path: best.Path})
+		alloc.Value += inst.Requests[best.Request].Value
+		alloc.Iterations++
+		remaining[best.Request] = false
+		numRemaining--
+	}
+	if alloc.Stop == StopAllSatisfied && alloc.Value < alloc.DualBound {
+		alloc.DualBound = alloc.Value
+	}
+	return alloc, nil
+}
+
+func usesPrices(r Rule) bool {
+	switch r.(type) {
+	case *HopRule, *ProductRule:
+		return false
+	}
+	return true
+}
+
+// dualValue computes Σ_e c_e·y_e(f) = Σ_e e^{εB·f_e/c_e}.
+func dualValue(st *State) float64 {
+	sum := 0.0
+	g := st.Inst.G
+	for e := 0; e < g.NumEdges(); e++ {
+		sum += math.Exp(st.Eps * st.B * st.Flow[e] / g.Edge(e).Capacity)
+	}
+	return sum
+}
+
+func activeGroups(inst *Instance, remaining []bool) []Group {
+	seen := make(map[Group]bool)
+	var groups []Group
+	for i, r := range inst.Requests {
+		if !remaining[i] {
+			continue
+		}
+		g := Group{r.Source, r.Demand}
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+func defaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// AllRules returns one fresh instance of every built-in reasonable rule,
+// for sweeps over the family in the lower-bound experiments. When
+// includeEnumerating is false the enumeration-based ProductRule (usable
+// only on small graphs) is omitted.
+func AllRules(includeEnumerating bool) []Rule {
+	rules := []Rule{&ExpRule{}, &HopRule{}, &LogHopsRule{}, &BottleneckRule{}}
+	if includeEnumerating {
+		rules = append(rules, &ProductRule{})
+	}
+	return rules
+}

@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/workload"
+)
+
+// TestEngineExpRuleMatchesBoundedUFP is the key cross-validation: the
+// reasonable-algorithm engine instantiated with the paper's h function
+// and the dual-threshold stop must make exactly the same selections as
+// the dedicated Bounded-UFP implementation.
+func TestEngineExpRuleMatchesBoundedUFP(t *testing.T) {
+	cfg := workload.DefaultUFPConfig()
+	cfg.Requests = 35
+	cfg.B = 15
+	for seed := uint64(0); seed < 6; seed++ {
+		inst := randomInstance(t, seed+40, cfg)
+		const eps = 0.2
+		direct := mustSolve(t, func() (*core.Allocation, error) { return core.BoundedUFP(inst, eps, nil) })
+		engine := mustSolve(t, func() (*core.Allocation, error) {
+			return core.IterativePathMin(inst, core.EngineOptions{
+				Rule: &core.ExpRule{}, Eps: eps, UseDualStop: true,
+			})
+		})
+		if !equalInts(requestSeq(direct), requestSeq(engine)) {
+			t.Fatalf("seed %d: engine selections %v != Bounded-UFP %v", seed, requestSeq(engine), requestSeq(direct))
+		}
+		if math.Abs(direct.Value-engine.Value) > 1e-9 {
+			t.Fatalf("seed %d: values differ: %g vs %g", seed, direct.Value, engine.Value)
+		}
+	}
+}
+
+func TestEngineRequiresStopPolicy(t *testing.T) {
+	inst := singleEdge(5, [2]float64{1, 1})
+	_, err := core.IterativePathMin(inst, core.EngineOptions{Rule: &core.ExpRule{}, Eps: 0.5})
+	if err == nil {
+		t.Fatal("engine accepted neither FeasibleOnly nor UseDualStop")
+	}
+	_, err = core.IterativePathMin(inst, core.EngineOptions{FeasibleOnly: true})
+	if err == nil {
+		t.Fatal("engine accepted nil rule")
+	}
+}
+
+func TestEngineCapacityStopRoutesUntilFull(t *testing.T) {
+	// Capacity 3, five unit requests: with the capacity stop exactly 3
+	// route regardless of rule.
+	inst := singleEdge(3,
+		[2]float64{1, 1}, [2]float64{1, 1.1}, [2]float64{1, 0.9},
+		[2]float64{1, 1.2}, [2]float64{1, 1.05})
+	for _, rule := range core.AllRules(true) {
+		a := mustSolve(t, func() (*core.Allocation, error) {
+			return core.IterativePathMin(inst, core.EngineOptions{
+				Rule: rule, Eps: 0.3, FeasibleOnly: true,
+			})
+		})
+		checkFeasible(t, inst, a, false)
+		if len(a.Routed) != 3 {
+			t.Fatalf("rule %s routed %d, want 3", rule.Name(), len(a.Routed))
+		}
+		if a.Stop != core.StopNoRoutablePath {
+			t.Fatalf("rule %s stop = %v, want no-routable-path", rule.Name(), a.Stop)
+		}
+	}
+}
+
+func TestEngineAllRulesFeasibleOnRandomInstances(t *testing.T) {
+	cfg := workload.UFPConfig{
+		Vertices: 8, Edges: 18, Requests: 20, Directed: true,
+		B: 4, CapSpread: 0.5,
+		DemandMin: 0.3, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	for seed := uint64(0); seed < 4; seed++ {
+		inst := randomInstance(t, seed+70, cfg)
+		for _, rule := range core.AllRules(false) { // ProductRule skipped: enumeration cost
+			a := mustSolve(t, func() (*core.Allocation, error) {
+				return core.IterativePathMin(inst, core.EngineOptions{
+					Rule: rule, Eps: 0.25, FeasibleOnly: true,
+				})
+			})
+			checkFeasible(t, inst, a, false)
+			if a.Value <= 0 {
+				t.Fatalf("rule %s routed nothing", rule.Name())
+			}
+		}
+	}
+}
+
+func TestHopRulePrefersShortPath(t *testing.T) {
+	// 0->1 direct (1 hop) vs 0->2->1 (2 hops): hop rule must take direct.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 5) // e0 direct
+	g.AddEdge(0, 2, 5) // e1
+	g.AddEdge(2, 1, 5) // e2
+	inst := &core.Instance{G: g, Requests: []core.Request{{Source: 0, Target: 1, Demand: 1, Value: 1}}}
+	a := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{Rule: &core.HopRule{}, FeasibleOnly: true})
+	})
+	if len(a.Routed) != 1 || len(a.Routed[0].Path) != 1 || a.Routed[0].Path[0] != 0 {
+		t.Fatalf("hop rule chose %v, want direct edge", a.Routed)
+	}
+}
+
+func TestLogHopsRuleBiasesTowardFewerEdges(t *testing.T) {
+	// Construct a case where the exp-length of a 1-hop path is slightly
+	// worse than a 3-hop path, but the ln(1+k) factor flips the choice.
+	// Direct edge: capacity 4 (price 1/4). Detour: three edges capacity
+	// 10 each (price 3/10). Exp lengths: 0.25 vs 0.3 -> h prefers direct;
+	// h1: ln(2)*0.25 = 0.173 vs ln(4)*0.3 = 0.416 -> h1 also direct.
+	// Flip it: direct capacity 2 (price 0.5): h prefers detour (0.3);
+	// h1: ln(2)*0.5 = 0.347 vs ln(4)*0.3 = 0.416 -> h1 prefers DIRECT.
+	g := graph.New(4)
+	g.AddEdge(0, 3, 2)  // e0 direct, expensive per-edge
+	g.AddEdge(0, 1, 10) // e1
+	g.AddEdge(1, 2, 10) // e2
+	g.AddEdge(2, 3, 10) // e3
+	inst := &core.Instance{G: g, Requests: []core.Request{{Source: 0, Target: 3, Demand: 1, Value: 1}}}
+	exp := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{Rule: &core.ExpRule{}, Eps: 0.1, FeasibleOnly: true})
+	})
+	if len(exp.Routed[0].Path) != 3 {
+		t.Fatalf("exp rule chose %d-hop path, want 3-hop detour", len(exp.Routed[0].Path))
+	}
+	lh := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{Rule: &core.LogHopsRule{}, Eps: 0.1, FeasibleOnly: true})
+	})
+	if len(lh.Routed[0].Path) != 1 {
+		t.Fatalf("log-hops rule chose %d-hop path, want direct", len(lh.Routed[0].Path))
+	}
+}
+
+func TestBottleneckRuleAvoidsCongestedEdge(t *testing.T) {
+	// Two 2-hop paths; one shares an edge already carrying flow. The
+	// bottleneck rule must pick the untouched path even if its total
+	// length is slightly higher.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 4) // e0 path A
+	g.AddEdge(1, 3, 4) // e1 path A (will be preloaded)
+	g.AddEdge(0, 2, 3) // e2 path B (pricier per edge: smaller capacity)
+	g.AddEdge(2, 3, 3) // e3 path B
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 1, Target: 3, Demand: 1, Value: 10}, // preloads e1
+		{Source: 0, Target: 3, Demand: 1, Value: 1},
+	}}
+	a := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{Rule: &core.BottleneckRule{}, Eps: 1, FeasibleOnly: true})
+	})
+	checkFeasible(t, inst, a, false)
+	var second core.Routed
+	for _, p := range a.Routed {
+		if p.Request == 1 {
+			second = p
+		}
+	}
+	if len(second.Path) != 2 || second.Path[0] != 2 {
+		t.Fatalf("bottleneck rule chose path %v, want fresh path via vertex 2", second.Path)
+	}
+}
+
+func TestProductRulePrefersUnusedEdges(t *testing.T) {
+	// h2 = d/v · Π f_e/c_e: any path with an unused edge has priority 0;
+	// after loading one path, the untouched one (product 0) wins.
+	inst := diamondInstance(2, [2]float64{1, 1}, [2]float64{1, 1}, [2]float64{1, 1})
+	a := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{Rule: &core.ProductRule{}, FeasibleOnly: true})
+	})
+	checkFeasible(t, inst, a, false)
+	if len(a.Routed) != 3 {
+		t.Fatalf("routed %d, want 3", len(a.Routed))
+	}
+	// The first two selections must use disjoint paths (both have
+	// product 0 only while fresh).
+	if a.Routed[0].Path[0] == a.Routed[1].Path[0] {
+		t.Fatalf("product rule reused a loaded path while a fresh one existed: %v", a.Routed)
+	}
+}
+
+func TestEngineTieBreakOverride(t *testing.T) {
+	// Two identical requests: default tie-break picks index 0 first; a
+	// reversed tie-break picks index 1 first.
+	inst := singleEdge(4, [2]float64{1, 1}, [2]float64{1, 1})
+	rev := func(a, b core.Candidate) bool { return a.Request > b.Request }
+	a := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{
+			Rule: &core.HopRule{}, FeasibleOnly: true, TieBreak: rev,
+		})
+	})
+	if a.Routed[0].Request != 1 {
+		t.Fatalf("custom tie-break ignored: first selection %d", a.Routed[0].Request)
+	}
+	b := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{Rule: &core.HopRule{}, FeasibleOnly: true})
+	})
+	if b.Routed[0].Request != 0 {
+		t.Fatalf("default tie-break wrong: first selection %d", b.Routed[0].Request)
+	}
+}
+
+func TestEngineMaxIterations(t *testing.T) {
+	inst := singleEdge(10, [2]float64{1, 1}, [2]float64{1, 1}, [2]float64{1, 1})
+	a := mustSolve(t, func() (*core.Allocation, error) {
+		return core.IterativePathMin(inst, core.EngineOptions{
+			Rule: &core.HopRule{}, FeasibleOnly: true, MaxIterations: 2,
+		})
+	})
+	if a.Iterations != 2 || a.Stop != core.StopIterationLimit {
+		t.Fatalf("iterations %d stop %v, want 2 iteration-limit", a.Iterations, a.Stop)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// RoundingOptions configure RandomizedRounding.
+type RoundingOptions struct {
+	// Shrink is the (1-η) scaling applied to selection probabilities to
+	// leave capacity slack (default 0.9, i.e. η = 0.1).
+	Shrink float64
+	// Retries is the number of independent rounding attempts before
+	// falling back to greedy repair (default 20).
+	Retries int
+}
+
+// RandomizedRounding is the classic Raghavan–Thompson approach the paper
+// contrasts with (Section 1): solve the fractional relaxation, then
+// select each request r independently with probability Shrink·x_r,
+// assigning it a path drawn from its flow decomposition. For B = Ω(ln m)
+// the result is feasible with high probability and (1+ε)-approximate in
+// expectation — but the selection is NOT monotone, which is exactly why
+// it cannot be used truthfully; experiment E8 exhibits witnesses.
+//
+// If every attempt produces an infeasible set, requests are greedily
+// dropped (lowest value first) until feasible, so the returned
+// allocation is always feasible. The result is deterministic given rng.
+func RandomizedRounding(inst *Instance, rng *rand.Rand, opt RoundingOptions) (*Allocation, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	shrink := opt.Shrink
+	if shrink <= 0 || shrink > 1 {
+		shrink = 0.9
+	}
+	retries := opt.Retries
+	if retries <= 0 {
+		retries = 20
+	}
+	frac, err := FractionalUFP(inst, true)
+	if err != nil {
+		return nil, err
+	}
+	g := inst.G
+	for attempt := 0; attempt < retries; attempt++ {
+		var routed []Routed
+		for r := range inst.Requests {
+			if len(frac.Decomposition[r]) == 0 {
+				continue
+			}
+			if rng.Float64() >= shrink*frac.X[r] {
+				continue
+			}
+			// Draw a path proportionally to its fraction.
+			total := 0.0
+			for _, wp := range frac.Decomposition[r] {
+				total += wp.Fraction
+			}
+			u := rng.Float64() * total
+			chosen := frac.Decomposition[r][len(frac.Decomposition[r])-1].Path
+			acc := 0.0
+			for _, wp := range frac.Decomposition[r] {
+				acc += wp.Fraction
+				if u <= acc {
+					chosen = wp.Path
+					break
+				}
+			}
+			routed = append(routed, Routed{Request: r, Path: chosen})
+		}
+		if feasibleSet(inst, routed) {
+			return finishRounding(inst, routed, StopAllSatisfied), nil
+		}
+	}
+	// Greedy repair: keep high-value requests, drop until feasible.
+	var routed []Routed
+	for r := range inst.Requests {
+		if len(frac.Decomposition[r]) > 0 && frac.X[r] > 0.5 {
+			routed = append(routed, Routed{Request: r, Path: frac.Decomposition[r][0].Path})
+		}
+	}
+	sort.SliceStable(routed, func(a, b int) bool {
+		return inst.Requests[routed[a].Request].Value > inst.Requests[routed[b].Request].Value
+	})
+	load := make([]float64, g.NumEdges())
+	var kept []Routed
+	for _, p := range routed {
+		d := inst.Requests[p.Request].Demand
+		ok := true
+		for _, e := range p.Path {
+			if load[e]+d > g.Edge(e).Capacity+feasTol {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range p.Path {
+			load[e] += d
+		}
+		kept = append(kept, p)
+	}
+	return finishRounding(inst, kept, StopNoRoutablePath), nil
+}
+
+func feasibleSet(inst *Instance, routed []Routed) bool {
+	load := make([]float64, inst.G.NumEdges())
+	for _, p := range routed {
+		d := inst.Requests[p.Request].Demand
+		for _, e := range p.Path {
+			load[e] += d
+			if load[e] > inst.G.Edge(e).Capacity+feasTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func finishRounding(inst *Instance, routed []Routed, stop StopReason) *Allocation {
+	a := &Allocation{Routed: routed, Stop: stop}
+	for _, p := range routed {
+		a.Value += inst.Requests[p.Request].Value
+	}
+	a.Iterations = len(routed)
+	return a
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/workload"
+)
+
+func TestRandomizedRoundingAlwaysFeasible(t *testing.T) {
+	cfg := workload.UFPConfig{
+		Vertices: 6, Edges: 12, Requests: 10, Directed: true,
+		B: 3, CapSpread: 0.4,
+		DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		inst := randomInstance(t, seed+400, cfg)
+		rng := workload.NewRNG(seed)
+		a, err := core.RandomizedRounding(inst, rng, core.RoundingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFeasible(t, inst, a, false)
+	}
+}
+
+func TestRandomizedRoundingDeterministicGivenSeed(t *testing.T) {
+	inst := diamondInstance(3, [2]float64{1, 1}, [2]float64{1, 2}, [2]float64{1, 3})
+	a1, err := core.RandomizedRounding(inst, workload.NewRNG(5), core.RoundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.RandomizedRounding(inst, workload.NewRNG(5), core.RoundingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(requestSeq(a1), requestSeq(a2)) {
+		t.Fatal("same seed produced different roundings")
+	}
+}
+
+func TestRandomizedRoundingNearFractionalOnLargeB(t *testing.T) {
+	// With generous capacity the LP routes everything and rounding keeps
+	// most of it: expect at least half the fractional value across seeds.
+	inst := diamondInstance(50,
+		[2]float64{1, 1}, [2]float64{1, 1.2}, [2]float64{1, 0.8}, [2]float64{1, 1.1})
+	fs, err := core.FractionalUFP(inst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for seed := uint64(0); seed < 10; seed++ {
+		a, err := core.RandomizedRounding(inst, workload.NewRNG(seed), core.RoundingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFeasible(t, inst, a, false)
+		if a.Value > best {
+			best = a.Value
+		}
+	}
+	if best < 0.5*fs.Objective {
+		t.Fatalf("best rounded value %g < half fractional %g", best, fs.Objective)
+	}
+}

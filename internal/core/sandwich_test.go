@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/workload"
+)
+
+// TestQuickOptimumSandwich verifies the fundamental ordering on random
+// small instances:
+//
+//	ALG <= exact integral OPT <= fractional LP OPT <= Bounded-UFP dual bound
+//
+// (each inequality up to float tolerance). This chains every reference
+// solver in the repository against the core algorithm in one invariant.
+func TestQuickOptimumSandwich(t *testing.T) {
+	f := func(seed uint64, vRaw, rRaw uint8) bool {
+		cfg := workload.UFPConfig{
+			Vertices:  5 + int(vRaw%3),
+			Edges:     9 + int(vRaw%5),
+			Requests:  5 + int(rRaw%6),
+			Directed:  true,
+			B:         2 + float64(rRaw%4),
+			CapSpread: 0.4,
+			DemandMin: 0.4, DemandMax: 1,
+			ValueMin: 0.4, ValueMax: 2,
+		}
+		inst, err := workload.RandomUFP(workload.NewRNG(seed), cfg)
+		if err != nil {
+			return false
+		}
+		a, err := core.BoundedUFP(inst, 0.4, nil)
+		if err != nil {
+			return false
+		}
+		opt, err := core.ExactOPT(inst, 800)
+		if err != nil || !opt.Exact {
+			return true // truncated enumeration: skip this sample
+		}
+		frac, err := core.FractionalUFP(inst, true)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-6
+		if a.Value > opt.Value+tol {
+			return false
+		}
+		if opt.Value > frac.Objective+tol {
+			return false
+		}
+		return frac.Objective <= a.DualBound+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

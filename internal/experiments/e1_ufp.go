@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/stats"
+	"truthfulufp/internal/workload"
+)
+
+// E1Theorem31 measures Bounded-UFP(ε) on random instances in the
+// B >= ln(m)/ε² regime across ε and capacity multiples, reporting the
+// certified ratio DualBound/ALG against the guarantee (1+6ε)·e/(e-1)
+// (Lemma 3.8), plus an exact-OPT column on small instances.
+func E1Theorem31(cfg Config) (*Report, error) {
+	cfg = cfg.normalize()
+	rep := &Report{ID: "E1", Title: "Bounded-UFP approximation vs guarantee (Theorem 3.1)"}
+
+	main := stats.NewTable(
+		"T1a: random directed instances, B = mult × ln(m)/ε²  (ratio = certified DualBound/ALG, geo-mean over seeds)",
+		"eps", "B-mult", "B", "m", "reqs", "ALG", "ratio", "ratio-max", "guarantee", "within")
+	for _, eps := range []float64{1.0 / 6, 0.25, 0.4} {
+		for _, mult := range []float64{1, 2} {
+			vertices := cfg.scaleInt(12, 6)
+			edges := cfg.scaleInt(36, 12)
+			b := mult * math.Log(float64(edges)) / (eps * eps)
+			// Oversubscribe: ~8B demand-units of requests against per-source
+			// cuts of ~3B, so selection is genuinely contended.
+			requests := cfg.scaleInt(int(11*b), 40)
+			ucfg := workload.UFPConfig{
+				Vertices: vertices, Edges: edges, Requests: requests, Directed: true,
+				B: b, CapSpread: 0.3,
+				DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+			}
+			var ratios []float64
+			var algSum stats.Summary
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				inst, err := workload.RandomUFP(workload.NewRNG(uint64(seed)*1000+uint64(eps*100)), ucfg)
+				if err != nil {
+					return nil, err
+				}
+				a, err := core.BoundedUFP(inst, eps, &core.Options{Workers: cfg.Workers})
+				if err != nil {
+					return nil, err
+				}
+				if err := a.CheckFeasible(inst, false); err != nil {
+					return nil, err
+				}
+				algSum.Add(a.Value)
+				ratios = append(ratios, a.DualBound/a.Value)
+			}
+			guarantee := (1 + 6*eps) * eOverEMinus1
+			geo := stats.GeometricMean(ratios)
+			var worst stats.Summary
+			worst.AddAll(ratios)
+			main.Row(eps, mult, math.Round(b), edges, requests,
+				algSum.Mean(), geo, worst.Max(), guarantee, boolMark(worst.Max() <= guarantee*1.05))
+		}
+	}
+	rep.Tables = append(rep.Tables, main)
+
+	// The paper's model covers undirected graphs too (shared capacity per
+	// edge); one configuration confirms the guarantee there as well.
+	undir := stats.NewTable(
+		"T1a': undirected instances (shared edge capacity), ε = 1/4",
+		"B", "m", "reqs", "ALG", "ratio", "guarantee", "within")
+	{
+		const eps = 0.25
+		edges := cfg.scaleInt(36, 12)
+		b := math.Log(float64(edges)) / (eps * eps)
+		ucfg := workload.UFPConfig{
+			Vertices: cfg.scaleInt(12, 6), Edges: edges,
+			Requests: cfg.scaleInt(int(11*b), 40), Directed: false,
+			B: b, CapSpread: 0.3,
+			DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+		}
+		var ratios []float64
+		var algSum stats.Summary
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			inst, err := workload.RandomUFP(workload.NewRNG(uint64(seed)+4200), ucfg)
+			if err != nil {
+				return nil, err
+			}
+			a, err := core.BoundedUFP(inst, eps, &core.Options{Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			if err := a.CheckFeasible(inst, false); err != nil {
+				return nil, err
+			}
+			algSum.Add(a.Value)
+			ratios = append(ratios, a.DualBound/a.Value)
+		}
+		var worst stats.Summary
+		worst.AddAll(ratios)
+		guarantee := (1 + 6*eps) * eOverEMinus1
+		undir.Row(math.Round(b), edges, ucfg.Requests, algSum.Mean(),
+			stats.GeometricMean(ratios), guarantee, boolMark(worst.Max() <= guarantee*1.05))
+	}
+	rep.Tables = append(rep.Tables, undir)
+
+	exact := stats.NewTable(
+		"T1b: small instances with exact integral OPT (branch & bound), ε = 0.5",
+		"seed", "B", "ALG", "OPT", "OPT/ALG", "dual/ALG", "dual-dominates-OPT")
+	// B = 6 with m = 10 keeps e^{ε(B-1)} = e^{2.5} ≈ 12.2 above the
+	// initial dual value m, so the loop runs; 15 demand-[0.4,1] requests
+	// against B = 6 give real contention while staying small enough for
+	// exact branch and bound.
+	smallCfg := workload.UFPConfig{
+		Vertices: 6, Edges: 10, Requests: 15, Directed: true,
+		B: 6, CapSpread: 0.4,
+		DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	for seed := 0; seed < cfg.Seeds+2; seed++ {
+		inst, err := workload.RandomUFP(workload.NewRNG(uint64(seed)+3000), smallCfg)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.BoundedUFP(inst, 0.5, &core.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.ExactOPT(inst, 2000)
+		if err != nil {
+			return nil, err
+		}
+		ratio := math.Inf(1)
+		if a.Value > 0 {
+			ratio = opt.Value / a.Value
+		}
+		exact.Row(seed, smallCfg.B, a.Value, opt.Value, ratio, a.DualBound/math.Max(a.Value, 1e-12),
+			boolMark(opt.Value <= a.DualBound+1e-6))
+	}
+	rep.Tables = append(rep.Tables, exact)
+
+	// Ablation: ε sensitivity on one fixed contended instance. Small ε
+	// means gentle price growth but a low stopping threshold e^{ε(B-1)}
+	// (fewer iterations); large ε the opposite. The certified ratio traces
+	// the trade-off.
+	sens := stats.NewTable(
+		"T1c: ε-sensitivity ablation on a fixed instance (B = 60)",
+		"eps", "threshold-exp", "iterations", "ALG", "cert-ratio")
+	sensCfg := workload.UFPConfig{
+		Vertices: cfg.scaleInt(10, 6), Edges: cfg.scaleInt(30, 14),
+		Requests: cfg.scaleInt(600, 120), Directed: true,
+		B: 60, CapSpread: 0.3,
+		DemandMin: 0.5, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	sensInst, err := workload.RandomUFP(workload.NewRNG(4000), sensCfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, eps := range []float64{0.05, 0.1, 1.0 / 6, 0.25, 0.4, 0.7, 1} {
+		a, err := core.BoundedUFP(sensInst, eps, &core.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		cert := math.Inf(1)
+		if a.Value > 0 {
+			cert = a.DualBound / a.Value
+		}
+		sens.Row(eps, eps*(sensCfg.B-1), a.Iterations, a.Value, cert)
+	}
+	rep.Tables = append(rep.Tables, sens)
+	rep.note("guarantee column is (1+6ε)·e/(e-1) per Lemma 3.8; 'within' allows 5%% dual-fitting slack")
+	rep.note("T1b's B = 6 sits below the Ω(ln m) regime: feasibility holds (Lemma 3.3); the formal ratio bound does not apply")
+	return rep, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/lowerbound"
+	"truthfulufp/internal/stats"
+)
+
+func auctionRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xabcdef)) }
+
+// E4MUCA measures Bounded-MUCA(ε) on random auctions in the
+// B >= ln(m)/ε² regime (Theorem 4.1), against the dual bound, the exact
+// optimum (small instances), and the greedy/sequential baselines.
+func E4MUCA(cfg Config) (*Report, error) {
+	cfg = cfg.normalize()
+	rep := &Report{ID: "E4", Title: "Bounded-MUCA approximation vs guarantee (Theorem 4.1)"}
+
+	main := stats.NewTable(
+		"T4a: random auctions, B = mult × ln(m)/ε²",
+		"eps", "B-mult", "B", "items", "reqs", "ALG", "ratio", "guarantee", "within")
+	for _, eps := range []float64{1.0 / 6, 0.25, 0.4} {
+		for _, mult := range []float64{1, 2} {
+			items := cfg.scaleInt(20, 10)
+			b := mult * math.Log(float64(items)) / (eps * eps)
+			// ~8B requests × ~4 items each oversubscribe the ~23B item
+			// copies, so the auction is genuinely contended.
+			requests := cfg.scaleInt(int(8*b), 40)
+			acfg := auction.RandomConfig{
+				Items: items, Requests: requests, B: b, MultSpread: 0.3,
+				BundleMin: 2, BundleMax: 6, ValueMin: 0.5, ValueMax: 1.5,
+			}
+			var ratios []float64
+			var algSum stats.Summary
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				inst, err := auction.RandomInstance(auctionRNG(uint64(seed)+uint64(eps*1e4)), acfg)
+				if err != nil {
+					return nil, err
+				}
+				a, err := auction.BoundedMUCA(inst, eps, nil)
+				if err != nil {
+					return nil, err
+				}
+				if err := a.CheckFeasible(inst); err != nil {
+					return nil, err
+				}
+				algSum.Add(a.Value)
+				ratios = append(ratios, a.DualBound/a.Value)
+			}
+			guarantee := (1 + 6*eps) * eOverEMinus1
+			var worst stats.Summary
+			worst.AddAll(ratios)
+			main.Row(eps, mult, math.Round(b), items, requests,
+				algSum.Mean(), stats.GeometricMean(ratios), guarantee, boolMark(worst.Max() <= guarantee*1.05))
+		}
+	}
+	rep.Tables = append(rep.Tables, main)
+
+	exact := stats.NewTable(
+		"T4b: small contended auctions with exact OPT and baselines (ε = 0.5)",
+		"seed", "OPT", "LP", "bounded-muca", "greedy-value", "greedy-density", "sequential")
+	// B = 8 with 8 items keeps e^{ε(B-1)} = e^{3.5} ≈ 33 above the
+	// initial dual value m = 8; 40 bundle requests against ~80 item
+	// copies give real contention.
+	smallCfg := auction.RandomConfig{
+		Items: 8, Requests: 40, B: 8, MultSpread: 0.5,
+		BundleMin: 1, BundleMax: 4, ValueMin: 0.5, ValueMax: 1.5,
+	}
+	for seed := 0; seed < cfg.Seeds+2; seed++ {
+		inst, err := auction.RandomInstance(auctionRNG(uint64(seed)+900), smallCfg)
+		if err != nil {
+			return nil, err
+		}
+		opt, _, err := auction.ExactOPT(inst)
+		if err != nil {
+			return nil, err
+		}
+		lpv, err := auction.LPBound(inst)
+		if err != nil {
+			return nil, err
+		}
+		bm, err := auction.BoundedMUCA(inst, 0.5, nil)
+		if err != nil {
+			return nil, err
+		}
+		gv, err := auction.GreedyByValue(inst)
+		if err != nil {
+			return nil, err
+		}
+		gd, err := auction.GreedyByValuePerItem(inst)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := auction.SequentialPrimalDual(inst, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		exact.Row(seed, opt, lpv, bm.Value, gv.Value, gd.Value, sq.Value)
+	}
+	rep.Tables = append(rep.Tables, exact)
+	rep.note("T4b's B = 8 is far below ln(m)/ε²: the dual threshold stops Bounded-MUCA early and the greedy baselines win — the flip side of the worst-case guarantee, visible only out of regime (in-regime rows are T4a)")
+	return rep, nil
+}
+
+// E5MUCAGrid sweeps the Figure 4 family over p: reasonable bundle
+// minimizers reach exactly (3p+1)B/4 versus OPT = pB, ratio 4p/(3p+1)
+// -> 4/3 (Theorem 4.5).
+func E5MUCAGrid(cfg Config) (*Report, error) {
+	cfg = cfg.normalize()
+	rep := &Report{ID: "E5", Title: "MUCA grid 4/3 lower bound (Figure 4, Theorem 4.5)"}
+	tab := stats.NewTable(
+		"T5a: exp bundle rule on muca-grid(p, B)",
+		"p", "B", "items", "OPT", "predicted-ALG", "ALG", "ratio", "limit-4/3", "exact-match")
+	bs := []int{4, 4, 4, 2, 2}
+	for k, p := range []int{3, 5, 7, 9, 11} {
+		b := bs[k]
+		f := lowerbound.MUCAGrid(p, b)
+		a, err := auction.IterativeBundleMin(f.Inst, auction.BundleEngineOptions{
+			Rule: auction.ExpBundleRule{}, Eps: 0.5, FeasibleOnly: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := a.CheckFeasible(f.Inst); err != nil {
+			return nil, err
+		}
+		tab.Row(p, b, f.Inst.NumItems(), f.OPT, f.PredictedALG, a.Value,
+			f.OPT/a.Value, 4.0/3.0, boolMark(a.Value == f.PredictedALG))
+	}
+	rep.Tables = append(rep.Tables, tab)
+
+	rules := stats.NewTable(
+		"T5b: every reasonable bundle rule on muca-grid(5, 4)",
+		"rule", "OPT", "ALG", "ratio")
+	f := lowerbound.MUCAGrid(5, 4)
+	for _, rule := range auction.AllBundleRules() {
+		a, err := auction.IterativeBundleMin(f.Inst, auction.BundleEngineOptions{
+			Rule: rule, Eps: 0.5, FeasibleOnly: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rules.Row(rule.Name(), f.OPT, a.Value, f.OPT/a.Value)
+	}
+	rep.Tables = append(rep.Tables, rules)
+	rep.note("ratio 4p/(3p+1) approaches 4/3 as p grows, matching Theorem 4.5")
+	return rep, nil
+}

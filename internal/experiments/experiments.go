@@ -1,0 +1,104 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md's per-experiment index (E1-E9, F1), each
+// regenerating the series its theorem or figure predicts. The cmd/ufpbench
+// binary prints the full-scale reports; the repository's bench_test.go
+// wraps the same functions at reduced scale.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"truthfulufp/internal/stats"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Scale in (0, 1] shrinks workload sizes for quick runs; 1 is the
+	// paper-scale default.
+	Scale float64
+	// Seeds is the number of random instances per configuration point
+	// (default 3).
+	Seeds int
+	// Workers bounds parallelism inside solvers (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the full-scale configuration.
+func DefaultConfig() Config { return Config{Scale: 1, Seeds: 3} }
+
+func (c Config) normalize() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	return c
+}
+
+// scaleInt shrinks n by the configured scale with a floor.
+func (c Config) scaleInt(n, floor int) int {
+	v := int(math.Round(float64(n) * c.Scale))
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// Report is the outcome of one experiment: tables plus free-form notes
+// (predictions, verdicts).
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+func (r *Report) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner is an experiment entry point.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+// All returns every experiment in index order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Theorem 3.1: Bounded-UFP approximation on random instances", E1Theorem31},
+		{"E2", "Theorem 3.11 / Figure 2: staircase lower bound", E2Staircase},
+		{"E3", "Theorem 3.12 / Figure 3: seven-vertex 4/3 lower bound", E3SevenVertex},
+		{"E4", "Theorem 4.1: Bounded-MUCA approximation on random auctions", E4MUCA},
+		{"E5", "Theorem 4.5 / Figure 4: MUCA grid 4/3 lower bound", E5MUCAGrid},
+		{"E6", "Theorem 5.1: unsplittable flow with repetitions", E6Repetitions},
+		{"E7", "Theorem 2.3 / Corollaries 3.2, 4.2: truthful mechanisms", E7Truthfulness},
+		{"E8", "Section 1: randomized rounding is non-monotone", E8Rounding},
+		{"E9", "Section 1.1: algorithm comparison across families", E9Comparison},
+		{"F1", "Figure 1: LP relaxation and integrality gap vs B", F1LPGap},
+	}
+}
+
+// eOverEMinus1 is the paper's headline ratio e/(e-1) ≈ 1.582.
+var eOverEMinus1 = math.E / (math.E - 1)
+
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smoke runs every experiment at reduced scale and sanity-checks its
+// report structure. Numeric assertions on the underlying claims live in
+// the per-package tests; this is the harness integration test.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not short")
+	}
+	cfg := Config{Scale: 0.4, Seeds: 2}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if rep.ID != r.ID {
+				t.Fatalf("report ID %q != runner ID %q", rep.ID, r.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			for _, tab := range rep.Tables {
+				if tab.NumRows() == 0 {
+					t.Fatalf("%s has an empty table %q", r.ID, tab.Title)
+				}
+			}
+			out := rep.String()
+			if !strings.Contains(out, r.ID) {
+				t.Fatalf("%s: String() missing ID:\n%s", r.ID, out)
+			}
+			if strings.Contains(out, "NO") {
+				t.Fatalf("%s: a verification column failed:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Scale != 1 || c.Seeds != 3 {
+		t.Fatalf("normalize gave %+v", c)
+	}
+	if got := (Config{Scale: 0.5}).scaleInt(10, 2); got != 5 {
+		t.Fatalf("scaleInt = %d, want 5", got)
+	}
+	if got := (Config{Scale: 0.1}).scaleInt(10, 4); got != 4 {
+		t.Fatalf("scaleInt floor = %d, want 4", got)
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Title == "" || r.Run == nil {
+			t.Fatalf("experiment %s incomplete", r.ID)
+		}
+	}
+}

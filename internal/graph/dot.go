@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, labeling edges with
+// their capacities (and optional extra per-edge annotations such as flow
+// loads), so lower-bound constructions and example networks can be
+// visualized with standard tooling.
+func (g *Graph) WriteDOT(w io.Writer, name string, edgeExtra func(edge int) string) error {
+	kind, arrow := "digraph", "->"
+	if !g.directed {
+		kind, arrow = "graph", "--"
+	}
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %q {\n", kind, name)
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&b, "  %d;\n", v)
+	}
+	for id, e := range g.edges {
+		label := fmt.Sprintf("c=%g", e.Capacity)
+		if edgeExtra != nil {
+			if extra := edgeExtra(id); extra != "" {
+				label += " " + extra
+			}
+		}
+		fmt.Fprintf(&b, "  %d %s %d [label=%q];\n", e.From, arrow, e.To, label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTDirected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(1, 2, 4)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`digraph "test"`, "0 -> 1", "1 -> 2", "c=2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTUndirectedWithExtra(t *testing.T) {
+	g := NewUndirected(2)
+	g.AddEdge(0, 1, 3)
+	var b strings.Builder
+	err := g.WriteDOT(&b, "", func(e int) string { return fmt.Sprintf("f=%d", e+7) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `graph "G"`) || !strings.Contains(out, "0 -- 1") {
+		t.Errorf("undirected DOT wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "f=7") {
+		t.Errorf("edge extra missing:\n%s", out)
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Line returns a directed path graph 0 -> 1 -> ... -> n-1 with uniform
+// capacity.
+func Line(n int, capacity float64) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1, capacity)
+	}
+	return g
+}
+
+// Cycle returns a directed cycle on n vertices with uniform capacity.
+func Cycle(n int, capacity float64) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n, capacity)
+	}
+	return g
+}
+
+// Grid returns an undirected w x h grid with uniform capacity. Vertex
+// (x, y) has ID y*w + x.
+func Grid(w, h int, capacity float64) *Graph {
+	g := NewUndirected(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y), capacity)
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1), capacity)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns a complete graph on n vertices with uniform capacity:
+// directed (all ordered pairs) if directed is true, otherwise undirected.
+func Complete(n int, capacity float64, directed bool) *Graph {
+	var g *Graph
+	if directed {
+		g = New(n)
+	} else {
+		g = NewUndirected(n)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if !directed && u > v {
+				continue
+			}
+			g.AddEdge(u, v, capacity)
+		}
+	}
+	return g
+}
+
+// Layered returns a directed layered graph with the given layer sizes.
+// Every vertex in layer i has an edge to every vertex in layer i+1, all
+// with the same capacity. Vertices are numbered layer by layer. It is a
+// classic topology for routing workloads: many parallel routes of equal
+// hop count.
+func Layered(layers []int, capacity float64) *Graph {
+	n := 0
+	for _, k := range layers {
+		n += k
+	}
+	g := New(n)
+	base := 0
+	for i := 0; i+1 < len(layers); i++ {
+		next := base + layers[i]
+		for u := 0; u < layers[i]; u++ {
+			for v := 0; v < layers[i+1]; v++ {
+				g.AddEdge(base+u, next+v, capacity)
+			}
+		}
+		base = next
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph with n vertices and m
+// edges (m >= n-1), built as a random spanning tree plus m-(n-1) extra
+// random edges, with capacities drawn uniformly from [minCap, maxCap].
+// For a directed graph each tree edge is oriented randomly and an extra
+// reverse edge is NOT added, so reachability between random pairs is not
+// guaranteed; use RandomStronglyConnected when every request must be
+// routable.
+func RandomConnected(rng *rand.Rand, n, m int, minCap, maxCap float64, directed bool) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: RandomConnected needs m >= n-1 (n=%d, m=%d)", n, m))
+	}
+	var g *Graph
+	if directed {
+		g = New(n)
+	} else {
+		g = NewUndirected(n)
+	}
+	capOf := func() float64 { return minCap + rng.Float64()*(maxCap-minCap) }
+	// Random spanning tree: connect each vertex i >= 1 to a random earlier
+	// vertex, using a random permutation so the tree shape varies.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := perm[rng.IntN(i)], perm[i]
+		if directed && rng.IntN(2) == 0 {
+			u, v = v, u
+		}
+		g.AddEdge(u, v, capOf())
+	}
+	for g.NumEdges() < m {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, capOf())
+	}
+	return g
+}
+
+// RandomStronglyConnected returns a random directed graph containing a
+// Hamiltonian cycle (so every vertex reaches every other) plus m-n extra
+// random edges, with capacities uniform in [minCap, maxCap]. Requires
+// m >= n.
+func RandomStronglyConnected(rng *rand.Rand, n, m int, minCap, maxCap float64) *Graph {
+	if m < n {
+		panic(fmt.Sprintf("graph: RandomStronglyConnected needs m >= n (n=%d, m=%d)", n, m))
+	}
+	g := New(n)
+	capOf := func() float64 { return minCap + rng.Float64()*(maxCap-minCap) }
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(perm[i], perm[(i+1)%n], capOf())
+	}
+	for g.NumEdges() < m {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, capOf())
+	}
+	return g
+}

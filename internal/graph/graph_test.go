@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAddEdgeDirected(t *testing.T) {
+	g := New(3)
+	id := g.AddEdge(0, 1, 2.5)
+	if id != 0 {
+		t.Fatalf("first edge ID = %d, want 0", id)
+	}
+	if g.NumEdges() != 1 || g.NumVertices() != 3 {
+		t.Fatalf("got %d edges, %d vertices; want 1, 3", g.NumEdges(), g.NumVertices())
+	}
+	e := g.Edge(0)
+	if e.From != 0 || e.To != 1 || e.Capacity != 2.5 {
+		t.Fatalf("edge = %+v, want {0 1 2.5}", e)
+	}
+	if len(g.OutArcs(0)) != 1 || len(g.OutArcs(1)) != 0 {
+		t.Fatalf("directed adjacency wrong: out(0)=%v out(1)=%v", g.OutArcs(0), g.OutArcs(1))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgeUndirected(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	if len(g.OutArcs(0)) != 1 || len(g.OutArcs(1)) != 1 {
+		t.Fatalf("undirected adjacency wrong: out(0)=%v out(1)=%v", g.OutArcs(0), g.OutArcs(1))
+	}
+	if g.OutArcs(1)[0].To != 0 {
+		t.Fatalf("reverse arc points to %d, want 0", g.OutArcs(1)[0].To)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 5, 1)
+}
+
+func TestOther(t *testing.T) {
+	g := NewUndirected(2)
+	id := g.AddEdge(0, 1, 1)
+	if got := g.Other(id, 0); got != 1 {
+		t.Errorf("Other(id, 0) = %d, want 1", got)
+	}
+	if got := g.Other(id, 1); got != 0 {
+		t.Errorf("Other(id, 1) = %d, want 0", got)
+	}
+}
+
+func TestOtherPanicsForNonEndpoint(t *testing.T) {
+	g := NewUndirected(3)
+	id := g.AddEdge(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint did not panic")
+		}
+	}()
+	g.Other(id, 2)
+}
+
+func TestMinMaxCapacity(t *testing.T) {
+	g := New(3)
+	if g.MinCapacity() != 0 || g.MaxCapacity() != 0 {
+		t.Fatal("edgeless graph should report 0 capacities")
+	}
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 7)
+	g.AddEdge(0, 2, 5)
+	if got := g.MinCapacity(); got != 3 {
+		t.Errorf("MinCapacity = %g, want 3", got)
+	}
+	if got := g.MaxCapacity(); got != 7 {
+		t.Errorf("MaxCapacity = %g, want 7", got)
+	}
+}
+
+func TestScaleCapacities(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 4)
+	g.ScaleCapacities(0.5)
+	if got := g.Edge(0).Capacity; got != 2 {
+		t.Errorf("capacity after scale = %g, want 2", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.SetCapacity(0, 9)
+	c.AddVertex()
+	if g.Edge(0).Capacity != 1 {
+		t.Error("clone capacity change leaked into original")
+	}
+	if g.NumVertices() != 2 {
+		t.Error("clone AddVertex leaked into original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadCapacity(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.SetCapacity(0, -1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted negative capacity")
+	}
+}
+
+func TestSubdivideEdgeDirected(t *testing.T) {
+	g := New(2)
+	id := g.AddEdge(0, 1, 3)
+	ids := g.SubdivideEdge(id, 3)
+	if len(ids) != 3 {
+		t.Fatalf("got %d segment IDs, want 3", len(ids))
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("got %d vertices, want 4 (2 original + 2 fresh)", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("got %d edges, want 3", g.NumEdges())
+	}
+	// Walk the path from 0 to 1.
+	v := 0
+	for hops := 0; hops < 3; hops++ {
+		arcs := g.OutArcs(v)
+		if len(arcs) != 1 {
+			t.Fatalf("vertex %d has %d out-arcs, want 1", v, len(arcs))
+		}
+		if g.Edge(arcs[0].Edge).Capacity != 3 {
+			t.Fatalf("segment capacity = %g, want 3", g.Edge(arcs[0].Edge).Capacity)
+		}
+		v = arcs[0].To
+	}
+	if v != 1 {
+		t.Fatalf("path from 0 ends at %d, want 1", v)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after subdivision: %v", err)
+	}
+}
+
+func TestSubdivideEdgeKeepsOtherEdges(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 1)
+	b := g.AddEdge(1, 2, 2)
+	g.SubdivideEdge(a, 2)
+	if e := g.Edge(b); e.From != 1 || e.To != 2 || e.Capacity != 2 {
+		t.Fatalf("unrelated edge mutated: %+v", e)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSubdivideEdgeIdentity(t *testing.T) {
+	g := New(2)
+	id := g.AddEdge(0, 1, 1)
+	ids := g.SubdivideEdge(id, 1)
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("k=1 subdivision should be identity, got %v", ids)
+	}
+	if g.NumEdges() != 1 || g.NumVertices() != 2 {
+		t.Fatal("k=1 subdivision changed the graph")
+	}
+}
+
+func TestSubdivideEdgeUndirected(t *testing.T) {
+	g := NewUndirected(2)
+	id := g.AddEdge(0, 1, 5)
+	g.SubdivideEdge(id, 2)
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices / %d edges, want 3 / 2", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	g := Line(4, 2)
+	if g.NumEdges() != 3 || !g.Directed() {
+		t.Fatalf("Line(4): %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(5, 1)
+	if g.NumEdges() != 5 {
+		t.Fatalf("Cycle(5) has %d edges, want 5", g.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if len(g.OutArcs(v)) != 1 {
+			t.Fatalf("cycle vertex %d out-degree %d, want 1", v, len(g.OutArcs(v)))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 2, 1)
+	// 3x2 grid: horizontal edges 2*2=4, vertical edges 3*1=3.
+	if g.NumVertices() != 6 || g.NumEdges() != 7 {
+		t.Fatalf("Grid(3,2): %d vertices, %d edges; want 6, 7", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	d := Complete(4, 1, true)
+	if d.NumEdges() != 12 {
+		t.Fatalf("directed K4 has %d edges, want 12", d.NumEdges())
+	}
+	u := Complete(4, 1, false)
+	if u.NumEdges() != 6 {
+		t.Fatalf("undirected K4 has %d edges, want 6", u.NumEdges())
+	}
+}
+
+func TestLayered(t *testing.T) {
+	g := Layered([]int{2, 3, 1}, 4)
+	if g.NumVertices() != 6 {
+		t.Fatalf("vertices = %d, want 6", g.NumVertices())
+	}
+	if g.NumEdges() != 2*3+3*1 {
+		t.Fatalf("edges = %d, want 9", g.NumEdges())
+	}
+	// Layer 0 vertices reach only layer 1.
+	for _, a := range g.OutArcs(0) {
+		if a.To < 2 || a.To >= 5 {
+			t.Fatalf("layer-0 arc to %d, want within layer 1 (2..4)", a.To)
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, tc := range []struct {
+		n, m     int
+		directed bool
+	}{{5, 4, false}, {8, 15, false}, {6, 10, true}} {
+		g := RandomConnected(rng, tc.n, tc.m, 1, 5, tc.directed)
+		if g.NumVertices() != tc.n || g.NumEdges() != tc.m {
+			t.Fatalf("RandomConnected(%d,%d): got %d vertices %d edges", tc.n, tc.m, g.NumVertices(), g.NumEdges())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if e.Capacity < 1 || e.Capacity > 5 {
+				t.Fatalf("capacity %g outside [1,5]", e.Capacity)
+			}
+		}
+		if !tc.directed && !isConnected(g) {
+			t.Fatal("undirected RandomConnected graph is not connected")
+		}
+	}
+}
+
+func TestRandomStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g := RandomStronglyConnected(rng, 6, 12, 2, 2)
+	if g.NumEdges() != 12 {
+		t.Fatalf("edges = %d, want 12", g.NumEdges())
+	}
+	// Every vertex must reach every other.
+	for s := 0; s < 6; s++ {
+		seen := reachable(g, s)
+		if len(seen) != 6 {
+			t.Fatalf("vertex %d reaches %d vertices, want 6", s, len(seen))
+		}
+	}
+}
+
+func TestRandomConnectedPanicsOnTooFewEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m < n-1")
+		}
+	}()
+	RandomConnected(rand.New(rand.NewPCG(0, 0)), 5, 2, 1, 1, false)
+}
+
+func isConnected(g *Graph) bool {
+	return len(reachable(g, 0)) == g.NumVertices()
+}
+
+func reachable(g *Graph, src int) map[int]bool {
+	seen := map[int]bool{src: true}
+	stack := []int{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.OutArcs(v) {
+			if !seen[a.To] {
+				seen[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom constructs a bounded random graph deterministically from
+// quick-generated primitives.
+func buildRandom(seed uint64, nRaw, mRaw uint8, directed bool) *Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^55))
+	n := 2 + int(nRaw%12)
+	m := n + int(mRaw%30)
+	if directed {
+		return RandomStronglyConnected(rng, n, m, 1, 5)
+	}
+	return RandomConnected(rng, n, m, 1, 5, false)
+}
+
+// TestQuickValidateInvariant: every generated graph validates, and its
+// clone is structurally identical and independent.
+func TestQuickValidateInvariant(t *testing.T) {
+	f := func(seed uint64, n, m uint8, directed bool) bool {
+		g := buildRandom(seed, n, m, directed)
+		if g.Validate() != nil {
+			return false
+		}
+		c := g.Clone()
+		if c.Validate() != nil || c.NumEdges() != g.NumEdges() || c.NumVertices() != g.NumVertices() {
+			return false
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if c.Edge(i) != g.Edge(i) {
+				return false
+			}
+		}
+		// Mutating the clone must not leak.
+		c.SetCapacity(0, 99)
+		return g.Edge(0).Capacity != 99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickArcConsistency: every arc in an adjacency list corresponds to
+// its edge, and total arc count matches directedness.
+func TestQuickArcConsistency(t *testing.T) {
+	f := func(seed uint64, n, m uint8, directed bool) bool {
+		g := buildRandom(seed, n, m, directed)
+		total := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, a := range g.OutArcs(v) {
+				e := g.Edge(a.Edge)
+				if directed {
+					if e.From != v || e.To != a.To {
+						return false
+					}
+				} else if g.Other(a.Edge, v) != a.To {
+					return false
+				}
+				total++
+			}
+		}
+		want := g.NumEdges()
+		if !directed {
+			want *= 2
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubdivisionPreservesStructure: subdividing a random edge keeps
+// the graph valid and preserves total capacity-weighted reachability of
+// the edge's endpoints.
+func TestQuickSubdivisionPreservesStructure(t *testing.T) {
+	f := func(seed uint64, n, m, pick, kRaw uint8, directed bool) bool {
+		g := buildRandom(seed, n, m, directed)
+		id := int(pick) % g.NumEdges()
+		e := g.Edge(id)
+		k := 1 + int(kRaw%4)
+		ids := g.SubdivideEdge(id, k)
+		if len(ids) != k || g.Validate() != nil {
+			return false
+		}
+		// The endpoints must remain connected through the new path.
+		seen := map[int]bool{e.From: true}
+		stack := []int{e.From}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.OutArcs(v) {
+				if !seen[a.To] {
+					seen[a.To] = true
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		return seen[e.To]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

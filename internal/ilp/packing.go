@@ -1,0 +1,305 @@
+// Package ilp solves small 0/1 packing integer programs exactly by
+// LP-bounded branch and bound. Packing programs
+//
+//	maximize  v·x   subject to   A x <= cap,  A >= 0,  x in {0,1}^n
+//
+// cover both problems in the paper: the single-minded multi-unit
+// combinatorial auction directly (rows are items, columns are requests),
+// and the unsplittable flow problem after enumerating each request's
+// simple paths (rows are edges plus one "at most one path per request"
+// row, columns are (request, path) pairs). The exact optimum is the
+// denominator of every measured approximation ratio on small instances.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"truthfulufp/internal/lp"
+)
+
+// Row is a capacity constraint: sum of Coef[k]*x[Idx[k]] <= Cap.
+type Row struct {
+	Idx  []int
+	Coef []float64
+	Cap  float64
+}
+
+// Packing is a 0/1 packing program.
+type Packing struct {
+	Values []float64
+	Rows   []Row
+}
+
+// Validate checks that the program is a well-formed packing instance:
+// nonnegative coefficients, finite values, in-range indices.
+func (p *Packing) Validate() error {
+	n := len(p.Values)
+	for j, v := range p.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ilp: value %d is %v", j, v)
+		}
+	}
+	for i, r := range p.Rows {
+		if len(r.Idx) != len(r.Coef) {
+			return fmt.Errorf("ilp: row %d index/coef length mismatch", i)
+		}
+		if math.IsNaN(r.Cap) {
+			return fmt.Errorf("ilp: row %d capacity is NaN", i)
+		}
+		for k, j := range r.Idx {
+			if j < 0 || j >= n {
+				return fmt.Errorf("ilp: row %d references variable %d out of range [0,%d)", i, j, n)
+			}
+			if r.Coef[k] < 0 {
+				return fmt.Errorf("ilp: row %d has negative coefficient %g (not a packing program)", i, r.Coef[k])
+			}
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of an exact solve.
+type Result struct {
+	Value    float64
+	Selected []bool
+	Nodes    int  // branch-and-bound nodes explored
+	Proven   bool // true if optimality was proven (node budget not exhausted)
+}
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; 0 means 1<<20.
+	MaxNodes int
+	// DisableLPBound turns off the LP relaxation bound and uses the sum of
+	// remaining values instead (for testing the search itself).
+	DisableLPBound bool
+}
+
+// SolvePacking finds a maximum-value 0/1 packing. Variables are branched
+// in decreasing value order; each node is bounded by the LP relaxation of
+// the residual problem.
+func SolvePacking(p *Packing, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	n := len(p.Values)
+	// Branch order: decreasing value (a simple, effective heuristic for
+	// value-dominated packing instances).
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if p.Values[order[a]] != p.Values[order[b]] {
+			return p.Values[order[a]] > p.Values[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	// Per-variable row membership for fast residual updates.
+	member := make([][]entry, n)
+	residual := make([]float64, len(p.Rows))
+	for i, r := range p.Rows {
+		residual[i] = r.Cap
+		for k, j := range r.Idx {
+			member[j] = append(member[j], entry{i, r.Coef[k]})
+		}
+	}
+	s := &solver{
+		p:        p,
+		order:    order,
+		member:   member,
+		residual: residual,
+		chosen:   make([]bool, n),
+		best:     &Result{Selected: make([]bool, n), Proven: true},
+		maxNodes: maxNodes,
+		useLP:    !opts.DisableLPBound,
+	}
+	s.dfs(0, 0)
+	s.best.Nodes = s.nodes
+	s.best.Proven = s.nodes < maxNodes
+	return s.best, nil
+}
+
+type entry struct {
+	row  int
+	coef float64
+}
+
+type solver struct {
+	p        *Packing
+	order    []int
+	member   [][]entry
+	residual []float64
+	chosen   []bool
+	best     *Result
+	nodes    int
+	maxNodes int
+	useLP    bool
+	depth    int
+}
+
+const tol = 1e-9
+
+func (s *solver) dfs(pos int, value float64) {
+	if s.nodes >= s.maxNodes {
+		return
+	}
+	s.nodes++
+	if value > s.best.Value+tol {
+		s.best.Value = value
+		copy(s.best.Selected, s.chosen)
+	}
+	if pos == len(s.order) {
+		return
+	}
+	if value+s.bound(pos) <= s.best.Value+tol {
+		return // pruned
+	}
+	s.depth++
+	defer func() { s.depth-- }()
+	j := s.order[pos]
+	// Branch x_j = 1 first if it fits.
+	if s.fits(j) {
+		s.take(j)
+		s.dfs(pos+1, value+s.p.Values[j])
+		s.untake(j)
+	}
+	s.dfs(pos+1, value)
+}
+
+func (s *solver) fits(j int) bool {
+	for _, e := range s.member[j] {
+		if e.coef > s.residual[e.row]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) take(j int) {
+	s.chosen[j] = true
+	for _, e := range s.member[j] {
+		s.residual[e.row] -= e.coef
+	}
+}
+
+func (s *solver) untake(j int) {
+	s.chosen[j] = false
+	for _, e := range s.member[j] {
+		s.residual[e.row] += e.coef
+	}
+}
+
+// bound returns an upper bound on the additional value obtainable from
+// the variables order[pos:] under the current residual capacities.
+func (s *solver) bound(pos int) float64 {
+	free := s.order[pos:]
+	sum := 0.0
+	var usable []int
+	for _, j := range free {
+		if s.fits(j) {
+			sum += s.p.Values[j]
+			usable = append(usable, j)
+		}
+	}
+	if !s.useLP || len(usable) <= 1 {
+		return sum
+	}
+	// The LP relaxation is the expensive, tight bound; solving it at every
+	// node dominates runtime, so it runs at every third depth level (and
+	// always on small residual problems, where it is cheap and decisive).
+	if s.depth%3 != 0 && len(usable) > 12 {
+		return sum
+	}
+	// LP relaxation over the usable variables with residual capacities.
+	prob := lp.NewMaximize(len(usable))
+	pos2local := make(map[int]int, len(usable))
+	for l, j := range usable {
+		pos2local[j] = l
+		prob.SetObjectiveCoeff(l, s.p.Values[j])
+		prob.AddSparse([]int{l}, []float64{1}, lp.LE, 1)
+	}
+	for i, r := range s.p.Rows {
+		var idx []int
+		var val []float64
+		for k, j := range r.Idx {
+			if l, ok := pos2local[j]; ok && r.Coef[k] > 0 {
+				idx = append(idx, l)
+				val = append(val, r.Coef[k])
+			}
+		}
+		if len(idx) > 0 {
+			prob.AddSparse(idx, val, lp.LE, s.residual[i])
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return sum // fall back to the trivial bound
+	}
+	return math.Min(sum, sol.Objective+tol)
+}
+
+// Value evaluates the packing objective over a selection.
+func (p *Packing) Value(selected []bool) float64 {
+	v := 0.0
+	for j, s := range selected {
+		if s {
+			v += p.Values[j]
+		}
+	}
+	return v
+}
+
+// CheckFeasible verifies a 0/1 selection against all rows.
+func (p *Packing) CheckFeasible(selected []bool) error {
+	if len(selected) != len(p.Values) {
+		return errors.New("ilp: selection length mismatch")
+	}
+	for i, r := range p.Rows {
+		load := 0.0
+		for k, j := range r.Idx {
+			if selected[j] {
+				load += r.Coef[k]
+			}
+		}
+		if load > r.Cap+1e-7 {
+			return fmt.Errorf("ilp: row %d overloaded: %g > %g", i, load, r.Cap)
+		}
+	}
+	return nil
+}
+
+// Enumerate solves the packing program by exhaustive enumeration. It is
+// exponential and intended only as an independent test oracle for n <= 20.
+func Enumerate(p *Packing) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Values)
+	if n > 25 {
+		return nil, fmt.Errorf("ilp: Enumerate limited to 25 variables, got %d", n)
+	}
+	best := &Result{Selected: make([]bool, n), Proven: true}
+	sel := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			sel[j] = mask&(1<<j) != 0
+		}
+		if p.CheckFeasible(sel) != nil {
+			continue
+		}
+		if v := p.Value(sel); v > best.Value {
+			best.Value = v
+			copy(best.Selected, sel)
+		}
+	}
+	best.Nodes = 1 << n
+	return best, nil
+}

@@ -1,0 +1,215 @@
+package ilp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func knapsack(values, weights []float64, cap float64) *Packing {
+	idx := make([]int, len(values))
+	for j := range idx {
+		idx[j] = j
+	}
+	return &Packing{
+		Values: values,
+		Rows:   []Row{{Idx: idx, Coef: weights, Cap: cap}},
+	}
+}
+
+func TestKnapsackKnownOptimum(t *testing.T) {
+	// Items (v, w): (60,10) (100,20) (120,30), cap 50 -> best 220.
+	p := knapsack([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	res, err := SolvePacking(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 220 {
+		t.Fatalf("value = %g, want 220", res.Value)
+	}
+	if res.Selected[0] || !res.Selected[1] || !res.Selected[2] {
+		t.Fatalf("selection = %v, want [false true true]", res.Selected)
+	}
+	if !res.Proven {
+		t.Fatal("optimality not proven on a 3-variable instance")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	res, err := SolvePacking(&Packing{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("empty program value = %g, want 0", res.Value)
+	}
+}
+
+func TestAllFit(t *testing.T) {
+	p := knapsack([]float64{1, 2, 3}, []float64{1, 1, 1}, 10)
+	res, _ := SolvePacking(p, Options{})
+	if res.Value != 6 {
+		t.Fatalf("value = %g, want 6", res.Value)
+	}
+}
+
+func TestNothingFits(t *testing.T) {
+	p := knapsack([]float64{5, 5}, []float64{3, 4}, 2)
+	res, _ := SolvePacking(p, Options{})
+	if res.Value != 0 {
+		t.Fatalf("value = %g, want 0", res.Value)
+	}
+}
+
+func TestMultipleRows(t *testing.T) {
+	// Two resources; x0 uses both heavily.
+	p := &Packing{
+		Values: []float64{10, 6, 6},
+		Rows: []Row{
+			{Idx: []int{0, 1}, Coef: []float64{2, 1}, Cap: 2},
+			{Idx: []int{0, 2}, Coef: []float64{2, 1}, Cap: 2},
+		},
+	}
+	res, _ := SolvePacking(p, Options{})
+	// Either {x0} for 10 or {x1, x2} for 12.
+	if res.Value != 12 {
+		t.Fatalf("value = %g, want 12", res.Value)
+	}
+}
+
+func TestChoiceRowModelsAtMostOnePath(t *testing.T) {
+	// Two "paths" for one request (row cap 1) sharing an edge with another
+	// request: mimics the UFP exact formulation.
+	p := &Packing{
+		Values: []float64{5, 5, 4}, // vars 0,1 are paths of request A; 2 is request B
+		Rows: []Row{
+			{Idx: []int{0, 1}, Coef: []float64{1, 1}, Cap: 1}, // at most one path of A
+			{Idx: []int{0, 2}, Coef: []float64{1, 1}, Cap: 1}, // shared edge
+		},
+	}
+	res, _ := SolvePacking(p, Options{})
+	if res.Value != 9 { // A via path 1 + B
+		t.Fatalf("value = %g, want 9", res.Value)
+	}
+	if !res.Selected[1] || !res.Selected[2] || res.Selected[0] {
+		t.Fatalf("selection = %v, want path 1 + request B", res.Selected)
+	}
+}
+
+func TestSolveMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.IntN(8)
+		m := 1 + rng.IntN(4)
+		p := &Packing{Values: make([]float64, n)}
+		for j := range p.Values {
+			p.Values[j] = rng.Float64()*10 + 0.1
+		}
+		for i := 0; i < m; i++ {
+			var idx []int
+			var coef []float64
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					idx = append(idx, j)
+					coef = append(coef, rng.Float64()*2)
+				}
+			}
+			if len(idx) == 0 {
+				idx, coef = []int{0}, []float64{1}
+			}
+			p.Rows = append(p.Rows, Row{Idx: idx, Coef: coef, Cap: rng.Float64() * 4})
+		}
+		want, err := Enumerate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, disableLP := range []bool{false, true} {
+			got, err := SolvePacking(p, Options{DisableLPBound: disableLP})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Value-want.Value) > 1e-9 {
+				t.Fatalf("trial %d (lp=%v): B&B %g vs enumerate %g", trial, !disableLP, got.Value, want.Value)
+			}
+			if err := p.CheckFeasible(got.Selected); err != nil {
+				t.Fatalf("trial %d: B&B selection infeasible: %v", trial, err)
+			}
+			if math.Abs(p.Value(got.Selected)-got.Value) > 1e-9 {
+				t.Fatalf("trial %d: reported value %g != selection value %g", trial, got.Value, p.Value(got.Selected))
+			}
+		}
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	n := 16
+	p := &Packing{Values: make([]float64, n)}
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.Values[j] = 1 + float64(j%3)*0.01
+		idx[j] = j
+		coef[j] = 1
+	}
+	p.Rows = []Row{{Idx: idx, Coef: coef, Cap: float64(n) / 2}}
+	res, err := SolvePacking(p, Options{MaxNodes: 5, DisableLPBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Fatal("claimed proven optimality with a 5-node budget")
+	}
+	if err := p.CheckFeasible(res.Selected); err != nil {
+		t.Fatalf("budgeted result infeasible: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeCoef(t *testing.T) {
+	p := &Packing{
+		Values: []float64{1},
+		Rows:   []Row{{Idx: []int{0}, Coef: []float64{-1}, Cap: 1}},
+	}
+	if _, err := SolvePacking(p, Options{}); err == nil {
+		t.Fatal("negative coefficient accepted")
+	}
+}
+
+func TestValidateRejectsBadIndex(t *testing.T) {
+	p := &Packing{
+		Values: []float64{1},
+		Rows:   []Row{{Idx: []int{3}, Coef: []float64{1}, Cap: 1}},
+	}
+	if _, err := SolvePacking(p, Options{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestEnumerateSizeLimit(t *testing.T) {
+	p := &Packing{Values: make([]float64, 26)}
+	if _, err := Enumerate(p); err == nil {
+		t.Fatal("Enumerate accepted 26 variables")
+	}
+}
+
+func TestLPBoundPrunesEffectively(t *testing.T) {
+	// A uniform instance where the LP bound is tight: B&B with LP bounds
+	// must explore far fewer nodes than without.
+	n := 14
+	p := &Packing{Values: make([]float64, n)}
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.Values[j] = 1
+		idx[j] = j
+		coef[j] = 1
+	}
+	p.Rows = []Row{{Idx: idx, Coef: coef, Cap: 3}}
+	withLP, _ := SolvePacking(p, Options{})
+	withoutLP, _ := SolvePacking(p, Options{DisableLPBound: true})
+	if withLP.Value != 3 || withoutLP.Value != 3 {
+		t.Fatalf("values = %g, %g; want 3", withLP.Value, withoutLP.Value)
+	}
+	if withLP.Nodes >= withoutLP.Nodes {
+		t.Fatalf("LP bound did not prune: %d nodes with LP vs %d without", withLP.Nodes, withoutLP.Nodes)
+	}
+}

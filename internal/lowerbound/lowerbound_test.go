@@ -1,0 +1,283 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+)
+
+func TestStaircaseStructure(t *testing.T) {
+	f := Staircase(5, 3)
+	if err := f.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edges: l target edges + sum_{i} (l-i+1) source edges.
+	wantEdges := 5 + (5 + 4 + 3 + 2 + 1)
+	if got := f.Inst.G.NumEdges(); got != wantEdges {
+		t.Fatalf("edges = %d, want %d", got, wantEdges)
+	}
+	if len(f.Inst.Requests) != 15 {
+		t.Fatalf("requests = %d, want 15", len(f.Inst.Requests))
+	}
+	if f.OPT != 15 {
+		t.Fatalf("OPT = %g, want 15", f.OPT)
+	}
+	if math.Abs(f.Inst.B()-3) > 1e-6 {
+		t.Fatalf("B = %g, want ~3", f.Inst.B())
+	}
+}
+
+func TestStaircaseOPTRoutingFeasible(t *testing.T) {
+	l, b := 6, 4
+	f := Staircase(l, b)
+	routed := StaircaseOPTRouting(f, l, b)
+	a := &core.Allocation{Routed: routed, Value: float64(len(routed))}
+	if err := a.CheckFeasible(f.Inst, false); err != nil {
+		t.Fatalf("OPT routing infeasible: %v", err)
+	}
+	if a.Value != f.OPT {
+		t.Fatalf("OPT routing value %g != OPT %g", a.Value, f.OPT)
+	}
+}
+
+// TestStaircaseForcesTheGap is the heart of E2: the engine with the
+// paper's own rule h satisfies only ≈ (1-1/e) of the staircase.
+func TestStaircaseForcesTheGap(t *testing.T) {
+	l, b := 20, 6
+	f := Staircase(l, b)
+	a, err := core.IterativePathMin(f.Inst, core.EngineOptions{
+		Rule: &core.ExpRule{}, Eps: 0.5, FeasibleOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(f.Inst, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value > f.PredictedALG+f.Slack {
+		t.Fatalf("ALG %g exceeds predicted %g + slack %g", a.Value, f.PredictedALG, f.Slack)
+	}
+	// It should not be wildly below the prediction either (the adversarial
+	// dynamics are what the construction engineers).
+	if a.Value < f.PredictedALG-f.Slack {
+		t.Fatalf("ALG %g far below predicted %g - slack", a.Value, f.PredictedALG)
+	}
+	ratio := f.OPT / a.Value
+	if ratio < 1.25 {
+		t.Fatalf("ratio %g too small; construction not biting", ratio)
+	}
+}
+
+func TestStaircaseGapForAllRules(t *testing.T) {
+	l, b := 12, 4
+	f := Staircase(l, b)
+	for _, rule := range core.AllRules(false) {
+		a, err := core.IterativePathMin(f.Inst, core.EngineOptions{
+			Rule: rule, Eps: 0.5, FeasibleOnly: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckFeasible(f.Inst, false); err != nil {
+			t.Fatalf("rule %s: %v", rule.Name(), err)
+		}
+		if a.Value >= f.OPT {
+			t.Fatalf("rule %s reached OPT on the staircase; lower bound should bite", rule.Name())
+		}
+	}
+}
+
+func TestStaircaseRatioApproachesEOverEMinus1(t *testing.T) {
+	// (B/(B+1))^B decreases toward 1/e, so the forced ratio decreases
+	// toward e/(e-1) from above, staying >= the limit throughout.
+	limit := math.E / (math.E - 1)
+	prev := math.Inf(1)
+	for _, b := range []float64{1, 2, 5, 20, 100} {
+		r := StaircaseRatio(b)
+		if r >= prev {
+			t.Fatalf("StaircaseRatio not decreasing at B=%g", b)
+		}
+		if r < limit {
+			t.Fatalf("StaircaseRatio(%g) = %g below the e/(e-1) limit", b, r)
+		}
+		prev = r
+	}
+	if math.Abs(StaircaseRatio(1e6)-limit) > 1e-3 {
+		t.Fatalf("StaircaseRatio(1e6) = %g, want ≈ %g", StaircaseRatio(1e6), limit)
+	}
+}
+
+func TestStaircaseSubdividedStructure(t *testing.T) {
+	l, b := 4, 2
+	f := StaircaseSubdivided(l, b)
+	if err := f.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total edges: l target edges + sum over (i, j>=i) of (i*l+1-j).
+	want := l
+	for i := 1; i <= l; i++ {
+		for j := i; j <= l; j++ {
+			want += i*l + 1 - j
+		}
+	}
+	if got := f.Inst.G.NumEdges(); got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+}
+
+func TestStaircaseSubdividedGapWithoutPerturbation(t *testing.T) {
+	// The hardened variant forces the adversarial choice for any additive
+	// reasonable rule with no capacity perturbation at all. Large eps
+	// makes the congestion penalty dominate the hop penalty.
+	l, b := 6, 3
+	f := StaircaseSubdivided(l, b)
+	a, err := core.IterativePathMin(f.Inst, core.EngineOptions{
+		Rule: &core.ExpRule{}, Eps: 1, FeasibleOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(f.Inst, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value >= f.OPT {
+		t.Fatalf("subdivided staircase did not bite: ALG %g = OPT %g", a.Value, f.OPT)
+	}
+}
+
+func TestSevenVertexStructure(t *testing.T) {
+	f := SevenVertex(4)
+	if err := f.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Inst.G.NumEdges() != 8 || f.Inst.G.NumVertices() != 7 {
+		t.Fatalf("got %d edges %d vertices, want 8, 7", f.Inst.G.NumEdges(), f.Inst.G.NumVertices())
+	}
+	if len(f.Inst.Requests) != 16 {
+		t.Fatalf("requests = %d, want 16", len(f.Inst.Requests))
+	}
+	if f.OPT != 16 || f.PredictedALG != 12 {
+		t.Fatalf("OPT/pred = %g/%g, want 16/12", f.OPT, f.PredictedALG)
+	}
+}
+
+func TestSevenVertexOPTRoutingFeasible(t *testing.T) {
+	b := 6
+	f := SevenVertex(b)
+	routed := SevenVertexOPTRouting(f, b)
+	a := &core.Allocation{Routed: routed, Value: float64(len(routed))}
+	if err := a.CheckFeasible(f.Inst, false); err != nil {
+		t.Fatalf("OPT routing infeasible: %v", err)
+	}
+	if a.Value != f.OPT {
+		t.Fatalf("OPT routing value %g != %g", a.Value, f.OPT)
+	}
+}
+
+// TestSevenVertexExactly3B is the heart of E3: the adversarial run
+// reaches exactly 3B for every even B, independent of how large B is —
+// Theorem 3.12's "no PTAS even with huge capacities".
+func TestSevenVertexExactly3B(t *testing.T) {
+	for _, b := range []int{2, 4, 8, 16} {
+		f := SevenVertex(b)
+		a, err := core.IterativePathMin(f.Inst, core.EngineOptions{
+			Rule: &core.ExpRule{}, Eps: 0.1, FeasibleOnly: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckFeasible(f.Inst, false); err != nil {
+			t.Fatal(err)
+		}
+		if a.Value != f.PredictedALG {
+			t.Fatalf("B=%d: ALG = %g, want exactly 3B = %g", b, a.Value, f.PredictedALG)
+		}
+	}
+}
+
+func TestSevenVertexPanicsOnOddB(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd B accepted")
+		}
+	}()
+	SevenVertex(3)
+}
+
+func TestMUCAGridStructure(t *testing.T) {
+	p, b := 3, 4
+	f := MUCAGrid(p, b)
+	if err := f.Inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Inst.NumItems() != p*(p+1) {
+		t.Fatalf("items = %d, want %d", f.Inst.NumItems(), p*(p+1))
+	}
+	// Requests: p rows * B/2 + (p+1) column variants * B/2.
+	want := p*b/2 + (p+1)*b/2
+	if len(f.Inst.Requests) != want {
+		t.Fatalf("requests = %d, want %d", len(f.Inst.Requests), want)
+	}
+	for _, r := range f.Inst.Requests {
+		if len(r.Bundle) != p+1 {
+			t.Fatalf("bundle size %d, want %d", len(r.Bundle), p+1)
+		}
+	}
+}
+
+func TestMUCAGridOPTSelectionFeasible(t *testing.T) {
+	p, b := 5, 4
+	f := MUCAGrid(p, b)
+	sel := MUCAGridOPTSelection(f, p, b)
+	a := &auction.Allocation{Selected: sel, Value: float64(len(sel))}
+	if err := a.CheckFeasible(f.Inst); err != nil {
+		t.Fatalf("OPT selection infeasible: %v", err)
+	}
+	if a.Value != f.OPT {
+		t.Fatalf("OPT selection value %g != %g", a.Value, f.OPT)
+	}
+}
+
+// TestMUCAGridForcesGap is the heart of E5: the bundle engine reaches
+// exactly (3p+1)B/4 versus OPT = pB, ratio -> 4/3.
+func TestMUCAGridForcesGap(t *testing.T) {
+	for _, tc := range []struct{ p, b int }{{3, 4}, {5, 4}, {7, 2}} {
+		f := MUCAGrid(tc.p, tc.b)
+		a, err := auction.IterativeBundleMin(f.Inst, auction.BundleEngineOptions{
+			Rule: auction.ExpBundleRule{}, Eps: 0.5, FeasibleOnly: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckFeasible(f.Inst); err != nil {
+			t.Fatal(err)
+		}
+		if a.Value != f.PredictedALG {
+			t.Fatalf("p=%d B=%d: ALG = %g, want exactly %g", tc.p, tc.b, a.Value, f.PredictedALG)
+		}
+		ratio := f.OPT / a.Value
+		want := 4 * float64(tc.p) / float64(3*tc.p+1)
+		if math.Abs(ratio-want) > 1e-9 {
+			t.Fatalf("ratio %g, want %g", ratio, want)
+		}
+	}
+}
+
+func TestMUCAGridPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MUCAGrid(2, 4) }, // even p
+		func() { MUCAGrid(3, 3) }, // odd B
+		func() { MUCAGrid(1, 4) }, // p too small
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad MUCAGrid params accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

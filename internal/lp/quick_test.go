@@ -1,0 +1,94 @@
+package lp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomPacking builds a bounded random packing LP (always feasible at
+// x = 0, always bounded via box rows).
+func randomPacking(seed uint64, nRaw, mRaw uint8) (*Problem, int) {
+	rng := rand.New(rand.NewPCG(seed, seed^99))
+	n := 1 + int(nRaw%5)
+	m := 1 + int(mRaw%5)
+	p := NewMaximize(n)
+	for j := 0; j < n; j++ {
+		p.SetObjectiveCoeff(j, rng.Float64()*3)
+	}
+	for i := 0; i < m; i++ {
+		coef := make([]float64, n)
+		for j := range coef {
+			coef[j] = rng.Float64()
+		}
+		p.AddDense(coef, LE, 0.5+rng.Float64()*2)
+	}
+	for j := 0; j < n; j++ {
+		coef := make([]float64, n)
+		coef[j] = 1
+		p.AddDense(coef, LE, 2)
+	}
+	return p, n
+}
+
+// TestQuickSimplexOptimalAndFeasible: the reported solution is feasible
+// and no random feasible point (constructed by shrinking a random ray to
+// feasibility) beats it.
+func TestQuickSimplexOptimalAndFeasible(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		p, n := randomPacking(seed, nRaw, mRaw)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		if p.CheckFeasible(sol.X, 1e-6) != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed^1, seed^2))
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 2
+			}
+			// Shrink toward the origin until feasible (packing LPs are
+			// star-shaped around 0).
+			for scale := 1.0; scale > 1e-4; scale /= 2 {
+				y := make([]float64, n)
+				for j := range y {
+					y[j] = x[j] * scale
+				}
+				if p.CheckFeasible(y, 1e-9) == nil {
+					if p.Value(y) > sol.Objective+1e-6 {
+						return false
+					}
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWeakDuality: the dual vector reported at optimality satisfies
+// b·y >= c·x for the packing form (here equality by strong duality; we
+// assert the weak direction with tolerance, which must never fail).
+func TestQuickWeakDuality(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		p, _ := randomPacking(seed, nRaw, mRaw)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		dualVal := 0.0
+		for i, r := range p.rows {
+			dualVal += sol.Duals[i] * r.rhs
+		}
+		return dualVal >= sol.Objective-1e-6*(1+sol.Objective)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

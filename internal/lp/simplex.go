@@ -1,0 +1,543 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	maximize  c·x   subject to   A x {<=,=,>=} b,  x >= 0.
+//
+// The Go ecosystem offers no stdlib LP solver, and this reproduction is
+// offline, so the solver is hand-rolled. It targets the small and
+// mid-sized LPs this repository needs: fractional relaxations of
+// unsplittable-flow and auction instances (hundreds to a few thousand
+// variables), LP bounds inside branch-and-bound, and the primal/dual
+// programs of the paper's Figure 1 and Figure 5. Duals are extracted so
+// weak/strong duality can be verified in tests and experiments.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is a linear program under construction. Variables are indexed
+// 0..NumVars-1 and implicitly satisfy x >= 0; the objective is maximized.
+type Problem struct {
+	numVars   int
+	objective []float64
+	rows      []row
+}
+
+type row struct {
+	idx []int
+	val []float64
+	rel Rel
+	rhs float64
+}
+
+// NewMaximize returns an empty maximization problem over numVars
+// nonnegative variables with a zero objective.
+func NewMaximize(numVars int) *Problem {
+	return &Problem{numVars: numVars, objective: make([]float64, numVars)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraint rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjectiveCoeff sets the objective coefficient of variable j.
+func (p *Problem) SetObjectiveCoeff(j int, c float64) {
+	p.objective[j] = c
+}
+
+// AddSparse appends the constraint sum_i val[i]*x[idx[i]] rel rhs and
+// returns its row index. The idx/val slices are copied.
+func (p *Problem) AddSparse(idx []int, val []float64, rel Rel, rhs float64) int {
+	if len(idx) != len(val) {
+		panic("lp: AddSparse index/value length mismatch")
+	}
+	for _, j := range idx {
+		if j < 0 || j >= p.numVars {
+			panic(fmt.Sprintf("lp: AddSparse variable %d out of range [0,%d)", j, p.numVars))
+		}
+	}
+	r := row{idx: append([]int(nil), idx...), val: append([]float64(nil), val...), rel: rel, rhs: rhs}
+	p.rows = append(p.rows, r)
+	return len(p.rows) - 1
+}
+
+// AddDense appends the constraint coef·x rel rhs (coef must have NumVars
+// entries) and returns its row index. Zero coefficients are dropped.
+func (p *Problem) AddDense(coef []float64, rel Rel, rhs float64) int {
+	if len(coef) != p.numVars {
+		panic(fmt.Sprintf("lp: AddDense got %d coefficients, want %d", len(coef), p.numVars))
+	}
+	var idx []int
+	var val []float64
+	for j, c := range coef {
+		if c != 0 {
+			idx = append(idx, j)
+			val = append(val, c)
+		}
+	}
+	return p.AddSparse(idx, val, rel, rhs)
+}
+
+// Solution is the result of Solve. X has NumVars entries; Duals has one
+// entry per constraint row, with the convention that for an optimal
+// solution of a maximization problem, Duals of <= rows are >= 0, duals of
+// >= rows are <= 0, and strong duality holds: Objective == sum_i
+// Duals[i]*rhs[i].
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	Duals     []float64
+}
+
+const (
+	tolerance    = 1e-9
+	pivotMinimum = 1e-10
+)
+
+// Solve runs two-phase primal simplex. It returns an error only for
+// malformed input; infeasibility/unboundedness are reported via Status.
+func (p *Problem) Solve() (*Solution, error) {
+	for i, r := range p.rows {
+		if math.IsNaN(r.rhs) || math.IsInf(r.rhs, 0) {
+			return nil, fmt.Errorf("lp: row %d has invalid rhs %v", i, r.rhs)
+		}
+	}
+	t := newTableau(p)
+	if !t.phase1() {
+		return &Solution{Status: Infeasible}, nil
+	}
+	status := t.phase2()
+	sol := &Solution{Status: status}
+	if status == Optimal {
+		sol.X = t.extractX()
+		sol.Duals = t.extractDuals()
+		obj := 0.0
+		for j, c := range p.objective {
+			obj += c * sol.X[j]
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+// tableau is a dense simplex tableau. Columns are laid out as
+// [structural | slack/surplus | artificial | rhs]; rows are the
+// constraints followed by the (phase-dependent) objective row holding
+// reduced costs for *minimization* (the maximization objective is
+// negated on entry). unit[i] is the column that is the i-th unit vector
+// at the start (slack for LE, artificial otherwise), used to read duals.
+type tableau struct {
+	p         *Problem
+	m         int // constraint rows
+	nStruct   int
+	nSlack    int
+	nArt      int
+	cols      int // total variable columns (excludes rhs)
+	a         [][]float64
+	rhs       []float64
+	basis     []int
+	slackCol  []int // per row, slack/surplus column or -1
+	artCol    []int // per row, artificial column or -1
+	unit      []int // per row, column that began as e_i
+	inPhase2  bool
+	costs     []float64 // current phase objective coefficients per column
+	redCost   []float64 // reduced-cost row
+	objShift  float64
+	iterLimit int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	t := &tableau{p: p, m: m, nStruct: p.numVars}
+	// Count slack/surplus and artificial columns after normalizing rhs >= 0.
+	type normRow struct {
+		idx []int
+		val []float64
+		rel Rel
+		rhs float64
+	}
+	norm := make([]normRow, m)
+	for i, r := range p.rows {
+		nr := normRow{idx: r.idx, val: r.val, rel: r.rel, rhs: r.rhs}
+		if nr.rhs < 0 {
+			flipped := make([]float64, len(r.val))
+			for k, v := range r.val {
+				flipped[k] = -v
+			}
+			nr.val = flipped
+			nr.rhs = -nr.rhs
+			switch nr.rel {
+			case LE:
+				nr.rel = GE
+			case GE:
+				nr.rel = LE
+			}
+		}
+		norm[i] = nr
+		switch nr.rel {
+		case LE, GE:
+			t.nSlack++
+		}
+		if nr.rel != LE {
+			t.nArt++
+		}
+	}
+	// A LE row with rhs >= 0 gets a slack that can serve as the initial
+	// basic variable; GE and EQ rows need artificials.
+	t.cols = t.nStruct + t.nSlack + t.nArt
+	t.a = make([][]float64, m)
+	t.rhs = make([]float64, m)
+	t.basis = make([]int, m)
+	t.slackCol = make([]int, m)
+	t.artCol = make([]int, m)
+	t.unit = make([]int, m)
+	slackBase := t.nStruct
+	artBase := t.nStruct + t.nSlack
+	slackUsed, artUsed := 0, 0
+	for i, nr := range norm {
+		rowVec := make([]float64, t.cols)
+		for k, j := range nr.idx {
+			rowVec[j] += nr.val[k]
+		}
+		t.slackCol[i] = -1
+		t.artCol[i] = -1
+		switch nr.rel {
+		case LE:
+			c := slackBase + slackUsed
+			slackUsed++
+			rowVec[c] = 1
+			t.slackCol[i] = c
+			t.basis[i] = c
+			t.unit[i] = c
+		case GE:
+			c := slackBase + slackUsed
+			slackUsed++
+			rowVec[c] = -1
+			t.slackCol[i] = c
+			ac := artBase + artUsed
+			artUsed++
+			rowVec[ac] = 1
+			t.artCol[i] = ac
+			t.basis[i] = ac
+			t.unit[i] = ac
+		case EQ:
+			ac := artBase + artUsed
+			artUsed++
+			rowVec[ac] = 1
+			t.artCol[i] = ac
+			t.basis[i] = ac
+			t.unit[i] = ac
+		}
+		t.a[i] = rowVec
+		t.rhs[i] = nr.rhs
+	}
+	t.iterLimit = 200*(m+t.cols) + 20000
+	return t
+}
+
+// setCosts installs per-column costs (minimization) and recomputes the
+// reduced-cost row r_j = c_j - y·A_j from the current basis.
+func (t *tableau) setCosts(costs []float64) {
+	t.costs = costs
+	t.redCost = make([]float64, t.cols)
+	copy(t.redCost, costs)
+	t.objShift = 0
+	for i, b := range t.basis {
+		cb := costs[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.cols; j++ {
+			t.redCost[j] -= cb * t.a[i][j]
+		}
+		t.objShift += cb * t.rhs[i]
+	}
+}
+
+// phase1 minimizes the sum of artificials; returns false if infeasible.
+func (t *tableau) phase1() bool {
+	if t.nArt == 0 {
+		costs := make([]float64, t.cols)
+		t.setCosts(costs)
+		return true
+	}
+	costs := make([]float64, t.cols)
+	artBase := t.nStruct + t.nSlack
+	for j := artBase; j < t.cols; j++ {
+		costs[j] = 1
+	}
+	t.setCosts(costs)
+	if t.iterate(false) != Optimal {
+		return false
+	}
+	if t.objShift > 1e-7 {
+		return false
+	}
+	// Drive remaining artificials out of the basis where possible.
+	for i, b := range t.basis {
+		if b < artBase {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < artBase; j++ {
+			if math.Abs(t.a[i][j]) > pivotMinimum {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Row is redundant (all-zero over real columns); it stays with
+			// the artificial basic at value ~0, harmless for phase 2 since
+			// artificials are barred from entering.
+			_ = i
+		}
+	}
+	return true
+}
+
+// phase2 minimizes the negated user objective.
+func (t *tableau) phase2() Status {
+	t.inPhase2 = true
+	costs := make([]float64, t.cols)
+	for j := 0; j < t.nStruct; j++ {
+		costs[j] = -t.p.objective[j]
+	}
+	t.setCosts(costs)
+	return t.iterate(true)
+}
+
+// iterate runs simplex pivots until optimal/unbounded/limit. When
+// barArtificials is true, artificial columns may not enter the basis.
+func (t *tableau) iterate(barArtificials bool) Status {
+	artBase := t.nStruct + t.nSlack
+	degenerate := 0
+	useBland := false
+	for iter := 0; iter < t.iterLimit; iter++ {
+		enter := -1
+		if useBland {
+			for j := 0; j < t.cols; j++ {
+				if barArtificials && j >= artBase {
+					break
+				}
+				if t.redCost[j] < -tolerance {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -tolerance
+			for j := 0; j < t.cols; j++ {
+				if barArtificials && j >= artBase {
+					break
+				}
+				if t.redCost[j] < best {
+					best = t.redCost[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test; Bland ties by smallest basis variable index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= pivotMinimum {
+				continue
+			}
+			ratio := t.rhs[i] / aij
+			if ratio < bestRatio-tolerance ||
+				(ratio < bestRatio+tolerance && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		if bestRatio < tolerance {
+			degenerate++
+			if degenerate > 2*(t.m+t.cols) {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter)
+	}
+	return IterationLimit
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	rowL := t.a[leave]
+	for j := 0; j < t.cols; j++ {
+		rowL[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	rowL[enter] = 1 // fight rounding
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		rowI := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			rowI[j] -= f * rowL[j]
+		}
+		rowI[enter] = 0
+		t.rhs[i] -= f * t.rhs[leave]
+		if t.rhs[i] < 0 && t.rhs[i] > -tolerance {
+			t.rhs[i] = 0
+		}
+	}
+	f := t.redCost[enter]
+	if f != 0 {
+		for j := 0; j < t.cols; j++ {
+			t.redCost[j] -= f * rowL[j]
+		}
+		t.redCost[enter] = 0
+		t.objShift += f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+func (t *tableau) extractX() []float64 {
+	x := make([]float64, t.nStruct)
+	for i, b := range t.basis {
+		if b < t.nStruct {
+			x[b] = t.rhs[i]
+			if x[b] < 0 && x[b] > -tolerance {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}
+
+// extractDuals reads y_i = -redCost[unit_i] + cost[unit_i]; since the
+// phase-2 cost of slack and artificial columns is zero, y_i =
+// -redCost[unit_i]. The minimization sign flip (phase 2 minimizes -c·x)
+// is undone so duals correspond to the maximization problem.
+func (t *tableau) extractDuals() []float64 {
+	duals := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		y := -t.redCost[t.unit[i]]
+		// Undo minimization negation.
+		y = -y
+		// Undo the rhs sign normalization: rows whose rhs was flipped have
+		// duals of opposite sign relative to the original row.
+		if t.p.rows[i].rhs < 0 {
+			y = -y
+		}
+		duals[i] = y
+	}
+	return duals
+}
+
+// Value evaluates the problem's objective at x.
+func (p *Problem) Value(x []float64) float64 {
+	v := 0.0
+	for j, c := range p.objective {
+		v += c * x[j]
+	}
+	return v
+}
+
+// CheckFeasible verifies x against all constraints and bounds within tol,
+// returning a descriptive error for the first violation.
+func (p *Problem) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != p.numVars {
+		return fmt.Errorf("lp: solution has %d entries, want %d", len(x), p.numVars)
+	}
+	for j, v := range x {
+		if v < -tol {
+			return fmt.Errorf("lp: x[%d] = %g violates nonnegativity", j, v)
+		}
+	}
+	for i, r := range p.rows {
+		lhs := 0.0
+		for k, j := range r.idx {
+			lhs += r.val[k] * x[j]
+		}
+		switch r.rel {
+		case LE:
+			if lhs > r.rhs+tol {
+				return fmt.Errorf("lp: row %d: %g <= %g violated", i, lhs, r.rhs)
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return fmt.Errorf("lp: row %d: %g >= %g violated", i, lhs, r.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return fmt.Errorf("lp: row %d: %g = %g violated", i, lhs, r.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrMalformed is returned (wrapped) for structurally invalid problems.
+var ErrMalformed = errors.New("lp: malformed problem")

@@ -1,0 +1,372 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if err := p.CheckFeasible(sol.X, 1e-6); err != nil {
+		t.Fatalf("solution infeasible: %v", err)
+	}
+	return sol
+}
+
+func TestTextbookLP(t *testing.T) {
+	// maximize 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum 36 at (2, 6).
+	p := NewMaximize(2)
+	p.SetObjectiveCoeff(0, 3)
+	p.SetObjectiveCoeff(1, 5)
+	p.AddDense([]float64{1, 0}, LE, 4)
+	p.AddDense([]float64{0, 2}, LE, 12)
+	p.AddDense([]float64{3, 2}, LE, 18)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-36) > 1e-7 {
+		t.Fatalf("objective = %g, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Fatalf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x + y st x + y = 5, x <= 3. Optimum 5.
+	p := NewMaximize(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	p.AddDense([]float64{1, 1}, EQ, 5)
+	p.AddDense([]float64{1, 0}, LE, 3)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5) > 1e-7 {
+		t.Fatalf("objective = %g, want 5", sol.Objective)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// maximize -x st x >= 2 -> optimum -2.
+	p := NewMaximize(1)
+	p.SetObjectiveCoeff(0, -1)
+	p.AddDense([]float64{1}, GE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+2) > 1e-7 {
+		t.Fatalf("objective = %g, want -2", sol.Objective)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// maximize x st -x >= -3 (i.e. x <= 3).
+	p := NewMaximize(1)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddDense([]float64{-1}, GE, -3)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-3) > 1e-7 {
+		t.Fatalf("objective = %g, want 3", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewMaximize(1)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddDense([]float64{1}, LE, 1)
+	p.AddDense([]float64{1}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewMaximize(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddDense([]float64{0, 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// A classic degenerate LP; solver must not cycle.
+	p := NewMaximize(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	p.AddDense([]float64{1, 0}, LE, 1)
+	p.AddDense([]float64{1, 0}, LE, 1) // duplicate binding row
+	p.AddDense([]float64{1, 1}, LE, 2)
+	p.AddDense([]float64{0, 1}, LE, 1)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-7 {
+		t.Fatalf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	p := NewMaximize(2)
+	p.AddDense([]float64{1, 1}, LE, 1)
+	sol := solveOK(t, p)
+	if sol.Objective != 0 {
+		t.Fatalf("objective = %g, want 0", sol.Objective)
+	}
+}
+
+func TestStrongDualityPackingLP(t *testing.T) {
+	// Packing LP: duals must be nonnegative and b·y == c·x at optimum.
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(4)
+		m := 1 + rng.IntN(4)
+		p := NewMaximize(n)
+		for j := 0; j < n; j++ {
+			p.SetObjectiveCoeff(j, rng.Float64()+0.1)
+		}
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = rng.Float64()
+			}
+			b[i] = 1 + rng.Float64()*3
+			p.AddDense(coef, LE, b[i])
+		}
+		for j := 0; j < n; j++ {
+			coef := make([]float64, n)
+			coef[j] = 1
+			b = append(b, 1)
+			p.AddDense(coef, LE, 1) // x_j <= 1 keeps it bounded
+		}
+		sol := solveOK(t, p)
+		dualVal := 0.0
+		for i, y := range sol.Duals {
+			if y < -1e-7 {
+				t.Fatalf("trial %d: dual %d = %g < 0 for packing LP", trial, i, y)
+			}
+			dualVal += y * b[i]
+		}
+		if math.Abs(dualVal-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: strong duality broken: primal %g dual %g", trial, sol.Objective, dualVal)
+		}
+	}
+}
+
+// TestAgainstBruteForce cross-validates simplex against exhaustive vertex
+// enumeration on random small bounded LPs.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.IntN(3)
+		m := 2 + rng.IntN(4)
+		p := NewMaximize(n)
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = rng.Float64()*4 - 1
+			p.SetObjectiveCoeff(j, obj[j])
+		}
+		rows := make([][]float64, 0, m+n)
+		rhs := make([]float64, 0, m+n)
+		for i := 0; i < m; i++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = rng.Float64()
+			}
+			r := 0.5 + rng.Float64()*2
+			p.AddDense(coef, LE, r)
+			rows = append(rows, coef)
+			rhs = append(rhs, r)
+		}
+		// Box constraints keep every instance bounded and feasible (x=0).
+		for j := 0; j < n; j++ {
+			coef := make([]float64, n)
+			coef[j] = 1
+			p.AddDense(coef, LE, 2)
+			rows = append(rows, coef)
+			rhs = append(rhs, 2)
+		}
+		sol := solveOK(t, p)
+		want := bruteForceMax(obj, rows, rhs)
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %g vs brute force %g", trial, sol.Objective, want)
+		}
+	}
+}
+
+// bruteForceMax enumerates all vertices of {x >= 0, rows·x <= rhs} by
+// solving every n-subset of tight constraints and returns the best
+// objective value among feasible vertices.
+func bruteForceMax(obj []float64, rows [][]float64, rhs []float64) float64 {
+	n := len(obj)
+	// Hyperplane set: each row as equality, plus x_j = 0.
+	type plane struct {
+		a []float64
+		b float64
+	}
+	var planes []plane
+	for i, r := range rows {
+		planes = append(planes, plane{r, rhs[i]})
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = 1
+		planes = append(planes, plane{a, 0})
+	}
+	best := math.Inf(-1)
+	idx := make([]int, n)
+	var rec func(start, k int)
+	feasible := func(x []float64) bool {
+		for j := 0; j < n; j++ {
+			if x[j] < -1e-7 {
+				return false
+			}
+		}
+		for i, r := range rows {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += r[j] * x[j]
+			}
+			if lhs > rhs[i]+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(start, k int) {
+		if k == n {
+			A := make([][]float64, n)
+			b := make([]float64, n)
+			for i, pi := range idx {
+				A[i] = append([]float64(nil), planes[pi].a...)
+				b[i] = planes[pi].b
+			}
+			x, ok := gauss(A, b)
+			if ok && feasible(x) {
+				v := 0.0
+				for j := 0; j < n; j++ {
+					v += obj[j] * x[j]
+				}
+				if v > best {
+					best = v
+				}
+			}
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// gauss solves Ax = b with partial pivoting; ok is false if singular.
+func gauss(A [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-10 {
+			return nil, false
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	return x, true
+}
+
+func TestAddSparseValidation(t *testing.T) {
+	p := NewMaximize(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSparse with bad index did not panic")
+		}
+	}()
+	p.AddSparse([]int{5}, []float64{1}, LE, 1)
+}
+
+func TestAddDenseWrongLength(t *testing.T) {
+	p := NewMaximize(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDense with wrong length did not panic")
+		}
+	}()
+	p.AddDense([]float64{1}, LE, 1)
+}
+
+func TestInvalidRHS(t *testing.T) {
+	p := NewMaximize(1)
+	p.AddDense([]float64{1}, LE, math.NaN())
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("Solve accepted NaN rhs")
+	}
+}
+
+func TestCheckFeasibleDetectsViolations(t *testing.T) {
+	p := NewMaximize(2)
+	p.AddDense([]float64{1, 1}, LE, 1)
+	p.AddDense([]float64{1, 0}, GE, 0.2)
+	p.AddDense([]float64{0, 1}, EQ, 0.5)
+	if err := p.CheckFeasible([]float64{0.3, 0.5}, 1e-9); err != nil {
+		t.Fatalf("feasible point rejected: %v", err)
+	}
+	if err := p.CheckFeasible([]float64{0.6, 0.5}, 1e-9); err == nil {
+		t.Fatal("LE violation not caught")
+	}
+	if err := p.CheckFeasible([]float64{0.1, 0.5}, 1e-9); err == nil {
+		t.Fatal("GE violation not caught")
+	}
+	if err := p.CheckFeasible([]float64{0.3, 0.4}, 1e-9); err == nil {
+		t.Fatal("EQ violation not caught")
+	}
+	if err := p.CheckFeasible([]float64{-0.1, 0.5}, 1e-9); err == nil {
+		t.Fatal("negativity violation not caught")
+	}
+}
+
+func TestRelAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Rel strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" {
+		t.Error("Status strings wrong")
+	}
+	if Rel(42).String() == "" || Status(42).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+}

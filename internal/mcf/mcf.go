@@ -1,0 +1,185 @@
+// Package mcf implements a Garg–Könemann style fully polynomial
+// approximation scheme for maximum-profit fractional multicommodity flow
+// — the fractional counterpart of the unsplittable flow problem (the LP
+// of the paper's Figure 5). The paper cites this line of combinatorial
+// (1+ε) algorithms (Garg–Könemann FOCS'98, Fleischer FOCS'99) as the
+// reason one might (wrongly) expect a monotone PTAS for the integral
+// problem; here it serves as the scalable fractional reference solver
+// alongside the exact simplex formulation.
+//
+// The LP solved is
+//
+//	max Σ_paths π_r · g_p   s.t.  Σ_{p ∋ e} g_p <= c_e,  g >= 0,
+//
+// where g_p is flow in demand units and π_r = v_r/d_r is the per-unit
+// profit of the request owning path p. Requests have no per-request cap
+// (repetitions allowed), exactly Figure 5's relaxation.
+package mcf
+
+import (
+	"fmt"
+	"math"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/pathfind"
+)
+
+// RoutedFlow is one path of the fractional solution with its flow in
+// demand units (after feasibility scaling).
+type RoutedFlow struct {
+	Request int
+	Path    []int
+	Flow    float64
+}
+
+// Result is the outcome of MaxProfitFlow. Value <= OPT <= UpperBound is
+// certified: Value is attained by the returned feasible flow, and
+// UpperBound is the value of a feasible dual solution.
+type Result struct {
+	Value      float64
+	UpperBound float64
+	Paths      []RoutedFlow
+	Iterations int
+}
+
+// MaxProfitFlow runs the Garg–Könemann scheme with accuracy eps in
+// (0, 1/2]. Edge prices start at δ/c_e with the standard
+// δ = (1+ε)·((1+ε)·n)^{-1/ε}; while some request has a path whose price
+// is below its per-unit profit, the cheapest such path receives its
+// bottleneck capacity of flow and its edges' prices inflate by
+// (1+ε·c_min/c_e). The accumulated flow is then scaled down by its worst
+// edge overload, which guarantees feasibility independent of the
+// analysis constants; the classic analysis gives Value >= (1-3ε)·OPT.
+func MaxProfitFlow(inst *core.Instance, eps float64) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if !(eps > 0) || eps > 0.5 {
+		return nil, errInvalidEps(eps)
+	}
+	g := inst.G
+	m := g.NumEdges()
+	n := g.NumVertices()
+	if m == 0 || len(inst.Requests) == 0 {
+		return &Result{}, nil
+	}
+	delta := (1 + eps) * math.Pow((1+eps)*float64(n), -1/eps)
+	y := make([]float64, m)
+	for e := 0; e < m; e++ {
+		y[e] = delta / g.Edge(e).Capacity
+	}
+	load := make([]float64, m)
+	profit := make([]float64, len(inst.Requests))
+	for i, r := range inst.Requests {
+		profit[i] = r.Value / r.Demand
+	}
+	res := &Result{UpperBound: math.Inf(1)}
+	type rawPath struct {
+		request int
+		path    []int
+		flow    float64
+	}
+	var raw []rawPath
+	weight := pathfind.FromSlice(y)
+	// Group requests by source to share Dijkstra trees.
+	bySource := map[int][]int{}
+	for i, r := range inst.Requests {
+		bySource[r.Source] = append(bySource[r.Source], i)
+	}
+	maxIter := 4 * m * int(math.Ceil(math.Log((1+eps)/delta)/math.Log(1+eps)))
+	for iter := 0; iter < maxIter; iter++ {
+		// Find the request and path minimizing price/profit.
+		bestRatio := math.Inf(1)
+		bestReq := -1
+		var bestTree *pathfind.Tree
+		for src, reqs := range bySource {
+			tree := pathfind.Dijkstra(g, src, weight)
+			for _, i := range reqs {
+				dist := tree.Dist[inst.Requests[i].Target]
+				if math.IsInf(dist, 1) {
+					continue
+				}
+				if ratio := dist / profit[i]; ratio < bestRatio {
+					bestRatio = ratio
+					bestReq = i
+					bestTree = tree
+				}
+			}
+		}
+		if bestReq < 0 {
+			break // nothing routable at all
+		}
+		// Dual fitting: y/bestRatio satisfies every constraint, so
+		// D(y)/bestRatio bounds OPT.
+		dual := 0.0
+		for e := 0; e < m; e++ {
+			dual += g.Edge(e).Capacity * y[e]
+		}
+		if bound := dual / bestRatio; bound < res.UpperBound {
+			res.UpperBound = bound
+		}
+		if bestRatio >= 1 {
+			break // dual feasible: done
+		}
+		path, _ := bestTree.PathTo(inst.Requests[bestReq].Target)
+		cMin := math.Inf(1)
+		for _, e := range path {
+			if c := g.Edge(e).Capacity; c < cMin {
+				cMin = c
+			}
+		}
+		for _, e := range path {
+			c := g.Edge(e).Capacity
+			load[e] += cMin
+			y[e] *= 1 + eps*cMin/c
+		}
+		raw = append(raw, rawPath{bestReq, path, cMin})
+		res.Iterations++
+	}
+	// Scale by the worst overload so the flow is feasible exactly.
+	scale := 1.0
+	for e := 0; e < m; e++ {
+		if f := load[e] / g.Edge(e).Capacity; f > scale {
+			scale = f
+		}
+	}
+	for _, rp := range raw {
+		f := rp.flow / scale
+		res.Paths = append(res.Paths, RoutedFlow{Request: rp.request, Path: rp.path, Flow: f})
+		res.Value += f * profit[rp.request]
+	}
+	if math.IsInf(res.UpperBound, 1) && len(raw) == 0 {
+		// No request is routable at all: the optimum is zero.
+		res.UpperBound = 0
+	}
+	return res, nil
+}
+
+// EdgeLoads returns the per-edge flow of the scaled solution.
+func (r *Result) EdgeLoads(inst *core.Instance) []float64 {
+	load := make([]float64, inst.G.NumEdges())
+	for _, p := range r.Paths {
+		for _, e := range p.Path {
+			load[e] += p.Flow
+		}
+	}
+	return load
+}
+
+// CheckFeasible verifies the scaled flow against edge capacities.
+func (r *Result) CheckFeasible(inst *core.Instance) error {
+	for e, f := range r.EdgeLoads(inst) {
+		if c := inst.G.Edge(e).Capacity; f > c*(1+1e-9)+1e-9 {
+			return errOverload(e, f, c)
+		}
+	}
+	return nil
+}
+
+func errInvalidEps(eps float64) error {
+	return fmt.Errorf("mcf: accuracy parameter must be in (0, 0.5], got %g", eps)
+}
+
+func errOverload(e int, load, c float64) error {
+	return fmt.Errorf("mcf: edge %d overloaded: %g > %g", e, load, c)
+}

@@ -1,0 +1,154 @@
+package mcf
+
+import (
+	"math"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/workload"
+)
+
+func singleEdge(capacity float64, reqs ...core.Request) *core.Instance {
+	g := graph.New(2)
+	g.AddEdge(0, 1, capacity)
+	return &core.Instance{G: g, Requests: reqs}
+}
+
+func TestMaxProfitFlowSingleEdge(t *testing.T) {
+	// One edge capacity 10, one request with π = v/d = 2: OPT = 20.
+	inst := singleEdge(10, core.Request{Source: 0, Target: 1, Demand: 0.5, Value: 1})
+	res, err := MaxProfitFlow(inst, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckFeasible(inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < 20*(1-0.35) {
+		t.Fatalf("value %g too far below OPT 20", res.Value)
+	}
+	if res.UpperBound < 20*(1-1e-9) {
+		t.Fatalf("upper bound %g below OPT 20", res.UpperBound)
+	}
+	if res.Value > res.UpperBound+1e-9 {
+		t.Fatalf("value %g exceeds its own upper bound %g", res.Value, res.UpperBound)
+	}
+}
+
+func TestMaxProfitFlowPrefersProfitable(t *testing.T) {
+	// Two requests share an edge; profits 3 and 1. Nearly all capacity
+	// should go to the profitable one.
+	inst := singleEdge(10,
+		core.Request{Source: 0, Target: 1, Demand: 1, Value: 3},
+		core.Request{Source: 0, Target: 1, Demand: 1, Value: 1},
+	)
+	res, err := MaxProfitFlow(inst, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowByReq := map[int]float64{}
+	for _, p := range res.Paths {
+		flowByReq[p.Request] += p.Flow
+	}
+	if flowByReq[0] < 5*flowByReq[1] {
+		t.Fatalf("profitable request got %g vs %g", flowByReq[0], flowByReq[1])
+	}
+}
+
+func TestMaxProfitFlowMatchesSimplex(t *testing.T) {
+	// Cross-validate against the exact LP (uncapped relaxation) on small
+	// random instances: (1-3ε)·LP <= GK <= LP <= UpperBound.
+	cfg := workload.UFPConfig{
+		Vertices: 5, Edges: 10, Requests: 5, Directed: true,
+		B: 2, CapSpread: 0.5,
+		DemandMin: 0.4, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+	}
+	const eps = 0.1
+	for seed := uint64(0); seed < 6; seed++ {
+		inst, err := workload.RandomUFP(workload.NewRNG(seed+10), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac, err := core.FractionalUFP(inst, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MaxProfitFlow(inst, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckFeasible(inst); err != nil {
+			t.Fatal(err)
+		}
+		if res.Value > frac.Objective*(1+1e-6) {
+			t.Fatalf("seed %d: GK value %g exceeds LP optimum %g", seed, res.Value, frac.Objective)
+		}
+		if res.UpperBound < frac.Objective*(1-1e-6) {
+			t.Fatalf("seed %d: GK upper bound %g below LP optimum %g", seed, res.UpperBound, frac.Objective)
+		}
+		if res.Value < frac.Objective*(1-4*eps) {
+			t.Fatalf("seed %d: GK value %g below (1-4ε)·LP = %g", seed, res.Value, frac.Objective*(1-4*eps))
+		}
+	}
+}
+
+func TestMaxProfitFlowDiamondSplits(t *testing.T) {
+	// Diamond, capacity 5 everywhere, one request with huge value: both
+	// paths should carry flow, total ~10 demand units.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 5)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 3, Demand: 1, Value: 10},
+	}}
+	res, err := MaxProfitFlow(inst, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range res.Paths {
+		total += p.Flow
+	}
+	if total < 10*(1-0.35) {
+		t.Fatalf("total flow %g, want near 10", total)
+	}
+}
+
+func TestMaxProfitFlowUnroutable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 1, Target: 2, Demand: 1, Value: 1}, // vertex 2 unreachable
+	}}
+	res, err := MaxProfitFlow(inst, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 || res.UpperBound != 0 {
+		t.Fatalf("unroutable instance: value %g bound %g, want 0, 0", res.Value, res.UpperBound)
+	}
+}
+
+func TestMaxProfitFlowEpsValidation(t *testing.T) {
+	inst := singleEdge(2, core.Request{Source: 0, Target: 1, Demand: 1, Value: 1})
+	for _, eps := range []float64{0, -0.1, 0.6, math.NaN()} {
+		if _, err := MaxProfitFlow(inst, eps); err == nil {
+			t.Errorf("eps = %g accepted", eps)
+		}
+	}
+}
+
+func TestMaxProfitFlowEmptyInstance(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 2)
+	res, err := MaxProfitFlow(&core.Instance{G: g}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("empty instance value %g", res.Value)
+	}
+}

@@ -1,0 +1,177 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"truthfulufp/internal/auction"
+)
+
+// AuctionAlgorithm is any deterministic MUCA allocation algorithm.
+type AuctionAlgorithm func(inst *auction.Instance) (*auction.Allocation, error)
+
+// BoundedMUCAAlg adapts auction.BoundedMUCA with a fixed ε.
+func BoundedMUCAAlg(eps float64) AuctionAlgorithm {
+	return func(inst *auction.Instance) (*auction.Allocation, error) {
+		return auction.BoundedMUCA(inst, eps, nil)
+	}
+}
+
+// AuctionCriticalValue computes the critical value of request r under
+// alg: the infimum declared value at which r stays selected, bundle and
+// other requests fixed. The request must be selected as declared.
+func AuctionCriticalValue(alg AuctionAlgorithm, inst *auction.Instance, r int) (float64, error) {
+	if r < 0 || r >= len(inst.Requests) {
+		return 0, fmt.Errorf("mechanism: request %d out of range", r)
+	}
+	hi := inst.Requests[r].Value
+	sel, err := auctionSelectedAt(alg, inst, r, hi)
+	if err != nil {
+		return 0, err
+	}
+	if !sel {
+		return 0, errors.New("mechanism: request is not selected at its declared value")
+	}
+	lo := 0.0
+	for iter := 0; iter < maxBisection && hi-lo > CriticalPrecision*hi; iter++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		s, err := auctionSelectedAt(alg, inst, r, mid)
+		if err != nil {
+			return 0, err
+		}
+		if s {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+func auctionSelectedAt(alg AuctionAlgorithm, inst *auction.Instance, r int, value float64) (bool, error) {
+	mod := inst.Clone()
+	mod.Requests[r].Value = value
+	a, err := alg(mod)
+	if err != nil {
+		return false, err
+	}
+	return a.SelectedSet(len(mod.Requests))[r], nil
+}
+
+// AuctionOutcome is a MUCA mechanism outcome.
+type AuctionOutcome struct {
+	Allocation *auction.Allocation
+	Payments   map[int]float64
+}
+
+// RunAuctionMechanism runs alg and charges every winner its critical
+// value (Corollary 4.2's mechanism).
+func RunAuctionMechanism(alg AuctionAlgorithm, inst *auction.Instance) (*AuctionOutcome, error) {
+	a, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := &AuctionOutcome{Allocation: a, Payments: make(map[int]float64)}
+	for _, r := range a.Selected {
+		pay, err := AuctionCriticalValue(alg, inst, r)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: payment for request %d: %w", r, err)
+		}
+		out.Payments[r] = pay
+	}
+	return out, nil
+}
+
+// AuctionUtility evaluates agent r's utility under the unknown
+// single-minded model (Mu'alem-Nisan): the agent derives its true value
+// only if its allocated (declared) bundle covers its true bundle.
+func AuctionUtility(out *AuctionOutcome, inst *auction.Instance, r int, trueBundle []int, trueValue float64) float64 {
+	pay, selected := out.Payments[r]
+	if !selected {
+		return 0
+	}
+	declared := make(map[int]bool, len(inst.Requests[r].Bundle))
+	for _, u := range inst.Requests[r].Bundle {
+		declared[u] = true
+	}
+	gross := trueValue
+	for _, u := range trueBundle {
+		if !declared[u] {
+			gross = 0
+			break
+		}
+	}
+	return gross - pay
+}
+
+// AuctionMisreportGain searches for a profitable misreport of agent r:
+// perturbed values and perturbed bundles (random supersets and subsets of
+// the true bundle). Returns the best gain found over truthful utility.
+func AuctionMisreportGain(alg AuctionAlgorithm, inst *auction.Instance, r int, rng *rand.Rand, trials int) (float64, error) {
+	truthful, err := runAuctionForAgent(alg, inst, r)
+	if err != nil {
+		return 0, err
+	}
+	trueReq := inst.Requests[r]
+	baseU := AuctionUtility(truthful, inst, r, trueReq.Bundle, trueReq.Value)
+	bestGain := 0.0
+	for trial := 0; trial < trials; trial++ {
+		decl := auction.Request{
+			Bundle: append([]int(nil), trueReq.Bundle...),
+			Value:  trueReq.Value,
+		}
+		switch trial % 3 {
+		case 0: // value-only misreport
+			decl.Value = trueReq.Value * (0.1 + 3.9*rng.Float64())
+		case 1: // subset bundle (possibly cheaper to win, but worthless)
+			if len(decl.Bundle) > 1 {
+				k := rng.IntN(len(decl.Bundle))
+				decl.Bundle = append(decl.Bundle[:k:k], decl.Bundle[k+1:]...)
+			}
+			decl.Value = trueReq.Value * (0.5 + rng.Float64())
+		default: // superset bundle
+			extra := rng.IntN(inst.NumItems())
+			dup := false
+			for _, u := range decl.Bundle {
+				if u == extra {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				decl.Bundle = append(decl.Bundle, extra)
+			}
+			decl.Value = trueReq.Value * (0.5 + rng.Float64())
+		}
+		mod := inst.Clone()
+		mod.Requests[r] = decl
+		out, err := runAuctionForAgent(alg, mod, r)
+		if err != nil {
+			return 0, err
+		}
+		if gain := AuctionUtility(out, mod, r, trueReq.Bundle, trueReq.Value) - baseU; gain > bestGain {
+			bestGain = gain
+		}
+	}
+	return bestGain, nil
+}
+
+func runAuctionForAgent(alg AuctionAlgorithm, inst *auction.Instance, r int) (*AuctionOutcome, error) {
+	a, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := &AuctionOutcome{Allocation: a, Payments: make(map[int]float64)}
+	if a.SelectedSet(len(inst.Requests))[r] {
+		pay, err := AuctionCriticalValue(alg, inst, r)
+		if err != nil {
+			return nil, err
+		}
+		out.Payments[r] = pay
+	}
+	return out, nil
+}

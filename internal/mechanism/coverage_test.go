@@ -1,0 +1,152 @@
+package mechanism
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+)
+
+// failingUFPAlg simulates a broken algorithm so error propagation paths
+// are exercised.
+func failingUFPAlg(*core.Instance) (*core.Allocation, error) {
+	return nil, errors.New("boom")
+}
+
+func failingAuctionAlg(*auction.Instance) (*auction.Allocation, error) {
+	return nil, errors.New("boom")
+}
+
+func TestUFPErrorPropagation(t *testing.T) {
+	inst := contendedInstance()
+	if _, err := UFPCriticalValue(failingUFPAlg, inst, 0); err == nil {
+		t.Error("CriticalValue swallowed algorithm error")
+	}
+	if _, err := RunUFPMechanism(failingUFPAlg, inst); err == nil {
+		t.Error("RunUFPMechanism swallowed algorithm error")
+	}
+	if _, _, err := UFPMisreportGain(failingUFPAlg, inst, 0, rng(1), 3); err == nil {
+		t.Error("UFPMisreportGain swallowed algorithm error")
+	}
+	if _, err := FindUFPMonotonicityViolation(failingUFPAlg, inst, rng(1), 3); err == nil {
+		t.Error("FindUFPMonotonicityViolation swallowed algorithm error")
+	}
+	if _, err := UFPCriticalValue(BoundedUFPAlg(0.5, nil), inst, 99); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}
+
+func TestAuctionErrorPropagation(t *testing.T) {
+	inst := &auction.Instance{
+		Multiplicity: []float64{20},
+		Requests:     []auction.Request{{Bundle: []int{0}, Value: 1}},
+	}
+	if _, err := AuctionCriticalValue(failingAuctionAlg, inst, 0); err == nil {
+		t.Error("AuctionCriticalValue swallowed algorithm error")
+	}
+	if _, err := RunAuctionMechanism(failingAuctionAlg, inst); err == nil {
+		t.Error("RunAuctionMechanism swallowed algorithm error")
+	}
+	if _, err := AuctionMisreportGain(failingAuctionAlg, inst, 0, rng(1), 3); err == nil {
+		t.Error("AuctionMisreportGain swallowed algorithm error")
+	}
+	if _, err := AuctionCriticalValue(BoundedMUCAAlg(0.5), inst, 5); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}
+
+func TestAuctionUtilitySemantics(t *testing.T) {
+	inst := &auction.Instance{
+		Multiplicity: []float64{20, 20},
+		Requests: []auction.Request{
+			{Bundle: []int{0, 1}, Value: 2},
+		},
+	}
+	out := &AuctionOutcome{Payments: map[int]float64{0: 0.5}}
+	// Declared bundle covers the true bundle {0}: gross value counts.
+	if u := AuctionUtility(out, inst, 0, []int{0}, 2); u != 1.5 {
+		t.Errorf("covering utility = %g, want 1.5", u)
+	}
+	// True bundle {0, 1} covered exactly.
+	if u := AuctionUtility(out, inst, 0, []int{0, 1}, 2); u != 1.5 {
+		t.Errorf("exact utility = %g, want 1.5", u)
+	}
+	// Unselected agent: zero utility, no payment.
+	if u := AuctionUtility(&AuctionOutcome{Payments: map[int]float64{}}, inst, 0, []int{0}, 2); u != 0 {
+		t.Errorf("unselected utility = %g, want 0", u)
+	}
+	// Declared bundle misses part of the true bundle: pays but gains no
+	// gross value.
+	instSubset := &auction.Instance{
+		Multiplicity: []float64{20, 20},
+		Requests:     []auction.Request{{Bundle: []int{0}, Value: 2}},
+	}
+	if u := AuctionUtility(out, instSubset, 0, []int{0, 1}, 2); u != -0.5 {
+		t.Errorf("undercovered utility = %g, want -0.5", u)
+	}
+}
+
+func TestUFPUtilitySemantics(t *testing.T) {
+	inst := contendedInstance()
+	out := &UFPOutcome{Payments: map[int]float64{1: 1.0}}
+	trueType := inst.Requests[1]
+	// Declared demand equals true demand: full value minus payment.
+	if u := UFPUtility(out, inst, 1, trueType); u != trueType.Value-1 {
+		t.Errorf("utility = %g, want %g", u, trueType.Value-1)
+	}
+	// Declared demand below true demand: allocation useless, still pays.
+	under := inst.Clone()
+	under.Requests[1].Demand = trueType.Demand / 2
+	if u := UFPUtility(out, under, 1, trueType); u != -1 {
+		t.Errorf("under-demand utility = %g, want -1", u)
+	}
+	// Unselected: zero.
+	if u := UFPUtility(&UFPOutcome{Payments: map[int]float64{}}, inst, 1, trueType); u != 0 {
+		t.Errorf("unselected utility = %g, want 0", u)
+	}
+}
+
+func TestMonotonicityWitnessString(t *testing.T) {
+	w := &MonotonicityWitness{
+		Request:  3,
+		Original: core.Request{Demand: 0.9, Value: 1.2},
+		Improve:  core.Request{Demand: 0.5, Value: 2.0},
+	}
+	s := w.String()
+	for _, want := range []string{"request 3", "0.9", "1.2", "0.5", "2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("witness string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestFindViolationNoSelection(t *testing.T) {
+	// An algorithm that never selects anything has no witnesses.
+	emptyAlg := func(inst *core.Instance) (*core.Allocation, error) {
+		return &core.Allocation{}, nil
+	}
+	w, err := FindUFPMonotonicityViolation(emptyAlg, contendedInstance(), rng(2), 10)
+	if err != nil || w != nil {
+		t.Fatalf("empty algorithm: w=%v err=%v", w, err)
+	}
+}
+
+func TestRunAuctionMechanismEndToEnd(t *testing.T) {
+	inst := &auction.Instance{
+		Multiplicity: []float64{20, 20},
+		Requests: []auction.Request{
+			{Bundle: []int{0}, Value: 2},
+			{Bundle: []int{1}, Value: 1},
+			{Bundle: []int{0, 1}, Value: 0.9},
+		},
+	}
+	out, err := RunAuctionMechanism(BoundedMUCAAlg(0.5), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payments) != len(out.Allocation.Selected) {
+		t.Fatalf("payments %d != winners %d", len(out.Payments), len(out.Allocation.Selected))
+	}
+}

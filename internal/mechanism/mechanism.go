@@ -1,0 +1,248 @@
+// Package mechanism turns the monotone, exact allocation algorithms into
+// truthful mechanisms, following the characterization the paper cites as
+// Theorem 2.3 (Lehmann-O'Callaghan-Shoham / Briest-Krysta-Vöcking): a
+// monotone and exact algorithm plus critical-value payments is
+// incentive compatible. The package computes critical values by bisection
+// over re-runs of the (deterministic) algorithm, assembles payment
+// outcomes, and provides the misreport harness used to verify
+// truthfulness empirically — and to exhibit the NON-monotonicity of
+// randomized rounding (experiment E8).
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"truthfulufp/internal/core"
+)
+
+// UFPAlgorithm is any deterministic UFP allocation algorithm. The
+// mechanism re-runs it with modified declarations, so it must be a pure
+// function of the instance.
+type UFPAlgorithm func(inst *core.Instance) (*core.Allocation, error)
+
+// BoundedUFPAlg adapts core.BoundedUFP with fixed parameters.
+func BoundedUFPAlg(eps float64, opt *core.Options) UFPAlgorithm {
+	return func(inst *core.Instance) (*core.Allocation, error) {
+		return core.BoundedUFP(inst, eps, opt)
+	}
+}
+
+// SequentialPrimalDualAlg adapts the sequential baseline (also monotone).
+func SequentialPrimalDualAlg(eps float64) UFPAlgorithm {
+	return func(inst *core.Instance) (*core.Allocation, error) {
+		return core.SequentialPrimalDual(inst, eps, nil)
+	}
+}
+
+// CriticalPrecision is the relative bisection tolerance for critical
+// values.
+const CriticalPrecision = 1e-9
+
+// maxBisection bounds the number of algorithm re-runs per critical value;
+// 60 halvings reduce any bracket below double-precision resolution.
+const maxBisection = 60
+
+// UFPCriticalValue computes the critical value of request r: the
+// infimum declared value at which r is still selected, holding its
+// demand and all other requests fixed. The request must be selected
+// under its current declaration (that declaration brackets the search
+// from above; monotonicity guarantees a unique threshold). The result is
+// an upper bracket within CriticalPrecision relatively.
+func UFPCriticalValue(alg UFPAlgorithm, inst *core.Instance, r int) (float64, error) {
+	if r < 0 || r >= len(inst.Requests) {
+		return 0, fmt.Errorf("mechanism: request %d out of range", r)
+	}
+	hi := inst.Requests[r].Value
+	selected, err := ufpSelectedAt(alg, inst, r, hi)
+	if err != nil {
+		return 0, err
+	}
+	if !selected {
+		return 0, errors.New("mechanism: request is not selected at its declared value")
+	}
+	lo := 0.0
+	for iter := 0; iter < maxBisection && hi-lo > CriticalPrecision*hi; iter++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		sel, err := ufpSelectedAt(alg, inst, r, mid)
+		if err != nil {
+			return 0, err
+		}
+		if sel {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+func ufpSelectedAt(alg UFPAlgorithm, inst *core.Instance, r int, value float64) (bool, error) {
+	mod := inst.Clone()
+	mod.Requests[r].Value = value
+	a, err := alg(mod)
+	if err != nil {
+		return false, err
+	}
+	return a.Selected(len(mod.Requests))[r], nil
+}
+
+// UFPOutcome is a mechanism outcome: the allocation plus critical-value
+// payments for selected requests (unselected requests pay nothing).
+type UFPOutcome struct {
+	Allocation *core.Allocation
+	// Payments maps selected request index to its payment.
+	Payments map[int]float64
+}
+
+// RunUFPMechanism runs the allocation algorithm and charges every
+// selected request its critical value. By Theorem 2.3 the resulting
+// mechanism is truthful when alg is monotone and exact.
+func RunUFPMechanism(alg UFPAlgorithm, inst *core.Instance) (*UFPOutcome, error) {
+	a, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := &UFPOutcome{Allocation: a, Payments: make(map[int]float64)}
+	for _, p := range a.Routed {
+		pay, err := UFPCriticalValue(alg, inst, p.Request)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: payment for request %d: %w", p.Request, err)
+		}
+		out.Payments[p.Request] = pay
+	}
+	return out, nil
+}
+
+// UFPUtility evaluates agent r's utility when its true type is trueType
+// and the instance inst carries its declared type: the paper's known-
+// endpoints single-minded model. An exact mechanism routes exactly the
+// declared demand, which serves the agent only if it covers the true
+// demand; the agent then enjoys its true value and pays its critical
+// payment.
+func UFPUtility(out *UFPOutcome, inst *core.Instance, r int, trueType core.Request) float64 {
+	pay, selected := out.Payments[r]
+	if !selected {
+		return 0
+	}
+	gross := 0.0
+	if inst.Requests[r].Demand >= trueType.Demand-1e-12 {
+		gross = trueType.Value
+	}
+	return gross - pay
+}
+
+// UFPMisreportGain searches for a profitable misreport for agent r by
+// trying trials random (demand, value) declarations. It returns the
+// best utility improvement found over truthful reporting (<= ~0, up to
+// bisection tolerance, when the mechanism is truthful) and the best
+// misreport tried.
+func UFPMisreportGain(alg UFPAlgorithm, inst *core.Instance, r int, rng *rand.Rand, trials int) (float64, core.Request, error) {
+	truthful, err := runMechanismForAgent(alg, inst, r)
+	if err != nil {
+		return 0, core.Request{}, err
+	}
+	trueType := inst.Requests[r]
+	baseU := UFPUtility(truthful, inst, r, trueType)
+	bestGain := math.Inf(-1)
+	var bestDecl core.Request
+	for trial := 0; trial < trials; trial++ {
+		decl := trueType
+		// Perturb demand within (0, 1] and value within (0, 4v].
+		switch trial % 3 {
+		case 0:
+			decl.Value = trueType.Value * (0.1 + 3.9*rng.Float64())
+		case 1:
+			decl.Demand = math.Min(1, trueType.Demand*(0.2+1.6*rng.Float64()))
+		default:
+			decl.Value = trueType.Value * (0.1 + 3.9*rng.Float64())
+			decl.Demand = math.Min(1, trueType.Demand*(0.2+1.6*rng.Float64()))
+		}
+		mod := inst.Clone()
+		mod.Requests[r] = decl
+		out, err := runMechanismForAgent(alg, mod, r)
+		if err != nil {
+			return 0, core.Request{}, err
+		}
+		if gain := UFPUtility(out, mod, r, trueType) - baseU; gain > bestGain {
+			bestGain = gain
+			bestDecl = decl
+		}
+	}
+	return bestGain, bestDecl, nil
+}
+
+// runMechanismForAgent computes payments only for agent r (cheaper than
+// the full mechanism when probing misreports).
+func runMechanismForAgent(alg UFPAlgorithm, inst *core.Instance, r int) (*UFPOutcome, error) {
+	a, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := &UFPOutcome{Allocation: a, Payments: make(map[int]float64)}
+	if a.Selected(len(inst.Requests))[r] {
+		pay, err := UFPCriticalValue(alg, inst, r)
+		if err != nil {
+			return nil, err
+		}
+		out.Payments[r] = pay
+	}
+	return out, nil
+}
+
+// MonotonicityWitness records a concrete monotonicity violation: request
+// r was selected under the original declaration but dropped after an
+// improvement (demand decreased and/or value increased).
+type MonotonicityWitness struct {
+	Request           int
+	Original, Improve core.Request
+}
+
+func (w *MonotonicityWitness) String() string {
+	return fmt.Sprintf("request %d: selected with (d=%.4g, v=%.4g) but dropped with improved (d=%.4g, v=%.4g)",
+		w.Request, w.Original.Demand, w.Original.Value, w.Improve.Demand, w.Improve.Value)
+}
+
+// FindUFPMonotonicityViolation searches for a monotonicity violation of
+// alg on inst by sampling improvements of selected requests. It returns
+// nil if none is found within the trial budget — which is evidence (not
+// proof) of monotonicity; for non-monotone algorithms such as randomized
+// rounding it typically finds a witness quickly (experiment E8).
+func FindUFPMonotonicityViolation(alg UFPAlgorithm, inst *core.Instance, rng *rand.Rand, trials int) (*MonotonicityWitness, error) {
+	base, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	sel := base.Selected(len(inst.Requests))
+	var selected []int
+	for r, s := range sel {
+		if s {
+			selected = append(selected, r)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, nil
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := selected[rng.IntN(len(selected))]
+		orig := inst.Requests[r]
+		improved := orig
+		improved.Demand = orig.Demand * (0.4 + 0.6*rng.Float64())
+		improved.Value = orig.Value * (1 + rng.Float64())
+		mod := inst.Clone()
+		mod.Requests[r] = improved
+		got, err := alg(mod)
+		if err != nil {
+			return nil, err
+		}
+		if !got.Selected(len(mod.Requests))[r] {
+			return &MonotonicityWitness{Request: r, Original: orig, Improve: improved}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,170 @@
+package pathfind
+
+import (
+	"math"
+
+	"truthfulufp/internal/graph"
+)
+
+// HopTable holds, for each hop budget k = 0..MaxHops and vertex v, the
+// minimum total weight of a walk from the source to v using at most k
+// edges, with predecessor pointers per (k, v) for path reconstruction.
+// With nonnegative weights the optimal walk is a simple path, so HopTable
+// exposes exactly the quantity needed by hop-sensitive priority rules such
+// as the paper's h1(p) = ln(1+|p|)·h(p): minimize over k of factor(k) *
+// Dist[k][v].
+type HopTable struct {
+	Source   int
+	MaxHops  int
+	Dist     [][]float64 // Dist[k][v]
+	prevEdge [][]int32
+	prevVert [][]int32
+}
+
+// BellmanFordHops computes the hop-bounded shortest-path table from src
+// with up to maxHops edges. Edges with +Inf weight are skipped. The cost
+// is O(maxHops * (m + n)) time and O(maxHops * n) space.
+func BellmanFordHops(g *graph.Graph, src int, weight WeightFunc, maxHops int) *HopTable {
+	n := g.NumVertices()
+	t := &HopTable{Source: src, MaxHops: maxHops}
+	t.Dist = make([][]float64, maxHops+1)
+	t.prevEdge = make([][]int32, maxHops+1)
+	t.prevVert = make([][]int32, maxHops+1)
+	for k := 0; k <= maxHops; k++ {
+		t.Dist[k] = make([]float64, n)
+		t.prevEdge[k] = make([]int32, n)
+		t.prevVert[k] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			t.Dist[k][v] = math.Inf(1)
+			t.prevEdge[k][v] = -1
+			t.prevVert[k][v] = -1
+		}
+	}
+	t.Dist[0][src] = 0
+	for k := 1; k <= maxHops; k++ {
+		copy(t.Dist[k], t.Dist[k-1])
+		copy(t.prevEdge[k], t.prevEdge[k-1])
+		copy(t.prevVert[k], t.prevVert[k-1])
+		for v := 0; v < n; v++ {
+			dv := t.Dist[k-1][v]
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			for _, a := range g.OutArcs(v) {
+				w := weight(a.Edge)
+				if math.IsInf(w, 1) {
+					continue
+				}
+				if nd := dv + w; nd < t.Dist[k][a.To] {
+					t.Dist[k][a.To] = nd
+					t.prevEdge[k][a.To] = int32(a.Edge)
+					t.prevVert[k][a.To] = int32(v)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// PathTo returns a minimum-weight path from the source to dst using at
+// most hops edges, as edge IDs, and whether one exists.
+func (t *HopTable) PathTo(dst, hops int) ([]int, bool) {
+	if hops > t.MaxHops {
+		hops = t.MaxHops
+	}
+	if hops < 0 || math.IsInf(t.Dist[hops][dst], 1) {
+		return nil, false
+	}
+	var rev []int
+	k, v := hops, dst
+	for v != t.Source {
+		// Rewind to the layer where v's current entry was created: layers
+		// only copy values downward, so Dist[k-1][v] == Dist[k][v] means
+		// the entry predates layer k.
+		for k > 0 && t.Dist[k-1][v] == t.Dist[k][v] {
+			k--
+		}
+		e := t.prevEdge[k][v]
+		if e < 0 || k == 0 {
+			return nil, false // unreachable for a well-formed table
+		}
+		rev = append(rev, int(e))
+		v = int(t.prevVert[k][v])
+		k--
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// BFSHops returns the minimum hop count from src to every vertex
+// (unreachable vertices get -1), considering only edges allowed by the
+// filter (nil means all edges allowed).
+func BFSHops(g *graph.Graph, src int, allowed func(edge int) bool) []int {
+	n := g.NumVertices()
+	hops := make([]int, n)
+	for v := range hops {
+		hops[v] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.OutArcs(v) {
+			if allowed != nil && !allowed(a.Edge) {
+				continue
+			}
+			if hops[a.To] < 0 {
+				hops[a.To] = hops[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return hops
+}
+
+// Bottleneck computes, for every vertex, a path from src minimizing the
+// maximum edge weight along the path (a "minimax" path), via a modified
+// Dijkstra. It returns a Tree whose Dist holds the minimax value.
+// Bottleneck rules are members of the paper's reasonable-function family:
+// under unit demands/values and uniform capacities, pointwise-dominated
+// flow vectors have no larger maximum.
+func Bottleneck(g *graph.Graph, src int, weight WeightFunc) *Tree {
+	n := g.NumVertices()
+	t := &Tree{
+		Source:   src,
+		Dist:     make([]float64, n),
+		PrevEdge: make([]int, n),
+		PrevVert: make([]int, n),
+	}
+	for v := range t.Dist {
+		t.Dist[v] = math.Inf(1)
+		t.PrevEdge[v] = -1
+		t.PrevVert[v] = -1
+	}
+	t.Dist[src] = math.Inf(-1) // empty path has no edges; -Inf max
+	h := newHeap(n)
+	h.update(src, t.Dist[src])
+	for h.len() > 0 {
+		v, dv := h.pop()
+		if dv > t.Dist[v] {
+			continue
+		}
+		for _, a := range g.OutArcs(v) {
+			w := weight(a.Edge)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			nd := math.Max(dv, w)
+			if nd < t.Dist[a.To] {
+				t.Dist[a.To] = nd
+				t.PrevEdge[a.To] = a.Edge
+				t.PrevVert[a.To] = v
+				h.update(a.To, nd)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+// Package pathfind implements the shortest-path oracles used by the
+// primal-dual algorithms: Dijkstra over positive edge prices (the paper's
+// line 7 "shortest path with respect to the weights y_e"), hop-bounded
+// Bellman-Ford (for priority rules that depend on the hop count, such as
+// the paper's h1), bottleneck paths, BFS, and exhaustive simple-path
+// enumeration for exact optima on small instances.
+package pathfind
+
+import (
+	"math"
+
+	"truthfulufp/internal/graph"
+)
+
+// WeightFunc returns the cost of crossing an edge. Returning +Inf forbids
+// the edge, which is how residual-capacity filtering is expressed.
+type WeightFunc func(edge int) float64
+
+// Uniform returns a WeightFunc assigning every edge weight w.
+func Uniform(w float64) WeightFunc {
+	return func(int) float64 { return w }
+}
+
+// FromSlice returns a WeightFunc reading weights from a slice indexed by
+// edge ID.
+func FromSlice(w []float64) WeightFunc {
+	return func(e int) float64 { return w[e] }
+}
+
+// Tree is a single-source shortest-path tree. Dist[v] is +Inf for
+// unreachable vertices. PrevEdge[v] and PrevVert[v] give the edge and
+// predecessor vertex on a shortest path from the source (-1 at the source
+// and at unreachable vertices).
+type Tree struct {
+	Source   int
+	Dist     []float64
+	PrevEdge []int
+	PrevVert []int
+}
+
+// PathTo returns the edge IDs of a shortest path from the tree's source
+// to dst, in order, and whether dst is reachable. The path for dst ==
+// Source is the empty path.
+func (t *Tree) PathTo(dst int) ([]int, bool) {
+	if math.IsInf(t.Dist[dst], 1) {
+		return nil, false
+	}
+	var rev []int
+	for v := dst; v != t.Source; v = t.PrevVert[v] {
+		rev = append(rev, t.PrevEdge[v])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// Dijkstra computes shortest paths from src under the given nonnegative
+// weights. Edges with +Inf weight are skipped. It is the oracle behind
+// Bounded-UFP's path selection; weights are the dual prices y_e, which
+// are always strictly positive, so the nonnegativity precondition holds.
+func Dijkstra(g *graph.Graph, src int, weight WeightFunc) *Tree {
+	n := g.NumVertices()
+	t := &Tree{
+		Source:   src,
+		Dist:     make([]float64, n),
+		PrevEdge: make([]int, n),
+		PrevVert: make([]int, n),
+	}
+	for v := range t.Dist {
+		t.Dist[v] = math.Inf(1)
+		t.PrevEdge[v] = -1
+		t.PrevVert[v] = -1
+	}
+	t.Dist[src] = 0
+	h := newHeap(n)
+	h.update(src, 0)
+	for h.len() > 0 {
+		v, dv := h.pop()
+		if dv > t.Dist[v] {
+			continue // stale entry guard; indexed heap makes this unreachable
+		}
+		for _, a := range g.OutArcs(v) {
+			w := weight(a.Edge)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			nd := dv + w
+			if nd < t.Dist[a.To] {
+				t.Dist[a.To] = nd
+				t.PrevEdge[a.To] = a.Edge
+				t.PrevVert[a.To] = v
+				h.update(a.To, nd)
+			}
+		}
+	}
+	return t
+}
+
+// heap is an indexed binary min-heap keyed by float64 priority. It is
+// hand-rolled (rather than container/heap) to avoid interface dispatch in
+// the innermost loop of every primal-dual iteration.
+type heap struct {
+	items []heapItem
+	pos   []int // vertex -> index in items, -1 if absent
+}
+
+type heapItem struct {
+	vertex int
+	prio   float64
+}
+
+func newHeap(n int) *heap {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &heap{pos: pos}
+}
+
+func (h *heap) len() int { return len(h.items) }
+
+// update inserts vertex v with the given priority, or decreases its
+// priority if already present.
+func (h *heap) update(v int, prio float64) {
+	if i := h.pos[v]; i >= 0 {
+		if prio < h.items[i].prio {
+			h.items[i].prio = prio
+			h.up(i)
+		}
+		return
+	}
+	h.items = append(h.items, heapItem{v, prio})
+	h.pos[v] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+func (h *heap) pop() (int, float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.pos[h.items[0].vertex] = 0
+	h.items = h.items[:last]
+	h.pos[top.vertex] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top.vertex, top.prio
+}
+
+func (h *heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].prio <= h.items[i].prio {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].prio < h.items[small].prio {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].prio < h.items[small].prio {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].vertex] = i
+	h.pos[h.items[j].vertex] = j
+}

@@ -1,0 +1,96 @@
+package pathfind
+
+import (
+	"truthfulufp/internal/graph"
+)
+
+// SimplePaths enumerates simple paths (no repeated vertices) from src to
+// dst as slices of edge IDs, in DFS order, stopping after limit paths
+// (limit <= 0 means no limit). It is used to build the exact path-based
+// integer program for small instances; the limit guards against the
+// exponential blowup on larger ones. The returned count is exact when it
+// is < limit (or limit <= 0); otherwise enumeration was truncated.
+func SimplePaths(g *graph.Graph, src, dst, limit int) [][]int {
+	if src == dst {
+		return nil
+	}
+	var (
+		out     [][]int
+		visited = make([]bool, g.NumVertices())
+		stack   []int // edge IDs on the current path
+	)
+	var dfs func(v int) bool // returns false to abort (limit reached)
+	dfs = func(v int) bool {
+		if v == dst {
+			p := make([]int, len(stack))
+			copy(p, stack)
+			out = append(out, p)
+			return limit <= 0 || len(out) < limit
+		}
+		visited[v] = true
+		defer func() { visited[v] = false }()
+		for _, a := range g.OutArcs(v) {
+			if visited[a.To] || a.To == src {
+				continue
+			}
+			stack = append(stack, a.Edge)
+			ok := dfs(a.To)
+			stack = stack[:len(stack)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(src)
+	return out
+}
+
+// PathWeight sums the weights of the given edges.
+func PathWeight(path []int, weight WeightFunc) float64 {
+	total := 0.0
+	for _, e := range path {
+		total += weight(e)
+	}
+	return total
+}
+
+// ValidatePath checks that the edge sequence forms a walk from src to dst
+// in g, honoring edge directions in a directed graph.
+func ValidatePath(g *graph.Graph, src, dst int, path []int) bool {
+	v := src
+	for _, id := range path {
+		if id < 0 || id >= g.NumEdges() {
+			return false
+		}
+		e := g.Edge(id)
+		switch {
+		case e.From == v:
+			v = e.To
+		case !g.Directed() && e.To == v:
+			v = e.From
+		default:
+			return false
+		}
+	}
+	return v == dst
+}
+
+// IsSimple reports whether the walk visits no vertex twice.
+func IsSimple(g *graph.Graph, src int, path []int) bool {
+	seen := map[int]bool{src: true}
+	v := src
+	for _, id := range path {
+		e := g.Edge(id)
+		if e.From == v {
+			v = e.To
+		} else {
+			v = e.From
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,301 @@
+package pathfind
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"truthfulufp/internal/graph"
+)
+
+func diamond() (*graph.Graph, []float64) {
+	// 0 -> 1 -> 3 (weights 1, 1) and 0 -> 2 -> 3 (weights 2, 0.5).
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1) // e0
+	g.AddEdge(1, 3, 1) // e1
+	g.AddEdge(0, 2, 1) // e2
+	g.AddEdge(2, 3, 1) // e3
+	return g, []float64{1, 1, 2, 0.5}
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	g, w := diamond()
+	tr := Dijkstra(g, 0, FromSlice(w))
+	if tr.Dist[3] != 2 {
+		t.Fatalf("Dist[3] = %g, want 2", tr.Dist[3])
+	}
+	path, ok := tr.PathTo(3)
+	if !ok {
+		t.Fatal("3 unreachable")
+	}
+	if len(path) != 2 || path[0] != 0 || path[1] != 1 {
+		t.Fatalf("path = %v, want [0 1]", path)
+	}
+	if !ValidatePath(g, 0, 3, path) {
+		t.Fatal("path does not validate")
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	tr := Dijkstra(g, 0, Uniform(1))
+	if !math.IsInf(tr.Dist[2], 1) {
+		t.Fatalf("Dist[2] = %g, want +Inf", tr.Dist[2])
+	}
+	if _, ok := tr.PathTo(2); ok {
+		t.Fatal("PathTo(2) claimed reachable")
+	}
+}
+
+func TestDijkstraForbiddenEdges(t *testing.T) {
+	g, w := diamond()
+	blocked := func(e int) float64 {
+		if e == 0 {
+			return math.Inf(1)
+		}
+		return w[e]
+	}
+	tr := Dijkstra(g, 0, blocked)
+	if tr.Dist[3] != 2.5 {
+		t.Fatalf("Dist[3] = %g, want 2.5 via 0-2-3", tr.Dist[3])
+	}
+}
+
+func TestDijkstraEmptyPathToSource(t *testing.T) {
+	g, w := diamond()
+	tr := Dijkstra(g, 0, FromSlice(w))
+	path, ok := tr.PathTo(0)
+	if !ok || len(path) != 0 {
+		t.Fatalf("PathTo(source) = %v, %v; want empty, true", path, ok)
+	}
+}
+
+func TestDijkstraUndirected(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1) // e0
+	g.AddEdge(1, 2, 1) // e1
+	g.AddEdge(0, 2, 1) // e2
+	w := []float64{1, 1, 5}
+	tr := Dijkstra(g, 2, FromSlice(w))
+	if tr.Dist[0] != 2 {
+		t.Fatalf("Dist[0] = %g, want 2 (2-1-0)", tr.Dist[0])
+	}
+	path, _ := tr.PathTo(0)
+	if len(path) != 2 || path[0] != 1 || path[1] != 0 {
+		t.Fatalf("path = %v, want [1 0]", path)
+	}
+}
+
+// TestDijkstraMatchesBellmanFord cross-validates the two implementations
+// on random graphs.
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.IntN(10)
+		m := n + rng.IntN(2*n)
+		g := graph.RandomStronglyConnected(rng, n, m, 1, 1)
+		w := make([]float64, g.NumEdges())
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		src := rng.IntN(n)
+		dj := Dijkstra(g, src, FromSlice(w))
+		bf := BellmanFordHops(g, src, FromSlice(w), n)
+		for v := 0; v < n; v++ {
+			if math.Abs(dj.Dist[v]-bf.Dist[n][v]) > 1e-9 {
+				t.Fatalf("trial %d: vertex %d Dijkstra %g vs Bellman-Ford %g", trial, v, dj.Dist[v], bf.Dist[n][v])
+			}
+		}
+	}
+}
+
+func TestBellmanFordHopLimits(t *testing.T) {
+	// 0 -> 3 directly (weight 10) or 0 -> 1 -> 2 -> 3 (weight 3).
+	g := graph.New(4)
+	g.AddEdge(0, 3, 1) // e0
+	g.AddEdge(0, 1, 1) // e1
+	g.AddEdge(1, 2, 1) // e2
+	g.AddEdge(2, 3, 1) // e3
+	w := []float64{10, 1, 1, 1}
+	tab := BellmanFordHops(g, 0, FromSlice(w), 3)
+	if tab.Dist[1][3] != 10 {
+		t.Errorf("Dist[1 hop][3] = %g, want 10", tab.Dist[1][3])
+	}
+	if tab.Dist[3][3] != 3 {
+		t.Errorf("Dist[3 hops][3] = %g, want 3", tab.Dist[3][3])
+	}
+	p1, ok := tab.PathTo(3, 1)
+	if !ok || len(p1) != 1 || p1[0] != 0 {
+		t.Errorf("1-hop path = %v, %v; want [0], true", p1, ok)
+	}
+	p3, ok := tab.PathTo(3, 3)
+	if !ok || len(p3) != 3 {
+		t.Errorf("3-hop path = %v, %v; want 3 edges", p3, ok)
+	}
+	if !ValidatePath(g, 0, 3, p3) {
+		t.Error("3-hop path invalid")
+	}
+}
+
+func TestBellmanFordPathReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.IntN(8)
+		g := graph.RandomStronglyConnected(rng, n, n+rng.IntN(n), 1, 1)
+		w := make([]float64, g.NumEdges())
+		for i := range w {
+			w[i] = rng.Float64() + 0.05
+		}
+		tab := BellmanFordHops(g, 0, FromSlice(w), n)
+		for v := 0; v < n; v++ {
+			for k := 0; k <= n; k++ {
+				if math.IsInf(tab.Dist[k][v], 1) {
+					continue
+				}
+				p, ok := tab.PathTo(v, k)
+				if !ok {
+					t.Fatalf("PathTo(%d,%d) failed with finite dist", v, k)
+				}
+				if len(p) > k {
+					t.Fatalf("path has %d edges, budget %d", len(p), k)
+				}
+				if !ValidatePath(g, 0, v, p) {
+					t.Fatalf("invalid path %v to %d", p, v)
+				}
+				if got := PathWeight(p, FromSlice(w)); math.Abs(got-tab.Dist[k][v]) > 1e-9 {
+					t.Fatalf("path weight %g != table %g", got, tab.Dist[k][v])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g, _ := diamond()
+	hops := BFSHops(g, 0, nil)
+	want := []int{0, 1, 1, 2}
+	for v, h := range hops {
+		if h != want[v] {
+			t.Errorf("hops[%d] = %d, want %d", v, h, want[v])
+		}
+	}
+	// Block the two edges into vertex 3.
+	hops = BFSHops(g, 0, func(e int) bool { return e != 1 && e != 3 })
+	if hops[3] != -1 {
+		t.Errorf("blocked hops[3] = %d, want -1", hops[3])
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// 0 -> 1 -> 3 has max weight 4; 0 -> 2 -> 3 has max weight 3.
+	g, _ := diamond()
+	w := []float64{4, 1, 3, 2}
+	tr := Bottleneck(g, 0, FromSlice(w))
+	if tr.Dist[3] != 3 {
+		t.Fatalf("bottleneck Dist[3] = %g, want 3", tr.Dist[3])
+	}
+	path, _ := tr.PathTo(3)
+	if len(path) != 2 || path[0] != 2 || path[1] != 3 {
+		t.Fatalf("bottleneck path = %v, want [2 3]", path)
+	}
+}
+
+func TestBottleneckVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.IntN(5)
+		g := graph.RandomStronglyConnected(rng, n, n+rng.IntN(6), 1, 1)
+		w := make([]float64, g.NumEdges())
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		tr := Bottleneck(g, 0, FromSlice(w))
+		for v := 1; v < n; v++ {
+			paths := SimplePaths(g, 0, v, 0)
+			best := math.Inf(1)
+			for _, p := range paths {
+				worst := math.Inf(-1)
+				for _, e := range p {
+					worst = math.Max(worst, w[e])
+				}
+				best = math.Min(best, worst)
+			}
+			if math.Abs(best-tr.Dist[v]) > 1e-12 {
+				t.Fatalf("trial %d vertex %d: brute %g vs bottleneck %g", trial, v, best, tr.Dist[v])
+			}
+		}
+	}
+}
+
+func TestSimplePathsDiamond(t *testing.T) {
+	g, _ := diamond()
+	paths := SimplePaths(g, 0, 3, 0)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if !ValidatePath(g, 0, 3, p) || !IsSimple(g, 0, p) {
+			t.Fatalf("bad path %v", p)
+		}
+	}
+}
+
+func TestSimplePathsLimit(t *testing.T) {
+	g := graph.Complete(6, 1, true)
+	all := SimplePaths(g, 0, 5, 0)
+	limited := SimplePaths(g, 0, 5, 3)
+	if len(limited) != 3 {
+		t.Fatalf("limited to 3, got %d", len(limited))
+	}
+	// K6 from 0 to 5: sum over k of P(4, k) simple paths = 1 + 4 + 12 + 24 + 24 = 65.
+	if len(all) != 65 {
+		t.Fatalf("K6 simple paths = %d, want 65", len(all))
+	}
+}
+
+func TestSimplePathsSourceIsTarget(t *testing.T) {
+	g, _ := diamond()
+	if p := SimplePaths(g, 2, 2, 0); p != nil {
+		t.Fatalf("src==dst should give no paths, got %v", p)
+	}
+}
+
+func TestValidatePathRejects(t *testing.T) {
+	g, _ := diamond()
+	if ValidatePath(g, 0, 3, []int{1}) {
+		t.Error("accepted path not starting at src")
+	}
+	if ValidatePath(g, 0, 3, []int{0}) {
+		t.Error("accepted path not ending at dst")
+	}
+	if ValidatePath(g, 0, 3, []int{0, 99}) {
+		t.Error("accepted out-of-range edge")
+	}
+	// Directed edge used backwards.
+	if ValidatePath(g, 1, 0, []int{0}) {
+		t.Error("accepted reversed directed edge")
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := newHeap(10)
+	prios := []float64{5, 1, 3, 0.5, 4, 2}
+	for v, p := range prios {
+		h.update(v, p)
+	}
+	h.update(0, 0.1) // decrease-key
+	var got []float64
+	for h.len() > 0 {
+		_, p := h.pop()
+		got = append(got, p)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("heap pops out of order: %v", got)
+		}
+	}
+	if got[0] != 0.1 {
+		t.Fatalf("decrease-key ignored; first pop %g", got[0])
+	}
+}

@@ -1,0 +1,125 @@
+package pathfind
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"truthfulufp/internal/graph"
+)
+
+func randomWeighted(seed uint64, nRaw, mRaw uint8) (*graph.Graph, []float64, int) {
+	rng := rand.New(rand.NewPCG(seed, seed^77))
+	n := 3 + int(nRaw%10)
+	m := n + int(mRaw%24)
+	g := graph.RandomStronglyConnected(rng, n, m, 1, 2)
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = rng.Float64() + 0.01
+	}
+	return g, w, rng.IntN(n)
+}
+
+// TestQuickDijkstraRelaxationInvariant: at termination no arc can relax
+// any distance further — the defining optimality condition.
+func TestQuickDijkstraRelaxationInvariant(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w, src := randomWeighted(seed, n, m)
+		tr := Dijkstra(g, src, FromSlice(w))
+		for v := 0; v < g.NumVertices(); v++ {
+			if math.IsInf(tr.Dist[v], 1) {
+				continue
+			}
+			for _, a := range g.OutArcs(v) {
+				if tr.Dist[v]+w[a.Edge] < tr.Dist[a.To]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDijkstraPathsRealizeDistances: every reported distance is
+// realized by a valid simple path of exactly that weight.
+func TestQuickDijkstraPathsRealizeDistances(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w, src := randomWeighted(seed, n, m)
+		tr := Dijkstra(g, src, FromSlice(w))
+		for v := 0; v < g.NumVertices(); v++ {
+			path, ok := tr.PathTo(v)
+			if !ok {
+				return math.IsInf(tr.Dist[v], 1)
+			}
+			if !ValidatePath(g, src, v, path) || !IsSimple(g, src, path) {
+				return false
+			}
+			if math.Abs(PathWeight(path, FromSlice(w))-tr.Dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHopTableMonotone: allowing more hops never increases the
+// distance, and the unrestricted row matches Dijkstra.
+func TestQuickHopTableMonotone(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w, src := randomWeighted(seed, n, m)
+		nv := g.NumVertices()
+		tab := BellmanFordHops(g, src, FromSlice(w), nv)
+		dj := Dijkstra(g, src, FromSlice(w))
+		for v := 0; v < nv; v++ {
+			for k := 1; k <= nv; k++ {
+				if tab.Dist[k][v] > tab.Dist[k-1][v]+1e-12 {
+					return false
+				}
+			}
+			dD, dB := dj.Dist[v], tab.Dist[nv][v]
+			if math.IsInf(dD, 1) != math.IsInf(dB, 1) {
+				return false
+			}
+			if !math.IsInf(dD, 1) && math.Abs(dD-dB) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBottleneckLEAdditive: a minimax distance never exceeds the
+// additive shortest-path distance (the max of edge weights on a path is
+// at most their sum).
+func TestQuickBottleneckLEAdditive(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w, src := randomWeighted(seed, n, m)
+		add := Dijkstra(g, src, FromSlice(w))
+		bot := Bottleneck(g, src, FromSlice(w))
+		for v := 0; v < g.NumVertices(); v++ {
+			if v == src {
+				continue
+			}
+			if math.IsInf(add.Dist[v], 1) {
+				continue
+			}
+			if bot.Dist[v] > add.Dist[v]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"encoding/csv"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the table as RFC-4180 CSV (header row first), so the
+// experiment series can be plotted with standard tooling. The title is
+// not emitted; use the file name for identification.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVName derives a file-system friendly name from the table title: the
+// first token (e.g. "T2a:") lowercased without punctuation, or "table"
+// if the title is empty.
+func (t *Table) CSVName() string {
+	fields := strings.FieldsFunc(t.Title, func(r rune) bool { return r == ':' || r == ' ' })
+	if len(fields) == 0 {
+		return "table"
+	}
+	tok := strings.ToLower(fields[0])
+	var b strings.Builder
+	for _, r := range tok {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "table"
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	tb := NewTable("T9: demo", "name", "ratio")
+	tb.Row("a,b", 1.5) // comma in cell must be quoted
+	tb.Row("plain", 2)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want 3", len(records))
+	}
+	if records[0][0] != "name" || records[1][0] != "a,b" || records[2][1] != "2" {
+		t.Fatalf("unexpected records: %v", records)
+	}
+}
+
+func TestCSVName(t *testing.T) {
+	cases := map[string]string{
+		"T2a: exp rule on staircase": "t2a",
+		"":                           "table",
+		"::":                         "table",
+		"Weird Títle":                "weird",
+	}
+	for title, want := range cases {
+		tb := NewTable(title, "x")
+		if got := tb.CSVName(); got != want {
+			t.Errorf("CSVName(%q) = %q, want %q", title, got, want)
+		}
+	}
+}

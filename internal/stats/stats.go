@@ -1,0 +1,118 @@
+// Package stats provides the small statistical and tabular reporting
+// utilities used by the benchmark harness: streaming summaries
+// (mean/stddev/min/max) and aligned plain-text tables in the style of the
+// rows the paper's analysis predicts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations. The zero value is
+// ready to use.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one observation (Welford's online algorithm).
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// AddAll records every observation in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (+Inf with none).
+func (s *Summary) Min() float64 {
+	if !s.hasExtrema {
+		return math.Inf(1)
+	}
+	return s.min
+}
+
+// Max returns the largest observation (-Inf with none).
+func (s *Summary) Max() float64 {
+	if !s.hasExtrema {
+		return math.Inf(-1)
+	}
+	return s.max
+}
+
+// String formats the summary as "mean ± std [min, max] (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f] (n=%d)", s.Mean(), s.Std(), s.Min(), s.Max(), s.n)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using nearest-rank
+// interpolation. It sorts a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	pos := q * float64(len(c)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// GeometricMean returns the geometric mean of positive observations and
+// NaN if any observation is non-positive. Approximation ratios are
+// conventionally aggregated geometrically.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

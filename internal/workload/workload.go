@@ -1,0 +1,159 @@
+// Package workload generates the randomized problem instances and runs
+// the parameter sweeps behind the experiment harness. All randomness is
+// drawn from seeded PCG generators (math/rand/v2), so every experiment is
+// reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+)
+
+// NewRNG returns a deterministic PCG generator for the given seed.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// UFPConfig parameterizes RandomUFP.
+type UFPConfig struct {
+	Vertices int
+	Edges    int
+	Requests int
+	Directed bool
+	// B is the minimum edge capacity; capacities are drawn uniformly from
+	// [B, B*(1+CapSpread)].
+	B         float64
+	CapSpread float64
+	// Demands are drawn uniformly from [DemandMin, DemandMax] ⊆ (0,1].
+	DemandMin, DemandMax float64
+	// Values are drawn uniformly from [ValueMin, ValueMax].
+	ValueMin, ValueMax float64
+}
+
+// DefaultUFPConfig returns a small, well-conditioned configuration:
+// a directed strongly connected graph so every request is routable.
+func DefaultUFPConfig() UFPConfig {
+	return UFPConfig{
+		Vertices:  12,
+		Edges:     36,
+		Requests:  30,
+		Directed:  true,
+		B:         20,
+		CapSpread: 0.5,
+		DemandMin: 0.2, DemandMax: 1.0,
+		ValueMin: 0.5, ValueMax: 2.0,
+	}
+}
+
+func (c UFPConfig) validate() error {
+	if c.Vertices < 2 {
+		return fmt.Errorf("workload: need >= 2 vertices, got %d", c.Vertices)
+	}
+	if c.B < 1 {
+		return fmt.Errorf("workload: B = %g < 1", c.B)
+	}
+	if !(c.DemandMin > 0) || c.DemandMax > 1 || c.DemandMin > c.DemandMax {
+		return fmt.Errorf("workload: demand range [%g,%g] not within (0,1]", c.DemandMin, c.DemandMax)
+	}
+	if !(c.ValueMin > 0) || c.ValueMin > c.ValueMax {
+		return fmt.Errorf("workload: bad value range [%g,%g]", c.ValueMin, c.ValueMax)
+	}
+	return nil
+}
+
+// RandomUFP draws a random normalized UFP instance. Directed instances
+// use a strongly connected base graph so every (source, target) pair is
+// routable; undirected instances use a connected base graph. Demands and
+// values are continuous, so priority ties are measure-zero and the
+// algorithms' default tie-breaking never matters.
+func RandomUFP(rng *rand.Rand, c UFPConfig) (*core.Instance, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	maxCap := c.B * (1 + c.CapSpread)
+	var g *graph.Graph
+	if c.Directed {
+		edges := c.Edges
+		if edges < c.Vertices {
+			edges = c.Vertices
+		}
+		g = graph.RandomStronglyConnected(rng, c.Vertices, edges, c.B, maxCap)
+	} else {
+		edges := c.Edges
+		if edges < c.Vertices-1 {
+			edges = c.Vertices - 1
+		}
+		g = graph.RandomConnected(rng, c.Vertices, edges, c.B, maxCap, false)
+	}
+	reqs := make([]core.Request, c.Requests)
+	for i := range reqs {
+		s := rng.IntN(c.Vertices)
+		t := rng.IntN(c.Vertices - 1)
+		if t >= s {
+			t++
+		}
+		reqs[i] = core.Request{
+			Source: s,
+			Target: t,
+			Demand: c.DemandMin + rng.Float64()*(c.DemandMax-c.DemandMin),
+			Value:  c.ValueMin + rng.Float64()*(c.ValueMax-c.ValueMin),
+		}
+	}
+	inst := &core.Instance{G: g, Requests: reqs}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// RunParallel executes the tasks on a bounded worker pool (workers <= 0
+// means GOMAXPROCS) and blocks until all complete. Tasks must synchronize
+// their own writes to shared state; the sweep harness gives each task its
+// own result slot.
+func RunParallel(tasks []func(), workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan func())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Map runs fn over 0..n-1 in parallel and collects results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	tasks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() { out[i] = fn(i) }
+	}
+	RunParallel(tasks, workers)
+	return out
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRandomUFPValid(t *testing.T) {
+	rng := NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		inst, err := RandomUFP(rng, DefaultUFPConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if inst.B() < 20 {
+			t.Fatalf("B = %g, want >= 20", inst.B())
+		}
+		if len(inst.Requests) != 30 {
+			t.Fatalf("got %d requests, want 30", len(inst.Requests))
+		}
+		for _, r := range inst.Requests {
+			if r.Source == r.Target {
+				t.Fatal("request with source == target")
+			}
+		}
+	}
+}
+
+func TestRandomUFPDeterministic(t *testing.T) {
+	a, err := RandomUFP(NewRNG(42), DefaultUFPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomUFP(NewRNG(42), DefaultUFPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("different request counts for same seed")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs for same seed", i)
+		}
+	}
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("different graphs for same seed")
+	}
+}
+
+func TestRandomUFPUndirected(t *testing.T) {
+	cfg := DefaultUFPConfig()
+	cfg.Directed = false
+	inst, err := RandomUFP(NewRNG(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.Directed() {
+		t.Fatal("expected undirected graph")
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomUFPRejectsBadConfig(t *testing.T) {
+	bad := []UFPConfig{
+		{Vertices: 1, B: 2, DemandMin: 0.1, DemandMax: 1, ValueMin: 1, ValueMax: 2},
+		{Vertices: 5, B: 0.5, DemandMin: 0.1, DemandMax: 1, ValueMin: 1, ValueMax: 2},
+		{Vertices: 5, B: 2, DemandMin: 0, DemandMax: 1, ValueMin: 1, ValueMax: 2},
+		{Vertices: 5, B: 2, DemandMin: 0.1, DemandMax: 2, ValueMin: 1, ValueMax: 2},
+		{Vertices: 5, B: 2, DemandMin: 0.1, DemandMax: 1, ValueMin: 0, ValueMax: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := RandomUFP(NewRNG(1), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunParallelRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var count atomic.Int64
+		tasks := make([]func(), 50)
+		for i := range tasks {
+			tasks[i] = func() { count.Add(1) }
+		}
+		RunParallel(tasks, workers)
+		if count.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d tasks, want 50", workers, count.Load())
+		}
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(20, 4, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestNewRNGDistinctSeeds(t *testing.T) {
+	a, b := NewRNG(1).Float64(), NewRNG(2).Float64()
+	if a == b {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}

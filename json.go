@@ -1,0 +1,105 @@
+package truthfulufp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// instanceJSON is the on-disk schema for UFP instances, consumed by
+// cmd/ufprun and producible by any tool.
+type instanceJSON struct {
+	Directed bool          `json:"directed"`
+	Vertices int           `json:"vertices"`
+	Edges    []edgeJSON    `json:"edges"`
+	Requests []requestJSON `json:"requests"`
+}
+
+type edgeJSON struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+}
+
+type requestJSON struct {
+	Source int     `json:"source"`
+	Target int     `json:"target"`
+	Demand float64 `json:"demand"`
+	Value  float64 `json:"value"`
+}
+
+// MarshalInstance encodes a UFP instance as JSON.
+func MarshalInstance(inst *Instance) ([]byte, error) {
+	out := instanceJSON{
+		Directed: inst.G.Directed(),
+		Vertices: inst.G.NumVertices(),
+	}
+	for _, e := range inst.G.Edges() {
+		out.Edges = append(out.Edges, edgeJSON{e.From, e.To, e.Capacity})
+	}
+	for _, r := range inst.Requests {
+		out.Requests = append(out.Requests, requestJSON{r.Source, r.Target, r.Demand, r.Value})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalInstance decodes a UFP instance from JSON and validates it.
+// The instance is expected in normalized form (demands in (0,1]); use
+// Instance.Normalized after decoding otherwise.
+func UnmarshalInstance(data []byte) (*Instance, error) {
+	var in instanceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding instance: %w", err)
+	}
+	var g *Graph
+	if in.Directed {
+		g = NewGraph(in.Vertices)
+	} else {
+		g = NewUndirectedGraph(in.Vertices)
+	}
+	for i, e := range in.Edges {
+		if e.From < 0 || e.From >= in.Vertices || e.To < 0 || e.To >= in.Vertices {
+			return nil, fmt.Errorf("truthfulufp: edge %d endpoints out of range", i)
+		}
+		g.AddEdge(e.From, e.To, e.Capacity)
+	}
+	inst := &Instance{G: g}
+	for _, r := range in.Requests {
+		inst.Requests = append(inst.Requests, Request{
+			Source: r.Source, Target: r.Target, Demand: r.Demand, Value: r.Value,
+		})
+	}
+	return inst, nil
+}
+
+// auctionJSON is the on-disk schema for auction instances (cmd/aucrun).
+type auctionJSON struct {
+	Multiplicity []float64        `json:"multiplicity"`
+	Requests     []aucRequestJSON `json:"requests"`
+}
+
+type aucRequestJSON struct {
+	Bundle []int   `json:"bundle"`
+	Value  float64 `json:"value"`
+}
+
+// MarshalAuction encodes an auction instance as JSON.
+func MarshalAuction(inst *AuctionInstance) ([]byte, error) {
+	out := auctionJSON{Multiplicity: inst.Multiplicity}
+	for _, r := range inst.Requests {
+		out.Requests = append(out.Requests, aucRequestJSON{r.Bundle, r.Value})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalAuction decodes an auction instance from JSON.
+func UnmarshalAuction(data []byte) (*AuctionInstance, error) {
+	var in auctionJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding auction: %w", err)
+	}
+	inst := &AuctionInstance{Multiplicity: in.Multiplicity}
+	for _, r := range in.Requests {
+		inst.Requests = append(inst.Requests, AuctionRequest{Bundle: r.Bundle, Value: r.Value})
+	}
+	return inst, nil
+}
