@@ -1,0 +1,34 @@
+# Mirrors .github/workflows/ci.yml so contributors run the same checks
+# locally that gate a PR.
+
+GO ?= go
+
+.PHONY: all build test bench serve fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Execute every benchmark's code path once (the CI smoke step). For real
+# measurements use e.g.:
+#   go test -bench=BenchmarkEngineThroughput -benchtime=2s -run='^$$' .
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+serve:
+	$(GO) run ./cmd/ufpserve
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test bench

@@ -5,6 +5,7 @@ import (
 
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/engine"
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/mechanism"
 )
@@ -42,6 +43,44 @@ type (
 	// AuctionOutcome pairs an auction allocation with payments.
 	AuctionOutcome = mechanism.AuctionOutcome
 )
+
+// Re-exported solve-engine types. See internal/engine: a long-running
+// concurrent solve service with inter-job sharding, in-flight
+// deduplication, and a keyed result cache, serving exactly the same
+// answers as the direct entry points below.
+type (
+	// Engine is the concurrent solve service (create with NewEngine).
+	Engine = engine.Engine
+	// EngineConfig tunes an Engine (workers, cache size, queue depth).
+	EngineConfig = engine.Config
+	// EngineSnapshot is a point-in-time view of an Engine's counters.
+	EngineSnapshot = engine.Snapshot
+	// Job is one unit of work for an Engine.
+	Job = engine.Job
+	// JobKind names the algorithm a Job runs.
+	JobKind = engine.Kind
+	// JobResult is a completed Job's output.
+	JobResult = engine.Result
+)
+
+// Engine job kinds.
+const (
+	JobSolveUFP         = engine.JobSolveUFP
+	JobBoundedUFP       = engine.JobBoundedUFP
+	JobSolveUFPRepeat   = engine.JobSolveUFPRepeat
+	JobSequentialUFP    = engine.JobSequentialUFP
+	JobGreedyUFP        = engine.JobGreedyUFP
+	JobUFPMechanism     = engine.JobUFPMechanism
+	JobSolveMUCA        = engine.JobSolveMUCA
+	JobAuctionMechanism = engine.JobAuctionMechanism
+)
+
+// ErrEngineClosed is returned by Engine.Do after Engine.Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// NewEngine starts a concurrent solve service. Callers own its shutdown
+// via Engine.Close.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // NewGraph returns an empty directed graph with n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }

@@ -6,11 +6,15 @@
 package truthfulufp_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
 	"truthfulufp/internal/lowerbound"
 	"truthfulufp/internal/lp"
@@ -101,6 +105,96 @@ func BenchmarkBoundedUFPWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineThroughput measures the concurrent solve engine's
+// jobs/sec while sweeping the inter-job worker count from 1 to
+// GOMAXPROCS. The client side keeps a fixed number of submissions in
+// flight (independent of the worker count) over a pool of distinct
+// NoCache jobs, so ns/op tracks engine capacity, not cache luck.
+func BenchmarkEngineThroughput(b *testing.B) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	poolSize := 64
+	// Keep the pool larger than the in-flight window (2*GOMAXPROCS below)
+	// so no two in-flight submissions share a key and coalesce.
+	if 4*maxprocs > poolSize {
+		poolSize = 4 * maxprocs
+	}
+	rng := workload.NewRNG(42)
+	instances := make([]*core.Instance, poolSize)
+	for i := range instances {
+		inst, err := workload.RandomUFP(rng, workload.DefaultUFPConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		instances[i] = inst
+	}
+
+	counts := []int{1}
+	if maxprocs >= 2 {
+		counts = append(counts, 2)
+	}
+	if maxprocs > 2 {
+		counts = append(counts, maxprocs)
+	}
+	inFlight := 2 * maxprocs
+	ctx := context.Background()
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			e := engine.New(engine.Config{Workers: workers})
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, inFlight)
+			for i := 0; i < b.N; i++ {
+				job := engine.Job{
+					Kind: engine.JobBoundedUFP, Eps: 0.25,
+					UFP: instances[i%poolSize], NoCache: true,
+				}
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					if _, err := e.Do(ctx, job); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "jobs/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCacheHit measures the served-from-cache fast path.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	inst, err := workload.RandomUFP(workload.NewRNG(43), workload.DefaultUFPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := engine.New(engine.Config{Workers: 1})
+	defer e.Close()
+	ctx := context.Background()
+	job := engine.Job{Kind: engine.JobBoundedUFP, Eps: 0.25, UFP: inst}
+	if _, err := e.Do(ctx, job); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Do(ctx, job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
 	}
 }
 

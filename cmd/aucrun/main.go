@@ -104,24 +104,31 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// emitJSON writes the canonical wire encoding (the same schema ufpserve
+// serves): a bare allocation, or a full outcome when payments were
+// computed, wrapped with the exact optimum when -exact was requested.
 func emitJSON(out io.Writer, alloc *truthfulufp.AuctionAllocation, pays map[int]float64, optVal float64) error {
-	res := struct {
-		Value     float64         `json:"value"`
-		DualBound float64         `json:"dualBound"`
-		Selected  []int           `json:"selected"`
-		Stop      string          `json:"stop"`
-		Payments  map[int]float64 `json:"payments,omitempty"`
-		ExactOPT  *float64        `json:"exactOPT,omitempty"`
-	}{
-		Value: alloc.Value, DualBound: alloc.DualBound,
-		Selected: alloc.Selected, Stop: alloc.Stop.String(), Payments: pays,
+	var payload []byte
+	var err error
+	if pays != nil {
+		payload, err = truthfulufp.MarshalAuctionOutcome(&truthfulufp.AuctionOutcome{Allocation: alloc, Payments: pays})
+	} else {
+		payload, err = truthfulufp.MarshalAuctionAllocation(alloc)
 	}
-	if optVal >= 0 {
-		res.ExactOPT = &optVal
+	if err != nil {
+		return err
 	}
+	if optVal < 0 {
+		_, err = fmt.Fprintf(out, "%s\n", payload)
+		return err
+	}
+	env := struct {
+		Result   json.RawMessage `json:"result"`
+		ExactOPT float64         `json:"exactOPT"`
+	}{payload, optVal}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return enc.Encode(env)
 }
 
 func printSample(out io.Writer) error {

@@ -53,14 +53,16 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out struct {
-		Value    float64  `json:"value"`
-		Selected []int    `json:"selected"`
+		Result struct {
+			Value    float64 `json:"value"`
+			Selected []int   `json:"selected"`
+		} `json:"result"`
 		ExactOPT *float64 `json:"exactOPT"`
 	}
 	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
 		t.Fatalf("not JSON: %v\n%s", err, b.String())
 	}
-	if math.Abs(out.Value-3.4) > 1e-9 || out.ExactOPT == nil || math.Abs(*out.ExactOPT-3.4) > 1e-9 {
+	if math.Abs(out.Result.Value-3.4) > 1e-9 || out.ExactOPT == nil || math.Abs(*out.ExactOPT-3.4) > 1e-9 {
 		t.Fatalf("unexpected result: %+v", out)
 	}
 }

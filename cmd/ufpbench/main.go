@@ -7,18 +7,36 @@
 //	ufpbench [-experiment all|E1|E2|...] [-scale 1.0] [-seeds 3] [-workers 0]
 //
 // The output of a full-scale run is recorded in EXPERIMENTS.md.
+//
+// With -load, ufpbench instead drives the concurrent solve engine with
+// synthetic traffic and reports end-to-end throughput and latency:
+//
+//	ufpbench -load [-shape closed|open] [-jobs 200] [-concurrency 16]
+//	         [-rate 200] [-dup 0.3] [-kind ufp/bounded] [-eps 0.25]
+//	         [-workers 0] [-seed 1]
+//
+// Closed-loop traffic keeps -concurrency jobs in flight (peak
+// throughput); open-loop traffic is a Poisson stream at -rate jobs/sec
+// (queueing latency). -dup is the fraction of repeated instances, which
+// exercises the engine's result cache. In load mode -workers sets the
+// engine's inter-job worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
+	"truthfulufp/internal/stats"
+	"truthfulufp/internal/workload"
 )
 
 func main() {
@@ -34,13 +52,30 @@ func run(args []string, out io.Writer) error {
 		which   = fs.String("experiment", "all", "experiment ID (E1..E9, F1) or 'all'")
 		scale   = fs.Float64("scale", 1, "workload scale in (0,1]")
 		seeds   = fs.Int("seeds", 3, "random instances per configuration point")
-		workers = fs.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS)")
+		workers = fs.Int("workers", 0, "solver parallelism; with -load, engine workers (0 = GOMAXPROCS)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		quiet   = fs.Bool("quiet", false, "suppress per-experiment timing lines")
 		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
+
+		load        = fs.Bool("load", false, "run the engine load generator instead of experiments")
+		shape       = fs.String("shape", "closed", "load traffic shape: closed|open")
+		jobs        = fs.Int("jobs", 200, "load: total jobs to submit")
+		concurrency = fs.Int("concurrency", 16, "load: closed-loop jobs in flight")
+		rate        = fs.Float64("rate", 200, "load: open-loop arrival rate (jobs/sec)")
+		dup         = fs.Float64("dup", 0.3, "load: fraction of repeated instances in [0,1)")
+		kind        = fs.String("kind", string(engine.JobBoundedUFP), "load: job kind (ufp/*)")
+		eps         = fs.Float64("eps", 0.25, "load: accuracy parameter ε")
+		seed        = fs.Uint64("seed", 1, "load: traffic RNG seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *load {
+		return runLoad(out, loadConfig{
+			shape: *shape, jobs: *jobs, concurrency: *concurrency, rate: *rate,
+			dup: *dup, kind: engine.Kind(*kind), eps: *eps, seed: *seed,
+			workers: *workers,
+		})
 	}
 	runners := experiments.All()
 	if *list {
@@ -75,6 +110,98 @@ func run(args []string, out io.Writer) error {
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q (use -list)", *which)
 	}
+	return nil
+}
+
+// loadConfig parameterizes the engine load generator.
+type loadConfig struct {
+	shape       string
+	jobs        int
+	concurrency int
+	rate        float64
+	dup         float64
+	kind        engine.Kind
+	eps         float64
+	seed        uint64
+	workers     int
+}
+
+// runLoad drives an in-process engine with a synthetic job stream and
+// prints end-to-end throughput plus client-side latency.
+func runLoad(out io.Writer, cfg loadConfig) error {
+	if !cfg.kind.IsUFP() {
+		return fmt.Errorf("load: kind %q is not a UFP job kind", cfg.kind)
+	}
+	shape, err := workload.ParseTrafficShape(cfg.shape)
+	if err != nil {
+		return err
+	}
+	tc := workload.TrafficConfig{
+		Shape: shape, Jobs: cfg.jobs, Concurrency: cfg.concurrency,
+		Rate: cfg.rate, DupFraction: cfg.dup,
+		Instance: workload.DefaultUFPConfig(),
+	}
+	rng := workload.NewRNG(cfg.seed)
+	stream, err := workload.UFPStream(rng, tc)
+	if err != nil {
+		return err
+	}
+	gaps, err := workload.Arrivals(rng, tc)
+	if err != nil {
+		return err
+	}
+
+	e := engine.New(engine.Config{Workers: cfg.workers})
+	defer e.Close()
+	ctx := context.Background()
+	latencies := make([]float64, len(stream)) // client-observed seconds
+	errs := make([]error, len(stream))
+	var wg sync.WaitGroup
+	submit := func(i int) {
+		defer wg.Done()
+		start := time.Now()
+		_, err := e.Do(ctx, engine.Job{Kind: cfg.kind, Eps: cfg.eps, UFP: stream[i]})
+		latencies[i] = time.Since(start).Seconds()
+		errs[i] = err
+	}
+	var sem chan struct{}
+	if shape == workload.ClosedLoop {
+		sem = make(chan struct{}, cfg.concurrency)
+	}
+	wallStart := time.Now()
+	next := wallStart // open loop: absolute deadlines, so sleep overshoot cannot accumulate
+	for i := range stream {
+		wg.Add(1)
+		if shape == workload.ClosedLoop {
+			sem <- struct{}{}
+			go func(i int) { defer func() { <-sem }(); submit(i) }(i)
+		} else {
+			next = next.Add(gaps[i])
+			time.Sleep(time.Until(next))
+			go submit(i)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("load: job %d: %w", i, err)
+		}
+	}
+
+	var lat stats.Summary
+	lat.AddAll(latencies)
+	snap := e.Snapshot()
+	fmt.Fprintf(out, "engine load: %d jobs, %s loop, %d workers, kind %s, dup %.2f\n",
+		cfg.jobs, shape, snap.Workers, cfg.kind, cfg.dup)
+	fmt.Fprintf(out, "  wall time        %v\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(out, "  throughput       %.1f jobs/sec\n", float64(cfg.jobs)/wall.Seconds())
+	fmt.Fprintf(out, "  latency mean     %.3f ms\n", lat.Mean()*1e3)
+	fmt.Fprintf(out, "  latency p50/p95  %.3f / %.3f ms\n",
+		stats.Quantile(latencies, 0.5)*1e3, stats.Quantile(latencies, 0.95)*1e3)
+	fmt.Fprintf(out, "  latency max      %.3f ms\n", lat.Max()*1e3)
+	fmt.Fprintf(out, "  executions       %d (cache hits %d, coalesced %d)\n",
+		snap.Completed, snap.CacheHits, snap.Coalesced)
 	return nil
 }
 

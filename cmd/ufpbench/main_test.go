@@ -81,3 +81,39 @@ func TestCSVExport(t *testing.T) {
 		t.Fatalf("no e3_*.csv among %v", entries)
 	}
 }
+
+func TestLoadClosedLoop(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-load", "-jobs", "40", "-concurrency", "8", "-dup", "0.5", "-workers", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"closed loop", "jobs/sec", "latency p50/p95", "cache hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadOpenLoop(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-load", "-shape", "open", "-jobs", "20", "-rate", "2000", "-workers", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "open loop") {
+		t.Fatalf("open-loop output wrong:\n%s", b.String())
+	}
+}
+
+func TestLoadRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-load", "-kind", "muca/solve"}, &b); err == nil {
+		t.Error("auction kind accepted by UFP load generator")
+	}
+	if err := run([]string{"-load", "-shape", "sideways"}, &b); err == nil {
+		t.Error("unknown traffic shape accepted")
+	}
+	if err := run([]string{"-load", "-dup", "1.5"}, &b); err == nil {
+		t.Error("dup fraction out of range accepted")
+	}
+}

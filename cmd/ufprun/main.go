@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -110,32 +109,22 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// emitJSON writes the canonical wire encoding (the same schema ufpserve
+// serves): a bare allocation, or a full outcome when payments were
+// computed.
 func emitJSON(out io.Writer, alloc *truthfulufp.Allocation, pays map[int]float64) error {
-	type routedOut struct {
-		Request int     `json:"request"`
-		Path    []int   `json:"path"`
-		Payment float64 `json:"payment,omitempty"`
+	var data []byte
+	var err error
+	if pays != nil {
+		data, err = truthfulufp.MarshalUFPOutcome(&truthfulufp.UFPOutcome{Allocation: alloc, Payments: pays})
+	} else {
+		data, err = truthfulufp.MarshalAllocation(alloc)
 	}
-	res := struct {
-		Value      float64     `json:"value"`
-		DualBound  float64     `json:"dualBound"`
-		Iterations int         `json:"iterations"`
-		Stop       string      `json:"stop"`
-		Routed     []routedOut `json:"routed"`
-	}{
-		Value: alloc.Value, DualBound: alloc.DualBound,
-		Iterations: alloc.Iterations, Stop: alloc.Stop.String(),
+	if err != nil {
+		return err
 	}
-	for _, p := range alloc.Routed {
-		ro := routedOut{Request: p.Request, Path: p.Path}
-		if pays != nil {
-			ro.Payment = pays[p.Request]
-		}
-		res.Routed = append(res.Routed, ro)
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
 }
 
 func printSample(out io.Writer) error {

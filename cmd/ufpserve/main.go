@@ -1,0 +1,342 @@
+// Command ufpserve is the HTTP/JSON front end of the concurrent solve
+// engine: it serves UFP/MUCA solve and truthful-mechanism traffic on a
+// bounded worker pool with in-flight deduplication and a keyed result
+// cache, answering exactly what the direct library calls would.
+//
+// Usage:
+//
+//	ufpserve [-addr :8080] [-workers 0] [-solve-workers 1] [-cache 1024] [-eps 0.25] [-timeout 60s]
+//
+// Endpoints:
+//
+//	POST /solve      {"kind": "ufp/solve", "eps": 0.25, "instance": {...}}
+//	POST /mechanism  {"eps": 0.25, "instance": {...}}
+//	POST /auction    {"mode": "solve"|"mechanism", "eps": 0.25, "instance": {...}}
+//	GET  /healthz
+//
+// Instances use the same JSON schema as cmd/ufprun and cmd/aucrun (see
+// the root package's MarshalInstance/MarshalAuction). Solve responses
+// wrap the canonical allocation/outcome encodings plus cache metadata.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"truthfulufp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ufpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("ufpserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "engine workers = concurrent jobs (0 = GOMAXPROCS)")
+		solveWorkers = fs.Int("solve-workers", 1, "goroutines per solve (intra-job parallelism)")
+		cache        = fs.Int("cache", 0, "result cache entries (0 = default, negative = disabled)")
+		queue        = fs.Int("queue", 0, "pending-job queue depth (0 = 4x workers)")
+		eps          = fs.Float64("eps", 0.25, "default accuracy parameter ε")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request solve timeout, 0 = none (abandons the wait; a running solve completes on its worker)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine := truthfulufp.NewEngine(truthfulufp.EngineConfig{
+		Workers:      *workers,
+		SolveWorkers: *solveWorkers,
+		CacheSize:    *cache,
+		QueueDepth:   *queue,
+	})
+	defer engine.Close()
+	// No blanket WriteTimeout: dispatch sets a per-request write deadline
+	// after the body is read, so slow uploads don't eat the solve budget.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(engine, *eps, *timeout),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(logw, "ufpserve: listening on %s (%d workers)\n", *addr, engine.Workers())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// server holds the handler's dependencies.
+type server struct {
+	engine     *truthfulufp.Engine
+	defaultEps float64
+	timeout    time.Duration
+}
+
+// newHandler wires the endpoint mux around an engine. The engine is
+// owned by the caller (tests share one across httptest servers).
+func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Duration) http.Handler {
+	s := &server{engine: engine, defaultEps: defaultEps, timeout: timeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /mechanism", s.handleMechanism)
+	mux.HandleFunc("POST /auction", s.handleAuction)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(w, r)
+		// dispatch sets a per-request write deadline, and with no blanket
+		// Server.WriteTimeout net/http never resets it — clear it here so
+		// it cannot outlive this request on a keep-alive connection.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	})
+}
+
+// solveRequest is the body of /solve, /mechanism, and /auction. Instance
+// carries the cmd/ufprun (UFP) or cmd/aucrun (auction) schema.
+type solveRequest struct {
+	// Kind selects the algorithm on /solve (default "ufp/solve").
+	Kind string `json:"kind"`
+	// Mode selects "solve" (default) or "mechanism" on /auction.
+	Mode string `json:"mode"`
+	// Eps is the accuracy parameter ε (default: the server's -eps flag).
+	Eps      *float64        `json:"eps"`
+	NoCache  bool            `json:"noCache"`
+	Instance json.RawMessage `json:"instance"`
+}
+
+// solveResponse wraps the canonical result encoding with job metadata.
+type solveResponse struct {
+	Allocation json.RawMessage `json:"allocation,omitempty"`
+	Outcome    json.RawMessage `json:"outcome,omitempty"`
+	CacheHit   bool            `json:"cacheHit"`
+	ElapsedMs  float64         `json:"elapsedMs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxRequestBytes caps request bodies so one oversized instance cannot
+// exhaust server memory.
+const maxRequestBytes = 32 << 20
+
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*solveRequest, bool) {
+	var req solveRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return nil, false
+	}
+	if len(req.Instance) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("request is missing an instance"))
+		return nil, false
+	}
+	return &req, true
+}
+
+func (s *server) eps(req *solveRequest) float64 {
+	if req.Eps != nil {
+		return *req.Eps
+	}
+	return s.defaultEps
+}
+
+// dispatch runs the job on the engine under the per-request timeout
+// (non-positive timeout = none). The body is already read at this point,
+// so the write deadline budgets the solve plus response, independent of
+// upload speed.
+func (s *server) dispatch(w http.ResponseWriter, r *http.Request, job truthfulufp.Job) (*truthfulufp.JobResult, bool) {
+	ctx := r.Context()
+	if s.timeout > 0 {
+		// Best effort: some ResponseWriters (tests, middleware) may not
+		// support deadlines; the engine context below still bounds the wait.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.timeout + 15*time.Second))
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, err := s.engine.Do(ctx, job)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, truthfulufp.ErrEngineClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return nil, false
+	}
+	return res, true
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	kind := truthfulufp.JobKind(req.Kind)
+	if req.Kind == "" {
+		kind = truthfulufp.JobSolveUFP
+	}
+	if !kind.IsUFPSolve() {
+		if kind.Valid() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("kind %q is not served by /solve (use /mechanism or /auction)", req.Kind))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown solve kind %q", req.Kind))
+		}
+		return
+	}
+	inst, err := truthfulufp.UnmarshalInstance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, ok := s.dispatch(w, r, truthfulufp.Job{
+		Kind: kind, Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
+	})
+	if !ok {
+		return
+	}
+	body, err := truthfulufp.MarshalAllocation(res.Allocation)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeResult(w, solveResponse{Allocation: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
+}
+
+func (s *server) handleMechanism(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	inst, err := truthfulufp.UnmarshalInstance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, ok := s.dispatch(w, r, truthfulufp.Job{
+		Kind: truthfulufp.JobUFPMechanism, Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
+	})
+	if !ok {
+		return
+	}
+	body, err := truthfulufp.MarshalUFPOutcome(res.UFPOutcome)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeResult(w, solveResponse{Outcome: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
+}
+
+func (s *server) handleAuction(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	inst, err := truthfulufp.UnmarshalAuction(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch req.Mode {
+	case "", "solve":
+		res, ok := s.dispatch(w, r, truthfulufp.Job{
+			Kind: truthfulufp.JobSolveMUCA, Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
+		})
+		if !ok {
+			return
+		}
+		body, err := truthfulufp.MarshalAuctionAllocation(res.AuctionAllocation)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeResult(w, solveResponse{Allocation: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
+	case "mechanism":
+		res, ok := s.dispatch(w, r, truthfulufp.Job{
+			Kind: truthfulufp.JobAuctionMechanism, Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
+		})
+		if !ok {
+			return
+		}
+		body, err := truthfulufp.MarshalAuctionOutcome(res.AuctionOutcome)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeResult(w, solveResponse{Outcome: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown auction mode %q (want solve|mechanism)", req.Mode))
+	}
+}
+
+// healthResponse is /healthz: liveness plus the engine's counters.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSec     float64 `json:"uptimeSec"`
+	Workers       int     `json:"workers"`
+	Submitted     int64   `json:"submitted"`
+	Completed     int64   `json:"completed"`
+	CacheHits     int64   `json:"cacheHits"`
+	Coalesced     int64   `json:"coalesced"`
+	Failures      int64   `json:"failures"`
+	JobsPerSec    float64 `json:"jobsPerSec"`
+	LatencyMeanMs float64 `json:"latencyMeanMs"`
+	LatencyMaxMs  float64 `json:"latencyMaxMs"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.engine.Snapshot()
+	resp := healthResponse{
+		Status:     "ok",
+		UptimeSec:  snap.Uptime.Seconds(),
+		Workers:    snap.Workers,
+		Submitted:  snap.Submitted,
+		Completed:  snap.Completed,
+		CacheHits:  snap.CacheHits,
+		Coalesced:  snap.Coalesced,
+		Failures:   snap.Failures,
+		JobsPerSec: snap.JobsPerSec(),
+	}
+	if snap.Latency.N() > 0 {
+		resp.LatencyMeanMs = snap.Latency.Mean() * 1e3
+		resp.LatencyMaxMs = snap.Latency.Max() * 1e3
+	}
+	writeResult(w, resp)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeResult(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than abort the connection.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,416 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"truthfulufp"
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *truthfulufp.Engine) {
+	t.Helper()
+	engine := truthfulufp.NewEngine(truthfulufp.EngineConfig{Workers: 4})
+	t.Cleanup(engine.Close)
+	ts := httptest.NewServer(newHandler(engine, 0.25, 30*time.Second))
+	t.Cleanup(ts.Close)
+	return ts, engine
+}
+
+func testInstance(t *testing.T, seed uint64) *truthfulufp.Instance {
+	t.Helper()
+	cfg := workload.DefaultUFPConfig()
+	cfg.B = 200 // large capacities so SolveUFP's ε/6 threshold admits winners
+	inst, err := workload.RandomUFP(workload.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+type wireResponse struct {
+	Allocation json.RawMessage `json:"allocation"`
+	Outcome    json.RawMessage `json:"outcome"`
+	CacheHit   bool            `json:"cacheHit"`
+	ElapsedMs  float64         `json:"elapsedMs"`
+	Error      string          `json:"error"`
+}
+
+func solveBody(t *testing.T, inst *truthfulufp.Instance, extra map[string]any) map[string]any {
+	t.Helper()
+	raw, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := map[string]any{"instance": json.RawMessage(raw)}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+// TestServeSolveMatchesDirectCall is the acceptance check: the served
+// allocation re-encodes byte-identically to a direct SolveUFP call.
+func TestServeSolveMatchesDirectCall(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst := testInstance(t, 1)
+
+	status, out := postJSON(t, ts.URL+"/solve", solveBody(t, inst, map[string]any{"eps": 0.25}))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := truthfulufp.UnmarshalAllocation(resp.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := truthfulufp.MarshalAllocation(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := truthfulufp.SolveUFP(inst, 0.25, &truthfulufp.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := truthfulufp.MarshalAllocation(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("served allocation differs from direct call:\n got %s\nwant %s", gotBytes, wantBytes)
+	}
+	if len(got.Routed) == 0 {
+		t.Fatal("vacuous comparison: nothing routed")
+	}
+}
+
+// TestServeSolveKinds exercises every /solve kind end to end.
+func TestServeSolveKinds(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst := testInstance(t, 2)
+	for _, kind := range []string{"", "ufp/solve", "ufp/bounded", "ufp/repeat", "ufp/sequential", "ufp/greedy"} {
+		extra := map[string]any{}
+		if kind != "" {
+			extra["kind"] = kind
+		}
+		status, out := postJSON(t, ts.URL+"/solve", solveBody(t, inst, extra))
+		if status != http.StatusOK {
+			t.Fatalf("kind %q: status %d: %s", kind, status, out)
+		}
+		var resp wireResponse
+		if err := json.Unmarshal(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := truthfulufp.UnmarshalAllocation(resp.Allocation); err != nil {
+			t.Fatalf("kind %q: bad allocation payload: %v", kind, err)
+		}
+	}
+}
+
+// TestServeMechanismMatchesDirectCall checks /mechanism against a direct
+// RunUFPMechanism call, byte for byte.
+func TestServeMechanismMatchesDirectCall(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Small instance: the mechanism re-runs the solver ~60x per winner.
+	g := truthfulufp.NewGraph(2)
+	g.AddEdge(0, 1, 30)
+	inst := &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
+		{Source: 0, Target: 1, Demand: 1, Value: 2},
+		{Source: 0, Target: 1, Demand: 0.5, Value: 1},
+	}}
+
+	status, out := postJSON(t, ts.URL+"/mechanism", solveBody(t, inst, map[string]any{"eps": 0.5}))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, out)
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := truthfulufp.UnmarshalUFPOutcome(resp.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := truthfulufp.MarshalUFPOutcome(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truthfulufp.RunUFPMechanism(inst, 0.5, &truthfulufp.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := truthfulufp.MarshalUFPOutcome(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("served outcome differs from direct call:\n got %s\nwant %s", gotBytes, wantBytes)
+	}
+	if len(want.Payments) == 0 {
+		t.Fatal("vacuous comparison: no winners")
+	}
+}
+
+// TestServeAuction exercises /auction in both modes against direct calls.
+func TestServeAuction(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst, err := auction.RandomInstance(workload.NewRNG(3), auction.RandomConfig{
+		Items: 6, Requests: 20, B: 60, MultSpread: 0.3,
+		BundleMin: 1, BundleMax: 3, ValueMin: 0.5, ValueMax: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := truthfulufp.MarshalAuction(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, out := postJSON(t, ts.URL+"/auction", map[string]any{"instance": json.RawMessage(raw)})
+	if status != http.StatusOK {
+		t.Fatalf("solve mode: status %d: %s", status, out)
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := truthfulufp.UnmarshalAuctionAllocation(resp.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truthfulufp.SolveMUCA(inst, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, _ := truthfulufp.MarshalAuctionAllocation(got)
+	wantBytes, _ := truthfulufp.MarshalAuctionAllocation(want)
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("served auction allocation differs:\n got %s\nwant %s", gotBytes, wantBytes)
+	}
+	if len(want.Selected) == 0 {
+		t.Fatal("vacuous comparison: no winners")
+	}
+
+	status, out = postJSON(t, ts.URL+"/auction", map[string]any{
+		"instance": json.RawMessage(raw), "mode": "mechanism",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mechanism mode: status %d: %s", status, out)
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	gotOut, err := truthfulufp.UnmarshalAuctionOutcome(resp.Outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotOut.Payments) != len(want.Selected) {
+		t.Fatalf("payments %d != winners %d", len(gotOut.Payments), len(want.Selected))
+	}
+}
+
+// TestServeConcurrentRequests fires parallel solve traffic with repeats
+// and checks every response plus the healthz counter balance.
+func TestServeConcurrentRequests(t *testing.T) {
+	ts, engine := newTestServer(t)
+	instances := make([]*truthfulufp.Instance, 4)
+	for i := range instances {
+		instances[i] = testInstance(t, uint64(10+i))
+	}
+	wantBytes := make([][]byte, len(instances))
+	for i, inst := range instances {
+		want, err := truthfulufp.SolveUFP(inst, 0.25, &truthfulufp.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantBytes[i], err = truthfulufp.MarshalAllocation(want); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const requests = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst := instances[i%len(instances)]
+			status, out := postJSON(t, ts.URL+"/solve", solveBody(t, inst, nil))
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("request %d: status %d: %s", i, status, out)
+				return
+			}
+			var resp wireResponse
+			if err := json.Unmarshal(out, &resp); err != nil {
+				errs <- err
+				return
+			}
+			got, err := truthfulufp.UnmarshalAllocation(resp.Allocation)
+			if err != nil {
+				errs <- err
+				return
+			}
+			gotBytes, err := truthfulufp.MarshalAllocation(got)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(gotBytes, wantBytes[i%len(instances)]) {
+				errs <- fmt.Errorf("request %d: allocation differs from direct call", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := engine.Snapshot()
+	if snap.Submitted != requests {
+		t.Errorf("submitted = %d, want %d", snap.Submitted, requests)
+	}
+	if snap.Completed+snap.CacheHits+snap.Coalesced != snap.Submitted || snap.Failures != 0 {
+		t.Errorf("counters do not balance: %+v", snap)
+	}
+	if snap.Completed != int64(len(instances)) {
+		t.Errorf("executions = %d, want one per distinct instance = %d", snap.Completed, len(instances))
+	}
+}
+
+// TestServeZeroTimeout verifies timeout 0 means "no timeout", not
+// "already expired".
+func TestServeZeroTimeout(t *testing.T) {
+	engine := truthfulufp.NewEngine(truthfulufp.EngineConfig{Workers: 2})
+	t.Cleanup(engine.Close)
+	ts := httptest.NewServer(newHandler(engine, 0.25, 0))
+	t.Cleanup(ts.Close)
+	status, out := postJSON(t, ts.URL+"/solve", solveBody(t, testInstance(t, 30), nil))
+	if status != http.StatusOK {
+		t.Fatalf("status %d with zero timeout: %s", status, out)
+	}
+}
+
+// TestServeHealthz checks the health endpoint's shape.
+func TestServeHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Workers != 4 {
+		t.Errorf("healthz = %+v", health)
+	}
+}
+
+// TestServeErrors covers the rejection paths.
+func TestServeErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst := testInstance(t, 20)
+
+	for _, tc := range []struct {
+		name   string
+		url    string
+		body   any
+		status int
+	}{
+		{"bad JSON", "/solve", "{", http.StatusBadRequest},
+		{"missing instance", "/solve", map[string]any{"eps": 0.25}, http.StatusBadRequest},
+		{"unknown kind", "/solve", solveBody(t, inst, map[string]any{"kind": "ufp/nonsense"}), http.StatusBadRequest},
+		{"auction kind on solve", "/solve", solveBody(t, inst, map[string]any{"kind": "muca/solve"}), http.StatusBadRequest},
+		{"bad eps", "/solve", solveBody(t, inst, map[string]any{"eps": 7.0}), http.StatusUnprocessableEntity},
+		{"unknown auction mode", "/auction", map[string]any{"mode": "x", "instance": json.RawMessage(`{"multiplicity":[2]}`)}, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var data []byte
+			switch b := tc.body.(type) {
+			case string:
+				data = []byte(b)
+			default:
+				var err error
+				if data, err = json.Marshal(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			resp, err := http.Post(ts.URL+tc.url, "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			out, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, out)
+			}
+			var e wireResponse
+			if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not JSON with error field: %s", out)
+			}
+		})
+	}
+
+	// Oversized body is rejected with 413 before decoding.
+	t.Run("oversized body", func(t *testing.T) {
+		huge := append([]byte(`{"pad":"`), bytes.Repeat([]byte("x"), maxRequestBytes+1024)...)
+		huge = append(huge, `"}`...)
+		resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", resp.StatusCode)
+		}
+	})
+
+	// Wrong method on a POST endpoint.
+	resp, err := http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /solve status %d, want 405", resp.StatusCode)
+	}
+}

@@ -21,6 +21,9 @@
 //     harness (Theorem 2.3).
 //   - internal/lowerbound: Figures 2, 3, 4 instance families.
 //   - internal/experiments: the table/figure reproduction harness.
+//   - internal/engine: the concurrent solve service (worker pool,
+//     in-flight deduplication, keyed result cache) behind cmd/ufpserve;
+//     use it via NewEngine/Engine.Do for heavy traffic.
 //
 // # Quick start
 //

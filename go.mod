@@ -1,0 +1,3 @@
+module truthfulufp
+
+go 1.24

@@ -1,0 +1,468 @@
+// Package engine is the concurrent solve service behind cmd/ufpserve: a
+// long-running worker pool that accepts UFP/MUCA solve and mechanism
+// jobs, shards them across inter-job workers (each solve additionally
+// using core.Options.Workers for intra-solve parallelism), deduplicates
+// identical jobs in flight, and memoizes results in a keyed LRU cache
+// (instance fingerprint + job kind + ε). Every job is a pure function of
+// its instance and parameters, so coalescing and caching never change
+// results — an engine answer is identical to a direct call of the
+// corresponding algorithm.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/stats"
+)
+
+// Kind names the algorithm a job runs.
+type Kind string
+
+// Job kinds. The UFP kinds require Job.UFP; the auction kinds require
+// Job.Auction.
+const (
+	// JobSolveUFP runs core.SolveUFP (Theorem 3.1 calling convention).
+	JobSolveUFP Kind = "ufp/solve"
+	// JobBoundedUFP runs core.BoundedUFP with the raw accuracy parameter.
+	JobBoundedUFP Kind = "ufp/bounded"
+	// JobSolveUFPRepeat runs core.SolveUFPRepeat (Theorem 5.1).
+	JobSolveUFPRepeat Kind = "ufp/repeat"
+	// JobSequentialUFP runs the sequential primal-dual baseline.
+	JobSequentialUFP Kind = "ufp/sequential"
+	// JobGreedyUFP runs the value-density greedy baseline (ε ignored).
+	JobGreedyUFP Kind = "ufp/greedy"
+	// JobUFPMechanism runs the truthful mechanism of Corollary 3.2:
+	// Bounded-UFP(ε) plus critical-value payments.
+	JobUFPMechanism Kind = "ufp/mechanism"
+	// JobSolveMUCA runs auction.SolveMUCA (Theorem 4.1).
+	JobSolveMUCA Kind = "muca/solve"
+	// JobAuctionMechanism runs the truthful auction mechanism of
+	// Corollary 4.2: Bounded-MUCA(ε) plus critical-value payments.
+	JobAuctionMechanism Kind = "muca/mechanism"
+)
+
+// Valid reports whether k names a known job kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case JobSolveUFP, JobBoundedUFP, JobSolveUFPRepeat, JobSequentialUFP,
+		JobGreedyUFP, JobUFPMechanism, JobSolveMUCA, JobAuctionMechanism:
+		return true
+	}
+	return false
+}
+
+// IsUFP reports whether k consumes a UFP instance, as opposed to an
+// auction instance. Unknown kinds report false.
+func (k Kind) IsUFP() bool {
+	switch k {
+	case JobSolveMUCA, JobAuctionMechanism:
+		return false
+	}
+	return k.Valid()
+}
+
+// IsUFPSolve reports whether k is a UFP allocation algorithm — IsUFP
+// minus the mechanism — i.e. the kinds whose Result carries Allocation.
+func (k Kind) IsUFPSolve() bool {
+	return k.IsUFP() && k != JobUFPMechanism
+}
+
+// Job is one unit of work. Exactly one of UFP and Auction must be set,
+// matching the kind. Instances must not be mutated after submission.
+type Job struct {
+	Kind Kind
+	// Eps is the accuracy parameter ε (ignored by JobGreedyUFP).
+	Eps float64
+	// UFP is the instance for the ufp/* kinds.
+	UFP *core.Instance
+	// Auction is the instance for the muca/* kinds.
+	Auction *auction.Instance
+	// NoCache bypasses the result cache (the job still coalesces with an
+	// identical in-flight job).
+	NoCache bool
+}
+
+func (j Job) validate() error {
+	if !j.Kind.Valid() {
+		return fmt.Errorf("engine: unknown job kind %q", j.Kind)
+	}
+	if j.Kind.IsUFP() {
+		if j.UFP == nil {
+			return fmt.Errorf("engine: %s job needs a UFP instance", j.Kind)
+		}
+		if j.UFP.G == nil {
+			// Caught here so key() never dereferences a nil graph; the
+			// solvers would reject the instance with the same diagnosis.
+			return fmt.Errorf("engine: %s job instance has no graph", j.Kind)
+		}
+		if j.Auction != nil {
+			return fmt.Errorf("engine: %s job must not carry an auction instance", j.Kind)
+		}
+	} else {
+		if j.Auction == nil {
+			return fmt.Errorf("engine: %s job needs an auction instance", j.Kind)
+		}
+		if j.UFP != nil {
+			return fmt.Errorf("engine: %s job must not carry a UFP instance", j.Kind)
+		}
+	}
+	return nil
+}
+
+// Result is a completed job's output. Exactly one of the four payload
+// fields is set, matching the job kind. Results may be shared between
+// callers via the cache, so they must be treated as immutable.
+type Result struct {
+	// Allocation is set for JobSolveUFP/JobBoundedUFP/JobSolveUFPRepeat/
+	// JobSequentialUFP/JobGreedyUFP.
+	Allocation *core.Allocation
+	// AuctionAllocation is set for JobSolveMUCA.
+	AuctionAllocation *auction.Allocation
+	// UFPOutcome is set for JobUFPMechanism.
+	UFPOutcome *mechanism.UFPOutcome
+	// AuctionOutcome is set for JobAuctionMechanism.
+	AuctionOutcome *mechanism.AuctionOutcome
+	// Elapsed is the wall-clock solve time of the job's single execution
+	// (shared verbatim by coalesced and cached answers).
+	Elapsed time.Duration
+	// CacheHit reports that this answer was served from the result cache
+	// without running (or waiting for) the algorithm.
+	CacheHit bool
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds concurrent jobs (inter-job sharding); 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// SolveWorkers is passed to core.Options.Workers for intra-solve
+	// parallelism. 0 means 1: with many jobs in flight, one core per solve
+	// avoids oversubscription; raise it for latency-sensitive lone jobs.
+	SolveWorkers int
+	// CacheSize bounds the result cache (entries, LRU eviction). 0 means
+	// DefaultCacheSize; negative disables caching entirely.
+	CacheSize int
+	// QueueDepth bounds the pending-job queue; 0 means 4×workers. Submit
+	// blocks (respecting its context) when the queue is full.
+	QueueDepth int
+}
+
+// DefaultCacheSize is the result-cache capacity when Config.CacheSize is
+// zero.
+const DefaultCacheSize = 1024
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// call is one in-flight execution that any number of submitters may wait
+// on (singleflight).
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+	// cacheable records whether any submitter sharing this call wants the
+	// result cached (a NoCache leader must not suppress caching for a
+	// cache-willing coalesced waiter). Guarded by Engine.flightMu.
+	cacheable bool
+}
+
+// Engine is the concurrent solve service. Create with New, submit with
+// Do, shut down with Close. All methods are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu       sync.RWMutex // guards closed and sends on queue
+	closed   bool
+	flightMu sync.Mutex // guards inflight
+	inflight map[string]*call
+	cache    *lruCache // nil when caching is disabled
+
+	start     time.Time
+	submitted stats.Counter
+	completed stats.Counter
+	hits      stats.Counter
+	coalesced stats.Counter
+	failures  stats.Counter
+	latency   stats.ConcurrentSummary // per-execution solve seconds
+}
+
+// New starts an engine with cfg.Workers worker goroutines.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SolveWorkers <= 0 {
+		cfg.SolveWorkers = 1
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	e := &Engine{
+		cfg:      cfg,
+		queue:    make(chan func(), cfg.QueueDepth),
+		inflight: make(map[string]*call),
+		start:    time.Now(),
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = newLRUCache(cfg.CacheSize)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for task := range e.queue {
+				task()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the engine's inter-job worker count.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Close drains the queue, stops the workers, and blocks until in-flight
+// jobs finish. Subsequent Do calls return ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Do submits a job and blocks until its result is available, the context
+// is done, or the engine closes. Identical jobs (same kind, ε, and
+// instance fingerprint) in flight are coalesced into one execution, and
+// completed results are served from the cache unless NoCache is set.
+//
+// Cancellation abandons the wait, not the computation: a job already
+// running on a worker completes (and is cached) regardless; the solvers
+// themselves do not take a context.
+func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	e.submitted.Inc()
+	key := job.key()
+	counted := false
+	for {
+		if !job.NoCache && e.cache != nil {
+			if res, ok := e.cache.get(key); ok {
+				e.hits.Inc()
+				hit := *res
+				hit.CacheHit = true
+				return &hit, nil
+			}
+		}
+		c, leader, cached := e.join(key, !job.NoCache)
+		if cached != nil {
+			e.hits.Inc()
+			hit := *cached
+			hit.CacheHit = true
+			return &hit, nil
+		}
+		if !leader && !counted {
+			e.coalesced.Inc()
+			counted = true
+		}
+		if leader {
+			if err := e.enqueue(ctx, job, key, c); err != nil {
+				return nil, err
+			}
+		}
+		select {
+		case <-c.done:
+			if c.err != nil {
+				// A leader abandoned before its task was queued completes the
+				// shared call with its own context error. That error is not
+				// ours: resubmit while our context is live (the solvers never
+				// return context errors themselves, so this cannot mask one).
+				if !leader && isContextErr(c.err) && ctx.Err() == nil {
+					continue
+				}
+				return nil, c.err
+			}
+			return c.res, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// join returns the in-flight call for key, creating it (leader == true)
+// if absent. wantCache marks the call cacheable on behalf of this
+// submitter. Because tasks cache and retire under the same lock, the
+// cache re-check here closes the window where a result lands in the
+// cache between Do's lock-free check and the inflight lookup — a
+// would-be leader takes the cached result instead of re-executing.
+func (e *Engine) join(key string, wantCache bool) (c *call, leader bool, cached *Result) {
+	e.flightMu.Lock()
+	defer e.flightMu.Unlock()
+	if c, ok := e.inflight[key]; ok {
+		c.cacheable = c.cacheable || wantCache
+		return c, false, nil
+	}
+	if wantCache && e.cache != nil {
+		if res, ok := e.cache.get(key); ok {
+			return nil, false, res
+		}
+	}
+	c = &call{done: make(chan struct{}), cacheable: wantCache}
+	e.inflight[key] = c
+	return c, true, nil
+}
+
+// enqueue hands the leader's execution to the worker pool, blocking on a
+// full queue until ctx is done. On failure the pending call is completed
+// with the error so coalesced waiters do not hang.
+func (e *Engine) enqueue(ctx context.Context, job Job, key string, c *call) error {
+	task := func() {
+		start := time.Now()
+		res, err := e.run(job)
+		if err != nil {
+			res = nil
+			e.failures.Inc()
+		} else {
+			res.Elapsed = time.Since(start)
+			e.latency.Add(res.Elapsed.Seconds())
+			e.completed.Inc()
+		}
+		// Cache and retire the call under one lock so no identical job can
+		// slip between the two and re-execute a just-finished solve.
+		e.flightMu.Lock()
+		if err == nil && c.cacheable && e.cache != nil {
+			e.cache.put(key, res)
+		}
+		delete(e.inflight, key)
+		e.flightMu.Unlock()
+		c.res, c.err = res, err
+		close(c.done)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		err := ErrClosed
+		e.abandon(key, c, err)
+		return err
+	}
+	select {
+	case e.queue <- task:
+		return nil
+	case <-ctx.Done():
+		err := ctx.Err()
+		e.abandon(key, c, err)
+		return err
+	}
+}
+
+// abandon completes a never-enqueued leader call with err so coalesced
+// waiters unblock.
+func (e *Engine) abandon(key string, c *call, err error) {
+	e.flightMu.Lock()
+	delete(e.inflight, key)
+	e.flightMu.Unlock()
+	c.err = err
+	close(c.done)
+}
+
+// run executes the job's algorithm. Solvers use SolveWorkers goroutines
+// internally; everything else about the call matches the package-level
+// entry points exactly, so results are interchangeable with direct calls.
+func (e *Engine) run(job Job) (*Result, error) {
+	opt := &core.Options{Workers: e.cfg.SolveWorkers}
+	switch job.Kind {
+	case JobSolveUFP:
+		a, err := core.SolveUFP(job.UFP, job.Eps, opt)
+		return &Result{Allocation: a}, err
+	case JobBoundedUFP:
+		a, err := core.BoundedUFP(job.UFP, job.Eps, opt)
+		return &Result{Allocation: a}, err
+	case JobSolveUFPRepeat:
+		a, err := core.SolveUFPRepeat(job.UFP, job.Eps, opt)
+		return &Result{Allocation: a}, err
+	case JobSequentialUFP:
+		a, err := core.SequentialPrimalDual(job.UFP, job.Eps, opt)
+		return &Result{Allocation: a}, err
+	case JobGreedyUFP:
+		a, err := core.GreedyByDensity(job.UFP, opt)
+		return &Result{Allocation: a}, err
+	case JobUFPMechanism:
+		out, err := mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(job.Eps, opt), job.UFP)
+		return &Result{UFPOutcome: out}, err
+	case JobSolveMUCA:
+		a, err := auction.SolveMUCA(job.Auction, job.Eps)
+		return &Result{AuctionAllocation: a}, err
+	case JobAuctionMechanism:
+		out, err := mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(job.Eps), job.Auction)
+		return &Result{AuctionOutcome: out}, err
+	}
+	return nil, fmt.Errorf("engine: unknown job kind %q", job.Kind)
+}
+
+// Snapshot is a point-in-time view of the engine's counters.
+type Snapshot struct {
+	Workers   int
+	Submitted int64 // jobs accepted by Do
+	Completed int64 // executions finished successfully
+	CacheHits int64 // answers served from the result cache
+	Coalesced int64 // submissions folded into an identical in-flight job
+	Failures  int64 // executions that returned an error
+	Uptime    time.Duration
+	// Latency summarizes per-execution solve time in seconds over
+	// successful executions (cache hits, coalesced waits, and failures
+	// excluded).
+	Latency stats.Summary
+}
+
+// JobsPerSec is the engine's lifetime successful-execution throughput.
+func (s Snapshot) JobsPerSec() float64 {
+	if s.Uptime <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Uptime.Seconds()
+}
+
+// Snapshot returns current counter values.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Workers:   e.cfg.Workers,
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		CacheHits: e.hits.Load(),
+		Coalesced: e.coalesced.Load(),
+		Failures:  e.failures.Load(),
+		Uptime:    time.Since(e.start),
+		Latency:   e.latency.Snapshot(),
+	}
+}

@@ -1,0 +1,503 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/workload"
+)
+
+func testUFPInstance(t testing.TB, seed uint64) *core.Instance {
+	t.Helper()
+	cfg := workload.DefaultUFPConfig()
+	inst, err := workload.RandomUFP(workload.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func testAuctionInstance(t testing.TB, seed uint64) *auction.Instance {
+	t.Helper()
+	inst, err := auction.RandomInstance(workload.NewRNG(seed), auction.RandomConfig{
+		Items: 8, Requests: 40, B: 30, MultSpread: 0.3,
+		BundleMin: 1, BundleMax: 3, ValueMin: 0.5, ValueMax: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestEngineMatchesDirectCalls is the correctness contract: for every job
+// kind, the engine's answer equals the direct call of the corresponding
+// algorithm.
+func TestEngineMatchesDirectCalls(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	inst := testUFPInstance(t, 11)
+	auc := testAuctionInstance(t, 12)
+	opt := &core.Options{Workers: 1}
+	const eps = 0.25
+
+	cases := []struct {
+		job  Job
+		want func() (any, error)
+		got  func(r *Result) any
+	}{
+		{Job{Kind: JobSolveUFP, Eps: eps, UFP: inst},
+			func() (any, error) { return core.SolveUFP(inst, eps, opt) },
+			func(r *Result) any { return r.Allocation }},
+		{Job{Kind: JobBoundedUFP, Eps: eps, UFP: inst},
+			func() (any, error) { return core.BoundedUFP(inst, eps, opt) },
+			func(r *Result) any { return r.Allocation }},
+		{Job{Kind: JobSolveUFPRepeat, Eps: eps, UFP: inst},
+			func() (any, error) { return core.SolveUFPRepeat(inst, eps, opt) },
+			func(r *Result) any { return r.Allocation }},
+		{Job{Kind: JobSequentialUFP, Eps: eps, UFP: inst},
+			func() (any, error) { return core.SequentialPrimalDual(inst, eps, opt) },
+			func(r *Result) any { return r.Allocation }},
+		{Job{Kind: JobGreedyUFP, UFP: inst},
+			func() (any, error) { return core.GreedyByDensity(inst, opt) },
+			func(r *Result) any { return r.Allocation }},
+		{Job{Kind: JobUFPMechanism, Eps: eps, UFP: inst},
+			func() (any, error) { return mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(eps, opt), inst) },
+			func(r *Result) any { return r.UFPOutcome }},
+		{Job{Kind: JobSolveMUCA, Eps: eps, Auction: auc},
+			func() (any, error) { return auction.SolveMUCA(auc, eps) },
+			func(r *Result) any { return r.AuctionAllocation }},
+		{Job{Kind: JobAuctionMechanism, Eps: eps, Auction: auc},
+			func() (any, error) { return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps), auc) },
+			func(r *Result) any { return r.AuctionOutcome }},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.job.Kind), func(t *testing.T) {
+			res, err := e.Do(context.Background(), tc.job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tc.want()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tc.got(res); !reflect.DeepEqual(got, want) {
+				t.Errorf("engine result differs from direct call:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestEngineCacheHit verifies that a repeated job is served from the
+// cache with an identical payload, and that NoCache bypasses it.
+func TestEngineCacheHit(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 21)}
+
+	first, err := e.Do(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	second, err := e.Do(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second execution missed the cache")
+	}
+	if second.Allocation != first.Allocation {
+		t.Error("cache hit did not return the memoized allocation")
+	}
+
+	job.NoCache = true
+	third, err := e.Do(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Error("NoCache job reported a cache hit")
+	}
+	if !reflect.DeepEqual(third.Allocation, first.Allocation) {
+		t.Error("NoCache re-execution differs from cached result")
+	}
+
+	s := e.Snapshot()
+	if s.CacheHits != 1 || s.Completed != 2 || s.Submitted != 3 {
+		t.Errorf("snapshot = %+v, want 1 hit / 2 completed / 3 submitted", s)
+	}
+}
+
+// TestEngineCacheDisabled verifies CacheSize < 0 executes every job.
+func TestEngineCacheDisabled(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: -1})
+	defer e.Close()
+	job := Job{Kind: JobGreedyUFP, UFP: testUFPInstance(t, 22)}
+	for i := 0; i < 2; i++ {
+		res, err := e.Do(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+	if s := e.Snapshot(); s.Completed != 2 {
+		t.Errorf("completed = %d, want 2", s.Completed)
+	}
+}
+
+// TestEngineConcurrentJobs hammers the engine from many goroutines with a
+// duplicated-instance stream and checks every answer against a direct
+// call, plus the counter balance: every submission is either a fresh
+// execution, a cache hit, or coalesced into one.
+func TestEngineConcurrentJobs(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	stream, err := workload.UFPStream(workload.NewRNG(23), workload.TrafficConfig{
+		Shape: workload.ClosedLoop, Jobs: 60, Concurrency: 1,
+		DupFraction: 0.5, Instance: workload.DefaultUFPConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make(map[*core.Instance]*core.Allocation)
+	for _, inst := range stream {
+		if _, ok := want[inst]; !ok {
+			a, err := core.BoundedUFP(inst, 0.25, &core.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[inst] = a
+		}
+	}
+
+	results := make([]*Result, len(stream))
+	errs := make([]error, len(stream))
+	var wg sync.WaitGroup
+	for i, inst := range stream {
+		wg.Add(1)
+		go func(i int, inst *core.Instance) {
+			defer wg.Done()
+			results[i], errs[i] = e.Do(context.Background(), Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst})
+		}(i, inst)
+	}
+	wg.Wait()
+
+	for i, inst := range stream {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].Allocation, want[inst]) {
+			t.Fatalf("job %d: engine allocation differs from direct call", i)
+		}
+	}
+	s := e.Snapshot()
+	if s.Submitted != int64(len(stream)) {
+		t.Errorf("submitted = %d, want %d", s.Submitted, len(stream))
+	}
+	if s.Completed+s.CacheHits+s.Coalesced != s.Submitted || s.Failures != 0 {
+		t.Errorf("counters do not balance: %+v", s)
+	}
+	if s.Completed != int64(len(want)) {
+		t.Errorf("executions = %d, want one per distinct instance = %d", s.Completed, len(want))
+	}
+}
+
+// TestEngineCoalescing blocks the single worker, submits identical jobs
+// concurrently, and checks that exactly one execution served all of them.
+func TestEngineCoalescing(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 64})
+	defer e.Close()
+	ctx := context.Background()
+
+	// Occupy the lone worker so the identical jobs below pile up unserved.
+	blocker := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 24)}
+	var blockerWG sync.WaitGroup
+	blockerWG.Add(1)
+	go func() {
+		defer blockerWG.Done()
+		if _, err := e.Do(ctx, blocker); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	const dupes = 8
+	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 25)}
+	var wg sync.WaitGroup
+	for i := 0; i < dupes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Do(ctx, job); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	blockerWG.Wait()
+
+	s := e.Snapshot()
+	// The blocker executes once and the duplicate executes once; the other
+	// dupes-1 submissions coalesce or (if they arrive after completion)
+	// hit the cache.
+	if s.Completed != 2 {
+		t.Errorf("executions = %d, want 2 (blocker + one leader)", s.Completed)
+	}
+	if s.Coalesced+s.CacheHits != dupes-1 {
+		t.Errorf("coalesced (%d) + hits (%d) = %d, want %d", s.Coalesced, s.CacheHits, s.Coalesced+s.CacheHits, dupes-1)
+	}
+}
+
+// TestEngineNoCacheLeaderStillCaches pins the coalescing/caching
+// interaction: when a NoCache submission and a cache-willing submission
+// share one execution, the result must land in the cache regardless of
+// which of them led.
+func TestEngineNoCacheLeaderStillCaches(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 64})
+	defer e.Close()
+	ctx := context.Background()
+
+	// Occupy the lone worker so both submissions join before either runs.
+	blocker := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 90)}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Do(ctx, blocker); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 91)}
+	noCache := job
+	noCache.NoCache = true
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Do(ctx, noCache); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := e.Do(ctx, job); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	res, err := e.Do(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("result was not cached although a cache-willing submitter shared the execution")
+	}
+}
+
+// TestEngineClose verifies Do after Close fails fast — even for jobs
+// whose result is cached — and that Close is idempotent.
+func TestEngineClose(t *testing.T) {
+	e := New(Config{Workers: 2})
+	job := Job{Kind: JobGreedyUFP, UFP: testUFPInstance(t, 26)}
+	if _, err := e.Do(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if _, err := e.Do(context.Background(), job); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do of a cached job after Close = %v, want ErrClosed", err)
+	}
+	job.NoCache = true
+	if _, err := e.Do(context.Background(), job); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineFailureMetrics verifies a failing job counts as a failure
+// and does not pollute the latency summary.
+func TestEngineFailureMetrics(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	bad := testUFPInstance(t, 27).Clone()
+	bad.Requests[0].Demand = 5 // unnormalized: the solver rejects it
+	if _, err := e.Do(context.Background(), Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: bad}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	s := e.Snapshot()
+	if s.Failures != 1 || s.Completed != 0 || s.Latency.N() != 0 {
+		t.Errorf("snapshot after failure = %+v, want 1 failure, 0 completed, 0 latency samples", s)
+	}
+}
+
+// TestEngineContextCancel verifies a canceled context fails fast.
+func TestEngineContextCancel(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 40)}
+	if _, err := e.Do(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Errorf("Do with canceled context = %v, want context.Canceled", err)
+	}
+	if s := e.Snapshot(); s.Submitted != 0 {
+		t.Errorf("canceled submission counted: %+v", s)
+	}
+}
+
+// TestEngineWaiterSurvivesLeaderCancel pins the singleflight edge case:
+// a leader abandoning before its task is queued (context canceled while
+// the queue is full) must not fail coalesced waiters whose contexts are
+// still live — they resubmit instead.
+func TestEngineWaiterSurvivesLeaderCancel(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 80)}
+	key := job.key()
+
+	// Pose as a leader that never enqueues (stuck on a full queue).
+	c, leader, _ := e.join(key, true)
+	if !leader {
+		t.Fatal("expected to be the leader")
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := e.Do(context.Background(), job)
+		done <- outcome{res, err}
+	}()
+	// The waiter has joined once the coalesced counter ticks.
+	for e.Snapshot().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stuck leader's context is canceled: the shared call fails with
+	// the leader's error.
+	e.abandon(key, c, context.Canceled)
+
+	got := <-done
+	if got.err != nil {
+		t.Fatalf("waiter failed with the leader's context error: %v", got.err)
+	}
+	if got.res == nil || got.res.Allocation == nil {
+		t.Fatal("waiter retried but got no result")
+	}
+	if s := e.Snapshot(); s.Completed != 1 {
+		t.Errorf("executions = %d, want 1 (the waiter's resubmission)", s.Completed)
+	}
+}
+
+// TestJobValidate covers the submission error paths.
+func TestJobValidate(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	inst := testUFPInstance(t, 50)
+	auc := testAuctionInstance(t, 51)
+	bad := []Job{
+		{Kind: "nonsense", UFP: inst},
+		{Kind: JobSolveUFP, Eps: 0.25},                          // missing UFP instance
+		{Kind: JobSolveUFP, Eps: 0.25, UFP: &core.Instance{}},   // instance with nil graph
+		{Kind: JobSolveUFP, Eps: 0.25, UFP: inst, Auction: auc}, // both instances
+		{Kind: JobSolveMUCA, Eps: 0.25, UFP: inst},              // wrong payload
+		{Kind: JobAuctionMechanism, Eps: 0.25, Auction: auc, UFP: inst},
+	}
+	for _, job := range bad {
+		if _, err := e.Do(context.Background(), job); err == nil {
+			t.Errorf("job %+v: expected a validation error", job)
+		}
+	}
+}
+
+// TestJobKey checks the fingerprint separates what must be separated and
+// identifies what must be identified.
+func TestJobKey(t *testing.T) {
+	inst := testUFPInstance(t, 60)
+	base := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst}
+	if base.key() != (Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst.Clone()}).key() {
+		t.Error("identical instances produced different keys")
+	}
+	distinct := []Job{
+		{Kind: JobSolveUFP, Eps: 0.25, UFP: inst},
+		{Kind: JobBoundedUFP, Eps: 0.5, UFP: inst},
+	}
+	mod := inst.Clone()
+	mod.Requests[0].Value *= 2
+	distinct = append(distinct, Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: mod})
+	for _, job := range distinct {
+		if job.key() == base.key() {
+			t.Errorf("job %+v: key collides with base", job.Kind)
+		}
+	}
+
+	// Greedy ignores ε, so all ε values must share one key.
+	g1 := Job{Kind: JobGreedyUFP, Eps: 0.25, UFP: inst}
+	g2 := Job{Kind: JobGreedyUFP, Eps: 0.5, UFP: inst}
+	if g1.key() != g2.key() {
+		t.Error("greedy keys differ across ε although greedy ignores it")
+	}
+}
+
+// TestLRUCacheEviction unit-tests the cache's bound and recency order.
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	r := func(i int) *Result { return &Result{Allocation: &core.Allocation{Value: float64(i)}} }
+	c.put("a", r(1))
+	c.put("b", r(2))
+	if _, ok := c.get("a"); !ok { // refresh "a"; "b" is now oldest
+		t.Fatal("a missing")
+	}
+	c.put("c", r(3))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if got, ok := c.get("c"); !ok || got.Allocation.Value != 3 {
+		t.Error("c missing or wrong")
+	}
+	c.put("c", r(4))
+	if got, _ := c.get("c"); got.Allocation.Value != 4 {
+		t.Error("overwrite did not replace the result")
+	}
+}
+
+// TestSnapshotJobsPerSec sanity-checks the derived throughput metric.
+func TestSnapshotJobsPerSec(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	for i := 0; i < 4; i++ {
+		job := Job{Kind: JobGreedyUFP, UFP: testUFPInstance(t, uint64(70+i))}
+		if _, err := e.Do(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Snapshot()
+	if s.JobsPerSec() <= 0 {
+		t.Errorf("jobs/sec = %g, want > 0", s.JobsPerSec())
+	}
+	if s.Latency.N() != 4 {
+		t.Errorf("latency samples = %d, want 4", s.Latency.N())
+	}
+	if (Snapshot{}).JobsPerSec() != 0 {
+		t.Error("zero snapshot should report 0 jobs/sec")
+	}
+}

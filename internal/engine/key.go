@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// key fingerprints a job for coalescing and caching: SHA-256 over a
+// canonical binary encoding of the kind, ε, and the full instance
+// (topology, capacities, requests). Two jobs share a key iff the
+// underlying algorithm call is identical — the engine substitutes one
+// execution's result for the other on key equality, and ufpserve feeds
+// it untrusted instances, so the hash must be collision-resistant.
+func (j Job) key() string {
+	h := sha256.New()
+	h.Write([]byte(j.Kind))
+	eps := j.Eps
+	if j.Kind == JobGreedyUFP {
+		eps = 0 // greedy ignores ε; let all ε values share one execution
+	}
+	writeF64(h, eps)
+	if j.Kind.IsUFP() {
+		writeUFP(h, j)
+	} else {
+		writeAuction(h, j)
+	}
+	return string(h.Sum(make([]byte, 0, sha256.Size)))
+}
+
+func writeUFP(h hash.Hash, j Job) {
+	inst := j.UFP
+	writeInt(h, inst.G.NumVertices())
+	if inst.G.Directed() {
+		writeInt(h, 1)
+	} else {
+		writeInt(h, 0)
+	}
+	edges := inst.G.Edges()
+	writeInt(h, len(edges))
+	for _, e := range edges {
+		writeInt(h, e.From)
+		writeInt(h, e.To)
+		writeF64(h, e.Capacity)
+	}
+	writeInt(h, len(inst.Requests))
+	for _, r := range inst.Requests {
+		writeInt(h, r.Source)
+		writeInt(h, r.Target)
+		writeF64(h, r.Demand)
+		writeF64(h, r.Value)
+	}
+}
+
+func writeAuction(h hash.Hash, j Job) {
+	inst := j.Auction
+	writeInt(h, len(inst.Multiplicity))
+	for _, c := range inst.Multiplicity {
+		writeF64(h, c)
+	}
+	writeInt(h, len(inst.Requests))
+	for _, r := range inst.Requests {
+		writeInt(h, len(r.Bundle))
+		for _, u := range r.Bundle {
+			writeInt(h, u)
+		}
+		writeF64(h, r.Value)
+	}
+}
+
+func writeInt(h hash.Hash, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func writeF64(h hash.Hash, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter, safe for
+// concurrent use. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1 and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Add adds delta and returns the new value.
+func (c *Counter) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// ConcurrentSummary is a Summary guarded by a mutex, for streams observed
+// from many goroutines (e.g. per-job latencies). The zero value is ready
+// to use.
+type ConcurrentSummary struct {
+	mu sync.Mutex
+	s  Summary
+}
+
+// Add records one observation.
+func (c *ConcurrentSummary) Add(x float64) {
+	c.mu.Lock()
+	c.s.Add(x)
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated summary, safe to read
+// without further synchronization.
+func (c *ConcurrentSummary) Snapshot() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"truthfulufp/internal/core"
+)
+
+// Traffic shapes for driving a solve service. An open-loop generator
+// submits jobs at exogenous arrival times regardless of completions (the
+// regime where queueing delay shows up); a closed-loop generator keeps a
+// fixed number of jobs in flight and submits the next as soon as one
+// completes (the regime that measures peak sustainable throughput).
+type TrafficShape int
+
+const (
+	// ClosedLoop keeps Concurrency jobs in flight at all times.
+	ClosedLoop TrafficShape = iota
+	// OpenLoop submits jobs as a Poisson process with the configured rate.
+	OpenLoop
+)
+
+func (s TrafficShape) String() string {
+	switch s {
+	case ClosedLoop:
+		return "closed"
+	case OpenLoop:
+		return "open"
+	}
+	return fmt.Sprintf("TrafficShape(%d)", int(s))
+}
+
+// ParseTrafficShape parses "closed" or "open".
+func ParseTrafficShape(s string) (TrafficShape, error) {
+	switch s {
+	case "closed":
+		return ClosedLoop, nil
+	case "open":
+		return OpenLoop, nil
+	}
+	return 0, fmt.Errorf("workload: unknown traffic shape %q (want closed|open)", s)
+}
+
+// TrafficConfig parameterizes a job stream against a solve service.
+type TrafficConfig struct {
+	Shape TrafficShape
+	// Jobs is the total number of jobs to submit.
+	Jobs int
+	// Concurrency is the closed-loop in-flight bound (ignored open-loop).
+	Concurrency int
+	// Rate is the open-loop mean arrival rate in jobs/sec (ignored
+	// closed-loop).
+	Rate float64
+	// DupFraction in [0,1) is the fraction of jobs that repeat an earlier
+	// instance verbatim — the knob that exercises a result cache.
+	DupFraction float64
+	// Instance parameterizes the random UFP instances underlying the jobs.
+	Instance UFPConfig
+}
+
+func (c TrafficConfig) validate() error {
+	if c.Jobs <= 0 {
+		return fmt.Errorf("workload: traffic needs >= 1 job, got %d", c.Jobs)
+	}
+	if c.Shape == ClosedLoop && c.Concurrency <= 0 {
+		return fmt.Errorf("workload: closed loop needs concurrency >= 1, got %d", c.Concurrency)
+	}
+	if c.Shape == OpenLoop && !(c.Rate > 0) {
+		return fmt.Errorf("workload: open loop needs rate > 0, got %g", c.Rate)
+	}
+	if c.DupFraction < 0 || c.DupFraction >= 1 || math.IsNaN(c.DupFraction) {
+		return fmt.Errorf("workload: dup fraction %g outside [0,1)", c.DupFraction)
+	}
+	return nil
+}
+
+// UFPStream draws the job stream's instances: c.Jobs instances where a
+// DupFraction share are verbatim repeats of earlier draws (uniformly
+// chosen), so a keyed result cache sees an expected hit ratio of about
+// DupFraction. The first job is always fresh.
+func UFPStream(rng *rand.Rand, c TrafficConfig) ([]*core.Instance, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*core.Instance, c.Jobs)
+	for i := range out {
+		if i > 0 && rng.Float64() < c.DupFraction {
+			out[i] = out[rng.IntN(i)]
+			continue
+		}
+		inst, err := RandomUFP(rng, c.Instance)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = inst
+	}
+	return out, nil
+}
+
+// Arrivals draws the stream's interarrival gaps. Closed-loop traffic has
+// no exogenous arrival process, so every gap is zero; open-loop gaps are
+// exponential with mean 1/Rate (a Poisson process).
+func Arrivals(rng *rand.Rand, c TrafficConfig) ([]time.Duration, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	gaps := make([]time.Duration, c.Jobs)
+	if c.Shape == ClosedLoop {
+		return gaps, nil
+	}
+	for i := range gaps {
+		gaps[i] = time.Duration(rng.ExpFloat64() / c.Rate * float64(time.Second))
+	}
+	return gaps, nil
+}

@@ -3,6 +3,11 @@ package truthfulufp
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
 )
 
 // instanceJSON is the on-disk schema for UFP instances, consumed by
@@ -69,6 +74,246 @@ func UnmarshalInstance(data []byte) (*Instance, error) {
 		})
 	}
 	return inst, nil
+}
+
+// allocationJSON is the wire schema for UFP allocations (ufpserve's
+// solve responses). Stop reasons travel as their String() form, and a
+// null dualBound stands for +Inf (JSON has no infinities).
+type allocationJSON struct {
+	Routed     []routedJSON `json:"routed"`
+	Value      float64      `json:"value"`
+	Iterations int          `json:"iterations"`
+	Stop       string       `json:"stop"`
+	DualBound  *float64     `json:"dualBound"`
+}
+
+type routedJSON struct {
+	Request int   `json:"request"`
+	Path    []int `json:"path"`
+}
+
+func encodeDualBound(b float64) *float64 {
+	if math.IsInf(b, 1) {
+		return nil
+	}
+	return &b
+}
+
+func decodeDualBound(b *float64) float64 {
+	if b == nil {
+		return math.Inf(1)
+	}
+	return *b
+}
+
+func encodeAllocation(a *Allocation) allocationJSON {
+	out := allocationJSON{
+		// Non-nil so an empty allocation encodes as [], not null —
+		// non-Go consumers index into this field.
+		Routed:     make([]routedJSON, 0, len(a.Routed)),
+		Value:      a.Value,
+		Iterations: a.Iterations,
+		Stop:       a.Stop.String(),
+		DualBound:  encodeDualBound(a.DualBound),
+	}
+	for _, p := range a.Routed {
+		out.Routed = append(out.Routed, routedJSON{p.Request, p.Path})
+	}
+	return out
+}
+
+func decodeAllocation(in allocationJSON) (*Allocation, error) {
+	stop, err := parseUFPStop(in.Stop)
+	if err != nil {
+		return nil, err
+	}
+	a := &Allocation{
+		Value:      in.Value,
+		Iterations: in.Iterations,
+		Stop:       stop,
+		DualBound:  decodeDualBound(in.DualBound),
+	}
+	for _, p := range in.Routed {
+		a.Routed = append(a.Routed, Routed{Request: p.Request, Path: p.Path})
+	}
+	return a, nil
+}
+
+// MarshalAllocation encodes a UFP allocation as JSON. The encoding is
+// canonical: equal allocations yield byte-identical output.
+func MarshalAllocation(a *Allocation) ([]byte, error) {
+	return json.MarshalIndent(encodeAllocation(a), "", "  ")
+}
+
+// UnmarshalAllocation decodes a UFP allocation from JSON.
+func UnmarshalAllocation(data []byte) (*Allocation, error) {
+	var in allocationJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding allocation: %w", err)
+	}
+	return decodeAllocation(in)
+}
+
+// parseStop inverts a StopReason String method by scanning reasons until
+// the method's unknown-value fallback ("StopReason(n)"), so a newly
+// added reason is decodable without touching this file.
+func parseStop[T interface {
+	~int
+	fmt.Stringer
+}](what, s string) (T, error) {
+	for i := 0; ; i++ {
+		r := T(i)
+		str := r.String()
+		if str == fmt.Sprintf("StopReason(%d)", i) {
+			var zero T
+			return zero, fmt.Errorf("truthfulufp: unknown %s stop reason %q", what, s)
+		}
+		if str == s {
+			return r, nil
+		}
+	}
+}
+
+func parseUFPStop(s string) (core.StopReason, error) {
+	return parseStop[core.StopReason]("UFP", s)
+}
+
+// paymentJSON is one (winner, payment) pair. Payments are serialized as
+// a request-sorted array so the encoding is canonical.
+type paymentJSON struct {
+	Request int     `json:"request"`
+	Payment float64 `json:"payment"`
+}
+
+func encodePayments(m map[int]float64) []paymentJSON {
+	out := make([]paymentJSON, 0, len(m))
+	for r, p := range m {
+		out = append(out, paymentJSON{r, p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Request < out[j].Request })
+	return out
+}
+
+func decodePayments(in []paymentJSON) map[int]float64 {
+	m := make(map[int]float64, len(in))
+	for _, p := range in {
+		m[p.Request] = p.Payment
+	}
+	return m
+}
+
+// ufpOutcomeJSON is the wire schema for truthful UFP mechanism outcomes.
+type ufpOutcomeJSON struct {
+	Allocation allocationJSON `json:"allocation"`
+	Payments   []paymentJSON  `json:"payments"`
+}
+
+// MarshalUFPOutcome encodes a mechanism outcome (allocation +
+// critical-value payments) as JSON.
+func MarshalUFPOutcome(out *UFPOutcome) ([]byte, error) {
+	return json.MarshalIndent(ufpOutcomeJSON{
+		Allocation: encodeAllocation(out.Allocation),
+		Payments:   encodePayments(out.Payments),
+	}, "", "  ")
+}
+
+// UnmarshalUFPOutcome decodes a mechanism outcome from JSON.
+func UnmarshalUFPOutcome(data []byte) (*UFPOutcome, error) {
+	var in ufpOutcomeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding UFP outcome: %w", err)
+	}
+	a, err := decodeAllocation(in.Allocation)
+	if err != nil {
+		return nil, err
+	}
+	return &UFPOutcome{Allocation: a, Payments: decodePayments(in.Payments)}, nil
+}
+
+// auctionAllocationJSON is the wire schema for MUCA allocations.
+type auctionAllocationJSON struct {
+	Selected   []int    `json:"selected"`
+	Value      float64  `json:"value"`
+	Iterations int      `json:"iterations"`
+	Stop       string   `json:"stop"`
+	DualBound  *float64 `json:"dualBound"`
+}
+
+func encodeAuctionAllocation(a *AuctionAllocation) auctionAllocationJSON {
+	sel := a.Selected
+	if sel == nil {
+		sel = []int{} // [] on the wire, not null
+	}
+	return auctionAllocationJSON{
+		Selected:   sel,
+		Value:      a.Value,
+		Iterations: a.Iterations,
+		Stop:       a.Stop.String(),
+		DualBound:  encodeDualBound(a.DualBound),
+	}
+}
+
+func decodeAuctionAllocation(in auctionAllocationJSON) (*AuctionAllocation, error) {
+	stop, err := parseAuctionStop(in.Stop)
+	if err != nil {
+		return nil, err
+	}
+	sel := in.Selected
+	if len(sel) == 0 {
+		sel = nil // mirror the solvers, which leave empty selections nil
+	}
+	return &AuctionAllocation{
+		Selected:   sel,
+		Value:      in.Value,
+		Iterations: in.Iterations,
+		Stop:       stop,
+		DualBound:  decodeDualBound(in.DualBound),
+	}, nil
+}
+
+// MarshalAuctionAllocation encodes a MUCA allocation as JSON.
+func MarshalAuctionAllocation(a *AuctionAllocation) ([]byte, error) {
+	return json.MarshalIndent(encodeAuctionAllocation(a), "", "  ")
+}
+
+// UnmarshalAuctionAllocation decodes a MUCA allocation from JSON.
+func UnmarshalAuctionAllocation(data []byte) (*AuctionAllocation, error) {
+	var in auctionAllocationJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding auction allocation: %w", err)
+	}
+	return decodeAuctionAllocation(in)
+}
+
+func parseAuctionStop(s string) (auction.StopReason, error) {
+	return parseStop[auction.StopReason]("auction", s)
+}
+
+// auctionOutcomeJSON is the wire schema for truthful auction outcomes.
+type auctionOutcomeJSON struct {
+	Allocation auctionAllocationJSON `json:"allocation"`
+	Payments   []paymentJSON         `json:"payments"`
+}
+
+// MarshalAuctionOutcome encodes an auction mechanism outcome as JSON.
+func MarshalAuctionOutcome(out *AuctionOutcome) ([]byte, error) {
+	return json.MarshalIndent(auctionOutcomeJSON{
+		Allocation: encodeAuctionAllocation(out.Allocation),
+		Payments:   encodePayments(out.Payments),
+	}, "", "  ")
+}
+
+// UnmarshalAuctionOutcome decodes an auction mechanism outcome from JSON.
+func UnmarshalAuctionOutcome(data []byte) (*AuctionOutcome, error) {
+	var in auctionOutcomeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding auction outcome: %w", err)
+	}
+	a, err := decodeAuctionAllocation(in.Allocation)
+	if err != nil {
+		return nil, err
+	}
+	return &AuctionOutcome{Allocation: a, Payments: decodePayments(in.Payments)}, nil
 }
 
 // auctionJSON is the on-disk schema for auction instances (cmd/aucrun).

@@ -1,0 +1,216 @@
+package truthfulufp_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"truthfulufp"
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/workload"
+)
+
+// TestInstanceJSONRoundTripRandom checks encode → decode → equal for
+// random UFP instances, directed and undirected (api_test.go covers the
+// tiny hand-built case).
+func TestInstanceJSONRoundTripRandom(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		cfg := workload.DefaultUFPConfig()
+		cfg.Directed = directed
+		inst, err := workload.RandomUFP(workload.NewRNG(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := truthfulufp.MarshalInstance(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := truthfulufp.UnmarshalInstance(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.G.Directed() != directed || got.G.NumVertices() != inst.G.NumVertices() {
+			t.Fatalf("directed=%v: graph shape changed", directed)
+		}
+		if !reflect.DeepEqual(got.G.Edges(), inst.G.Edges()) {
+			t.Fatalf("directed=%v: edges changed", directed)
+		}
+		if !reflect.DeepEqual(got.Requests, inst.Requests) {
+			t.Fatalf("directed=%v: requests changed", directed)
+		}
+		again, err := truthfulufp.MarshalInstance(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("directed=%v: re-encoding is not byte-identical", directed)
+		}
+	}
+}
+
+// TestAllocationJSONRoundTrip checks encode → decode → equal for a real
+// solver allocation, plus the DualBound = +Inf special case.
+func TestAllocationJSONRoundTrip(t *testing.T) {
+	cfg := workload.DefaultUFPConfig()
+	cfg.B = 200 // large capacities so SolveUFP's ε/6 threshold admits winners
+	inst, err := workload.RandomUFP(workload.NewRNG(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := truthfulufp.SolveUFP(inst, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Routed) == 0 {
+		t.Fatal("empty allocation makes a vacuous test")
+	}
+	data, err := truthfulufp.MarshalAllocation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := truthfulufp.UnmarshalAllocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("round trip changed the allocation:\n got %+v\nwant %+v", got, a)
+	}
+	again, err := truthfulufp.MarshalAllocation(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+
+	inf := &truthfulufp.Allocation{Value: 1, Stop: a.Stop, DualBound: math.Inf(1)}
+	data, err = truthfulufp.MarshalAllocation(inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = truthfulufp.UnmarshalAllocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.DualBound, 1) {
+		t.Fatalf("infinite dual bound decoded as %g", got.DualBound)
+	}
+}
+
+// TestUFPOutcomeJSONRoundTrip checks encode → decode → equal for a full
+// mechanism outcome (allocation + payments).
+func TestUFPOutcomeJSONRoundTrip(t *testing.T) {
+	out, err := truthfulufp.RunUFPMechanism(tinyInstance(), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payments) == 0 {
+		t.Fatal("no winners makes a vacuous test")
+	}
+	data, err := truthfulufp.MarshalUFPOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := truthfulufp.UnmarshalUFPOutcome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, out) {
+		t.Fatalf("round trip changed the outcome:\n got %+v\nwant %+v", got, out)
+	}
+}
+
+func testAuctionInstance(t *testing.T) *truthfulufp.AuctionInstance {
+	t.Helper()
+	inst, err := auction.RandomInstance(workload.NewRNG(3), auction.RandomConfig{
+		Items: 6, Requests: 30, B: 60, MultSpread: 0.3,
+		BundleMin: 1, BundleMax: 3, ValueMin: 0.5, ValueMax: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestAuctionJSONRoundTripRandom checks encode → decode → equal for a
+// random auction instance, its allocation, and its mechanism outcome.
+func TestAuctionJSONRoundTripRandom(t *testing.T) {
+	inst := testAuctionInstance(t)
+	data, err := truthfulufp.MarshalAuction(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInst, err := truthfulufp.UnmarshalAuction(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotInst, inst) {
+		t.Fatal("auction instance round trip changed the instance")
+	}
+
+	a, err := truthfulufp.SolveMUCA(inst, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) == 0 {
+		t.Fatal("empty auction allocation makes a vacuous test")
+	}
+	data, err = truthfulufp.MarshalAuctionAllocation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAlloc, err := truthfulufp.UnmarshalAuctionAllocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotAlloc, a) {
+		t.Fatalf("auction allocation round trip changed:\n got %+v\nwant %+v", gotAlloc, a)
+	}
+
+	out, err := truthfulufp.RunAuctionMechanism(inst, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = truthfulufp.MarshalAuctionOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOut, err := truthfulufp.UnmarshalAuctionOutcome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotOut, out) {
+		t.Fatalf("auction outcome round trip changed:\n got %+v\nwant %+v", gotOut, out)
+	}
+}
+
+// TestEmptyAllocationJSONUsesArrays pins that empty allocations encode
+// routed/selected as [] rather than null, for non-Go consumers.
+func TestEmptyAllocationJSONUsesArrays(t *testing.T) {
+	data, err := truthfulufp.MarshalAllocation(&truthfulufp.Allocation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"routed": []`) {
+		t.Errorf("empty allocation routed is not []:\n%s", data)
+	}
+	data, err = truthfulufp.MarshalAuctionAllocation(&truthfulufp.AuctionAllocation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"selected": []`) {
+		t.Errorf("empty auction allocation selected is not []:\n%s", data)
+	}
+}
+
+// TestAllocationJSONBadStop rejects unknown stop reasons.
+func TestAllocationJSONBadStop(t *testing.T) {
+	if _, err := truthfulufp.UnmarshalAllocation([]byte(`{"stop":"bogus"}`)); err == nil {
+		t.Error("unknown UFP stop reason accepted")
+	}
+	if _, err := truthfulufp.UnmarshalAuctionAllocation([]byte(`{"stop":"bogus"}`)); err == nil {
+		t.Error("unknown auction stop reason accepted")
+	}
+}
