@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench serve fmt vet ci
+.PHONY: all build test bench serve fmt vet ci smoke
 
 all: build
 
@@ -31,4 +31,16 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test bench
+# Scenario determinism + generator->solver pipeline, as CI runs them.
+# SHELLFLAGS adds pipefail so a generator failure cannot hide behind the
+# downstream consumer's exit status.
+smoke: SHELL := /bin/bash
+smoke: .SHELLFLAGS := -o pipefail -c
+smoke:
+	$(GO) run ./cmd/ufpgen -hashes -seeds 2 > /tmp/corpus-hashes-1.txt
+	$(GO) run ./cmd/ufpgen -hashes -seeds 2 > /tmp/corpus-hashes-2.txt
+	diff -u /tmp/corpus-hashes-1.txt /tmp/corpus-hashes-2.txt
+	$(GO) run ./cmd/ufpgen -scenario fattree -seed 7 | $(GO) run ./cmd/ufprun -in - -json > /dev/null
+	@echo "scenario determinism + pipeline smoke: ok"
+
+ci: fmt vet build test bench smoke

@@ -8,6 +8,7 @@ import (
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/scenario"
 )
 
 // Re-exported UFP types. See internal/core for full documentation.
@@ -82,6 +83,36 @@ var ErrEngineClosed = engine.ErrClosed
 // via Engine.Close.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
+// Scenario catalog re-exports. See internal/scenario: named, seeded,
+// parameterized generators of realistic instance families (datacenter
+// fat-trees, ISP backbones, scale-free/small-world graphs, metro rings,
+// single-sink star-of-trees) × demand models (gravity, hotspot, Zipf,
+// hose) × capacity regimes. cmd/ufpgen is the CLI front end.
+type (
+	// ScenarioConfig names and parameterizes one scenario.
+	ScenarioConfig = scenario.Config
+	// ScenarioTopology is a named topology family in the catalog.
+	ScenarioTopology = scenario.Topology
+	// ScenarioDemandModel is a named demand model in the catalog.
+	ScenarioDemandModel = scenario.DemandModel
+)
+
+// GenerateScenario builds a scenario's UFP instance, deterministic in
+// (topology, demand, params, seed).
+func GenerateScenario(cfg ScenarioConfig) (*Instance, error) { return scenario.Generate(cfg) }
+
+// GenerateScenarioAuction builds a scenario's auction instance by the
+// path-bundle reduction.
+func GenerateScenarioAuction(cfg ScenarioConfig) (*AuctionInstance, error) {
+	return scenario.GenerateAuction(cfg)
+}
+
+// ScenarioTopologies lists the registered topology families by name.
+func ScenarioTopologies() []ScenarioTopology { return scenario.Topologies() }
+
+// ScenarioDemands lists the registered demand models by name.
+func ScenarioDemands() []ScenarioDemandModel { return scenario.Demands() }
+
 // NewGraph returns an empty directed graph with n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
@@ -125,15 +156,20 @@ func RandomizedRounding(inst *Instance, rng *rand.Rand) (*Allocation, error) {
 	return core.RandomizedRounding(inst, rng, core.RoundingOptions{})
 }
 
+// AuctionOptions tune the auction solvers (cancellation, tie-breaking,
+// iteration caps). See internal/auction.Options.
+type AuctionOptions = auction.Options
+
 // SolveMUCA runs Algorithm 2 with the Theorem 4.1 calling convention
-// (Bounded-MUCA with accuracy ε/6).
-func SolveMUCA(inst *AuctionInstance, eps float64) (*AuctionAllocation, error) {
-	return auction.SolveMUCA(inst, eps)
+// (Bounded-MUCA with accuracy ε/6). opt may be nil.
+func SolveMUCA(inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionAllocation, error) {
+	return auction.SolveMUCA(inst, eps, opt)
 }
 
-// BoundedMUCA runs Algorithm 2 with the raw accuracy parameter.
-func BoundedMUCA(inst *AuctionInstance, eps float64) (*AuctionAllocation, error) {
-	return auction.BoundedMUCA(inst, eps, nil)
+// BoundedMUCA runs Algorithm 2 with the raw accuracy parameter. opt may
+// be nil.
+func BoundedMUCA(inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionAllocation, error) {
+	return auction.BoundedMUCA(inst, eps, opt)
 }
 
 // RunUFPMechanism runs Bounded-UFP(eps) and charges every winner its
@@ -146,5 +182,5 @@ func RunUFPMechanism(inst *Instance, eps float64, opt *Options) (*UFPOutcome, er
 // payments: the truthful mechanism of Corollary 4.2, truthful even for
 // unknown single-minded agents.
 func RunAuctionMechanism(inst *AuctionInstance, eps float64) (*AuctionOutcome, error) {
-	return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps), inst)
+	return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps, nil), inst)
 }

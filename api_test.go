@@ -50,7 +50,7 @@ func TestFacadeAuction(t *testing.T) {
 			{Bundle: []int{0, 1}, Value: 1},
 		},
 	}
-	a, err := truthfulufp.SolveMUCA(inst, 0.5)
+	a, err := truthfulufp.SolveMUCA(inst, 0.5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

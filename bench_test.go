@@ -52,6 +52,7 @@ func BenchmarkE7Truthfulness(b *testing.B) { benchExperiment(b, experiments.E7Tr
 func BenchmarkE8Rounding(b *testing.B)     { benchExperiment(b, experiments.E8Rounding) }
 func BenchmarkE9Comparison(b *testing.B)   { benchExperiment(b, experiments.E9Comparison) }
 func BenchmarkF1LPGap(b *testing.B)        { benchExperiment(b, experiments.F1LPGap) }
+func BenchmarkS1Scenarios(b *testing.B)    { benchExperiment(b, experiments.S1Scenarios) }
 
 // BenchmarkBoundedUFP measures the core solver across instance sizes.
 func BenchmarkBoundedUFP(b *testing.B) {

@@ -6,8 +6,11 @@
 // Usage:
 //
 //	aucrun -instance auc.json [-eps 0.5] [-payments] [-exact] [-json]
+//	ufpgen -scenario fattree -auction | aucrun -in -
 //
-// Generate a sample file with -sample.
+// -in reads the instance from a path or from stdin ("-"), so ufpgen
+// -auction output pipes straight in. Generate a sample file with
+// -sample.
 package main
 
 import (
@@ -19,19 +22,21 @@ import (
 
 	"truthfulufp"
 	"truthfulufp/internal/auction"
+	"truthfulufp/internal/cliio"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "aucrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("aucrun", flag.ContinueOnError)
 	var (
 		path     = fs.String("instance", "", "path to auction JSON")
+		in       = fs.String("in", "", `auction source: a path, or "-" for stdin (supersedes -instance)`)
 		eps      = fs.Float64("eps", 0.5, "accuracy parameter ε in (0,1]")
 		payments = fs.Bool("payments", false, "compute critical-value payments")
 		exact    = fs.Bool("exact", false, "also compute the exact optimum (small instances)")
@@ -44,10 +49,7 @@ func run(args []string, out io.Writer) error {
 	if *sample {
 		return printSample(out)
 	}
-	if *path == "" {
-		return fmt.Errorf("-instance is required (try -sample)")
-	}
-	data, err := os.ReadFile(*path)
+	data, err := cliio.ReadSource(*in, *path, stdin, "-sample")
 	if err != nil {
 		return err
 	}
@@ -58,7 +60,7 @@ func run(args []string, out io.Writer) error {
 	if err := inst.Validate(); err != nil {
 		return err
 	}
-	alloc, err := truthfulufp.SolveMUCA(inst, *eps)
+	alloc, err := truthfulufp.SolveMUCA(inst, *eps, nil)
 	if err != nil {
 		return err
 	}

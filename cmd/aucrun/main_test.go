@@ -7,12 +7,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"truthfulufp"
+	"truthfulufp/internal/scenario"
 )
 
 func writeSample(t *testing.T) string {
 	t.Helper()
 	var b strings.Builder
-	if err := run([]string{"-sample"}, &b); err != nil {
+	if err := run([]string{"-sample"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "auc.json")
@@ -25,7 +27,7 @@ func writeSample(t *testing.T) string {
 func TestSolveSample(t *testing.T) {
 	path := writeSample(t)
 	var b strings.Builder
-	if err := run([]string{"-instance", path}, &b); err != nil {
+	if err := run([]string{"-instance", path}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -37,7 +39,7 @@ func TestSolveSample(t *testing.T) {
 func TestPaymentsAndExact(t *testing.T) {
 	path := writeSample(t)
 	var b strings.Builder
-	if err := run([]string{"-instance", path, "-payments", "-exact"}, &b); err != nil {
+	if err := run([]string{"-instance", path, "-payments", "-exact"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -49,7 +51,7 @@ func TestPaymentsAndExact(t *testing.T) {
 func TestJSONOutput(t *testing.T) {
 	path := writeSample(t)
 	var b strings.Builder
-	if err := run([]string{"-instance", path, "-json", "-exact"}, &b); err != nil {
+	if err := run([]string{"-instance", path, "-json", "-exact"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	var out struct {
@@ -69,15 +71,38 @@ func TestJSONOutput(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{}, &b); err == nil {
+	if err := run([]string{}, nil, &b); err == nil {
 		t.Fatal("missing -instance accepted")
 	}
-	if err := run([]string{"-instance", "/nonexistent.json"}, &b); err == nil {
+	if err := run([]string{"-instance", "/nonexistent.json"}, nil, &b); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte(`{"multiplicity":[0.5],"requests":[]}`), 0o644)
-	if err := run([]string{"-instance", bad}, &b); err == nil {
+	if err := run([]string{"-instance", bad}, nil, &b); err == nil {
 		t.Fatal("B < 1 instance accepted")
+	}
+}
+
+// TestStdinPipeline: ufpgen -auction | aucrun -in - solves end to end.
+func TestStdinPipeline(t *testing.T) {
+	inst, err := scenario.GenerateAuction(scenario.Config{Topology: "startrees", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := truthfulufp.MarshalAuction(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-in", "-", "-json"}, strings.NewReader(string(data)), &b); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := truthfulufp.UnmarshalAuctionAllocation([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("pipeline output not a canonical allocation: %v\n%s", err, b.String())
+	}
+	if alloc.Value <= 0 {
+		t.Fatal("pipeline allocated nothing")
 	}
 }

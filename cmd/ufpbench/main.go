@@ -13,13 +13,18 @@
 //
 //	ufpbench -load [-shape closed|open] [-jobs 200] [-concurrency 16]
 //	         [-rate 200] [-dup 0.3] [-kind ufp/bounded] [-eps 0.25]
-//	         [-workers 0] [-seed 1]
+//	         [-workers 0] [-seed 1] [-scenario fattree] [-demand gravity]
 //
 // Closed-loop traffic keeps -concurrency jobs in flight (peak
 // throughput); open-loop traffic is a Poisson stream at -rate jobs/sec
 // (queueing latency). -dup is the fraction of repeated instances, which
 // exercises the engine's result cache. In load mode -workers sets the
-// engine's inter-job worker count.
+// engine's inter-job worker count. With -scenario the stream draws
+// instances from the scenario catalog (see ufpgen -list) instead of
+// uniform random graphs.
+//
+// In experiment mode -scenario restricts the S1 catalog sweep to one
+// topology family.
 package main
 
 import (
@@ -27,14 +32,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
+	"truthfulufp/internal/core"
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
+	"truthfulufp/internal/scenario"
 	"truthfulufp/internal/stats"
 	"truthfulufp/internal/workload"
 )
@@ -58,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
 
 		load        = fs.Bool("load", false, "run the engine load generator instead of experiments")
+		scen        = fs.String("scenario", "", "scenario topology: load-mode instance source / S1 experiment filter (see ufpgen -list)")
+		demand      = fs.String("demand", "", "load: scenario demand model (with -scenario; default gravity)")
 		shape       = fs.String("shape", "closed", "load traffic shape: closed|open")
 		jobs        = fs.Int("jobs", 200, "load: total jobs to submit")
 		concurrency = fs.Int("concurrency", 16, "load: closed-loop jobs in flight")
@@ -74,8 +84,11 @@ func run(args []string, out io.Writer) error {
 		return runLoad(out, loadConfig{
 			shape: *shape, jobs: *jobs, concurrency: *concurrency, rate: *rate,
 			dup: *dup, kind: engine.Kind(*kind), eps: *eps, seed: *seed,
-			workers: *workers,
+			workers: *workers, scenario: *scen, demand: *demand,
 		})
+	}
+	if *demand != "" {
+		return fmt.Errorf("-demand only applies with -load -scenario")
 	}
 	runners := experiments.All()
 	if *list {
@@ -84,7 +97,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	cfg := experiments.Config{Scale: *scale, Seeds: *seeds, Workers: *workers}
+	cfg := experiments.Config{Scale: *scale, Seeds: *seeds, Workers: *workers, Scenario: *scen}
 	ran := 0
 	for _, r := range runners {
 		if *which != "all" && !strings.EqualFold(*which, r.ID) {
@@ -124,6 +137,8 @@ type loadConfig struct {
 	eps         float64
 	seed        uint64
 	workers     int
+	scenario    string // catalog topology ("" = uniform random instances)
+	demand      string // catalog demand model (with scenario)
 }
 
 // runLoad drives an in-process engine with a synthetic job stream and
@@ -140,6 +155,17 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 		Shape: shape, Jobs: cfg.jobs, Concurrency: cfg.concurrency,
 		Rate: cfg.rate, DupFraction: cfg.dup,
 		Instance: workload.DefaultUFPConfig(),
+	}
+	if cfg.scenario != "" {
+		// Each fresh job is the scenario at a stream-drawn seed, so the
+		// whole stream stays deterministic in -seed.
+		tc.Source = func(rng *rand.Rand) (*core.Instance, error) {
+			return scenario.Generate(scenario.Config{
+				Topology: cfg.scenario, Demand: cfg.demand, Seed: rng.Uint64(),
+			})
+		}
+	} else if cfg.demand != "" {
+		return fmt.Errorf("load: -demand requires -scenario")
 	}
 	rng := workload.NewRNG(cfg.seed)
 	stream, err := workload.UFPStream(rng, tc)
@@ -192,8 +218,15 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	var lat stats.Summary
 	lat.AddAll(latencies)
 	snap := e.Snapshot()
-	fmt.Fprintf(out, "engine load: %d jobs, %s loop, %d workers, kind %s, dup %.2f\n",
-		cfg.jobs, shape, snap.Workers, cfg.kind, cfg.dup)
+	source := "random"
+	if cfg.scenario != "" {
+		source = "scenario " + cfg.scenario
+		if cfg.demand != "" {
+			source += "/" + cfg.demand
+		}
+	}
+	fmt.Fprintf(out, "engine load: %d jobs (%s), %s loop, %d workers, kind %s, dup %.2f\n",
+		cfg.jobs, source, shape, snap.Workers, cfg.kind, cfg.dup)
 	fmt.Fprintf(out, "  wall time        %v\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(out, "  throughput       %.1f jobs/sec\n", float64(cfg.jobs)/wall.Seconds())
 	fmt.Fprintf(out, "  latency mean     %.3f ms\n", lat.Mean()*1e3)

@@ -117,3 +117,47 @@ func TestLoadRejectsBadFlags(t *testing.T) {
 		t.Error("dup fraction out of range accepted")
 	}
 }
+
+// TestLoadScenarioSource: -load -scenario streams catalog instances
+// through the engine end to end.
+func TestLoadScenarioSource(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-load", "-jobs", "12", "-concurrency", "4", "-workers", "2",
+		"-scenario", "metroring", "-demand", "zipf"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "scenario metroring/zipf") {
+		t.Fatalf("load output missing scenario source:\n%s", b.String())
+	}
+	if err := run([]string{"-load", "-jobs", "4", "-scenario", "nope"}, &b); err == nil {
+		t.Error("unknown scenario topology accepted")
+	}
+	if err := run([]string{"-load", "-jobs", "4", "-demand", "zipf"}, &b); err == nil {
+		t.Error("-demand without -scenario accepted in load mode")
+	}
+}
+
+// TestScenarioExperimentFilter: -experiment S1 -scenario restricts the
+// sweep to one topology family.
+func TestScenarioExperimentFilter(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "S1", "-scale", "0.2", "-seeds", "1",
+		"-scenario", "startrees", "-quiet"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "startrees") {
+		t.Fatalf("S1 output missing the requested family:\n%s", out)
+	}
+	if strings.Contains(out, "waxman") {
+		// Other families must be filtered out of S1a (S1b pins fattree).
+		t.Fatalf("S1 -scenario did not filter families:\n%s", out)
+	}
+	if err := run([]string{"-experiment", "S1", "-scenario", "nope"}, &b); err == nil {
+		t.Error("unknown scenario family accepted by S1")
+	}
+	if err := run([]string{"-experiment", "E3", "-demand", "zipf"}, &b); err == nil {
+		t.Error("-demand accepted in experiment mode")
+	}
+}

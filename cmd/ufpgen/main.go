@@ -1,0 +1,178 @@
+// Command ufpgen emits unsplittable-flow (and auction) instances from
+// the scenario catalog (internal/scenario): named, seeded topology ×
+// demand-model × capacity-regime generators. Output uses the canonical
+// JSON schema consumed by cmd/ufprun, cmd/aucrun, and ufpserve, so the
+// full pipeline composes:
+//
+//	ufpgen -scenario fattree -seed 7 | ufprun -in -
+//	ufpgen -scenario waxman | curl -s localhost:8080/solve -d @-   # wrap as {"instance": ...} first
+//
+// Usage:
+//
+//	ufpgen -list
+//	ufpgen -scenario fattree [-demand gravity] [-seed 1] [-size 0]
+//	       [-requests 0] [-bmode log|fixed] [-bfactor 1.2] [-bvalue 0]
+//	       [-eps 0.25] [-auction] [-o -]
+//	ufpgen -corpus dir [-seeds 3]   # whole catalog, one file per scenario × seed
+//	ufpgen -hashes [-seeds 3]       # corpus hash manifest (no files), for determinism checks
+//
+// Generation is deterministic: the same scenario flags and seed yield
+// byte-identical JSON on every run, which -hashes turns into a
+// verifiable manifest.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"truthfulufp"
+	"truthfulufp/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ufpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ufpgen", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list topologies and demand models, then exit")
+		topo     = fs.String("scenario", "", "topology name (see -list)")
+		demand   = fs.String("demand", "", "demand model name (default gravity)")
+		seed     = fs.Uint64("seed", 1, "scenario seed")
+		size     = fs.Int("size", 0, "topology size knob (0 = family default)")
+		requests = fs.Int("requests", 0, "request count (0 = 4 per host)")
+		bmode    = fs.String("bmode", "", "capacity regime: log|fixed (default log)")
+		bfactor  = fs.Float64("bfactor", 0, "log regime: B = bfactor * ln(m)/eps^2 (default 1.2; < 1 violates the paper's assumption)")
+		bvalue   = fs.Float64("bvalue", 0, "fixed regime: B value")
+		eps      = fs.Float64("eps", 0, "log regime target accuracy ε (default 0.25)")
+		auc      = fs.Bool("auction", false, "emit the auction (MUCA) instance instead of the UFP instance")
+		outPath  = fs.String("o", "-", "output path, - for stdout")
+		corpus   = fs.String("corpus", "", "write the whole catalog corpus into this directory")
+		hashes   = fs.Bool("hashes", false, "print the corpus hash manifest instead of instances")
+		seeds    = fs.Int("seeds", 3, "corpus/hashes: seeds per scenario")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *list:
+		return printList(out)
+	case *corpus != "" || *hashes:
+		if *corpus != "" && *hashes {
+			return fmt.Errorf("-corpus and -hashes are mutually exclusive")
+		}
+		// Corpus mode walks the whole catalog at default parameters; an
+		// instance-shaping flag would be silently ignored, so reject it.
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "corpus", "hashes", "seeds":
+			default:
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("%s does not apply to -corpus/-hashes (the corpus is the full catalog at default parameters)", strings.Join(stray, ", "))
+		}
+		return emitCorpus(out, *corpus, *seeds)
+	case *topo == "":
+		return fmt.Errorf("-scenario is required (try -list)")
+	}
+	cfg := scenario.Config{
+		Topology: *topo, Demand: *demand, Size: *size, Requests: *requests,
+		Seed: *seed, BMode: *bmode, BFactor: *bfactor, BValue: *bvalue, Eps: *eps,
+	}
+	data, err := marshalScenario(cfg, *auc)
+	if err != nil {
+		return err
+	}
+	if *outPath == "-" || *outPath == "" {
+		_, err = fmt.Fprintf(out, "%s\n", data)
+		return err
+	}
+	return os.WriteFile(*outPath, append(data, '\n'), 0o644)
+}
+
+// marshalScenario generates and encodes one scenario instance.
+func marshalScenario(cfg scenario.Config, auc bool) ([]byte, error) {
+	if auc {
+		inst, err := scenario.GenerateAuction(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return truthfulufp.MarshalAuction(inst)
+	}
+	inst, err := scenario.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return truthfulufp.MarshalInstance(inst)
+}
+
+func printList(out io.Writer) error {
+	fmt.Fprintln(out, "topologies:")
+	for _, t := range scenario.Topologies() {
+		fmt.Fprintf(out, "  %-11s (default size %d)  %s\n", t.Name, t.DefaultSize, t.Description)
+	}
+	fmt.Fprintln(out, "demand models:")
+	for _, d := range scenario.Demands() {
+		fmt.Fprintf(out, "  %-11s %s\n", d.Name, d.Description)
+	}
+	return nil
+}
+
+// emitCorpus walks the whole catalog (every topology × demand model ×
+// seed). With dir == "" it prints the hash manifest only; otherwise it
+// writes one instance file per scenario plus the manifest as
+// manifest.txt.
+func emitCorpus(out io.Writer, dir string, seeds int) error {
+	if seeds < 1 {
+		return fmt.Errorf("corpus needs seeds >= 1, got %d", seeds)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	var manifest []byte
+	for _, t := range scenario.Topologies() {
+		for _, d := range scenario.Demands() {
+			for s := 0; s < seeds; s++ {
+				cfg := scenario.Config{Topology: t.Name, Demand: d.Name, Seed: uint64(s)}
+				data, err := marshalScenario(cfg, false)
+				if err != nil {
+					return fmt.Errorf("%s/%s seed %d: %w", t.Name, d.Name, s, err)
+				}
+				// Hash exactly the bytes written, so `sha256sum <file>`
+				// reproduces the manifest entry.
+				data = append(data, '\n')
+				name := fmt.Sprintf("%s_%s_s%d.json", t.Name, d.Name, s)
+				manifest = append(manifest, fmt.Sprintf("%s  %x\n", name, sha256.Sum256(data))...)
+				if dir != "" {
+					if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if dir == "" {
+		_, err := out.Write(manifest)
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.txt"), manifest, 0o644); err != nil {
+		return err
+	}
+	n := len(scenario.Topologies()) * len(scenario.Demands()) * seeds
+	_, err := fmt.Fprintf(out, "wrote %d instances + manifest.txt to %s\n", n, dir)
+	return err
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"truthfulufp"
+	"truthfulufp/internal/scenario"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("ufpgen %v: %v", args, err)
+	}
+	return buf.String()
+}
+
+// TestListEnumeratesCatalog: -list names every registered topology and
+// demand model (the acceptance criterion's enumeration).
+func TestListEnumeratesCatalog(t *testing.T) {
+	out := runOut(t, "-list")
+	for _, topo := range scenario.Topologies() {
+		if !strings.Contains(out, topo.Name) {
+			t.Errorf("-list missing topology %q:\n%s", topo.Name, out)
+		}
+	}
+	for _, d := range scenario.Demands() {
+		if !strings.Contains(out, d.Name) {
+			t.Errorf("-list missing demand model %q:\n%s", d.Name, out)
+		}
+	}
+}
+
+// TestGenerateDecodesAndValidates: emitted JSON round-trips through the
+// canonical codec into a valid normalized instance.
+func TestGenerateDecodesAndValidates(t *testing.T) {
+	out := runOut(t, "-scenario", "fattree", "-seed", "7")
+	inst, err := truthfulufp.UnmarshalInstance([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := truthfulufp.SolveUFP(inst, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Routed) == 0 {
+		t.Fatal("solver routed nothing on the emitted instance")
+	}
+}
+
+// TestByteIdenticalAcrossRuns: same (scenario, seed) ⇒ byte-identical
+// output; different seeds differ.
+func TestByteIdenticalAcrossRuns(t *testing.T) {
+	a := runOut(t, "-scenario", "waxman", "-demand", "hotspot", "-seed", "9")
+	b := runOut(t, "-scenario", "waxman", "-demand", "hotspot", "-seed", "9")
+	if a != b {
+		t.Fatal("same scenario and seed produced different bytes")
+	}
+	c := runOut(t, "-scenario", "waxman", "-demand", "hotspot", "-seed", "10")
+	if a == c {
+		t.Fatal("different seeds produced identical bytes")
+	}
+}
+
+// TestAuctionOutput: -auction emits a decodable, valid MUCA instance.
+func TestAuctionOutput(t *testing.T) {
+	out := runOut(t, "-scenario", "startrees", "-auction", "-seed", "2")
+	inst, err := truthfulufp.UnmarshalAuction([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Requests) == 0 {
+		t.Fatal("auction instance has no requests")
+	}
+}
+
+// TestHashManifestStable: -hashes covers the whole catalog and is
+// identical across runs (the CI determinism check).
+func TestHashManifestStable(t *testing.T) {
+	a := runOut(t, "-hashes", "-seeds", "1")
+	b := runOut(t, "-hashes", "-seeds", "1")
+	if a != b {
+		t.Fatal("hash manifest differs between runs")
+	}
+	lines := strings.Count(strings.TrimSpace(a), "\n") + 1
+	want := len(scenario.Topologies()) * len(scenario.Demands())
+	if lines != want {
+		t.Fatalf("manifest has %d lines, want %d (full catalog)", lines, want)
+	}
+}
+
+// TestCorpusWritesFiles: -corpus materializes every scenario plus the
+// manifest, and the files match their manifest hashes implicitly by
+// regeneration.
+func TestCorpusWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	runOut(t, "-corpus", dir, "-seeds", "1")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(scenario.Topologies())*len(scenario.Demands()) + 1 // + manifest.txt
+	if len(entries) != want {
+		t.Fatalf("corpus dir has %d entries, want %d", len(entries), want)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fattree_gravity_s0.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := truthfulufp.UnmarshalInstance(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagErrors: missing/-unknown inputs fail with a diagnosis.
+func TestFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no -scenario did not error")
+	}
+	if err := run([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+	if err := run([]string{"-corpus", t.TempDir(), "-hashes"}, &buf); err == nil {
+		t.Fatal("-corpus with -hashes did not error")
+	}
+}

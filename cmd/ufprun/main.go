@@ -6,9 +6,12 @@
 //
 //	ufprun -instance inst.json [-algorithm bounded|sequential|greedy|repeat]
 //	       [-eps 0.5] [-payments] [-json]
+//	ufpgen -scenario fattree | ufprun -in -
 //
 // With -algorithm bounded (default), -eps is the Theorem 3.1 ε and the
-// solver runs Bounded-UFP(ε/6). Generate a sample file with -sample.
+// solver runs Bounded-UFP(ε/6). -in reads the instance from a path or
+// from stdin ("-"), so ufpgen output pipes straight in. Generate a
+// sample file with -sample.
 package main
 
 import (
@@ -18,19 +21,21 @@ import (
 	"os"
 
 	"truthfulufp"
+	"truthfulufp/internal/cliio"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ufprun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("ufprun", flag.ContinueOnError)
 	var (
 		path     = fs.String("instance", "", "path to instance JSON")
+		in       = fs.String("in", "", `instance source: a path, or "-" for stdin (supersedes -instance)`)
 		algo     = fs.String("algorithm", "bounded", "bounded|sequential|greedy|repeat")
 		eps      = fs.Float64("eps", 0.5, "accuracy parameter ε in (0,1]")
 		payments = fs.Bool("payments", false, "also compute critical-value payments (bounded only)")
@@ -43,10 +48,7 @@ func run(args []string, out io.Writer) error {
 	if *sample {
 		return printSample(out)
 	}
-	if *path == "" {
-		return fmt.Errorf("-instance is required (try -sample)")
-	}
-	data, err := os.ReadFile(*path)
+	data, err := cliio.ReadSource(*in, *path, stdin, "-sample")
 	if err != nil {
 		return err
 	}

@@ -6,12 +6,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"truthfulufp"
+	"truthfulufp/internal/scenario"
 )
 
 func writeSample(t *testing.T) string {
 	t.Helper()
 	var b strings.Builder
-	if err := run([]string{"-sample"}, &b); err != nil {
+	if err := run([]string{"-sample"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "inst.json")
@@ -23,7 +25,7 @@ func writeSample(t *testing.T) string {
 
 func TestSampleIsValidJSON(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-sample"}, &b); err != nil {
+	if err := run([]string{"-sample"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	var v map[string]any
@@ -36,7 +38,7 @@ func TestSolveSampleAllAlgorithms(t *testing.T) {
 	path := writeSample(t)
 	for _, algo := range []string{"bounded", "sequential", "greedy", "repeat"} {
 		var b strings.Builder
-		if err := run([]string{"-instance", path, "-algorithm", algo}, &b); err != nil {
+		if err := run([]string{"-instance", path, "-algorithm", algo}, nil, &b); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if !strings.Contains(b.String(), "value") {
@@ -48,7 +50,7 @@ func TestSolveSampleAllAlgorithms(t *testing.T) {
 func TestPayments(t *testing.T) {
 	path := writeSample(t)
 	var b strings.Builder
-	if err := run([]string{"-instance", path, "-payments"}, &b); err != nil {
+	if err := run([]string{"-instance", path, "-payments"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "pays") {
@@ -59,7 +61,7 @@ func TestPayments(t *testing.T) {
 func TestPaymentsRequireBounded(t *testing.T) {
 	path := writeSample(t)
 	var b strings.Builder
-	if err := run([]string{"-instance", path, "-payments", "-algorithm", "greedy"}, &b); err == nil {
+	if err := run([]string{"-instance", path, "-payments", "-algorithm", "greedy"}, nil, &b); err == nil {
 		t.Fatal("payments with greedy accepted")
 	}
 }
@@ -67,7 +69,7 @@ func TestPaymentsRequireBounded(t *testing.T) {
 func TestJSONOutput(t *testing.T) {
 	path := writeSample(t)
 	var b strings.Builder
-	if err := run([]string{"-instance", path, "-json"}, &b); err != nil {
+	if err := run([]string{"-instance", path, "-json"}, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	var out struct {
@@ -88,19 +90,49 @@ func TestJSONOutput(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{}, &b); err == nil {
+	if err := run([]string{}, nil, &b); err == nil {
 		t.Fatal("missing -instance accepted")
 	}
-	if err := run([]string{"-instance", "/nonexistent.json"}, &b); err == nil {
+	if err := run([]string{"-instance", "/nonexistent.json"}, nil, &b); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte(`{"directed":true,"vertices":1,"edges":[],"requests":[{"source":0,"target":0,"demand":1,"value":1}]}`), 0o644)
-	if err := run([]string{"-instance", bad}, &b); err == nil {
+	if err := run([]string{"-instance", bad}, nil, &b); err == nil {
 		t.Fatal("invalid instance accepted")
 	}
 	path := writeSample(t)
-	if err := run([]string{"-instance", path, "-algorithm", "nope"}, &b); err == nil {
+	if err := run([]string{"-instance", path, "-algorithm", "nope"}, nil, &b); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestStdinPipeline: the ufpgen | ufprun composition — a scenario
+// instance arrives on stdin via -in - and solves end to end.
+func TestStdinPipeline(t *testing.T) {
+	inst, err := scenario.Generate(scenario.Config{Topology: "fattree", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-in", "-", "-json"}, strings.NewReader(string(data)), &b); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := truthfulufp.UnmarshalAllocation([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("pipeline output not a canonical allocation: %v\n%s", err, b.String())
+	}
+	if len(alloc.Routed) == 0 {
+		t.Fatal("pipeline solved nothing")
+	}
+	// -in with a path also works, superseding -instance.
+	path := writeSample(t)
+	b.Reset()
+	if err := run([]string{"-in", path, "-instance", "/nonexistent.json"}, nil, &b); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -49,7 +49,7 @@ func run(args []string, logw io.Writer) error {
 		cache        = fs.Int("cache", 0, "result cache entries (0 = default, negative = disabled)")
 		queue        = fs.Int("queue", 0, "pending-job queue depth (0 = 4x workers)")
 		eps          = fs.Float64("eps", 0.25, "default accuracy parameter ε")
-		timeout      = fs.Duration("timeout", 60*time.Second, "per-request solve timeout, 0 = none (abandons the wait; a running solve completes on its worker)")
+		timeout      = fs.Duration("timeout", 60*time.Second, "per-request solve timeout, 0 = none (a solve abandoned by every client is cancelled and its worker reclaimed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -300,6 +300,7 @@ type healthResponse struct {
 	CacheHits     int64   `json:"cacheHits"`
 	Coalesced     int64   `json:"coalesced"`
 	Failures      int64   `json:"failures"`
+	Cancelled     int64   `json:"cancelled"`
 	JobsPerSec    float64 `json:"jobsPerSec"`
 	LatencyMeanMs float64 `json:"latencyMeanMs"`
 	LatencyMaxMs  float64 `json:"latencyMaxMs"`
@@ -316,6 +317,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheHits:  snap.CacheHits,
 		Coalesced:  snap.Coalesced,
 		Failures:   snap.Failures,
+		Cancelled:  snap.Cancelled,
 		JobsPerSec: snap.JobsPerSec(),
 	}
 	if snap.Latency.N() > 0 {

@@ -13,6 +13,7 @@ import (
 
 	"truthfulufp"
 	"truthfulufp/internal/auction"
+	"truthfulufp/internal/scenario"
 	"truthfulufp/internal/workload"
 )
 
@@ -208,7 +209,7 @@ func TestServeAuction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := truthfulufp.SolveMUCA(inst, 0.25)
+	want, err := truthfulufp.SolveMUCA(inst, 0.25, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,5 +413,44 @@ func TestServeErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /solve status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeScenarioInstance is the ufpgen acceptance check: a scenario
+// instance generated and encoded exactly as cmd/ufpgen emits it solves
+// over HTTP, both as a plain solve and as the truthful mechanism.
+func TestServeScenarioInstance(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst, err := scenario.Generate(scenario.Config{Topology: "fattree", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := postJSON(t, ts.URL+"/solve", solveBody(t, inst, nil))
+	if status != http.StatusOK {
+		t.Fatalf("scenario solve: status %d: %s", status, body)
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := truthfulufp.UnmarshalAllocation(resp.Allocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Routed) == 0 {
+		t.Fatal("served scenario solve routed nothing")
+	}
+
+	auc, err := scenario.GenerateAuction(scenario.Config{Topology: "startrees", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := truthfulufp.MarshalAuction(auc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, ts.URL+"/auction", map[string]any{"instance": json.RawMessage(raw)})
+	if status != http.StatusOK {
+		t.Fatalf("scenario auction solve: status %d: %s", status, body)
 	}
 }

@@ -16,14 +16,29 @@
 //   - internal/core: Bounded-UFP (Algorithm 1), Bounded-UFP-Repeat
 //     (Algorithm 3), the reasonable iterative path minimizing engine,
 //     baselines, LP-based references.
+//
 //   - internal/auction: Bounded-MUCA (Algorithm 2) and friends.
+//
 //   - internal/mechanism: critical-value payments and truthfulness
 //     harness (Theorem 2.3).
+//
 //   - internal/lowerbound: Figures 2, 3, 4 instance families.
+//
 //   - internal/experiments: the table/figure reproduction harness.
+//
 //   - internal/engine: the concurrent solve service (worker pool,
 //     in-flight deduplication, keyed result cache) behind cmd/ufpserve;
-//     use it via NewEngine/Engine.Do for heavy traffic.
+//     use it via NewEngine/Engine.Do for heavy traffic. Solves abandoned
+//     by every waiter are cancelled mid-run and their workers reclaimed.
+//
+//   - internal/scenario: the scenario catalog — named, seeded topology
+//     families (fat-tree, Waxman backbone, scale-free, small-world,
+//     metro ring-of-rings, single-sink star-of-trees) × demand models
+//     (gravity, hotspot, Zipf, hose) × capacity regimes around the
+//     paper's B >= ln(m)/ε² assumption; use it via GenerateScenario or
+//     the cmd/ufpgen CLI, and pipe into ufprun/aucrun/ufpserve:
+//
+//     ufpgen -scenario fattree -seed 7 | ufprun -in -
 //
 // # Quick start
 //

@@ -47,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	alloc, err := truthfulufp.BoundedMUCA(inst, eps)
+	alloc, err := truthfulufp.BoundedMUCA(inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func main() {
 	// Price a few winners with their critical values (pricing all ~300
 	// winners re-runs the auction thousands of times; a real deployment
 	// would batch this).
-	algo := mechanism.BoundedMUCAAlg(eps)
+	algo := mechanism.BoundedMUCAAlg(eps, nil)
 	fmt.Println("\ntruthful prices for the first 5 winners:")
 	for _, w := range alloc.Selected[:5] {
 		pay, err := mechanism.AuctionCriticalValue(algo, inst, w)

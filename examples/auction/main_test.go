@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestMainRuns is the bit-rot smoke test: the example must build and run
+// end to end (a failure inside the example calls log.Fatal, which exits
+// the test binary non-zero).
+func TestMainRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke runs are not short")
+	}
+	main()
+}

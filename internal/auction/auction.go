@@ -15,6 +15,7 @@
 package auction
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -203,6 +204,47 @@ func validateEps(eps float64) error {
 	return nil
 }
 
+// Options configure the auction solvers. The zero value (and a nil
+// pointer) is ready to use.
+type Options struct {
+	// Ctx, if non-nil, is checked once per main-loop iteration: when it is
+	// done the solver abandons the run and returns the context's error, so
+	// engine/ufpserve timeouts reclaim their workers.
+	Ctx context.Context
+	// Tie orders requests whose price ratios are numerically tied; it
+	// returns true if a should be preferred over b (default: smaller
+	// index).
+	Tie func(a, b int) bool
+	// MaxIterations caps the main loop (0 = unlimited).
+	MaxIterations int
+}
+
+func (o *Options) tie() func(a, b int) bool {
+	if o == nil || o.Tie == nil {
+		return func(a, b int) bool { return a < b }
+	}
+	return o.Tie
+}
+
+func (o *Options) cancelled() error {
+	if o == nil || o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (o *Options) maxIterations() int {
+	if o == nil {
+		return 0
+	}
+	return o.MaxIterations
+}
+
 // BoundedMUCA runs Algorithm 2 (Bounded-MUCA) with accuracy parameter
 // eps: prices start at y_u = 1/c_u, and while requests remain and
 // Σ_u c_u·y_u <= e^{ε(B-1)}, the request minimizing (1/v_r)·Σ_{u∈U_r} y_u
@@ -210,7 +252,7 @@ func validateEps(eps float64) error {
 //
 // Per Theorem 4.1, eps = ε/6 yields a ((1+ε)·e/(e-1))-approximation for
 // B >= ln(m)/ε²; use SolveMUCA for that calling convention.
-func BoundedMUCA(inst *Instance, eps float64, tie func(a, b int) bool) (*Allocation, error) {
+func BoundedMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -224,9 +266,7 @@ func BoundedMUCA(inst *Instance, eps float64, tie func(a, b int) bool) (*Allocat
 	if eps*b > maxSafeExponent {
 		return nil, fmt.Errorf("auction: ε·B = %g would overflow e^{ε(B-1)}", eps*b)
 	}
-	if tie == nil {
-		tie = func(a, b int) bool { return a < b }
-	}
+	tie := opt.tie()
 	m := inst.NumItems()
 	y := make([]float64, m)
 	dualSum := 0.0
@@ -261,7 +301,15 @@ func BoundedMUCA(inst *Instance, eps float64, tie func(a, b int) bool) (*Allocat
 		}
 		return best, bestRatio
 	}
+	limited := false
 	for numRemaining > 0 && dualSum <= threshold {
+		if err := opt.cancelled(); err != nil {
+			return nil, fmt.Errorf("auction: solve cancelled after %d iterations: %w", alloc.Iterations, err)
+		}
+		if max := opt.maxIterations(); max > 0 && alloc.Iterations >= max {
+			limited = true
+			break
+		}
 		best, alpha := argmin()
 		if best < 0 {
 			break
@@ -281,12 +329,15 @@ func BoundedMUCA(inst *Instance, eps float64, tie func(a, b int) bool) (*Allocat
 		remaining[best] = false
 		numRemaining--
 	}
-	if numRemaining == 0 {
+	switch {
+	case numRemaining == 0:
 		alloc.Stop = StopAllSatisfied
 		if alloc.Value < alloc.DualBound {
 			alloc.DualBound = alloc.Value
 		}
-	} else {
+	case limited:
+		alloc.Stop = StopIterationLimit
+	default:
 		alloc.Stop = StopDualThreshold
 		if _, alpha := argmin(); !math.IsInf(alpha, 1) {
 			if bound := dualSum/alpha + alloc.Value; bound < alloc.DualBound {
@@ -298,11 +349,11 @@ func BoundedMUCA(inst *Instance, eps float64, tie func(a, b int) bool) (*Allocat
 }
 
 // SolveMUCA is the Theorem 4.1 calling convention: BoundedMUCA(ε/6).
-func SolveMUCA(inst *Instance, eps float64) (*Allocation, error) {
+func SolveMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	if err := validateEps(eps); err != nil {
 		return nil, err
 	}
-	return BoundedMUCA(inst, eps/6, nil)
+	return BoundedMUCA(inst, eps/6, opt)
 }
 
 const ratioTol = 1e-12

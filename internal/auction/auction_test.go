@@ -228,10 +228,10 @@ func TestTheorem41Guarantee(t *testing.T) {
 
 func TestSolveMUCAEpsilonConvention(t *testing.T) {
 	inst := twoItemContention()
-	if _, err := SolveMUCA(inst, 0); err == nil {
+	if _, err := SolveMUCA(inst, 0, nil); err == nil {
 		t.Fatal("eps = 0 accepted")
 	}
-	if _, err := SolveMUCA(inst, 0.5); err != nil {
+	if _, err := SolveMUCA(inst, 0.5, nil); err != nil {
 		t.Fatal(err)
 	}
 }

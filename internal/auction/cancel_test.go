@@ -1,0 +1,56 @@
+package auction
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func cancelAuction(requests int) *Instance {
+	inst := &Instance{Multiplicity: []float64{80, 80}}
+	for i := 0; i < requests; i++ {
+		inst.Requests = append(inst.Requests, Request{
+			Bundle: []int{i % 2}, Value: 1 + 0.01*float64(i),
+		})
+	}
+	return inst
+}
+
+// TestBoundedMUCACancellation: a pre-cancelled context stops the main
+// loop before any iteration with the context's error.
+func TestBoundedMUCACancellation(t *testing.T) {
+	inst := cancelAuction(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BoundedMUCA(inst, 0.25, &Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A live context leaves the result untouched.
+	base, err := BoundedMUCA(inst, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BoundedMUCA(inst, 0.25, &Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Value != got.Value || len(base.Selected) != len(got.Selected) {
+		t.Fatalf("live context changed the allocation")
+	}
+}
+
+// TestBoundedMUCAIterationLimit: Options.MaxIterations caps the loop and
+// reports StopIterationLimit.
+func TestBoundedMUCAIterationLimit(t *testing.T) {
+	inst := cancelAuction(12)
+	a, err := BoundedMUCA(inst, 0.25, &Options{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations != 3 || a.Stop != StopIterationLimit {
+		t.Fatalf("got %d iterations, stop %v; want 3, %v", a.Iterations, a.Stop, StopIterationLimit)
+	}
+	if err := a.CheckFeasible(inst); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package cliio holds the small input-resolution helpers shared by the
+// file-driven CLIs (cmd/ufprun, cmd/aucrun).
+package cliio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadSource resolves a CLI input document: in ("-in": a path, or "-"
+// for stdin) takes precedence over path ("-instance"). hint names the
+// fallback the error message should suggest (e.g. "-sample").
+func ReadSource(in, path string, stdin io.Reader, hint string) ([]byte, error) {
+	src := path
+	if in != "" {
+		src = in
+	}
+	switch {
+	case src == "":
+		return nil, fmt.Errorf("-in or -instance is required (try %s)", hint)
+	case src == "-":
+		if stdin == nil {
+			return nil, fmt.Errorf("no stdin available for -in -")
+		}
+		return io.ReadAll(stdin)
+	}
+	return os.ReadFile(src)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -36,6 +37,9 @@ func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocatio
 	flow := make([]float64, g.NumEdges())
 	alloc := &Allocation{DualBound: math.Inf(1)}
 	for i, r := range inst.Requests {
+		if err := opt.cancelled(); err != nil {
+			return nil, fmt.Errorf("core: sequential solve cancelled at request %d: %w", i, err)
+		}
 		weight := func(e int) float64 {
 			c := g.Edge(e).Capacity
 			if flow[e]+r.Demand > c+feasTol {
@@ -90,6 +94,9 @@ func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
 	flow := make([]float64, g.NumEdges())
 	alloc := &Allocation{DualBound: math.Inf(1)}
 	for _, i := range order {
+		if err := opt.cancelled(); err != nil {
+			return nil, fmt.Errorf("core: greedy solve cancelled at request %d: %w", i, err)
+		}
 		r := inst.Requests[i]
 		weight := func(e int) float64 {
 			if flow[e]+r.Demand > g.Edge(e).Capacity+feasTol {

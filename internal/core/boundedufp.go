@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -28,6 +30,11 @@ type Options struct {
 	// Workers bounds the number of goroutines used for per-iteration
 	// shortest-path computations; 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Ctx, if non-nil, is checked once per main-loop iteration (and once
+	// per request in the single-pass baselines): when it is done the
+	// solver abandons the run and returns the context's error. This is how
+	// engine/ufpserve timeouts reclaim a worker mid-solve.
+	Ctx context.Context
 	// TieBreak overrides the default tie-breaking between candidates with
 	// equal ratios. It never sees candidates with different ratios.
 	TieBreak TieBreak
@@ -45,6 +52,28 @@ func (o *Options) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
+}
+
+// cancelled returns the context's error once Options.Ctx is done, nil
+// otherwise (including with no Options or no context).
+func (o *Options) cancelled() error {
+	if o == nil {
+		return nil
+	}
+	return ctxErr(o.Ctx)
+}
+
+// ctxErr is a non-blocking done-check on an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func (o *Options) tieBreak() TieBreak {
@@ -143,6 +172,9 @@ func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Al
 	tie := opt.tieBreak()
 	sp := newShortestPaths(inst, opt.workers())
 	for {
+		if err := opt.cancelled(); err != nil {
+			return nil, fmt.Errorf("core: solve cancelled after %d iterations: %w", alloc.Iterations, err)
+		}
 		if !repeat && numRemaining == 0 {
 			alloc.Stop = StopAllSatisfied
 			break

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"truthfulufp/internal/graph"
+)
+
+func cancelInstance(requests int) *Instance {
+	g := graph.Line(3, 50)
+	inst := &Instance{G: g}
+	for i := 0; i < requests; i++ {
+		inst.Requests = append(inst.Requests, Request{
+			Source: 0, Target: 2, Demand: 0.5, Value: 1 + float64(i)*0.01,
+		})
+	}
+	return inst
+}
+
+// TestBoundedUFPCancellation: cancelling mid-run (deterministically, via
+// the OnIteration hook) stops the loop at the next iteration check with
+// the context's error.
+func TestBoundedUFPCancellation(t *testing.T) {
+	inst := cancelInstance(20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := &Options{
+		Workers: 1,
+		Ctx:     ctx,
+		OnIteration: func(iter int, _ Candidate, _ float64) {
+			if iter == 2 {
+				cancel()
+			}
+		},
+	}
+	_, err := BoundedUFP(inst, 0.25, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BoundedUFP after mid-run cancel: err = %v, want context.Canceled", err)
+	}
+
+	// A pre-cancelled context stops every solver before any iteration.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	pre := &Options{Workers: 1, Ctx: done}
+	for name, run := range map[string]func() (*Allocation, error){
+		"bounded":    func() (*Allocation, error) { return BoundedUFP(inst, 0.25, pre) },
+		"repeat":     func() (*Allocation, error) { return BoundedUFPRepeat(inst, 0.25, pre) },
+		"sequential": func() (*Allocation, error) { return SequentialPrimalDual(inst, 0.25, pre) },
+		"greedy":     func() (*Allocation, error) { return GreedyByDensity(inst, pre) },
+		"pathmin": func() (*Allocation, error) {
+			return IterativePathMin(inst, EngineOptions{Rule: &ExpRule{}, Eps: 0.25, UseDualStop: true, Ctx: done, Workers: 1})
+		},
+	} {
+		if _, err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with pre-cancelled ctx: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestNilAndLiveContextUnchanged: a live context (or none) does not
+// perturb results.
+func TestNilAndLiveContextUnchanged(t *testing.T) {
+	inst := cancelInstance(8)
+	base, err := BoundedUFP(inst, 0.25, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := BoundedUFP(inst, 0.25, &Options{Workers: 1, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Value != withCtx.Value || len(base.Routed) != len(withCtx.Routed) {
+		t.Fatalf("live context changed the allocation: %v vs %v", base.Value, withCtx.Value)
+	}
+}

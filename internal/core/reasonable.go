@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -329,6 +331,8 @@ type EngineOptions struct {
 	MaxIterations int
 	// Workers bounds parallelism in per-iteration path computations.
 	Workers int
+	// Ctx, if non-nil, cancels the main loop (see Options.Ctx).
+	Ctx context.Context
 }
 
 // IterativePathMin runs a reasonable iterative path minimizing algorithm
@@ -378,6 +382,9 @@ func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
 	threshold := math.Exp(opt.Eps * (st.B - 1))
 	alloc := &Allocation{DualBound: math.Inf(1)}
 	for {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, fmt.Errorf("core: iterative path-min cancelled after %d iterations: %w", alloc.Iterations, err)
+		}
 		if numRemaining == 0 {
 			alloc.Stop = StopAllSatisfied
 			break

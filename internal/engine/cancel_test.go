@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+)
+
+// slowInstance is big enough that Bounded-UFP needs many expensive
+// iterations (hundreds of Dijkstras each): never finishing within a test
+// run uncancelled, but responding to cancellation within one iteration.
+func slowInstance() *core.Instance {
+	g := graph.Grid(30, 30, 100)
+	n := g.NumVertices()
+	inst := &core.Instance{G: g}
+	for i := 0; i < 800; i++ {
+		s := (i * 131) % n
+		t := (i*197 + n/2) % n
+		if s == t {
+			t = (t + 1) % n
+		}
+		inst.Requests = append(inst.Requests, core.Request{
+			Source: s, Target: t, Demand: 0.9, Value: 1 + 0.001*float64(i),
+		})
+	}
+	return inst
+}
+
+// TestAbandonedSolveReleasesWorker: when the only waiter's context
+// expires, the running solve is cancelled (not run to completion), the
+// Cancelled counter ticks, and the lone worker is free to run the next
+// job. Before cancellation support the abandoned solve would have
+// occupied the worker for minutes.
+func TestAbandonedSolveReleasesWorker(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: -1})
+	defer e.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := e.Do(ctx, Job{Kind: JobBoundedUFP, Eps: 0.1, UFP: slowInstance()})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do on a slow instance: err = %v, want deadline exceeded", err)
+	}
+
+	// The execution is cancelled asynchronously once the last waiter is
+	// gone; wait for the worker to report it.
+	deadline := time.Now().Add(30 * time.Second)
+	for e.Snapshot().Cancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned solve was never cancelled (worker still occupied)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The reclaimed worker must now run a fresh job promptly.
+	quickG := graph.Line(3, 30)
+	quick := &core.Instance{G: quickG, Requests: []core.Request{
+		{Source: 0, Target: 2, Demand: 1, Value: 2},
+	}}
+	qctx, qcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer qcancel()
+	res, err := e.Do(qctx, Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: quick})
+	if err != nil {
+		t.Fatalf("quick job after reclamation: %v", err)
+	}
+	if len(res.Allocation.Routed) != 1 {
+		t.Fatalf("quick job routed %d requests, want 1", len(res.Allocation.Routed))
+	}
+}
+
+// TestCoalescedWaiterKeepsExecutionAlive: one of two waiters leaving
+// must NOT cancel the shared execution; the surviving waiter still gets
+// a real result.
+func TestCoalescedWaiterKeepsExecutionAlive(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	g := graph.Line(4, 40)
+	inst := &core.Instance{G: g}
+	for i := 0; i < 40; i++ {
+		inst.Requests = append(inst.Requests, core.Request{
+			Source: 0, Target: 3, Demand: 0.5, Value: 1 + 0.01*float64(i),
+		})
+	}
+	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst}
+
+	short, shortCancel := context.WithCancel(context.Background())
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 2)
+	go func() {
+		res, err := e.Do(short, job)
+		ch <- out{res, err}
+	}()
+	go func() {
+		res, err := e.Do(context.Background(), job)
+		ch <- out{res, err}
+	}()
+	shortCancel() // at most one waiter drops; the other must still win
+	a, b := <-ch, <-ch
+	ok := 0
+	for _, o := range []out{a, b} {
+		switch {
+		case o.err == nil:
+			if len(o.res.Allocation.Routed) == 0 {
+				t.Fatal("surviving waiter got an empty allocation")
+			}
+			ok++
+		case errors.Is(o.err, context.Canceled):
+			// the short-context waiter may have been cancelled; fine
+		default:
+			t.Fatalf("unexpected error: %v", o.err)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no waiter received a result")
+	}
+}

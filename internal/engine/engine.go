@@ -172,6 +172,15 @@ type call struct {
 	// result cached (a NoCache leader must not suppress caching for a
 	// cache-willing coalesced waiter). Guarded by Engine.flightMu.
 	cacheable bool
+	// waiters counts the Do calls currently waiting on this execution;
+	// when the last one abandons (context done), cancel fires and the
+	// running solver returns early, reclaiming its worker. Guarded by
+	// Engine.flightMu.
+	waiters int
+	// runCtx is the execution's context, cancelled by the last departing
+	// waiter (and after completion, to release the context's resources).
+	runCtx context.Context
+	cancel context.CancelFunc
 }
 
 // Engine is the concurrent solve service. Create with New, submit with
@@ -193,6 +202,7 @@ type Engine struct {
 	hits      stats.Counter
 	coalesced stats.Counter
 	failures  stats.Counter
+	cancelled stats.Counter
 	latency   stats.ConcurrentSummary // per-execution solve seconds
 }
 
@@ -253,9 +263,12 @@ func (e *Engine) Close() {
 // instance fingerprint) in flight are coalesced into one execution, and
 // completed results are served from the cache unless NoCache is set.
 //
-// Cancellation abandons the wait, not the computation: a job already
-// running on a worker completes (and is cached) regardless; the solvers
-// themselves do not take a context.
+// Cancellation first abandons only the wait: the execution keeps running
+// for as long as any coalesced submitter still wants it (and its result
+// is cached as usual). When the last waiter's context is done, the
+// execution itself is cancelled — the solvers check their context each
+// main-loop iteration — so an abandoned pathological solve releases its
+// worker instead of occupying it to completion.
 func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
@@ -270,7 +283,7 @@ func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 		return nil, ErrClosed
 	}
 	e.submitted.Inc()
-	key := job.key()
+	key := job.Fingerprint()
 	counted := false
 	for {
 		if !job.NoCache && e.cache != nil {
@@ -294,26 +307,44 @@ func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 		}
 		if leader {
 			if err := e.enqueue(ctx, job, key, c); err != nil {
+				e.leave(c)
 				return nil, err
 			}
 		}
 		select {
 		case <-c.done:
+			e.leave(c)
 			if c.err != nil {
-				// A leader abandoned before its task was queued completes the
-				// shared call with its own context error. That error is not
-				// ours: resubmit while our context is live (the solvers never
-				// return context errors themselves, so this cannot mask one).
-				if !leader && isContextErr(c.err) && ctx.Err() == nil {
+				// A context error here is the *execution's*, not ours: either
+				// a leader abandoned before its task was queued, or every
+				// earlier waiter left and the running solve was cancelled. We
+				// still want an answer, so resubmit while our context is live
+				// (the solvers only return their own context's error, so this
+				// cannot mask a real solver failure).
+				if isContextErr(c.err) && ctx.Err() == nil {
 					continue
 				}
 				return nil, c.err
 			}
 			return c.res, nil
 		case <-ctx.Done():
+			e.leave(c)
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// leave unregisters a waiter from a call; the last one out cancels the
+// execution's context, so a solve nobody is waiting for stops at its
+// next iteration check instead of holding its worker. (After normal
+// completion the cancel is a no-op that just releases the context.)
+func (e *Engine) leave(c *call) {
+	e.flightMu.Lock()
+	c.waiters--
+	if c.waiters == 0 {
+		c.cancel()
+	}
+	e.flightMu.Unlock()
 }
 
 func isContextErr(err error) bool {
@@ -331,6 +362,7 @@ func (e *Engine) join(key string, wantCache bool) (c *call, leader bool, cached 
 	defer e.flightMu.Unlock()
 	if c, ok := e.inflight[key]; ok {
 		c.cacheable = c.cacheable || wantCache
+		c.waiters++
 		return c, false, nil
 	}
 	if wantCache && e.cache != nil {
@@ -338,7 +370,8 @@ func (e *Engine) join(key string, wantCache bool) (c *call, leader bool, cached 
 			return nil, false, res
 		}
 	}
-	c = &call{done: make(chan struct{}), cacheable: wantCache}
+	c = &call{done: make(chan struct{}), cacheable: wantCache, waiters: 1}
+	c.runCtx, c.cancel = context.WithCancel(context.Background())
 	e.inflight[key] = c
 	return c, true, nil
 }
@@ -349,10 +382,14 @@ func (e *Engine) join(key string, wantCache bool) (c *call, leader bool, cached 
 func (e *Engine) enqueue(ctx context.Context, job Job, key string, c *call) error {
 	task := func() {
 		start := time.Now()
-		res, err := e.run(job)
+		res, err := e.run(c.runCtx, job)
 		if err != nil {
 			res = nil
-			e.failures.Inc()
+			if isContextErr(err) {
+				e.cancelled.Inc()
+			} else {
+				e.failures.Inc()
+			}
 		} else {
 			res.Elapsed = time.Since(start)
 			e.latency.Add(res.Elapsed.Seconds())
@@ -396,11 +433,13 @@ func (e *Engine) abandon(key string, c *call, err error) {
 	close(c.done)
 }
 
-// run executes the job's algorithm. Solvers use SolveWorkers goroutines
+// run executes the job's algorithm under ctx (cancelled when every
+// waiter has abandoned the job). Solvers use SolveWorkers goroutines
 // internally; everything else about the call matches the package-level
 // entry points exactly, so results are interchangeable with direct calls.
-func (e *Engine) run(job Job) (*Result, error) {
-	opt := &core.Options{Workers: e.cfg.SolveWorkers}
+func (e *Engine) run(ctx context.Context, job Job) (*Result, error) {
+	opt := &core.Options{Workers: e.cfg.SolveWorkers, Ctx: ctx}
+	aopt := &auction.Options{Ctx: ctx}
 	switch job.Kind {
 	case JobSolveUFP:
 		a, err := core.SolveUFP(job.UFP, job.Eps, opt)
@@ -421,10 +460,10 @@ func (e *Engine) run(job Job) (*Result, error) {
 		out, err := mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(job.Eps, opt), job.UFP)
 		return &Result{UFPOutcome: out}, err
 	case JobSolveMUCA:
-		a, err := auction.SolveMUCA(job.Auction, job.Eps)
+		a, err := auction.SolveMUCA(job.Auction, job.Eps, aopt)
 		return &Result{AuctionAllocation: a}, err
 	case JobAuctionMechanism:
-		out, err := mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(job.Eps), job.Auction)
+		out, err := mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(job.Eps, aopt), job.Auction)
 		return &Result{AuctionOutcome: out}, err
 	}
 	return nil, fmt.Errorf("engine: unknown job kind %q", job.Kind)
@@ -437,7 +476,8 @@ type Snapshot struct {
 	Completed int64 // executions finished successfully
 	CacheHits int64 // answers served from the result cache
 	Coalesced int64 // submissions folded into an identical in-flight job
-	Failures  int64 // executions that returned an error
+	Failures  int64 // executions that returned a non-cancellation error
+	Cancelled int64 // executions stopped early because every waiter left
 	Uptime    time.Duration
 	// Latency summarizes per-execution solve time in seconds over
 	// successful executions (cache hits, coalesced waits, and failures
@@ -462,6 +502,7 @@ func (e *Engine) Snapshot() Snapshot {
 		CacheHits: e.hits.Load(),
 		Coalesced: e.coalesced.Load(),
 		Failures:  e.failures.Load(),
+		Cancelled: e.cancelled.Load(),
 		Uptime:    time.Since(e.start),
 		Latency:   e.latency.Snapshot(),
 	}

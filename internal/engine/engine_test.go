@@ -71,10 +71,10 @@ func TestEngineMatchesDirectCalls(t *testing.T) {
 			func() (any, error) { return mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(eps, opt), inst) },
 			func(r *Result) any { return r.UFPOutcome }},
 		{Job{Kind: JobSolveMUCA, Eps: eps, Auction: auc},
-			func() (any, error) { return auction.SolveMUCA(auc, eps) },
+			func() (any, error) { return auction.SolveMUCA(auc, eps, nil) },
 			func(r *Result) any { return r.AuctionAllocation }},
 		{Job{Kind: JobAuctionMechanism, Eps: eps, Auction: auc},
-			func() (any, error) { return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps), auc) },
+			func() (any, error) { return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps, nil), auc) },
 			func(r *Result) any { return r.AuctionOutcome }},
 	}
 	for _, tc := range cases {
@@ -364,7 +364,7 @@ func TestEngineWaiterSurvivesLeaderCancel(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Close()
 	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 80)}
-	key := job.key()
+	key := job.Fingerprint()
 
 	// Pose as a leader that never enqueues (stuck on a full queue).
 	c, leader, _ := e.join(key, true)
@@ -428,7 +428,7 @@ func TestJobValidate(t *testing.T) {
 func TestJobKey(t *testing.T) {
 	inst := testUFPInstance(t, 60)
 	base := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst}
-	if base.key() != (Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst.Clone()}).key() {
+	if base.Fingerprint() != (Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst.Clone()}).Fingerprint() {
 		t.Error("identical instances produced different keys")
 	}
 	distinct := []Job{
@@ -439,7 +439,7 @@ func TestJobKey(t *testing.T) {
 	mod.Requests[0].Value *= 2
 	distinct = append(distinct, Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: mod})
 	for _, job := range distinct {
-		if job.key() == base.key() {
+		if job.Fingerprint() == base.Fingerprint() {
 			t.Errorf("job %+v: key collides with base", job.Kind)
 		}
 	}
@@ -447,7 +447,7 @@ func TestJobKey(t *testing.T) {
 	// Greedy ignores ε, so all ε values must share one key.
 	g1 := Job{Kind: JobGreedyUFP, Eps: 0.25, UFP: inst}
 	g2 := Job{Kind: JobGreedyUFP, Eps: 0.5, UFP: inst}
-	if g1.key() != g2.key() {
+	if g1.Fingerprint() != g2.Fingerprint() {
 		t.Error("greedy keys differ across ε although greedy ignores it")
 	}
 }

@@ -7,13 +7,15 @@ import (
 	"math"
 )
 
-// key fingerprints a job for coalescing and caching: SHA-256 over a
+// Fingerprint is the job's coalescing/cache key: SHA-256 over a
 // canonical binary encoding of the kind, ε, and the full instance
-// (topology, capacities, requests). Two jobs share a key iff the
+// (topology, capacities, requests). Two jobs share a fingerprint iff the
 // underlying algorithm call is identical — the engine substitutes one
 // execution's result for the other on key equality, and ufpserve feeds
 // it untrusted instances, so the hash must be collision-resistant.
-func (j Job) key() string {
+// Exported so serialization layers can assert that decode(encode(inst))
+// keys identically to inst (see the root package's JSON tests).
+func (j Job) Fingerprint() string {
 	h := sha256.New()
 	h.Write([]byte(j.Kind))
 	eps := j.Eps

@@ -87,7 +87,7 @@ func E7Truthfulness(cfg Config) (*Report, error) {
 		B: 20, MultSpread: 0.3,
 		BundleMin: 1, BundleMax: 3, ValueMin: 0.5, ValueMax: 1.5,
 	}
-	aalg := mechanism.BoundedMUCAAlg(0.25)
+	aalg := mechanism.BoundedMUCAAlg(0.25, nil)
 	for seed := 0; seed < cfg.Seeds; seed++ {
 		inst, err := auction.RandomInstance(auctionRNG(uint64(seed)+6000), acfg)
 		if err != nil {

@@ -22,6 +22,9 @@ type Config struct {
 	Seeds int
 	// Workers bounds parallelism inside solvers (0 = GOMAXPROCS).
 	Workers int
+	// Scenario, if set, restricts the S1 catalog sweep to one topology
+	// family (other experiments ignore it).
+	Scenario string
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -90,6 +93,7 @@ func All() []Runner {
 		{"E8", "Section 1: randomized rounding is non-monotone", E8Rounding},
 		{"E9", "Section 1.1: algorithm comparison across families", E9Comparison},
 		{"F1", "Figure 1: LP relaxation and integrality gap vs B", F1LPGap},
+		{"S1", "Scenario catalog: Bounded-UFP vs baselines across topology × demand families", S1Scenarios},
 	}
 }
 

@@ -11,10 +11,12 @@ import (
 // AuctionAlgorithm is any deterministic MUCA allocation algorithm.
 type AuctionAlgorithm func(inst *auction.Instance) (*auction.Allocation, error)
 
-// BoundedMUCAAlg adapts auction.BoundedMUCA with a fixed ε.
-func BoundedMUCAAlg(eps float64) AuctionAlgorithm {
+// BoundedMUCAAlg adapts auction.BoundedMUCA with a fixed ε and options
+// (opt may be nil; a non-nil opt.Ctx makes the adapted algorithm — and
+// hence every probe of a critical-value search — cancellable).
+func BoundedMUCAAlg(eps float64, opt *auction.Options) AuctionAlgorithm {
 	return func(inst *auction.Instance) (*auction.Allocation, error) {
-		return auction.BoundedMUCA(inst, eps, nil)
+		return auction.BoundedMUCA(inst, eps, opt)
 	}
 }
 

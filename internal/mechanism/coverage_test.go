@@ -52,7 +52,7 @@ func TestAuctionErrorPropagation(t *testing.T) {
 	if _, err := AuctionMisreportGain(failingAuctionAlg, inst, 0, rng(1), 3); err == nil {
 		t.Error("AuctionMisreportGain swallowed algorithm error")
 	}
-	if _, err := AuctionCriticalValue(BoundedMUCAAlg(0.5), inst, 5); err == nil {
+	if _, err := AuctionCriticalValue(BoundedMUCAAlg(0.5, nil), inst, 5); err == nil {
 		t.Error("out-of-range request accepted")
 	}
 }
@@ -142,7 +142,7 @@ func TestRunAuctionMechanismEndToEnd(t *testing.T) {
 			{Bundle: []int{0, 1}, Value: 0.9},
 		},
 	}
-	out, err := RunAuctionMechanism(BoundedMUCAAlg(0.5), inst)
+	out, err := RunAuctionMechanism(BoundedMUCAAlg(0.5, nil), inst)
 	if err != nil {
 		t.Fatal(err)
 	}

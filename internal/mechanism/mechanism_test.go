@@ -213,7 +213,7 @@ func TestAuctionCriticalValue(t *testing.T) {
 			{Bundle: []int{1}, Value: 2},
 		},
 	}
-	alg := BoundedMUCAAlg(0.5)
+	alg := BoundedMUCAAlg(0.5, nil)
 	a, err := alg(inst)
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestAuctionTruthfulness(t *testing.T) {
 		Items: 10, Requests: 14, B: 6, MultSpread: 0.5,
 		BundleMin: 1, BundleMax: 4, ValueMin: 0.5, ValueMax: 1.5,
 	}
-	alg := BoundedMUCAAlg(0.25)
+	alg := BoundedMUCAAlg(0.25, nil)
 	r := rng(9)
 	for seed := uint64(0); seed < 3; seed++ {
 		inst, err := auction.RandomInstance(rng(seed+80), cfg)
@@ -266,7 +266,7 @@ func TestAuctionCriticalValueRejectsUnselected(t *testing.T) {
 	// With eps=1: threshold e^{3} ≈ 20 > 1, ratio = 0.25/0.01 = 25 ->
 	// still selected (selection has no price test; it's the minimum).
 	// Force non-selection instead via an out-of-range index error path.
-	if _, err := AuctionCriticalValue(BoundedMUCAAlg(0.5), inst, 5); err == nil {
+	if _, err := AuctionCriticalValue(BoundedMUCAAlg(0.5, nil), inst, 5); err == nil {
 		t.Fatal("out-of-range request accepted")
 	}
 }

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"truthfulufp/internal/core"
+)
+
+// The built-in demand-model catalog. All models emit demands in (0,1]
+// and positive finite values, and honor single-sink topologies by
+// forcing every target to the sink.
+func init() {
+	RegisterDemand(DemandModel{
+		Name:        "gravity",
+		Description: "endpoints drawn proportionally to host attraction mass; value correlated with demand (willingness to pay scales with size)",
+		Generate:    generateGravity,
+	})
+	RegisterDemand(DemandModel{
+		Name:        "hotspot",
+		Description: "80% of traffic targets a small hotspot set (1/8 of hosts); uniform sources, demands and values",
+		Generate:    generateHotspot,
+	})
+	RegisterDemand(DemandModel{
+		Name:        "zipf",
+		Description: "uniform endpoints, request values Zipf(1.1)-distributed over ranks — a few whales, a long tail",
+		Generate:    generateZipf,
+	})
+	RegisterDemand(DemandModel{
+		Name:        "hose",
+		Description: "per-host egress/ingress budgets (the hose model); demands never exceed either endpoint's remaining budget",
+		Generate:    generateHose,
+	})
+}
+
+// uniformDemand draws a demand in [0.2, 1].
+func uniformDemand(rng *rand.Rand) float64 {
+	return 0.2 + 0.8*rng.Float64()
+}
+
+// weightedHost draws a host index proportionally to b.Weight, excluding
+// the host index `exclude` (-1 for none).
+func weightedHost(rng *rand.Rand, b *Built, exclude int) int {
+	total := 0.0
+	for i, w := range b.Weight {
+		if i == exclude {
+			continue
+		}
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range b.Weight {
+		if i == exclude {
+			continue
+		}
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	// Float underflow fallback: the last non-excluded host.
+	for i := len(b.Hosts) - 1; i >= 0; i-- {
+		if i != exclude {
+			return i
+		}
+	}
+	return 0
+}
+
+// endpoints draws a (source, target) pair: for single-sink topologies the
+// target is the sink and the source is drawn by pick; otherwise both are
+// drawn by pick with source != target.
+func endpoints(rng *rand.Rand, b *Built, pickSrc, pickDst func() int) (int, int) {
+	if b.Sink >= 0 {
+		for {
+			if s := b.Hosts[pickSrc()]; s != b.Sink {
+				return s, b.Sink
+			}
+		}
+	}
+	for {
+		si, ti := pickSrc(), pickDst()
+		if s, t := b.Hosts[si], b.Hosts[ti]; s != t {
+			return s, t
+		}
+	}
+}
+
+func generateGravity(rng *rand.Rand, b *Built, n int) []core.Request {
+	pick := func() int { return weightedHost(rng, b, -1) }
+	reqs := make([]core.Request, n)
+	for i := range reqs {
+		s, t := endpoints(rng, b, pick, pick)
+		d := uniformDemand(rng)
+		reqs[i] = core.Request{
+			Source: s, Target: t, Demand: d,
+			Value: d * (0.5 + 1.5*rng.Float64()),
+		}
+	}
+	return reqs
+}
+
+func generateHotspot(rng *rand.Rand, b *Built, n int) []core.Request {
+	h := len(b.Hosts) / 8
+	if h < 1 {
+		h = 1
+	}
+	// The first h positions of a permutation are the hotspot hosts.
+	perm := rng.Perm(len(b.Hosts))
+	hot := perm[:h]
+	src := func() int { return rng.IntN(len(b.Hosts)) }
+	dst := func() int {
+		if rng.Float64() < 0.8 {
+			return hot[rng.IntN(len(hot))]
+		}
+		return rng.IntN(len(b.Hosts))
+	}
+	reqs := make([]core.Request, n)
+	for i := range reqs {
+		s, t := endpoints(rng, b, src, dst)
+		reqs[i] = core.Request{
+			Source: s, Target: t,
+			Demand: uniformDemand(rng),
+			Value:  0.5 + 1.5*rng.Float64(),
+		}
+	}
+	return reqs
+}
+
+// zipfExponent shapes the zipf demand model's value distribution.
+const zipfExponent = 1.1
+
+func generateZipf(rng *rand.Rand, b *Built, n int) []core.Request {
+	// Inverse-CDF sampling of ranks 1..n with P(r) ∝ 1/r^s.
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), zipfExponent)
+		cum[r] = total
+	}
+	drawRank := func() int {
+		u := rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1
+	}
+	pick := func() int { return rng.IntN(len(b.Hosts)) }
+	const topValue = 10.0
+	reqs := make([]core.Request, n)
+	for i := range reqs {
+		s, t := endpoints(rng, b, pick, pick)
+		reqs[i] = core.Request{
+			Source: s, Target: t,
+			Demand: uniformDemand(rng),
+			Value:  topValue / math.Pow(float64(drawRank()), zipfExponent),
+		}
+	}
+	return reqs
+}
+
+// hoseMinDemand is the smallest demand the hose model emits; pairs whose
+// remaining budgets cannot support it are redrawn.
+const hoseMinDemand = 0.05
+
+func generateHose(rng *rand.Rand, b *Built, n int) []core.Request {
+	egress := make([]float64, len(b.Hosts))
+	ingress := make([]float64, len(b.Hosts))
+	sinkIdx := -1
+	for i := range b.Hosts {
+		egress[i] = 1 + 3*rng.Float64()
+		ingress[i] = 1 + 3*rng.Float64()
+		if b.Hosts[i] == b.Sink {
+			sinkIdx = i
+		}
+	}
+	if b.Sink >= 0 && sinkIdx >= 0 {
+		ingress[sinkIdx] = math.Inf(1)
+	}
+	hostIdx := make(map[int]int, len(b.Hosts))
+	for i, h := range b.Hosts {
+		hostIdx[h] = i
+	}
+	pick := func() int { return rng.IntN(len(b.Hosts)) }
+	var reqs []core.Request
+	for len(reqs) < n {
+		found := false
+		for tries := 0; tries < 20; tries++ {
+			s, t := endpoints(rng, b, pick, pick)
+			si := hostIdx[s]
+			ti, ok := hostIdx[t]
+			room := egress[si]
+			if ok {
+				room = math.Min(room, ingress[ti])
+			} else if b.Sink >= 0 {
+				room = egress[si] // sink outside the host set: unbounded ingress
+			}
+			room = math.Min(room, 1)
+			if room < hoseMinDemand {
+				continue
+			}
+			d := room * (0.3 + 0.7*rng.Float64())
+			egress[si] -= d
+			if ok {
+				ingress[ti] -= d
+			}
+			reqs = append(reqs, core.Request{
+				Source: s, Target: t, Demand: d,
+				Value: d * (0.5 + 1.5*rng.Float64()),
+			})
+			found = true
+			break
+		}
+		if !found {
+			break // budgets exhausted: a shorter, still-valid request set
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,175 @@
+package scenario_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/scenario"
+)
+
+// TestCatalogBreadth pins the acceptance floor: at least 6 topologies
+// and 3 demand models registered.
+func TestCatalogBreadth(t *testing.T) {
+	if n := len(scenario.Topologies()); n < 6 {
+		t.Fatalf("catalog has %d topologies, want >= 6", n)
+	}
+	if n := len(scenario.Demands()); n < 3 {
+		t.Fatalf("catalog has %d demand models, want >= 3", n)
+	}
+}
+
+// TestEveryPairGeneratesValidInstances crosses the full catalog: every
+// topology × demand model must produce a valid normalized instance whose
+// minimum capacity matches the configured regime, and Bounded-UFP must
+// route something on it.
+func TestEveryPairGeneratesValidInstances(t *testing.T) {
+	for _, topo := range scenario.Topologies() {
+		for _, dm := range scenario.Demands() {
+			t.Run(topo.Name+"/"+dm.Name, func(t *testing.T) {
+				cfg := scenario.Config{Topology: topo.Name, Demand: dm.Name, Seed: 11}
+				inst, err := scenario.Generate(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := inst.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				want, err := scenario.TargetB(cfg, inst.G.NumEdges())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := inst.B(); math.Abs(got-want) > 1e-9*want {
+					t.Fatalf("B = %g, want regime target %g", got, want)
+				}
+				if len(inst.Requests) == 0 {
+					t.Fatal("no requests generated")
+				}
+				alloc, err := core.SolveUFP(inst, 0.5, &core.Options{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := alloc.CheckFeasible(inst, false); err != nil {
+					t.Fatal(err)
+				}
+				if len(alloc.Routed) == 0 {
+					t.Fatal("Bounded-UFP routed nothing on a large-capacity scenario")
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminism: same (topology, demand, params, seed) ⇒ structurally
+// identical instances; a different seed must change something.
+func TestDeterminism(t *testing.T) {
+	for _, topo := range scenario.Topologies() {
+		cfg := scenario.Config{Topology: topo.Name, Demand: "gravity", Seed: 7}
+		a, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Requests, b.Requests) || !reflect.DeepEqual(a.G.Edges(), b.G.Edges()) {
+			t.Fatalf("%s: same seed produced different instances", topo.Name)
+		}
+		cfg.Seed = 8
+		c, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Requests, c.Requests) && reflect.DeepEqual(a.G.Edges(), c.G.Edges()) {
+			t.Fatalf("%s: seeds 7 and 8 produced identical instances", topo.Name)
+		}
+	}
+}
+
+// TestSingleSink: the startrees family is single-sink — every request
+// targets the sink and is routable (tree paths are unique).
+func TestSingleSink(t *testing.T) {
+	for _, dm := range scenario.Demands() {
+		inst, err := scenario.Generate(scenario.Config{Topology: "startrees", Demand: dm.Name, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", dm.Name, err)
+		}
+		for i, r := range inst.Requests {
+			if r.Target != 0 {
+				t.Fatalf("%s: request %d targets %d, want sink 0", dm.Name, i, r.Target)
+			}
+		}
+	}
+}
+
+// TestCapacityRegimes: the fixed regime pins B exactly, and a sub-log
+// BFactor lands B strictly below ln(m)/ε² (the knob that violates the
+// paper's assumption on purpose).
+func TestCapacityRegimes(t *testing.T) {
+	fixed := scenario.Config{Topology: "fattree", Seed: 1, BMode: scenario.BModeFixed, BValue: 42}
+	inst, err := scenario.Generate(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := inst.B(); math.Abs(b-42) > 1e-9*42 {
+		t.Fatalf("fixed regime B = %g, want 42", b)
+	}
+
+	sub := scenario.Config{Topology: "fattree", Seed: 1, BFactor: 0.3, Eps: 0.25}
+	inst, err = scenario.Generate(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBound := math.Log(float64(inst.G.NumEdges())) / (0.25 * 0.25)
+	if b := inst.B(); b >= logBound {
+		t.Fatalf("sub-log regime B = %g, want < ln(m)/ε² = %g", b, logBound)
+	}
+	if b := inst.B(); b < 1 {
+		t.Fatalf("regime floor violated: B = %g < 1", b)
+	}
+}
+
+// TestGenerateAuction: the path-bundle reduction yields a valid auction
+// with multiplicities equal to edge capacities and one bid per routable
+// request.
+func TestGenerateAuction(t *testing.T) {
+	cfg := scenario.Config{Topology: "metroring", Demand: "zipf", Seed: 5}
+	ufp, err := scenario.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := scenario.GenerateAuction(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if auc.NumItems() != ufp.G.NumEdges() {
+		t.Fatalf("items %d != edges %d", auc.NumItems(), ufp.G.NumEdges())
+	}
+	if len(auc.Requests) == 0 || len(auc.Requests) > len(ufp.Requests) {
+		t.Fatalf("auction has %d requests for %d UFP requests", len(auc.Requests), len(ufp.Requests))
+	}
+	if auc.B() != ufp.B() {
+		t.Fatalf("auction B %g != UFP B %g", auc.B(), ufp.B())
+	}
+}
+
+// TestUnknownNamesError: lookups fail loudly with the catalog inline.
+func TestUnknownNamesError(t *testing.T) {
+	if _, err := scenario.Generate(scenario.Config{Topology: "nope", Seed: 1}); err == nil {
+		t.Fatal("unknown topology did not error")
+	}
+	if _, err := scenario.Generate(scenario.Config{Topology: "fattree", Demand: "nope", Seed: 1}); err == nil {
+		t.Fatal("unknown demand model did not error")
+	}
+	if _, err := scenario.Generate(scenario.Config{Topology: "fattree", Seed: 1, BMode: "nope"}); err == nil {
+		t.Fatal("unknown capacity regime did not error")
+	}
+	if _, err := scenario.Generate(scenario.Config{Topology: "fattree", Size: 3, Seed: 1}); err == nil {
+		t.Fatal("odd fat-tree size did not error")
+	}
+}

@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"truthfulufp/internal/graph"
+)
+
+// The built-in topology catalog. Each family is registered under a short
+// name; capacities are relative weights that the capacity regime rescales
+// so min capacity hits the configured B.
+func init() {
+	RegisterTopology(Topology{
+		Name:        "fattree",
+		Description: "k-ary fat-tree/Clos datacenter fabric; size = pods k (even), hosts = edge switches, core links twice as fat as edge links",
+		DefaultSize: 4,
+		Build:       buildFatTree,
+	})
+	RegisterTopology(Topology{
+		Name:        "waxman",
+		Description: "Waxman geographic ISP backbone: nodes in the unit square, link probability α·exp(-d/βL) over a random spanning tree; size = nodes",
+		DefaultSize: 24,
+		Build:       buildWaxman,
+	})
+	RegisterTopology(Topology{
+		Name:        "scalefree",
+		Description: "Barabási–Albert preferential attachment; size = nodes, hub links fattened by sqrt(deg·deg), traffic mass follows degree",
+		DefaultSize: 30,
+		Build:       buildScaleFree,
+	})
+	RegisterTopology(Topology{
+		Name:        "smallworld",
+		Description: "Watts–Strogatz small world: ring lattice (4 neighbors) with 10% rewiring; size = nodes",
+		DefaultSize: 24,
+		Build:       buildSmallWorld,
+	})
+	RegisterTopology(Topology{
+		Name:        "metroring",
+		Description: "metro ring-of-rings: a fat core ring whose anchors each close a thin access ring; size = metro rings, hosts = access nodes",
+		DefaultSize: 6,
+		Build:       buildMetroRing,
+	})
+	RegisterTopology(Topology{
+		Name:        "startrees",
+		Description: "single-sink star-of-trees (Shepherd–Vetta single-sink structure): random trees feeding one sink, edge capacity = subtree size; size = trees",
+		DefaultSize: 5,
+		Build:       buildStarTrees,
+	})
+}
+
+// uniformWeights returns an all-ones attraction mass.
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// lognormalWeights draws per-host "populations" with a heavy right tail,
+// the classic shape behind gravity traffic matrices.
+func lognormalWeights(rng *rand.Rand, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Exp(0.5 * rng.NormFloat64())
+	}
+	return w
+}
+
+// buildFatTree builds the canonical k-ary fat-tree: (k/2)² core switches,
+// k pods of k/2 aggregation and k/2 edge switches. Edge switches stand in
+// for their server racks and are the hosts. Edge→aggregation links have
+// relative capacity 1 and aggregation→core links 2 (a 2:1 step-up, so
+// the core is fatter but contended under all-to-all gravity traffic).
+func buildFatTree(rng *rand.Rand, k int) (*Built, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("fat-tree size (pods k) must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	numCore := half * half
+	g := graph.NewUndirected(numCore + k*k)
+	core := func(i, j int) int { return i*half + j }
+	agg := func(pod, a int) int { return numCore + pod*k + a }
+	edge := func(pod, e int) int { return numCore + pod*k + half + e }
+	var hosts []int
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				g.AddEdge(agg(pod, a), core(a, j), 2)
+			}
+			for e := 0; e < half; e++ {
+				g.AddEdge(agg(pod, a), edge(pod, e), 1)
+			}
+		}
+		for e := 0; e < half; e++ {
+			hosts = append(hosts, edge(pod, e))
+		}
+	}
+	return &Built{G: g, Hosts: hosts, Weight: uniformWeights(len(hosts)), Sink: -1}, nil
+}
+
+// buildWaxman scatters n nodes uniformly in the unit square, guarantees
+// connectivity with a random spanning tree, then adds each remaining
+// pair (u, v) with the Waxman probability α·exp(-d(u,v)/(β·L)), L = √2.
+func buildWaxman(rng *rand.Rand, n int) (*Built, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("waxman needs >= 2 nodes, got %d", n)
+	}
+	const alpha, beta = 0.6, 0.25
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	g := graph.NewUndirected(n)
+	have := make(map[[2]int]bool)
+	addEdge := func(u, v int, c float64) {
+		if u > v {
+			u, v = v, u
+		}
+		if have[[2]int{u, v}] {
+			return
+		}
+		have[[2]int{u, v}] = true
+		g.AddEdge(u, v, c)
+	}
+	// Random spanning tree first so every backbone is connected.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[rng.IntN(i)], perm[i], 2)
+	}
+	scale := beta * math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+			if rng.Float64() < alpha*math.Exp(-d/scale) {
+				addEdge(u, v, 1)
+			}
+		}
+	}
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	return &Built{G: g, Hosts: hosts, Weight: lognormalWeights(rng, n), Sink: -1}, nil
+}
+
+// buildScaleFree grows a Barabási–Albert graph: a seed triangle, then
+// each new node attaches to 2 distinct existing nodes chosen
+// proportionally to degree. Link capacity is sqrt(deg(u)·deg(v)), so
+// hub–hub links are fat, and traffic mass follows degree.
+func buildScaleFree(rng *rand.Rand, n int) (*Built, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("scalefree needs >= 3 nodes, got %d", n)
+	}
+	type pair struct{ u, v int }
+	var links []pair
+	// ends lists every edge endpoint, so a uniform draw is
+	// degree-proportional.
+	var ends []int
+	addLink := func(u, v int) {
+		links = append(links, pair{u, v})
+		ends = append(ends, u, v)
+	}
+	addLink(0, 1)
+	addLink(1, 2)
+	addLink(0, 2)
+	for v := 3; v < n; v++ {
+		first := ends[rng.IntN(len(ends))]
+		second := first
+		for second == first {
+			second = ends[rng.IntN(len(ends))]
+		}
+		addLink(v, first)
+		addLink(v, second)
+	}
+	deg := make([]float64, n)
+	for _, l := range links {
+		deg[l.u]++
+		deg[l.v]++
+	}
+	g := graph.NewUndirected(n)
+	for _, l := range links {
+		g.AddEdge(l.u, l.v, math.Sqrt(deg[l.u]*deg[l.v]))
+	}
+	hosts := make([]int, n)
+	w := make([]float64, n)
+	for i := range hosts {
+		hosts[i] = i
+		w[i] = deg[i]
+	}
+	return &Built{G: g, Hosts: hosts, Weight: w, Sink: -1}, nil
+}
+
+// buildSmallWorld builds a Watts–Strogatz graph: a ring lattice where
+// each node links to its 2 nearest neighbors per side, then each link's
+// far endpoint is rewired with probability 0.1.
+func buildSmallWorld(rng *rand.Rand, n int) (*Built, error) {
+	if n < 5 {
+		return nil, fmt.Errorf("smallworld needs >= 5 nodes, got %d", n)
+	}
+	const rewire = 0.1
+	have := make(map[[2]int]bool)
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	type pair struct{ u, v int }
+	var links []pair
+	for i := 0; i < n; i++ {
+		for _, off := range []int{1, 2} {
+			u, v := i, (i+off)%n
+			if rng.Float64() < rewire {
+				// Rewire the far endpoint to a uniform non-neighbor.
+				for tries := 0; tries < 2*n; tries++ {
+					w := rng.IntN(n)
+					if w != u && !have[key(u, w)] {
+						v = w
+						break
+					}
+				}
+			}
+			if have[key(u, v)] {
+				continue
+			}
+			have[key(u, v)] = true
+			links = append(links, pair{u, v})
+		}
+	}
+	g := graph.NewUndirected(n)
+	for _, l := range links {
+		g.AddEdge(l.u, l.v, 1)
+	}
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	return &Built{G: g, Hosts: hosts, Weight: lognormalWeights(rng, n), Sink: -1}, nil
+}
+
+// metroSize is the number of access nodes per metro ring (the anchor
+// closes the ring, so each ring has metroSize+1 vertices on it).
+const metroSize = 4
+
+// buildMetroRing builds a telecom metro topology: r anchors on a fat
+// core ring (relative capacity 4), each closing a thin access ring of
+// metroSize nodes (capacity 1). Hosts are the access nodes, so every
+// flow crosses its metro ring and usually the core.
+func buildMetroRing(rng *rand.Rand, r int) (*Built, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("metroring needs >= 2 rings, got %d", r)
+	}
+	g := graph.NewUndirected(r + r*metroSize)
+	anchor := func(i int) int { return i }
+	access := func(i, j int) int { return r + i*metroSize + j }
+	for i := 0; i < r; i++ {
+		g.AddEdge(anchor(i), anchor((i+1)%r), 4)
+	}
+	var hosts []int
+	for i := 0; i < r; i++ {
+		prev := anchor(i)
+		for j := 0; j < metroSize; j++ {
+			g.AddEdge(prev, access(i, j), 1)
+			prev = access(i, j)
+			hosts = append(hosts, prev)
+		}
+		g.AddEdge(prev, anchor(i), 1) // close the metro ring
+	}
+	return &Built{G: g, Hosts: hosts, Weight: uniformWeights(len(hosts)), Sink: -1}, nil
+}
+
+// starTreeNodes is the number of vertices per tree in startrees.
+const starTreeNodes = 6
+
+// buildStarTrees builds the single-sink family: t random in-trees whose
+// roots feed vertex 0 (the sink) over directed edges. The edge from v
+// toward the sink carries v's whole subtree, so its relative capacity is
+// the subtree size — uniformly tight aggregation, the hard single-sink
+// shape of Shepherd–Vetta. Every request targets the sink along its
+// unique path.
+func buildStarTrees(rng *rand.Rand, t int) (*Built, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("startrees needs >= 1 tree, got %d", t)
+	}
+	g := graph.New(1 + t*starTreeNodes)
+	var hosts []int
+	for tree := 0; tree < t; tree++ {
+		base := 1 + tree*starTreeNodes
+		parent := make([]int, starTreeNodes)
+		parent[0] = 0 // root attaches to the sink
+		for i := 1; i < starTreeNodes; i++ {
+			parent[i] = base + rng.IntN(i)
+		}
+		subtree := make([]int, starTreeNodes)
+		for i := starTreeNodes - 1; i >= 0; i-- {
+			subtree[i]++
+			if i > 0 {
+				subtree[parent[i]-base] += subtree[i]
+			}
+		}
+		for i := 0; i < starTreeNodes; i++ {
+			g.AddEdge(base+i, parent[i], float64(subtree[i]))
+			hosts = append(hosts, base+i)
+		}
+	}
+	return &Built{G: g, Hosts: hosts, Weight: uniformWeights(len(hosts)), Sink: 0}, nil
+}

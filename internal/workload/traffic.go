@@ -57,8 +57,14 @@ type TrafficConfig struct {
 	// DupFraction in [0,1) is the fraction of jobs that repeat an earlier
 	// instance verbatim — the knob that exercises a result cache.
 	DupFraction float64
-	// Instance parameterizes the random UFP instances underlying the jobs.
+	// Instance parameterizes the random UFP instances underlying the jobs
+	// (ignored when Source is set).
 	Instance UFPConfig
+	// Source, if non-nil, overrides Instance as the fresh-instance
+	// generator: each non-duplicate job draws Source(rng). This is how
+	// ufpbench -load -scenario streams catalog scenarios (see
+	// internal/scenario) instead of uniform random instances.
+	Source func(rng *rand.Rand) (*core.Instance, error)
 }
 
 func (c TrafficConfig) validate() error {
@@ -85,13 +91,17 @@ func UFPStream(rng *rand.Rand, c TrafficConfig) ([]*core.Instance, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	source := c.Source
+	if source == nil {
+		source = func(rng *rand.Rand) (*core.Instance, error) { return RandomUFP(rng, c.Instance) }
+	}
 	out := make([]*core.Instance, c.Jobs)
 	for i := range out {
 		if i > 0 && rng.Float64() < c.DupFraction {
 			out[i] = out[rng.IntN(i)]
 			continue
 		}
-		inst, err := RandomUFP(rng, c.Instance)
+		inst, err := source(rng)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package truthfulufp
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -9,6 +10,28 @@ import (
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
 )
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// garbage, so schema typos (e.g. "capcity") fail loudly instead of
+// silently zeroing a field.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON document")
+	}
+	return nil
+}
+
+// finite reports whether v is a usable number (not NaN or ±Inf); JSON
+// cannot encode non-finite floats directly, but decoding must still
+// guard against values smuggled through as large exponents.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
 
 // instanceJSON is the on-disk schema for UFP instances, consumed by
 // cmd/ufprun and producible by any tool.
@@ -47,13 +70,19 @@ func MarshalInstance(inst *Instance) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
-// UnmarshalInstance decodes a UFP instance from JSON and validates it.
-// The instance is expected in normalized form (demands in (0,1]); use
-// Instance.Normalized after decoding otherwise.
+// UnmarshalInstance decodes a UFP instance from JSON with strict
+// validation: unknown fields, out-of-range endpoints, and non-positive
+// or non-finite numbers are rejected. The decoded instance is
+// structurally well-formed but not necessarily normalized (demands in
+// (0,1]) — run Instance.Validate before solving, or Instance.Normalized
+// first if demands exceed 1.
 func UnmarshalInstance(data []byte) (*Instance, error) {
 	var in instanceJSON
-	if err := json.Unmarshal(data, &in); err != nil {
+	if err := decodeStrict(data, &in); err != nil {
 		return nil, fmt.Errorf("truthfulufp: decoding instance: %w", err)
+	}
+	if in.Vertices < 0 {
+		return nil, fmt.Errorf("truthfulufp: negative vertex count %d", in.Vertices)
 	}
 	var g *Graph
 	if in.Directed {
@@ -63,12 +92,24 @@ func UnmarshalInstance(data []byte) (*Instance, error) {
 	}
 	for i, e := range in.Edges {
 		if e.From < 0 || e.From >= in.Vertices || e.To < 0 || e.To >= in.Vertices {
-			return nil, fmt.Errorf("truthfulufp: edge %d endpoints out of range", i)
+			return nil, fmt.Errorf("truthfulufp: edge %d endpoints (%d,%d) out of range [0,%d)", i, e.From, e.To, in.Vertices)
+		}
+		if !(e.Capacity > 0) || !finite(e.Capacity) {
+			return nil, fmt.Errorf("truthfulufp: edge %d capacity %g not positive finite", i, e.Capacity)
 		}
 		g.AddEdge(e.From, e.To, e.Capacity)
 	}
 	inst := &Instance{G: g}
-	for _, r := range in.Requests {
+	for i, r := range in.Requests {
+		if r.Source < 0 || r.Source >= in.Vertices || r.Target < 0 || r.Target >= in.Vertices {
+			return nil, fmt.Errorf("truthfulufp: request %d endpoints (%d,%d) out of range [0,%d)", i, r.Source, r.Target, in.Vertices)
+		}
+		if !(r.Demand > 0) || !finite(r.Demand) {
+			return nil, fmt.Errorf("truthfulufp: request %d demand %g not positive finite", i, r.Demand)
+		}
+		if !(r.Value > 0) || !finite(r.Value) {
+			return nil, fmt.Errorf("truthfulufp: request %d value %g not positive finite", i, r.Value)
+		}
 		inst.Requests = append(inst.Requests, Request{
 			Source: r.Source, Target: r.Target, Demand: r.Demand, Value: r.Value,
 		})
@@ -336,14 +377,30 @@ func MarshalAuction(inst *AuctionInstance) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
-// UnmarshalAuction decodes an auction instance from JSON.
+// UnmarshalAuction decodes an auction instance from JSON with strict
+// validation: unknown fields, out-of-range bundle items, and
+// non-positive or non-finite numbers are rejected. Model-level checks
+// (B >= 1, duplicate-free bundles) remain with Instance.Validate.
 func UnmarshalAuction(data []byte) (*AuctionInstance, error) {
 	var in auctionJSON
-	if err := json.Unmarshal(data, &in); err != nil {
+	if err := decodeStrict(data, &in); err != nil {
 		return nil, fmt.Errorf("truthfulufp: decoding auction: %w", err)
 	}
+	for u, c := range in.Multiplicity {
+		if !(c > 0) || !finite(c) {
+			return nil, fmt.Errorf("truthfulufp: item %d multiplicity %g not positive finite", u, c)
+		}
+	}
 	inst := &AuctionInstance{Multiplicity: in.Multiplicity}
-	for _, r := range in.Requests {
+	for i, r := range in.Requests {
+		for _, u := range r.Bundle {
+			if u < 0 || u >= len(in.Multiplicity) {
+				return nil, fmt.Errorf("truthfulufp: request %d references item %d out of range [0,%d)", i, u, len(in.Multiplicity))
+			}
+		}
+		if !(r.Value > 0) || !finite(r.Value) {
+			return nil, fmt.Errorf("truthfulufp: request %d value %g not positive finite", i, r.Value)
+		}
 		inst.Requests = append(inst.Requests, AuctionRequest{Bundle: r.Bundle, Value: r.Value})
 	}
 	return inst, nil

@@ -9,6 +9,8 @@ import (
 
 	"truthfulufp"
 	"truthfulufp/internal/auction"
+	"truthfulufp/internal/engine"
+	"truthfulufp/internal/scenario"
 	"truthfulufp/internal/workload"
 )
 
@@ -150,7 +152,7 @@ func TestAuctionJSONRoundTripRandom(t *testing.T) {
 		t.Fatal("auction instance round trip changed the instance")
 	}
 
-	a, err := truthfulufp.SolveMUCA(inst, 0.25)
+	a, err := truthfulufp.SolveMUCA(inst, 0.25, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,5 +214,95 @@ func TestAllocationJSONBadStop(t *testing.T) {
 	}
 	if _, err := truthfulufp.UnmarshalAuctionAllocation([]byte(`{"stop":"bogus"}`)); err == nil {
 		t.Error("unknown auction stop reason accepted")
+	}
+}
+
+// TestRoundTripPreservesEngineKey: decode(encode(inst)) must fingerprint
+// identically to inst for the engine's coalescing/cache key, for both
+// problem shapes and across the scenario catalog — serialization must
+// never split or merge cache entries.
+func TestRoundTripPreservesEngineKey(t *testing.T) {
+	var instances []*truthfulufp.Instance
+	for _, topo := range scenario.Topologies() {
+		inst, err := scenario.Generate(scenario.Config{Topology: topo.Name, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, inst)
+	}
+	cfg := workload.DefaultUFPConfig()
+	rnd, err := workload.RandomUFP(workload.NewRNG(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances = append(instances, rnd)
+	for i, inst := range instances {
+		data, err := truthfulufp.MarshalInstance(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := truthfulufp.UnmarshalInstance(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := engine.Job{Kind: engine.JobBoundedUFP, Eps: 0.25, UFP: inst}
+		b := engine.Job{Kind: engine.JobBoundedUFP, Eps: 0.25, UFP: got}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("instance %d: JSON round trip changed the engine cache key", i)
+		}
+	}
+
+	auc, err := scenario.GenerateAuction(scenario.Config{Topology: "fattree", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := truthfulufp.MarshalAuction(auc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := truthfulufp.UnmarshalAuction(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := engine.Job{Kind: engine.JobSolveMUCA, Eps: 0.25, Auction: auc}
+	b := engine.Job{Kind: engine.JobSolveMUCA, Eps: 0.25, Auction: got}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("auction JSON round trip changed the engine cache key")
+	}
+}
+
+// TestUnmarshalInstanceStrict: unknown fields, bad ranges, and
+// non-positive numbers are rejected at decode time.
+func TestUnmarshalInstanceStrict(t *testing.T) {
+	bad := []struct{ name, doc string }{
+		{"unknown field", `{"directed":true,"vertices":2,"capcity":1}`},
+		{"edge out of range", `{"directed":true,"vertices":2,"edges":[{"from":0,"to":9,"capacity":1}]}`},
+		{"zero capacity", `{"directed":true,"vertices":2,"edges":[{"from":0,"to":1,"capacity":0}]}`},
+		{"request out of range", `{"directed":true,"vertices":2,"requests":[{"source":0,"target":7,"demand":1,"value":1}]}`},
+		{"negative demand", `{"directed":true,"vertices":2,"requests":[{"source":0,"target":1,"demand":-1,"value":1}]}`},
+		{"zero value", `{"directed":true,"vertices":2,"requests":[{"source":0,"target":1,"demand":1,"value":0}]}`},
+		{"negative vertices", `{"directed":true,"vertices":-1}`},
+		{"trailing garbage", `{"directed":true,"vertices":2}{"x":1}`},
+	}
+	for _, tc := range bad {
+		if _, err := truthfulufp.UnmarshalInstance([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestUnmarshalAuctionStrict mirrors the instance strictness for the
+// auction schema.
+func TestUnmarshalAuctionStrict(t *testing.T) {
+	bad := []struct{ name, doc string }{
+		{"unknown field", `{"multiplicity":[2],"extra":1}`},
+		{"item out of range", `{"multiplicity":[2],"requests":[{"bundle":[3],"value":1}]}`},
+		{"zero multiplicity", `{"multiplicity":[0],"requests":[]}`},
+		{"zero value", `{"multiplicity":[2],"requests":[{"bundle":[0],"value":0}]}`},
+	}
+	for _, tc := range bad {
+		if _, err := truthfulufp.UnmarshalAuction([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }
