@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench serve fmt vet ci smoke
+.PHONY: all build test bench bench-json serve fmt vet ci smoke
 
 all: build
 
@@ -13,11 +13,19 @@ build:
 test:
 	$(GO) test -race ./...
 
-# Execute every benchmark's code path once (the CI smoke step). For real
-# measurements use e.g.:
+# Execute every benchmark's code path once (the CI smoke step; -short
+# shrinks the waxman-1k path-engine instances). For real measurements
+# use e.g.:
 #   go test -bench=BenchmarkEngineThroughput -benchtime=2s -run='^$$' .
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
+
+# Measure the path-engine suite and snapshot it as BENCH_path.json
+# (benchmark name -> ns/op, allocs/op, plus the incremental-vs-full
+# speedup). CI runs `make bench-json BENCHJSON_FLAGS=-quick` as a smoke
+# step; commit full-size snapshots to track the perf trajectory.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_path.json $(BENCHJSON_FLAGS)
 
 serve:
 	$(GO) run ./cmd/ufpserve

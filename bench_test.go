@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"truthfulufp/internal/auction"
+	"truthfulufp/internal/bench"
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
@@ -197,6 +198,30 @@ func BenchmarkEngineCacheHit(b *testing.B) {
 			b.Fatal("expected a cache hit")
 		}
 	}
+}
+
+// BenchmarkDijkstraCSR compares one pooled-scratch Dijkstra on the
+// frozen CSR fast path against the adjacency-walk fallback (waxman
+// backbone; shared with cmd/benchjson via internal/bench). testing.Short
+// shrinks the instance, which is how CI's -benchtime=1x smoke avoids
+// the full waxman-1k build.
+func BenchmarkDijkstraCSR(b *testing.B) {
+	bench.Group(b, "DijkstraCSR", testing.Short())
+}
+
+// BenchmarkIncrementalSolve is the refactor's headline measurement:
+// Bounded-UFP on the waxman-1k scenario with the dirty-source tree
+// cache off (full-recompute) and on (incremental); allocations are
+// identical, the ns/op ratio is the speedup (target ≥3×, see
+// BENCH_path.json).
+func BenchmarkIncrementalSolve(b *testing.B) {
+	bench.Group(b, "IncrementalSolve", testing.Short())
+}
+
+// BenchmarkScenarioCatalogSolve sweeps SolveUFP over every topology
+// family at default size.
+func BenchmarkScenarioCatalogSolve(b *testing.B) {
+	bench.Group(b, "ScenarioCatalog", testing.Short())
 }
 
 // BenchmarkDijkstra measures the shortest-path oracle in isolation.

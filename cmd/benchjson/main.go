@@ -1,0 +1,52 @@
+// Command benchjson measures the path-engine benchmark suite
+// (internal/bench) with the standard testing harness and writes the
+// snapshot consumed by `make bench-json`:
+//
+//	benchjson [-out BENCH_path.json] [-quick]
+//
+// The snapshot maps benchmark name → {ns/op, allocs/op} and records the
+// headline incremental-vs-full-recompute speedup on the waxman-1k
+// scenario. -quick shrinks the instances for CI smoke runs (the
+// committed BENCH_path.json is a full-size run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"truthfulufp/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_path.json", "output path, - for stdout")
+	quick := fs.Bool("quick", false, "shrink instances for a fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap := bench.Run(bench.PathCases(*quick), *quick)
+	for name, e := range snap.Benchmarks {
+		fmt.Fprintf(os.Stderr, "%-36s %14.0f ns/op %8d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "incremental speedup: %.2fx\n", snap.IncrementalSpeedup)
+	if *out == "-" {
+		return bench.WriteJSON(os.Stdout, snap)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteJSON(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -14,6 +14,7 @@
 //	ufpbench -load [-shape closed|open] [-jobs 200] [-concurrency 16]
 //	         [-rate 200] [-dup 0.3] [-kind ufp/bounded] [-eps 0.25]
 //	         [-workers 0] [-seed 1] [-scenario fattree] [-demand gravity]
+//	         [-corpus dir]
 //
 // Closed-loop traffic keeps -concurrency jobs in flight (peak
 // throughput); open-loop traffic is a Poisson stream at -rate jobs/sec
@@ -21,7 +22,9 @@
 // exercises the engine's result cache. In load mode -workers sets the
 // engine's inter-job worker count. With -scenario the stream draws
 // instances from the scenario catalog (see ufpgen -list) instead of
-// uniform random graphs.
+// uniform random graphs; with -corpus it replays the instance files of
+// a ufpgen -corpus directory round-robin (in sorted filename order), so
+// a recorded corpus doubles as a reproducible load-test fixture.
 //
 // In experiment mode -scenario restricts the S1 catalog sweep to one
 // topology family.
@@ -35,10 +38,12 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"truthfulufp"
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
@@ -68,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		load        = fs.Bool("load", false, "run the engine load generator instead of experiments")
 		scen        = fs.String("scenario", "", "scenario topology: load-mode instance source / S1 experiment filter (see ufpgen -list)")
 		demand      = fs.String("demand", "", "load: scenario demand model (with -scenario; default gravity)")
+		corpus      = fs.String("corpus", "", "load: replay instances from this ufpgen -corpus directory instead of generating")
 		shape       = fs.String("shape", "closed", "load traffic shape: closed|open")
 		jobs        = fs.Int("jobs", 200, "load: total jobs to submit")
 		concurrency = fs.Int("concurrency", 16, "load: closed-loop jobs in flight")
@@ -84,11 +90,14 @@ func run(args []string, out io.Writer) error {
 		return runLoad(out, loadConfig{
 			shape: *shape, jobs: *jobs, concurrency: *concurrency, rate: *rate,
 			dup: *dup, kind: engine.Kind(*kind), eps: *eps, seed: *seed,
-			workers: *workers, scenario: *scen, demand: *demand,
+			workers: *workers, scenario: *scen, demand: *demand, corpus: *corpus,
 		})
 	}
 	if *demand != "" {
 		return fmt.Errorf("-demand only applies with -load -scenario")
+	}
+	if *corpus != "" {
+		return fmt.Errorf("-corpus only applies with -load")
 	}
 	runners := experiments.All()
 	if *list {
@@ -139,6 +148,7 @@ type loadConfig struct {
 	workers     int
 	scenario    string // catalog topology ("" = uniform random instances)
 	demand      string // catalog demand model (with scenario)
+	corpus      string // directory of instance files to replay ("" = generate)
 }
 
 // runLoad drives an in-process engine with a synthetic job stream and
@@ -156,7 +166,20 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 		Rate: cfg.rate, DupFraction: cfg.dup,
 		Instance: workload.DefaultUFPConfig(),
 	}
-	if cfg.scenario != "" {
+	switch {
+	case cfg.corpus != "":
+		if cfg.scenario != "" || cfg.demand != "" {
+			return fmt.Errorf("load: -corpus replays recorded instances; it excludes -scenario/-demand")
+		}
+		instances, err := loadCorpus(cfg.corpus)
+		if err != nil {
+			return err
+		}
+		tc.Source, err = workload.ReplaySource(instances)
+		if err != nil {
+			return err
+		}
+	case cfg.scenario != "":
 		// Each fresh job is the scenario at a stream-drawn seed, so the
 		// whole stream stays deterministic in -seed.
 		tc.Source = func(rng *rand.Rand) (*core.Instance, error) {
@@ -164,7 +187,7 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 				Topology: cfg.scenario, Demand: cfg.demand, Seed: rng.Uint64(),
 			})
 		}
-	} else if cfg.demand != "" {
+	case cfg.demand != "":
 		return fmt.Errorf("load: -demand requires -scenario")
 	}
 	rng := workload.NewRNG(cfg.seed)
@@ -219,7 +242,10 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	lat.AddAll(latencies)
 	snap := e.Snapshot()
 	source := "random"
-	if cfg.scenario != "" {
+	switch {
+	case cfg.corpus != "":
+		source = "corpus " + cfg.corpus
+	case cfg.scenario != "":
 		source = "scenario " + cfg.scenario
 		if cfg.demand != "" {
 			source += "/" + cfg.demand
@@ -236,6 +262,43 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	fmt.Fprintf(out, "  executions       %d (cache hits %d, coalesced %d)\n",
 		snap.Completed, snap.CacheHits, snap.Coalesced)
 	return nil
+}
+
+// loadCorpus reads every instance file of a ufpgen -corpus directory
+// (the *.json files; manifest.txt is skipped) in sorted filename order,
+// so replay order is stable across runs and machines. Graphs are frozen
+// on load: the solve path never pays the CSR build.
+func loadCorpus(dir string) ([]*core.Instance, error) {
+	// os.ReadDir rather than filepath.Glob: a corpus path containing
+	// glob metacharacters ("runs[1]") must not be treated as a pattern.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	instances := make([]*core.Instance, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		inst, err := truthfulufp.UnmarshalInstance(data)
+		if err != nil {
+			return nil, fmt.Errorf("load: corpus file %s: %w", name, err)
+		}
+		inst.G.Freeze()
+		instances = append(instances, inst)
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("load: corpus directory %s has no *.json instances", dir)
+	}
+	return instances, nil
 }
 
 // writeCSVs dumps every table of the report as <dir>/<id>_<table>.csv.

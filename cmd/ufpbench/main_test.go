@@ -1,10 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"truthfulufp"
+	"truthfulufp/internal/scenario"
 )
 
 func TestList(t *testing.T) {
@@ -135,6 +139,51 @@ func TestLoadScenarioSource(t *testing.T) {
 	}
 	if err := run([]string{"-load", "-jobs", "4", "-demand", "zipf"}, &b); err == nil {
 		t.Error("-demand without -scenario accepted in load mode")
+	}
+}
+
+// TestLoadCorpusReplay: -load -corpus streams recorded instance files
+// through the engine instead of generating in-process.
+func TestLoadCorpusReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Record a tiny corpus with ufpgen's generator (same JSON schema).
+	for i, cfg := range []scenario.Config{
+		{Topology: "metroring", Demand: "zipf", Seed: 1},
+		{Topology: "startrees", Seed: 2},
+	} {
+		inst, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := truthfulufp.MarshalInstance(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("c%d.json", i)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A manifest must be skipped, not decoded.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	args := []string{"-load", "-jobs", "10", "-concurrency", "4", "-workers", "2", "-corpus", dir}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "corpus "+dir) {
+		t.Fatalf("load output missing corpus source:\n%s", b.String())
+	}
+
+	if err := run([]string{"-load", "-corpus", t.TempDir()}, &b); err == nil {
+		t.Error("empty corpus directory accepted")
+	}
+	if err := run([]string{"-load", "-corpus", dir, "-scenario", "fattree"}, &b); err == nil {
+		t.Error("-corpus together with -scenario accepted")
+	}
+	if err := run([]string{"-corpus", dir}, &b); err == nil {
+		t.Error("-corpus accepted outside load mode")
 	}
 }
 

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	ufpgen -list
-//	ufpgen -scenario fattree [-demand gravity] [-seed 1] [-size 0]
+//	ufpgen -scenario fattree [-demand gravity] [-seed 1] [-size 0] [-aux 0]
 //	       [-requests 0] [-bmode log|fixed] [-bfactor 1.2] [-bvalue 0]
 //	       [-eps 0.25] [-auction] [-o -]
 //	ufpgen -corpus dir [-seeds 3]   # whole catalog, one file per scenario × seed
@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		demand   = fs.String("demand", "", "demand model name (default gravity)")
 		seed     = fs.Uint64("seed", 1, "scenario seed")
 		size     = fs.Int("size", 0, "topology size knob (0 = family default)")
+		aux      = fs.Int("aux", 0, "secondary size knob (metroring: access nodes per ring; startrees: vertices per tree; 0 = family default)")
 		requests = fs.Int("requests", 0, "request count (0 = 4 per host)")
 		bmode    = fs.String("bmode", "", "capacity regime: log|fixed (default log)")
 		bfactor  = fs.Float64("bfactor", 0, "log regime: B = bfactor * ln(m)/eps^2 (default 1.2; < 1 violates the paper's assumption)")
@@ -88,7 +89,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-scenario is required (try -list)")
 	}
 	cfg := scenario.Config{
-		Topology: *topo, Demand: *demand, Size: *size, Requests: *requests,
+		Topology: *topo, Demand: *demand, Size: *size, Aux: *aux, Requests: *requests,
 		Seed: *seed, BMode: *bmode, BFactor: *bfactor, BValue: *bvalue, Eps: *eps,
 	}
 	data, err := marshalScenario(cfg, *auc)

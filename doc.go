@@ -53,4 +53,26 @@
 // use Instance.Normalized. SolveUFP(inst, ε, nil) is the Theorem 3.1
 // mechanism-ready entry point: feasible, monotone, exact, and
 // ((1+ε)·e/(e-1))-approximate once B >= ln(m)/ε².
+//
+// # Graph lifecycle: build → Freeze → solve
+//
+// Graphs are built with the mutable builder API (NewGraph, AddEdge,
+// AddVertex) and then frozen into an immutable compressed-sparse-row
+// (CSR) adjacency by Graph.Freeze — the form every shortest-path inner
+// loop runs on. Freeze is cheap, idempotent, and safe under concurrent
+// readers; the generators and the scenario catalog freeze for you, and
+// the solvers freeze on entry if the caller forgot (unfrozen graphs
+// still work via a slower adjacency walk). Capacity updates never
+// invalidate the frozen form — it holds topology only — but any
+// topology mutation (AddEdge, AddVertex, SubdivideEdge) drops it, so
+// re-freeze (or let the next solve rebuild) after structural changes.
+//
+// On top of the CSR core sits an incremental path-search engine
+// (internal/pathfind): per-worker Dijkstra scratches with O(1) reset,
+// and a dirty-source tree cache exploiting that each primal-dual
+// iteration raises prices only on the edges of the one admitted path,
+// so only trees using those edges are recomputed. Cached trees are
+// bit-identical to recomputation (the tie-break is canonical), so the
+// solvers' allocations do not depend on caching; Options.NoIncremental
+// disables it for benchmarking (BENCH_path.json tracks the speedup).
 package truthfulufp

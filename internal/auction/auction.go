@@ -217,6 +217,13 @@ type Options struct {
 	Tie func(a, b int) bool
 	// MaxIterations caps the main loop (0 = unlimited).
 	MaxIterations int
+	// NoIncremental disables the dirty-request bundle-price cache: every
+	// iteration re-sums Σ_{u∈U_r} y_u for every remaining request (the
+	// pre-cache behavior). Allocations are identical either way — a
+	// request's cached sum is refreshed, from scratch and in bundle
+	// order, whenever one of its items is repriced — so this exists for
+	// benchmarking and as an escape hatch.
+	NoIncremental bool
 }
 
 func (o *Options) tie() func(a, b int) bool {
@@ -244,6 +251,8 @@ func (o *Options) maxIterations() int {
 	}
 	return o.MaxIterations
 }
+
+func (o *Options) noIncremental() bool { return o != nil && o.NoIncremental }
 
 // BoundedMUCA runs Algorithm 2 (Bounded-MUCA) with accuracy parameter
 // eps: prices start at y_u = 1/c_u, and while requests remain and
@@ -281,17 +290,53 @@ func BoundedMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error)
 		remaining[i] = true
 	}
 	alloc := &Allocation{DualBound: math.Inf(1)}
+	// Incremental bundle-price cache: sums[i] holds Σ_{u∈U_i} y_u. An
+	// allocation reprices only the winner's items, so only requests whose
+	// bundles intersect them can see a different sum — the item→requests
+	// index finds exactly those, and their sums are refreshed from
+	// scratch in bundle order, making every iteration bit-identical to
+	// the quadratic re-summation it replaces.
+	sumOf := func(i int) float64 {
+		s := 0.0
+		for _, u := range inst.Requests[i].Bundle {
+			s += y[u]
+		}
+		return s
+	}
+	incremental := !opt.noIncremental()
+	sums := make([]float64, len(inst.Requests))
+	for i := range sums {
+		sums[i] = sumOf(i)
+	}
+	// The inverted index and dirty marks exist only in incremental mode,
+	// so NoIncremental really is the pre-cache behavior (full re-sum, no
+	// cache maintenance on top).
+	var itemReqs [][]int32
+	var mark []uint32
+	gen := uint32(0)
+	if incremental {
+		itemReqs = make([][]int32, m)
+		for i, r := range inst.Requests {
+			for _, u := range r.Bundle {
+				itemReqs[u] = append(itemReqs[u], int32(i))
+			}
+		}
+		mark = make([]uint32, len(inst.Requests))
+	}
 	argmin := func() (int, float64) {
+		if !incremental {
+			for i := range sums {
+				if remaining[i] {
+					sums[i] = sumOf(i)
+				}
+			}
+		}
 		best, bestRatio := -1, math.Inf(1)
 		for i, r := range inst.Requests {
 			if !remaining[i] {
 				continue
 			}
-			sum := 0.0
-			for _, u := range r.Bundle {
-				sum += y[u]
-			}
-			ratio := sum / r.Value
+			ratio := sums[i] / r.Value
 			switch {
 			case best < 0 || ratio < bestRatio && !ratiosTied(ratio, bestRatio):
 				best, bestRatio = i, ratio
@@ -322,6 +367,19 @@ func BoundedMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error)
 			old := y[u]
 			y[u] = old * math.Exp(eps*b/c)
 			dualSum += c * (y[u] - old)
+		}
+		// Refresh the dirty requests: those sharing an item with the
+		// winner's bundle (deduplicated by a generation mark).
+		if incremental {
+			gen++
+			for _, u := range inst.Requests[best].Bundle {
+				for _, j := range itemReqs[u] {
+					if remaining[j] && mark[j] != gen {
+						mark[j] = gen
+						sums[j] = sumOf(int(j))
+					}
+				}
+			}
 		}
 		alloc.Selected = append(alloc.Selected, best)
 		alloc.Value += inst.Requests[best].Value

@@ -1,0 +1,45 @@
+package auction_test
+
+import (
+	"reflect"
+	"testing"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/workload"
+)
+
+// TestBundleSumCacheMatchesFullResum: Bounded-MUCA with the
+// dirty-request price-sum cache selects exactly what the quadratic
+// re-summation selects — same requests, same order, same diagnostics —
+// across random instances and accuracy parameters.
+func TestBundleSumCacheMatchesFullResum(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		inst, err := auction.RandomInstance(workload.NewRNG(seed+9), auction.RandomConfig{
+			Items: 12 + int(seed), Requests: 120, B: 20 + float64(seed)*7,
+			MultSpread: 0.4, BundleMin: 1, BundleMax: 6,
+			ValueMin: 0.5, ValueMax: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 0.1 + 0.08*float64(seed)
+		full, err := auction.BoundedMUCA(inst, eps, &auction.Options{NoIncremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := auction.BoundedMUCA(inst, eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(full.Selected, incr.Selected) {
+			t.Fatalf("seed %d: selections differ:\n full: %v\n incr: %v", seed, full.Selected, incr.Selected)
+		}
+		if full.Value != incr.Value || full.Stop != incr.Stop ||
+			full.Iterations != incr.Iterations || full.DualBound != incr.DualBound {
+			t.Fatalf("seed %d: diagnostics differ: %+v vs %+v", seed, full, incr)
+		}
+		if err := incr.CheckFeasible(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package bench hosts the path-engine benchmark bodies shared by the
+// repo-level `go test -bench` entry points (bench_test.go) and the
+// cmd/benchjson snapshot tool, which records them into BENCH_path.json
+// so the performance trajectory of the shortest-path substrate is
+// tracked in-repo rather than anecdotally.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/pathfind"
+	"truthfulufp/internal/scenario"
+)
+
+// Case is one leaf benchmark: a slash-separated name and a standard
+// testing benchmark body.
+type Case struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// waxmanSize and friends fix the headline measurement: the waxman-1k
+// scenario of the refactor's speedup target. Quick mode shrinks every
+// knob for CI smoke runs.
+const (
+	waxmanSize     = 1000
+	waxmanRequests = 300
+	solveIters     = 16
+
+	quickSize     = 200
+	quickRequests = 100
+	quickIters    = 8
+)
+
+// instCache memoizes generated scenario instances across cases and
+// across testing.Benchmark's repeated calls of a body with growing N.
+var instCache sync.Map
+
+func waxmanInstance(quick bool) *core.Instance {
+	size, requests := waxmanSize, waxmanRequests
+	if quick {
+		size, requests = quickSize, quickRequests
+	}
+	key := fmt.Sprintf("waxman/%d/%d", size, requests)
+	if v, ok := instCache.Load(key); ok {
+		return v.(*core.Instance)
+	}
+	inst, err := scenario.Generate(scenario.Config{
+		Topology: "waxman", Size: size, Requests: requests, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := instCache.LoadOrStore(key, inst)
+	return v.(*core.Instance)
+}
+
+// unfrozen rebuilds a structurally identical graph without a frozen
+// CSR, for the adjacency-walk baseline.
+func unfrozen(g *graph.Graph) *graph.Graph {
+	var c *graph.Graph
+	if g.Directed() {
+		c = graph.New(g.NumVertices())
+	} else {
+		c = graph.NewUndirected(g.NumVertices())
+	}
+	for _, e := range g.Edges() {
+		c.AddEdge(e.From, e.To, e.Capacity)
+	}
+	return c
+}
+
+// PathCases returns the path-engine suite:
+//
+//   - DijkstraCSR/{csr,adjacency}: one pooled-scratch Dijkstra over the
+//     waxman backbone, on the frozen CSR fast path versus the
+//     slice-of-slices adjacency fallback.
+//   - IncrementalSolve/{full-recompute,incremental}: Bounded-UFP on the
+//     waxman-1k scenario with the dirty-source tree cache off and on —
+//     identical allocations, the ns/op ratio is the refactor's speedup.
+//   - ScenarioCatalog/solve: SolveUFP across every topology family at
+//     default size (gravity demands), the end-to-end catalog sweep.
+func PathCases(quick bool) []Case {
+	iters := solveIters
+	if quick {
+		iters = quickIters
+	}
+	dijkstra := func(g *graph.Graph) func(b *testing.B) {
+		return func(b *testing.B) {
+			w := make([]float64, g.NumEdges())
+			for e := range w {
+				w[e] = 1 / g.Edge(e).Capacity
+			}
+			weight := pathfind.FromSlice(w)
+			scratch := pathfind.NewScratch(g.NumVertices())
+			var tree *pathfind.Tree
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree = scratch.Dijkstra(g, i%g.NumVertices(), weight, tree)
+			}
+		}
+	}
+	solve := func(noIncremental bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			inst := waxmanInstance(quick)
+			opt := &core.Options{Workers: 1, MaxIterations: iters, NoIncremental: noIncremental}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := core.BoundedUFP(inst, 0.25, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Iterations == 0 {
+					b.Fatal("solver admitted nothing")
+				}
+			}
+		}
+	}
+	return []Case{
+		{"DijkstraCSR/csr", func(b *testing.B) {
+			g := waxmanInstance(quick).G
+			g.Freeze()
+			dijkstra(g)(b)
+		}},
+		{"DijkstraCSR/adjacency", func(b *testing.B) {
+			dijkstra(unfrozen(waxmanInstance(quick).G))(b)
+		}},
+		{"IncrementalSolve/full-recompute", solve(true)},
+		{"IncrementalSolve/incremental", solve(false)},
+		{"ScenarioCatalog/solve", func(b *testing.B) {
+			var insts []*core.Instance
+			for _, t := range scenario.Topologies() {
+				inst, err := scenario.Generate(scenario.Config{Topology: t.Name, Seed: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = append(insts, inst)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, inst := range insts {
+					if _, err := core.SolveUFP(inst, 0.5, &core.Options{Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+}
+
+// Group runs every case under the given top-level name as sub-
+// benchmarks of b (the `go test -bench` integration).
+func Group(b *testing.B, name string, quick bool) {
+	prefix := name + "/"
+	for _, c := range PathCases(quick) {
+		if len(c.Name) > len(prefix) && c.Name[:len(prefix)] == prefix {
+			b.Run(c.Name[len(prefix):], c.F)
+		}
+	}
+}
+
+// Entry is one measured benchmark in a snapshot.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"n"`
+}
+
+// Snapshot is the BENCH_path.json schema: benchmark name → measurement
+// plus the headline derived ratio.
+type Snapshot struct {
+	Suite string `json:"suite"`
+	Quick bool   `json:"quick,omitempty"`
+	// IncrementalSpeedup is full-recompute ns/op divided by incremental
+	// ns/op on the waxman scenario (the refactor's ≥3× target).
+	IncrementalSpeedup float64          `json:"incremental_speedup"`
+	Benchmarks         map[string]Entry `json:"benchmarks"`
+}
+
+// Run measures every case with the standard testing harness. It panics
+// if the suite no longer contains the two IncrementalSolve cases the
+// headline speedup is derived from — a silent zero in a committed
+// snapshot would read as a regression nobody made.
+func Run(cases []Case, quick bool) Snapshot {
+	snap := Snapshot{Suite: "path", Quick: quick, Benchmarks: make(map[string]Entry, len(cases))}
+	for _, c := range cases {
+		r := testing.Benchmark(c.F)
+		snap.Benchmarks[c.Name] = Entry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		}
+	}
+	full, okFull := snap.Benchmarks["IncrementalSolve/full-recompute"]
+	incr, okIncr := snap.Benchmarks["IncrementalSolve/incremental"]
+	if !okFull || !okIncr || full.NsPerOp <= 0 || incr.NsPerOp <= 0 {
+		panic("bench: suite is missing the IncrementalSolve full/incremental pair")
+	}
+	snap.IncrementalSpeedup = full.NsPerOp / incr.NsPerOp
+	return snap
+}
+
+// WriteJSON emits the snapshot with stable key order (json.Marshal
+// sorts map keys), so committed snapshots diff cleanly.
+func WriteJSON(w io.Writer, snap Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -34,8 +34,15 @@ func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocatio
 		return nil, err
 	}
 	g := inst.G
+	g.Freeze()
 	flow := make([]float64, g.NumEdges())
 	alloc := &Allocation{DualBound: math.Inf(1)}
+	// One pooled scratch and one tree serve every request: the per-call
+	// dist/prev/heap allocations used to dominate this single-pass loop.
+	pool := opt.ensurePathPool()
+	scratch := pool.Get(g.NumVertices())
+	defer pool.Put(scratch)
+	var tree *pathfind.Tree
 	for i, r := range inst.Requests {
 		if err := opt.cancelled(); err != nil {
 			return nil, fmt.Errorf("core: sequential solve cancelled at request %d: %w", i, err)
@@ -47,7 +54,7 @@ func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocatio
 			}
 			return math.Exp(eps*b*flow[e]/c) / c
 		}
-		tree := pathfind.Dijkstra(g, r.Source, weight)
+		tree = scratch.Dijkstra(g, r.Source, weight, tree)
 		dist := tree.Dist[r.Target]
 		if math.IsInf(dist, 1) {
 			continue
@@ -93,6 +100,11 @@ func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
 	})
 	flow := make([]float64, g.NumEdges())
 	alloc := &Allocation{DualBound: math.Inf(1)}
+	g.Freeze()
+	pool := opt.ensurePathPool()
+	scratch := pool.Get(g.NumVertices())
+	defer pool.Put(scratch)
+	var tree *pathfind.Tree
 	for _, i := range order {
 		if err := opt.cancelled(); err != nil {
 			return nil, fmt.Errorf("core: greedy solve cancelled at request %d: %w", i, err)
@@ -104,7 +116,7 @@ func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
 			}
 			return 1
 		}
-		tree := pathfind.Dijkstra(g, r.Source, weight)
+		tree = scratch.Dijkstra(g, r.Source, weight, tree)
 		if math.IsInf(tree.Dist[r.Target], 1) {
 			continue
 		}

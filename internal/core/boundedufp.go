@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"truthfulufp/internal/pathfind"
 )
@@ -45,6 +44,18 @@ type Options struct {
 	// the iteration index (from 0), the selected candidate, and the dual
 	// value Σ c_e·y_e before the price update.
 	OnIteration func(iter int, chosen Candidate, dualBefore float64)
+	// NoIncremental disables the dirty-source shortest-path cache: every
+	// iteration recomputes every active source from scratch (the
+	// pre-cache behavior). Allocations are identical either way — the
+	// cache reuses only trees a recomputation would reproduce bit for bit
+	// — so this exists for benchmarking the cache and as a belt-and-
+	// braces escape hatch.
+	NoIncremental bool
+	// PathPool, if non-nil, supplies the Dijkstra scratch buffers
+	// (see pathfind.Pool). Sharing one pool across many solves — as the
+	// engine does across its worker pool — keeps the per-solve allocation
+	// footprint flat; nil uses a per-solve pool.
+	PathPool *pathfind.Pool
 }
 
 func (o *Options) workers() int {
@@ -81,6 +92,24 @@ func (o *Options) tieBreak() TieBreak {
 		return func(a, b Candidate) bool { return a.Request < b.Request }
 	}
 	return o.TieBreak
+}
+
+func (o *Options) noIncremental() bool { return o != nil && o.NoIncremental }
+
+func (o *Options) pathPool() *pathfind.Pool {
+	if o == nil {
+		return nil
+	}
+	return o.PathPool
+}
+
+// ensurePathPool returns the configured scratch pool, or a fresh
+// private one for solvers that always want pooling.
+func (o *Options) ensurePathPool() *pathfind.Pool {
+	if p := o.pathPool(); p != nil {
+		return p
+	}
+	return pathfind.NewPool()
 }
 
 // ratioTolerance treats ratios within a relative 1e-12 as tied, so that
@@ -170,7 +199,7 @@ func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Al
 	}
 	alloc := &Allocation{DualBound: math.Inf(1)}
 	tie := opt.tieBreak()
-	sp := newShortestPaths(inst, opt.workers())
+	sp := newShortestPaths(inst, opt)
 	for {
 		if err := opt.cancelled(); err != nil {
 			return nil, fmt.Errorf("core: solve cancelled after %d iterations: %w", alloc.Iterations, err)
@@ -207,6 +236,9 @@ func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Al
 			y[e] = old * math.Exp(eps*b*r.Demand/c)
 			dualSum += c * (y[e] - old)
 		}
+		// Only the admitted path's prices moved; every cached tree not
+		// touching it stays exact.
+		sp.invalidate(best.Path)
 		alloc.Routed = append(alloc.Routed, Routed{Request: best.Request, Path: best.Path})
 		alloc.Value += r.Value
 		alloc.Iterations++
@@ -235,80 +267,57 @@ func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Al
 
 // shortestPaths computes, per iteration, the best candidate over all
 // remaining requests. Requests are grouped by source vertex so one
-// Dijkstra serves every remaining request sharing that source; distinct
-// sources run in parallel across a bounded worker pool, and the reduction
-// is deterministic (request-index order with explicit tie-breaking).
+// Dijkstra serves every remaining request sharing that source; the
+// trees live in a pathfind.Incremental dirty-source cache, so after the
+// first iteration only sources whose tree touches a repriced edge are
+// recomputed (in parallel across a bounded worker pool with pooled
+// scratches). The reduction is deterministic (request-index order with
+// explicit tie-breaking), and — because cached trees are bit-identical
+// to recomputations (see pathfind.Incremental) — so is the candidate,
+// with or without the cache.
 type shortestPaths struct {
-	inst      *Instance
-	workers   int
-	bySource  map[int][]int // source vertex -> request indices
-	sources   []int
-	treeSpace []*pathfind.Tree // per-source scratch, index-aligned with sources
-	srcIndex  map[int]int
+	inst    *Instance
+	workers int
+	full    bool // Options.NoIncremental: recompute all active sources per call
+	inc     *pathfind.Incremental
+	seen    []bool // per-slot scratch for activeSlots
 }
 
-func newShortestPaths(inst *Instance, workers int) *shortestPaths {
+func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
+	sources := make([]int, 0, len(inst.Requests))
+	for _, r := range inst.Requests {
+		sources = append(sources, r.Source)
+	}
 	sp := &shortestPaths{
-		inst:     inst,
-		workers:  workers,
-		bySource: make(map[int][]int),
-		srcIndex: make(map[int]int),
+		inst:    inst,
+		workers: opt.workers(),
+		full:    opt.noIncremental(),
+		inc:     pathfind.NewIncremental(inst.G, sources, opt.pathPool()),
 	}
-	for i, r := range inst.Requests {
-		sp.bySource[r.Source] = append(sp.bySource[r.Source], i)
-	}
-	for s := 0; s < inst.G.NumVertices(); s++ {
-		if _, ok := sp.bySource[s]; ok {
-			sp.srcIndex[s] = len(sp.sources)
-			sp.sources = append(sp.sources, s)
-		}
-	}
-	sp.treeSpace = make([]*pathfind.Tree, len(sp.sources))
+	sp.seen = make([]bool, sp.inc.NumSlots())
 	return sp
 }
 
-// bestCandidate runs the per-iteration path search: Dijkstra from every
-// source that still has remaining requests, then a deterministic argmin
-// of (d/v)·dist over remaining requests.
+// bestCandidate runs the per-iteration path search: refresh the trees
+// of every source that still has remaining requests (recomputing only
+// dirty ones), then a deterministic argmin of (d/v)·dist over remaining
+// requests.
 func (sp *shortestPaths) bestCandidate(remaining []bool, y []float64, tie TieBreak) (Candidate, bool) {
-	// Collect active sources.
-	active := sp.activeSources(remaining)
+	active := sp.activeSlots(remaining)
 	if len(active) == 0 {
 		return Candidate{}, false
 	}
-	weight := pathfind.FromSlice(y)
-	if len(active) == 1 || sp.workers <= 1 {
-		for _, si := range active {
-			sp.treeSpace[si] = pathfind.Dijkstra(sp.inst.G, sp.sources[si], weight)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		nw := sp.workers
-		if nw > len(active) {
-			nw = len(active)
-		}
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for si := range work {
-					sp.treeSpace[si] = pathfind.Dijkstra(sp.inst.G, sp.sources[si], weight)
-				}
-			}()
-		}
-		for _, si := range active {
-			work <- si
-		}
-		close(work)
-		wg.Wait()
+	if sp.full {
+		sp.inc.InvalidateAll()
 	}
+	sp.inc.Refresh(active, pathfind.FromSlice(y), sp.workers)
 	best := Candidate{Request: -1, Ratio: math.Inf(1)}
 	for i, r := range sp.inst.Requests {
 		if !remaining[i] {
 			continue
 		}
-		tree := sp.treeSpace[sp.srcIndex[r.Source]]
+		slot, _ := sp.inc.Slot(r.Source)
+		tree := sp.inc.Tree(slot)
 		dist := tree.Dist[r.Target]
 		if math.IsInf(dist, 1) {
 			continue
@@ -332,17 +341,24 @@ func (sp *shortestPaths) bestCandidate(remaining []bool, y []float64, tie TieBre
 	return best, true
 }
 
-func (sp *shortestPaths) activeSources(remaining []bool) []int {
-	seen := make([]bool, len(sp.sources))
+// invalidate reports a price update on the given edges to the cache.
+func (sp *shortestPaths) invalidate(path []int) {
+	sp.inc.Invalidate(path)
+}
+
+func (sp *shortestPaths) activeSlots(remaining []bool) []int {
+	for i := range sp.seen {
+		sp.seen[i] = false
+	}
 	var active []int
 	for i, r := range sp.inst.Requests {
 		if !remaining[i] {
 			continue
 		}
-		si := sp.srcIndex[r.Source]
-		if !seen[si] {
-			seen[si] = true
-			active = append(active, si)
+		slot, _ := sp.inc.Slot(r.Source)
+		if !sp.seen[slot] {
+			sp.seen[slot] = true
+			active = append(active, slot)
 		}
 	}
 	return active

@@ -100,18 +100,108 @@ func (st *State) forEachGroup(fn func(g Group)) {
 // Prepare is called once per iteration (groups in st.ActiveGroups);
 // BestLen must return, for one group and target, a path minimizing the
 // rule's raw length. BestLen is called from a single goroutine; Prepare
-// may parallelize internally via State.forEachGroup.
+// may parallelize internally via State.forEachGroup. Rules that
+// additionally implement pathInvalidator are told which edges the
+// engine repriced after each admission, which lets them keep caches
+// across iterations.
 type Rule interface {
 	Name() string
 	Prepare(st *State)
 	BestLen(st *State, g Group, target int) (path []int, length float64, ok bool)
 }
 
+// pathInvalidator is the optional Rule extension behind the
+// dirty-source caches: after routing a path and updating st.Flow, the
+// engine reports the path's edges so the rule can invalidate exactly
+// the cached trees that used them.
+type pathInvalidator interface {
+	invalidatePath(st *State, path []int)
+}
+
+// sharedDemandKey is the treeCache key when the weight function does
+// not depend on the group demand (no residual filtering): all demand
+// classes share one tree cache. Demands are strictly positive, so 0
+// cannot collide with a real class.
+const sharedDemandKey = 0
+
+// treeCache is the incremental shortest-path-tree store shared by the
+// Dijkstra-based rules (ExpRule, HopRule). Trees are cached across
+// engine iterations in a pathfind.Incremental per demand class (the
+// residual-capacity filter makes weights demand-dependent, so classes
+// cannot share trees when FeasibleOnly is set) and only dirtied trees
+// are recomputed. Cached trees are bit-identical to recomputation (see
+// pathfind.Incremental), so engine outcomes do not depend on caching.
+type treeCache struct {
+	st   *State // identifies the run; a new engine run rebuilds the cache
+	incs map[float64]*pathfind.Incremental
+}
+
+func (c *treeCache) key(st *State, demand float64) float64 {
+	if st.FeasibleOnly {
+		return demand
+	}
+	return sharedDemandKey
+}
+
+// prepare (re)builds the per-class caches for a new run and refreshes
+// the trees of the active groups under the current weights. weightOf
+// maps a demand class to its weight function.
+func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.WeightFunc) {
+	if c.st != st {
+		// New engine run: groups only shrink within a run, so the first
+		// iteration's ActiveGroups is the full source universe per class.
+		c.st = st
+		c.incs = make(map[float64]*pathfind.Incremental)
+		byKey := make(map[float64][]int)
+		for _, g := range st.ActiveGroups {
+			k := c.key(st, g.Demand)
+			byKey[k] = append(byKey[k], g.Source)
+		}
+		for k, sources := range byKey {
+			c.incs[k] = pathfind.NewIncremental(st.Inst.G, sources, nil)
+		}
+	}
+	active := make(map[float64][]int, len(c.incs))
+	for _, g := range st.ActiveGroups {
+		k := c.key(st, g.Demand)
+		inc := c.incs[k]
+		var slot int
+		var ok bool
+		if inc != nil {
+			slot, ok = inc.Slot(g.Source)
+		}
+		if !ok {
+			// A group this run never saw (callers driving Prepare by hand):
+			// fall back to a full rebuild with the current universe.
+			c.st = nil
+			c.prepare(st, weightOf)
+			return
+		}
+		active[k] = append(active[k], slot)
+	}
+	for k, slots := range active {
+		c.incs[k].Refresh(slots, weightOf(k), st.Workers)
+	}
+}
+
+// tree returns the cached tree for a group (valid after prepare).
+func (c *treeCache) tree(st *State, g Group) *pathfind.Tree {
+	inc := c.incs[c.key(st, g.Demand)]
+	slot, _ := inc.Slot(g.Source)
+	return inc.Tree(slot)
+}
+
+// invalidate dirties every cached tree using one of the edges.
+func (c *treeCache) invalidate(path []int) {
+	for _, inc := range c.incs {
+		inc.Invalidate(path)
+	}
+}
+
 // ExpRule is the paper's function h(p) = (d/v)·Σ_{e∈p} (1/c_e)e^{εB·f_e/c_e}
 // — the rule that makes IterativePathMin coincide with Bounded-UFP.
 type ExpRule struct {
-	trees map[Group]*pathfind.Tree
-	mu    sync.Mutex
+	cache treeCache
 }
 
 // Name implements Rule.
@@ -119,18 +209,12 @@ func (r *ExpRule) Name() string { return "exp" }
 
 // Prepare implements Rule.
 func (r *ExpRule) Prepare(st *State) {
-	r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
-	st.forEachGroup(func(g Group) {
-		t := pathfind.Dijkstra(st.Inst.G, g.Source, st.ExpWeight(g.Demand))
-		r.mu.Lock()
-		r.trees[g] = t
-		r.mu.Unlock()
-	})
+	r.cache.prepare(st, func(d float64) pathfind.WeightFunc { return st.ExpWeight(d) })
 }
 
 // BestLen implements Rule.
 func (r *ExpRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
-	t := r.trees[g]
+	t := r.cache.tree(st, g)
 	if math.IsInf(t.Dist[target], 1) {
 		return nil, 0, false
 	}
@@ -138,12 +222,17 @@ func (r *ExpRule) BestLen(st *State, g Group, target int) ([]int, float64, bool)
 	return p, t.Dist[target], true
 }
 
+// invalidatePath implements pathInvalidator: exponential prices move
+// with the flow on the routed edges, dirtying any tree that used them.
+func (r *ExpRule) invalidatePath(st *State, path []int) {
+	r.cache.invalidate(path)
+}
+
 // HopRule minimizes (d/v)·(number of edges): fewest-hops-first. Under
 // unit demands/values and uniform capacities its priority depends only on
 // the hop count, so it is reasonable per Definition 3.9.
 type HopRule struct {
-	trees map[Group]*pathfind.Tree
-	mu    sync.Mutex
+	cache treeCache
 }
 
 // Name implements Rule.
@@ -151,23 +240,26 @@ func (r *HopRule) Name() string { return "hops" }
 
 // Prepare implements Rule.
 func (r *HopRule) Prepare(st *State) {
-	r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
-	st.forEachGroup(func(g Group) {
-		t := pathfind.Dijkstra(st.Inst.G, g.Source, st.UnitWeight(g.Demand))
-		r.mu.Lock()
-		r.trees[g] = t
-		r.mu.Unlock()
-	})
+	r.cache.prepare(st, func(d float64) pathfind.WeightFunc { return st.UnitWeight(d) })
 }
 
 // BestLen implements Rule.
 func (r *HopRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
-	t := r.trees[g]
+	t := r.cache.tree(st, g)
 	if math.IsInf(t.Dist[target], 1) {
 		return nil, 0, false
 	}
 	p, _ := t.PathTo(target)
 	return p, t.Dist[target], true
+}
+
+// invalidatePath implements pathInvalidator. Unit weights ignore flow
+// entirely, so without residual filtering the cached trees stay exact
+// across the whole run and nothing is ever dirtied.
+func (r *HopRule) invalidatePath(st *State, path []int) {
+	if st.FeasibleOnly {
+		r.cache.invalidate(path)
+	}
 }
 
 // LogHopsRule is the paper's h1(p) = ln(1+|p|)·h(p): the exponential
@@ -423,6 +515,9 @@ func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
 		d := inst.Requests[best.Request].Demand
 		for _, e := range best.Path {
 			st.Flow[e] += d
+		}
+		if inv, ok := opt.Rule.(pathInvalidator); ok {
+			inv.invalidatePath(st, best.Path)
 		}
 		alloc.Routed = append(alloc.Routed, Routed{Request: best.Request, Path: best.Path})
 		alloc.Value += inst.Requests[best.Request].Value

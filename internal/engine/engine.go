@@ -20,6 +20,7 @@ import (
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/stats"
 )
 
@@ -195,6 +196,11 @@ type Engine struct {
 	flightMu sync.Mutex // guards inflight
 	inflight map[string]*call
 	cache    *lruCache // nil when caching is disabled
+	// paths is the shortest-path scratch pool shared by every job the
+	// worker pool executes: steady-state solving reuses a bounded set of
+	// Dijkstra scratches (≈ workers × intra-solve parallelism) instead of
+	// allocating fresh ones per job.
+	paths *pathfind.Pool
 
 	start     time.Time
 	submitted stats.Counter
@@ -224,6 +230,7 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		queue:    make(chan func(), cfg.QueueDepth),
 		inflight: make(map[string]*call),
+		paths:    pathfind.NewPool(),
 		start:    time.Now(),
 	}
 	if cfg.CacheSize > 0 {
@@ -438,7 +445,7 @@ func (e *Engine) abandon(key string, c *call, err error) {
 // internally; everything else about the call matches the package-level
 // entry points exactly, so results are interchangeable with direct calls.
 func (e *Engine) run(ctx context.Context, job Job) (*Result, error) {
-	opt := &core.Options{Workers: e.cfg.SolveWorkers, Ctx: ctx}
+	opt := &core.Options{Workers: e.cfg.SolveWorkers, Ctx: ctx, PathPool: e.paths}
 	aopt := &auction.Options{Ctx: ctx}
 	switch job.Kind {
 	case JobSolveUFP:

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestFreezeMatchesAdjacency: the CSR arcs of every vertex are exactly
+// OutArcs in order, for directed and undirected random graphs.
+func TestFreezeMatchesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, directed := range []bool{true, false} {
+		g := RandomConnected(rng, 20, 50, 1, 4, directed)
+		c := g.Freeze()
+		if got, want := int(c.Start[g.NumVertices()]), c.NumArcs(); got != want {
+			t.Fatalf("Start[n] = %d, want %d", got, want)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			arcs := g.OutArcs(v)
+			lo, hi := c.Start[v], c.Start[v+1]
+			if int(hi-lo) != len(arcs) {
+				t.Fatalf("vertex %d: CSR degree %d, adjacency %d", v, hi-lo, len(arcs))
+			}
+			for i, a := range arcs {
+				k := lo + int32(i)
+				if int(c.Head[k]) != a.To || int(c.EdgeID[k]) != a.Edge {
+					t.Fatalf("vertex %d arc %d: CSR (%d,%d) vs adjacency (%d,%d)",
+						v, i, c.Head[k], c.EdgeID[k], a.To, a.Edge)
+				}
+			}
+		}
+	}
+}
+
+// TestFreezeIdempotentAndInvalidated: re-freezing without mutation
+// returns the same CSR; every topology mutation drops it; capacity
+// changes do not.
+func TestFreezeIdempotentAndInvalidated(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	c1 := g.Freeze()
+	if g.Freeze() != c1 {
+		t.Fatal("re-freeze without mutation rebuilt the CSR")
+	}
+	if g.Frozen() != c1 {
+		t.Fatal("Frozen does not return the built CSR")
+	}
+	g.SetCapacity(0, 5)
+	g.ScaleCapacities(2)
+	if g.Frozen() != c1 {
+		t.Fatal("capacity updates must not invalidate the CSR")
+	}
+	g.AddEdge(1, 2, 1)
+	if g.Frozen() != nil {
+		t.Fatal("AddEdge did not invalidate the CSR")
+	}
+	c2 := g.Freeze()
+	g.AddVertex()
+	if g.Frozen() != nil {
+		t.Fatal("AddVertex did not invalidate the CSR")
+	}
+	g.Freeze()
+	g.SubdivideEdge(0, 3)
+	if g.Frozen() != nil {
+		t.Fatal("SubdivideEdge did not invalidate the CSR")
+	}
+	c3 := g.Freeze()
+	if c3 == c2 {
+		t.Fatal("freeze after mutation returned the stale CSR")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt CSR matches the mutated adjacency.
+	total := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		total += len(g.OutArcs(v))
+	}
+	if c3.NumArcs() != total {
+		t.Fatalf("rebuilt CSR has %d arcs, want %d", c3.NumArcs(), total)
+	}
+}
+
+// TestCloneSharesCSR: clones share the immutable frozen form until one
+// side mutates topology.
+func TestCloneSharesCSR(t *testing.T) {
+	g := Grid(3, 3, 2) // generators freeze
+	if g.Frozen() == nil {
+		t.Fatal("generator did not freeze")
+	}
+	c := g.Clone()
+	if c.Frozen() != g.Frozen() {
+		t.Fatal("clone does not share the frozen CSR")
+	}
+	c.AddVertex()
+	if c.Frozen() != nil {
+		t.Fatal("clone mutation did not drop its CSR")
+	}
+	if g.Frozen() == nil {
+		t.Fatal("clone mutation dropped the original's CSR")
+	}
+}
+
+// TestConcurrentFreeze: Freeze may race with itself and with Frozen
+// readers (the engine shares instances between jobs).
+func TestConcurrentFreeze(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := RandomStronglyConnected(rng, 50, 150, 1, 3)
+	g.unfreeze() // start cold
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := g.Freeze()
+			if c == nil || c.NumArcs() != g.NumEdges() {
+				t.Error("bad CSR from concurrent Freeze")
+			}
+			_ = g.Frozen()
+		}()
+	}
+	wg.Wait()
+}

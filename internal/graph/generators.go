@@ -12,6 +12,7 @@ func Line(n int, capacity float64) *Graph {
 	for v := 0; v+1 < n; v++ {
 		g.AddEdge(v, v+1, capacity)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -21,6 +22,7 @@ func Cycle(n int, capacity float64) *Graph {
 	for v := 0; v < n; v++ {
 		g.AddEdge(v, (v+1)%n, capacity)
 	}
+	g.Freeze()
 	return g
 }
 
@@ -39,6 +41,7 @@ func Grid(w, h int, capacity float64) *Graph {
 			}
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -62,6 +65,7 @@ func Complete(n int, capacity float64, directed bool) *Graph {
 			g.AddEdge(u, v, capacity)
 		}
 	}
+	g.Freeze()
 	return g
 }
 
@@ -86,6 +90,7 @@ func Layered(layers []int, capacity float64) *Graph {
 		}
 		base = next
 	}
+	g.Freeze()
 	return g
 }
 
@@ -124,6 +129,7 @@ func RandomConnected(rng *rand.Rand, n, m int, minCap, maxCap float64, directed 
 		}
 		g.AddEdge(u, v, capOf())
 	}
+	g.Freeze()
 	return g
 }
 
@@ -148,5 +154,6 @@ func RandomStronglyConnected(rng *rand.Rand, n, m int, minCap, maxCap float64) *
 		}
 		g.AddEdge(u, v, capOf())
 	}
+	g.Freeze()
 	return g
 }

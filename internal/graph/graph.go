@@ -8,6 +8,8 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Edge is a capacitated edge. For a directed graph it carries flow only
@@ -34,7 +36,76 @@ type Graph struct {
 	n        int
 	edges    []Edge
 	out      [][]Arc
+
+	// csr is the frozen compressed-sparse-row adjacency (see Freeze). It
+	// is an atomic pointer so Freeze may race with concurrent readers
+	// (e.g. two engine jobs sharing one instance); topology mutations are
+	// not concurrency-safe, same as the rest of the struct.
+	csr      atomic.Pointer[CSR]
+	freezeMu sync.Mutex
 }
+
+// CSR is a frozen compressed-sparse-row view of a graph's adjacency:
+// the arcs leaving vertex v are the index range [Start[v], Start[v+1])
+// of the flat Head/EdgeID slices. It is immutable once built and
+// contains no capacities or prices, so capacity updates (SetCapacity,
+// ScaleCapacities) do not invalidate it — only topology mutations do.
+//
+// The flat int32 layout keeps the Dijkstra inner loop on two
+// cache-friendly streams instead of chasing per-vertex slice headers.
+type CSR struct {
+	Start  []int32 // len NumVertices+1; arc index range per vertex
+	Head   []int32 // arc head vertex (len = total arcs)
+	EdgeID []int32 // arc edge ID, parallel to Head
+}
+
+// NumArcs returns the total number of arcs (twice the edge count for an
+// undirected graph).
+func (c *CSR) NumArcs() int { return len(c.Head) }
+
+// Freeze builds (once) the graph's CSR adjacency and returns it.
+// Calling Freeze again without an intervening topology mutation returns
+// the same CSR; mutating the topology (AddVertex, AddEdge,
+// SubdivideEdge) drops the frozen form, so callers must re-freeze after
+// construction changes. Freeze is safe to call from concurrent readers.
+func (g *Graph) Freeze() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	g.freezeMu.Lock()
+	defer g.freezeMu.Unlock()
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	arcs := 0
+	for _, a := range g.out {
+		arcs += len(a)
+	}
+	c := &CSR{
+		Start:  make([]int32, g.n+1),
+		Head:   make([]int32, arcs),
+		EdgeID: make([]int32, arcs),
+	}
+	k := int32(0)
+	for v, out := range g.out {
+		c.Start[v] = k
+		for _, a := range out {
+			c.Head[k] = int32(a.To)
+			c.EdgeID[k] = int32(a.Edge)
+			k++
+		}
+	}
+	c.Start[g.n] = k
+	g.csr.Store(c)
+	return c
+}
+
+// Frozen returns the graph's CSR adjacency if Freeze has been called
+// since the last topology mutation, else nil. It never builds.
+func (g *Graph) Frozen() *CSR { return g.csr.Load() }
+
+// unfreeze drops the frozen CSR; every topology mutator calls it.
+func (g *Graph) unfreeze() { g.csr.Store(nil) }
 
 // New returns an empty directed graph with n vertices.
 func New(n int) *Graph {
@@ -57,6 +128,7 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // AddVertex appends a new isolated vertex and returns its ID.
 func (g *Graph) AddVertex() int {
+	g.unfreeze()
 	g.out = append(g.out, nil)
 	g.n++
 	return g.n - 1
@@ -70,6 +142,7 @@ func (g *Graph) AddEdge(u, v int, capacity float64) int {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0,%d)", u, v, g.n))
 	}
+	g.unfreeze()
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{From: u, To: v, Capacity: capacity})
 	g.out[u] = append(g.out[u], Arc{Edge: id, To: v})
@@ -139,7 +212,9 @@ func (g *Graph) MaxCapacity() float64 {
 	return max
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. A frozen CSR is shared with
+// the clone (it is immutable and topology-only); mutating either copy
+// drops only that copy's frozen form.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{directed: g.directed, n: g.n}
 	c.edges = make([]Edge, len(g.edges))
@@ -149,6 +224,7 @@ func (g *Graph) Clone() *Graph {
 		c.out[v] = make([]Arc, len(arcs))
 		copy(c.out[v], arcs)
 	}
+	c.csr.Store(g.csr.Load())
 	return c
 }
 
@@ -242,6 +318,7 @@ func (g *Graph) SubdivideEdge(id, k int) []int {
 }
 
 func (g *Graph) removeArcs(id int) {
+	g.unfreeze()
 	e := g.edges[id]
 	g.out[e.From] = dropArc(g.out[e.From], id)
 	if !g.directed {

@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/pathfind"
 )
 
 // UFPAlgorithm is any deterministic UFP allocation algorithm. The
@@ -23,17 +24,31 @@ import (
 // function of the instance.
 type UFPAlgorithm func(inst *core.Instance) (*core.Allocation, error)
 
-// BoundedUFPAlg adapts core.BoundedUFP with fixed parameters.
+// BoundedUFPAlg adapts core.BoundedUFP with fixed parameters. Critical-
+// value bisection re-runs the algorithm dozens of times per payment, so
+// unless opt already carries a scratch pool the adapter installs one
+// shared across all of the closure's runs — the solver then reuses its
+// Dijkstra state instead of re-allocating it ~60 times per payment.
 func BoundedUFPAlg(eps float64, opt *core.Options) UFPAlgorithm {
+	pool := pathfind.NewPool()
 	return func(inst *core.Instance) (*core.Allocation, error) {
-		return core.BoundedUFP(inst, eps, opt)
+		var o core.Options
+		if opt != nil {
+			o = *opt
+		}
+		if o.PathPool == nil {
+			o.PathPool = pool
+		}
+		return core.BoundedUFP(inst, eps, &o)
 	}
 }
 
-// SequentialPrimalDualAlg adapts the sequential baseline (also monotone).
+// SequentialPrimalDualAlg adapts the sequential baseline (also
+// monotone), with the same shared scratch pool across re-runs.
 func SequentialPrimalDualAlg(eps float64) UFPAlgorithm {
+	opt := &core.Options{PathPool: pathfind.NewPool()}
 	return func(inst *core.Instance) (*core.Allocation, error) {
-		return core.SequentialPrimalDual(inst, eps, nil)
+		return core.SequentialPrimalDual(inst, eps, opt)
 	}
 }
 

@@ -59,47 +59,31 @@ func (t *Tree) PathTo(dst int) ([]int, bool) {
 // weights. Edges with +Inf weight are skipped. It is the oracle behind
 // Bounded-UFP's path selection; weights are the dual prices y_e, which
 // are always strictly positive, so the nonnegativity precondition holds.
+//
+// The returned tree is canonical: when several predecessor arcs achieve
+// a vertex's shortest distance, the one with the largest edge ID wins.
+// Canonicality makes the tree a pure function of the weights — not of
+// relaxation order — which is what lets the Incremental cache reuse a
+// clean tree in place of a recomputation (see Incremental). Largest
+// (rather than smallest) ID is the choice under which the lower-bound
+// constructions' adversarial tie-breaks (internal/lowerbound) coincide
+// with the oracle's, matching the paper's Theorem 3.11/3.12 runs.
+//
+// Dijkstra runs on the graph's frozen CSR adjacency when available
+// (see graph.Graph.Freeze) and falls back to the slice-of-slices
+// adjacency otherwise. Performance-sensitive callers should reuse a
+// Scratch (or a Pool) instead of this convenience entry point.
 func Dijkstra(g *graph.Graph, src int, weight WeightFunc) *Tree {
-	n := g.NumVertices()
-	t := &Tree{
-		Source:   src,
-		Dist:     make([]float64, n),
-		PrevEdge: make([]int, n),
-		PrevVert: make([]int, n),
-	}
-	for v := range t.Dist {
-		t.Dist[v] = math.Inf(1)
-		t.PrevEdge[v] = -1
-		t.PrevVert[v] = -1
-	}
-	t.Dist[src] = 0
-	h := newHeap(n)
-	h.update(src, 0)
-	for h.len() > 0 {
-		v, dv := h.pop()
-		if dv > t.Dist[v] {
-			continue // stale entry guard; indexed heap makes this unreachable
-		}
-		for _, a := range g.OutArcs(v) {
-			w := weight(a.Edge)
-			if math.IsInf(w, 1) {
-				continue
-			}
-			nd := dv + w
-			if nd < t.Dist[a.To] {
-				t.Dist[a.To] = nd
-				t.PrevEdge[a.To] = a.Edge
-				t.PrevVert[a.To] = v
-				h.update(a.To, nd)
-			}
-		}
-	}
+	s := defaultPool.Get(g.NumVertices())
+	t := s.Dijkstra(g, src, weight, nil)
+	defaultPool.Put(s)
 	return t
 }
 
 // heap is an indexed binary min-heap keyed by float64 priority. It is
-// hand-rolled (rather than container/heap) to avoid interface dispatch in
-// the innermost loop of every primal-dual iteration.
+// hand-rolled (rather than container/heap) to avoid interface dispatch
+// in Bottleneck's inner loop; the additive Dijkstra uses the 4-ary heap
+// embedded in Scratch instead.
 type heap struct {
 	items []heapItem
 	pos   []int // vertex -> index in items, -1 if absent

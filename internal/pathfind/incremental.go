@@ -1,0 +1,221 @@
+package pathfind
+
+import (
+	"sync"
+
+	"truthfulufp/internal/graph"
+)
+
+// Incremental is a dirty-source shortest-path-tree cache over a fixed
+// set of sources. The primal-dual solvers raise prices only on the
+// edges of the one path they admit per iteration, so between iterations
+// most sources' trees stay optimal; Incremental records which edges
+// each cached tree uses and recomputes only the sources whose tree is
+// dirtied by an update, dropping the per-iteration cost from
+// O(S·(m+n)log n) to O(dirty·(m+n)log n).
+//
+// Correctness of reusing a clean tree rests on three caller-guaranteed
+// invariants, all satisfied by exponential-price primal-dual loops:
+//
+//  1. Edge weights never decrease between Refresh calls (prices only go
+//     up; residual filtering only flips a weight to +Inf).
+//  2. Every edge whose weight may have changed is passed to Invalidate
+//     before the next Refresh.
+//  3. The weight of an edge depends only on that edge's own state.
+//
+// Under (1)-(3) a cached tree none of whose used edges changed is still
+// a shortest-path tree: its own path lengths are unchanged while every
+// other path only got longer. Because Dijkstra's tie-break is canonical
+// (largest edge ID among optimal predecessor arcs), the reused tree is
+// not merely *a* valid answer but bit-identical to what a full
+// recomputation would return — the argmin arc set of a clean vertex can
+// only lose changed (non-tree) arcs, never its minimum. Solvers built
+// on Incremental therefore produce exactly the allocations of their
+// full-recompute counterparts.
+//
+// An Incremental is driven from one goroutine (Refresh parallelizes
+// internally); the cached trees are owned by the cache and valid until
+// the next Refresh.
+type Incremental struct {
+	g       *graph.Graph
+	pool    *Pool
+	sources []int
+	slot    map[int]int
+	trees   []*Tree
+	fresh   []bool     // tree computed and not dirtied since
+	uses    [][]uint64 // per-slot bitset over edge IDs used by the tree
+	words   int
+	// activeStamp/activeGen deduplicate Refresh's active list without
+	// allocating (generation-stamped, like Scratch's visited marks).
+	activeStamp []uint32
+	activeGen   uint32
+
+	recomputed int64 // trees rebuilt by Refresh
+	reused     int64 // active trees served from cache
+}
+
+// NewIncremental builds a cache for the given source vertices
+// (duplicates are collapsed; slot order follows first occurrence). The
+// graph is frozen as a side effect so every recomputation runs on the
+// CSR fast path. A nil pool gets a private one.
+func NewIncremental(g *graph.Graph, sources []int, pool *Pool) *Incremental {
+	g.Freeze()
+	if pool == nil {
+		pool = NewPool()
+	}
+	inc := &Incremental{
+		g:     g,
+		pool:  pool,
+		slot:  make(map[int]int, len(sources)),
+		words: (g.NumEdges() + 63) / 64,
+	}
+	for _, s := range sources {
+		if _, dup := inc.slot[s]; dup {
+			continue
+		}
+		inc.slot[s] = len(inc.sources)
+		inc.sources = append(inc.sources, s)
+	}
+	inc.trees = make([]*Tree, len(inc.sources))
+	inc.fresh = make([]bool, len(inc.sources))
+	inc.uses = make([][]uint64, len(inc.sources))
+	inc.activeStamp = make([]uint32, len(inc.sources))
+	return inc
+}
+
+// NumSlots returns the number of distinct sources.
+func (inc *Incremental) NumSlots() int { return len(inc.sources) }
+
+// Slot returns the slot index of a source vertex.
+func (inc *Incremental) Slot(source int) (int, bool) {
+	s, ok := inc.slot[source]
+	return s, ok
+}
+
+// Source returns the source vertex of a slot.
+func (inc *Incremental) Source(slot int) int { return inc.sources[slot] }
+
+// Tree returns the cached tree of a slot. It is valid only if the slot
+// was active in the latest Refresh (a stale tree of an inactive slot
+// reflects older weights).
+func (inc *Incremental) Tree(slot int) *Tree { return inc.trees[slot] }
+
+// Invalidate marks dirty every cached tree that uses one of the given
+// edges. Callers must report every edge whose weight may have changed.
+func (inc *Incremental) Invalidate(edges []int) {
+	for s := range inc.fresh {
+		if !inc.fresh[s] {
+			continue
+		}
+		u := inc.uses[s]
+		for _, e := range edges {
+			if u[e>>6]&(1<<(uint(e)&63)) != 0 {
+				inc.fresh[s] = false
+				break
+			}
+		}
+	}
+}
+
+// InvalidateAll marks every cached tree dirty — the full-recompute
+// fallback, and the reset to use after any change that violates the
+// monotone-weights contract (e.g. swapping in an unrelated weight
+// function).
+func (inc *Incremental) InvalidateAll() {
+	for s := range inc.fresh {
+		inc.fresh[s] = false
+	}
+}
+
+// Refresh brings the trees of the active slots up to date under the
+// given weights, recomputing only dirty ones (distributed over up to
+// workers goroutines, each with a pooled scratch), and returns how many
+// were recomputed. Duplicate active slots are tolerated — they are
+// deduplicated here, because handing the same slot to two workers
+// would race on its tree.
+func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) int {
+	inc.activeGen++
+	if inc.activeGen == 0 { // uint32 wraparound: invalidate stale stamps
+		for i := range inc.activeStamp {
+			inc.activeStamp[i] = 0
+		}
+		inc.activeGen = 1
+	}
+	var work []int
+	distinct := 0
+	for _, s := range active {
+		if inc.activeStamp[s] == inc.activeGen {
+			continue
+		}
+		inc.activeStamp[s] = inc.activeGen
+		distinct++
+		if !inc.fresh[s] {
+			work = append(work, s)
+		}
+	}
+	inc.recomputed += int64(len(work))
+	inc.reused += int64(distinct - len(work))
+	if len(work) == 0 {
+		return 0
+	}
+	recompute := func(sc *Scratch, s int) {
+		inc.trees[s] = sc.Dijkstra(inc.g, inc.sources[s], weight, inc.trees[s])
+		inc.rebuildUses(s)
+		inc.fresh[s] = true
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		sc := inc.pool.Get(inc.g.NumVertices())
+		for _, s := range work {
+			recompute(sc, s)
+		}
+		inc.pool.Put(sc)
+		return len(work)
+	}
+	var wg sync.WaitGroup
+	queue := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := inc.pool.Get(inc.g.NumVertices())
+			for s := range queue {
+				recompute(sc, s)
+			}
+			inc.pool.Put(sc)
+		}()
+	}
+	for _, s := range work {
+		queue <- s
+	}
+	close(queue)
+	wg.Wait()
+	return len(work)
+}
+
+// rebuildUses records the edge set of slot s's tree.
+func (inc *Incremental) rebuildUses(s int) {
+	u := inc.uses[s]
+	if u == nil {
+		u = make([]uint64, inc.words)
+		inc.uses[s] = u
+	} else {
+		for i := range u {
+			u[i] = 0
+		}
+	}
+	for _, e := range inc.trees[s].PrevEdge {
+		if e >= 0 {
+			u[e>>6] |= 1 << (uint(e) & 63)
+		}
+	}
+}
+
+// Stats reports how many trees Refresh rebuilt versus served from cache
+// over the cache's lifetime — the observable form of the dirty-source
+// speedup.
+func (inc *Incremental) Stats() (recomputed, reused int64) {
+	return inc.recomputed, inc.reused
+}

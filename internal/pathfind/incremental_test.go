@@ -1,0 +1,186 @@
+package pathfind
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+
+	"truthfulufp/internal/graph"
+)
+
+// randomPricedGraph builds a random strongly connected graph with
+// strictly positive weights per edge.
+func randomPricedGraph(rng *rand.Rand, n int) (*graph.Graph, []float64) {
+	m := 2*n + rng.IntN(2*n)
+	g := graph.RandomStronglyConnected(rng, n, m, 1, 4)
+	w := make([]float64, g.NumEdges())
+	for e := range w {
+		w[e] = 0.05 + rng.Float64()
+	}
+	return g, w
+}
+
+func treesEqual(a, b *Tree) bool {
+	if a.Source != b.Source {
+		return false
+	}
+	for v := range a.Dist {
+		da, db := a.Dist[v], b.Dist[v]
+		if math.IsInf(da, 1) != math.IsInf(db, 1) {
+			return false
+		}
+		if !math.IsInf(da, 1) && da != db {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.PrevEdge, b.PrevEdge) && reflect.DeepEqual(a.PrevVert, b.PrevVert)
+}
+
+// TestScratchMatchesDijkstra: the pooled scratch path and the
+// convenience entry point agree, frozen or not.
+func TestScratchMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 4))
+	for trial := 0; trial < 20; trial++ {
+		g, w := randomPricedGraph(rng, 6+rng.IntN(20))
+		src := rng.IntN(g.NumVertices())
+		want := Dijkstra(g, src, FromSlice(w)) // CSR path (generator froze)
+		sc := NewScratch(1)                    // force growth
+		var tr *Tree
+		tr = sc.Dijkstra(g, src, FromSlice(w), tr)
+		if !treesEqual(want, tr) {
+			t.Fatalf("trial %d: scratch tree differs from Dijkstra", trial)
+		}
+		// Unfrozen fallback must agree with the CSR fast path exactly.
+		clone := g.Clone()
+		clone.AddVertex() // drop the frozen form; extra isolated vertex
+		slow := Dijkstra(clone, src, FromSlice(w))
+		for v := 0; v < g.NumVertices(); v++ {
+			if slow.Dist[v] != want.Dist[v] || slow.PrevEdge[v] != want.PrevEdge[v] {
+				t.Fatalf("trial %d: adjacency fallback differs at vertex %d", trial, v)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRecompute is the core soundness property of
+// the dirty-source cache: across randomized monotone price-update
+// sequences (multiplicative bumps on the edges of a random cached
+// path, exactly how the solvers raise prices), the incrementally
+// maintained trees are identical — distances and predecessors — to a
+// full recomputation from scratch, for every source, after every
+// update.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 23))
+	const sequences = 100
+	for seq := 0; seq < sequences; seq++ {
+		g, w := randomPricedGraph(rng, 5+rng.IntN(12))
+		n := g.NumVertices()
+		numSrc := 1 + rng.IntN(n)
+		sources := rng.Perm(n)[:numSrc]
+		inc := NewIncremental(g, sources, nil)
+		active := make([]int, inc.NumSlots())
+		for i := range active {
+			active[i] = i
+		}
+		steps := 1 + rng.IntN(8)
+		for step := 0; step < steps; step++ {
+			inc.Refresh(active, FromSlice(w), 1+rng.IntN(3))
+			for slot := 0; slot < inc.NumSlots(); slot++ {
+				got := inc.Tree(slot)
+				want := Dijkstra(g, inc.Source(slot), FromSlice(w))
+				if !treesEqual(want, got) {
+					t.Fatalf("seq %d step %d source %d: cached tree differs from recompute",
+						seq, step, inc.Source(slot))
+				}
+			}
+			// Price update: bump the edges of one cached shortest path (the
+			// admitted-path shape), or occasionally a random edge set.
+			var changed []int
+			if rng.IntN(4) > 0 {
+				slot := rng.IntN(inc.NumSlots())
+				dst := rng.IntN(n)
+				if p, ok := inc.Tree(slot).PathTo(dst); ok {
+					changed = p
+				}
+			}
+			if len(changed) == 0 {
+				for e := 0; e < g.NumEdges(); e++ {
+					if rng.IntN(8) == 0 {
+						changed = append(changed, e)
+					}
+				}
+			}
+			for _, e := range changed {
+				w[e] *= 1 + rng.Float64() // strictly increasing
+			}
+			inc.Invalidate(changed)
+		}
+		rebuilt, served := inc.Stats()
+		if rebuilt == 0 || rebuilt > int64(steps*numSrc) {
+			t.Fatalf("seq %d: implausible recompute count %d (served %d)", seq, rebuilt, served)
+		}
+	}
+}
+
+// TestIncrementalActuallyCaches: with no invalidation, a second Refresh
+// recomputes nothing; invalidating one tree's edge dirties exactly the
+// sources using it.
+func TestIncrementalActuallyCaches(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 8))
+	g, w := randomPricedGraph(rng, 30)
+	sources := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	inc := NewIncremental(g, sources, NewPool())
+	active := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := inc.Refresh(active, FromSlice(w), 4); got != len(active) {
+		t.Fatalf("cold refresh recomputed %d, want %d", got, len(active))
+	}
+	if got := inc.Refresh(active, FromSlice(w), 4); got != 0 {
+		t.Fatalf("warm refresh recomputed %d, want 0", got)
+	}
+	// Dirty one edge used by slot 0's tree.
+	var edge = -1
+	for _, e := range inc.Tree(0).PrevEdge {
+		if e >= 0 {
+			edge = e
+			break
+		}
+	}
+	if edge < 0 {
+		t.Fatal("slot 0 tree has no edges")
+	}
+	w[edge] *= 2
+	inc.Invalidate([]int{edge})
+	dirty := inc.Refresh(active, FromSlice(w), 4)
+	if dirty < 1 || dirty >= len(active) {
+		t.Fatalf("refresh after single-edge bump recomputed %d of %d", dirty, len(active))
+	}
+}
+
+// TestPoolConcurrentScratches: many goroutines hammer one Pool on one
+// frozen graph; run under -race this is the pooled-scratch data-race
+// check.
+func TestPoolConcurrentScratches(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 1))
+	g, w := randomPricedGraph(rng, 40)
+	want := Dijkstra(g, 0, FromSlice(w))
+	pool := NewPool()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			var tr *Tree
+			for iter := 0; iter < 50; iter++ {
+				sc := pool.Get(g.NumVertices())
+				tr = sc.Dijkstra(g, src%g.NumVertices(), FromSlice(w), tr)
+				pool.Put(sc)
+			}
+			if src%g.NumVertices() == 0 && !treesEqual(want, tr) {
+				t.Error("concurrent pooled scratch produced a wrong tree")
+			}
+		}(i * 5)
+	}
+	wg.Wait()
+}

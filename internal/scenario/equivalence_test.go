@@ -1,0 +1,106 @@
+package scenario_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/pathfind"
+	"truthfulufp/internal/scenario"
+)
+
+// catalogFullRule is the pre-refactor reasonable-rule implementation
+// (fresh Dijkstra per group per iteration, no caching), the reference
+// the incremental ExpRule must reproduce exactly.
+type catalogFullRule struct {
+	trees map[core.Group]*pathfind.Tree
+}
+
+func (r *catalogFullRule) Name() string { return "exp-full" }
+
+func (r *catalogFullRule) Prepare(st *core.State) {
+	r.trees = make(map[core.Group]*pathfind.Tree, len(st.ActiveGroups))
+	for _, g := range st.ActiveGroups {
+		r.trees[g] = pathfind.Dijkstra(st.Inst.G, g.Source, st.ExpWeight(g.Demand))
+	}
+}
+
+func (r *catalogFullRule) BestLen(st *core.State, g core.Group, target int) ([]int, float64, bool) {
+	tr := r.trees[g]
+	if math.IsInf(tr.Dist[target], 1) {
+		return nil, 0, false
+	}
+	p, _ := tr.PathTo(target)
+	return p, tr.Dist[target], true
+}
+
+// TestCatalogIncrementalEquivalence is the refactor's acceptance gate
+// over the full S1 scenario catalog (every topology × demand model):
+// SolveUFP, SolveMUCA, and the reasonable iterative path-min engine
+// produce identical allocations — same paths, same admitted sets under
+// the default tie-break — with the incremental caches on and off.
+func TestCatalogIncrementalEquivalence(t *testing.T) {
+	const eps = 0.5
+	for _, topo := range scenario.Topologies() {
+		for _, dm := range scenario.Demands() {
+			t.Run(topo.Name+"/"+dm.Name, func(t *testing.T) {
+				cfg := scenario.Config{Topology: topo.Name, Demand: dm.Name, Seed: 42}
+				inst, err := scenario.Generate(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				full, err := core.SolveUFP(inst, eps, &core.Options{NoIncremental: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				incr, err := core.SolveUFP(inst, eps, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(full.Routed, incr.Routed) ||
+					full.Value != incr.Value || full.Stop != incr.Stop || full.DualBound != incr.DualBound {
+					t.Fatalf("SolveUFP allocations differ with/without the incremental cache")
+				}
+				if err := incr.CheckFeasible(inst, false); err != nil {
+					t.Fatal(err)
+				}
+
+				auc, err := scenario.GenerateAuction(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				afull, err := auction.SolveMUCA(auc, eps, &auction.Options{NoIncremental: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				aincr, err := auction.SolveMUCA(auc, eps, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(afull.Selected, aincr.Selected) ||
+					afull.Value != aincr.Value || afull.Stop != aincr.Stop || afull.DualBound != aincr.DualBound {
+					t.Fatalf("SolveMUCA selections differ with/without the bundle-sum cache")
+				}
+
+				want, err := core.IterativePathMin(inst, core.EngineOptions{
+					Rule: &catalogFullRule{}, Eps: eps, FeasibleOnly: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := core.IterativePathMin(inst, core.EngineOptions{
+					Rule: &core.ExpRule{}, Eps: eps, FeasibleOnly: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.Routed, got.Routed) || want.Value != got.Value || want.Stop != got.Stop {
+					t.Fatalf("reasonable engine allocations differ with/without the tree cache")
+				}
+			})
+		}
+	}
+}

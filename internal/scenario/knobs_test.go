@@ -1,0 +1,97 @@
+package scenario_test
+
+import (
+	"reflect"
+	"testing"
+
+	"truthfulufp/internal/scenario"
+)
+
+// TestAuxKnobShapesTopology: the secondary size knob changes exactly
+// the documented structure — metroring: aux access nodes per ring,
+// startrees: aux vertices per tree — and a zero knob reproduces the
+// historical defaults byte for byte.
+func TestAuxKnobShapesTopology(t *testing.T) {
+	cases := []struct {
+		topo     string
+		size     int
+		aux      int
+		vertices int
+	}{
+		{"metroring", 6, 3, 6 + 6*3},
+		{"metroring", 4, 9, 4 + 4*9},
+		{"metroring", 6, 0, 6 + 6*4}, // default 4 access nodes per ring
+		{"startrees", 5, 4, 1 + 5*4},
+		{"startrees", 3, 11, 1 + 3*11},
+		{"startrees", 5, 0, 1 + 5*6}, // default 6 vertices per tree
+	}
+	for _, tc := range cases {
+		cfg := scenario.Config{Topology: tc.topo, Size: tc.size, Aux: tc.aux, Seed: 17}
+		inst, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s size=%d aux=%d: %v", tc.topo, tc.size, tc.aux, err)
+		}
+		if got := inst.G.NumVertices(); got != tc.vertices {
+			t.Fatalf("%s size=%d aux=%d: %d vertices, want %d", tc.topo, tc.size, tc.aux, got, tc.vertices)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAuxKnobDefaultIdentity: aux=0 and the written-out default produce
+// identical instances, so existing corpora keep their hashes.
+func TestAuxKnobDefaultIdentity(t *testing.T) {
+	for topo, def := range map[string]int{"metroring": 4, "startrees": 6} {
+		zero, err := scenario.Generate(scenario.Config{Topology: topo, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := scenario.Generate(scenario.Config{Topology: topo, Seed: 5, Aux: def})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(zero.Requests, explicit.Requests) ||
+			!reflect.DeepEqual(zero.G.Edges(), explicit.G.Edges()) {
+			t.Fatalf("%s: aux=0 and aux=%d (the default) differ", topo, def)
+		}
+	}
+}
+
+// TestAuxKnobDeterminism: same (topology, aux, seed) ⇒ identical
+// instances; a different aux must change the structure.
+func TestAuxKnobDeterminism(t *testing.T) {
+	for _, topo := range []string{"metroring", "startrees"} {
+		cfg := scenario.Config{Topology: topo, Aux: 7, Seed: 21}
+		a, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Requests, b.Requests) || !reflect.DeepEqual(a.G.Edges(), b.G.Edges()) {
+			t.Fatalf("%s: same aux and seed produced different instances", topo)
+		}
+		cfg.Aux = 8
+		c, err := scenario.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.G.NumVertices() == a.G.NumVertices() {
+			t.Fatalf("%s: aux 7 and 8 produced the same vertex count", topo)
+		}
+	}
+}
+
+// TestAuxKnobRejectedElsewhere: families without a secondary knob fail
+// loudly instead of silently ignoring it.
+func TestAuxKnobRejectedElsewhere(t *testing.T) {
+	for _, topo := range []string{"fattree", "waxman", "scalefree", "smallworld"} {
+		if _, err := scenario.Generate(scenario.Config{Topology: topo, Aux: 3, Seed: 1}); err == nil {
+			t.Fatalf("%s accepted an aux knob it does not implement", topo)
+		}
+	}
+}

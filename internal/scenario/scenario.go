@@ -47,6 +47,17 @@ type Built struct {
 	Sink int
 }
 
+// Shape is a topology's size parameters: the primary size knob plus an
+// optional per-family secondary knob.
+type Shape struct {
+	// Size is the family's primary knob (pods, nodes, rings, trees).
+	Size int
+	// Aux is the family's secondary knob: access nodes per metro ring
+	// (metroring), vertices per tree (startrees). 0 selects the family
+	// default; families without a secondary knob reject non-zero values.
+	Aux int
+}
+
 // Topology is a named graph-family generator.
 type Topology struct {
 	Name        string
@@ -54,9 +65,10 @@ type Topology struct {
 	// DefaultSize is the size knob used when Config.Size is 0. Its meaning
 	// is per-family (pods, nodes, rings, trees); see Description.
 	DefaultSize int
-	// Build generates the family member of the given size. It must consume
-	// rng deterministically: same (size, rng state) ⇒ identical output.
-	Build func(rng *rand.Rand, size int) (*Built, error)
+	// Build generates the family member of the given shape. It must
+	// consume rng deterministically: same (shape, rng state) ⇒ identical
+	// output.
+	Build func(rng *rand.Rand, shape Shape) (*Built, error)
 }
 
 // DemandModel is a named request-set generator. Generate must return
@@ -88,6 +100,10 @@ type Config struct {
 	Demand string `json:"demand,omitempty"`
 	// Size is the topology's size knob (0 = the family default).
 	Size int `json:"size,omitempty"`
+	// Aux is the topology's secondary size knob — metroring: access
+	// nodes per ring; startrees: vertices per tree (0 = the family
+	// default; other families reject non-zero values).
+	Aux int `json:"aux,omitempty"`
 	// Requests is the number of requests (0 = 4 per host).
 	Requests int `json:"requests,omitempty"`
 	// Seed drives all randomness.
@@ -199,9 +215,9 @@ func Generate(cfg Config) (*core.Instance, error) {
 		size = topo.DefaultSize
 	}
 	rng := workload.NewRNG(cfg.Seed)
-	built, err := topo.Build(rng, size)
+	built, err := topo.Build(rng, Shape{Size: size, Aux: cfg.Aux})
 	if err != nil {
-		return nil, fmt.Errorf("scenario: %s(size=%d): %w", cfg.Topology, size, err)
+		return nil, fmt.Errorf("scenario: %s(size=%d,aux=%d): %w", cfg.Topology, size, cfg.Aux, err)
 	}
 	if len(built.Hosts) < 2 && built.Sink < 0 {
 		return nil, fmt.Errorf("scenario: %s(size=%d) built fewer than 2 hosts", cfg.Topology, size)
@@ -218,6 +234,9 @@ func Generate(cfg Config) (*core.Instance, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: %s/%s generated an invalid instance: %w", cfg.Topology, cfg.Demand, err)
 	}
+	// Construction is over: freeze the CSR adjacency once here so every
+	// downstream solve starts on the fast path.
+	inst.G.Freeze()
 	return inst, nil
 }
 
@@ -237,11 +256,12 @@ func GenerateAuction(cfg Config) (*auction.Instance, error) {
 		out.Multiplicity[e] = g.Edge(e).Capacity
 	}
 	unit := func(int) float64 { return 1 }
+	scratch := pathfind.NewScratch(g.NumVertices())
 	trees := make(map[int]*pathfind.Tree)
 	for _, r := range inst.Requests {
 		tree, ok := trees[r.Source]
 		if !ok {
-			tree = pathfind.Dijkstra(g, r.Source, unit)
+			tree = scratch.Dijkstra(g, r.Source, unit, nil)
 			trees[r.Source] = tree
 		}
 		if math.IsInf(tree.Dist[r.Target], 1) {

@@ -38,7 +38,7 @@ func init() {
 	})
 	RegisterTopology(Topology{
 		Name:        "metroring",
-		Description: "metro ring-of-rings: a fat core ring whose anchors each close a thin access ring; size = metro rings, hosts = access nodes",
+		Description: "metro ring-of-rings: a fat core ring whose anchors each close a thin access ring; size = metro rings, aux = access nodes per ring (default 4)",
 		DefaultSize: 6,
 		Build:       buildMetroRing,
 	})
@@ -48,6 +48,15 @@ func init() {
 		DefaultSize: 5,
 		Build:       buildStarTrees,
 	})
+}
+
+// noAux rejects a secondary size knob on families that have none, so a
+// corpus config cannot silently ignore a shaping parameter.
+func noAux(family string, shape Shape) error {
+	if shape.Aux != 0 {
+		return fmt.Errorf("%s has no secondary size knob (aux=%d)", family, shape.Aux)
+	}
+	return nil
 }
 
 // uniformWeights returns an all-ones attraction mass.
@@ -74,7 +83,11 @@ func lognormalWeights(rng *rand.Rand, n int) []float64 {
 // for their server racks and are the hosts. Edge→aggregation links have
 // relative capacity 1 and aggregation→core links 2 (a 2:1 step-up, so
 // the core is fatter but contended under all-to-all gravity traffic).
-func buildFatTree(rng *rand.Rand, k int) (*Built, error) {
+func buildFatTree(rng *rand.Rand, shape Shape) (*Built, error) {
+	if err := noAux("fattree", shape); err != nil {
+		return nil, err
+	}
+	k := shape.Size
 	if k < 2 || k%2 != 0 {
 		return nil, fmt.Errorf("fat-tree size (pods k) must be even and >= 2, got %d", k)
 	}
@@ -104,7 +117,11 @@ func buildFatTree(rng *rand.Rand, k int) (*Built, error) {
 // buildWaxman scatters n nodes uniformly in the unit square, guarantees
 // connectivity with a random spanning tree, then adds each remaining
 // pair (u, v) with the Waxman probability α·exp(-d(u,v)/(β·L)), L = √2.
-func buildWaxman(rng *rand.Rand, n int) (*Built, error) {
+func buildWaxman(rng *rand.Rand, shape Shape) (*Built, error) {
+	if err := noAux("waxman", shape); err != nil {
+		return nil, err
+	}
+	n := shape.Size
 	if n < 2 {
 		return nil, fmt.Errorf("waxman needs >= 2 nodes, got %d", n)
 	}
@@ -152,7 +169,11 @@ func buildWaxman(rng *rand.Rand, n int) (*Built, error) {
 // each new node attaches to 2 distinct existing nodes chosen
 // proportionally to degree. Link capacity is sqrt(deg(u)·deg(v)), so
 // hub–hub links are fat, and traffic mass follows degree.
-func buildScaleFree(rng *rand.Rand, n int) (*Built, error) {
+func buildScaleFree(rng *rand.Rand, shape Shape) (*Built, error) {
+	if err := noAux("scalefree", shape); err != nil {
+		return nil, err
+	}
+	n := shape.Size
 	if n < 3 {
 		return nil, fmt.Errorf("scalefree needs >= 3 nodes, got %d", n)
 	}
@@ -198,7 +219,11 @@ func buildScaleFree(rng *rand.Rand, n int) (*Built, error) {
 // buildSmallWorld builds a Watts–Strogatz graph: a ring lattice where
 // each node links to its 2 nearest neighbors per side, then each link's
 // far endpoint is rewired with probability 0.1.
-func buildSmallWorld(rng *rand.Rand, n int) (*Built, error) {
+func buildSmallWorld(rng *rand.Rand, shape Shape) (*Built, error) {
+	if err := noAux("smallworld", shape); err != nil {
+		return nil, err
+	}
+	n := shape.Size
 	if n < 5 {
 		return nil, fmt.Errorf("smallworld needs >= 5 nodes, got %d", n)
 	}
@@ -243,28 +268,38 @@ func buildSmallWorld(rng *rand.Rand, n int) (*Built, error) {
 	return &Built{G: g, Hosts: hosts, Weight: lognormalWeights(rng, n), Sink: -1}, nil
 }
 
-// metroSize is the number of access nodes per metro ring (the anchor
-// closes the ring, so each ring has metroSize+1 vertices on it).
+// metroSize is the default number of access nodes per metro ring (the
+// anchor closes the ring, so each ring has metroSize+1 vertices on it);
+// Shape.Aux overrides it.
 const metroSize = 4
 
 // buildMetroRing builds a telecom metro topology: r anchors on a fat
 // core ring (relative capacity 4), each closing a thin access ring of
-// metroSize nodes (capacity 1). Hosts are the access nodes, so every
-// flow crosses its metro ring and usually the core.
-func buildMetroRing(rng *rand.Rand, r int) (*Built, error) {
+// shape.Aux (default metroSize) nodes of capacity 1. Hosts are the
+// access nodes, so every flow crosses its metro ring and usually the
+// core.
+func buildMetroRing(rng *rand.Rand, shape Shape) (*Built, error) {
+	r := shape.Size
 	if r < 2 {
 		return nil, fmt.Errorf("metroring needs >= 2 rings, got %d", r)
 	}
-	g := graph.NewUndirected(r + r*metroSize)
+	perRing := shape.Aux
+	if perRing == 0 {
+		perRing = metroSize
+	}
+	if perRing < 1 {
+		return nil, fmt.Errorf("metroring needs >= 1 access node per ring, got aux=%d", perRing)
+	}
+	g := graph.NewUndirected(r + r*perRing)
 	anchor := func(i int) int { return i }
-	access := func(i, j int) int { return r + i*metroSize + j }
+	access := func(i, j int) int { return r + i*perRing + j }
 	for i := 0; i < r; i++ {
 		g.AddEdge(anchor(i), anchor((i+1)%r), 4)
 	}
 	var hosts []int
 	for i := 0; i < r; i++ {
 		prev := anchor(i)
-		for j := 0; j < metroSize; j++ {
+		for j := 0; j < perRing; j++ {
 			g.AddEdge(prev, access(i, j), 1)
 			prev = access(i, j)
 			hosts = append(hosts, prev)
@@ -274,36 +309,46 @@ func buildMetroRing(rng *rand.Rand, r int) (*Built, error) {
 	return &Built{G: g, Hosts: hosts, Weight: uniformWeights(len(hosts)), Sink: -1}, nil
 }
 
-// starTreeNodes is the number of vertices per tree in startrees.
+// starTreeNodes is the default number of vertices per tree in
+// startrees; Shape.Aux overrides it (deeper/larger trees sharpen the
+// single-sink aggregation pressure).
 const starTreeNodes = 6
 
-// buildStarTrees builds the single-sink family: t random in-trees whose
-// roots feed vertex 0 (the sink) over directed edges. The edge from v
-// toward the sink carries v's whole subtree, so its relative capacity is
-// the subtree size — uniformly tight aggregation, the hard single-sink
-// shape of Shepherd–Vetta. Every request targets the sink along its
-// unique path.
-func buildStarTrees(rng *rand.Rand, t int) (*Built, error) {
+// buildStarTrees builds the single-sink family: t random in-trees of
+// shape.Aux (default starTreeNodes) vertices whose roots feed vertex 0
+// (the sink) over directed edges. The edge from v toward the sink
+// carries v's whole subtree, so its relative capacity is the subtree
+// size — uniformly tight aggregation, the hard single-sink shape of
+// Shepherd–Vetta. Every request targets the sink along its unique path.
+func buildStarTrees(rng *rand.Rand, shape Shape) (*Built, error) {
+	t := shape.Size
 	if t < 1 {
 		return nil, fmt.Errorf("startrees needs >= 1 tree, got %d", t)
 	}
-	g := graph.New(1 + t*starTreeNodes)
+	perTree := shape.Aux
+	if perTree == 0 {
+		perTree = starTreeNodes
+	}
+	if perTree < 1 {
+		return nil, fmt.Errorf("startrees needs >= 1 vertex per tree, got aux=%d", perTree)
+	}
+	g := graph.New(1 + t*perTree)
 	var hosts []int
 	for tree := 0; tree < t; tree++ {
-		base := 1 + tree*starTreeNodes
-		parent := make([]int, starTreeNodes)
+		base := 1 + tree*perTree
+		parent := make([]int, perTree)
 		parent[0] = 0 // root attaches to the sink
-		for i := 1; i < starTreeNodes; i++ {
+		for i := 1; i < perTree; i++ {
 			parent[i] = base + rng.IntN(i)
 		}
-		subtree := make([]int, starTreeNodes)
-		for i := starTreeNodes - 1; i >= 0; i-- {
+		subtree := make([]int, perTree)
+		for i := perTree - 1; i >= 0; i-- {
 			subtree[i]++
 			if i > 0 {
 				subtree[parent[i]-base] += subtree[i]
 			}
 		}
-		for i := 0; i < starTreeNodes; i++ {
+		for i := 0; i < perTree; i++ {
 			g.AddEdge(base+i, parent[i], float64(subtree[i]))
 			hosts = append(hosts, base+i)
 		}

@@ -83,6 +83,23 @@ func (c TrafficConfig) validate() error {
 	return nil
 }
 
+// ReplaySource adapts a fixed corpus of pre-generated instances into a
+// TrafficConfig.Source: fresh jobs replay the corpus in round-robin
+// order (deterministically — the rng is untouched), so a stream is a
+// faithful re-run of recorded traffic rather than a resample of it.
+// Duplicate-job selection still follows TrafficConfig.DupFraction.
+func ReplaySource(corpus []*core.Instance) (func(rng *rand.Rand) (*core.Instance, error), error) {
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("workload: replay needs a non-empty corpus")
+	}
+	next := 0
+	return func(*rand.Rand) (*core.Instance, error) {
+		inst := corpus[next%len(corpus)]
+		next++
+		return inst, nil
+	}, nil
+}
+
 // UFPStream draws the job stream's instances: c.Jobs instances where a
 // DupFraction share are verbatim repeats of earlier draws (uniformly
 // chosen), so a keyed result cache sees an expected hit ratio of about
