@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json serve fmt vet ci smoke
+.PHONY: all build test bench bench-json bench-trend serve fmt vet ci smoke
 
 all: build
 
@@ -26,6 +26,13 @@ bench:
 # step; commit full-size snapshots to track the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_path.json $(BENCHJSON_FLAGS)
+
+# Benchmark trend gate (the CI step): measure the full-size path suite
+# into a throwaway snapshot and fail on a >25% regression of the
+# IncrementalSolve speedup relative to the committed BENCH_path.json.
+# Speedup ratios are machine-portable; absolute ns/op are not.
+bench-trend:
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH_path_fresh.json -baseline BENCH_path.json -max-regression 0.25
 
 serve:
 	$(GO) run ./cmd/ufpserve

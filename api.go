@@ -1,6 +1,7 @@
 package truthfulufp
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"truthfulufp/internal/auction"
@@ -9,6 +10,7 @@ import (
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/mechanism"
 	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/solver"
 )
 
 // Re-exported UFP types. See internal/core for full documentation.
@@ -64,7 +66,8 @@ type (
 	JobResult = engine.Result
 )
 
-// Engine job kinds.
+// Engine job kinds (legacy aliases of the solver registry names; new
+// code should set Job.Algorithm to a registry name instead).
 const (
 	JobSolveUFP         = engine.JobSolveUFP
 	JobBoundedUFP       = engine.JobBoundedUFP
@@ -75,6 +78,54 @@ const (
 	JobSolveMUCA        = engine.JobSolveMUCA
 	JobAuctionMechanism = engine.JobAuctionMechanism
 )
+
+// The v1 solver registry. See internal/solver: every allocation
+// algorithm in the module — the UFP solvers and baselines, the auction
+// solvers, and both truthful mechanisms — is registered under a stable
+// name and callable through one context-first signature,
+// Solve(ctx, SolverInput, SolverParams). The registry is what the
+// engine's Job.Algorithm, ufpserve's /v1 endpoints, and the -alg flags
+// of ufprun/aucrun/ufpbench dispatch through; registering a new solver
+// surfaces it in all of them at once.
+type (
+	// Solver is one registered allocation algorithm.
+	Solver = solver.Solver
+	// SolverKind classifies a solver's input/output shape.
+	SolverKind = solver.Kind
+	// SolverInput carries the instance a solver consumes.
+	SolverInput = solver.Input
+	// SolverParams is the unified v1 parameter block (ε, tie-breaks,
+	// iteration caps, incremental toggles, seed).
+	SolverParams = solver.Params
+	// SolverOutput is a solve result (one payload field set, per kind).
+	SolverOutput = solver.Output
+)
+
+// Solver kinds.
+const (
+	SolverUFP              = solver.KindUFP
+	SolverUFPMechanism     = solver.KindUFPMechanism
+	SolverAuction          = solver.KindAuction
+	SolverAuctionMechanism = solver.KindAuctionMechanism
+)
+
+// RegisterSolver adds a solver to the process-wide registry (panics on
+// duplicate names). It is immediately dispatchable by every consumer of
+// the registry.
+func RegisterSolver(s Solver) { solver.Register(s) }
+
+// LookupSolver returns the solver registered under name.
+func LookupSolver(name string) (Solver, bool) { return solver.Lookup(name) }
+
+// Solvers returns every registered solver, sorted by name.
+func Solvers() []Solver { return solver.Solvers() }
+
+// SolverNames returns every registered solver name, sorted.
+func SolverNames() []string { return solver.Names() }
+
+// SolverDescription returns a solver's one-line description ("" if it
+// has none).
+func SolverDescription(s Solver) string { return solver.Description(s) }
 
 // ErrEngineClosed is returned by Engine.Do after Engine.Close.
 var ErrEngineClosed = engine.ErrClosed
@@ -119,41 +170,84 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // NewUndirectedGraph returns an empty undirected graph with n vertices.
 func NewUndirectedGraph(n int) *Graph { return graph.NewUndirected(n) }
 
+// The free functions below are the pre-v1 entry points, kept as thin
+// wrappers: each is equivalent to dispatching its registry name (noted
+// per function) through LookupSolver(...).Solve with a background
+// context. The *Ctx variants are the context-first v1 spellings of the
+// same calls.
+
 // SolveUFP runs the paper's headline algorithm with the Theorem 3.1
 // calling convention (Bounded-UFP with accuracy ε/6): feasible, monotone,
 // exact, and ((1+ε)·e/(e-1))-approximate for B >= ln(m)/ε²-bounded
-// instances.
+// instances. Registry name: "ufp/solve".
 func SolveUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	return core.SolveUFP(inst, eps, opt)
 }
 
+// SolveUFPCtx is SolveUFP under a context (checked every main-loop
+// iteration).
+func SolveUFPCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.SolveUFPCtx(ctx, inst, eps, opt)
+}
+
 // BoundedUFP runs Algorithm 1 with the raw accuracy parameter (see
 // internal/core.BoundedUFP for the exact semantics and the dual bound).
+// Registry name: "ufp/bounded".
 func BoundedUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	return core.BoundedUFP(inst, eps, opt)
 }
 
+// BoundedUFPCtx is BoundedUFP under a context.
+func BoundedUFPCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.BoundedUFPCtx(ctx, inst, eps, opt)
+}
+
 // SolveUFPRepeat runs Algorithm 3 with the Theorem 5.1 convention:
-// (1+ε)-approximate when repetitions are allowed.
+// (1+ε)-approximate when repetitions are allowed. Registry name:
+// "ufp/repeat".
 func SolveUFPRepeat(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	return core.SolveUFPRepeat(inst, eps, opt)
 }
 
+// SolveUFPRepeatCtx is SolveUFPRepeat under a context.
+func SolveUFPRepeatCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.SolveUFPRepeatCtx(ctx, inst, eps, opt)
+}
+
 // SequentialPrimalDual is the single-pass exponential-price baseline
-// (our stand-in for the ≈e prior art); also monotone.
+// (our stand-in for the ≈e prior art); also monotone. Registry name:
+// "ufp/sequential".
 func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	return core.SequentialPrimalDual(inst, eps, opt)
 }
 
+// SequentialPrimalDualCtx is SequentialPrimalDual under a context.
+func SequentialPrimalDualCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.SequentialPrimalDualCtx(ctx, inst, eps, opt)
+}
+
 // GreedyByDensity is the classic value-density greedy baseline.
+// Registry name: "ufp/greedy".
 func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
 	return core.GreedyByDensity(inst, opt)
 }
 
+// GreedyByDensityCtx is GreedyByDensity under a context.
+func GreedyByDensityCtx(ctx context.Context, inst *Instance, opt *Options) (*Allocation, error) {
+	return core.GreedyByDensityCtx(ctx, inst, opt)
+}
+
 // RandomizedRounding is the non-truthful LP-rounding baseline; rng makes
-// it deterministic per seed.
+// it deterministic per seed. Registry name: "ufp/rounding" (which
+// derives its rng from SolverParams.Seed as rand.NewPCG(seed, 0)).
 func RandomizedRounding(inst *Instance, rng *rand.Rand) (*Allocation, error) {
 	return core.RandomizedRounding(inst, rng, core.RoundingOptions{})
+}
+
+// RandomizedRoundingCtx is RandomizedRounding under a context (checked
+// before the LP solve and per rounding attempt).
+func RandomizedRoundingCtx(ctx context.Context, inst *Instance, rng *rand.Rand) (*Allocation, error) {
+	return core.RandomizedRoundingCtx(ctx, inst, rng, core.RoundingOptions{})
 }
 
 // AuctionOptions tune the auction solvers (cancellation, tie-breaking,
@@ -161,26 +255,53 @@ func RandomizedRounding(inst *Instance, rng *rand.Rand) (*Allocation, error) {
 type AuctionOptions = auction.Options
 
 // SolveMUCA runs Algorithm 2 with the Theorem 4.1 calling convention
-// (Bounded-MUCA with accuracy ε/6). opt may be nil.
+// (Bounded-MUCA with accuracy ε/6). opt may be nil. Registry name:
+// "muca/solve".
 func SolveMUCA(inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionAllocation, error) {
 	return auction.SolveMUCA(inst, eps, opt)
 }
 
+// SolveMUCACtx is SolveMUCA under a context.
+func SolveMUCACtx(ctx context.Context, inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionAllocation, error) {
+	return auction.SolveMUCACtx(ctx, inst, eps, opt)
+}
+
 // BoundedMUCA runs Algorithm 2 with the raw accuracy parameter. opt may
-// be nil.
+// be nil. Registry name: "muca/bounded".
 func BoundedMUCA(inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionAllocation, error) {
 	return auction.BoundedMUCA(inst, eps, opt)
 }
 
+// BoundedMUCACtx is BoundedMUCA under a context.
+func BoundedMUCACtx(ctx context.Context, inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionAllocation, error) {
+	return auction.BoundedMUCACtx(ctx, inst, eps, opt)
+}
+
 // RunUFPMechanism runs Bounded-UFP(eps) and charges every winner its
-// critical value: the truthful mechanism of Corollary 3.2.
+// critical value: the truthful mechanism of Corollary 3.2. Registry
+// name: "ufp/mechanism".
 func RunUFPMechanism(inst *Instance, eps float64, opt *Options) (*UFPOutcome, error) {
 	return mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(eps, opt), inst)
 }
 
-// RunAuctionMechanism runs Bounded-MUCA(eps) with critical-value
+// RunUFPMechanismCtx is RunUFPMechanism under a context: the context
+// reaches both the mechanism driver (between payments) and every
+// critical-value probe's main loop.
+func RunUFPMechanismCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*UFPOutcome, error) {
+	return mechanism.RunUFPMechanismCtx(ctx, mechanism.BoundedUFPAlgCtx(ctx, eps, opt), inst)
+}
+
+// RunAuctionMechanism runs Bounded-MUCA(eps, opt) with critical-value
 // payments: the truthful mechanism of Corollary 4.2, truthful even for
-// unknown single-minded agents.
-func RunAuctionMechanism(inst *AuctionInstance, eps float64) (*AuctionOutcome, error) {
-	return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps, nil), inst)
+// unknown single-minded agents. opt may be nil; like the UFP sibling, a
+// non-nil opt reaches every critical-value probe, so opt.Ctx (or better,
+// RunAuctionMechanismCtx) cancels mechanism runs mid-search. Registry
+// name: "muca/mechanism".
+func RunAuctionMechanism(inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionOutcome, error) {
+	return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps, opt), inst)
+}
+
+// RunAuctionMechanismCtx is RunAuctionMechanism under a context.
+func RunAuctionMechanismCtx(ctx context.Context, inst *AuctionInstance, eps float64, opt *AuctionOptions) (*AuctionOutcome, error) {
+	return mechanism.RunAuctionMechanismCtx(ctx, mechanism.BoundedMUCAAlgCtx(ctx, eps, opt), inst)
 }

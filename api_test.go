@@ -57,7 +57,7 @@ func TestFacadeAuction(t *testing.T) {
 	if a.Value <= 0 {
 		t.Fatal("auction allocated nothing")
 	}
-	out, err := truthfulufp.RunAuctionMechanism(inst, 0.25)
+	out, err := truthfulufp.RunAuctionMechanism(inst, 0.25, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	aucrun -instance auc.json [-eps 0.5] [-payments] [-exact] [-json]
+//	aucrun -instance auc.json [-alg muca/solve] [-eps 0.5] [-payments] [-exact] [-json]
+//	aucrun -algs
 //	ufpgen -scenario fattree -auction | aucrun -in -
 //
-// -in reads the instance from a path or from stdin ("-"), so ufpgen
-// -auction output pipes straight in. Generate a sample file with
-// -sample.
+// -alg runs any auction-consuming algorithm of the v1 solver registry
+// by name (-algs lists them; muca/mechanism emits payments); the
+// default is the Theorem 4.1 solver muca/solve. -in reads the instance
+// from a path or from stdin ("-"), so ufpgen -auction output pipes
+// straight in. Generate a sample file with -sample.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +27,7 @@ import (
 	"truthfulufp"
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/cliio"
+	"truthfulufp/internal/solver"
 )
 
 func main() {
@@ -37,6 +42,8 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	var (
 		path     = fs.String("instance", "", "path to auction JSON")
 		in       = fs.String("in", "", `auction source: a path, or "-" for stdin (supersedes -instance)`)
+		alg      = fs.String("alg", "", "registry algorithm name, e.g. muca/solve (see -algs; default muca/solve)")
+		algs     = fs.Bool("algs", false, "list the registered auction algorithms and exit")
 		eps      = fs.Float64("eps", 0.5, "accuracy parameter ε in (0,1]")
 		payments = fs.Bool("payments", false, "compute critical-value payments")
 		exact    = fs.Bool("exact", false, "also compute the exact optimum (small instances)")
@@ -45,6 +52,10 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *algs {
+		cliio.PrintAlgorithms(out, func(k solver.Kind) bool { return !k.IsUFP() })
+		return nil
 	}
 	if *sample {
 		return printSample(out)
@@ -60,13 +71,36 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	if err := inst.Validate(); err != nil {
 		return err
 	}
-	alloc, err := truthfulufp.SolveMUCA(inst, *eps, nil)
-	if err != nil {
-		return err
-	}
+
+	var alloc *truthfulufp.AuctionAllocation
 	var pays map[int]float64
-	if *payments {
-		mech, err := truthfulufp.RunAuctionMechanism(inst, *eps/6)
+	if *alg != "" {
+		s, ok := truthfulufp.LookupSolver(*alg)
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q (use -algs to list)", *alg)
+		}
+		if s.Kind().IsUFP() {
+			return fmt.Errorf("algorithm %q consumes UFP instances; use ufprun -alg", *alg)
+		}
+		res, err := s.Solve(context.Background(),
+			truthfulufp.SolverInput{Auction: inst},
+			truthfulufp.SolverParams{Eps: *eps})
+		if err != nil {
+			return err
+		}
+		alloc = res.AuctionAllocation
+		if res.AuctionOutcome != nil {
+			alloc = res.AuctionOutcome.Allocation
+			pays = res.AuctionOutcome.Payments
+		}
+	} else {
+		alloc, err = truthfulufp.SolveMUCA(inst, *eps, nil)
+		if err != nil {
+			return err
+		}
+	}
+	if *payments && pays == nil {
+		mech, err := truthfulufp.RunAuctionMechanism(inst, *eps/6, nil)
 		if err != nil {
 			return err
 		}

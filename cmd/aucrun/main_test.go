@@ -106,3 +106,33 @@ func TestStdinPipeline(t *testing.T) {
 		t.Fatal("pipeline allocated nothing")
 	}
 }
+
+// TestRegistryAlg: -algs lists the auction side, and -alg dispatches
+// every auction-consuming algorithm on the sample instance.
+func TestRegistryAlg(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-algs"}, nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range truthfulufp.Solvers() {
+		if s.Kind().IsUFP() != !strings.Contains(b.String(), s.Name()) {
+			t.Errorf("-algs listing wrong for %s:\n%s", s.Name(), b.String())
+		}
+	}
+	path := writeSample(t)
+	for _, s := range truthfulufp.Solvers() {
+		if s.Kind().IsUFP() {
+			continue
+		}
+		var out strings.Builder
+		if err := run([]string{"-instance", path, "-alg", s.Name(), "-eps", "0.4"}, nil, &out); err != nil {
+			t.Fatalf("-alg %s: %v", s.Name(), err)
+		}
+		if !strings.Contains(out.String(), "value") {
+			t.Fatalf("-alg %s produced no report:\n%s", s.Name(), out.String())
+		}
+	}
+	if err := run([]string{"-instance", path, "-alg", "ufp/solve"}, nil, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "ufprun") {
+		t.Fatalf("UFP -alg: err = %v", err)
+	}
+}

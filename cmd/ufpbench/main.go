@@ -12,15 +12,19 @@
 // synthetic traffic and reports end-to-end throughput and latency:
 //
 //	ufpbench -load [-shape closed|open] [-jobs 200] [-concurrency 16]
-//	         [-rate 200] [-dup 0.3] [-kind ufp/bounded] [-eps 0.25]
+//	         [-rate 200] [-dup 0.3] [-alg ufp/bounded] [-eps 0.25]
 //	         [-workers 0] [-seed 1] [-scenario fattree] [-demand gravity]
 //	         [-corpus dir]
+//	ufpbench -algs
 //
 // Closed-loop traffic keeps -concurrency jobs in flight (peak
 // throughput); open-loop traffic is a Poisson stream at -rate jobs/sec
 // (queueing latency). -dup is the fraction of repeated instances, which
-// exercises the engine's result cache. In load mode -workers sets the
-// engine's inter-job worker count. With -scenario the stream draws
+// exercises the engine's result cache. -alg names any UFP-consuming
+// algorithm of the v1 solver registry (-algs lists the whole registry;
+// -kind remains as the legacy spelling of the same flag). In load mode
+// -workers sets the engine's inter-job worker count. With -scenario the
+// stream draws
 // instances from the scenario catalog (see ufpgen -list) instead of
 // uniform random graphs; with -corpus it replays the instance files of
 // a ufpgen -corpus directory round-robin (in sorted filename order), so
@@ -44,10 +48,12 @@ import (
 	"time"
 
 	"truthfulufp"
+	"truthfulufp/internal/cliio"
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
 	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/solver"
 	"truthfulufp/internal/stats"
 	"truthfulufp/internal/workload"
 )
@@ -79,19 +85,37 @@ func run(args []string, out io.Writer) error {
 		concurrency = fs.Int("concurrency", 16, "load: closed-loop jobs in flight")
 		rate        = fs.Float64("rate", 200, "load: open-loop arrival rate (jobs/sec)")
 		dup         = fs.Float64("dup", 0.3, "load: fraction of repeated instances in [0,1)")
-		kind        = fs.String("kind", string(engine.JobBoundedUFP), "load: job kind (ufp/*)")
+		alg         = fs.String("alg", "", "load: registry algorithm name (UFP-consuming; see -algs; supersedes -kind)")
+		algs        = fs.Bool("algs", false, "list the registered algorithms and exit")
+		kind        = fs.String("kind", "", "load: legacy spelling of -alg (default ufp/bounded)")
 		eps         = fs.Float64("eps", 0.25, "load: accuracy parameter ε")
 		seed        = fs.Uint64("seed", 1, "load: traffic RNG seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *algs {
+		cliio.PrintAlgorithms(out, nil)
+		return nil
+	}
 	if *load {
+		algorithm := *alg
+		if algorithm == "" {
+			algorithm = *kind
+		} else if *kind != "" && *kind != algorithm {
+			return fmt.Errorf("-alg %q contradicts -kind %q", algorithm, *kind)
+		}
+		if algorithm == "" {
+			algorithm = string(engine.JobBoundedUFP)
+		}
 		return runLoad(out, loadConfig{
 			shape: *shape, jobs: *jobs, concurrency: *concurrency, rate: *rate,
-			dup: *dup, kind: engine.Kind(*kind), eps: *eps, seed: *seed,
+			dup: *dup, alg: algorithm, eps: *eps, seed: *seed,
 			workers: *workers, scenario: *scen, demand: *demand, corpus: *corpus,
 		})
+	}
+	if *alg != "" || *kind != "" {
+		return fmt.Errorf("-alg/-kind only apply with -load")
 	}
 	if *demand != "" {
 		return fmt.Errorf("-demand only applies with -load -scenario")
@@ -142,7 +166,7 @@ type loadConfig struct {
 	concurrency int
 	rate        float64
 	dup         float64
-	kind        engine.Kind
+	alg         string // solver registry name (UFP-consuming)
 	eps         float64
 	seed        uint64
 	workers     int
@@ -154,8 +178,12 @@ type loadConfig struct {
 // runLoad drives an in-process engine with a synthetic job stream and
 // prints end-to-end throughput plus client-side latency.
 func runLoad(out io.Writer, cfg loadConfig) error {
-	if !cfg.kind.IsUFP() {
-		return fmt.Errorf("load: kind %q is not a UFP job kind", cfg.kind)
+	s, ok := solver.Lookup(cfg.alg)
+	if !ok {
+		return fmt.Errorf("load: unknown algorithm %q (use -algs to list)", cfg.alg)
+	}
+	if !s.Kind().IsUFP() {
+		return fmt.Errorf("load: algorithm %q does not consume UFP instances", cfg.alg)
 	}
 	shape, err := workload.ParseTrafficShape(cfg.shape)
 	if err != nil {
@@ -209,7 +237,7 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	submit := func(i int) {
 		defer wg.Done()
 		start := time.Now()
-		_, err := e.Do(ctx, engine.Job{Kind: cfg.kind, Eps: cfg.eps, UFP: stream[i]})
+		_, err := e.Do(ctx, engine.Job{Algorithm: cfg.alg, Eps: cfg.eps, UFP: stream[i]})
 		latencies[i] = time.Since(start).Seconds()
 		errs[i] = err
 	}
@@ -251,8 +279,8 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 			source += "/" + cfg.demand
 		}
 	}
-	fmt.Fprintf(out, "engine load: %d jobs (%s), %s loop, %d workers, kind %s, dup %.2f\n",
-		cfg.jobs, source, shape, snap.Workers, cfg.kind, cfg.dup)
+	fmt.Fprintf(out, "engine load: %d jobs (%s), %s loop, %d workers, alg %s, dup %.2f\n",
+		cfg.jobs, source, shape, snap.Workers, cfg.alg, cfg.dup)
 	fmt.Fprintf(out, "  wall time        %v\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(out, "  throughput       %.1f jobs/sec\n", float64(cfg.jobs)/wall.Seconds())
 	fmt.Fprintf(out, "  latency mean     %.3f ms\n", lat.Mean()*1e3)

@@ -210,3 +210,27 @@ func TestScenarioExperimentFilter(t *testing.T) {
 		t.Error("-demand accepted in experiment mode")
 	}
 }
+
+// TestLoadRegistryAlg: -alg drives the load generator through the
+// registry, including algorithms with no legacy Kind constant.
+func TestLoadRegistryAlg(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-load", "-alg", "ufp/greedy", "-jobs", "12", "-concurrency", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "alg ufp/greedy") {
+		t.Fatalf("missing alg in report:\n%s", b.String())
+	}
+	if err := run([]string{"-load", "-alg", "muca/solve", "-jobs", "2"}, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "UFP") {
+		t.Fatalf("auction alg accepted by UFP load gen: %v", err)
+	}
+	if err := run([]string{"-load", "-alg", "ufp/greedy", "-kind", "ufp/solve", "-jobs", "2"}, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("contradictory -alg/-kind accepted: %v", err)
+	}
+	if err := run([]string{"-algs"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ufp/rounding") {
+		t.Fatal("-algs missing ufp/rounding")
+	}
+}

@@ -4,17 +4,23 @@
 //
 // Usage:
 //
+//	ufprun -instance inst.json [-alg ufp/solve] [-eps 0.5] [-json]
 //	ufprun -instance inst.json [-algorithm bounded|sequential|greedy|repeat]
 //	       [-eps 0.5] [-payments] [-json]
+//	ufprun -algs
 //	ufpgen -scenario fattree | ufprun -in -
 //
-// With -algorithm bounded (default), -eps is the Theorem 3.1 ε and the
+// -alg runs any UFP-consuming algorithm of the v1 solver registry by
+// name (-algs lists them; mechanism names like ufp/mechanism emit
+// payments). The older -algorithm flag keeps its fixed spellings:
+// with -algorithm bounded (default), -eps is the Theorem 3.1 ε and the
 // solver runs Bounded-UFP(ε/6). -in reads the instance from a path or
 // from stdin ("-"), so ufpgen output pipes straight in. Generate a
 // sample file with -sample.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +28,7 @@ import (
 
 	"truthfulufp"
 	"truthfulufp/internal/cliio"
+	"truthfulufp/internal/solver"
 )
 
 func main() {
@@ -36,14 +43,21 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	var (
 		path     = fs.String("instance", "", "path to instance JSON")
 		in       = fs.String("in", "", `instance source: a path, or "-" for stdin (supersedes -instance)`)
-		algo     = fs.String("algorithm", "bounded", "bounded|sequential|greedy|repeat")
+		alg      = fs.String("alg", "", "registry algorithm name, e.g. ufp/solve (see -algs; supersedes -algorithm)")
+		algs     = fs.Bool("algs", false, "list the registered UFP algorithms and exit")
+		algo     = fs.String("algorithm", "bounded", "bounded|sequential|greedy|repeat (legacy spellings)")
 		eps      = fs.Float64("eps", 0.5, "accuracy parameter ε in (0,1]")
+		seed     = fs.Uint64("seed", 0, "seed for randomized algorithms (ufp/rounding)")
 		payments = fs.Bool("payments", false, "also compute critical-value payments (bounded only)")
 		asJSON   = fs.Bool("json", false, "emit machine-readable JSON")
 		sample   = fs.Bool("sample", false, "print a sample instance JSON and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *algs {
+		cliio.PrintAlgorithms(out, func(k solver.Kind) bool { return k.IsUFP() })
+		return nil
 	}
 	if *sample {
 		return printSample(out)
@@ -59,6 +73,9 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	if err := inst.Validate(); err != nil {
 		return fmt.Errorf("instance invalid: %w (normalize demands into (0,1] with capacities >= demands)", err)
 	}
+	if *alg != "" {
+		return runRegistry(out, inst, *alg, *eps, *seed, *payments, *asJSON)
+	}
 
 	var alloc *truthfulufp.Allocation
 	switch *algo {
@@ -71,7 +88,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 	case "repeat":
 		alloc, err = truthfulufp.SolveUFPRepeat(inst, *eps, nil)
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return fmt.Errorf("unknown algorithm %q (or use -alg with a registry name; see -algs)", *algo)
 	}
 	if err != nil {
 		return err
@@ -93,6 +110,61 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return emitJSON(out, alloc, pays)
 	}
 	fmt.Fprintf(out, "algorithm : %s (eps=%g)\n", *algo, *eps)
+	fmt.Fprintf(out, "instance  : %s, %d requests, B=%g\n", inst.G, len(inst.Requests), inst.B())
+	fmt.Fprintf(out, "value     : %g\n", alloc.Value)
+	fmt.Fprintf(out, "routed    : %d of %d requests\n", len(alloc.Routed), len(inst.Requests))
+	fmt.Fprintf(out, "stop      : %v after %d iterations\n", alloc.Stop, alloc.Iterations)
+	if alloc.DualBound > 0 && alloc.Value > 0 {
+		fmt.Fprintf(out, "dualbound : %g  (certified ratio <= %.4f)\n", alloc.DualBound, alloc.DualBound/alloc.Value)
+	}
+	for _, p := range alloc.Routed {
+		r := inst.Requests[p.Request]
+		fmt.Fprintf(out, "  request %d: %d->%d d=%g v=%g via edges %v", p.Request, r.Source, r.Target, r.Demand, r.Value, p.Path)
+		if pays != nil {
+			fmt.Fprintf(out, "  pays %.6g", pays[p.Request])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runRegistry dispatches the instance through the v1 solver registry:
+// any UFP-consuming algorithm, mechanisms included, selected by name.
+func runRegistry(out io.Writer, inst *truthfulufp.Instance, alg string, eps float64, seed uint64, payments, asJSON bool) error {
+	s, ok := truthfulufp.LookupSolver(alg)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (use -algs to list)", alg)
+	}
+	if !s.Kind().IsUFP() {
+		return fmt.Errorf("algorithm %q consumes auction instances; use aucrun -alg", alg)
+	}
+	// Mechanism algorithms emit payments by construction; for anything
+	// else -payments would be silently meaningless, so say how to get
+	// them instead of dropping the flag on the floor.
+	if payments && !s.Kind().IsMechanism() {
+		return fmt.Errorf("-payments with -alg %s has no effect; use -alg ufp/mechanism (or legacy -algorithm bounded -payments)", alg)
+	}
+	res, err := s.Solve(context.Background(),
+		truthfulufp.SolverInput{UFP: inst},
+		truthfulufp.SolverParams{Eps: eps, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		data, err := truthfulufp.MarshalSolverOutput(res)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "%s\n", data)
+		return err
+	}
+	alloc := res.Allocation
+	var pays map[int]float64
+	if res.UFPOutcome != nil {
+		alloc = res.UFPOutcome.Allocation
+		pays = res.UFPOutcome.Payments
+	}
+	fmt.Fprintf(out, "algorithm : %s (eps=%g)\n", alg, eps)
 	fmt.Fprintf(out, "instance  : %s, %d requests, B=%g\n", inst.G, len(inst.Requests), inst.B())
 	fmt.Fprintf(out, "value     : %g\n", alloc.Value)
 	fmt.Fprintf(out, "routed    : %d of %d requests\n", len(alloc.Routed), len(inst.Requests))

@@ -9,10 +9,18 @@
 //
 // Endpoints:
 //
+//	GET  /v1/algorithms
+//	POST /v1/solve   {"algorithm": "ufp/solve", "eps": 0.25, "instance": {...}}
 //	POST /solve      {"kind": "ufp/solve", "eps": 0.25, "instance": {...}}
 //	POST /mechanism  {"eps": 0.25, "instance": {...}}
 //	POST /auction    {"mode": "solve"|"mechanism", "eps": 0.25, "instance": {...}}
 //	GET  /healthz
+//
+// The /v1 pair is the registry-backed surface: /v1/algorithms lists
+// every registered solver, and /v1/solve runs any of them by name — UFP
+// or auction, allocation or mechanism — deciding the instance schema
+// from the algorithm's kind. The older /solve, /mechanism, and /auction
+// endpoints remain as fixed-algorithm spellings of the same dispatch.
 //
 // Instances use the same JSON schema as cmd/ufprun and cmd/aucrun (see
 // the root package's MarshalInstance/MarshalAuction). Solve responses
@@ -89,6 +97,8 @@ type server struct {
 func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Duration) http.Handler {
 	s := &server{engine: engine, defaultEps: defaultEps, timeout: timeout}
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("POST /v1/solve", s.handleV1Solve)
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("POST /mechanism", s.handleMechanism)
 	mux.HandleFunc("POST /auction", s.handleAuction)
@@ -102,21 +112,31 @@ func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Dur
 	})
 }
 
-// solveRequest is the body of /solve, /mechanism, and /auction. Instance
-// carries the cmd/ufprun (UFP) or cmd/aucrun (auction) schema.
+// solveRequest is the body of /v1/solve, /solve, /mechanism, and
+// /auction. Instance carries the cmd/ufprun (UFP) or cmd/aucrun
+// (auction) schema, per the algorithm's kind.
 type solveRequest struct {
+	// Algorithm selects the registry solver on /v1/solve (see
+	// /v1/algorithms for the catalog).
+	Algorithm string `json:"algorithm"`
 	// Kind selects the algorithm on /solve (default "ufp/solve").
 	Kind string `json:"kind"`
 	// Mode selects "solve" (default) or "mechanism" on /auction.
 	Mode string `json:"mode"`
 	// Eps is the accuracy parameter ε (default: the server's -eps flag).
-	Eps      *float64        `json:"eps"`
-	NoCache  bool            `json:"noCache"`
-	Instance json.RawMessage `json:"instance"`
+	Eps *float64 `json:"eps"`
+	// Seed parameterizes randomized solvers (e.g. "ufp/rounding").
+	Seed uint64 `json:"seed"`
+	// MaxIterations caps iterative main loops on /v1/solve (0 =
+	// unlimited); recommended for the pseudo-polynomial ufp/repeat*.
+	MaxIterations int             `json:"maxIterations"`
+	NoCache       bool            `json:"noCache"`
+	Instance      json.RawMessage `json:"instance"`
 }
 
 // solveResponse wraps the canonical result encoding with job metadata.
 type solveResponse struct {
+	Algorithm  string          `json:"algorithm,omitempty"`
 	Allocation json.RawMessage `json:"allocation,omitempty"`
 	Outcome    json.RawMessage `json:"outcome,omitempty"`
 	CacheHit   bool            `json:"cacheHit"`
@@ -185,6 +205,89 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request, job truthfuluf
 		return nil, false
 	}
 	return res, true
+}
+
+// algorithmInfo is one entry of /v1/algorithms.
+type algorithmInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Mechanism   bool   `json:"mechanism"`
+	Description string `json:"description,omitempty"`
+}
+
+type algorithmsResponse struct {
+	Algorithms []algorithmInfo `json:"algorithms"`
+}
+
+func (s *server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	resp := algorithmsResponse{Algorithms: []algorithmInfo{}}
+	for _, sv := range truthfulufp.Solvers() {
+		resp.Algorithms = append(resp.Algorithms, algorithmInfo{
+			Name:        sv.Name(),
+			Kind:        string(sv.Kind()),
+			Mechanism:   sv.Kind().IsMechanism(),
+			Description: truthfulufp.SolverDescription(sv),
+		})
+	}
+	writeResult(w, resp)
+}
+
+// handleV1Solve runs any registered algorithm by name: the generic,
+// registry-backed spelling of the fixed-algorithm endpoints below.
+func (s *server) handleV1Solve(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	if req.Algorithm == "" {
+		writeError(w, http.StatusBadRequest, errors.New("request is missing an algorithm (see GET /v1/algorithms)"))
+		return
+	}
+	sv, ok := truthfulufp.LookupSolver(req.Algorithm)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (see GET /v1/algorithms)", req.Algorithm))
+		return
+	}
+	job := truthfulufp.Job{
+		Algorithm: req.Algorithm, Eps: s.eps(req), Seed: req.Seed,
+		MaxIterations: req.MaxIterations, NoCache: req.NoCache,
+	}
+	if sv.Kind().IsUFP() {
+		inst, err := truthfulufp.UnmarshalInstance(req.Instance)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job.UFP = inst
+	} else {
+		inst, err := truthfulufp.UnmarshalAuction(req.Instance)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job.Auction = inst
+	}
+	res, ok := s.dispatch(w, r, job)
+	if !ok {
+		return
+	}
+	body, err := truthfulufp.MarshalSolverOutput(truthfulufp.SolverOutput{
+		Allocation:        res.Allocation,
+		AuctionAllocation: res.AuctionAllocation,
+		UFPOutcome:        res.UFPOutcome,
+		AuctionOutcome:    res.AuctionOutcome,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := solveResponse{Algorithm: req.Algorithm, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)}
+	if sv.Kind().IsMechanism() {
+		resp.Outcome = body
+	} else {
+		resp.Allocation = body
+	}
+	writeResult(w, resp)
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -452,5 +453,152 @@ func TestServeScenarioInstance(t *testing.T) {
 	status, body = postJSON(t, ts.URL+"/auction", map[string]any{"instance": json.RawMessage(raw)})
 	if status != http.StatusOK {
 		t.Fatalf("scenario auction solve: status %d: %s", status, body)
+	}
+}
+
+// TestServeV1Algorithms: the catalog endpoint lists every registered
+// solver with its kind, matching the registry.
+func TestServeV1Algorithms(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Algorithms []struct {
+			Name        string `json:"name"`
+			Kind        string `json:"kind"`
+			Mechanism   bool   `json:"mechanism"`
+			Description string `json:"description"`
+		} `json:"algorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	want := truthfulufp.SolverNames()
+	if len(body.Algorithms) != len(want) {
+		t.Fatalf("listed %d algorithms, registry has %d", len(body.Algorithms), len(want))
+	}
+	for i, a := range body.Algorithms {
+		if a.Name != want[i] {
+			t.Fatalf("algorithms[%d] = %q, want %q (sorted)", i, a.Name, want[i])
+		}
+		s, _ := truthfulufp.LookupSolver(a.Name)
+		if a.Kind != string(s.Kind()) || a.Mechanism != s.Kind().IsMechanism() {
+			t.Fatalf("algorithms[%d] kind metadata mismatch: %+v", i, a)
+		}
+	}
+}
+
+// TestServeV1SolveEveryAlgorithm: POST /v1/solve dispatches every
+// registered solver by name, and each response re-encodes byte-
+// identically to the solver's direct registry call.
+func TestServeV1SolveEveryAlgorithm(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst := testInstance(t, 11)
+	rawUFP, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := auction.RandomInstance(workload.NewRNG(4), auction.RandomConfig{
+		Items: 6, Requests: 16, B: 60, MultSpread: 0.3,
+		BundleMin: 1, BundleMax: 3, ValueMin: 0.5, ValueMax: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawAuc, err := truthfulufp.MarshalAuction(auc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range truthfulufp.Solvers() {
+		raw := rawUFP
+		in := truthfulufp.SolverInput{UFP: inst}
+		if !s.Kind().IsUFP() {
+			raw = rawAuc
+			in = truthfulufp.SolverInput{Auction: auc}
+		}
+		status, out := postJSON(t, ts.URL+"/v1/solve", map[string]any{
+			"algorithm": s.Name(), "eps": 0.25, "seed": 9, "maxIterations": 500,
+			"instance": json.RawMessage(raw),
+		})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", s.Name(), status, out)
+		}
+		var resp struct {
+			Algorithm  string          `json:"algorithm"`
+			Allocation json.RawMessage `json:"allocation"`
+			Outcome    json.RawMessage `json:"outcome"`
+		}
+		if err := json.Unmarshal(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Algorithm != s.Name() {
+			t.Fatalf("%s: response echoes algorithm %q", s.Name(), resp.Algorithm)
+		}
+		got := resp.Allocation
+		if s.Kind().IsMechanism() {
+			got = resp.Outcome
+			if len(resp.Allocation) > 0 {
+				t.Fatalf("%s: mechanism response also carries an allocation", s.Name())
+			}
+		} else if len(resp.Outcome) > 0 {
+			t.Fatalf("%s: allocation response also carries an outcome", s.Name())
+		}
+		direct, err := s.Solve(context.Background(), in, truthfulufp.SolverParams{
+			Eps: 0.25, Seed: 9, MaxIterations: 500,
+		})
+		if err != nil {
+			t.Fatalf("%s: direct: %v", s.Name(), err)
+		}
+		want, err := truthfulufp.MarshalSolverOutput(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotC, wantC bytes.Buffer
+		if err := json.Compact(&gotC, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Compact(&wantC, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotC.Bytes(), wantC.Bytes()) {
+			t.Fatalf("%s: served result differs from direct registry call\n got %s\nwant %s",
+				s.Name(), gotC.Bytes(), wantC.Bytes())
+		}
+	}
+}
+
+// TestServeV1SolveErrors: missing and unknown algorithm names are
+// diagnosed as 400s.
+func TestServeV1SolveErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	inst := testInstance(t, 12)
+	raw, err := truthfulufp.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, out := postJSON(t, ts.URL+"/v1/solve", map[string]any{
+		"instance": json.RawMessage(raw),
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("missing algorithm: status %d: %s", status, out)
+	}
+	status, out = postJSON(t, ts.URL+"/v1/solve", map[string]any{
+		"algorithm": "ufp/imaginary", "instance": json.RawMessage(raw),
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: status %d: %s", status, out)
+	}
+	// Auction algorithm fed a UFP instance: schema mismatch diagnosed.
+	status, out = postJSON(t, ts.URL+"/v1/solve", map[string]any{
+		"algorithm": "muca/solve", "instance": json.RawMessage(raw),
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("schema mismatch: status %d: %s", status, out)
 	}
 }

@@ -9,9 +9,17 @@
 // against.
 //
 // This top-level package is a facade over the internal packages: it
-// re-exports the instance types and algorithm entry points a downstream
-// user needs, plus JSON serialization for the CLI tools. The full
-// machinery lives under internal/ (see DESIGN.md for the map):
+// re-exports the instance types, the v1 solver registry, and the
+// algorithm entry points a downstream user needs, plus JSON
+// serialization for the CLI tools. The full machinery lives under
+// internal/ (see DESIGN.md for the map):
+//
+//   - internal/solver: the v1 registry. Every algorithm in the module is
+//     a Solver — Name() + Kind() + Solve(ctx, Input, Params) — under a
+//     stable name ("ufp/solve", "muca/mechanism", ...), parameterized by
+//     one unified Params block. RegisterSolver surfaces a new algorithm
+//     in the engine (Job.Algorithm), ufpserve (/v1/solve), and the -alg
+//     flags of ufprun/aucrun/ufpbench at once.
 //
 //   - internal/core: Bounded-UFP (Algorithm 1), Bounded-UFP-Repeat
 //     (Algorithm 3), the reasonable iterative path minimizing engine,
@@ -47,12 +55,25 @@
 //	inst := &truthfulufp.Instance{G: g, Requests: []truthfulufp.Request{
 //		{Source: 0, Target: 1, Demand: 1, Value: 2},
 //	}}
-//	alloc, err := truthfulufp.SolveUFP(inst, 0.5, nil)
+//	alloc, err := truthfulufp.SolveUFPCtx(ctx, inst, 0.5, nil)
 //
 // Demands must be normalized into (0, 1] with B = min edge capacity >= 1;
-// use Instance.Normalized. SolveUFP(inst, ε, nil) is the Theorem 3.1
-// mechanism-ready entry point: feasible, monotone, exact, and
-// ((1+ε)·e/(e-1))-approximate once B >= ln(m)/ε².
+// use Instance.Normalized. SolveUFPCtx(ctx, inst, ε, nil) is the
+// Theorem 3.1 mechanism-ready entry point: feasible, monotone, exact,
+// and ((1+ε)·e/(e-1))-approximate once B >= ln(m)/ε².
+//
+// # The v1 calling convention: context first
+//
+// Every entry point has a context-first *Ctx form (SolveUFPCtx,
+// BoundedMUCACtx, RunUFPMechanismCtx, ...), and the registry's
+// Solver.Solve takes ctx as its first argument: the context is checked
+// every main-loop iteration — and between every critical-value probe of
+// a mechanism run — so a done context abandons the solve promptly and
+// returns the context's error. The pre-v1 spellings (SolveUFP, ...)
+// remain as thin wrappers, and Options.Ctx / AuctionOptions.Ctx remain
+// as deprecated shims that an explicit ctx argument supersedes. The
+// same applies to the engine: Job.Algorithm (a registry name) is the v1
+// field, with the Job.Kind enum kept as aliases for one release.
 //
 // # Graph lifecycle: build → Freeze → solve
 //

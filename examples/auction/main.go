@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -47,7 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	alloc, err := truthfulufp.BoundedMUCA(inst, eps, nil)
+	alloc, err := truthfulufp.BoundedMUCACtx(context.Background(), inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,11 +34,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// BoundedUFP(inst, ε, nil) is Algorithm 1: feasible (never overloads
+	// BoundedUFPCtx(ctx, inst, ε, nil) is Algorithm 1: feasible (never overloads
 	// an edge), monotone and exact (so it can be priced truthfully), and
 	// e/(e-1)-approximate in the large-capacity regime.
 	const eps = 0.5
-	alloc, err := truthfulufp.BoundedUFP(inst, eps, nil)
+	alloc, err := truthfulufp.BoundedUFPCtx(context.Background(), inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 	// mechanism (Theorem 2.3): no agent gains by lying about its demand
 	// or value. Winners pay the smallest value at which they would still
 	// have won — zero without contention, positive here.
-	outcome, err := truthfulufp.RunUFPMechanism(inst, eps, nil)
+	outcome, err := truthfulufp.RunUFPMechanismCtx(context.Background(), inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	}
 
 	const eps = 0.6 // Theorem 5.1 convention: runs Bounded-UFP-Repeat(ε/6)
-	rep, err := truthfulufp.SolveUFPRepeat(inst, eps, nil)
+	rep, err := truthfulufp.SolveUFPRepeatCtx(context.Background(), inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 		100*rep.Value/gk.UpperBound)
 
 	// Contrast: the single-shot algorithm can serve each request once.
-	single, err := truthfulufp.SolveUFP(inst, eps, nil)
+	single, err := truthfulufp.SolveUFPCtx(context.Background(), inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewPCG(2026, 6))
 
 	// Backbone: 4 layers (edge routers -> core -> core -> edge routers),
@@ -60,15 +62,15 @@ func main() {
 	fmt.Printf("backbone: %v, B = %g, %d requests, total demand %g\n",
 		inst.G, inst.B(), len(inst.Requests), totalDemand(inst))
 
-	bounded, err := truthfulufp.BoundedUFP(inst, 0.35, nil)
+	bounded, err := truthfulufp.BoundedUFPCtx(ctx, inst, 0.35, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := truthfulufp.SequentialPrimalDual(inst, 0.35, nil)
+	seq, err := truthfulufp.SequentialPrimalDualCtx(ctx, inst, 0.35, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	greedy, err := truthfulufp.GreedyByDensity(inst, nil)
+	greedy, err := truthfulufp.GreedyByDensityCtx(ctx, inst, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -44,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	outcome, err := truthfulufp.RunUFPMechanism(inst, eps, nil)
+	outcome, err := truthfulufp.RunUFPMechanismCtx(context.Background(), inst, eps, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func main() {
 			decl.Value *= vm
 			mod := inst.Clone()
 			mod.Requests[agent] = decl
-			out, err := truthfulufp.RunUFPMechanism(mod, eps, nil)
+			out, err := truthfulufp.RunUFPMechanismCtx(context.Background(), mod, eps, nil)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -210,6 +210,10 @@ type Options struct {
 	// Ctx, if non-nil, is checked once per main-loop iteration: when it is
 	// done the solver abandons the run and returns the context's error, so
 	// engine/ufpserve timeouts reclaim their workers.
+	//
+	// Deprecated: pass the context to SolveMUCACtx/BoundedMUCACtx
+	// instead; an explicit ctx argument supersedes this field, which
+	// remains as a compatibility shim.
 	Ctx context.Context
 	// Tie orders requests whose price ratios are numerically tied; it
 	// returns true if a should be preferred over b (default: smaller

@@ -219,3 +219,43 @@ func WriteJSON(w io.Writer, snap Snapshot) error {
 	_, err = w.Write(append(data, '\n'))
 	return err
 }
+
+// ReadJSON decodes a snapshot (e.g. the committed BENCH_path.json).
+func ReadJSON(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: decoding snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// Compare is the CI trend gate: it fails when the fresh snapshot's
+// headline IncrementalSolve speedup has regressed more than
+// maxRegression (a fraction, e.g. 0.25) relative to the baseline.
+//
+// The speedup ratio — full-recompute ns/op over incremental ns/op on
+// the same machine and instance — is what is comparable across CI
+// runners; absolute ns/op are not. It is still scale-dependent (quick
+// instances show a smaller win than full-size ones), so comparing a
+// quick run against a full-size baseline would always "regress";
+// Compare rejects mismatched scales outright rather than report
+// nonsense.
+func Compare(fresh, baseline Snapshot, maxRegression float64) error {
+	if fresh.Suite != baseline.Suite {
+		return fmt.Errorf("bench: comparing suite %q against baseline suite %q", fresh.Suite, baseline.Suite)
+	}
+	if fresh.Quick != baseline.Quick {
+		return fmt.Errorf("bench: scale mismatch: fresh quick=%v vs baseline quick=%v — speedups are only comparable at equal scale", fresh.Quick, baseline.Quick)
+	}
+	if baseline.IncrementalSpeedup <= 0 {
+		return fmt.Errorf("bench: baseline has no IncrementalSolve speedup")
+	}
+	regression := 1 - fresh.IncrementalSpeedup/baseline.IncrementalSpeedup
+	if regression > maxRegression {
+		return fmt.Errorf("bench: IncrementalSolve speedup regressed %.0f%% (%.2fx -> %.2fx, tolerance %.0f%%)",
+			regression*100, baseline.IncrementalSpeedup, fresh.IncrementalSpeedup, maxRegression*100)
+	}
+	return nil
+}

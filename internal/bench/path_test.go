@@ -1,0 +1,57 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"truthfulufp/internal/bench"
+)
+
+func snap(speedup float64, quick bool) bench.Snapshot {
+	return bench.Snapshot{
+		Suite: "path", Quick: quick, IncrementalSpeedup: speedup,
+		Benchmarks: map[string]bench.Entry{"IncrementalSolve/incremental": {NsPerOp: 1, N: 1}},
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := snap(10, false)
+	if err := bench.Compare(snap(9, false), base, 0.25); err != nil {
+		t.Fatalf("10%% regression tripped a 25%% gate: %v", err)
+	}
+	if err := bench.Compare(snap(12, false), base, 0.25); err != nil {
+		t.Fatalf("improvement tripped the gate: %v", err)
+	}
+	err := bench.Compare(snap(7, false), base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("30%% regression passed a 25%% gate: %v", err)
+	}
+	// Quick-vs-full comparisons are apples to oranges: refused, not
+	// reported as a regression.
+	err = bench.Compare(snap(10, true), base, 0.25)
+	if err == nil || !strings.Contains(err.Error(), "scale mismatch") {
+		t.Fatalf("scale mismatch not refused: %v", err)
+	}
+	if err := bench.Compare(snap(10, false), snap(0, false), 0.25); err == nil {
+		t.Fatal("zero-speedup baseline accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := snap(13.5, false)
+	if err := bench.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bench.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IncrementalSpeedup != want.IncrementalSpeedup || got.Suite != want.Suite {
+		t.Fatalf("round trip mangled the snapshot: %+v", got)
+	}
+	if _, err := bench.ReadJSON(strings.NewReader(`{"suite":"path","unknown_field":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,11 +1,14 @@
-// Package cliio holds the small input-resolution helpers shared by the
-// file-driven CLIs (cmd/ufprun, cmd/aucrun).
+// Package cliio holds the small CLI helpers shared by the file-driven
+// tools (cmd/ufprun, cmd/aucrun, cmd/ufpbench): input resolution and
+// the solver-registry listing.
 package cliio
 
 import (
 	"fmt"
 	"io"
 	"os"
+
+	"truthfulufp/internal/solver"
 )
 
 // ReadSource resolves a CLI input document: in ("-in": a path, or "-"
@@ -26,4 +29,16 @@ func ReadSource(in, path string, stdin io.Reader, hint string) ([]byte, error) {
 		return io.ReadAll(stdin)
 	}
 	return os.ReadFile(src)
+}
+
+// PrintAlgorithms writes the solver-registry listing behind the CLIs'
+// -algs flags (one implementation so the columns cannot drift between
+// tools). keep filters by kind; nil lists everything.
+func PrintAlgorithms(w io.Writer, keep func(solver.Kind) bool) {
+	for _, s := range solver.Solvers() {
+		if keep != nil && !keep(s.Kind()) {
+			continue
+		}
+		fmt.Fprintf(w, "%-20s %-18s %s\n", s.Name(), s.Kind(), solver.Description(s))
+	}
 }

@@ -33,6 +33,10 @@ type Options struct {
 	// per request in the single-pass baselines): when it is done the
 	// solver abandons the run and returns the context's error. This is how
 	// engine/ufpserve timeouts reclaim a worker mid-solve.
+	//
+	// Deprecated: pass the context to the *Ctx entry points
+	// (SolveUFPCtx, BoundedUFPCtx, ...) instead; an explicit ctx argument
+	// supersedes this field, which remains as a compatibility shim.
 	Ctx context.Context
 	// TieBreak overrides the default tie-breaking between candidates with
 	// equal ratios. It never sees candidates with different ratios.

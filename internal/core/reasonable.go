@@ -31,6 +31,21 @@ type State struct {
 	FeasibleOnly bool    // restrict candidate paths to residual-feasible edges
 	ActiveGroups []Group // groups with remaining requests this iteration
 	Workers      int
+	// Pool supplies the Dijkstra/bottleneck scratch buffers shared by the
+	// rules' per-group path queries. IterativePathMin always sets it; the
+	// rules fall back to a package-shared pool when driven by hand.
+	Pool *pathfind.Pool
+}
+
+// sharedRulePool backs State.Pool for callers that drive rules by hand
+// without configuring one.
+var sharedRulePool = pathfind.NewPool()
+
+func (st *State) pool() *pathfind.Pool {
+	if st.Pool != nil {
+		return st.Pool
+	}
+	return sharedRulePool
 }
 
 const feasTol = 1e-9
@@ -266,7 +281,9 @@ func (r *HopRule) invalidatePath(st *State, path []int) {
 // price length scaled by a hop-count factor, mildly biased toward paths
 // with fewer edges. Minimization runs over a hop-bounded Bellman-Ford
 // table: min over k of ln(1+k)·(min exp-length among paths of <= k
-// edges).
+// edges). Tables persist across iterations as reusable buffers
+// (BellmanFordHopsInto), so steady-state iterations allocate no fresh
+// tables.
 type LogHopsRule struct {
 	tables map[Group]*pathfind.HopTable
 	mu     sync.Mutex
@@ -283,9 +300,14 @@ func (r *LogHopsRule) Prepare(st *State) {
 	if depth <= 0 {
 		depth = st.Inst.G.NumVertices() - 1
 	}
-	r.tables = make(map[Group]*pathfind.HopTable, len(st.ActiveGroups))
+	if r.tables == nil {
+		r.tables = make(map[Group]*pathfind.HopTable, len(st.ActiveGroups))
+	}
 	st.forEachGroup(func(g Group) {
-		t := pathfind.BellmanFordHops(st.Inst.G, g.Source, st.ExpWeight(g.Demand), depth)
+		r.mu.Lock()
+		buf := r.tables[g] // reused as a buffer; recomputed in full below
+		r.mu.Unlock()
+		t := pathfind.BellmanFordHopsInto(st.Inst.G, g.Source, st.ExpWeight(g.Demand), depth, buf)
 		r.mu.Lock()
 		r.tables[g] = t
 		r.mu.Unlock()
@@ -320,7 +342,10 @@ func (r *LogHopsRule) BestLen(st *State, g Group, target int) ([]int, float64, b
 // BottleneckRule minimizes (d/v)·max_{e∈p} (1/c_e)e^{εB·f_e/c_e}: route
 // along the path whose most expensive edge is cheapest ("least congested
 // bottleneck"). Reasonable per Definition 3.9: pointwise-dominated flow
-// vectors cannot have a larger maximum.
+// vectors cannot have a larger maximum. Queries run on the shared
+// scratch pool (State.Pool) and result trees persist across iterations
+// as reusable buffers, so steady-state iterations allocate neither heaps
+// nor trees.
 type BottleneckRule struct {
 	trees map[Group]*pathfind.Tree
 	mu    sync.Mutex
@@ -331,9 +356,17 @@ func (r *BottleneckRule) Name() string { return "bottleneck" }
 
 // Prepare implements Rule.
 func (r *BottleneckRule) Prepare(st *State) {
-	r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
+	if r.trees == nil {
+		r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
+	}
+	pool := st.pool()
 	st.forEachGroup(func(g Group) {
-		t := pathfind.Bottleneck(st.Inst.G, g.Source, st.ExpWeight(g.Demand))
+		scratch := pool.Get(st.Inst.G.NumVertices())
+		r.mu.Lock()
+		buf := r.trees[g] // reused as a buffer; recomputed in full below
+		r.mu.Unlock()
+		t := scratch.Bottleneck(st.Inst.G, g.Source, st.ExpWeight(g.Demand), buf)
+		pool.Put(scratch)
 		r.mu.Lock()
 		r.trees[g] = t
 		r.mu.Unlock()
@@ -423,8 +456,14 @@ type EngineOptions struct {
 	MaxIterations int
 	// Workers bounds parallelism in per-iteration path computations.
 	Workers int
-	// Ctx, if non-nil, cancels the main loop (see Options.Ctx).
+	// Ctx, if non-nil, cancels the main loop.
+	//
+	// Deprecated: pass the context to IterativePathMinCtx instead; Ctx
+	// remains as a compatibility shim.
 	Ctx context.Context
+	// PathPool, if non-nil, supplies the scratch buffers for the rules'
+	// path queries (see Options.PathPool); nil uses a shared pool.
+	PathPool *pathfind.Pool
 }
 
 // IterativePathMin runs a reasonable iterative path minimizing algorithm
@@ -454,6 +493,10 @@ func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	pool := opt.PathPool
+	if pool == nil {
+		pool = sharedRulePool
+	}
 	st := &State{
 		Inst:         inst,
 		Flow:         make([]float64, inst.G.NumEdges()),
@@ -461,6 +504,7 @@ func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
 		B:            inst.B(),
 		FeasibleOnly: opt.FeasibleOnly,
 		Workers:      workers,
+		Pool:         pool,
 	}
 	tie := opt.TieBreak
 	if tie == nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand/v2"
 	"sort"
 )
@@ -27,6 +29,13 @@ type RoundingOptions struct {
 // dropped (lowest value first) until feasible, so the returned
 // allocation is always feasible. The result is deterministic given rng.
 func RandomizedRounding(inst *Instance, rng *rand.Rand, opt RoundingOptions) (*Allocation, error) {
+	return RandomizedRoundingCtx(context.Background(), inst, rng, opt)
+}
+
+// RandomizedRoundingCtx is RandomizedRounding under a context: the
+// context is checked before the LP solve and once per rounding attempt,
+// and the run is abandoned with the context's error when it is done.
+func RandomizedRoundingCtx(ctx context.Context, inst *Instance, rng *rand.Rand, opt RoundingOptions) (*Allocation, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,12 +47,18 @@ func RandomizedRounding(inst *Instance, rng *rand.Rand, opt RoundingOptions) (*A
 	if retries <= 0 {
 		retries = 20
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("core: rounding cancelled before the LP solve: %w", err)
+	}
 	frac, err := FractionalUFP(inst, true)
 	if err != nil {
 		return nil, err
 	}
 	g := inst.G
 	for attempt := 0; attempt < retries; attempt++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("core: rounding cancelled at attempt %d: %w", attempt, err)
+		}
 		var routed []Routed
 		for r := range inst.Requests {
 			if len(frac.Decomposition[r]) == 0 {

@@ -3,10 +3,14 @@
 // jobs, shards them across inter-job workers (each solve additionally
 // using core.Options.Workers for intra-solve parallelism), deduplicates
 // identical jobs in flight, and memoizes results in a keyed LRU cache
-// (instance fingerprint + job kind + ε). Every job is a pure function of
-// its instance and parameters, so coalescing and caching never change
-// results — an engine answer is identical to a direct call of the
-// corresponding algorithm.
+// (instance fingerprint + algorithm name + parameters). Jobs name their
+// algorithm by solver registry name (Job.Algorithm; the Kind enum
+// remains as legacy aliases) and execute by dispatching through
+// internal/solver, so a newly registered solver is servable with no
+// engine change. Every job is a pure function of its instance and
+// parameters, so coalescing and caching never change results — an
+// engine answer is identical to a direct call of the corresponding
+// algorithm.
 package engine
 
 import (
@@ -21,14 +25,21 @@ import (
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/mechanism"
 	"truthfulufp/internal/pathfind"
+	"truthfulufp/internal/solver"
 	"truthfulufp/internal/stats"
 )
 
-// Kind names the algorithm a job runs.
+// Kind names the algorithm a job runs. Since the v1 registry, a Kind is
+// an alias for a solver registry name (internal/solver): the enum below
+// is kept for one release as the legacy spelling of Job.Algorithm, and
+// its methods answer through the registry, so kinds and names never
+// disagree.
 type Kind string
 
-// Job kinds. The UFP kinds require Job.UFP; the auction kinds require
-// Job.Auction.
+// Legacy job kinds, aliasing the registry names of the corresponding
+// solvers. New code should set Job.Algorithm directly — any registered
+// name works there, including ones without a Kind constant (e.g.
+// "ufp/rounding").
 const (
 	// JobSolveUFP runs core.SolveUFP (Theorem 3.1 calling convention).
 	JobSolveUFP Kind = "ufp/solve"
@@ -50,86 +61,126 @@ const (
 	JobAuctionMechanism Kind = "muca/mechanism"
 )
 
-// Valid reports whether k names a known job kind.
+// Valid reports whether k names a registered solver.
 func (k Kind) Valid() bool {
-	switch k {
-	case JobSolveUFP, JobBoundedUFP, JobSolveUFPRepeat, JobSequentialUFP,
-		JobGreedyUFP, JobUFPMechanism, JobSolveMUCA, JobAuctionMechanism:
-		return true
-	}
-	return false
+	_, ok := solver.Lookup(string(k))
+	return ok
 }
 
 // IsUFP reports whether k consumes a UFP instance, as opposed to an
 // auction instance. Unknown kinds report false.
 func (k Kind) IsUFP() bool {
-	switch k {
-	case JobSolveMUCA, JobAuctionMechanism:
-		return false
-	}
-	return k.Valid()
+	s, ok := solver.Lookup(string(k))
+	return ok && s.Kind().IsUFP()
 }
 
 // IsUFPSolve reports whether k is a UFP allocation algorithm — IsUFP
-// minus the mechanism — i.e. the kinds whose Result carries Allocation.
+// minus the mechanisms — i.e. the kinds whose Result carries Allocation.
 func (k Kind) IsUFPSolve() bool {
-	return k.IsUFP() && k != JobUFPMechanism
+	s, ok := solver.Lookup(string(k))
+	return ok && s.Kind() == solver.KindUFP
 }
 
-// Job is one unit of work. Exactly one of UFP and Auction must be set,
-// matching the kind. Instances must not be mutated after submission.
+// Job is one unit of work. The algorithm is named by Algorithm (any
+// registered solver) or the legacy Kind alias; exactly one of UFP and
+// Auction must be set, matching what the algorithm consumes. Instances
+// must not be mutated after submission.
 type Job struct {
+	// Kind is the legacy algorithm field, aliasing registry names.
+	//
+	// Deprecated: set Algorithm instead. When both are set they must
+	// agree; Algorithm alone is authoritative otherwise.
 	Kind Kind
-	// Eps is the accuracy parameter ε (ignored by JobGreedyUFP).
+	// Algorithm is the solver registry name to run ("ufp/solve",
+	// "muca/mechanism", ...; see internal/solver.Names). Empty falls back
+	// to Kind.
+	Algorithm string
+	// Eps is the accuracy parameter ε (ignored by solvers that do not
+	// consume one, e.g. "ufp/greedy").
 	Eps float64
-	// UFP is the instance for the ufp/* kinds.
+	// Seed parameterizes randomized solvers ("ufp/rounding"); ignored —
+	// including by the cache key — for deterministic ones.
+	Seed uint64
+	// MaxIterations caps iterative main loops (0 = unlimited). Essential
+	// for the repeat variants, whose iteration count is pseudo-polynomial.
+	MaxIterations int
+	// UFP is the instance for UFP-consuming algorithms.
 	UFP *core.Instance
-	// Auction is the instance for the muca/* kinds.
+	// Auction is the instance for auction-consuming algorithms.
 	Auction *auction.Instance
 	// NoCache bypasses the result cache (the job still coalesces with an
 	// identical in-flight job).
 	NoCache bool
 }
 
-func (j Job) validate() error {
-	if !j.Kind.Valid() {
-		return fmt.Errorf("engine: unknown job kind %q", j.Kind)
+// algorithm returns the job's effective registry name: Algorithm when
+// set, else the Kind alias.
+func (j Job) algorithm() string {
+	if j.Algorithm != "" {
+		return j.Algorithm
 	}
-	if j.Kind.IsUFP() {
+	return string(j.Kind)
+}
+
+// resolve maps the job to its registered solver.
+func (j Job) resolve() (solver.Solver, error) {
+	name := j.algorithm()
+	if name == "" {
+		return nil, fmt.Errorf("engine: job names no algorithm (set Job.Algorithm)")
+	}
+	if j.Algorithm != "" && j.Kind != "" && string(j.Kind) != j.Algorithm {
+		return nil, fmt.Errorf("engine: job kind %q contradicts algorithm %q", j.Kind, j.Algorithm)
+	}
+	s, ok := solver.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q", name)
+	}
+	return s, nil
+}
+
+func (j Job) validate() (solver.Solver, error) {
+	s, err := j.resolve()
+	if err != nil {
+		return nil, err
+	}
+	name := s.Name()
+	if s.Kind().IsUFP() {
 		if j.UFP == nil {
-			return fmt.Errorf("engine: %s job needs a UFP instance", j.Kind)
+			return nil, fmt.Errorf("engine: %s job needs a UFP instance", name)
 		}
 		if j.UFP.G == nil {
 			// Caught here so key() never dereferences a nil graph; the
 			// solvers would reject the instance with the same diagnosis.
-			return fmt.Errorf("engine: %s job instance has no graph", j.Kind)
+			return nil, fmt.Errorf("engine: %s job instance has no graph", name)
 		}
 		if j.Auction != nil {
-			return fmt.Errorf("engine: %s job must not carry an auction instance", j.Kind)
+			return nil, fmt.Errorf("engine: %s job must not carry an auction instance", name)
 		}
 	} else {
 		if j.Auction == nil {
-			return fmt.Errorf("engine: %s job needs an auction instance", j.Kind)
+			return nil, fmt.Errorf("engine: %s job needs an auction instance", name)
 		}
 		if j.UFP != nil {
-			return fmt.Errorf("engine: %s job must not carry a UFP instance", j.Kind)
+			return nil, fmt.Errorf("engine: %s job must not carry a UFP instance", name)
 		}
 	}
-	return nil
+	return s, nil
 }
 
 // Result is a completed job's output. Exactly one of the four payload
-// fields is set, matching the job kind. Results may be shared between
-// callers via the cache, so they must be treated as immutable.
+// fields is set, matching the solver's kind (see solver.Kind). Results
+// may be shared between callers via the cache, so they must be treated
+// as immutable.
 type Result struct {
-	// Allocation is set for JobSolveUFP/JobBoundedUFP/JobSolveUFPRepeat/
-	// JobSequentialUFP/JobGreedyUFP.
+	// Allocation is set for solver.KindUFP algorithms ("ufp/solve",
+	// "ufp/bounded", "ufp/repeat", "ufp/sequential", "ufp/greedy",
+	// "ufp/rounding", ...).
 	Allocation *core.Allocation
-	// AuctionAllocation is set for JobSolveMUCA.
+	// AuctionAllocation is set for solver.KindAuction algorithms.
 	AuctionAllocation *auction.Allocation
-	// UFPOutcome is set for JobUFPMechanism.
+	// UFPOutcome is set for solver.KindUFPMechanism algorithms.
 	UFPOutcome *mechanism.UFPOutcome
-	// AuctionOutcome is set for JobAuctionMechanism.
+	// AuctionOutcome is set for solver.KindAuctionMechanism algorithms.
 	AuctionOutcome *mechanism.AuctionOutcome
 	// Elapsed is the wall-clock solve time of the job's single execution
 	// (shared verbatim by coalesced and cached answers).
@@ -277,7 +328,8 @@ func (e *Engine) Close() {
 // main-loop iteration — so an abandoned pathological solve releases its
 // worker instead of occupying it to completion.
 func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
-	if err := job.validate(); err != nil {
+	s, err := job.validate()
+	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -290,7 +342,7 @@ func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 		return nil, ErrClosed
 	}
 	e.submitted.Inc()
-	key := job.Fingerprint()
+	key := job.fingerprint(s)
 	counted := false
 	for {
 		if !job.NoCache && e.cache != nil {
@@ -313,7 +365,7 @@ func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 			counted = true
 		}
 		if leader {
-			if err := e.enqueue(ctx, job, key, c); err != nil {
+			if err := e.enqueue(ctx, job, s, key, c); err != nil {
 				e.leave(c)
 				return nil, err
 			}
@@ -386,10 +438,10 @@ func (e *Engine) join(key string, wantCache bool) (c *call, leader bool, cached 
 // enqueue hands the leader's execution to the worker pool, blocking on a
 // full queue until ctx is done. On failure the pending call is completed
 // with the error so coalesced waiters do not hang.
-func (e *Engine) enqueue(ctx context.Context, job Job, key string, c *call) error {
+func (e *Engine) enqueue(ctx context.Context, job Job, s solver.Solver, key string, c *call) error {
 	task := func() {
 		start := time.Now()
-		res, err := e.run(c.runCtx, job)
+		res, err := e.run(c.runCtx, job, s)
 		if err != nil {
 			res = nil
 			if isContextErr(err) {
@@ -441,39 +493,30 @@ func (e *Engine) abandon(key string, c *call, err error) {
 }
 
 // run executes the job's algorithm under ctx (cancelled when every
-// waiter has abandoned the job). Solvers use SolveWorkers goroutines
-// internally; everything else about the call matches the package-level
-// entry points exactly, so results are interchangeable with direct calls.
-func (e *Engine) run(ctx context.Context, job Job) (*Result, error) {
-	opt := &core.Options{Workers: e.cfg.SolveWorkers, Ctx: ctx, PathPool: e.paths}
-	aopt := &auction.Options{Ctx: ctx}
-	switch job.Kind {
-	case JobSolveUFP:
-		a, err := core.SolveUFP(job.UFP, job.Eps, opt)
-		return &Result{Allocation: a}, err
-	case JobBoundedUFP:
-		a, err := core.BoundedUFP(job.UFP, job.Eps, opt)
-		return &Result{Allocation: a}, err
-	case JobSolveUFPRepeat:
-		a, err := core.SolveUFPRepeat(job.UFP, job.Eps, opt)
-		return &Result{Allocation: a}, err
-	case JobSequentialUFP:
-		a, err := core.SequentialPrimalDual(job.UFP, job.Eps, opt)
-		return &Result{Allocation: a}, err
-	case JobGreedyUFP:
-		a, err := core.GreedyByDensity(job.UFP, opt)
-		return &Result{Allocation: a}, err
-	case JobUFPMechanism:
-		out, err := mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(job.Eps, opt), job.UFP)
-		return &Result{UFPOutcome: out}, err
-	case JobSolveMUCA:
-		a, err := auction.SolveMUCA(job.Auction, job.Eps, aopt)
-		return &Result{AuctionAllocation: a}, err
-	case JobAuctionMechanism:
-		out, err := mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(job.Eps, aopt), job.Auction)
-		return &Result{AuctionOutcome: out}, err
+// waiter has abandoned the job) by dispatching through the solver
+// registry. Solvers use SolveWorkers goroutines internally and share the
+// engine's scratch pool; everything else about the call matches the
+// package-level entry points exactly, so results are interchangeable
+// with direct calls.
+func (e *Engine) run(ctx context.Context, job Job, s solver.Solver) (*Result, error) {
+	out, err := s.Solve(ctx,
+		solver.Input{UFP: job.UFP, Auction: job.Auction},
+		solver.Params{
+			Eps:           job.Eps,
+			Seed:          job.Seed,
+			MaxIterations: job.MaxIterations,
+			Workers:       e.cfg.SolveWorkers,
+			PathPool:      e.paths,
+		})
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("engine: unknown job kind %q", job.Kind)
+	return &Result{
+		Allocation:        out.Allocation,
+		AuctionAllocation: out.AuctionAllocation,
+		UFPOutcome:        out.UFPOutcome,
+		AuctionOutcome:    out.AuctionOutcome,
+	}, nil
 }
 
 // Snapshot is a point-in-time view of the engine's counters.

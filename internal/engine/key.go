@@ -5,25 +5,65 @@ import (
 	"encoding/binary"
 	"hash"
 	"math"
+
+	"truthfulufp/internal/solver"
 )
 
 // Fingerprint is the job's coalescing/cache key: SHA-256 over a
-// canonical binary encoding of the kind, ε, and the full instance
-// (topology, capacities, requests). Two jobs share a fingerprint iff the
-// underlying algorithm call is identical — the engine substitutes one
-// execution's result for the other on key equality, and ufpserve feeds
-// it untrusted instances, so the hash must be collision-resistant.
-// Exported so serialization layers can assert that decode(encode(inst))
-// keys identically to inst (see the root package's JSON tests).
+// canonical binary encoding of the algorithm name, ε, seed, and the full
+// instance (topology, capacities, requests). Two jobs share a
+// fingerprint iff the underlying algorithm call is identical — the
+// engine substitutes one execution's result for the other on key
+// equality, and ufpserve feeds it untrusted instances, so the hash must
+// be collision-resistant. A legacy Kind and its equal Algorithm spelling
+// key identically, and parameters a solver ignores (ε for "ufp/greedy",
+// the seed for every deterministic solver) are normalized out so all
+// their values share one execution. Exported so serialization layers can
+// assert that decode(encode(inst)) keys identically to inst (see the
+// root package's JSON tests).
 func (j Job) Fingerprint() string {
+	s, err := j.resolve()
+	if err != nil {
+		// An unresolvable job never executes; give it a degenerate key in
+		// its own namespace so misuse cannot collide with a real job.
+		s = nil
+	}
+	return j.fingerprint(s)
+}
+
+// fingerprint is Fingerprint with the solver already resolved (nil for
+// unresolvable jobs).
+func (j Job) fingerprint(s solver.Solver) string {
 	h := sha256.New()
-	h.Write([]byte(j.Kind))
+	if s == nil {
+		h.Write([]byte("!unresolved\x00"))
+		h.Write([]byte(j.algorithm()))
+		return string(h.Sum(make([]byte, 0, sha256.Size)))
+	}
+	// Length-prefix the variable-width name so the name/parameter
+	// boundary is unambiguous: without it, a prefix pair like
+	// "ufp/repeat"/"ufp/repeat-bounded" plus attacker-chosen parameter
+	// bytes could assemble two identical hash streams for different
+	// algorithm calls.
+	name := s.Name()
+	writeInt(h, len(name))
+	h.Write([]byte(name))
 	eps := j.Eps
-	if j.Kind == JobGreedyUFP {
-		eps = 0 // greedy ignores ε; let all ε values share one execution
+	if !solver.UsesEps(s) {
+		eps = 0 // ε ignored; let all ε values share one execution
 	}
 	writeF64(h, eps)
-	if j.Kind.IsUFP() {
+	seed := j.Seed
+	if !solver.UsesSeed(s) {
+		seed = 0 // deterministic solver; all seeds share one execution
+	}
+	writeUint64(h, seed)
+	maxIter := j.MaxIterations
+	if !solver.UsesMaxIterations(s) {
+		maxIter = 0 // single-pass solver; all caps share one execution
+	}
+	writeInt(h, maxIter)
+	if s.Kind().IsUFP() {
 		writeUFP(h, j)
 	} else {
 		writeAuction(h, j)
@@ -72,8 +112,12 @@ func writeAuction(h hash.Hash, j Job) {
 }
 
 func writeInt(h hash.Hash, v int) {
+	writeUint64(h, uint64(v))
+}
+
+func writeUint64(h hash.Hash, v uint64) {
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	binary.LittleEndian.PutUint64(buf[:], v)
 	h.Write(buf[:])
 }
 

@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -71,21 +72,10 @@ type AuctionOutcome struct {
 }
 
 // RunAuctionMechanism runs alg and charges every winner its critical
-// value (Corollary 4.2's mechanism).
+// value (Corollary 4.2's mechanism). See RunAuctionMechanismCtx for the
+// cancellable variant.
 func RunAuctionMechanism(alg AuctionAlgorithm, inst *auction.Instance) (*AuctionOutcome, error) {
-	a, err := alg(inst)
-	if err != nil {
-		return nil, err
-	}
-	out := &AuctionOutcome{Allocation: a, Payments: make(map[int]float64)}
-	for _, r := range a.Selected {
-		pay, err := AuctionCriticalValue(alg, inst, r)
-		if err != nil {
-			return nil, fmt.Errorf("mechanism: payment for request %d: %w", r, err)
-		}
-		out.Payments[r] = pay
-	}
-	return out, nil
+	return RunAuctionMechanismCtx(context.Background(), alg, inst)
 }
 
 // AuctionUtility evaluates agent r's utility under the unknown

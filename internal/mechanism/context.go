@@ -1,0 +1,107 @@
+package mechanism
+
+import (
+	"context"
+	"fmt"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+)
+
+// This file holds the v1 context-first entry points. A mechanism run is
+// many algorithm re-runs (one allocation plus ~60 bisection probes per
+// winner), so cancellation has two layers: the adapted algorithm carries
+// the context into every probe's main loop, and the mechanism driver
+// additionally checks the context between winners' payment
+// computations, covering algorithms that ignore contexts.
+
+// ctxErr is a non-blocking done-check on an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// BoundedUFPAlgCtx is BoundedUFPAlg with the context installed into the
+// adapted algorithm's options, making every probe of a critical-value
+// search cancellable. An explicit ctx supersedes opt.Ctx.
+func BoundedUFPAlgCtx(ctx context.Context, eps float64, opt *core.Options) UFPAlgorithm {
+	var o core.Options
+	if opt != nil {
+		o = *opt
+	}
+	if ctx != nil {
+		o.Ctx = ctx
+	}
+	return BoundedUFPAlg(eps, &o)
+}
+
+// BoundedMUCAAlgCtx is BoundedMUCAAlg with the context installed into
+// the adapted algorithm's options. An explicit ctx supersedes opt.Ctx.
+func BoundedMUCAAlgCtx(ctx context.Context, eps float64, opt *auction.Options) AuctionAlgorithm {
+	var o auction.Options
+	if opt != nil {
+		o = *opt
+	}
+	if ctx != nil {
+		o.Ctx = ctx
+	}
+	return BoundedMUCAAlg(eps, &o)
+}
+
+// RunUFPMechanismCtx is RunUFPMechanism under a context: the context is
+// checked before each winner's critical-value search, and the run is
+// abandoned with the context's error when it is done. For cancellation
+// to also reach mid-search, build alg with BoundedUFPAlgCtx (or any
+// adapter that carries the same context).
+func RunUFPMechanismCtx(ctx context.Context, alg UFPAlgorithm, inst *core.Instance) (*UFPOutcome, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("mechanism: cancelled before allocation: %w", err)
+	}
+	a, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := &UFPOutcome{Allocation: a, Payments: make(map[int]float64)}
+	for _, p := range a.Routed {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("mechanism: cancelled before payment for request %d: %w", p.Request, err)
+		}
+		pay, err := UFPCriticalValue(alg, inst, p.Request)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: payment for request %d: %w", p.Request, err)
+		}
+		out.Payments[p.Request] = pay
+	}
+	return out, nil
+}
+
+// RunAuctionMechanismCtx is RunAuctionMechanism under a context,
+// mirroring RunUFPMechanismCtx.
+func RunAuctionMechanismCtx(ctx context.Context, alg AuctionAlgorithm, inst *auction.Instance) (*AuctionOutcome, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("mechanism: cancelled before allocation: %w", err)
+	}
+	a, err := alg(inst)
+	if err != nil {
+		return nil, err
+	}
+	out := &AuctionOutcome{Allocation: a, Payments: make(map[int]float64)}
+	for _, r := range a.Selected {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("mechanism: cancelled before payment for request %d: %w", r, err)
+		}
+		pay, err := AuctionCriticalValue(alg, inst, r)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: payment for request %d: %w", r, err)
+		}
+		out.Payments[r] = pay
+	}
+	return out, nil
+}

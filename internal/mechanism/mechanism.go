@@ -10,6 +10,7 @@
 package mechanism
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -117,21 +118,10 @@ type UFPOutcome struct {
 
 // RunUFPMechanism runs the allocation algorithm and charges every
 // selected request its critical value. By Theorem 2.3 the resulting
-// mechanism is truthful when alg is monotone and exact.
+// mechanism is truthful when alg is monotone and exact. See
+// RunUFPMechanismCtx for the cancellable variant.
 func RunUFPMechanism(alg UFPAlgorithm, inst *core.Instance) (*UFPOutcome, error) {
-	a, err := alg(inst)
-	if err != nil {
-		return nil, err
-	}
-	out := &UFPOutcome{Allocation: a, Payments: make(map[int]float64)}
-	for _, p := range a.Routed {
-		pay, err := UFPCriticalValue(alg, inst, p.Request)
-		if err != nil {
-			return nil, fmt.Errorf("mechanism: payment for request %d: %w", p.Request, err)
-		}
-		out.Payments[p.Request] = pay
-	}
-	return out, nil
+	return RunUFPMechanismCtx(context.Background(), alg, inst)
 }
 
 // UFPUtility evaluates agent r's utility when its true type is trueType

@@ -23,24 +23,36 @@ type HopTable struct {
 
 // BellmanFordHops computes the hop-bounded shortest-path table from src
 // with up to maxHops edges. Edges with +Inf weight are skipped. The cost
-// is O(maxHops * (m + n)) time and O(maxHops * n) space.
+// is O(maxHops * (m + n)) time and O(maxHops * n) space. Callers running
+// many tables (one per source per iteration, as LogHopsRule does) should
+// reuse a table via BellmanFordHopsInto instead.
 func BellmanFordHops(g *graph.Graph, src int, weight WeightFunc, maxHops int) *HopTable {
+	return BellmanFordHopsInto(g, src, weight, maxHops, nil)
+}
+
+// BellmanFordHopsInto is BellmanFordHops materializing into t: its rows
+// are reused when their capacity suffices, so recomputing a table of the
+// same shape allocates nothing. t may be nil (a fresh table is
+// allocated) and is returned resized. Like the frozen-CSR Dijkstra, the
+// inner loop runs over the graph's CSR adjacency when available.
+func BellmanFordHopsInto(g *graph.Graph, src int, weight WeightFunc, maxHops int, t *HopTable) *HopTable {
 	n := g.NumVertices()
-	t := &HopTable{Source: src, MaxHops: maxHops}
-	t.Dist = make([][]float64, maxHops+1)
-	t.prevEdge = make([][]int32, maxHops+1)
-	t.prevVert = make([][]int32, maxHops+1)
-	for k := 0; k <= maxHops; k++ {
-		t.Dist[k] = make([]float64, n)
-		t.prevEdge[k] = make([]int32, n)
-		t.prevVert[k] = make([]int32, n)
-		for v := 0; v < n; v++ {
-			t.Dist[k][v] = math.Inf(1)
-			t.prevEdge[k][v] = -1
-			t.prevVert[k][v] = -1
-		}
+	if t == nil {
+		t = &HopTable{}
+	}
+	t.Source = src
+	t.MaxHops = maxHops
+	t.Dist = resizeRowsF64(t.Dist, maxHops+1, n)
+	t.prevEdge = resizeRowsInt32(t.prevEdge, maxHops+1, n)
+	t.prevVert = resizeRowsInt32(t.prevVert, maxHops+1, n)
+	inf := math.Inf(1)
+	for v := 0; v < n; v++ {
+		t.Dist[0][v] = inf
+		t.prevEdge[0][v] = -1
+		t.prevVert[0][v] = -1
 	}
 	t.Dist[0][src] = 0
+	csr := g.Frozen()
 	for k := 1; k <= maxHops; k++ {
 		copy(t.Dist[k], t.Dist[k-1])
 		copy(t.prevEdge[k], t.prevEdge[k-1])
@@ -48,6 +60,21 @@ func BellmanFordHops(g *graph.Graph, src int, weight WeightFunc, maxHops int) *H
 		for v := 0; v < n; v++ {
 			dv := t.Dist[k-1][v]
 			if math.IsInf(dv, 1) {
+				continue
+			}
+			if csr != nil {
+				for i, end := csr.Start[v], csr.Start[v+1]; i < end; i++ {
+					e, to := csr.EdgeID[i], csr.Head[i]
+					w := weight(int(e))
+					if math.IsInf(w, 1) {
+						continue
+					}
+					if nd := dv + w; nd < t.Dist[k][to] {
+						t.Dist[k][to] = nd
+						t.prevEdge[k][to] = e
+						t.prevVert[k][to] = int32(v)
+					}
+				}
 				continue
 			}
 			for _, a := range g.OutArcs(v) {
@@ -64,6 +91,33 @@ func BellmanFordHops(g *graph.Graph, src int, weight WeightFunc, maxHops int) *H
 		}
 	}
 	return t
+}
+
+// resizeRowsF64 shapes rows into a (k, n) table reusing backing arrays.
+func resizeRowsF64(rows [][]float64, k, n int) [][]float64 {
+	if cap(rows) < k {
+		rows = append(rows[:cap(rows)], make([][]float64, k-cap(rows))...)
+	}
+	rows = rows[:k]
+	for i := range rows {
+		rows[i] = resizeF64(rows[i], n)
+	}
+	return rows
+}
+
+func resizeRowsInt32(rows [][]int32, k, n int) [][]int32 {
+	if cap(rows) < k {
+		rows = append(rows[:cap(rows)], make([][]int32, k-cap(rows))...)
+	}
+	rows = rows[:k]
+	for i := range rows {
+		if cap(rows[i]) < n {
+			rows[i] = make([]int32, n)
+		} else {
+			rows[i] = rows[i][:n]
+		}
+	}
+	return rows
 }
 
 // PathTo returns a minimum-weight path from the source to dst using at
@@ -131,40 +185,13 @@ func BFSHops(g *graph.Graph, src int, allowed func(edge int) bool) []int {
 // Bottleneck rules are members of the paper's reasonable-function family:
 // under unit demands/values and uniform capacities, pointwise-dominated
 // flow vectors have no larger maximum.
+//
+// Like Dijkstra, this convenience entry point runs on a pooled Scratch;
+// performance-sensitive callers should hold their own Scratch (or Pool)
+// and call Scratch.Bottleneck to reuse the result tree too.
 func Bottleneck(g *graph.Graph, src int, weight WeightFunc) *Tree {
-	n := g.NumVertices()
-	t := &Tree{
-		Source:   src,
-		Dist:     make([]float64, n),
-		PrevEdge: make([]int, n),
-		PrevVert: make([]int, n),
-	}
-	for v := range t.Dist {
-		t.Dist[v] = math.Inf(1)
-		t.PrevEdge[v] = -1
-		t.PrevVert[v] = -1
-	}
-	t.Dist[src] = math.Inf(-1) // empty path has no edges; -Inf max
-	h := newHeap(n)
-	h.update(src, t.Dist[src])
-	for h.len() > 0 {
-		v, dv := h.pop()
-		if dv > t.Dist[v] {
-			continue
-		}
-		for _, a := range g.OutArcs(v) {
-			w := weight(a.Edge)
-			if math.IsInf(w, 1) {
-				continue
-			}
-			nd := math.Max(dv, w)
-			if nd < t.Dist[a.To] {
-				t.Dist[a.To] = nd
-				t.PrevEdge[a.To] = a.Edge
-				t.PrevVert[a.To] = v
-				h.update(a.To, nd)
-			}
-		}
-	}
+	s := defaultPool.Get(g.NumVertices())
+	t := s.Bottleneck(g, src, weight, nil)
+	defaultPool.Put(s)
 	return t
 }

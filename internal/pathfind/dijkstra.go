@@ -80,89 +80,5 @@ func Dijkstra(g *graph.Graph, src int, weight WeightFunc) *Tree {
 	return t
 }
 
-// heap is an indexed binary min-heap keyed by float64 priority. It is
-// hand-rolled (rather than container/heap) to avoid interface dispatch
-// in Bottleneck's inner loop; the additive Dijkstra uses the 4-ary heap
-// embedded in Scratch instead.
-type heap struct {
-	items []heapItem
-	pos   []int // vertex -> index in items, -1 if absent
-}
-
-type heapItem struct {
-	vertex int
-	prio   float64
-}
-
-func newHeap(n int) *heap {
-	pos := make([]int, n)
-	for i := range pos {
-		pos[i] = -1
-	}
-	return &heap{pos: pos}
-}
-
-func (h *heap) len() int { return len(h.items) }
-
-// update inserts vertex v with the given priority, or decreases its
-// priority if already present.
-func (h *heap) update(v int, prio float64) {
-	if i := h.pos[v]; i >= 0 {
-		if prio < h.items[i].prio {
-			h.items[i].prio = prio
-			h.up(i)
-		}
-		return
-	}
-	h.items = append(h.items, heapItem{v, prio})
-	h.pos[v] = len(h.items) - 1
-	h.up(len(h.items) - 1)
-}
-
-func (h *heap) pop() (int, float64) {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.pos[h.items[0].vertex] = 0
-	h.items = h.items[:last]
-	h.pos[top.vertex] = -1
-	if last > 0 {
-		h.down(0)
-	}
-	return top.vertex, top.prio
-}
-
-func (h *heap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.items[parent].prio <= h.items[i].prio {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h *heap) down(i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(h.items) && h.items[l].prio < h.items[small].prio {
-			small = l
-		}
-		if r < len(h.items) && h.items[r].prio < h.items[small].prio {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h.swap(i, small)
-		i = small
-	}
-}
-
-func (h *heap) swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.pos[h.items[i].vertex] = i
-	h.pos[h.items[j].vertex] = j
-}
+// The minimax (bottleneck) search shares the indexed 4-ary heap embedded
+// in Scratch with the additive Dijkstra; see Scratch.Bottleneck.

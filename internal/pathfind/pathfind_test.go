@@ -278,17 +278,20 @@ func TestValidatePathRejects(t *testing.T) {
 	}
 }
 
-func TestHeapOrdering(t *testing.T) {
-	h := newHeap(10)
+func TestScratchHeapOrdering(t *testing.T) {
+	s := NewScratch(10)
+	s.reset(10)
 	prios := []float64{5, 1, 3, 0.5, 4, 2}
 	for v, p := range prios {
-		h.update(v, p)
+		s.touch(int32(v))
+		s.dist[v] = p
+		s.push(int32(v))
 	}
-	h.update(0, 0.1) // decrease-key
+	s.dist[0] = 0.1 // decrease-key
+	s.decrease(0)
 	var got []float64
-	for h.len() > 0 {
-		_, p := h.pop()
-		got = append(got, p)
+	for len(s.heap) > 0 {
+		got = append(got, s.dist[s.pop()])
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i-1] > got[i] {

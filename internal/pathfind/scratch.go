@@ -130,6 +130,66 @@ func (s *Scratch) relax(v, e, to int32, dv float64, weight WeightFunc) {
 	}
 }
 
+// Bottleneck runs the minimax-path search from src (see the package-
+// level Bottleneck) on the scratch's indexed 4-ary heap and
+// generation-stamped marks, materializing into t (allocated when nil);
+// it allocates nothing in steady state when t is reused. Unlike the
+// additive relax, relaxMax must NOT retarget predecessors on minimax
+// ties: max(dv, w) == dist[to] can hold with dv == dist[to], i.e. for a
+// predecessor popped after to itself, and such a retarget can close a
+// predecessor cycle that PathTo would walk forever. Updating only on
+// strict improvement keeps every predecessor strictly earlier in pop
+// order, so trees stay acyclic (the legacy Bottleneck semantics).
+func (s *Scratch) Bottleneck(g *graph.Graph, src int, weight WeightFunc, t *Tree) *Tree {
+	n := g.NumVertices()
+	s.reset(n)
+	s.touch(int32(src))
+	s.dist[src] = math.Inf(-1) // the empty path has no edges: -Inf max
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(int32(src))
+	if csr := g.Frozen(); csr != nil {
+		for len(s.heap) > 0 {
+			v := s.pop()
+			dv := s.dist[v]
+			for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+				s.relaxMax(v, csr.EdgeID[k], csr.Head[k], dv, weight)
+			}
+		}
+	} else {
+		for len(s.heap) > 0 {
+			v := s.pop()
+			dv := s.dist[v]
+			for _, a := range g.OutArcs(int(v)) {
+				s.relaxMax(v, int32(a.Edge), int32(a.To), dv, weight)
+			}
+		}
+	}
+	return s.fill(t, src, n)
+}
+
+// relaxMax is relax under the minimax objective: the candidate distance
+// is max(dv, w) instead of dv + w, and predecessors update only on
+// strict improvement (see Bottleneck for why ties must not retarget).
+func (s *Scratch) relaxMax(v, e, to int32, dv float64, weight WeightFunc) {
+	w := weight(int(e))
+	if math.IsInf(w, 1) {
+		return
+	}
+	nd := math.Max(dv, w)
+	if s.stamp[to] != s.gen {
+		s.touch(to)
+		s.dist[to] = nd
+		s.prevE[to], s.prevV[to] = e, v
+		s.push(to)
+		return
+	}
+	if nd < s.dist[to] {
+		s.dist[to] = nd
+		s.prevE[to], s.prevV[to] = e, v
+		s.decrease(to)
+	}
+}
+
 // fill materializes the run into a Tree, reusing t's slices when
 // possible.
 func (s *Scratch) fill(t *Tree, src, n int) *Tree {

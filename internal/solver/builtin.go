@@ -1,0 +1,173 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/mechanism"
+)
+
+// funcSolver adapts a function plus metadata into a Solver.
+type funcSolver struct {
+	name     string
+	kind     Kind
+	desc     string
+	usesEps  bool
+	usesSeed bool
+	// ignoresMaxIter marks single-pass algorithms with no main loop to
+	// cap (the zero value keeps the default "uses it").
+	ignoresMaxIter bool
+	fn             func(ctx context.Context, in Input, p Params) (Output, error)
+}
+
+func (s *funcSolver) Name() string            { return s.name }
+func (s *funcSolver) Kind() Kind              { return s.kind }
+func (s *funcSolver) Description() string     { return s.desc }
+func (s *funcSolver) UsesEps() bool           { return s.usesEps }
+func (s *funcSolver) UsesSeed() bool          { return s.usesSeed }
+func (s *funcSolver) UsesMaxIterations() bool { return !s.ignoresMaxIter }
+
+func (s *funcSolver) Solve(ctx context.Context, in Input, p Params) (Output, error) {
+	if err := checkInput(s, in); err != nil {
+		return Output{}, err
+	}
+	return s.fn(ctx, in, p)
+}
+
+// checkInput verifies that exactly the instance field matching the
+// solver's kind is set, so misrouted jobs fail with a diagnosis instead
+// of a nil dereference.
+func checkInput(s Solver, in Input) error {
+	if s.Kind().IsUFP() {
+		if in.UFP == nil {
+			return fmt.Errorf("solver: %s needs a UFP instance", s.Name())
+		}
+		if in.Auction != nil {
+			return fmt.Errorf("solver: %s must not carry an auction instance", s.Name())
+		}
+		return nil
+	}
+	if in.Auction == nil {
+		return fmt.Errorf("solver: %s needs an auction instance", s.Name())
+	}
+	if in.UFP != nil {
+		return fmt.Errorf("solver: %s must not carry a UFP instance", s.Name())
+	}
+	return nil
+}
+
+// ufpAlloc lifts a context-first UFP entry point into a solver body.
+func ufpAlloc(fn func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error)) func(context.Context, Input, Params) (Output, error) {
+	return func(ctx context.Context, in Input, p Params) (Output, error) {
+		a, err := fn(ctx, in.UFP, p)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Allocation: a}, nil
+	}
+}
+
+// The built-in registry: every algorithm of the repo, by stable name.
+// Names align with the engine's legacy Kind strings where those existed,
+// so pre-v1 job kinds resolve to the same execution.
+func init() {
+	Register(&funcSolver{
+		name: "ufp/solve", kind: KindUFP, usesEps: true,
+		desc: "Bounded-UFP at the Theorem 3.1 convention (ε/6): monotone ((1+ε)·e/(e-1))-approximation",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.SolveUFPCtx(ctx, inst, p.Eps, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/bounded", kind: KindUFP, usesEps: true,
+		desc: "Bounded-UFP (Algorithm 1) with the raw accuracy parameter",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.BoundedUFPCtx(ctx, inst, p.Eps, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/repeat", kind: KindUFP, usesEps: true,
+		desc: "Bounded-UFP-Repeat at the Theorem 5.1 convention (ε/6): (1+ε)-approximation with repetitions",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.SolveUFPRepeatCtx(ctx, inst, p.Eps, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/repeat-bounded", kind: KindUFP, usesEps: true,
+		desc: "Bounded-UFP-Repeat (Algorithm 3) with the raw accuracy parameter",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.BoundedUFPRepeatCtx(ctx, inst, p.Eps, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/sequential", kind: KindUFP, usesEps: true, ignoresMaxIter: true,
+		desc: "sequential primal-dual baseline (prior-art ≈e style), also monotone",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.SequentialPrimalDualCtx(ctx, inst, p.Eps, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/greedy", kind: KindUFP, usesEps: false, ignoresMaxIter: true,
+		desc: "value-density greedy baseline (ε ignored)",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.GreedyByDensityCtx(ctx, inst, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/rounding", kind: KindUFP, usesEps: false, usesSeed: true, ignoresMaxIter: true,
+		desc: "randomized LP rounding baseline (non-monotone; deterministic per Params.Seed; ε ignored)",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			rng := rand.New(rand.NewPCG(p.Seed, 0))
+			return core.RandomizedRoundingCtx(ctx, inst, rng, core.RoundingOptions{})
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/mechanism", kind: KindUFPMechanism, usesEps: true,
+		desc: "truthful UFP mechanism (Corollary 3.2): Bounded-UFP(ε) + critical-value payments",
+		fn: func(ctx context.Context, in Input, p Params) (Output, error) {
+			alg := mechanism.BoundedUFPAlgCtx(ctx, p.Eps, p.ufpOptions())
+			out, err := mechanism.RunUFPMechanismCtx(ctx, alg, in.UFP)
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{UFPOutcome: out}, nil
+		},
+	})
+	Register(&funcSolver{
+		name: "muca/solve", kind: KindAuction, usesEps: true,
+		desc: "Bounded-MUCA at the Theorem 4.1 convention (ε/6)",
+		fn: func(ctx context.Context, in Input, p Params) (Output, error) {
+			a, err := auction.SolveMUCACtx(ctx, in.Auction, p.Eps, p.auctionOptions())
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{AuctionAllocation: a}, nil
+		},
+	})
+	Register(&funcSolver{
+		name: "muca/bounded", kind: KindAuction, usesEps: true,
+		desc: "Bounded-MUCA (Algorithm 2) with the raw accuracy parameter",
+		fn: func(ctx context.Context, in Input, p Params) (Output, error) {
+			a, err := auction.BoundedMUCACtx(ctx, in.Auction, p.Eps, p.auctionOptions())
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{AuctionAllocation: a}, nil
+		},
+	})
+	Register(&funcSolver{
+		name: "muca/mechanism", kind: KindAuctionMechanism, usesEps: true,
+		desc: "truthful MUCA mechanism (Corollary 4.2): Bounded-MUCA(ε) + critical-value payments",
+		fn: func(ctx context.Context, in Input, p Params) (Output, error) {
+			alg := mechanism.BoundedMUCAAlgCtx(ctx, p.Eps, p.auctionOptions())
+			out, err := mechanism.RunAuctionMechanismCtx(ctx, alg, in.Auction)
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{AuctionOutcome: out}, nil
+		},
+	})
+}

@@ -1,0 +1,232 @@
+// Package solver is the v1 algorithm registry: one Solver abstraction
+// over the paper's family of interchangeable allocation rules —
+// Bounded-UFP and its repeated variant (Theorems 3.1/5.1), Bounded-MUCA
+// (Theorem 4.1), their critical-value mechanisms (Corollaries 3.2/4.2),
+// and the baselines they are measured against. Every algorithm is
+// registered under a stable name ("ufp/solve", "muca/mechanism", ...)
+// and parameterized by one unified Params struct, so adding an algorithm
+// is a single Register call that immediately surfaces it in the solve
+// engine (engine.Job.Algorithm), ufpserve's /v1 endpoints, and the
+// -alg flags of ufprun, aucrun, and ufpbench.
+//
+// All dispatch is context-first: Solve(ctx, in, p) threads ctx into the
+// algorithms' *Ctx entry points, so a done context abandons the run at
+// the next main-loop iteration check.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/pathfind"
+)
+
+// Kind classifies a solver's input and output shape.
+type Kind string
+
+// Solver kinds.
+const (
+	// KindUFP consumes a UFP instance and yields Output.Allocation.
+	KindUFP Kind = "ufp"
+	// KindUFPMechanism consumes a UFP instance and yields
+	// Output.UFPOutcome (allocation + critical-value payments).
+	KindUFPMechanism Kind = "ufp-mechanism"
+	// KindAuction consumes an auction instance and yields
+	// Output.AuctionAllocation.
+	KindAuction Kind = "auction"
+	// KindAuctionMechanism consumes an auction instance and yields
+	// Output.AuctionOutcome.
+	KindAuctionMechanism Kind = "auction-mechanism"
+)
+
+// IsUFP reports whether the kind consumes a UFP instance (as opposed to
+// an auction instance).
+func (k Kind) IsUFP() bool { return k == KindUFP || k == KindUFPMechanism }
+
+// IsMechanism reports whether the kind yields a mechanism outcome
+// (allocation plus payments) rather than a bare allocation.
+func (k Kind) IsMechanism() bool { return k == KindUFPMechanism || k == KindAuctionMechanism }
+
+// Input carries the instance a solver consumes. Exactly the field
+// matching the solver's Kind must be set; instances must not be mutated
+// while a solve is running.
+type Input struct {
+	UFP     *core.Instance
+	Auction *auction.Instance
+}
+
+// Params is the unified v1 parameter block. The zero value is ready to
+// use for every solver; fields a solver does not consume are ignored
+// (e.g. Eps by "ufp/greedy", Seed by everything but "ufp/rounding").
+type Params struct {
+	// Eps is the accuracy parameter ε in (0,1]. The */solve names apply
+	// their theorem's ε/6 convention internally; the */bounded names use
+	// it raw.
+	Eps float64
+	// Workers bounds intra-solve parallelism (0 = GOMAXPROCS).
+	Workers int
+	// TieBreak overrides UFP candidate tie-breaking (see core.TieBreak).
+	TieBreak core.TieBreak
+	// AuctionTie overrides auction tie-breaking (see auction.Options.Tie).
+	AuctionTie func(a, b int) bool
+	// MaxIterations caps iterative main loops (0 = unlimited).
+	MaxIterations int
+	// NoIncremental disables the incremental caches (dirty-source
+	// shortest-path trees, dirty-request bundle sums); results are
+	// identical either way.
+	NoIncremental bool
+	// PathPool, if non-nil, supplies shared Dijkstra scratch buffers
+	// (see pathfind.Pool); the engine passes its per-process pool here.
+	PathPool *pathfind.Pool
+	// Seed derives the RNG of randomized solvers ("ufp/rounding" uses
+	// rand.New(rand.NewPCG(Seed, 0))), making them deterministic per seed.
+	Seed uint64
+}
+
+// ufpOptions lowers Params onto core.Options.
+func (p Params) ufpOptions() *core.Options {
+	return &core.Options{
+		Workers:       p.Workers,
+		TieBreak:      p.TieBreak,
+		MaxIterations: p.MaxIterations,
+		NoIncremental: p.NoIncremental,
+		PathPool:      p.PathPool,
+	}
+}
+
+// auctionOptions lowers Params onto auction.Options.
+func (p Params) auctionOptions() *auction.Options {
+	return &auction.Options{
+		Tie:           p.AuctionTie,
+		MaxIterations: p.MaxIterations,
+		NoIncremental: p.NoIncremental,
+	}
+}
+
+// Output is a solve result. Exactly the field matching the solver's
+// Kind is set. Outputs may be shared (the engine caches them), so treat
+// them as immutable.
+type Output struct {
+	Allocation        *core.Allocation
+	AuctionAllocation *auction.Allocation
+	UFPOutcome        *mechanism.UFPOutcome
+	AuctionOutcome    *mechanism.AuctionOutcome
+}
+
+// Solver is one registered allocation algorithm. Implementations must be
+// safe for concurrent use and pure functions of (in, p): the engine
+// coalesces and caches by (name, instance, parameters) on that
+// assumption.
+type Solver interface {
+	// Name is the stable registry name ("ufp/solve", ...).
+	Name() string
+	// Kind classifies input/output shape.
+	Kind() Kind
+	// Solve runs the algorithm under ctx.
+	Solve(ctx context.Context, in Input, p Params) (Output, error)
+}
+
+// Optional Solver extensions, read through the package helpers below.
+type (
+	describer   interface{ Description() string }
+	epsUser     interface{ UsesEps() bool }
+	seedUser    interface{ UsesSeed() bool }
+	maxIterUser interface{ UsesMaxIterations() bool }
+)
+
+// Description returns the solver's one-line description, or "" if it
+// does not provide one.
+func Description(s Solver) string {
+	if d, ok := s.(describer); ok {
+		return d.Description()
+	}
+	return ""
+}
+
+// UsesEps reports whether the solver's output depends on Params.Eps
+// (true unless the solver says otherwise). The engine normalizes ε out
+// of cache keys for solvers that ignore it.
+func UsesEps(s Solver) bool {
+	if u, ok := s.(epsUser); ok {
+		return u.UsesEps()
+	}
+	return true
+}
+
+// UsesSeed reports whether the solver's output depends on Params.Seed
+// (false unless the solver says otherwise).
+func UsesSeed(s Solver) bool {
+	if u, ok := s.(seedUser); ok {
+		return u.UsesSeed()
+	}
+	return false
+}
+
+// UsesMaxIterations reports whether the solver's output depends on
+// Params.MaxIterations (true unless the solver says otherwise —
+// single-pass algorithms opt out so all caps share one execution).
+func UsesMaxIterations(s Solver) bool {
+	if u, ok := s.(maxIterUser); ok {
+		return u.UsesMaxIterations()
+	}
+	return true
+}
+
+// registry is the process-wide solver table. Built-ins register during
+// package init; callers may Register more at any time.
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Solver)
+)
+
+// Register adds a solver under its Name. It panics on an empty name or
+// a duplicate registration: names are API surface (HTTP routes, CLI
+// flags, cache keys), so a collision is a programming error, caught
+// loudly at startup rather than resolved silently.
+func Register(s Solver) {
+	name := s.Name()
+	if name == "" {
+		panic("solver: Register with an empty name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the solver registered under name.
+func Lookup(name string) (Solver, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Solvers returns every registered solver, sorted by name.
+func Solvers() []Solver {
+	mu.RLock()
+	out := make([]Solver, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	solvers := Solvers()
+	names := make([]string, len(solvers))
+	for i, s := range solvers {
+		names[i] = s.Name()
+	}
+	return names
+}

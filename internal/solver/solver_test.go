@@ -1,0 +1,178 @@
+package solver_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"truthfulufp/internal/auction"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/solver"
+)
+
+// The builtin catalog the v1 API promises: every algorithm of the
+// module, by stable name. The acceptance floor is 10; this golden list
+// keeps names from drifting silently.
+var wantBuiltins = []string{
+	"muca/bounded",
+	"muca/mechanism",
+	"muca/solve",
+	"ufp/bounded",
+	"ufp/greedy",
+	"ufp/mechanism",
+	"ufp/repeat",
+	"ufp/repeat-bounded",
+	"ufp/rounding",
+	"ufp/sequential",
+	"ufp/solve",
+}
+
+func TestBuiltinCatalog(t *testing.T) {
+	names := solver.Names()
+	if len(names) < 10 {
+		t.Fatalf("registry holds %d solvers, want >= 10: %v", len(names), names)
+	}
+	got := make(map[string]bool, len(names))
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, want := range wantBuiltins {
+		if !got[want] {
+			t.Errorf("builtin %q is not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted/unique: %v", names)
+		}
+	}
+}
+
+func TestLookupAndKinds(t *testing.T) {
+	kinds := map[string]solver.Kind{
+		"ufp/solve":      solver.KindUFP,
+		"ufp/rounding":   solver.KindUFP,
+		"ufp/mechanism":  solver.KindUFPMechanism,
+		"muca/solve":     solver.KindAuction,
+		"muca/mechanism": solver.KindAuctionMechanism,
+	}
+	for name, kind := range kinds {
+		s, ok := solver.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", name)
+		}
+		if s.Name() != name || s.Kind() != kind {
+			t.Fatalf("Lookup(%q) = (%q, %q), want kind %q", name, s.Name(), s.Kind(), kind)
+		}
+		if solver.Description(s) == "" {
+			t.Errorf("builtin %q has no description", name)
+		}
+	}
+	if _, ok := solver.Lookup("ufp/nonexistent"); ok {
+		t.Fatal("Lookup invented a solver")
+	}
+	if !solver.KindUFP.IsUFP() || !solver.KindUFPMechanism.IsUFP() || solver.KindAuction.IsUFP() {
+		t.Fatal("Kind.IsUFP misclassifies")
+	}
+	if !solver.KindUFPMechanism.IsMechanism() || solver.KindUFP.IsMechanism() {
+		t.Fatal("Kind.IsMechanism misclassifies")
+	}
+}
+
+func TestParamNormalizationMetadata(t *testing.T) {
+	for _, name := range []string{"ufp/greedy", "ufp/rounding"} {
+		s, _ := solver.Lookup(name)
+		if solver.UsesEps(s) {
+			t.Errorf("%s reports using ε", name)
+		}
+	}
+	for _, name := range []string{"ufp/solve", "muca/mechanism"} {
+		s, _ := solver.Lookup(name)
+		if !solver.UsesEps(s) {
+			t.Errorf("%s reports ignoring ε", name)
+		}
+	}
+	for _, s := range solver.Solvers() {
+		if want := s.Name() == "ufp/rounding"; solver.UsesSeed(s) != want {
+			t.Errorf("%s UsesSeed = %v, want %v", s.Name(), !want, want)
+		}
+	}
+	singlePass := map[string]bool{"ufp/greedy": true, "ufp/sequential": true, "ufp/rounding": true}
+	for _, s := range solver.Solvers() {
+		if want := !singlePass[s.Name()]; solver.UsesMaxIterations(s) != want {
+			t.Errorf("%s UsesMaxIterations = %v, want %v", s.Name(), !want, want)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(label string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", label)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() { solver.Register(stub{name: "ufp/solve"}) })
+	mustPanic("empty name", func() { solver.Register(stub{name: ""}) })
+}
+
+type stub struct{ name string }
+
+func (s stub) Name() string      { return s.name }
+func (s stub) Kind() solver.Kind { return solver.KindUFP }
+func (s stub) Solve(context.Context, solver.Input, solver.Params) (solver.Output, error) {
+	return solver.Output{}, nil
+}
+
+// TestInputMismatchDiagnosed: handing a solver the wrong instance shape
+// fails with a diagnosis, not a nil dereference.
+func TestInputMismatchDiagnosed(t *testing.T) {
+	ufp, _ := solver.Lookup("ufp/solve")
+	muca, _ := solver.Lookup("muca/solve")
+	auc := &auction.Instance{Multiplicity: []float64{4}, Requests: []auction.Request{{Bundle: []int{0}, Value: 1}}}
+	g := graph.New(2)
+	g.AddEdge(0, 1, 4)
+	inst := &core.Instance{G: g, Requests: []core.Request{{Source: 0, Target: 1, Demand: 1, Value: 1}}}
+
+	if _, err := ufp.Solve(context.Background(), solver.Input{Auction: auc}, solver.Params{Eps: 0.5}); err == nil || !strings.Contains(err.Error(), "needs a UFP instance") {
+		t.Fatalf("ufp/solve with auction input: err = %v", err)
+	}
+	if _, err := muca.Solve(context.Background(), solver.Input{UFP: inst}, solver.Params{Eps: 0.5}); err == nil || !strings.Contains(err.Error(), "needs an auction instance") {
+		t.Fatalf("muca/solve with UFP input: err = %v", err)
+	}
+	if _, err := ufp.Solve(context.Background(), solver.Input{UFP: inst, Auction: auc}, solver.Params{Eps: 0.5}); err == nil {
+		t.Fatal("ufp/solve accepted both instances")
+	}
+}
+
+// TestContextCancelsSolvers: a pre-cancelled context aborts every
+// builtin solver through the context-first plumbing.
+func TestContextCancelsSolvers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.New(3)
+	g.AddEdge(0, 1, 6)
+	g.AddEdge(1, 2, 6)
+	inst := &core.Instance{G: g, Requests: []core.Request{
+		{Source: 0, Target: 2, Demand: 1, Value: 1},
+		{Source: 1, Target: 2, Demand: 0.5, Value: 2},
+	}}
+	auc := &auction.Instance{Multiplicity: []float64{30, 30}, Requests: []auction.Request{
+		{Bundle: []int{0}, Value: 1}, {Bundle: []int{0, 1}, Value: 2},
+	}}
+	for _, s := range solver.Solvers() {
+		in := solver.Input{UFP: inst}
+		if !s.Kind().IsUFP() {
+			in = solver.Input{Auction: auc}
+		}
+		if _, err := s.Solve(ctx, in, solver.Params{Eps: 0.5}); err == nil {
+			t.Errorf("%s ignored a cancelled context", s.Name())
+		} else if !strings.Contains(err.Error(), "cancel") {
+			t.Errorf("%s returned %v, want a cancellation error", s.Name(), err)
+		}
+	}
+}

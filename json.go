@@ -357,6 +357,25 @@ func UnmarshalAuctionOutcome(data []byte) (*AuctionOutcome, error) {
 	return &AuctionOutcome{Allocation: a, Payments: decodePayments(in.Payments)}, nil
 }
 
+// MarshalSolverOutput encodes a registry solve result as JSON: the wire
+// schema of whichever payload field is set (allocation, auction
+// allocation, or a mechanism outcome), so /v1/solve responses and
+// ufprun -alg output use exactly the schemas of the dedicated
+// endpoints. Exactly one payload field must be set.
+func MarshalSolverOutput(out SolverOutput) ([]byte, error) {
+	switch {
+	case out.Allocation != nil:
+		return MarshalAllocation(out.Allocation)
+	case out.AuctionAllocation != nil:
+		return MarshalAuctionAllocation(out.AuctionAllocation)
+	case out.UFPOutcome != nil:
+		return MarshalUFPOutcome(out.UFPOutcome)
+	case out.AuctionOutcome != nil:
+		return MarshalAuctionOutcome(out.AuctionOutcome)
+	}
+	return nil, fmt.Errorf("truthfulufp: solver output carries no payload")
+}
+
 // auctionJSON is the on-disk schema for auction instances (cmd/aucrun).
 type auctionJSON struct {
 	Multiplicity []float64        `json:"multiplicity"`

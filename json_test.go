@@ -171,7 +171,7 @@ func TestAuctionJSONRoundTripRandom(t *testing.T) {
 		t.Fatalf("auction allocation round trip changed:\n got %+v\nwant %+v", gotAlloc, a)
 	}
 
-	out, err := truthfulufp.RunAuctionMechanism(inst, 0.25)
+	out, err := truthfulufp.RunAuctionMechanism(inst, 0.25, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

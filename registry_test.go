@@ -1,0 +1,248 @@
+package truthfulufp_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"truthfulufp"
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/scenario"
+)
+
+// registrySeed is the Job.Seed / rng seed used for randomized solvers in
+// the equivalence sweep.
+const registrySeed = 7
+
+// repeatCap bounds the repeat variants, whose iteration count is
+// pseudo-polynomial (m·c_max/d_min) — at raw ε on catalog capacity
+// regimes an uncapped run takes millions of iterations. The cap applies
+// identically on both sides of the equivalence, so it does not weaken
+// the byte-identity claim.
+const repeatCap = 200
+
+// maxIterationsFor returns the Job/Options iteration cap for a solver.
+func maxIterationsFor(name string) int {
+	if name == "ufp/repeat" || name == "ufp/repeat-bounded" {
+		return repeatCap
+	}
+	return 0
+}
+
+// directCall runs a registered algorithm's pre-v1 direct entry point —
+// the golden reference the registry dispatch must reproduce byte for
+// byte.
+func directCall(t *testing.T, name string, eps float64, inst *truthfulufp.Instance, auc *truthfulufp.AuctionInstance) truthfulufp.SolverOutput {
+	t.Helper()
+	wrap := func(a *truthfulufp.Allocation, err error) truthfulufp.SolverOutput {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("direct %s: %v", name, err)
+		}
+		return truthfulufp.SolverOutput{Allocation: a}
+	}
+	wrapAuc := func(a *truthfulufp.AuctionAllocation, err error) truthfulufp.SolverOutput {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("direct %s: %v", name, err)
+		}
+		return truthfulufp.SolverOutput{AuctionAllocation: a}
+	}
+	switch name {
+	case "ufp/solve":
+		return wrap(truthfulufp.SolveUFP(inst, eps, nil))
+	case "ufp/bounded":
+		return wrap(truthfulufp.BoundedUFP(inst, eps, nil))
+	case "ufp/repeat":
+		return wrap(truthfulufp.SolveUFPRepeat(inst, eps, &truthfulufp.Options{MaxIterations: repeatCap}))
+	case "ufp/repeat-bounded":
+		return wrap(core.BoundedUFPRepeat(inst, eps, &core.Options{MaxIterations: repeatCap}))
+	case "ufp/sequential":
+		return wrap(truthfulufp.SequentialPrimalDual(inst, eps, nil))
+	case "ufp/greedy":
+		return wrap(truthfulufp.GreedyByDensity(inst, nil))
+	case "ufp/rounding":
+		return wrap(truthfulufp.RandomizedRounding(inst, rand.New(rand.NewPCG(registrySeed, 0))))
+	case "ufp/mechanism":
+		out, err := truthfulufp.RunUFPMechanism(inst, eps, nil)
+		if err != nil {
+			t.Fatalf("direct %s: %v", name, err)
+		}
+		return truthfulufp.SolverOutput{UFPOutcome: out}
+	case "muca/solve":
+		return wrapAuc(truthfulufp.SolveMUCA(auc, eps, nil))
+	case "muca/bounded":
+		return wrapAuc(truthfulufp.BoundedMUCA(auc, eps, nil))
+	case "muca/mechanism":
+		out, err := truthfulufp.RunAuctionMechanism(auc, eps, nil)
+		if err != nil {
+			t.Fatalf("direct %s: %v", name, err)
+		}
+		return truthfulufp.SolverOutput{AuctionOutcome: out}
+	}
+	t.Fatalf("solver %q has no direct reference in this test; add one", name)
+	return truthfulufp.SolverOutput{}
+}
+
+func marshalOutput(t *testing.T, label string, out truthfulufp.SolverOutput) []byte {
+	t.Helper()
+	data, err := truthfulufp.MarshalSolverOutput(out)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	return data
+}
+
+// TestRegistryMatchesDirectEntryPoints is the v1 API's golden gate:
+// every registered solver, dispatched by name through
+// engine.Job.Algorithm, returns byte-identical wire encodings to its
+// pre-v1 direct entry point across the S1 scenario catalog. Allocation
+// solvers sweep every topology × demand model at catalog defaults;
+// mechanism solvers (whose critical-value payments cost ~60 re-runs per
+// winner) sweep every topology at a reduced request count.
+func TestRegistryMatchesDirectEntryPoints(t *testing.T) {
+	const eps = 0.5
+	eng := truthfulufp.NewEngine(truthfulufp.EngineConfig{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	check := func(t *testing.T, name string, cfg truthfulufp.ScenarioConfig) {
+		t.Helper()
+		s, ok := truthfulufp.LookupSolver(name)
+		if !ok {
+			t.Fatalf("solver %q vanished from the registry", name)
+		}
+		job := truthfulufp.Job{
+			Algorithm: name, Eps: eps, Seed: registrySeed,
+			MaxIterations: maxIterationsFor(name),
+		}
+		var inst *truthfulufp.Instance
+		var auc *truthfulufp.AuctionInstance
+		var err error
+		if s.Kind().IsUFP() {
+			if inst, err = truthfulufp.GenerateScenario(cfg); err != nil {
+				t.Fatal(err)
+			}
+			job.UFP = inst
+		} else {
+			if auc, err = truthfulufp.GenerateScenarioAuction(cfg); err != nil {
+				t.Fatal(err)
+			}
+			job.Auction = auc
+		}
+		res, err := eng.Do(ctx, job)
+		if err != nil {
+			t.Fatalf("engine %s: %v", name, err)
+		}
+		got := marshalOutput(t, "engine "+name, truthfulufp.SolverOutput{
+			Allocation:        res.Allocation,
+			AuctionAllocation: res.AuctionAllocation,
+			UFPOutcome:        res.UFPOutcome,
+			AuctionOutcome:    res.AuctionOutcome,
+		})
+		want := marshalOutput(t, "direct "+name, directCall(t, name, eps, inst, auc))
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s on %s/%s: engine dispatch differs from direct call\nengine: %s\ndirect: %s",
+				name, cfg.Topology, cfg.Demand, got, want)
+		}
+	}
+
+	for _, s := range truthfulufp.Solvers() {
+		// Mechanisms re-run their algorithm ~60× per winner, and
+		// rounding's reference solves the fractional LP: sweep those at a
+		// reduced request count, one config per topology.
+		heavy := s.Kind().IsMechanism() || s.Name() == "ufp/rounding"
+		t.Run(s.Name(), func(t *testing.T) {
+			for _, topo := range scenario.Topologies() {
+				if heavy {
+					check(t, s.Name(), truthfulufp.ScenarioConfig{
+						Topology: topo.Name, Requests: 12, Seed: 42,
+					})
+					continue
+				}
+				for _, dm := range scenario.Demands() {
+					check(t, s.Name(), truthfulufp.ScenarioConfig{
+						Topology: topo.Name, Demand: dm.Name, Seed: 42,
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyKindAliases: a Job spelled with the legacy Kind enum keys
+// and executes identically to the same job spelled with Algorithm — the
+// one-release compatibility contract.
+func TestLegacyKindAliases(t *testing.T) {
+	inst, err := truthfulufp.GenerateScenario(truthfulufp.ScenarioConfig{Topology: "fattree", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := truthfulufp.Job{Kind: truthfulufp.JobBoundedUFP, Eps: 0.25, UFP: inst}
+	byName := truthfulufp.Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
+	if byKind.Fingerprint() != byName.Fingerprint() {
+		t.Fatal("legacy Kind and Algorithm spellings key differently")
+	}
+	both := truthfulufp.Job{Kind: truthfulufp.JobBoundedUFP, Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
+	if both.Fingerprint() != byName.Fingerprint() {
+		t.Fatal("agreeing Kind+Algorithm keys differently from Algorithm alone")
+	}
+	eng := truthfulufp.NewEngine(truthfulufp.EngineConfig{Workers: 1})
+	defer eng.Close()
+	if _, err := eng.Do(context.Background(), truthfulufp.Job{
+		Kind: truthfulufp.JobSolveUFP, Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst,
+	}); err == nil {
+		t.Fatal("contradictory Kind and Algorithm were accepted")
+	}
+	a, err := eng.Do(context.Background(), byKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Do(context.Background(), byName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit {
+		t.Error("Algorithm spelling missed the cache entry of its Kind alias")
+	}
+	if a.Allocation.Value != b.Allocation.Value {
+		t.Error("alias spellings returned different results")
+	}
+}
+
+// TestSeedNormalization: the seed participates in cache identity only
+// for solvers that consume it.
+func TestSeedNormalization(t *testing.T) {
+	inst, err := truthfulufp.GenerateScenario(truthfulufp.ScenarioConfig{Topology: "waxman", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det1 := truthfulufp.Job{Algorithm: "ufp/bounded", Eps: 0.25, Seed: 1, UFP: inst}
+	det2 := truthfulufp.Job{Algorithm: "ufp/bounded", Eps: 0.25, Seed: 2, UFP: inst}
+	if det1.Fingerprint() != det2.Fingerprint() {
+		t.Error("seed leaked into a deterministic solver's fingerprint")
+	}
+	rnd1 := truthfulufp.Job{Algorithm: "ufp/rounding", Seed: 1, UFP: inst}
+	rnd2 := truthfulufp.Job{Algorithm: "ufp/rounding", Seed: 2, UFP: inst}
+	if rnd1.Fingerprint() == rnd2.Fingerprint() {
+		t.Error("ufp/rounding ignores the seed in its fingerprint")
+	}
+	g1 := truthfulufp.Job{Algorithm: "ufp/greedy", Eps: 0.1, UFP: inst}
+	g2 := truthfulufp.Job{Algorithm: "ufp/greedy", Eps: 0.9, UFP: inst}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("ε leaked into ufp/greedy's fingerprint")
+	}
+	// MaxIterations caps matter to iterative solvers but not to
+	// single-pass ones.
+	s1 := truthfulufp.Job{Algorithm: "ufp/sequential", Eps: 0.25, MaxIterations: 5, UFP: inst}
+	s2 := truthfulufp.Job{Algorithm: "ufp/sequential", Eps: 0.25, MaxIterations: 9, UFP: inst}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("MaxIterations leaked into single-pass ufp/sequential's fingerprint")
+	}
+	b1 := truthfulufp.Job{Algorithm: "ufp/bounded", Eps: 0.25, MaxIterations: 5, UFP: inst}
+	b2 := truthfulufp.Job{Algorithm: "ufp/bounded", Eps: 0.25, MaxIterations: 9, UFP: inst}
+	if b1.Fingerprint() == b2.Fingerprint() {
+		t.Error("ufp/bounded ignores MaxIterations in its fingerprint")
+	}
+}
