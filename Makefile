@@ -28,9 +28,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_path.json $(BENCHJSON_FLAGS)
 
 # Benchmark trend gate (the CI step): measure the full-size path suite
-# into a throwaway snapshot and fail on a >25% regression of the
-# IncrementalSolve speedup relative to the committed BENCH_path.json.
-# Speedup ratios are machine-portable; absolute ns/op are not.
+# into a throwaway snapshot and fail on a >25% regression of any
+# derived speedup (IncrementalSolve, IncrementalBottleneck,
+# IncrementalBellman, SingleTarget) relative to the committed
+# BENCH_path.json. Speedup ratios are machine-portable; absolute ns/op
+# are not.
 bench-trend:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH_path_fresh.json -baseline BENCH_path.json -max-regression 0.25
 

@@ -58,25 +58,11 @@ type (
 	EngineConfig = engine.Config
 	// EngineSnapshot is a point-in-time view of an Engine's counters.
 	EngineSnapshot = engine.Snapshot
-	// Job is one unit of work for an Engine.
+	// Job is one unit of work for an Engine; Job.Algorithm names the
+	// solver by registry name (the pre-v1 JobKind enum is gone).
 	Job = engine.Job
-	// JobKind names the algorithm a Job runs.
-	JobKind = engine.Kind
 	// JobResult is a completed Job's output.
 	JobResult = engine.Result
-)
-
-// Engine job kinds (legacy aliases of the solver registry names; new
-// code should set Job.Algorithm to a registry name instead).
-const (
-	JobSolveUFP         = engine.JobSolveUFP
-	JobBoundedUFP       = engine.JobBoundedUFP
-	JobSolveUFPRepeat   = engine.JobSolveUFPRepeat
-	JobSequentialUFP    = engine.JobSequentialUFP
-	JobGreedyUFP        = engine.JobGreedyUFP
-	JobUFPMechanism     = engine.JobUFPMechanism
-	JobSolveMUCA        = engine.JobSolveMUCA
-	JobAuctionMechanism = engine.JobAuctionMechanism
 )
 
 // The v1 solver registry. See internal/solver: every allocation
@@ -126,6 +112,13 @@ func SolverNames() []string { return solver.Names() }
 // SolverDescription returns a solver's one-line description ("" if it
 // has none).
 func SolverDescription(s Solver) string { return solver.Description(s) }
+
+// SolverDefaultMaxIterations returns the main-loop cap a solver applies
+// when Params.MaxIterations is zero (0 = zero means unlimited). The
+// pseudo-polynomial repeat variants default to
+// solver.DefaultRepeatMaxIterations so registry-dispatched jobs cannot
+// run away uncapped.
+func SolverDefaultMaxIterations(s Solver) int { return solver.DefaultMaxIterations(s) }
 
 // ErrEngineClosed is returned by Engine.Do after Engine.Close.
 var ErrEngineClosed = engine.ErrClosed

@@ -152,7 +152,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			sem := make(chan struct{}, inFlight)
 			for i := 0; i < b.N; i++ {
 				job := engine.Job{
-					Kind: engine.JobBoundedUFP, Eps: 0.25,
+					Algorithm: "ufp/bounded", Eps: 0.25,
 					UFP: instances[i%poolSize], NoCache: true,
 				}
 				wg.Add(1)
@@ -183,7 +183,7 @@ func BenchmarkEngineCacheHit(b *testing.B) {
 	e := engine.New(engine.Config{Workers: 1})
 	defer e.Close()
 	ctx := context.Background()
-	job := engine.Job{Kind: engine.JobBoundedUFP, Eps: 0.25, UFP: inst}
+	job := engine.Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
 	if _, err := e.Do(ctx, job); err != nil {
 		b.Fatal(err)
 	}
@@ -209,13 +209,33 @@ func BenchmarkDijkstraCSR(b *testing.B) {
 	bench.Group(b, "DijkstraCSR", testing.Short())
 }
 
-// BenchmarkIncrementalSolve is the refactor's headline measurement:
-// Bounded-UFP on the waxman-1k scenario with the dirty-source tree
-// cache off (full-recompute) and on (incremental); allocations are
-// identical, the ns/op ratio is the speedup (target ≥3×, see
-// BENCH_path.json).
+// BenchmarkIncrementalSolve is the original refactor's headline
+// measurement: Bounded-UFP on the waxman-1k scenario with the
+// dirty-source tree cache off (full-recompute) and on (incremental);
+// allocations are identical, the ns/op ratio is the speedup (target
+// ≥3×, see BENCH_path.json).
 func BenchmarkIncrementalSolve(b *testing.B) {
 	bench.Group(b, "IncrementalSolve", testing.Short())
+}
+
+// BenchmarkIncrementalBottleneck is the kind-generic cache's bottleneck
+// measurement: the iterative path-min engine under BottleneckRule with
+// the KindBottleneck dirty-source cache off and on (target ≥3×).
+func BenchmarkIncrementalBottleneck(b *testing.B) {
+	bench.Group(b, "IncrementalBottleneck", testing.Short())
+}
+
+// BenchmarkIncrementalBellman is the same measurement for LogHopsRule's
+// hop-bounded Bellman-Ford tables (KindHopBounded; target ≥3×).
+func BenchmarkIncrementalBellman(b *testing.B) {
+	bench.Group(b, "IncrementalBellman", testing.Short())
+}
+
+// BenchmarkSingleTarget compares a full Dijkstra tree + PathTo against
+// the early-exit single-target search behind the mechanism's payment
+// bisection (Scratch.ShortestPathTo).
+func BenchmarkSingleTarget(b *testing.B) {
+	bench.Group(b, "SingleTarget", testing.Short())
 }
 
 // BenchmarkScenarioCatalogSolve sweeps SolveUFP over every topology

@@ -60,9 +60,12 @@ func run(args []string) error {
 	}
 	snap := bench.Run(bench.PathCases(*quick), *quick)
 	for name, e := range snap.Benchmarks {
-		fmt.Fprintf(os.Stderr, "%-36s %14.0f ns/op %8d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "%-40s %14.0f ns/op %8d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
 	}
-	fmt.Fprintf(os.Stderr, "incremental speedup: %.2fx\n", snap.IncrementalSpeedup)
+	fmt.Fprintf(os.Stderr, "incremental speedup:   %.2fx\n", snap.IncrementalSpeedup)
+	fmt.Fprintf(os.Stderr, "bottleneck speedup:    %.2fx\n", snap.BottleneckSpeedup)
+	fmt.Fprintf(os.Stderr, "bellman speedup:       %.2fx\n", snap.BellmanSpeedup)
+	fmt.Fprintf(os.Stderr, "single-target speedup: %.2fx\n", snap.SingleTargetSpeedup)
 	if err := write(*out, snap); err != nil {
 		return err
 	}
@@ -72,7 +75,7 @@ func run(args []string) error {
 	if err := bench.Compare(snap, base, *maxRegression); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "trend gate: %.2fx vs baseline %.2fx within %.0f%% tolerance\n",
+	fmt.Fprintf(os.Stderr, "trend gate: %.2fx vs baseline %.2fx (plus bottleneck/bellman/single-target ratios) within %.0f%% tolerance\n",
 		snap.IncrementalSpeedup, base.IncrementalSpeedup, *maxRegression*100)
 	return nil
 }

@@ -106,7 +106,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-alg %q contradicts -kind %q", algorithm, *kind)
 		}
 		if algorithm == "" {
-			algorithm = string(engine.JobBoundedUFP)
+			algorithm = "ufp/bounded"
 		}
 		return runLoad(out, loadConfig{
 			shape: *shape, jobs: *jobs, concurrency: *concurrency, rate: *rate,

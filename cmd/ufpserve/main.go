@@ -119,7 +119,8 @@ type solveRequest struct {
 	// Algorithm selects the registry solver on /v1/solve (see
 	// /v1/algorithms for the catalog).
 	Algorithm string `json:"algorithm"`
-	// Kind selects the algorithm on /solve (default "ufp/solve").
+	// Kind selects the algorithm on /solve by registry name (default
+	// "ufp/solve"); the legacy spelling of Algorithm for that endpoint.
 	Kind string `json:"kind"`
 	// Mode selects "solve" (default) or "mechanism" on /auction.
 	Mode string `json:"mode"`
@@ -209,10 +210,14 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request, job truthfuluf
 
 // algorithmInfo is one entry of /v1/algorithms.
 type algorithmInfo struct {
-	Name        string `json:"name"`
-	Kind        string `json:"kind"`
-	Mechanism   bool   `json:"mechanism"`
-	Description string `json:"description,omitempty"`
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Mechanism bool   `json:"mechanism"`
+	// DefaultMaxIterations is the main-loop cap applied when the request
+	// leaves maxIterations zero (omitted when zero means unlimited); the
+	// pseudo-polynomial repeat variants carry one.
+	DefaultMaxIterations int    `json:"defaultMaxIterations,omitempty"`
+	Description          string `json:"description,omitempty"`
 }
 
 type algorithmsResponse struct {
@@ -223,10 +228,11 @@ func (s *server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	resp := algorithmsResponse{Algorithms: []algorithmInfo{}}
 	for _, sv := range truthfulufp.Solvers() {
 		resp.Algorithms = append(resp.Algorithms, algorithmInfo{
-			Name:        sv.Name(),
-			Kind:        string(sv.Kind()),
-			Mechanism:   sv.Kind().IsMechanism(),
-			Description: truthfulufp.SolverDescription(sv),
+			Name:                 sv.Name(),
+			Kind:                 string(sv.Kind()),
+			Mechanism:            sv.Kind().IsMechanism(),
+			DefaultMaxIterations: truthfulufp.SolverDefaultMaxIterations(sv),
+			Description:          truthfulufp.SolverDescription(sv),
 		})
 	}
 	writeResult(w, resp)
@@ -295,17 +301,18 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	kind := truthfulufp.JobKind(req.Kind)
-	if req.Kind == "" {
-		kind = truthfulufp.JobSolveUFP
+	alg := req.Kind
+	if alg == "" {
+		alg = "ufp/solve"
 	}
-	if !kind.IsUFPSolve() {
-		if kind.Valid() {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("kind %q is not served by /solve (use /mechanism or /auction)", req.Kind))
-		} else {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown solve kind %q", req.Kind))
-		}
+	sv, registered := truthfulufp.LookupSolver(alg)
+	if !registered {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown solve kind %q", req.Kind))
+		return
+	}
+	if sv.Kind() != truthfulufp.SolverUFP {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("kind %q is not served by /solve (use /mechanism or /auction)", req.Kind))
 		return
 	}
 	inst, err := truthfulufp.UnmarshalInstance(req.Instance)
@@ -314,7 +321,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, ok := s.dispatch(w, r, truthfulufp.Job{
-		Kind: kind, Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
+		Algorithm: alg, Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
 	})
 	if !ok {
 		return
@@ -338,7 +345,7 @@ func (s *server) handleMechanism(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, ok := s.dispatch(w, r, truthfulufp.Job{
-		Kind: truthfulufp.JobUFPMechanism, Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
+		Algorithm: "ufp/mechanism", Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
 	})
 	if !ok {
 		return
@@ -364,7 +371,7 @@ func (s *server) handleAuction(w http.ResponseWriter, r *http.Request) {
 	switch req.Mode {
 	case "", "solve":
 		res, ok := s.dispatch(w, r, truthfulufp.Job{
-			Kind: truthfulufp.JobSolveMUCA, Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
+			Algorithm: "muca/solve", Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
 		})
 		if !ok {
 			return
@@ -377,7 +384,7 @@ func (s *server) handleAuction(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, solveResponse{Allocation: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
 	case "mechanism":
 		res, ok := s.dispatch(w, r, truthfulufp.Job{
-			Kind: truthfulufp.JobAuctionMechanism, Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
+			Algorithm: "muca/mechanism", Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
 		})
 		if !ok {
 			return

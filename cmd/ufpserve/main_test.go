@@ -470,10 +470,11 @@ func TestServeV1Algorithms(t *testing.T) {
 	}
 	var body struct {
 		Algorithms []struct {
-			Name        string `json:"name"`
-			Kind        string `json:"kind"`
-			Mechanism   bool   `json:"mechanism"`
-			Description string `json:"description"`
+			Name                 string `json:"name"`
+			Kind                 string `json:"kind"`
+			Mechanism            bool   `json:"mechanism"`
+			DefaultMaxIterations int    `json:"defaultMaxIterations"`
+			Description          string `json:"description"`
 		} `json:"algorithms"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
@@ -491,6 +492,17 @@ func TestServeV1Algorithms(t *testing.T) {
 		if a.Kind != string(s.Kind()) || a.Mechanism != s.Kind().IsMechanism() {
 			t.Fatalf("algorithms[%d] kind metadata mismatch: %+v", i, a)
 		}
+		if a.DefaultMaxIterations != truthfulufp.SolverDefaultMaxIterations(s) {
+			t.Fatalf("algorithms[%d] defaultMaxIterations = %d, want %d", i, a.DefaultMaxIterations, truthfulufp.SolverDefaultMaxIterations(s))
+		}
+	}
+	// The repeat variants must advertise their pseudo-polynomial guard.
+	reported := make(map[string]int)
+	for _, a := range body.Algorithms {
+		reported[a.Name] = a.DefaultMaxIterations
+	}
+	if reported["ufp/repeat"] <= 0 || reported["ufp/repeat-bounded"] <= 0 {
+		t.Fatalf("repeat variants report no default MaxIterations: %v", reported)
 	}
 }
 

@@ -70,10 +70,13 @@
 // every main-loop iteration — and between every critical-value probe of
 // a mechanism run — so a done context abandons the solve promptly and
 // returns the context's error. The pre-v1 spellings (SolveUFP, ...)
-// remain as thin wrappers, and Options.Ctx / AuctionOptions.Ctx remain
-// as deprecated shims that an explicit ctx argument supersedes. The
-// same applies to the engine: Job.Algorithm (a registry name) is the v1
-// field, with the Job.Kind enum kept as aliases for one release.
+// remain as thin wrappers with no context. The deprecated shims are
+// gone as scheduled: Options.Ctx / AuctionOptions.Ctx have been
+// removed (pass ctx to the *Ctx entry point), and the engine's Job.Kind
+// enum has been removed (set Job.Algorithm to a registry name).
+// Registry dispatch also applies per-solver defaults: the
+// pseudo-polynomial repeat variants cap MaxIterations at
+// solver.DefaultRepeatMaxIterations when a job leaves it zero.
 //
 // # Graph lifecycle: build → Freeze → solve
 //
@@ -89,11 +92,18 @@
 // re-freeze (or let the next solve rebuild) after structural changes.
 //
 // On top of the CSR core sits an incremental path-search engine
-// (internal/pathfind): per-worker Dijkstra scratches with O(1) reset,
-// and a dirty-source tree cache exploiting that each primal-dual
-// iteration raises prices only on the edges of the one admitted path,
-// so only trees using those edges are recomputed. Cached trees are
-// bit-identical to recomputation (the tie-break is canonical), so the
-// solvers' allocations do not depend on caching; Options.NoIncremental
-// disables it for benchmarking (BENCH_path.json tracks the speedup).
+// (internal/pathfind): per-worker search scratches with O(1) reset, and
+// one dirty-source cache (Incremental) generic over the structure kind
+// — additive Dijkstra trees, bottleneck trees under the canonical
+// leximax key, and hop-bounded Bellman-Ford tables — exploiting that
+// each primal-dual iteration raises prices only on the edges of the one
+// admitted path, so only structures using those edges (restricted, for
+// trees, to the paths serving each source's own request targets) are
+// recomputed. Single-target queries run on an early-exit oracle
+// (Scratch.ShortestPathTo / Incremental.PathTo) instead of whole trees;
+// the mechanism's payment bisection uses it throughout. Cached answers
+// are bit-identical to recomputation (every kind's tie-break is
+// canonical), so the solvers' allocations do not depend on caching;
+// Options.NoIncremental and EngineOptions.NoIncremental disable it for
+// benchmarking (BENCH_path.json tracks the speedups).
 package truthfulufp

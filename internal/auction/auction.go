@@ -207,14 +207,6 @@ func validateEps(eps float64) error {
 // Options configure the auction solvers. The zero value (and a nil
 // pointer) is ready to use.
 type Options struct {
-	// Ctx, if non-nil, is checked once per main-loop iteration: when it is
-	// done the solver abandons the run and returns the context's error, so
-	// engine/ufpserve timeouts reclaim their workers.
-	//
-	// Deprecated: pass the context to SolveMUCACtx/BoundedMUCACtx
-	// instead; an explicit ctx argument supersedes this field, which
-	// remains as a compatibility shim.
-	Ctx context.Context
 	// Tie orders requests whose price ratios are numerically tied; it
 	// returns true if a should be preferred over b (default: smaller
 	// index).
@@ -237,13 +229,14 @@ func (o *Options) tie() func(a, b int) bool {
 	return o.Tie
 }
 
-func (o *Options) cancelled() error {
-	if o == nil || o.Ctx == nil {
+// ctxErr is a non-blocking done-check on an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
 		return nil
 	}
 	select {
-	case <-o.Ctx.Done():
-		return o.Ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	default:
 		return nil
 	}
@@ -266,6 +259,10 @@ func (o *Options) noIncremental() bool { return o != nil && o.NoIncremental }
 // Per Theorem 4.1, eps = ε/6 yields a ((1+ε)·e/(e-1))-approximation for
 // B >= ln(m)/ε²; use SolveMUCA for that calling convention.
 func BoundedMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return boundedMUCA(nil, inst, eps, opt)
+}
+
+func boundedMUCA(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -352,7 +349,7 @@ func BoundedMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error)
 	}
 	limited := false
 	for numRemaining > 0 && dualSum <= threshold {
-		if err := opt.cancelled(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, fmt.Errorf("auction: solve cancelled after %d iterations: %w", alloc.Iterations, err)
 		}
 		if max := opt.maxIterations(); max > 0 && alloc.Iterations >= max {
@@ -412,10 +409,7 @@ func BoundedMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error)
 
 // SolveMUCA is the Theorem 4.1 calling convention: BoundedMUCA(ε/6).
 func SolveMUCA(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	if err := validateEps(eps); err != nil {
-		return nil, err
-	}
-	return BoundedMUCA(inst, eps/6, opt)
+	return SolveMUCACtx(nil, inst, eps, opt)
 }
 
 const ratioTol = 1e-12

@@ -22,7 +22,7 @@ func TestBoundedMUCACancellation(t *testing.T) {
 	inst := cancelAuction(12)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := BoundedMUCA(inst, 0.25, &Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+	if _, err := BoundedMUCACtx(ctx, inst, 0.25, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	// A live context leaves the result untouched.
@@ -30,7 +30,7 @@ func TestBoundedMUCACancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := BoundedMUCA(inst, 0.25, &Options{Ctx: context.Background()})
+	got, err := BoundedMUCACtx(context.Background(), inst, 0.25, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,29 +5,18 @@ import "context"
 // This file holds the v1 context-first entry points, mirroring
 // internal/core: the context is checked once per main-loop iteration and
 // the run is abandoned with the context's error when it is done. The
-// pre-v1 Options.Ctx field remains as a deprecated shim; an explicit ctx
-// argument supersedes it.
-
-// withCtx returns options carrying ctx, cloning opt so the caller's
-// value is never mutated. A nil ctx leaves opt untouched.
-func (o *Options) withCtx(ctx context.Context) *Options {
-	if ctx == nil || ctx == context.Background() && (o == nil || o.Ctx == nil) {
-		return o
-	}
-	var c Options
-	if o != nil {
-		c = *o
-	}
-	c.Ctx = ctx
-	return &c
-}
+// pre-v1 Options.Ctx shim has been removed — the context argument is the
+// only cancellation channel.
 
 // SolveMUCACtx is SolveMUCA under a context (the v1 calling convention).
 func SolveMUCACtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return SolveMUCA(inst, eps, opt.withCtx(ctx))
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	return boundedMUCA(ctx, inst, eps/6, opt)
 }
 
 // BoundedMUCACtx is BoundedMUCA under a context.
 func BoundedMUCACtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return BoundedMUCA(inst, eps, opt.withCtx(ctx))
+	return boundedMUCA(ctx, inst, eps, opt)
 }

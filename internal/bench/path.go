@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"sync"
 	"testing"
 
@@ -25,8 +26,8 @@ type Case struct {
 	F    func(b *testing.B)
 }
 
-// waxmanSize and friends fix the headline measurement: the waxman-1k
-// scenario of the refactor's speedup target. Quick mode shrinks every
+// waxmanSize and friends fix the headline measurements: the waxman-1k
+// scenario of the refactors' speedup targets. Quick mode shrinks every
 // knob for CI smoke runs.
 const (
 	waxmanSize     = 1000
@@ -36,16 +37,49 @@ const (
 	quickSize     = 200
 	quickRequests = 100
 	quickIters    = 8
+
+	// The bottleneck-rule pair runs at ε = 1: exponential prices then
+	// break the waxman spanning-tree trunk (the only bottleneck-optimal
+	// edges at flat prices, shared by every source) within a few
+	// repricings, after which the dirty-source cache pays off. The longer
+	// horizon amortizes the unavoidable first-iteration build.
+	bottleneckEps   = 1.0
+	bottleneckIters = 48
+	quickBotIters   = 12
+
+	// The Bellman-Ford (log-hops) pair uses a reduced hop depth and
+	// request count: a full-recompute iteration costs
+	// sources × maxHops × O(m), so full size at the default depth would
+	// run minutes per op without changing the measured ratio.
+	bellmanHops     = 8
+	bellmanIters    = 8
+	bellmanRequests = 150
+	quickBelHops    = 5
+	quickBelIters   = 4
+	quickBelReqs    = 60
 )
 
 // instCache memoizes generated scenario instances across cases and
 // across testing.Benchmark's repeated calls of a body with growing N.
 var instCache sync.Map
 
-func waxmanInstance(quick bool) *core.Instance {
-	size, requests := waxmanSize, waxmanRequests
+func waxmanRequestCount(quick bool) int {
 	if quick {
-		size, requests = quickSize, quickRequests
+		return quickRequests
+	}
+	return waxmanRequests
+}
+
+func waxmanInstance(quick bool) *core.Instance {
+	return waxmanSized(quick, waxmanRequestCount(quick))
+}
+
+// waxmanSized generates (and memoizes) the waxman backbone at the
+// suite's size with a custom request count.
+func waxmanSized(quick bool, requests int) *core.Instance {
+	size := waxmanSize
+	if quick {
+		size = quickSize
 	}
 	key := fmt.Sprintf("waxman/%d/%d", size, requests)
 	if v, ok := instCache.Load(key); ok {
@@ -84,12 +118,23 @@ func unfrozen(g *graph.Graph) *graph.Graph {
 //   - IncrementalSolve/{full-recompute,incremental}: Bounded-UFP on the
 //     waxman-1k scenario with the dirty-source tree cache off and on —
 //     identical allocations, the ns/op ratio is the refactor's speedup.
+//   - IncrementalBottleneck/{full-recompute,incremental}: the iterative
+//     path-min engine under BottleneckRule (KindBottleneck trees in the
+//     kind-generic cache) with caching off and on.
+//   - IncrementalBellman/{full-recompute,incremental}: the same under
+//     LogHopsRule (KindHopBounded Bellman-Ford tables).
+//   - SingleTarget/{full-tree,early-exit}: one (source, target) query
+//     answered by a full Dijkstra tree + PathTo versus the early-exit
+//     single-target search (Scratch.ShortestPathTo) the mechanism's
+//     payment bisection runs on.
 //   - ScenarioCatalog/solve: SolveUFP across every topology family at
 //     default size (gravity demands), the end-to-end catalog sweep.
 func PathCases(quick bool) []Case {
 	iters := solveIters
+	botIters, belHops, belIters, belReqs := bottleneckIters, bellmanHops, bellmanIters, bellmanRequests
 	if quick {
 		iters = quickIters
+		botIters, belHops, belIters, belReqs = quickBotIters, quickBelHops, quickBelIters, quickBelReqs
 	}
 	dijkstra := func(g *graph.Graph) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -124,6 +169,68 @@ func PathCases(quick bool) []Case {
 			}
 		}
 	}
+	ruleSolve := func(mk func() core.Rule, eps float64, ruleIters, requests int, noInc bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			inst := waxmanSized(quick, requests)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := core.IterativePathMin(inst, core.EngineOptions{
+					Rule: mk(), Eps: eps, UseDualStop: true, Workers: 1,
+					MaxIterations: ruleIters, NoIncremental: noInc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Iterations == 0 {
+					b.Fatal("engine admitted nothing")
+				}
+			}
+		}
+	}
+	bottleneck := func(noInc bool) func(b *testing.B) {
+		return ruleSolve(func() core.Rule { return &core.BottleneckRule{} },
+			bottleneckEps, botIters, waxmanRequestCount(quick), noInc)
+	}
+	bellman := func(noInc bool) func(b *testing.B) {
+		return ruleSolve(func() core.Rule { return &core.LogHopsRule{MaxHops: belHops} },
+			0.25, belIters, belReqs, noInc)
+	}
+	singleTarget := func(early bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			inst := waxmanInstance(quick)
+			g := inst.G
+			g.Freeze()
+			// Perturbed prices, as after a few primal-dual iterations: flat
+			// 1/c weights put most vertices on a handful of distance
+			// plateaus, which neuters the early exit's stop condition and
+			// measures a regime the bisection never runs in.
+			rng := rand.New(rand.NewPCG(7, 11))
+			w := make([]float64, g.NumEdges())
+			for e := range w {
+				w[e] = (1 + rng.Float64()) / g.Edge(e).Capacity
+			}
+			weight := pathfind.FromSlice(w)
+			scratch := pathfind.NewScratch(g.NumVertices())
+			var tree *pathfind.Tree
+			reqs := inst.Requests
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := reqs[i%len(reqs)]
+				if early {
+					if _, _, ok := scratch.ShortestPathTo(g, r.Source, r.Target, weight); !ok {
+						b.Fatal("unreachable target")
+					}
+					continue
+				}
+				tree = scratch.Dijkstra(g, r.Source, weight, tree)
+				if _, ok := tree.PathTo(r.Target); !ok {
+					b.Fatal("unreachable target")
+				}
+			}
+		}
+	}
 	return []Case{
 		{"DijkstraCSR/csr", func(b *testing.B) {
 			g := waxmanInstance(quick).G
@@ -135,6 +242,12 @@ func PathCases(quick bool) []Case {
 		}},
 		{"IncrementalSolve/full-recompute", solve(true)},
 		{"IncrementalSolve/incremental", solve(false)},
+		{"IncrementalBottleneck/full-recompute", bottleneck(true)},
+		{"IncrementalBottleneck/incremental", bottleneck(false)},
+		{"IncrementalBellman/full-recompute", bellman(true)},
+		{"IncrementalBellman/incremental", bellman(false)},
+		{"SingleTarget/full-tree", singleTarget(false)},
+		{"SingleTarget/early-exit", singleTarget(true)},
 		{"ScenarioCatalog/solve", func(b *testing.B) {
 			var insts []*core.Instance
 			for _, t := range scenario.Topologies() {
@@ -176,20 +289,52 @@ type Entry struct {
 }
 
 // Snapshot is the BENCH_path.json schema: benchmark name → measurement
-// plus the headline derived ratio.
+// plus the derived headline ratios.
 type Snapshot struct {
 	Suite string `json:"suite"`
 	Quick bool   `json:"quick,omitempty"`
 	// IncrementalSpeedup is full-recompute ns/op divided by incremental
-	// ns/op on the waxman scenario (the refactor's ≥3× target).
-	IncrementalSpeedup float64          `json:"incremental_speedup"`
-	Benchmarks         map[string]Entry `json:"benchmarks"`
+	// ns/op for Bounded-UFP on the waxman scenario (the original
+	// refactor's ≥3× target; the trend gate's headline).
+	IncrementalSpeedup float64 `json:"incremental_speedup"`
+	// BottleneckSpeedup and BellmanSpeedup are the same ratio for the
+	// BottleneckRule and LogHopsRule engines — the kind-generic cache's
+	// ≥3× targets on the waxman scenario.
+	BottleneckSpeedup float64 `json:"bottleneck_speedup"`
+	BellmanSpeedup    float64 `json:"bellman_speedup"`
+	// SingleTargetSpeedup is full-tree ns/op over early-exit ns/op for
+	// one (source, target) query — the mechanism-bisection oracle's win.
+	SingleTargetSpeedup float64          `json:"single_target_speedup"`
+	Benchmarks          map[string]Entry `json:"benchmarks"`
+}
+
+// speedups maps each derived ratio to its full/baseline benchmark pair
+// (numerator first). Every pair must be present in a snapshot — a
+// silent zero in a committed file would read as a regression nobody
+// made — and Compare gates each ratio the baseline carries.
+var speedups = []struct {
+	name       string
+	assign     func(*Snapshot, float64)
+	read       func(Snapshot) float64
+	slow, fast string
+}{
+	{"IncrementalSolve", func(s *Snapshot, v float64) { s.IncrementalSpeedup = v },
+		func(s Snapshot) float64 { return s.IncrementalSpeedup },
+		"IncrementalSolve/full-recompute", "IncrementalSolve/incremental"},
+	{"IncrementalBottleneck", func(s *Snapshot, v float64) { s.BottleneckSpeedup = v },
+		func(s Snapshot) float64 { return s.BottleneckSpeedup },
+		"IncrementalBottleneck/full-recompute", "IncrementalBottleneck/incremental"},
+	{"IncrementalBellman", func(s *Snapshot, v float64) { s.BellmanSpeedup = v },
+		func(s Snapshot) float64 { return s.BellmanSpeedup },
+		"IncrementalBellman/full-recompute", "IncrementalBellman/incremental"},
+	{"SingleTarget", func(s *Snapshot, v float64) { s.SingleTargetSpeedup = v },
+		func(s Snapshot) float64 { return s.SingleTargetSpeedup },
+		"SingleTarget/full-tree", "SingleTarget/early-exit"},
 }
 
 // Run measures every case with the standard testing harness. It panics
-// if the suite no longer contains the two IncrementalSolve cases the
-// headline speedup is derived from — a silent zero in a committed
-// snapshot would read as a regression nobody made.
+// if the suite no longer contains a full/incremental pair a derived
+// speedup is computed from.
 func Run(cases []Case, quick bool) Snapshot {
 	snap := Snapshot{Suite: "path", Quick: quick, Benchmarks: make(map[string]Entry, len(cases))}
 	for _, c := range cases {
@@ -200,12 +345,14 @@ func Run(cases []Case, quick bool) Snapshot {
 			N:           r.N,
 		}
 	}
-	full, okFull := snap.Benchmarks["IncrementalSolve/full-recompute"]
-	incr, okIncr := snap.Benchmarks["IncrementalSolve/incremental"]
-	if !okFull || !okIncr || full.NsPerOp <= 0 || incr.NsPerOp <= 0 {
-		panic("bench: suite is missing the IncrementalSolve full/incremental pair")
+	for _, sp := range speedups {
+		slow, okSlow := snap.Benchmarks[sp.slow]
+		fast, okFast := snap.Benchmarks[sp.fast]
+		if !okSlow || !okFast || slow.NsPerOp <= 0 || fast.NsPerOp <= 0 {
+			panic(fmt.Sprintf("bench: suite is missing the %s pair", sp.name))
+		}
+		sp.assign(&snap, slow.NsPerOp/fast.NsPerOp)
 	}
-	snap.IncrementalSpeedup = full.NsPerOp / incr.NsPerOp
 	return snap
 }
 
@@ -231,17 +378,20 @@ func ReadJSON(r io.Reader) (Snapshot, error) {
 	return snap, nil
 }
 
-// Compare is the CI trend gate: it fails when the fresh snapshot's
-// headline IncrementalSolve speedup has regressed more than
+// Compare is the CI trend gate: it fails when any derived speedup the
+// baseline carries — IncrementalSolve, IncrementalBottleneck,
+// IncrementalBellman, SingleTarget — has regressed more than
 // maxRegression (a fraction, e.g. 0.25) relative to the baseline.
+// Ratios absent from the baseline (older snapshots predating a pair)
+// are skipped, so the gate tightens as snapshots are refreshed.
 //
-// The speedup ratio — full-recompute ns/op over incremental ns/op on
-// the same machine and instance — is what is comparable across CI
-// runners; absolute ns/op are not. It is still scale-dependent (quick
-// instances show a smaller win than full-size ones), so comparing a
-// quick run against a full-size baseline would always "regress";
-// Compare rejects mismatched scales outright rather than report
-// nonsense.
+// The speedup ratios — full-recompute ns/op over incremental ns/op on
+// the same machine and instance — are what is comparable across CI
+// runners; absolute ns/op are not. They are still scale-dependent
+// (quick instances show a smaller win than full-size ones), so
+// comparing a quick run against a full-size baseline would always
+// "regress"; Compare rejects mismatched scales outright rather than
+// report nonsense.
 func Compare(fresh, baseline Snapshot, maxRegression float64) error {
 	if fresh.Suite != baseline.Suite {
 		return fmt.Errorf("bench: comparing suite %q against baseline suite %q", fresh.Suite, baseline.Suite)
@@ -252,10 +402,16 @@ func Compare(fresh, baseline Snapshot, maxRegression float64) error {
 	if baseline.IncrementalSpeedup <= 0 {
 		return fmt.Errorf("bench: baseline has no IncrementalSolve speedup")
 	}
-	regression := 1 - fresh.IncrementalSpeedup/baseline.IncrementalSpeedup
-	if regression > maxRegression {
-		return fmt.Errorf("bench: IncrementalSolve speedup regressed %.0f%% (%.2fx -> %.2fx, tolerance %.0f%%)",
-			regression*100, baseline.IncrementalSpeedup, fresh.IncrementalSpeedup, maxRegression*100)
+	for _, sp := range speedups {
+		base := sp.read(baseline)
+		if base <= 0 {
+			continue // ratio predates this baseline
+		}
+		regression := 1 - sp.read(fresh)/base
+		if regression > maxRegression {
+			return fmt.Errorf("bench: %s speedup regressed %.0f%% (%.2fx -> %.2fx, tolerance %.0f%%)",
+				sp.name, regression*100, base, sp.read(fresh), maxRegression*100)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -23,6 +24,10 @@ import (
 // only helps the admission test, and earlier requests are unaffected — so
 // it supports critical-value payments too.
 func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return sequentialPrimalDual(nil, inst, eps, opt)
+}
+
+func sequentialPrimalDual(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,7 +49,7 @@ func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocatio
 	defer pool.Put(scratch)
 	var tree *pathfind.Tree
 	for i, r := range inst.Requests {
-		if err := opt.cancelled(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, fmt.Errorf("core: sequential solve cancelled at request %d: %w", i, err)
 		}
 		weight := func(e int) float64 {
@@ -82,6 +87,10 @@ func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocatio
 // path. It is the classic combinatorial baseline: simple, feasible, and
 // neither monotone-by-design nor constant-factor in general.
 func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
+	return greedyByDensity(nil, inst, opt)
+}
+
+func greedyByDensity(ctx context.Context, inst *Instance, opt *Options) (*Allocation, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,7 +115,7 @@ func GreedyByDensity(inst *Instance, opt *Options) (*Allocation, error) {
 	defer pool.Put(scratch)
 	var tree *pathfind.Tree
 	for _, i := range order {
-		if err := opt.cancelled(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, fmt.Errorf("core: greedy solve cancelled at request %d: %w", i, err)
 		}
 		r := inst.Requests[i]

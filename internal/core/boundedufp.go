@@ -29,15 +29,6 @@ type Options struct {
 	// Workers bounds the number of goroutines used for per-iteration
 	// shortest-path computations; 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// Ctx, if non-nil, is checked once per main-loop iteration (and once
-	// per request in the single-pass baselines): when it is done the
-	// solver abandons the run and returns the context's error. This is how
-	// engine/ufpserve timeouts reclaim a worker mid-solve.
-	//
-	// Deprecated: pass the context to the *Ctx entry points
-	// (SolveUFPCtx, BoundedUFPCtx, ...) instead; an explicit ctx argument
-	// supersedes this field, which remains as a compatibility shim.
-	Ctx context.Context
 	// TieBreak overrides the default tie-breaking between candidates with
 	// equal ratios. It never sees candidates with different ratios.
 	TieBreak TieBreak
@@ -55,6 +46,15 @@ type Options struct {
 	// — so this exists for benchmarking the cache and as a belt-and-
 	// braces escape hatch.
 	NoIncremental bool
+	// SingleTarget enables the single-target path oracle: a source all
+	// of whose remaining requests share one target is answered by a
+	// cached early-exit search (pathfind.Incremental.PathTo) instead of
+	// a full shortest-path tree. Answers are bit-identical either way,
+	// so allocations do not depend on this flag; it pays off when most
+	// sources carry a single request — the mechanism's critical-value
+	// bisection, whose probes re-solve the instance dozens of times per
+	// winner, enables it for exactly that reason.
+	SingleTarget bool
 	// PathPool, if non-nil, supplies the Dijkstra scratch buffers
 	// (see pathfind.Pool). Sharing one pool across many solves — as the
 	// engine does across its worker pool — keeps the per-solve allocation
@@ -67,15 +67,6 @@ func (o *Options) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
-}
-
-// cancelled returns the context's error once Options.Ctx is done, nil
-// otherwise (including with no Options or no context).
-func (o *Options) cancelled() error {
-	if o == nil {
-		return nil
-	}
-	return ctxErr(o.Ctx)
 }
 
 // ctxErr is a non-blocking done-check on an optional context.
@@ -99,6 +90,8 @@ func (o *Options) tieBreak() TieBreak {
 }
 
 func (o *Options) noIncremental() bool { return o != nil && o.NoIncremental }
+
+func (o *Options) singleTarget() bool { return o != nil && o.SingleTarget }
 
 func (o *Options) pathPool() *pathfind.Pool {
 	if o == nil {
@@ -142,17 +135,14 @@ func ratiosTied(a, b float64) bool {
 // scaling y by 1/α(i) is dual feasible, so min over iterations of
 // D1(i)/α(i) + P(i) upper-bounds the fractional optimum.
 func BoundedUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return boundedUFPLoop(inst, eps, opt, false)
+	return boundedUFPLoop(nil, inst, eps, opt, false)
 }
 
 // SolveUFP is the Theorem 3.1 calling convention: BoundedUFP(ε/6), which
 // guarantees a ((1+ε)·e/(e-1))-approximation for B >= ln(m)/ε²-bounded
 // instances.
 func SolveUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	if err := validateEps(eps); err != nil {
-		return nil, err
-	}
-	return BoundedUFP(inst, eps/6, opt)
+	return SolveUFPCtx(nil, inst, eps, opt)
 }
 
 // BoundedUFPRepeat runs Algorithm 3 (Bounded-UFP-Repeat) with accuracy
@@ -161,19 +151,16 @@ func SolveUFP(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 // ε/6 yields a (1+ε)-approximation for B >= ln(m)/ε²-bounded instances;
 // the iteration count is bounded by m·c_max/d_min.
 func BoundedUFPRepeat(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return boundedUFPLoop(inst, eps, opt, true)
+	return boundedUFPLoop(nil, inst, eps, opt, true)
 }
 
 // SolveUFPRepeat is the Theorem 5.1 calling convention:
 // BoundedUFPRepeat(ε/6).
 func SolveUFPRepeat(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	if err := validateEps(eps); err != nil {
-		return nil, err
-	}
-	return BoundedUFPRepeat(inst, eps/6, opt)
+	return SolveUFPRepeatCtx(nil, inst, eps, opt)
 }
 
-func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Allocation, error) {
+func boundedUFPLoop(ctx context.Context, inst *Instance, eps float64, opt *Options, repeat bool) (*Allocation, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -205,7 +192,7 @@ func boundedUFPLoop(inst *Instance, eps float64, opt *Options, repeat bool) (*Al
 	tie := opt.tieBreak()
 	sp := newShortestPaths(inst, opt)
 	for {
-		if err := opt.cancelled(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, fmt.Errorf("core: solve cancelled after %d iterations: %w", alloc.Iterations, err)
 		}
 		if !repeat && numRemaining == 0 {
@@ -283,8 +270,11 @@ type shortestPaths struct {
 	inst    *Instance
 	workers int
 	full    bool // Options.NoIncremental: recompute all active sources per call
+	single  bool // Options.SingleTarget: per-target oracle for lone sources
 	inc     *pathfind.Incremental
-	seen    []bool // per-slot scratch for activeSlots
+	seen    []bool  // per-slot scratch for activeSlots
+	target  []int32 // per-slot single remaining target (-1: none seen yet)
+	multi   []bool  // per-slot: remaining requests span several targets
 }
 
 func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
@@ -296,44 +286,77 @@ func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
 		inst:    inst,
 		workers: opt.workers(),
 		full:    opt.noIncremental(),
+		single:  opt.singleTarget(),
 		inc:     pathfind.NewIncremental(inst.G, sources, opt.pathPool()),
 	}
+	// Each slot only ever answers queries for its own requests' targets,
+	// so restrict the recorded edge sets to those paths: repricing an
+	// edge used elsewhere in a tree no longer dirties it.
+	targets := make(map[int][]int, sp.inc.NumSlots())
+	for _, r := range inst.Requests {
+		slot, _ := sp.inc.Slot(r.Source)
+		targets[slot] = append(targets[slot], r.Target)
+	}
+	for slot, ts := range targets {
+		sp.inc.SetTargets(slot, ts)
+	}
 	sp.seen = make([]bool, sp.inc.NumSlots())
+	if sp.single {
+		sp.target = make([]int32, sp.inc.NumSlots())
+		sp.multi = make([]bool, sp.inc.NumSlots())
+	}
 	return sp
 }
 
 // bestCandidate runs the per-iteration path search: refresh the trees
 // of every source that still has remaining requests (recomputing only
-// dirty ones), then a deterministic argmin of (d/v)·dist over remaining
-// requests.
+// dirty ones; in single-target mode, sources whose remaining requests
+// all share one target skip the tree and are answered by the cached
+// early-exit oracle instead), then a deterministic argmin of (d/v)·dist
+// over remaining requests. Both query paths return bit-identical
+// (distance, path) answers, so the argmin — and hence the allocation —
+// does not depend on the mode.
 func (sp *shortestPaths) bestCandidate(remaining []bool, y []float64, tie TieBreak) (Candidate, bool) {
 	active := sp.activeSlots(remaining)
-	if len(active) == 0 {
+	if len(active) == 0 && !sp.single {
 		return Candidate{}, false
 	}
+	weight := pathfind.FromSlice(y)
 	if sp.full {
 		sp.inc.InvalidateAll()
 	}
-	sp.inc.Refresh(active, pathfind.FromSlice(y), sp.workers)
+	sp.inc.Refresh(active, weight, sp.workers)
 	best := Candidate{Request: -1, Ratio: math.Inf(1)}
 	for i, r := range sp.inst.Requests {
 		if !remaining[i] {
 			continue
 		}
 		slot, _ := sp.inc.Slot(r.Source)
-		tree := sp.inc.Tree(slot)
-		dist := tree.Dist[r.Target]
-		if math.IsInf(dist, 1) {
-			continue
+		var dist float64
+		var path func() []int
+		if sp.single && !sp.multi[slot] {
+			p, d, ok := sp.inc.PathTo(slot, r.Target, weight)
+			if !ok {
+				continue
+			}
+			dist = d
+			path = func() []int { return p }
+		} else {
+			tree := sp.inc.Tree(slot)
+			if math.IsInf(tree.Dist[r.Target], 1) {
+				continue
+			}
+			dist = tree.Dist[r.Target]
+			path = func() []int { p, _ := tree.PathTo(r.Target); return p }
 		}
 		ratio := r.Demand / r.Value * dist
 		cand := Candidate{Request: i, Ratio: ratio}
 		switch {
 		case best.Request < 0 || ratio < best.Ratio && !ratiosTied(ratio, best.Ratio):
-			cand.Path, _ = tree.PathTo(r.Target)
+			cand.Path = path()
 			best = cand
 		case ratiosTied(ratio, best.Ratio):
-			cand.Path, _ = tree.PathTo(r.Target)
+			cand.Path = path()
 			if tie(cand, best) {
 				best = cand
 			}
@@ -350,11 +373,23 @@ func (sp *shortestPaths) invalidate(path []int) {
 	sp.inc.Invalidate(path)
 }
 
+// activeSlots returns the slots needing a full tree this iteration:
+// every slot with a remaining request, minus — in single-target mode —
+// slots whose remaining requests all name one target (those are served
+// by Incremental.PathTo; sp.multi marks the rest). Requests only leave
+// the pool, so a slot can become single-target mid-run but never the
+// reverse within an iteration's classification.
 func (sp *shortestPaths) activeSlots(remaining []bool) []int {
 	for i := range sp.seen {
 		sp.seen[i] = false
 	}
-	var active []int
+	if sp.single {
+		for i := range sp.multi {
+			sp.multi[i] = false
+			sp.target[i] = -1
+		}
+	}
+	var live []int
 	for i, r := range sp.inst.Requests {
 		if !remaining[i] {
 			continue
@@ -362,6 +397,23 @@ func (sp *shortestPaths) activeSlots(remaining []bool) []int {
 		slot, _ := sp.inc.Slot(r.Source)
 		if !sp.seen[slot] {
 			sp.seen[slot] = true
+			live = append(live, slot)
+		}
+		if sp.single {
+			switch {
+			case sp.target[slot] < 0:
+				sp.target[slot] = int32(r.Target)
+			case int(sp.target[slot]) != r.Target:
+				sp.multi[slot] = true
+			}
+		}
+	}
+	if !sp.single {
+		return live
+	}
+	active := live[:0]
+	for _, slot := range live {
+		if sp.multi[slot] {
 			active = append(active, slot)
 		}
 	}

@@ -28,29 +28,28 @@ func TestBoundedUFPCancellation(t *testing.T) {
 	defer cancel()
 	opt := &Options{
 		Workers: 1,
-		Ctx:     ctx,
 		OnIteration: func(iter int, _ Candidate, _ float64) {
 			if iter == 2 {
 				cancel()
 			}
 		},
 	}
-	_, err := BoundedUFP(inst, 0.25, opt)
+	_, err := BoundedUFPCtx(ctx, inst, 0.25, opt)
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("BoundedUFP after mid-run cancel: err = %v, want context.Canceled", err)
+		t.Fatalf("BoundedUFPCtx after mid-run cancel: err = %v, want context.Canceled", err)
 	}
 
 	// A pre-cancelled context stops every solver before any iteration.
 	done, cancelNow := context.WithCancel(context.Background())
 	cancelNow()
-	pre := &Options{Workers: 1, Ctx: done}
+	pre := &Options{Workers: 1}
 	for name, run := range map[string]func() (*Allocation, error){
-		"bounded":    func() (*Allocation, error) { return BoundedUFP(inst, 0.25, pre) },
-		"repeat":     func() (*Allocation, error) { return BoundedUFPRepeat(inst, 0.25, pre) },
-		"sequential": func() (*Allocation, error) { return SequentialPrimalDual(inst, 0.25, pre) },
-		"greedy":     func() (*Allocation, error) { return GreedyByDensity(inst, pre) },
+		"bounded":    func() (*Allocation, error) { return BoundedUFPCtx(done, inst, 0.25, pre) },
+		"repeat":     func() (*Allocation, error) { return BoundedUFPRepeatCtx(done, inst, 0.25, pre) },
+		"sequential": func() (*Allocation, error) { return SequentialPrimalDualCtx(done, inst, 0.25, pre) },
+		"greedy":     func() (*Allocation, error) { return GreedyByDensityCtx(done, inst, pre) },
 		"pathmin": func() (*Allocation, error) {
-			return IterativePathMin(inst, EngineOptions{Rule: &ExpRule{}, Eps: 0.25, UseDualStop: true, Ctx: done, Workers: 1})
+			return IterativePathMinCtx(done, inst, EngineOptions{Rule: &ExpRule{}, Eps: 0.25, UseDualStop: true, Workers: 1})
 		},
 	} {
 		if _, err := run(); !errors.Is(err, context.Canceled) {
@@ -67,7 +66,7 @@ func TestNilAndLiveContextUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withCtx, err := BoundedUFP(inst, 0.25, &Options{Workers: 1, Ctx: context.Background()})
+	withCtx, err := BoundedUFPCtx(context.Background(), inst, 0.25, &Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,58 +6,47 @@ import "context"
 // package is callable as SomethingCtx(ctx, ...): the context is checked
 // once per main-loop iteration (or per request for the single-pass
 // baselines) and the run is abandoned with the context's error when it
-// is done. The pre-v1 Options.Ctx field remains as a deprecated shim; an
-// explicit ctx argument supersedes it.
-
-// withCtx returns options carrying ctx, cloning opt so the caller's
-// value is never mutated. A nil ctx leaves opt untouched (Options.Ctx,
-// if any, still applies — the compatibility shim).
-func (o *Options) withCtx(ctx context.Context) *Options {
-	if ctx == nil || ctx == context.Background() && (o == nil || o.Ctx == nil) {
-		return o
-	}
-	var c Options
-	if o != nil {
-		c = *o
-	}
-	c.Ctx = ctx
-	return &c
-}
+// is done. The pre-v1 Options.Ctx shim has been removed — the context
+// argument is the only cancellation channel; the plain spellings
+// (SolveUFP, ...) are the same calls with no context.
 
 // SolveUFPCtx is SolveUFP under a context (the v1 calling convention).
 func SolveUFPCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return SolveUFP(inst, eps, opt.withCtx(ctx))
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	return boundedUFPLoop(ctx, inst, eps/6, opt, false)
 }
 
 // BoundedUFPCtx is BoundedUFP under a context.
 func BoundedUFPCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return BoundedUFP(inst, eps, opt.withCtx(ctx))
+	return boundedUFPLoop(ctx, inst, eps, opt, false)
 }
 
 // SolveUFPRepeatCtx is SolveUFPRepeat under a context.
 func SolveUFPRepeatCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return SolveUFPRepeat(inst, eps, opt.withCtx(ctx))
+	if err := validateEps(eps); err != nil {
+		return nil, err
+	}
+	return boundedUFPLoop(ctx, inst, eps/6, opt, true)
 }
 
 // BoundedUFPRepeatCtx is BoundedUFPRepeat under a context.
 func BoundedUFPRepeatCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return BoundedUFPRepeat(inst, eps, opt.withCtx(ctx))
+	return boundedUFPLoop(ctx, inst, eps, opt, true)
 }
 
 // SequentialPrimalDualCtx is SequentialPrimalDual under a context.
 func SequentialPrimalDualCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
-	return SequentialPrimalDual(inst, eps, opt.withCtx(ctx))
+	return sequentialPrimalDual(ctx, inst, eps, opt)
 }
 
 // GreedyByDensityCtx is GreedyByDensity under a context.
 func GreedyByDensityCtx(ctx context.Context, inst *Instance, opt *Options) (*Allocation, error) {
-	return GreedyByDensity(inst, opt.withCtx(ctx))
+	return greedyByDensity(ctx, inst, opt)
 }
 
 // IterativePathMinCtx is IterativePathMin under a context.
 func IterativePathMinCtx(ctx context.Context, inst *Instance, opt EngineOptions) (*Allocation, error) {
-	if ctx != nil && !(ctx == context.Background() && opt.Ctx == nil) {
-		opt.Ctx = ctx
-	}
-	return IterativePathMin(inst, opt)
+	return iterativePathMin(ctx, inst, opt)
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"truthfulufp/internal/pathfind"
 )
@@ -31,6 +30,9 @@ type State struct {
 	FeasibleOnly bool    // restrict candidate paths to residual-feasible edges
 	ActiveGroups []Group // groups with remaining requests this iteration
 	Workers      int
+	// NoIncremental makes the cached rules recompute every active group's
+	// structure each iteration (see EngineOptions.NoIncremental).
+	NoIncremental bool
 	// Pool supplies the Dijkstra/bottleneck scratch buffers shared by the
 	// rules' per-group path queries. IterativePathMin always sets it; the
 	// rules fall back to a package-shared pool when driven by hand.
@@ -76,37 +78,6 @@ func (st *State) UnitWeight(demand float64) pathfind.WeightFunc {
 	}
 }
 
-// forEachGroup runs fn over the active groups on a bounded worker pool.
-func (st *State) forEachGroup(fn func(g Group)) {
-	groups := st.ActiveGroups
-	if st.Workers <= 1 || len(groups) <= 1 {
-		for _, g := range groups {
-			fn(g)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan Group)
-	nw := st.Workers
-	if nw > len(groups) {
-		nw = len(groups)
-	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for g := range work {
-				fn(g)
-			}
-		}()
-	}
-	for _, g := range groups {
-		work <- g
-	}
-	close(work)
-	wg.Wait()
-}
-
 // Rule is a "reasonable function" (Definition 3.9): a priority over
 // candidate paths. The engine minimizes (d_r/v_r)·length where length is
 // the rule's raw path aggregate, matching the paper's priority shapes
@@ -115,10 +86,10 @@ func (st *State) forEachGroup(fn func(g Group)) {
 // Prepare is called once per iteration (groups in st.ActiveGroups);
 // BestLen must return, for one group and target, a path minimizing the
 // rule's raw length. BestLen is called from a single goroutine; Prepare
-// may parallelize internally via State.forEachGroup. Rules that
-// additionally implement pathInvalidator are told which edges the
-// engine repriced after each admission, which lets them keep caches
-// across iterations.
+// may parallelize internally (the treeCache-backed rules refresh dirty
+// groups across State.Workers goroutines). Rules that additionally
+// implement pathInvalidator are told which edges the engine repriced
+// after each admission, which lets them keep caches across iterations.
 type Rule interface {
 	Name() string
 	Prepare(st *State)
@@ -139,16 +110,29 @@ type pathInvalidator interface {
 // cannot collide with a real class.
 const sharedDemandKey = 0
 
-// treeCache is the incremental shortest-path-tree store shared by the
-// Dijkstra-based rules (ExpRule, HopRule). Trees are cached across
+// treeCache is the incremental path-oracle store shared by every
+// search-backed rule: additive Dijkstra trees (ExpRule, HopRule),
+// bottleneck trees (BottleneckRule), and hop-bounded Bellman-Ford
+// tables (LogHopsRule), selected by kind. Structures are cached across
 // engine iterations in a pathfind.Incremental per demand class (the
 // residual-capacity filter makes weights demand-dependent, so classes
-// cannot share trees when FeasibleOnly is set) and only dirtied trees
-// are recomputed. Cached trees are bit-identical to recomputation (see
-// pathfind.Incremental), so engine outcomes do not depend on caching.
+// cannot share structures when FeasibleOnly is set) and only dirtied
+// ones are recomputed. Cached structures are bit-identical to
+// recomputation (see pathfind.Incremental), so engine outcomes do not
+// depend on caching; State.NoIncremental forces the full recompute for
+// benchmarking and verification.
 type treeCache struct {
-	st   *State // identifies the run; a new engine run rebuilds the cache
-	incs map[float64]*pathfind.Incremental
+	kind    pathfind.TreeKind
+	maxHops int    // KindHopBounded table depth (0 = vertices - 1)
+	st      *State // identifies the run; a new engine run rebuilds the cache
+	incs    map[float64]*pathfind.Incremental
+	// single[k][slot] marks slots whose whole target universe is one
+	// vertex: those skip tree refreshes entirely and answer BestLen
+	// through the cache's single-target path oracle (Incremental.PathTo,
+	// tree kinds only). weightOf is the latest prepare's weight factory,
+	// which the oracle queries lazily.
+	single   map[float64][]bool
+	weightOf func(demand float64) pathfind.WeightFunc
 }
 
 func (c *treeCache) key(st *State, demand float64) float64 {
@@ -162,18 +146,58 @@ func (c *treeCache) key(st *State, demand float64) float64 {
 // the trees of the active groups under the current weights. weightOf
 // maps a demand class to its weight function.
 func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.WeightFunc) {
+	c.weightOf = weightOf
 	if c.st != st {
 		// New engine run: groups only shrink within a run, so the first
 		// iteration's ActiveGroups is the full source universe per class.
 		c.st = st
 		c.incs = make(map[float64]*pathfind.Incremental)
+		c.single = make(map[float64][]bool)
 		byKey := make(map[float64][]int)
 		for _, g := range st.ActiveGroups {
 			k := c.key(st, g.Demand)
 			byKey[k] = append(byKey[k], g.Source)
 		}
 		for k, sources := range byKey {
-			c.incs[k] = pathfind.NewIncremental(st.Inst.G, sources, nil)
+			inc := pathfind.NewIncrementalKind(st.Inst.G, c.kind, sources, st.pool(), c.maxHops)
+			targets := make(map[int][]int)
+			// Restrict each slot's recorded edges to the paths its own
+			// requests can query (BestLen only ever asks for a group's own
+			// targets), so unrelated tree churn does not dirty it. The
+			// instance's request list is the target universe; remaining
+			// requests only shrink within a run.
+			for _, r := range st.Inst.Requests {
+				if c.key(st, r.Demand) != k {
+					continue
+				}
+				if slot, ok := inc.Slot(r.Source); ok {
+					targets[slot] = append(targets[slot], r.Target)
+				}
+			}
+			single := make([]bool, inc.NumSlots())
+			for slot, ts := range targets {
+				inc.SetTargets(slot, ts)
+				if c.kind != pathfind.KindHopBounded {
+					distinct := true
+					for _, t := range ts[1:] {
+						if t != ts[0] {
+							distinct = false
+							break
+						}
+					}
+					single[slot] = distinct
+				}
+			}
+			c.incs[k] = inc
+			c.single[k] = single
+		}
+	}
+	if st.NoIncremental {
+		// Full-recompute mode: every structure and cached path is
+		// recomputed this iteration (including the single-target slots the
+		// refresh loop below never touches).
+		for _, inc := range c.incs {
+			inc.InvalidateAll()
 		}
 	}
 	active := make(map[float64][]int, len(c.incs))
@@ -192,6 +216,9 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 			c.prepare(st, weightOf)
 			return
 		}
+		if c.single[k][slot] {
+			continue // served by the path oracle, no tree to refresh
+		}
 		active[k] = append(active[k], slot)
 	}
 	for k, slots := range active {
@@ -199,11 +226,37 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 	}
 }
 
+// query answers a single-target group through the path oracle
+// (Incremental.PathTo): served reports whether the group's slot is
+// oracle-backed; when it is, (path, length, ok) is the bit-identical
+// equivalent of the tree read the multi-target slots perform.
+func (c *treeCache) query(st *State, g Group, target int) (path []int, length float64, ok, served bool) {
+	k := c.key(st, g.Demand)
+	inc := c.incs[k]
+	if inc == nil {
+		return nil, 0, false, false
+	}
+	slot, okSlot := inc.Slot(g.Source)
+	if !okSlot || !c.single[k][slot] {
+		return nil, 0, false, false
+	}
+	p, d, ok := inc.PathTo(slot, target, c.weightOf(k))
+	return p, d, ok, true
+}
+
 // tree returns the cached tree for a group (valid after prepare).
 func (c *treeCache) tree(st *State, g Group) *pathfind.Tree {
 	inc := c.incs[c.key(st, g.Demand)]
 	slot, _ := inc.Slot(g.Source)
 	return inc.Tree(slot)
+}
+
+// table returns the cached hop table for a group (valid after prepare;
+// KindHopBounded caches only).
+func (c *treeCache) table(st *State, g Group) *pathfind.HopTable {
+	inc := c.incs[c.key(st, g.Demand)]
+	slot, _ := inc.Slot(g.Source)
+	return inc.Table(slot)
 }
 
 // invalidate dirties every cached tree using one of the edges.
@@ -229,6 +282,9 @@ func (r *ExpRule) Prepare(st *State) {
 
 // BestLen implements Rule.
 func (r *ExpRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	if p, d, ok, served := r.cache.query(st, g, target); served {
+		return p, d, ok
+	}
 	t := r.cache.tree(st, g)
 	if math.IsInf(t.Dist[target], 1) {
 		return nil, 0, false
@@ -260,6 +316,9 @@ func (r *HopRule) Prepare(st *State) {
 
 // BestLen implements Rule.
 func (r *HopRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
+	if p, d, ok, served := r.cache.query(st, g, target); served {
+		return p, d, ok
+	}
 	t := r.cache.tree(st, g)
 	if math.IsInf(t.Dist[target], 1) {
 		return nil, 0, false
@@ -281,12 +340,14 @@ func (r *HopRule) invalidatePath(st *State, path []int) {
 // price length scaled by a hop-count factor, mildly biased toward paths
 // with fewer edges. Minimization runs over a hop-bounded Bellman-Ford
 // table: min over k of ln(1+k)·(min exp-length among paths of <= k
-// edges). Tables persist across iterations as reusable buffers
-// (BellmanFordHopsInto), so steady-state iterations allocate no fresh
-// tables.
+// edges). Tables live in the kind-generic dirty-source cache
+// (pathfind.KindHopBounded): across iterations only tables whose
+// recorded predecessor edges were repriced are recomputed, and
+// recomputation reuses the table's rows (BellmanFordHopsInto), so
+// steady-state iterations neither allocate tables nor rebuild clean
+// ones.
 type LogHopsRule struct {
-	tables map[Group]*pathfind.HopTable
-	mu     sync.Mutex
+	cache treeCache
 	// MaxHops caps the table depth (0 = number of vertices - 1).
 	MaxHops int
 }
@@ -296,27 +357,21 @@ func (r *LogHopsRule) Name() string { return "log-hops" }
 
 // Prepare implements Rule.
 func (r *LogHopsRule) Prepare(st *State) {
-	depth := r.MaxHops
-	if depth <= 0 {
-		depth = st.Inst.G.NumVertices() - 1
-	}
-	if r.tables == nil {
-		r.tables = make(map[Group]*pathfind.HopTable, len(st.ActiveGroups))
-	}
-	st.forEachGroup(func(g Group) {
-		r.mu.Lock()
-		buf := r.tables[g] // reused as a buffer; recomputed in full below
-		r.mu.Unlock()
-		t := pathfind.BellmanFordHopsInto(st.Inst.G, g.Source, st.ExpWeight(g.Demand), depth, buf)
-		r.mu.Lock()
-		r.tables[g] = t
-		r.mu.Unlock()
-	})
+	r.cache.kind = pathfind.KindHopBounded
+	r.cache.maxHops = r.MaxHops
+	r.cache.prepare(st, func(d float64) pathfind.WeightFunc { return st.ExpWeight(d) })
+}
+
+// invalidatePath implements pathInvalidator: exponential prices move
+// with the flow on the routed edges, dirtying any table that recorded
+// them as predecessors.
+func (r *LogHopsRule) invalidatePath(st *State, path []int) {
+	r.cache.invalidate(path)
 }
 
 // BestLen implements Rule.
 func (r *LogHopsRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
-	t := r.tables[g]
+	t := r.cache.table(st, g)
 	bestK := -1
 	best := math.Inf(1)
 	for k := 1; k <= t.MaxHops; k++ {
@@ -342,13 +397,13 @@ func (r *LogHopsRule) BestLen(st *State, g Group, target int) ([]int, float64, b
 // BottleneckRule minimizes (d/v)·max_{e∈p} (1/c_e)e^{εB·f_e/c_e}: route
 // along the path whose most expensive edge is cheapest ("least congested
 // bottleneck"). Reasonable per Definition 3.9: pointwise-dominated flow
-// vectors cannot have a larger maximum. Queries run on the shared
-// scratch pool (State.Pool) and result trees persist across iterations
-// as reusable buffers, so steady-state iterations allocate neither heaps
-// nor trees.
+// vectors cannot have a larger maximum. Trees live in the kind-generic
+// dirty-source cache (pathfind.KindBottleneck, canonical lexicographic
+// (minimax, hops) tie-break): across iterations only trees using a
+// repriced edge are recomputed, on pooled scratches into reusable tree
+// buffers, so steady-state iterations allocate neither heaps nor trees.
 type BottleneckRule struct {
-	trees map[Group]*pathfind.Tree
-	mu    sync.Mutex
+	cache treeCache
 }
 
 // Name implements Rule.
@@ -356,26 +411,22 @@ func (r *BottleneckRule) Name() string { return "bottleneck" }
 
 // Prepare implements Rule.
 func (r *BottleneckRule) Prepare(st *State) {
-	if r.trees == nil {
-		r.trees = make(map[Group]*pathfind.Tree, len(st.ActiveGroups))
-	}
-	pool := st.pool()
-	st.forEachGroup(func(g Group) {
-		scratch := pool.Get(st.Inst.G.NumVertices())
-		r.mu.Lock()
-		buf := r.trees[g] // reused as a buffer; recomputed in full below
-		r.mu.Unlock()
-		t := scratch.Bottleneck(st.Inst.G, g.Source, st.ExpWeight(g.Demand), buf)
-		pool.Put(scratch)
-		r.mu.Lock()
-		r.trees[g] = t
-		r.mu.Unlock()
-	})
+	r.cache.kind = pathfind.KindBottleneck
+	r.cache.prepare(st, func(d float64) pathfind.WeightFunc { return st.ExpWeight(d) })
+}
+
+// invalidatePath implements pathInvalidator: exponential prices move
+// with the flow on the routed edges, dirtying any tree that used them.
+func (r *BottleneckRule) invalidatePath(st *State, path []int) {
+	r.cache.invalidate(path)
 }
 
 // BestLen implements Rule.
 func (r *BottleneckRule) BestLen(st *State, g Group, target int) ([]int, float64, bool) {
-	t := r.trees[g]
+	if p, d, ok, served := r.cache.query(st, g, target); served {
+		return p, d, ok
+	}
+	t := r.cache.tree(st, g)
 	if math.IsInf(t.Dist[target], 1) {
 		return nil, 0, false
 	}
@@ -456,11 +507,12 @@ type EngineOptions struct {
 	MaxIterations int
 	// Workers bounds parallelism in per-iteration path computations.
 	Workers int
-	// Ctx, if non-nil, cancels the main loop.
-	//
-	// Deprecated: pass the context to IterativePathMinCtx instead; Ctx
-	// remains as a compatibility shim.
-	Ctx context.Context
+	// NoIncremental disables the dirty-source caches of the built-in
+	// rules: every iteration recomputes every active group's structure
+	// from scratch. Allocations are identical either way — cached
+	// structures are bit-identical to recomputation — so this exists for
+	// benchmarking the caches and as an escape hatch.
+	NoIncremental bool
 	// PathPool, if non-nil, supplies the scratch buffers for the rules'
 	// path queries (see Options.PathPool); nil uses a shared pool.
 	PathPool *pathfind.Pool
@@ -470,8 +522,13 @@ type EngineOptions struct {
 // (Definition 3.10): repeatedly select, among all paths of unselected
 // requests, one minimizing (d_r/v_r)·Rule-length, route it, and update
 // the flow. With ExpRule, UseDualStop and no feasibility filtering this
-// is exactly Bounded-UFP.
+// is exactly Bounded-UFP. See IterativePathMinCtx for the cancellable
+// form.
 func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
+	return iterativePathMin(nil, inst, opt)
+}
+
+func iterativePathMin(ctx context.Context, inst *Instance, opt EngineOptions) (*Allocation, error) {
 	if opt.Rule == nil {
 		return nil, errors.New("core: IterativePathMin requires a Rule")
 	}
@@ -498,13 +555,14 @@ func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
 		pool = sharedRulePool
 	}
 	st := &State{
-		Inst:         inst,
-		Flow:         make([]float64, inst.G.NumEdges()),
-		Eps:          opt.Eps,
-		B:            inst.B(),
-		FeasibleOnly: opt.FeasibleOnly,
-		Workers:      workers,
-		Pool:         pool,
+		Inst:          inst,
+		Flow:          make([]float64, inst.G.NumEdges()),
+		Eps:           opt.Eps,
+		B:             inst.B(),
+		FeasibleOnly:  opt.FeasibleOnly,
+		Workers:       workers,
+		NoIncremental: opt.NoIncremental,
+		Pool:          pool,
 	}
 	tie := opt.TieBreak
 	if tie == nil {
@@ -518,7 +576,7 @@ func IterativePathMin(inst *Instance, opt EngineOptions) (*Allocation, error) {
 	threshold := math.Exp(opt.Eps * (st.B - 1))
 	alloc := &Allocation{DualBound: math.Inf(1)}
 	for {
-		if err := ctxErr(opt.Ctx); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, fmt.Errorf("core: iterative path-min cancelled after %d iterations: %w", alloc.Iterations, err)
 		}
 		if numRemaining == 0 {

@@ -41,7 +41,7 @@ func TestAbandonedSolveReleasesWorker(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	_, err := e.Do(ctx, Job{Kind: JobBoundedUFP, Eps: 0.1, UFP: slowInstance()})
+	_, err := e.Do(ctx, Job{Algorithm: "ufp/bounded", Eps: 0.1, UFP: slowInstance()})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Do on a slow instance: err = %v, want deadline exceeded", err)
 	}
@@ -63,7 +63,7 @@ func TestAbandonedSolveReleasesWorker(t *testing.T) {
 	}}
 	qctx, qcancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer qcancel()
-	res, err := e.Do(qctx, Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: quick})
+	res, err := e.Do(qctx, Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: quick})
 	if err != nil {
 		t.Fatalf("quick job after reclamation: %v", err)
 	}
@@ -85,7 +85,7 @@ func TestCoalescedWaiterKeepsExecutionAlive(t *testing.T) {
 			Source: 0, Target: 3, Demand: 0.5, Value: 1 + 0.01*float64(i),
 		})
 	}
-	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst}
+	job := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
 
 	short, shortCancel := context.WithCancel(context.Background())
 	type out struct {

@@ -4,10 +4,9 @@
 // using core.Options.Workers for intra-solve parallelism), deduplicates
 // identical jobs in flight, and memoizes results in a keyed LRU cache
 // (instance fingerprint + algorithm name + parameters). Jobs name their
-// algorithm by solver registry name (Job.Algorithm; the Kind enum
-// remains as legacy aliases) and execute by dispatching through
-// internal/solver, so a newly registered solver is servable with no
-// engine change. Every job is a pure function of its instance and
+// algorithm by solver registry name (Job.Algorithm) and execute by
+// dispatching through internal/solver, so a newly registered solver is
+// servable with no engine change. Every job is a pure function of its instance and
 // parameters, so coalescing and caching never change results — an
 // engine answer is identical to a direct call of the corresponding
 // algorithm.
@@ -29,71 +28,14 @@ import (
 	"truthfulufp/internal/stats"
 )
 
-// Kind names the algorithm a job runs. Since the v1 registry, a Kind is
-// an alias for a solver registry name (internal/solver): the enum below
-// is kept for one release as the legacy spelling of Job.Algorithm, and
-// its methods answer through the registry, so kinds and names never
-// disagree.
-type Kind string
-
-// Legacy job kinds, aliasing the registry names of the corresponding
-// solvers. New code should set Job.Algorithm directly — any registered
-// name works there, including ones without a Kind constant (e.g.
-// "ufp/rounding").
-const (
-	// JobSolveUFP runs core.SolveUFP (Theorem 3.1 calling convention).
-	JobSolveUFP Kind = "ufp/solve"
-	// JobBoundedUFP runs core.BoundedUFP with the raw accuracy parameter.
-	JobBoundedUFP Kind = "ufp/bounded"
-	// JobSolveUFPRepeat runs core.SolveUFPRepeat (Theorem 5.1).
-	JobSolveUFPRepeat Kind = "ufp/repeat"
-	// JobSequentialUFP runs the sequential primal-dual baseline.
-	JobSequentialUFP Kind = "ufp/sequential"
-	// JobGreedyUFP runs the value-density greedy baseline (ε ignored).
-	JobGreedyUFP Kind = "ufp/greedy"
-	// JobUFPMechanism runs the truthful mechanism of Corollary 3.2:
-	// Bounded-UFP(ε) plus critical-value payments.
-	JobUFPMechanism Kind = "ufp/mechanism"
-	// JobSolveMUCA runs auction.SolveMUCA (Theorem 4.1).
-	JobSolveMUCA Kind = "muca/solve"
-	// JobAuctionMechanism runs the truthful auction mechanism of
-	// Corollary 4.2: Bounded-MUCA(ε) plus critical-value payments.
-	JobAuctionMechanism Kind = "muca/mechanism"
-)
-
-// Valid reports whether k names a registered solver.
-func (k Kind) Valid() bool {
-	_, ok := solver.Lookup(string(k))
-	return ok
-}
-
-// IsUFP reports whether k consumes a UFP instance, as opposed to an
-// auction instance. Unknown kinds report false.
-func (k Kind) IsUFP() bool {
-	s, ok := solver.Lookup(string(k))
-	return ok && s.Kind().IsUFP()
-}
-
-// IsUFPSolve reports whether k is a UFP allocation algorithm — IsUFP
-// minus the mechanisms — i.e. the kinds whose Result carries Allocation.
-func (k Kind) IsUFPSolve() bool {
-	s, ok := solver.Lookup(string(k))
-	return ok && s.Kind() == solver.KindUFP
-}
-
-// Job is one unit of work. The algorithm is named by Algorithm (any
-// registered solver) or the legacy Kind alias; exactly one of UFP and
-// Auction must be set, matching what the algorithm consumes. Instances
-// must not be mutated after submission.
+// Job is one unit of work. The algorithm is named by Algorithm (a
+// solver registry name); exactly one of UFP and Auction must be set,
+// matching what the algorithm consumes. Instances must not be mutated
+// after submission. (The pre-v1 Kind enum aliases have been removed;
+// Algorithm is the only spelling.)
 type Job struct {
-	// Kind is the legacy algorithm field, aliasing registry names.
-	//
-	// Deprecated: set Algorithm instead. When both are set they must
-	// agree; Algorithm alone is authoritative otherwise.
-	Kind Kind
 	// Algorithm is the solver registry name to run ("ufp/solve",
-	// "muca/mechanism", ...; see internal/solver.Names). Empty falls back
-	// to Kind.
+	// "muca/mechanism", ...; see internal/solver.Names).
 	Algorithm string
 	// Eps is the accuracy parameter ε (ignored by solvers that do not
 	// consume one, e.g. "ufp/greedy").
@@ -113,27 +55,17 @@ type Job struct {
 	NoCache bool
 }
 
-// algorithm returns the job's effective registry name: Algorithm when
-// set, else the Kind alias.
-func (j Job) algorithm() string {
-	if j.Algorithm != "" {
-		return j.Algorithm
-	}
-	return string(j.Kind)
-}
+// algorithm returns the job's registry name.
+func (j Job) algorithm() string { return j.Algorithm }
 
 // resolve maps the job to its registered solver.
 func (j Job) resolve() (solver.Solver, error) {
-	name := j.algorithm()
-	if name == "" {
+	if j.Algorithm == "" {
 		return nil, fmt.Errorf("engine: job names no algorithm (set Job.Algorithm)")
 	}
-	if j.Algorithm != "" && j.Kind != "" && string(j.Kind) != j.Algorithm {
-		return nil, fmt.Errorf("engine: job kind %q contradicts algorithm %q", j.Kind, j.Algorithm)
-	}
-	s, ok := solver.Lookup(name)
+	s, ok := solver.Lookup(j.Algorithm)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown algorithm %q", name)
+		return nil, fmt.Errorf("engine: unknown algorithm %q", j.Algorithm)
 	}
 	return s, nil
 }

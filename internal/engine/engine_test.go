@@ -52,33 +52,33 @@ func TestEngineMatchesDirectCalls(t *testing.T) {
 		want func() (any, error)
 		got  func(r *Result) any
 	}{
-		{Job{Kind: JobSolveUFP, Eps: eps, UFP: inst},
+		{Job{Algorithm: "ufp/solve", Eps: eps, UFP: inst},
 			func() (any, error) { return core.SolveUFP(inst, eps, opt) },
 			func(r *Result) any { return r.Allocation }},
-		{Job{Kind: JobBoundedUFP, Eps: eps, UFP: inst},
+		{Job{Algorithm: "ufp/bounded", Eps: eps, UFP: inst},
 			func() (any, error) { return core.BoundedUFP(inst, eps, opt) },
 			func(r *Result) any { return r.Allocation }},
-		{Job{Kind: JobSolveUFPRepeat, Eps: eps, UFP: inst},
+		{Job{Algorithm: "ufp/repeat", Eps: eps, UFP: inst},
 			func() (any, error) { return core.SolveUFPRepeat(inst, eps, opt) },
 			func(r *Result) any { return r.Allocation }},
-		{Job{Kind: JobSequentialUFP, Eps: eps, UFP: inst},
+		{Job{Algorithm: "ufp/sequential", Eps: eps, UFP: inst},
 			func() (any, error) { return core.SequentialPrimalDual(inst, eps, opt) },
 			func(r *Result) any { return r.Allocation }},
-		{Job{Kind: JobGreedyUFP, UFP: inst},
+		{Job{Algorithm: "ufp/greedy", UFP: inst},
 			func() (any, error) { return core.GreedyByDensity(inst, opt) },
 			func(r *Result) any { return r.Allocation }},
-		{Job{Kind: JobUFPMechanism, Eps: eps, UFP: inst},
+		{Job{Algorithm: "ufp/mechanism", Eps: eps, UFP: inst},
 			func() (any, error) { return mechanism.RunUFPMechanism(mechanism.BoundedUFPAlg(eps, opt), inst) },
 			func(r *Result) any { return r.UFPOutcome }},
-		{Job{Kind: JobSolveMUCA, Eps: eps, Auction: auc},
+		{Job{Algorithm: "muca/solve", Eps: eps, Auction: auc},
 			func() (any, error) { return auction.SolveMUCA(auc, eps, nil) },
 			func(r *Result) any { return r.AuctionAllocation }},
-		{Job{Kind: JobAuctionMechanism, Eps: eps, Auction: auc},
+		{Job{Algorithm: "muca/mechanism", Eps: eps, Auction: auc},
 			func() (any, error) { return mechanism.RunAuctionMechanism(mechanism.BoundedMUCAAlg(eps, nil), auc) },
 			func(r *Result) any { return r.AuctionOutcome }},
 	}
 	for _, tc := range cases {
-		t.Run(string(tc.job.Kind), func(t *testing.T) {
+		t.Run(tc.job.Algorithm, func(t *testing.T) {
 			res, err := e.Do(context.Background(), tc.job)
 			if err != nil {
 				t.Fatal(err)
@@ -99,7 +99,7 @@ func TestEngineMatchesDirectCalls(t *testing.T) {
 func TestEngineCacheHit(t *testing.T) {
 	e := New(Config{Workers: 2})
 	defer e.Close()
-	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 21)}
+	job := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 21)}
 
 	first, err := e.Do(context.Background(), job)
 	if err != nil {
@@ -141,7 +141,7 @@ func TestEngineCacheHit(t *testing.T) {
 func TestEngineCacheDisabled(t *testing.T) {
 	e := New(Config{Workers: 2, CacheSize: -1})
 	defer e.Close()
-	job := Job{Kind: JobGreedyUFP, UFP: testUFPInstance(t, 22)}
+	job := Job{Algorithm: "ufp/greedy", UFP: testUFPInstance(t, 22)}
 	for i := 0; i < 2; i++ {
 		res, err := e.Do(context.Background(), job)
 		if err != nil {
@@ -189,7 +189,7 @@ func TestEngineConcurrentJobs(t *testing.T) {
 		wg.Add(1)
 		go func(i int, inst *core.Instance) {
 			defer wg.Done()
-			results[i], errs[i] = e.Do(context.Background(), Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst})
+			results[i], errs[i] = e.Do(context.Background(), Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst})
 		}(i, inst)
 	}
 	wg.Wait()
@@ -222,7 +222,7 @@ func TestEngineCoalescing(t *testing.T) {
 	ctx := context.Background()
 
 	// Occupy the lone worker so the identical jobs below pile up unserved.
-	blocker := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 24)}
+	blocker := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 24)}
 	var blockerWG sync.WaitGroup
 	blockerWG.Add(1)
 	go func() {
@@ -233,7 +233,7 @@ func TestEngineCoalescing(t *testing.T) {
 	}()
 
 	const dupes = 8
-	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 25)}
+	job := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 25)}
 	var wg sync.WaitGroup
 	for i := 0; i < dupes; i++ {
 		wg.Add(1)
@@ -269,7 +269,7 @@ func TestEngineNoCacheLeaderStillCaches(t *testing.T) {
 	ctx := context.Background()
 
 	// Occupy the lone worker so both submissions join before either runs.
-	blocker := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 90)}
+	blocker := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 90)}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -279,7 +279,7 @@ func TestEngineNoCacheLeaderStillCaches(t *testing.T) {
 		}
 	}()
 
-	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 91)}
+	job := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 91)}
 	noCache := job
 	noCache.NoCache = true
 	wg.Add(2)
@@ -310,7 +310,7 @@ func TestEngineNoCacheLeaderStillCaches(t *testing.T) {
 // whose result is cached — and that Close is idempotent.
 func TestEngineClose(t *testing.T) {
 	e := New(Config{Workers: 2})
-	job := Job{Kind: JobGreedyUFP, UFP: testUFPInstance(t, 26)}
+	job := Job{Algorithm: "ufp/greedy", UFP: testUFPInstance(t, 26)}
 	if _, err := e.Do(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestEngineFailureMetrics(t *testing.T) {
 	defer e.Close()
 	bad := testUFPInstance(t, 27).Clone()
 	bad.Requests[0].Demand = 5 // unnormalized: the solver rejects it
-	if _, err := e.Do(context.Background(), Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: bad}); err == nil {
+	if _, err := e.Do(context.Background(), Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: bad}); err == nil {
 		t.Fatal("invalid instance accepted")
 	}
 	s := e.Snapshot()
@@ -347,7 +347,7 @@ func TestEngineContextCancel(t *testing.T) {
 	defer e.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 40)}
+	job := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 40)}
 	if _, err := e.Do(ctx, job); !errors.Is(err, context.Canceled) {
 		t.Errorf("Do with canceled context = %v, want context.Canceled", err)
 	}
@@ -363,7 +363,7 @@ func TestEngineContextCancel(t *testing.T) {
 func TestEngineWaiterSurvivesLeaderCancel(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Close()
-	job := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: testUFPInstance(t, 80)}
+	job := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 80)}
 	key := job.Fingerprint()
 
 	// Pose as a leader that never enqueues (stuck on a full queue).
@@ -409,12 +409,13 @@ func TestJobValidate(t *testing.T) {
 	inst := testUFPInstance(t, 50)
 	auc := testAuctionInstance(t, 51)
 	bad := []Job{
-		{Kind: "nonsense", UFP: inst},
-		{Kind: JobSolveUFP, Eps: 0.25},                          // missing UFP instance
-		{Kind: JobSolveUFP, Eps: 0.25, UFP: &core.Instance{}},   // instance with nil graph
-		{Kind: JobSolveUFP, Eps: 0.25, UFP: inst, Auction: auc}, // both instances
-		{Kind: JobSolveMUCA, Eps: 0.25, UFP: inst},              // wrong payload
-		{Kind: JobAuctionMechanism, Eps: 0.25, Auction: auc, UFP: inst},
+		{UFP: inst},                                                  // no algorithm
+		{Algorithm: "nonsense", UFP: inst},                           // unregistered algorithm
+		{Algorithm: "ufp/solve", Eps: 0.25},                          // missing UFP instance
+		{Algorithm: "ufp/solve", Eps: 0.25, UFP: &core.Instance{}},   // instance with nil graph
+		{Algorithm: "ufp/solve", Eps: 0.25, UFP: inst, Auction: auc}, // both instances
+		{Algorithm: "muca/solve", Eps: 0.25, UFP: inst},              // wrong payload
+		{Algorithm: "muca/mechanism", Eps: 0.25, Auction: auc, UFP: inst},
 	}
 	for _, job := range bad {
 		if _, err := e.Do(context.Background(), job); err == nil {
@@ -427,26 +428,26 @@ func TestJobValidate(t *testing.T) {
 // identifies what must be identified.
 func TestJobKey(t *testing.T) {
 	inst := testUFPInstance(t, 60)
-	base := Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst}
-	if base.Fingerprint() != (Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: inst.Clone()}).Fingerprint() {
+	base := Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
+	if base.Fingerprint() != (Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst.Clone()}).Fingerprint() {
 		t.Error("identical instances produced different keys")
 	}
 	distinct := []Job{
-		{Kind: JobSolveUFP, Eps: 0.25, UFP: inst},
-		{Kind: JobBoundedUFP, Eps: 0.5, UFP: inst},
+		{Algorithm: "ufp/solve", Eps: 0.25, UFP: inst},
+		{Algorithm: "ufp/bounded", Eps: 0.5, UFP: inst},
 	}
 	mod := inst.Clone()
 	mod.Requests[0].Value *= 2
-	distinct = append(distinct, Job{Kind: JobBoundedUFP, Eps: 0.25, UFP: mod})
+	distinct = append(distinct, Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: mod})
 	for _, job := range distinct {
 		if job.Fingerprint() == base.Fingerprint() {
-			t.Errorf("job %+v: key collides with base", job.Kind)
+			t.Errorf("job %s: key collides with base", job.Algorithm)
 		}
 	}
 
 	// Greedy ignores ε, so all ε values must share one key.
-	g1 := Job{Kind: JobGreedyUFP, Eps: 0.25, UFP: inst}
-	g2 := Job{Kind: JobGreedyUFP, Eps: 0.5, UFP: inst}
+	g1 := Job{Algorithm: "ufp/greedy", Eps: 0.25, UFP: inst}
+	g2 := Job{Algorithm: "ufp/greedy", Eps: 0.5, UFP: inst}
 	if g1.Fingerprint() != g2.Fingerprint() {
 		t.Error("greedy keys differ across ε although greedy ignores it")
 	}
@@ -485,7 +486,7 @@ func TestSnapshotJobsPerSec(t *testing.T) {
 	e := New(Config{Workers: 2})
 	defer e.Close()
 	for i := 0; i < 4; i++ {
-		job := Job{Kind: JobGreedyUFP, UFP: testUFPInstance(t, uint64(70+i))}
+		job := Job{Algorithm: "ufp/greedy", UFP: testUFPInstance(t, uint64(70+i))}
 		if _, err := e.Do(context.Background(), job); err != nil {
 			t.Fatal(err)
 		}

@@ -15,10 +15,10 @@ import (
 // fingerprint iff the underlying algorithm call is identical — the
 // engine substitutes one execution's result for the other on key
 // equality, and ufpserve feeds it untrusted instances, so the hash must
-// be collision-resistant. A legacy Kind and its equal Algorithm spelling
-// key identically, and parameters a solver ignores (ε for "ufp/greedy",
-// the seed for every deterministic solver) are normalized out so all
-// their values share one execution. Exported so serialization layers can
+// be collision-resistant. Parameters a solver ignores (ε for
+// "ufp/greedy", the seed for every deterministic solver) are normalized
+// out so all their values share one execution, and a zero MaxIterations
+// is normalized to the solver's default cap. Exported so serialization layers can
 // assert that decode(encode(inst)) keys identically to inst (see the
 // root package's JSON tests).
 func (j Job) Fingerprint() string {
@@ -59,8 +59,15 @@ func (j Job) fingerprint(s solver.Solver) string {
 	}
 	writeUint64(h, seed)
 	maxIter := j.MaxIterations
+	if maxIter < 0 {
+		maxIter = 0 // negative means uncapped to the solvers, same as zero
+	}
 	if !solver.UsesMaxIterations(s) {
 		maxIter = 0 // single-pass solver; all caps share one execution
+	} else if maxIter == 0 {
+		// An uncapped job runs under the solver's default (0 for most):
+		// the defaulted and explicit spellings share one execution.
+		maxIter = solver.DefaultMaxIterations(s)
 	}
 	writeInt(h, maxIter)
 	if s.Kind().IsUFP() {

@@ -13,12 +13,9 @@ import (
 type AuctionAlgorithm func(inst *auction.Instance) (*auction.Allocation, error)
 
 // BoundedMUCAAlg adapts auction.BoundedMUCA with a fixed ε and options
-// (opt may be nil; a non-nil opt.Ctx makes the adapted algorithm — and
-// hence every probe of a critical-value search — cancellable).
+// (opt may be nil). For a cancellable adaptation use BoundedMUCAAlgCtx.
 func BoundedMUCAAlg(eps float64, opt *auction.Options) AuctionAlgorithm {
-	return func(inst *auction.Instance) (*auction.Allocation, error) {
-		return auction.BoundedMUCA(inst, eps, opt)
-	}
+	return BoundedMUCAAlgCtx(nil, eps, opt)
 }
 
 // AuctionCriticalValue computes the critical value of request r under

@@ -6,6 +6,7 @@ import (
 
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/pathfind"
 )
 
 // This file holds the v1 context-first entry points. A mechanism run is
@@ -28,31 +29,32 @@ func ctxErr(ctx context.Context) error {
 	}
 }
 
-// BoundedUFPAlgCtx is BoundedUFPAlg with the context installed into the
-// adapted algorithm's options, making every probe of a critical-value
-// search cancellable. An explicit ctx supersedes opt.Ctx.
+// BoundedUFPAlgCtx is BoundedUFPAlg carrying ctx into every probe of a
+// critical-value search (each probe checks it once per main-loop
+// iteration). A nil ctx adapts the plain, uncancellable call. See
+// BoundedUFPAlg for the probing tunings (shared scratch pool,
+// single-target oracle) the adapter applies.
 func BoundedUFPAlgCtx(ctx context.Context, eps float64, opt *core.Options) UFPAlgorithm {
-	var o core.Options
-	if opt != nil {
-		o = *opt
+	pool := pathfind.NewPool()
+	return func(inst *core.Instance) (*core.Allocation, error) {
+		var o core.Options
+		if opt != nil {
+			o = *opt
+		}
+		if o.PathPool == nil {
+			o.PathPool = pool
+		}
+		o.SingleTarget = true
+		return core.BoundedUFPCtx(ctx, inst, eps, &o)
 	}
-	if ctx != nil {
-		o.Ctx = ctx
-	}
-	return BoundedUFPAlg(eps, &o)
 }
 
-// BoundedMUCAAlgCtx is BoundedMUCAAlg with the context installed into
-// the adapted algorithm's options. An explicit ctx supersedes opt.Ctx.
+// BoundedMUCAAlgCtx is BoundedMUCAAlg carrying ctx into every probe of
+// a critical-value search. A nil ctx adapts the plain call.
 func BoundedMUCAAlgCtx(ctx context.Context, eps float64, opt *auction.Options) AuctionAlgorithm {
-	var o auction.Options
-	if opt != nil {
-		o = *opt
+	return func(inst *auction.Instance) (*auction.Allocation, error) {
+		return auction.BoundedMUCACtx(ctx, inst, eps, opt)
 	}
-	if ctx != nil {
-		o.Ctx = ctx
-	}
-	return BoundedMUCAAlg(eps, &o)
 }
 
 // RunUFPMechanismCtx is RunUFPMechanism under a context: the context is

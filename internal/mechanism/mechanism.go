@@ -27,21 +27,17 @@ type UFPAlgorithm func(inst *core.Instance) (*core.Allocation, error)
 
 // BoundedUFPAlg adapts core.BoundedUFP with fixed parameters. Critical-
 // value bisection re-runs the algorithm dozens of times per payment, so
-// unless opt already carries a scratch pool the adapter installs one
-// shared across all of the closure's runs — the solver then reuses its
-// Dijkstra state instead of re-allocating it ~60 times per payment.
+// the adapter tunes the options for repeated probing: unless opt
+// already carries a scratch pool it installs one shared across all of
+// the closure's runs — the solver then reuses its Dijkstra state
+// instead of re-allocating it ~60 times per payment — and it enables
+// the single-target path oracle (core.Options.SingleTarget), so each
+// probe answers sources carrying one request with a cached early-exit
+// search (pathfind.Incremental.PathTo) instead of materializing a whole
+// shortest-path tree. Both tunings are bit-transparent: the adapted
+// algorithm's allocations are identical to a bare core.BoundedUFP.
 func BoundedUFPAlg(eps float64, opt *core.Options) UFPAlgorithm {
-	pool := pathfind.NewPool()
-	return func(inst *core.Instance) (*core.Allocation, error) {
-		var o core.Options
-		if opt != nil {
-			o = *opt
-		}
-		if o.PathPool == nil {
-			o.PathPool = pool
-		}
-		return core.BoundedUFP(inst, eps, &o)
-	}
+	return BoundedUFPAlgCtx(nil, eps, opt)
 }
 
 // SequentialPrimalDualAlg adapts the sequential baseline (also

@@ -181,10 +181,12 @@ func BFSHops(g *graph.Graph, src int, allowed func(edge int) bool) []int {
 
 // Bottleneck computes, for every vertex, a path from src minimizing the
 // maximum edge weight along the path (a "minimax" path), via a modified
-// Dijkstra. It returns a Tree whose Dist holds the minimax value.
-// Bottleneck rules are members of the paper's reasonable-function family:
-// under unit demands/values and uniform capacities, pointwise-dominated
-// flow vectors have no larger maximum.
+// Dijkstra over the canonical leximax key (the path's weights sorted
+// descending) — see Scratch.Bottleneck and KindBottleneck. It returns a
+// Tree whose Dist holds the minimax value. Bottleneck rules are members
+// of the paper's reasonable-function family: under unit demands/values
+// and uniform capacities, pointwise-dominated flow vectors have no
+// larger maximum.
 //
 // Like Dijkstra, this convenience entry point runs on a pooled Scratch;
 // performance-sensitive callers should hold their own Scratch (or Pool)

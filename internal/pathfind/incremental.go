@@ -1,21 +1,26 @@
 package pathfind
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"truthfulufp/internal/graph"
 )
 
-// Incremental is a dirty-source shortest-path-tree cache over a fixed
-// set of sources. The primal-dual solvers raise prices only on the
+// Incremental is a dirty-source cache of single-source path structures
+// over a fixed set of sources, generic over the structure's TreeKind:
+// additive Dijkstra trees, bottleneck (minimax) trees, or hop-bounded
+// Bellman-Ford tables. The primal-dual solvers raise prices only on the
 // edges of the one path they admit per iteration, so between iterations
-// most sources' trees stay optimal; Incremental records which edges
-// each cached tree uses and recomputes only the sources whose tree is
+// most sources' structures stay optimal; Incremental records which
+// edges each cached structure uses and recomputes only the sources
 // dirtied by an update, dropping the per-iteration cost from
-// O(S·(m+n)log n) to O(dirty·(m+n)log n).
+// O(S·search) to O(dirty·search).
 //
-// Correctness of reusing a clean tree rests on three caller-guaranteed
-// invariants, all satisfied by exponential-price primal-dual loops:
+// Correctness of reusing a clean structure rests on three
+// caller-guaranteed invariants, all satisfied by exponential-price
+// primal-dual loops:
 //
 //  1. Edge weights never decrease between Refresh calls (prices only go
 //     up; residual filtering only flips a weight to +Inf).
@@ -23,51 +28,90 @@ import (
 //     before the next Refresh.
 //  3. The weight of an edge depends only on that edge's own state.
 //
-// Under (1)-(3) a cached tree none of whose used edges changed is still
-// a shortest-path tree: its own path lengths are unchanged while every
-// other path only got longer. Because Dijkstra's tie-break is canonical
-// (largest edge ID among optimal predecessor arcs), the reused tree is
-// not merely *a* valid answer but bit-identical to what a full
-// recomputation would return — the argmin arc set of a clean vertex can
-// only lose changed (non-tree) arcs, never its minimum. Solvers built
-// on Incremental therefore produce exactly the allocations of their
-// full-recompute counterparts.
+// Under (1)-(3) a cached structure none of whose used edges changed is
+// still optimal: its own witness paths are unchanged in length while
+// every other path only got longer. Because each kind's tie-break is
+// canonical (see TreeKind) — the structure is a pure function of the
+// weights, not of relaxation order — the reused structure is not merely
+// *a* valid answer but bit-identical to what a full recomputation would
+// return: a clean vertex's set of optimum-achieving predecessor arcs
+// can only lose changed (non-used) arcs, never its recorded winner.
+// Solvers built on Incremental therefore produce exactly the
+// allocations of their full-recompute counterparts, for every kind.
+//
+// On top of the per-source structures, additive caches answer
+// single-target queries through PathTo, backed by an early-exit search
+// (Scratch.ShortestPathTo) and a per-slot cached (target, path) pair
+// with its own used-edge bitset: a cached path whose edges did not
+// change is still canonical-optimal under (1)-(3) by the same argument.
+// This is what the mechanism's critical-value bisection runs on — its
+// probe re-runs are dominated by sources carrying a single request, for
+// which materializing a whole tree is wasted work.
 //
 // An Incremental is driven from one goroutine (Refresh parallelizes
-// internally); the cached trees are owned by the cache and valid until
-// the next Refresh.
+// internally); the cached structures are owned by the cache and valid
+// until the next Refresh.
 type Incremental struct {
 	g       *graph.Graph
+	kind    TreeKind
+	maxHops int // KindHopBounded table depth
 	pool    *Pool
 	sources []int
 	slot    map[int]int
-	trees   []*Tree
-	fresh   []bool     // tree computed and not dirtied since
-	uses    [][]uint64 // per-slot bitset over edge IDs used by the tree
+	trees   []*Tree     // KindAdditive, KindBottleneck
+	tables  []*HopTable // KindHopBounded
+	fresh   []bool      // structure computed and not dirtied since
+	uses    [][]uint64  // per-slot bitset over edge IDs used by the structure
 	words   int
+	// targets[slot], when non-nil, restricts the slot's recorded edge
+	// set to the tree paths reaching those targets (see SetTargets).
+	targets [][]int32
 	// activeStamp/activeGen deduplicate Refresh's active list without
 	// allocating (generation-stamped, like Scratch's visited marks).
 	activeStamp []uint32
 	activeGen   uint32
 
-	recomputed int64 // trees rebuilt by Refresh
-	reused     int64 // active trees served from cache
+	// Single-target path cache (KindAdditive), one entry per slot.
+	ptFresh  []bool
+	ptTarget []int32
+	ptDist   []float64
+	ptOK     []bool
+	ptPath   [][]int
+	ptUses   [][]uint64
+
+	recomputed int64 // structures rebuilt by Refresh
+	reused     int64 // active structures served from cache
 }
 
-// NewIncremental builds a cache for the given source vertices
-// (duplicates are collapsed; slot order follows first occurrence). The
-// graph is frozen as a side effect so every recomputation runs on the
-// CSR fast path. A nil pool gets a private one.
+// NewIncremental builds an additive (Dijkstra) cache for the given
+// source vertices — the historical constructor, equivalent to
+// NewIncrementalKind(g, KindAdditive, sources, pool, 0).
 func NewIncremental(g *graph.Graph, sources []int, pool *Pool) *Incremental {
+	return NewIncrementalKind(g, KindAdditive, sources, pool, 0)
+}
+
+// NewIncrementalKind builds a cache of the given kind for the given
+// source vertices (duplicates are collapsed; slot order follows first
+// occurrence). The graph is frozen as a side effect so every
+// recomputation runs on the CSR fast path. A nil pool gets a private
+// one. maxHops is the KindHopBounded table depth (<= 0 means number of
+// vertices - 1, the all-simple-paths horizon) and is ignored by the
+// tree kinds.
+func NewIncrementalKind(g *graph.Graph, kind TreeKind, sources []int, pool *Pool, maxHops int) *Incremental {
 	g.Freeze()
 	if pool == nil {
 		pool = NewPool()
 	}
+	if maxHops <= 0 {
+		maxHops = g.NumVertices() - 1
+	}
 	inc := &Incremental{
-		g:     g,
-		pool:  pool,
-		slot:  make(map[int]int, len(sources)),
-		words: (g.NumEdges() + 63) / 64,
+		g:       g,
+		kind:    kind,
+		maxHops: maxHops,
+		pool:    pool,
+		slot:    make(map[int]int, len(sources)),
+		words:   (g.NumEdges() + 63) / 64,
 	}
 	for _, s := range sources {
 		if _, dup := inc.slot[s]; dup {
@@ -76,12 +120,32 @@ func NewIncremental(g *graph.Graph, sources []int, pool *Pool) *Incremental {
 		inc.slot[s] = len(inc.sources)
 		inc.sources = append(inc.sources, s)
 	}
-	inc.trees = make([]*Tree, len(inc.sources))
-	inc.fresh = make([]bool, len(inc.sources))
-	inc.uses = make([][]uint64, len(inc.sources))
-	inc.activeStamp = make([]uint32, len(inc.sources))
+	n := len(inc.sources)
+	if kind == KindHopBounded {
+		inc.tables = make([]*HopTable, n)
+	} else {
+		inc.trees = make([]*Tree, n)
+	}
+	inc.fresh = make([]bool, n)
+	inc.uses = make([][]uint64, n)
+	inc.targets = make([][]int32, n)
+	inc.activeStamp = make([]uint32, n)
+	if kind != KindHopBounded {
+		inc.ptFresh = make([]bool, n)
+		inc.ptTarget = make([]int32, n)
+		inc.ptDist = make([]float64, n)
+		inc.ptOK = make([]bool, n)
+		inc.ptPath = make([][]int, n)
+		inc.ptUses = make([][]uint64, n)
+	}
 	return inc
 }
+
+// Kind returns the cache's structure kind.
+func (inc *Incremental) Kind() TreeKind { return inc.kind }
+
+// MaxHops returns the KindHopBounded table depth.
+func (inc *Incremental) MaxHops() int { return inc.maxHops }
 
 // NumSlots returns the number of distinct sources.
 func (inc *Incremental) NumSlots() int { return len(inc.sources) }
@@ -95,13 +159,56 @@ func (inc *Incremental) Slot(source int) (int, bool) {
 // Source returns the source vertex of a slot.
 func (inc *Incremental) Source(slot int) int { return inc.sources[slot] }
 
-// Tree returns the cached tree of a slot. It is valid only if the slot
-// was active in the latest Refresh (a stale tree of an inactive slot
-// reflects older weights).
+// Tree returns the cached tree of a slot (KindAdditive and
+// KindBottleneck). It is valid only if the slot was active in the
+// latest Refresh (a stale tree of an inactive slot reflects older
+// weights).
 func (inc *Incremental) Tree(slot int) *Tree { return inc.trees[slot] }
 
-// Invalidate marks dirty every cached tree that uses one of the given
-// edges. Callers must report every edge whose weight may have changed.
+// Table returns the cached hop table of a slot (KindHopBounded), under
+// the same validity rule as Tree.
+func (inc *Incremental) Table(slot int) *HopTable { return inc.tables[slot] }
+
+// SetTargets declares that only paths (and distances) to the given
+// target vertices will ever be read from the slot's tree, which lets
+// the cache record just the edges on those tree paths instead of the
+// whole tree — often a dramatically smaller set, hence a dramatically
+// lower dirty rate. Soundness is the single-target-path argument
+// applied per target: under the monotone-weights contract, a clean path
+// stays canonical-optimal, so every declared target's (distance, path)
+// stays bit-identical to recomputation even when undeclared parts of
+// the tree would have changed. Reading an undeclared target from a
+// reused tree is a contract violation (the answer may be stale).
+//
+// The restriction applies to the tree kinds, whose per-vertex distances
+// (additive sums; leximax keys for bottleneck — see Scratch.Bottleneck
+// for why leximax rather than a scalar secondary) are monotone
+// non-decreasing under weight increases — the property the per-target
+// argument needs. A KindHopBounded cache ignores it and keeps
+// whole-table recording (its BestLen-style consumers read every hop
+// layer, whose witness walks blanket the table). Call before the first
+// Refresh — or at any point at which the slot is dirty — with the
+// universe of targets the slot will serve (supersets are sound, merely
+// coarser); nil restores whole-structure recording. The solvers pass
+// each source's request targets, which only shrink over a run.
+func (inc *Incremental) SetTargets(slot int, targets []int) {
+	if inc.kind == KindHopBounded {
+		return
+	}
+	if targets == nil {
+		inc.targets[slot] = nil
+		return
+	}
+	ts := make([]int32, len(targets))
+	for i, t := range targets {
+		ts[i] = int32(t)
+	}
+	inc.targets[slot] = ts
+}
+
+// Invalidate marks dirty every cached structure — and every cached
+// single-target path — that uses one of the given edges. Callers must
+// report every edge whose weight may have changed.
 func (inc *Incremental) Invalidate(edges []int) {
 	for s := range inc.fresh {
 		if !inc.fresh[s] {
@@ -115,24 +222,39 @@ func (inc *Incremental) Invalidate(edges []int) {
 			}
 		}
 	}
+	for s := range inc.ptFresh {
+		if !inc.ptFresh[s] {
+			continue
+		}
+		u := inc.ptUses[s]
+		for _, e := range edges {
+			if u[e>>6]&(1<<(uint(e)&63)) != 0 {
+				inc.ptFresh[s] = false
+				break
+			}
+		}
+	}
 }
 
-// InvalidateAll marks every cached tree dirty — the full-recompute
-// fallback, and the reset to use after any change that violates the
-// monotone-weights contract (e.g. swapping in an unrelated weight
-// function).
+// InvalidateAll marks every cached structure (and single-target path)
+// dirty — the full-recompute fallback, and the reset to use after any
+// change that violates the monotone-weights contract (e.g. swapping in
+// an unrelated weight function).
 func (inc *Incremental) InvalidateAll() {
 	for s := range inc.fresh {
 		inc.fresh[s] = false
 	}
+	for s := range inc.ptFresh {
+		inc.ptFresh[s] = false
+	}
 }
 
-// Refresh brings the trees of the active slots up to date under the
-// given weights, recomputing only dirty ones (distributed over up to
-// workers goroutines, each with a pooled scratch), and returns how many
-// were recomputed. Duplicate active slots are tolerated — they are
-// deduplicated here, because handing the same slot to two workers
-// would race on its tree.
+// Refresh brings the structures of the active slots up to date under
+// the given weights, recomputing only dirty ones (distributed over up
+// to workers goroutines, each with a pooled scratch), and returns how
+// many were recomputed. Duplicate active slots are tolerated — they are
+// deduplicated here, because handing the same slot to two workers would
+// race on its structure.
 func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) int {
 	inc.activeGen++
 	if inc.activeGen == 0 { // uint32 wraparound: invalidate stale stamps
@@ -158,18 +280,13 @@ func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) in
 	if len(work) == 0 {
 		return 0
 	}
-	recompute := func(sc *Scratch, s int) {
-		inc.trees[s] = sc.Dijkstra(inc.g, inc.sources[s], weight, inc.trees[s])
-		inc.rebuildUses(s)
-		inc.fresh[s] = true
-	}
 	if workers > len(work) {
 		workers = len(work)
 	}
 	if workers <= 1 {
 		sc := inc.pool.Get(inc.g.NumVertices())
 		for _, s := range work {
-			recompute(sc, s)
+			inc.recompute(sc, s, weight)
 		}
 		inc.pool.Put(sc)
 		return len(work)
@@ -182,7 +299,7 @@ func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) in
 			defer wg.Done()
 			sc := inc.pool.Get(inc.g.NumVertices())
 			for s := range queue {
-				recompute(sc, s)
+				inc.recompute(sc, s, weight)
 			}
 			inc.pool.Put(sc)
 		}()
@@ -195,7 +312,26 @@ func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) in
 	return len(work)
 }
 
-// rebuildUses records the edge set of slot s's tree.
+// recompute rebuilds slot s's structure with the search of the cache's
+// kind and re-records its used edges.
+func (inc *Incremental) recompute(sc *Scratch, s int, weight WeightFunc) {
+	switch inc.kind {
+	case KindAdditive:
+		inc.trees[s] = sc.Dijkstra(inc.g, inc.sources[s], weight, inc.trees[s])
+	case KindBottleneck:
+		inc.trees[s] = sc.Bottleneck(inc.g, inc.sources[s], weight, inc.trees[s])
+	case KindHopBounded:
+		inc.tables[s] = BellmanFordHopsInto(inc.g, inc.sources[s], weight, inc.maxHops, inc.tables[s])
+	}
+	inc.rebuildUses(s)
+	inc.fresh[s] = true
+}
+
+// rebuildUses records the edge set of slot s's structure: a tree's
+// predecessor edges (restricted to the declared targets' paths when
+// SetTargets applies), or every predecessor edge of every layer of a
+// hop table (the rewind of any table entry's witness walk only reads
+// recorded predecessors, so this set supports the reuse argument).
 func (inc *Incremental) rebuildUses(s int) {
 	u := inc.uses[s]
 	if u == nil {
@@ -206,16 +342,104 @@ func (inc *Incremental) rebuildUses(s int) {
 			u[i] = 0
 		}
 	}
-	for _, e := range inc.trees[s].PrevEdge {
+	if inc.kind == KindHopBounded {
+		for _, row := range inc.tables[s].prevEdge {
+			for _, e := range row {
+				if e >= 0 {
+					u[e>>6] |= 1 << (uint(e) & 63)
+				}
+			}
+		}
+		return
+	}
+	t := inc.trees[s]
+	if ts := inc.targets[s]; ts != nil {
+		for _, target := range ts {
+			// Walk the tree path toward the source, stopping at the first
+			// already-recorded edge: the rest of the chain is shared with a
+			// previously walked path (tree paths to the source are unique).
+			for v := int(target); ; v = t.PrevVert[v] {
+				e := t.PrevEdge[v]
+				if e < 0 || u[e>>6]&(1<<(uint(e)&63)) != 0 {
+					break
+				}
+				u[e>>6] |= 1 << (uint(e) & 63)
+			}
+		}
+		return
+	}
+	for _, e := range t.PrevEdge {
 		if e >= 0 {
 			u[e>>6] |= 1 << (uint(e) & 63)
 		}
 	}
 }
 
-// Stats reports how many trees Refresh rebuilt versus served from cache
-// over the cache's lifetime — the observable form of the dirty-source
-// speedup.
+// PathTo answers a single-target query on a tree-kind cache: the
+// canonical optimal path from slot's source to target under weight, its
+// length (additive distance or bottleneck value, per the kind), and
+// whether target is reachable — bit-identical to refreshing the slot's
+// tree and reading Tree.PathTo/Tree.Dist, but without materializing a
+// tree when the slot is dirty. A fresh tree answers directly; otherwise
+// a cached (target, path) pair still clean under the invalidation
+// bitsets answers; otherwise an early-exit search
+// (Scratch.ShortestPathTo / Scratch.BottleneckPathTo) runs and its
+// result is cached with the path's own edge set (one target per slot at
+// a time). Unreachable results are cached with an empty edge set: under
+// monotone weights an unreachable target can never become reachable, so
+// the entry stays valid until InvalidateAll. Like Refresh, PathTo must
+// be driven from one goroutine.
+func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, float64, bool) {
+	if inc.kind == KindHopBounded {
+		panic(fmt.Sprintf("pathfind: Incremental.PathTo on a %s cache (tree kinds only)", inc.kind))
+	}
+	if inc.fresh[slot] {
+		t := inc.trees[slot]
+		inc.reused++
+		if math.IsInf(t.Dist[target], 1) {
+			return nil, math.Inf(1), false
+		}
+		p, _ := t.PathTo(target)
+		return p, t.Dist[target], true
+	}
+	if inc.ptFresh[slot] && int(inc.ptTarget[slot]) == target {
+		inc.reused++
+		return inc.ptPath[slot], inc.ptDist[slot], inc.ptOK[slot]
+	}
+	sc := inc.pool.Get(inc.g.NumVertices())
+	var path []int
+	var dist float64
+	var ok bool
+	if inc.kind == KindBottleneck {
+		path, dist, ok = sc.BottleneckPathTo(inc.g, inc.sources[slot], target, weight)
+	} else {
+		path, dist, ok = sc.ShortestPathTo(inc.g, inc.sources[slot], target, weight)
+	}
+	inc.pool.Put(sc)
+	inc.recomputed++
+	u := inc.ptUses[slot]
+	if u == nil {
+		u = make([]uint64, inc.words)
+		inc.ptUses[slot] = u
+	} else {
+		for i := range u {
+			u[i] = 0
+		}
+	}
+	for _, e := range path {
+		u[e>>6] |= 1 << (uint(e) & 63)
+	}
+	inc.ptFresh[slot] = true
+	inc.ptTarget[slot] = int32(target)
+	inc.ptDist[slot] = dist
+	inc.ptOK[slot] = ok
+	inc.ptPath[slot] = path
+	return path, dist, ok
+}
+
+// Stats reports how many structures Refresh (and PathTo) rebuilt versus
+// served from cache over the cache's lifetime — the observable form of
+// the dirty-source speedup.
 func (inc *Incremental) Stats() (recomputed, reused int64) {
 	return inc.recomputed, inc.reused
 }

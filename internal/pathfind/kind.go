@@ -1,0 +1,57 @@
+package pathfind
+
+// TreeKind names the semantics of a cached single-source structure:
+// which notion of path length it minimizes and which concrete search
+// recomputes it. The Incremental dirty-source cache is generic over the
+// kind, so one invalidation mechanism serves the additive Dijkstra
+// rules (exp-cost, hop-count), the bottleneck (minimax) rule, and the
+// hop-bounded Bellman-Ford rules (log-hops).
+//
+// Every kind computes a *canonical* structure — a pure function of the
+// edge weights, independent of relaxation or scheduling order, pinned
+// by a deterministic tie-break — which is what the cache's bit-identity
+// contract rests on: a cached structure none of whose used edges
+// changed is exactly what a recomputation under the new weights would
+// return (see Incremental for the full invariant list).
+type TreeKind uint8
+
+const (
+	// KindAdditive minimizes the sum of edge weights (Dijkstra over
+	// nonnegative weights). Canonical tie-break: among predecessor arcs
+	// achieving a vertex's distance, the largest edge ID wins.
+	KindAdditive TreeKind = iota
+
+	// KindBottleneck minimizes the leximax key — the path's edge weights
+	// sorted descending, compared lexicographically with a shorter
+	// prefix ranking below its extensions — with the largest edge ID
+	// winning among arcs achieving a vertex's key. Leximax refines the
+	// minimax value (the key's first element, which Tree.Dist reports)
+	// in exactly the way the cache needs: appending an edge strictly
+	// grows a key, so predecessor chains strictly decrease and the tree
+	// is acyclic (a pure minimax value-tie retarget can close
+	// predecessor cycles), and a vertex's key is monotone non-decreasing
+	// under weight increases, which scalar secondaries such as hop count
+	// are not (see Scratch.Bottleneck).
+	KindBottleneck
+
+	// KindHopBounded computes the hop-bounded Bellman-Ford table
+	// (HopTable): minimum additive weight per (hop budget, vertex).
+	// Canonical tie-break: the first strict improvement in the
+	// deterministic (layer, vertex, CSR arc) sweep order; entries whose
+	// layer brings no strict improvement inherit the previous layer's
+	// predecessor.
+	KindHopBounded
+)
+
+// String returns the kind's short name.
+func (k TreeKind) String() string {
+	switch k {
+	case KindAdditive:
+		return "additive"
+	case KindBottleneck:
+		return "bottleneck"
+	case KindHopBounded:
+		return "hop-bounded"
+	}
+	return "unknown"
+}

@@ -1,0 +1,300 @@
+package pathfind
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"truthfulufp/internal/graph"
+)
+
+// randomFiltered is randomWeighted with a sprinkling of forbidden
+// (+Inf) edges, so single-target queries also exercise unreachable
+// answers and residual-filter-style weight functions.
+func randomFiltered(seed uint64, nRaw, mRaw uint8) (*graph.Graph, []float64) {
+	rng := rand.New(rand.NewPCG(seed, seed^123))
+	n := 3 + int(nRaw%10)
+	m := n + int(mRaw%24)
+	g := graph.RandomStronglyConnected(rng, n, m, 1, 2)
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = rng.Float64() + 0.01
+		if rng.IntN(6) == 0 {
+			w[i] = math.Inf(1)
+		}
+	}
+	return g, w
+}
+
+// TestQuickShortestPathToMatchesTree: the early-exit single-target
+// search returns exactly the full tree's distance and path for every
+// (source, target) pair — the bit-identity the mechanism bisection and
+// Incremental.PathTo rely on.
+func TestQuickShortestPathToMatchesTree(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w := randomFiltered(seed, n, m)
+		g.Freeze()
+		sc := NewScratch(g.NumVertices())
+		for src := 0; src < g.NumVertices(); src++ {
+			tr := sc.Dijkstra(g, src, FromSlice(w), nil)
+			for dst := 0; dst < g.NumVertices(); dst++ {
+				path, dist, ok := sc.ShortestPathTo(g, src, dst, FromSlice(w))
+				wantPath, wantOK := tr.PathTo(dst)
+				if ok != wantOK {
+					return false
+				}
+				if !ok {
+					continue
+				}
+				if dist != tr.Dist[dst] || !reflect.DeepEqual(path, wantPath) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBottleneckPathToMatchesTree: the bottleneck form of the
+// single-target query against the full canonical bottleneck tree.
+func TestQuickBottleneckPathToMatchesTree(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w := randomFiltered(seed, n, m)
+		g.Freeze()
+		sc := NewScratch(g.NumVertices())
+		for src := 0; src < g.NumVertices(); src++ {
+			tr := sc.Bottleneck(g, src, FromSlice(w), nil)
+			for dst := 0; dst < g.NumVertices(); dst++ {
+				path, dist, ok := sc.BottleneckPathTo(g, src, dst, FromSlice(w))
+				wantPath, wantOK := tr.PathTo(dst)
+				if ok != wantOK {
+					return false
+				}
+				if !ok {
+					continue
+				}
+				if dist != tr.Dist[dst] || !reflect.DeepEqual(path, wantPath) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBottleneckTreeAcyclic: the lexicographic (minimax, hops)
+// tie-break keeps predecessor chains acyclic — the hazard the pure
+// minimax retarget had — so every PathTo terminates with a simple path
+// realizing the minimax value.
+func TestQuickBottleneckTreeAcyclic(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w := randomFiltered(seed, n, m)
+		src := int(seed % uint64(g.NumVertices()))
+		tr := Bottleneck(g, src, FromSlice(w))
+		for dst := 0; dst < g.NumVertices(); dst++ {
+			path, ok := tr.PathTo(dst)
+			if !ok {
+				continue
+			}
+			if !ValidatePath(g, src, dst, path) || !IsSimple(g, src, path) {
+				return false
+			}
+			most := math.Inf(-1)
+			for _, e := range path {
+				most = math.Max(most, w[e])
+			}
+			if dst != src && most != tr.Dist[dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// plateauWeights draws from a tiny value set so minimax ties — the
+// regime where canonical tie-breaking does all the work — are the norm
+// rather than the exception.
+func plateauWeights(rng *rand.Rand, m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = float64(1+rng.IntN(3)) / 2
+	}
+	return w
+}
+
+// monotoneBump raises a few random weights (never lowers — the cache's
+// contract), occasionally to +Inf (the residual filter's flip), and
+// reports the touched edges. Multiplying by 1.5 keeps bumped weights on
+// the plateau grid, so new exact ties keep appearing.
+func monotoneBump(rng *rand.Rand, w []float64) []int {
+	var touched []int
+	for len(touched) == 0 {
+		for e := range w {
+			if rng.IntN(8) == 0 {
+				if rng.IntN(5) == 0 {
+					w[e] = math.Inf(1)
+				} else {
+					w[e] *= 1.5
+				}
+				touched = append(touched, e)
+			}
+		}
+	}
+	return touched
+}
+
+// freshStructure recomputes slot s's structure from scratch with the
+// kind's search — the reference a cached structure must equal bit for
+// bit.
+func freshStructure(kind TreeKind, g *graph.Graph, src int, w []float64, maxHops int) any {
+	sc := NewScratch(g.NumVertices())
+	switch kind {
+	case KindAdditive:
+		return sc.Dijkstra(g, src, FromSlice(w), nil)
+	case KindBottleneck:
+		return sc.Bottleneck(g, src, FromSlice(w), nil)
+	default:
+		return BellmanFordHops(g, src, FromSlice(w), maxHops)
+	}
+}
+
+// TestIncrementalKindsMatchRecompute drives every cache kind through a
+// sequence of monotone repricings and checks each refreshed structure
+// is bit-identical to a from-scratch recomputation under the current
+// weights — the kind-generic form of the dirty-source cache's core
+// contract.
+func TestIncrementalKindsMatchRecompute(t *testing.T) {
+	for _, kind := range []TreeKind{KindAdditive, KindBottleneck, KindHopBounded} {
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := uint64(0); seed < 10; seed++ {
+				rng := rand.New(rand.NewPCG(seed, 99))
+				g := graph.RandomStronglyConnected(rng, 12, 40, 1, 2)
+				var w []float64
+				if seed%2 == 0 {
+					w = plateauWeights(rng, g.NumEdges())
+				} else {
+					w = make([]float64, g.NumEdges())
+					for i := range w {
+						w[i] = rng.Float64() + 0.01
+					}
+				}
+				const maxHops = 6
+				sources := []int{0, 3, 5, 7, 9, 11}
+				inc := NewIncrementalKind(g, kind, sources, nil, maxHops)
+				slots := make([]int, inc.NumSlots())
+				for i := range slots {
+					slots[i] = i
+				}
+				for round := 0; round < 10; round++ {
+					inc.Refresh(slots, FromSlice(w), 1+int(seed%3))
+					for _, s := range slots {
+						src := inc.Source(s)
+						want := freshStructure(kind, g, src, w, maxHops)
+						var got any
+						if kind == KindHopBounded {
+							got = inc.Table(s)
+						} else {
+							got = inc.Tree(s)
+						}
+						if !structuresEqual(kind, got, want) {
+							t.Fatalf("kind %v seed %d round %d slot %d: cached structure differs from recomputation", kind, seed, round, s)
+						}
+					}
+					inc.Invalidate(monotoneBump(rng, w))
+				}
+				rec, reu := inc.Stats()
+				if reu == 0 || rec == 0 {
+					t.Fatalf("kind %v: cache exercised neither reuse (%d) nor recompute (%d)", kind, reu, rec)
+				}
+			}
+		})
+	}
+}
+
+// structuresEqual compares a cached structure with a reference,
+// ignoring buffer-capacity differences.
+func structuresEqual(kind TreeKind, got, want any) bool {
+	if kind == KindHopBounded {
+		a, b := got.(*HopTable), want.(*HopTable)
+		if a.Source != b.Source || a.MaxHops != b.MaxHops {
+			return false
+		}
+		return reflect.DeepEqual(a.Dist, b.Dist) &&
+			reflect.DeepEqual(a.prevEdge, b.prevEdge) &&
+			reflect.DeepEqual(a.prevVert, b.prevVert)
+	}
+	a, b := got.(*Tree), want.(*Tree)
+	return a.Source == b.Source && reflect.DeepEqual(a.Dist, b.Dist) &&
+		reflect.DeepEqual(a.PrevEdge, b.PrevEdge) && reflect.DeepEqual(a.PrevVert, b.PrevVert)
+}
+
+// TestIncrementalSetTargetsAndPathTo: with target-restricted recording,
+// the declared targets' answers — read through trees or the PathTo
+// oracle — stay bit-identical to full recomputation across monotone
+// repricings, even though undeclared parts of the tree may go stale.
+func TestIncrementalSetTargetsAndPathTo(t *testing.T) {
+	for _, kind := range []TreeKind{KindAdditive, KindBottleneck} {
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := uint64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewPCG(seed, 7))
+				g := graph.RandomStronglyConnected(rng, 14, 50, 1, 2)
+				var w []float64
+				if seed%2 == 0 {
+					w = plateauWeights(rng, g.NumEdges())
+				} else {
+					w = make([]float64, g.NumEdges())
+					for i := range w {
+						w[i] = rng.Float64() + 0.01
+					}
+				}
+				sources := []int{0, 2, 4, 6}
+				targetsOf := map[int][]int{0: {9, 11}, 2: {5}, 4: {13}, 6: {1, 3, 8}}
+				restricted := NewIncrementalKind(g, kind, sources, nil, 0)
+				oracle := NewIncrementalKind(g, kind, sources, nil, 0)
+				for _, src := range sources {
+					slot, _ := restricted.Slot(src)
+					restricted.SetTargets(slot, targetsOf[src])
+				}
+				slots := []int{0, 1, 2, 3}
+				for round := 0; round < 10; round++ {
+					restricted.Refresh(slots, FromSlice(w), 1)
+					for _, src := range sources {
+						slot, _ := restricted.Slot(src)
+						want := freshStructure(kind, g, src, w, 0).(*Tree)
+						tr := restricted.Tree(slot)
+						for _, dst := range targetsOf[src] {
+							if tr.Dist[dst] != want.Dist[dst] {
+								t.Fatalf("kind %v seed %d round %d: restricted dist to %d diverged", kind, seed, round, dst)
+							}
+							gotP, gotOK := tr.PathTo(dst)
+							wantP, wantOK := want.PathTo(dst)
+							if gotOK != wantOK || !reflect.DeepEqual(gotP, wantP) {
+								t.Fatalf("kind %v seed %d round %d: restricted path to %d diverged", kind, seed, round, dst)
+							}
+							// The single-target oracle must agree too, served from
+							// cache or not.
+							oP, oD, oOK := oracle.PathTo(slot, dst, FromSlice(w))
+							if oOK != wantOK || (wantOK && (oD != want.Dist[dst] || !reflect.DeepEqual(oP, wantP))) {
+								t.Fatalf("kind %v seed %d round %d: PathTo oracle to %d diverged", kind, seed, round, dst)
+							}
+						}
+					}
+					touched := monotoneBump(rng, w)
+					restricted.Invalidate(touched)
+					oracle.Invalidate(touched)
+				}
+			}
+		})
+	}
+}

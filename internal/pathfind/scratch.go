@@ -24,6 +24,13 @@ type Scratch struct {
 	order []int32 // vertices reached this run, in first-touch order
 	heap  []int32 // 4-ary min-heap of vertices keyed by dist
 	pos   []int32 // vertex -> heap index, -1 if absent
+	// keys[v] is v's leximax key in bottleneck runs: the weights of v's
+	// canonical path, sorted descending (see Bottleneck). dist[v] mirrors
+	// keys[v][0] so the heap's hot comparison stays scalar; full keys are
+	// consulted only on ties. cand is the candidate-key build buffer.
+	keys [][]float64
+	cand []float64
+	lex  bool // this run orders the heap by leximax keys, not dist alone
 }
 
 // NewScratch returns a Scratch sized for graphs with up to n vertices;
@@ -42,6 +49,7 @@ func (s *Scratch) grow(n int) {
 	}
 	old := len(s.dist)
 	s.dist = append(s.dist, make([]float64, n-old)...)
+	s.keys = append(s.keys, make([][]float64, n-old)...)
 	s.prevE = append(s.prevE, make([]int32, n-old)...)
 	s.prevV = append(s.prevV, make([]int32, n-old)...)
 	s.stamp = append(s.stamp, make([]uint32, n-old)...)
@@ -64,6 +72,7 @@ func (s *Scratch) reset(n int) {
 	}
 	s.order = s.order[:0]
 	s.heap = s.heap[:0]
+	s.lex = false
 }
 
 // touch marks v visited this generation and records it for
@@ -130,64 +139,222 @@ func (s *Scratch) relax(v, e, to int32, dv float64, weight WeightFunc) {
 	}
 }
 
-// Bottleneck runs the minimax-path search from src (see the package-
+// Bottleneck runs the KindBottleneck search from src (see the package-
 // level Bottleneck) on the scratch's indexed 4-ary heap and
 // generation-stamped marks, materializing into t (allocated when nil);
-// it allocates nothing in steady state when t is reused. Unlike the
-// additive relax, relaxMax must NOT retarget predecessors on minimax
-// ties: max(dv, w) == dist[to] can hold with dv == dist[to], i.e. for a
-// predecessor popped after to itself, and such a retarget can close a
-// predecessor cycle that PathTo would walk forever. Updating only on
-// strict improvement keeps every predecessor strictly earlier in pop
-// order, so trees stay acyclic (the legacy Bottleneck semantics).
+// it allocates nothing in steady state once its per-vertex key buffers
+// have grown to the graph's path lengths.
+//
+// The search is Dijkstra over the leximax key: a path's key is its edge
+// weights sorted descending, compared lexicographically with a shorter
+// prefix ranking below its extensions, and among arcs achieving a
+// vertex's final key the largest edge ID wins — the canonical tie-break
+// shared with the additive Dijkstra. Leximax is the refinement of the
+// minimax value (the key's first element, which Tree.Dist reports) that
+// makes the canonical tree both well defined and reusable:
+//
+//   - Appending an edge strictly grows a key, so predecessor keys
+//     strictly decrease along every tree path and the canonical tree is
+//     acyclic by construction (a pure minimax value-tie retarget can
+//     close predecessor cycles).
+//   - A vertex's key is monotone non-decreasing under any weight
+//     increase — keys keep every weight on the path, so no increase can
+//     hide behind a dominating maximum. Scalar secondaries (hop count,
+//     weight sum) lack exactly this: worsening a vertex's minimax can
+//     shrink its secondary and mint brand-new tie-achievers elsewhere,
+//     which is fatal to the Incremental cache's bit-identity contract
+//     under target-restricted recording.
 func (s *Scratch) Bottleneck(g *graph.Graph, src int, weight WeightFunc, t *Tree) *Tree {
 	n := g.NumVertices()
 	s.reset(n)
+	s.lex = true
 	s.touch(int32(src))
 	s.dist[src] = math.Inf(-1) // the empty path has no edges: -Inf max
+	s.keys[src] = s.keys[src][:0]
 	s.prevE[src], s.prevV[src] = -1, -1
 	s.push(int32(src))
 	if csr := g.Frozen(); csr != nil {
 		for len(s.heap) > 0 {
 			v := s.pop()
-			dv := s.dist[v]
 			for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
-				s.relaxMax(v, csr.EdgeID[k], csr.Head[k], dv, weight)
+				s.relaxMax(v, csr.EdgeID[k], csr.Head[k], weight)
 			}
 		}
 	} else {
 		for len(s.heap) > 0 {
 			v := s.pop()
-			dv := s.dist[v]
 			for _, a := range g.OutArcs(int(v)) {
-				s.relaxMax(v, int32(a.Edge), int32(a.To), dv, weight)
+				s.relaxMax(v, int32(a.Edge), int32(a.To), weight)
 			}
 		}
 	}
 	return s.fill(t, src, n)
 }
 
-// relaxMax is relax under the minimax objective: the candidate distance
-// is max(dv, w) instead of dv + w, and predecessors update only on
-// strict improvement (see Bottleneck for why ties must not retarget).
-func (s *Scratch) relaxMax(v, e, to int32, dv float64, weight WeightFunc) {
+// lexLess compares two leximax keys (sorted descending); a key that is
+// a prefix of another ranks below it.
+func lexLess(a, b []float64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func lexEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relaxMax is relax under the leximax objective: the candidate key is
+// keys[v] with w inserted in sorted order, improvements replace the
+// key, and full-key ties retarget to the larger edge ID (see
+// Bottleneck). The scalar maximum (dist) screens candidates first, so
+// full-key work only runs on minimax ties.
+func (s *Scratch) relaxMax(v, e, to int32, weight WeightFunc) {
 	w := weight(int(e))
 	if math.IsInf(w, 1) {
 		return
 	}
-	nd := math.Max(dv, w)
+	nd := math.Max(s.dist[v], w)
+	if s.stamp[to] == s.gen && nd > s.dist[to] {
+		return // scalar screen: candidate max already worse
+	}
+	// Build the candidate key: keys[v] ∪ {w}, sorted descending.
+	kv := s.keys[v]
+	s.cand = s.cand[:0]
+	inserted := false
+	for _, x := range kv {
+		if !inserted && w > x {
+			s.cand = append(s.cand, w)
+			inserted = true
+		}
+		s.cand = append(s.cand, x)
+	}
+	if !inserted {
+		s.cand = append(s.cand, w)
+	}
 	if s.stamp[to] != s.gen {
 		s.touch(to)
 		s.dist[to] = nd
+		s.keys[to] = append(s.keys[to][:0], s.cand...)
 		s.prevE[to], s.prevV[to] = e, v
 		s.push(to)
 		return
 	}
-	if nd < s.dist[to] {
+	switch {
+	case nd < s.dist[to] || lexLess(s.cand, s.keys[to]):
 		s.dist[to] = nd
+		s.keys[to] = append(s.keys[to][:0], s.cand...)
 		s.prevE[to], s.prevV[to] = e, v
 		s.decrease(to)
+	case e > s.prevE[to] && lexEqual(s.cand, s.keys[to]):
+		s.prevE[to], s.prevV[to] = e, v
 	}
+}
+
+// ShortestPathTo answers a single-target query: the canonical shortest
+// path from src to dst under nonnegative weights, its distance, and
+// whether dst is reachable. It is the early-exit form of Dijkstra — the
+// search stops once every vertex at least as close as dst has been
+// settled, rather than materializing a whole tree — and its answer is
+// bit-identical to s.Dijkstra(...) followed by Tree.PathTo(dst) /
+// Tree.Dist[dst]: the largest-edge-ID tie-break of every vertex on the
+// path is resolved by relaxations out of vertices no farther than dst,
+// all of which have been processed when the search stops. The mechanism
+// layer's critical-value bisection runs on this query (via
+// Incremental.PathTo) instead of full trees.
+func (s *Scratch) ShortestPathTo(g *graph.Graph, src, dst int, weight WeightFunc) ([]int, float64, bool) {
+	n := g.NumVertices()
+	s.reset(n)
+	s.touch(int32(src))
+	s.dist[src] = 0
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(int32(src))
+	csr := g.Frozen()
+	found := false
+	var dd float64
+	for len(s.heap) > 0 {
+		v := s.pop()
+		dv := s.dist[v]
+		if found && dv > dd {
+			break // every relaxation that can reach key <= dist[dst] is done
+		}
+		if int(v) == dst {
+			found, dd = true, dv
+		}
+		if csr != nil {
+			for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+				s.relax(v, csr.EdgeID[k], csr.Head[k], dv, weight)
+			}
+		} else {
+			for _, a := range g.OutArcs(int(v)) {
+				s.relax(v, int32(a.Edge), int32(a.To), dv, weight)
+			}
+		}
+	}
+	if !found {
+		return nil, math.Inf(1), false
+	}
+	return s.pathOut(src, dst), dd, true
+}
+
+// BottleneckPathTo is the KindBottleneck form of ShortestPathTo: the
+// canonical minimax path from src to dst, its bottleneck value, and
+// whether dst is reachable, bit-identical to s.Bottleneck(...) followed
+// by Tree.PathTo(dst) / Tree.Dist[dst]. The leximax key lets it exit
+// even earlier than the additive search: every relaxation candidate's
+// key strictly exceeds its predecessor's (appending an edge grows the
+// key), so every predecessor on dst's path — and every tie the
+// canonical tree resolves — is settled before dst itself pops, and the
+// search stops at that pop outright.
+func (s *Scratch) BottleneckPathTo(g *graph.Graph, src, dst int, weight WeightFunc) ([]int, float64, bool) {
+	n := g.NumVertices()
+	s.reset(n)
+	s.lex = true
+	s.touch(int32(src))
+	s.dist[src] = math.Inf(-1)
+	s.keys[src] = s.keys[src][:0]
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(int32(src))
+	csr := g.Frozen()
+	for len(s.heap) > 0 {
+		v := s.pop()
+		if int(v) == dst {
+			return s.pathOut(src, dst), s.dist[v], true
+		}
+		if csr != nil {
+			for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+				s.relaxMax(v, csr.EdgeID[k], csr.Head[k], weight)
+			}
+		} else {
+			for _, a := range g.OutArcs(int(v)) {
+				s.relaxMax(v, int32(a.Edge), int32(a.To), weight)
+			}
+		}
+	}
+	return nil, math.Inf(1), false
+}
+
+// pathOut materializes the settled prev chain from src to dst as edge
+// IDs in path order.
+func (s *Scratch) pathOut(src, dst int) []int {
+	var rev []int
+	for v := dst; v != src; v = int(s.prevV[v]) {
+		rev = append(rev, int(s.prevE[v]))
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
 }
 
 // fill materializes the run into a Tree, reusing t's slices when
@@ -259,10 +426,20 @@ func (s *Scratch) pop() int32 {
 	return top
 }
 
+// less orders heap entries: by dist, refined by the full leximax keys
+// in bottleneck runs. Additive runs never read s.keys.
+func (s *Scratch) less(a, b int32) bool {
+	da, db := s.dist[a], s.dist[b]
+	if da != db {
+		return da < db
+	}
+	return s.lex && lexLess(s.keys[a], s.keys[b])
+}
+
 func (s *Scratch) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 4
-		if s.dist[s.heap[parent]] <= s.dist[s.heap[i]] {
+		if !s.less(s.heap[i], s.heap[parent]) {
 			break
 		}
 		s.swap(i, parent)
@@ -282,7 +459,7 @@ func (s *Scratch) down(i int) {
 			end = len(s.heap)
 		}
 		for c := first; c < end; c++ {
-			if s.dist[s.heap[c]] < s.dist[s.heap[small]] {
+			if s.less(s.heap[c], s.heap[small]) {
 				small = c
 			}
 		}

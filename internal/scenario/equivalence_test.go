@@ -67,6 +67,16 @@ func TestCatalogIncrementalEquivalence(t *testing.T) {
 				if err := incr.CheckFeasible(inst, false); err != nil {
 					t.Fatal(err)
 				}
+				// The single-target oracle (mechanism-bisection mode) is
+				// bit-transparent too.
+				single, err := core.SolveUFP(inst, eps, &core.Options{SingleTarget: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(full.Routed, single.Routed) ||
+					full.Value != single.Value || full.Stop != single.Stop || full.DualBound != single.DualBound {
+					t.Fatalf("SolveUFP allocations differ with the single-target oracle on")
+				}
 
 				auc, err := scenario.GenerateAuction(cfg)
 				if err != nil {
@@ -101,6 +111,63 @@ func TestCatalogIncrementalEquivalence(t *testing.T) {
 					t.Fatalf("reasonable engine allocations differ with/without the tree cache")
 				}
 			})
+		}
+	}
+}
+
+// TestCatalogKindCacheEquivalence is the kind-generic cache's
+// acceptance gate over the full S1 catalog: BottleneckRule
+// (KindBottleneck trees) and LogHopsRule (KindHopBounded Bellman-Ford
+// tables) produce byte-identical allocations with the dirty-source
+// caches on (default) and off (EngineOptions.NoIncremental), for every
+// topology × demand model and in both engine stop configurations.
+func TestCatalogKindCacheEquivalence(t *testing.T) {
+	const eps = 0.5
+	rules := []struct {
+		name string
+		mk   func() core.Rule
+	}{
+		{"bottleneck", func() core.Rule { return &core.BottleneckRule{} }},
+		{"log-hops", func() core.Rule { return &core.LogHopsRule{MaxHops: 10} }},
+	}
+	for _, topo := range scenario.Topologies() {
+		for _, dm := range scenario.Demands() {
+			for _, rule := range rules {
+				t.Run(topo.Name+"/"+dm.Name+"/"+rule.name, func(t *testing.T) {
+					inst, err := scenario.Generate(scenario.Config{Topology: topo.Name, Demand: dm.Name, Seed: 42})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, feasibleOnly := range []bool{true, false} {
+						opts := core.EngineOptions{
+							Rule: rule.mk(), Eps: eps,
+							FeasibleOnly: feasibleOnly, UseDualStop: !feasibleOnly,
+							NoIncremental: true,
+						}
+						full, err := core.IterativePathMin(inst, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						opts.Rule = rule.mk()
+						opts.NoIncremental = false
+						incr, err := core.IterativePathMin(inst, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(full.Routed, incr.Routed) ||
+							full.Value != incr.Value || full.Stop != incr.Stop || full.DualBound != incr.DualBound {
+							t.Fatalf("%s (feasibleOnly=%v): allocations differ with/without the kind cache", rule.name, feasibleOnly)
+						}
+						if feasibleOnly {
+							// Only the residual filter certifies per-edge
+							// feasibility for the non-exponential rules.
+							if err := incr.CheckFeasible(inst, false); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -20,19 +20,31 @@ type funcSolver struct {
 	// ignoresMaxIter marks single-pass algorithms with no main loop to
 	// cap (the zero value keeps the default "uses it").
 	ignoresMaxIter bool
+	// defaultMaxIter, if positive, replaces a zero Params.MaxIterations
+	// before dispatch — the per-solver default cap reported by
+	// DefaultMaxIterations (the pseudo-polynomial repeat variants use it
+	// so a capless registry job cannot run away).
+	defaultMaxIter int
 	fn             func(ctx context.Context, in Input, p Params) (Output, error)
 }
 
-func (s *funcSolver) Name() string            { return s.name }
-func (s *funcSolver) Kind() Kind              { return s.kind }
-func (s *funcSolver) Description() string     { return s.desc }
-func (s *funcSolver) UsesEps() bool           { return s.usesEps }
-func (s *funcSolver) UsesSeed() bool          { return s.usesSeed }
-func (s *funcSolver) UsesMaxIterations() bool { return !s.ignoresMaxIter }
+func (s *funcSolver) Name() string              { return s.name }
+func (s *funcSolver) Kind() Kind                { return s.kind }
+func (s *funcSolver) Description() string       { return s.desc }
+func (s *funcSolver) UsesEps() bool             { return s.usesEps }
+func (s *funcSolver) UsesSeed() bool            { return s.usesSeed }
+func (s *funcSolver) UsesMaxIterations() bool   { return !s.ignoresMaxIter }
+func (s *funcSolver) DefaultMaxIterations() int { return s.defaultMaxIter }
 
 func (s *funcSolver) Solve(ctx context.Context, in Input, p Params) (Output, error) {
 	if err := checkInput(s, in); err != nil {
 		return Output{}, err
+	}
+	if p.MaxIterations <= 0 && s.defaultMaxIter > 0 {
+		// Non-positive means "uncapped" to the algorithms, so a negative
+		// value must not sneak past the default that keeps the registry
+		// surface safe from pseudo-polynomial runaways.
+		p.MaxIterations = s.defaultMaxIter
 	}
 	return s.fn(ctx, in, p)
 }
@@ -89,14 +101,14 @@ func init() {
 		}),
 	})
 	Register(&funcSolver{
-		name: "ufp/repeat", kind: KindUFP, usesEps: true,
+		name: "ufp/repeat", kind: KindUFP, usesEps: true, defaultMaxIter: DefaultRepeatMaxIterations,
 		desc: "Bounded-UFP-Repeat at the Theorem 5.1 convention (ε/6): (1+ε)-approximation with repetitions",
 		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
 			return core.SolveUFPRepeatCtx(ctx, inst, p.Eps, p.ufpOptions())
 		}),
 	})
 	Register(&funcSolver{
-		name: "ufp/repeat-bounded", kind: KindUFP, usesEps: true,
+		name: "ufp/repeat-bounded", kind: KindUFP, usesEps: true, defaultMaxIter: DefaultRepeatMaxIterations,
 		desc: "Bounded-UFP-Repeat (Algorithm 3) with the raw accuracy parameter",
 		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
 			return core.BoundedUFPRepeatCtx(ctx, inst, p.Eps, p.ufpOptions())

@@ -133,11 +133,23 @@ type Solver interface {
 
 // Optional Solver extensions, read through the package helpers below.
 type (
-	describer   interface{ Description() string }
-	epsUser     interface{ UsesEps() bool }
-	seedUser    interface{ UsesSeed() bool }
-	maxIterUser interface{ UsesMaxIterations() bool }
+	describer       interface{ Description() string }
+	epsUser         interface{ UsesEps() bool }
+	seedUser        interface{ UsesSeed() bool }
+	maxIterUser     interface{ UsesMaxIterations() bool }
+	maxIterDefaults interface{ DefaultMaxIterations() int }
 )
+
+// DefaultRepeatMaxIterations is the main-loop cap the repeat-variant
+// solvers ("ufp/repeat", "ufp/repeat-bounded") apply when
+// Params.MaxIterations is zero. Their iteration count is
+// pseudo-polynomial — bounded only by m·c_max/d_min — so an uncapped
+// registry-dispatched job (an HTTP request, a CLI run with no flag)
+// could monopolize a worker for millions of iterations; the default
+// keeps the registry surface safe by construction. Callers wanting a
+// longer run pass an explicit Params.MaxIterations; the direct entry
+// points (core.SolveUFPRepeat, ...) keep zero = unlimited.
+const DefaultRepeatMaxIterations = 10000
 
 // Description returns the solver's one-line description, or "" if it
 // does not provide one.
@@ -175,6 +187,18 @@ func UsesMaxIterations(s Solver) bool {
 		return u.UsesMaxIterations()
 	}
 	return true
+}
+
+// DefaultMaxIterations returns the main-loop cap the solver applies
+// when Params.MaxIterations is zero, or 0 if zero means unlimited (the
+// default). The engine normalizes a zero cap to this value in cache
+// keys, so the explicit and defaulted spellings share one execution,
+// and ufpserve reports it per algorithm on /v1/algorithms.
+func DefaultMaxIterations(s Solver) int {
+	if d, ok := s.(maxIterDefaults); ok {
+		return d.DefaultMaxIterations()
+	}
+	return 0
 }
 
 // registry is the process-wide solver table. Built-ins register during

@@ -245,8 +245,8 @@ func TestRoundTripPreservesEngineKey(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a := engine.Job{Kind: engine.JobBoundedUFP, Eps: 0.25, UFP: inst}
-		b := engine.Job{Kind: engine.JobBoundedUFP, Eps: 0.25, UFP: got}
+		a := engine.Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
+		b := engine.Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: got}
 		if a.Fingerprint() != b.Fingerprint() {
 			t.Errorf("instance %d: JSON round trip changed the engine cache key", i)
 		}
@@ -264,8 +264,8 @@ func TestRoundTripPreservesEngineKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := engine.Job{Kind: engine.JobSolveMUCA, Eps: 0.25, Auction: auc}
-	b := engine.Job{Kind: engine.JobSolveMUCA, Eps: 0.25, Auction: got}
+	a := engine.Job{Algorithm: "muca/solve", Eps: 0.25, Auction: auc}
+	b := engine.Job{Algorithm: "muca/solve", Eps: 0.25, Auction: got}
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Error("auction JSON round trip changed the engine cache key")
 	}

@@ -171,43 +171,77 @@ func TestRegistryMatchesDirectEntryPoints(t *testing.T) {
 	}
 }
 
-// TestLegacyKindAliases: a Job spelled with the legacy Kind enum keys
-// and executes identically to the same job spelled with Algorithm — the
-// one-release compatibility contract.
-func TestLegacyKindAliases(t *testing.T) {
+// TestAlgorithmRequired: with the legacy Kind enum gone, a job must
+// name a registered Algorithm; empty and unknown names are rejected
+// before execution.
+func TestAlgorithmRequired(t *testing.T) {
 	inst, err := truthfulufp.GenerateScenario(truthfulufp.ScenarioConfig{Topology: "fattree", Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	byKind := truthfulufp.Job{Kind: truthfulufp.JobBoundedUFP, Eps: 0.25, UFP: inst}
-	byName := truthfulufp.Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
-	if byKind.Fingerprint() != byName.Fingerprint() {
-		t.Fatal("legacy Kind and Algorithm spellings key differently")
-	}
-	both := truthfulufp.Job{Kind: truthfulufp.JobBoundedUFP, Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst}
-	if both.Fingerprint() != byName.Fingerprint() {
-		t.Fatal("agreeing Kind+Algorithm keys differently from Algorithm alone")
-	}
 	eng := truthfulufp.NewEngine(truthfulufp.EngineConfig{Workers: 1})
 	defer eng.Close()
+	if _, err := eng.Do(context.Background(), truthfulufp.Job{Eps: 0.25, UFP: inst}); err == nil {
+		t.Fatal("job without an Algorithm was accepted")
+	}
 	if _, err := eng.Do(context.Background(), truthfulufp.Job{
-		Kind: truthfulufp.JobSolveUFP, Algorithm: "ufp/bounded", Eps: 0.25, UFP: inst,
+		Algorithm: "ufp/no-such-solver", Eps: 0.25, UFP: inst,
 	}); err == nil {
-		t.Fatal("contradictory Kind and Algorithm were accepted")
+		t.Fatal("job with an unregistered Algorithm was accepted")
 	}
-	a, err := eng.Do(context.Background(), byKind)
+}
+
+// TestDefaultMaxIterations: the pseudo-polynomial repeat variants carry
+// a default iteration cap that (a) is reported by the registry
+// metadata, (b) is applied when Params/Job leave MaxIterations zero,
+// and (c) is normalized into the cache key, so the defaulted and
+// explicit spellings share one execution.
+func TestDefaultMaxIterations(t *testing.T) {
+	inst, err := truthfulufp.GenerateScenario(truthfulufp.ScenarioConfig{Topology: "fattree", Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := eng.Do(context.Background(), byName)
-	if err != nil {
-		t.Fatal(err)
+	for _, name := range []string{"ufp/repeat", "ufp/repeat-bounded"} {
+		s, ok := truthfulufp.LookupSolver(name)
+		if !ok {
+			t.Fatalf("solver %q vanished from the registry", name)
+		}
+		def := truthfulufp.SolverDefaultMaxIterations(s)
+		if def <= 0 {
+			t.Fatalf("%s reports no default MaxIterations", name)
+		}
+		zero := truthfulufp.Job{Algorithm: name, Eps: 0.25, UFP: inst}
+		expl := truthfulufp.Job{Algorithm: name, Eps: 0.25, MaxIterations: def, UFP: inst}
+		neg := truthfulufp.Job{Algorithm: name, Eps: 0.25, MaxIterations: -1, UFP: inst}
+		other := truthfulufp.Job{Algorithm: name, Eps: 0.25, MaxIterations: def + 1, UFP: inst}
+		if zero.Fingerprint() != expl.Fingerprint() {
+			t.Errorf("%s: zero and explicit default caps key differently", name)
+		}
+		if neg.Fingerprint() != zero.Fingerprint() {
+			t.Errorf("%s: a negative cap (uncapped to the solvers) keys differently from zero", name)
+		}
+		if zero.Fingerprint() == other.Fingerprint() {
+			t.Errorf("%s: a non-default cap shares the default's key", name)
+		}
 	}
-	if !b.CacheHit {
-		t.Error("Algorithm spelling missed the cache entry of its Kind alias")
+	// The single-pass solvers still report no default.
+	if s, ok := truthfulufp.LookupSolver("ufp/greedy"); !ok || truthfulufp.SolverDefaultMaxIterations(s) != 0 {
+		t.Error("ufp/greedy unexpectedly reports a default MaxIterations")
 	}
-	if a.Allocation.Value != b.Allocation.Value {
-		t.Error("alias spellings returned different results")
+	// The default really caps the loop — including for a negative cap,
+	// which means "uncapped" to the algorithms and must not sneak past
+	// the guard.
+	s, _ := truthfulufp.LookupSolver("ufp/repeat")
+	def := truthfulufp.SolverDefaultMaxIterations(s)
+	for _, cap := range []int{0, -1} {
+		out, err := s.Solve(context.Background(), truthfulufp.SolverInput{UFP: inst},
+			truthfulufp.SolverParams{Eps: 0.25, MaxIterations: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Allocation.Iterations > def {
+			t.Errorf("ufp/repeat with cap %d ran %d iterations past its default cap %d", cap, out.Allocation.Iterations, def)
+		}
 	}
 }
 
