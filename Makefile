@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-trend serve fmt vet ci smoke
+.PHONY: all build test bench bench-json bench-trend serve fmt vet ci smoke smoke-session
 
 all: build
 
@@ -30,9 +30,9 @@ bench-json:
 # Benchmark trend gate (the CI step): measure the full-size path suite
 # into a throwaway snapshot and fail on a >25% regression of any
 # derived speedup (IncrementalSolve, IncrementalBottleneck,
-# IncrementalBellman, SingleTarget) relative to the committed
-# BENCH_path.json. Speedup ratios are machine-portable; absolute ns/op
-# are not.
+# IncrementalBellman, SingleTarget, SessionAdmit) relative to the
+# committed BENCH_path.json. Speedup ratios are machine-portable;
+# absolute ns/op are not.
 bench-trend:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH_path_fresh.json -baseline BENCH_path.json -max-regression 0.25
 
@@ -60,4 +60,13 @@ smoke:
 	$(GO) run ./cmd/ufpgen -scenario fattree -seed 7 | $(GO) run ./cmd/ufprun -in - -json > /dev/null
 	@echo "scenario determinism + pipeline smoke: ok"
 
-ci: fmt vet build test bench smoke
+# Session pipeline smoke (the CI step): generate a scenario instance
+# with ufpgen, then register its network and stream every request
+# through the stateful session layer via ufpbench -session, which
+# reports per-admit latency and the speedup over a stateless full
+# solve per request.
+smoke-session:
+	$(GO) run ./cmd/ufpgen -scenario fattree -seed 7 -o /tmp/session-smoke.json
+	$(GO) run ./cmd/ufpbench -session -in /tmp/session-smoke.json
+
+ci: fmt vet build test bench smoke smoke-session

@@ -10,6 +10,7 @@ import (
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/mechanism"
 	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/session"
 	"truthfulufp/internal/solver"
 )
 
@@ -127,6 +128,61 @@ var ErrEngineClosed = engine.ErrClosed
 // via Engine.Close.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
+// Re-exported session types. See internal/session and internal/core's
+// AdmissionState: the stateful serving layer for the paper's online
+// setting — register a network once, then stream admit / quote /
+// release calls against its persistent prices, flows, and warm path
+// cache. ufpserve's /v1/networks endpoints are the HTTP face of the
+// same layer (via Engine.Sessions).
+type (
+	// SessionManager owns live sessions: registration, lookup, LRU/TTL
+	// eviction (create with NewSessionManager or reach the engine's via
+	// Engine.Sessions).
+	SessionManager = session.Manager
+	// SessionConfig tunes a SessionManager (max sessions, idle TTL).
+	SessionConfig = session.Config
+	// Session is one registered network's live solver state.
+	Session = session.Session
+	// SessionInfo is a point-in-time view of one session.
+	SessionInfo = session.Info
+	// SessionStats is a manager's fleet-wide counters.
+	SessionStats = session.Stats
+	// AdmissionState is the persistent online solver state a Session
+	// wraps (prices, flows, ledger, warm path cache); use it directly
+	// for single-threaded embedding without manager lifecycle.
+	AdmissionState = core.AdmissionState
+	// AdmitDecision is the outcome of one admission or quote.
+	AdmitDecision = core.Decision
+	// RejectReason says why an admission was declined ("no-path",
+	// "price", "capacity").
+	RejectReason = core.RejectReason
+	// AdmittedRequest is one live ledger entry of an admission state.
+	AdmittedRequest = core.AdmittedRequest
+)
+
+// Reject reasons (stable wire values).
+const (
+	RejectNoPath   = core.RejectNoPath
+	RejectPrice    = core.RejectPrice
+	RejectCapacity = core.RejectCapacity
+)
+
+// ErrSessionClosed is returned by session operations after the session
+// was closed or evicted.
+var ErrSessionClosed = session.ErrSessionClosed
+
+// NewSessionManager builds a standalone session manager. Servers
+// normally use the engine's (Engine.Sessions), which shares the
+// engine's scratch pool.
+func NewSessionManager(cfg SessionConfig) *SessionManager { return session.NewManager(cfg) }
+
+// NewAdmissionState builds the online solver state for a network (see
+// core.NewAdmissionState). The graph is frozen; eps is the accuracy
+// parameter ε in (0,1].
+func NewAdmissionState(g *Graph, eps float64, opt *Options) (*AdmissionState, error) {
+	return core.NewAdmissionState(g, eps, opt)
+}
+
 // Scenario catalog re-exports. See internal/scenario: named, seeded,
 // parameterized generators of realistic instance families (datacenter
 // fat-trees, ISP backbones, scale-free/small-world graphs, metro rings,
@@ -217,6 +273,21 @@ func SequentialPrimalDual(inst *Instance, eps float64, opt *Options) (*Allocatio
 // SequentialPrimalDualCtx is SequentialPrimalDual under a context.
 func SequentialPrimalDualCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
 	return core.SequentialPrimalDualCtx(ctx, inst, eps, opt)
+}
+
+// OnlineAdmission is the batch spelling of the session layer's online
+// admission rule: it streams the instance's requests in input order
+// through a fresh AdmissionState — pure-price routing plus a
+// residual-capacity post-check, identical step for step to what a
+// session serves — and reports the admitted set. Registry name:
+// "ufp/online".
+func OnlineAdmission(inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.OnlineAdmission(inst, eps, opt)
+}
+
+// OnlineAdmissionCtx is OnlineAdmission under a context.
+func OnlineAdmissionCtx(ctx context.Context, inst *Instance, eps float64, opt *Options) (*Allocation, error) {
+	return core.OnlineAdmissionCtx(ctx, inst, eps, opt)
 }
 
 // GreedyByDensity is the classic value-density greedy baseline.

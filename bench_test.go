@@ -238,6 +238,14 @@ func BenchmarkSingleTarget(b *testing.B) {
 	bench.Group(b, "SingleTarget", testing.Short())
 }
 
+// BenchmarkSessionAdmit is the stateful session API's headline: one
+// streamed admit on a persistent AdmissionState (warm prices + path
+// cache) versus the full batch online solve a stateless client re-runs
+// per request.
+func BenchmarkSessionAdmit(b *testing.B) {
+	bench.Group(b, "SessionAdmit", testing.Short())
+}
+
 // BenchmarkScenarioCatalogSolve sweeps SolveUFP over every topology
 // family at default size.
 func BenchmarkScenarioCatalogSolve(b *testing.B) {

@@ -66,6 +66,7 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "bottleneck speedup:    %.2fx\n", snap.BottleneckSpeedup)
 	fmt.Fprintf(os.Stderr, "bellman speedup:       %.2fx\n", snap.BellmanSpeedup)
 	fmt.Fprintf(os.Stderr, "single-target speedup: %.2fx\n", snap.SingleTargetSpeedup)
+	fmt.Fprintf(os.Stderr, "session-admit speedup: %.2fx\n", snap.SessionAdmitSpeedup)
 	if err := write(*out, snap); err != nil {
 		return err
 	}

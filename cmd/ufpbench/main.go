@@ -30,6 +30,19 @@
 // a ufpgen -corpus directory round-robin (in sorted filename order), so
 // a recorded corpus doubles as a reproducible load-test fixture.
 //
+// With -session, ufpbench exercises the stateful session layer the way
+// a persistent client would: register the network once, then stream
+// every request as one admit, reporting per-admit latency and the
+// speedup over the stateless alternative (a full batch solve per
+// request):
+//
+//	ufpbench -session [-scenario waxman] [-demand gravity] [-seed 1]
+//	         [-eps 0.25] [-in instance.json] [-resolve-samples 3]
+//
+// -in streams a recorded instance file (e.g. ufpgen output) instead of
+// generating a scenario; -resolve-samples sets how many full batch
+// solves are timed for the comparison baseline.
+//
 // In experiment mode -scenario restricts the S1 catalog sweep to one
 // topology family.
 package main
@@ -53,6 +66,7 @@ import (
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
 	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/session"
 	"truthfulufp/internal/solver"
 	"truthfulufp/internal/stats"
 	"truthfulufp/internal/workload"
@@ -88,8 +102,14 @@ func run(args []string, out io.Writer) error {
 		alg         = fs.String("alg", "", "load: registry algorithm name (UFP-consuming; see -algs; supersedes -kind)")
 		algs        = fs.Bool("algs", false, "list the registered algorithms and exit")
 		kind        = fs.String("kind", "", "load: legacy spelling of -alg (default ufp/bounded)")
-		eps         = fs.Float64("eps", 0.25, "load: accuracy parameter ε")
-		seed        = fs.Uint64("seed", 1, "load: traffic RNG seed")
+		eps         = fs.Float64("eps", 0.25, "load/session: accuracy parameter ε")
+		seed        = fs.Uint64("seed", 1, "load/session: RNG seed")
+
+		session  = fs.Bool("session", false, "stream admits through a persistent session instead of experiments")
+		inPath   = fs.String("in", "", "session: stream this instance file (ufpgen output) instead of generating -scenario")
+		size     = fs.Int("size", 0, "session: scenario vertex count (0 = topology default; 1000 = the waxman-1k target)")
+		requests = fs.Int("requests", 0, "session: scenario request count (0 = topology default)")
+		resolves = fs.Int("resolve-samples", 3, "session: timed full-solve samples for the stateless comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +117,19 @@ func run(args []string, out io.Writer) error {
 	if *algs {
 		cliio.PrintAlgorithms(out, nil)
 		return nil
+	}
+	if *session {
+		if *load {
+			return fmt.Errorf("-session and -load are mutually exclusive")
+		}
+		return runSession(out, sessionBenchConfig{
+			scenario: *scen, demand: *demand, in: *inPath,
+			size: *size, requests: *requests,
+			eps: *eps, seed: *seed, resolves: *resolves,
+		})
+	}
+	if *inPath != "" || *size != 0 || *requests != 0 {
+		return fmt.Errorf("-in/-size/-requests only apply with -session")
 	}
 	if *load {
 		algorithm := *alg
@@ -118,7 +151,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-alg/-kind only apply with -load")
 	}
 	if *demand != "" {
-		return fmt.Errorf("-demand only applies with -load -scenario")
+		return fmt.Errorf("-demand only applies with -load -scenario or -session")
 	}
 	if *corpus != "" {
 		return fmt.Errorf("-corpus only applies with -load")
@@ -289,6 +322,120 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	fmt.Fprintf(out, "  latency max      %.3f ms\n", lat.Max()*1e3)
 	fmt.Fprintf(out, "  executions       %d (cache hits %d, coalesced %d)\n",
 		snap.Completed, snap.CacheHits, snap.Coalesced)
+	return nil
+}
+
+// sessionBenchConfig parameterizes the session streaming benchmark.
+type sessionBenchConfig struct {
+	scenario string // catalog topology ("" = waxman)
+	demand   string // catalog demand model
+	in       string // instance file to replay ("" = generate)
+	size     int    // scenario vertex count (0 = topology default)
+	requests int    // scenario request count (0 = topology default)
+	eps      float64
+	seed     uint64
+	resolves int // timed full-solve samples for the stateless baseline
+}
+
+// runSession measures the stateful session layer end to end: register
+// the instance's network once, stream every request as one admit, and
+// compare per-admit latency against the stateless alternative — the
+// full batch online solve a session-less client re-runs per request.
+func runSession(out io.Writer, cfg sessionBenchConfig) error {
+	var inst *core.Instance
+	var source string
+	switch {
+	case cfg.in != "":
+		if cfg.scenario != "" || cfg.demand != "" || cfg.size != 0 || cfg.requests != 0 {
+			return fmt.Errorf("session: -in replays a recorded instance; it excludes -scenario/-demand/-size/-requests")
+		}
+		data, err := os.ReadFile(cfg.in)
+		if err != nil {
+			return err
+		}
+		if inst, err = truthfulufp.UnmarshalInstance(data); err != nil {
+			return fmt.Errorf("session: instance file %s: %w", cfg.in, err)
+		}
+		source = "file " + cfg.in
+	default:
+		topo := cfg.scenario
+		if topo == "" {
+			topo = "waxman"
+		}
+		var err error
+		inst, err = scenario.Generate(scenario.Config{
+			Topology: topo, Demand: cfg.demand, Seed: cfg.seed,
+			Size: cfg.size, Requests: cfg.requests,
+		})
+		if err != nil {
+			return err
+		}
+		source = "scenario " + topo
+		if cfg.demand != "" {
+			source += "/" + cfg.demand
+		}
+	}
+	if len(inst.Requests) == 0 {
+		return fmt.Errorf("session: instance has no requests to stream")
+	}
+
+	mgr := session.NewManager(session.Config{})
+	regStart := time.Now()
+	sess, err := mgr.Register(inst.G, cfg.eps)
+	if err != nil {
+		return err
+	}
+	regElapsed := time.Since(regStart)
+
+	latencies := make([]float64, len(inst.Requests)) // per-admit seconds
+	admitted := 0
+	var value float64
+	for i, r := range inst.Requests {
+		start := time.Now()
+		d, err := sess.Admit(r)
+		latencies[i] = time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("session: admit %d: %w", i, err)
+		}
+		if d.Admitted {
+			admitted++
+			value += r.Value
+		}
+	}
+	info, err := sess.Info()
+	if err != nil {
+		return err
+	}
+
+	// The stateless comparison: a client without a session pays one full
+	// batch solve per request to reach the same admission state.
+	var resolve stats.Summary
+	for i := 0; i < cfg.resolves; i++ {
+		start := time.Now()
+		if _, err := core.OnlineAdmission(inst, cfg.eps, nil); err != nil {
+			return fmt.Errorf("session: full resolve: %w", err)
+		}
+		resolve.Add(time.Since(start).Seconds())
+	}
+
+	var lat stats.Summary
+	lat.AddAll(latencies)
+	fmt.Fprintf(out, "session stream: %d requests (%s), eps %.3g, %d vertices / %d edges\n",
+		len(inst.Requests), source, cfg.eps, info.Vertices, info.Edges)
+	fmt.Fprintf(out, "  register           %v\n", regElapsed.Round(time.Microsecond))
+	fmt.Fprintf(out, "  admitted           %d/%d (value %.4g)\n", admitted, len(inst.Requests), value)
+	fmt.Fprintf(out, "  admit mean         %.3f ms\n", lat.Mean()*1e3)
+	fmt.Fprintf(out, "  admit p50/p95      %.3f / %.3f ms\n",
+		stats.Quantile(latencies, 0.5)*1e3, stats.Quantile(latencies, 0.95)*1e3)
+	fmt.Fprintf(out, "  admit max          %.3f ms\n", lat.Max()*1e3)
+	fmt.Fprintf(out, "  path cache         %d reused / %d recomputed\n", info.PathReused, info.PathRecomputed)
+	if resolve.N() > 0 {
+		fmt.Fprintf(out, "  full resolve mean  %.3f ms (%d samples)\n", resolve.Mean()*1e3, resolve.N())
+		if lat.Mean() > 0 {
+			fmt.Fprintf(out, "  speedup            %.1fx per admit vs stateless full resolve\n",
+				resolve.Mean()/lat.Mean())
+		}
+	}
 	return nil
 }
 

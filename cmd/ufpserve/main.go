@@ -1,30 +1,37 @@
-// Command ufpserve is the HTTP/JSON front end of the concurrent solve
-// engine: it serves UFP/MUCA solve and truthful-mechanism traffic on a
-// bounded worker pool with in-flight deduplication and a keyed result
-// cache, answering exactly what the direct library calls would.
+// Command ufpserve is the HTTP/JSON front end of the solve engine: a
+// stateless batch surface (run any registered algorithm on a shipped
+// instance) and a stateful session surface serving the paper's online
+// setting — register a network once, then stream admit / price /
+// release calls against its persistent prices, flows, and warm path
+// cache, each costing one incremental shortest-path query instead of a
+// full solve.
 //
 // Usage:
 //
-//	ufpserve [-addr :8080] [-workers 0] [-solve-workers 1] [-cache 1024] [-eps 0.25] [-timeout 60s]
+//	ufpserve [-addr :8080] [-workers 0] [-solve-workers 1] [-cache 1024]
+//	         [-eps 0.25] [-timeout 60s] [-max-sessions 64] [-session-ttl 0]
 //
-// Endpoints:
+// v1 endpoints:
 //
-//	GET  /v1/algorithms
-//	POST /v1/solve   {"algorithm": "ufp/solve", "eps": 0.25, "instance": {...}}
-//	POST /solve      {"kind": "ufp/solve", "eps": 0.25, "instance": {...}}
-//	POST /mechanism  {"eps": 0.25, "instance": {...}}
-//	POST /auction    {"mode": "solve"|"mechanism", "eps": 0.25, "instance": {...}}
-//	GET  /healthz
+//	GET    /v1/algorithms
+//	POST   /v1/solve                  {"algorithm": "ufp/solve", "eps": 0.25, "instance": {...}}
+//	POST   /v1/networks               {"network": {...}, "eps": 0.25}
+//	GET    /v1/networks/{id}
+//	DELETE /v1/networks/{id}
+//	POST   /v1/networks/{id}/admit    {"source": 0, "target": 3, "demand": 0.5, "value": 2}
+//	POST   /v1/networks/{id}/price    (same body; quotes without admitting)
+//	POST   /v1/networks/{id}/release  {"id": 7}
+//	GET    /v1/healthz
 //
-// The /v1 pair is the registry-backed surface: /v1/algorithms lists
-// every registered solver, and /v1/solve runs any of them by name — UFP
-// or auction, allocation or mechanism — deciding the instance schema
-// from the algorithm's kind. The older /solve, /mechanism, and /auction
-// endpoints remain as fixed-algorithm spellings of the same dispatch.
+// Deprecated aliases (Deprecation/Sunset headers; see README migration
+// table): POST /solve, /mechanism, /auction map onto the /v1/solve
+// dispatch with a fixed or legacy-field-selected algorithm; GET
+// /healthz serves /v1/healthz.
 //
 // Instances use the same JSON schema as cmd/ufprun and cmd/aucrun (see
-// the root package's MarshalInstance/MarshalAuction). Solve responses
-// wrap the canonical allocation/outcome encodings plus cache metadata.
+// the root package's MarshalInstance/MarshalAuction); networks use the
+// instance schema minus requests. Every error is the envelope
+// {"error":{"code","message"}} with a stable machine-readable code.
 package main
 
 import (
@@ -58,6 +65,8 @@ func run(args []string, logw io.Writer) error {
 		queue        = fs.Int("queue", 0, "pending-job queue depth (0 = 4x workers)")
 		eps          = fs.Float64("eps", 0.25, "default accuracy parameter ε")
 		timeout      = fs.Duration("timeout", 60*time.Second, "per-request solve timeout, 0 = none (a solve abandoned by every client is cancelled and its worker reclaimed)")
+		maxSessions  = fs.Int("max-sessions", 0, "live session cap, LRU eviction beyond it (0 = default, negative = unbounded)")
+		sessionTTL   = fs.Duration("session-ttl", 0, "expire sessions idle longer than this (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +76,8 @@ func run(args []string, logw io.Writer) error {
 		SolveWorkers: *solveWorkers,
 		CacheSize:    *cache,
 		QueueDepth:   *queue,
+		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
 	})
 	defer engine.Close()
 	// No blanket WriteTimeout: dispatch sets a per-request write deadline
@@ -99,10 +110,18 @@ func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Dur
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("POST /v1/solve", s.handleV1Solve)
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("POST /mechanism", s.handleMechanism)
-	mux.HandleFunc("POST /auction", s.handleAuction)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/networks", s.handleNetworkRegister)
+	mux.HandleFunc("GET /v1/networks/{id}", s.handleNetworkInfo)
+	mux.HandleFunc("DELETE /v1/networks/{id}", s.handleNetworkDelete)
+	mux.HandleFunc("POST /v1/networks/{id}/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/networks/{id}/price", s.handlePrice)
+	mux.HandleFunc("POST /v1/networks/{id}/release", s.handleRelease)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Deprecated aliases over the same dispatch.
+	mux.HandleFunc("POST /solve", s.handleLegacySolve)
+	mux.HandleFunc("POST /mechanism", s.handleLegacyMechanism)
+	mux.HandleFunc("POST /auction", s.handleLegacyAuction)
+	mux.HandleFunc("GET /healthz", s.deprecated("/v1/healthz", s.handleHealthz))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mux.ServeHTTP(w, r)
 		// dispatch sets a per-request write deadline, and with no blanket
@@ -112,24 +131,97 @@ func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Dur
 	})
 }
 
-// solveRequest is the body of /v1/solve, /solve, /mechanism, and
-// /auction. Instance carries the cmd/ufprun (UFP) or cmd/aucrun
-// (auction) schema, per the algorithm's kind.
+// Legacy-route lifecycle (RFC 9745 Deprecation, RFC 8594 Sunset): the
+// pre-v1 routes were deprecated when the v1 session surface landed and
+// are removed at the sunset date.
+var (
+	legacyDeprecatedAt = time.Date(2026, time.August, 1, 0, 0, 0, 0, time.UTC)
+	legacySunsetAt     = time.Date(2027, time.February, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// deprecated wraps a legacy handler with the deprecation headers and a
+// successor-version link.
+func (s *server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hdr := w.Header()
+		hdr.Set("Deprecation", fmt.Sprintf("@%d", legacyDeprecatedAt.Unix()))
+		hdr.Set("Sunset", legacySunsetAt.Format(http.TimeFormat))
+		hdr.Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// Stable machine-readable error codes (the "code" of the error
+// envelope). These are API surface: clients branch on them.
+const (
+	codeBadRequest       = "bad_request"       // malformed body, schema, or parameters
+	codeBodyTooLarge     = "body_too_large"    // request body over the size cap
+	codeUnknownAlgorithm = "unknown_algorithm" // algorithm not in the registry
+	codeNotFound         = "not_found"         // unknown network or admission id
+	codeSessionClosed    = "session_closed"    // session evicted or closed mid-request
+	codeTimeout          = "timeout"           // solve exceeded the per-request timeout
+	codeUnavailable      = "unavailable"       // server shutting down
+	codeSolveFailed      = "solve_failed"      // algorithm rejected the instance
+	codeInternal         = "internal"          // response encoding failure
+)
+
+// errorResponse is the unified error envelope of every endpoint.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// maxRequestBytes caps request bodies so one oversized instance cannot
+// exhaust server memory.
+const maxRequestBytes = 32 << 20
+
+// decodeJSON strictly decodes a request body into v (unknown fields
+// and trailing garbage rejected), writing the error envelope on
+// failure. The one decode path of every POST endpoint.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, codeBadRequest, errors.New("trailing data after the JSON document"))
+		return false
+	}
+	return true
+}
+
+// solveRequest is the body of /v1/solve and its deprecated aliases.
+// Instance carries the cmd/ufprun (UFP) or cmd/aucrun (auction)
+// schema, per the algorithm's kind.
 type solveRequest struct {
 	// Algorithm selects the registry solver on /v1/solve (see
 	// /v1/algorithms for the catalog).
 	Algorithm string `json:"algorithm"`
-	// Kind selects the algorithm on /solve by registry name (default
-	// "ufp/solve"); the legacy spelling of Algorithm for that endpoint.
+	// Kind is the deprecated /solve spelling of Algorithm (default
+	// "ufp/solve" there).
 	Kind string `json:"kind"`
-	// Mode selects "solve" (default) or "mechanism" on /auction.
+	// Mode selects "solve" (default) or "mechanism" on the deprecated
+	// /auction alias.
 	Mode string `json:"mode"`
 	// Eps is the accuracy parameter ε (default: the server's -eps flag).
 	Eps *float64 `json:"eps"`
 	// Seed parameterizes randomized solvers (e.g. "ufp/rounding").
 	Seed uint64 `json:"seed"`
-	// MaxIterations caps iterative main loops on /v1/solve (0 =
-	// unlimited); recommended for the pseudo-polynomial ufp/repeat*.
+	// MaxIterations caps iterative main loops (0 = unlimited);
+	// recommended for the pseudo-polynomial ufp/repeat*.
 	MaxIterations int             `json:"maxIterations"`
 	NoCache       bool            `json:"noCache"`
 	Instance      json.RawMessage `json:"instance"`
@@ -144,37 +236,24 @@ type solveResponse struct {
 	ElapsedMs  float64         `json:"elapsedMs"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// maxRequestBytes caps request bodies so one oversized instance cannot
-// exhaust server memory.
-const maxRequestBytes = 32 << 20
-
-func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*solveRequest, bool) {
+// decodeSolveRequest is the one decode path shared by /v1/solve and
+// every deprecated alias (legacy request bodies are a subset of the v1
+// schema, so strict decoding covers all four routes).
+func (s *server) decodeSolveRequest(w http.ResponseWriter, r *http.Request) (*solveRequest, bool) {
 	var req solveRequest
-	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
-			return nil, false
-		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return nil, false
 	}
 	if len(req.Instance) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("request is missing an instance"))
+		writeError(w, http.StatusBadRequest, codeBadRequest, errors.New("request is missing an instance"))
 		return nil, false
 	}
 	return &req, true
 }
 
-func (s *server) eps(req *solveRequest) float64 {
-	if req.Eps != nil {
-		return *req.Eps
+func (s *server) eps(eps *float64) float64 {
+	if eps != nil {
+		return *eps
 	}
 	return s.defaultEps
 }
@@ -195,14 +274,14 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request, job truthfuluf
 	}
 	res, err := s.engine.Do(ctx, job)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
+		status, code := http.StatusUnprocessableEntity, codeSolveFailed
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, codeTimeout
 		case errors.Is(err, truthfulufp.ErrEngineClosed):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, codeUnavailable
 		}
-		writeError(w, status, err)
+		writeError(w, status, code, err)
 		return nil, false
 	}
 	return res, true
@@ -238,37 +317,53 @@ func (s *server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, resp)
 }
 
-// handleV1Solve runs any registered algorithm by name: the generic,
-// registry-backed spelling of the fixed-algorithm endpoints below.
+// handleV1Solve runs any registered algorithm by name — the one solve
+// path; the deprecated aliases resolve an algorithm and land here too.
 func (s *server) handleV1Solve(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeRequest(w, r)
+	req, ok := s.decodeSolveRequest(w, r)
 	if !ok {
 		return
 	}
 	if req.Algorithm == "" {
-		writeError(w, http.StatusBadRequest, errors.New("request is missing an algorithm (see GET /v1/algorithms)"))
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			errors.New("request is missing an algorithm (see GET /v1/algorithms)"))
 		return
 	}
-	sv, ok := truthfulufp.LookupSolver(req.Algorithm)
-	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (see GET /v1/algorithms)", req.Algorithm))
+	s.runSolve(w, r, req, req.Algorithm, "")
+}
+
+// runSolve is the single execution path behind /v1/solve and the
+// deprecated aliases: resolve the algorithm, decode the instance per
+// its kind, dispatch on the engine, and write the solve response.
+// wantKind, when non-empty, restricts the algorithm's solver kind (the
+// aliases' fixed shapes).
+func (s *server) runSolve(w http.ResponseWriter, r *http.Request, req *solveRequest, algorithm string, wantKind truthfulufp.SolverKind) {
+	sv, registered := truthfulufp.LookupSolver(algorithm)
+	if !registered {
+		writeError(w, http.StatusBadRequest, codeUnknownAlgorithm,
+			fmt.Errorf("unknown algorithm %q (see GET /v1/algorithms)", algorithm))
+		return
+	}
+	if wantKind != "" && sv.Kind() != wantKind {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Errorf("algorithm %q is not served by this endpoint (use POST /v1/solve)", algorithm))
 		return
 	}
 	job := truthfulufp.Job{
-		Algorithm: req.Algorithm, Eps: s.eps(req), Seed: req.Seed,
+		Algorithm: algorithm, Eps: s.eps(req.Eps), Seed: req.Seed,
 		MaxIterations: req.MaxIterations, NoCache: req.NoCache,
 	}
 	if sv.Kind().IsUFP() {
 		inst, err := truthfulufp.UnmarshalInstance(req.Instance)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		job.UFP = inst
 	} else {
 		inst, err := truthfulufp.UnmarshalAuction(req.Instance)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 		job.Auction = inst
@@ -284,10 +379,10 @@ func (s *server) handleV1Solve(w http.ResponseWriter, r *http.Request) {
 		AuctionOutcome:    res.AuctionOutcome,
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
-	resp := solveResponse{Algorithm: req.Algorithm, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)}
+	resp := solveResponse{Algorithm: algorithm, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)}
 	if sv.Kind().IsMechanism() {
 		resp.Outcome = body
 	} else {
@@ -296,124 +391,291 @@ func (s *server) handleV1Solve(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, resp)
 }
 
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	alg := req.Kind
-	if alg == "" {
-		alg = "ufp/solve"
-	}
-	sv, registered := truthfulufp.LookupSolver(alg)
-	if !registered {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown solve kind %q", req.Kind))
-		return
-	}
-	if sv.Kind() != truthfulufp.SolverUFP {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("kind %q is not served by /solve (use /mechanism or /auction)", req.Kind))
-		return
-	}
-	inst, err := truthfulufp.UnmarshalInstance(req.Instance)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	res, ok := s.dispatch(w, r, truthfulufp.Job{
-		Algorithm: alg, Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
-	})
-	if !ok {
-		return
-	}
-	body, err := truthfulufp.MarshalAllocation(res.Allocation)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeResult(w, solveResponse{Allocation: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
-}
-
-func (s *server) handleMechanism(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	inst, err := truthfulufp.UnmarshalInstance(req.Instance)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	res, ok := s.dispatch(w, r, truthfulufp.Job{
-		Algorithm: "ufp/mechanism", Eps: s.eps(req), UFP: inst, NoCache: req.NoCache,
-	})
-	if !ok {
-		return
-	}
-	body, err := truthfulufp.MarshalUFPOutcome(res.UFPOutcome)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeResult(w, solveResponse{Outcome: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
-}
-
-func (s *server) handleAuction(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeRequest(w, r)
-	if !ok {
-		return
-	}
-	inst, err := truthfulufp.UnmarshalAuction(req.Instance)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	switch req.Mode {
-	case "", "solve":
-		res, ok := s.dispatch(w, r, truthfulufp.Job{
-			Algorithm: "muca/solve", Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
-		})
+// handleLegacySolve is the deprecated /solve alias: the v1 dispatch
+// with the algorithm drawn from the legacy "kind" field.
+func (s *server) handleLegacySolve(w http.ResponseWriter, r *http.Request) {
+	s.deprecated("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := s.decodeSolveRequest(w, r)
 		if !ok {
 			return
 		}
-		body, err := truthfulufp.MarshalAuctionAllocation(res.AuctionAllocation)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+		alg := req.Kind
+		if alg == "" {
+			alg = "ufp/solve"
 		}
-		writeResult(w, solveResponse{Allocation: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
-	case "mechanism":
-		res, ok := s.dispatch(w, r, truthfulufp.Job{
-			Algorithm: "muca/mechanism", Eps: s.eps(req), Auction: inst, NoCache: req.NoCache,
-		})
+		s.runSolve(w, r, req, alg, truthfulufp.SolverUFP)
+	})(w, r)
+}
+
+// handleLegacyMechanism is the deprecated /mechanism alias: /v1/solve
+// fixed to "ufp/mechanism".
+func (s *server) handleLegacyMechanism(w http.ResponseWriter, r *http.Request) {
+	s.deprecated("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := s.decodeSolveRequest(w, r)
 		if !ok {
 			return
 		}
-		body, err := truthfulufp.MarshalAuctionOutcome(res.AuctionOutcome)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+		s.runSolve(w, r, req, "ufp/mechanism", truthfulufp.SolverUFPMechanism)
+	})(w, r)
+}
+
+// handleLegacyAuction is the deprecated /auction alias: /v1/solve with
+// the algorithm drawn from the legacy "mode" field.
+func (s *server) handleLegacyAuction(w http.ResponseWriter, r *http.Request) {
+	s.deprecated("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := s.decodeSolveRequest(w, r)
+		if !ok {
 			return
 		}
-		writeResult(w, solveResponse{Outcome: body, CacheHit: res.CacheHit, ElapsedMs: ms(res.Elapsed)})
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown auction mode %q (want solve|mechanism)", req.Mode))
+		switch req.Mode {
+		case "", "solve":
+			s.runSolve(w, r, req, "muca/solve", truthfulufp.SolverAuction)
+		case "mechanism":
+			s.runSolve(w, r, req, "muca/mechanism", truthfulufp.SolverAuctionMechanism)
+		default:
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("unknown auction mode %q (want solve|mechanism)", req.Mode))
+		}
+	})(w, r)
+}
+
+// registerRequest is the body of POST /v1/networks.
+type registerRequest struct {
+	// Network is the topology to register (the instance schema minus
+	// requests: directed, vertices, edges).
+	Network json.RawMessage `json:"network"`
+	// Eps is the session's accuracy parameter ε (default: the server's
+	// -eps flag). Fixed at registration: prices depend on it.
+	Eps *float64 `json:"eps"`
+}
+
+// networkResponse wraps a session's point-in-time view.
+type networkResponse struct {
+	Network truthfulufp.SessionInfo `json:"network"`
+	// Ledger lists the live admissions (GET /v1/networks/{id} only).
+	Ledger []admittedJSON `json:"ledger,omitempty"`
+}
+
+// admittedJSON is one live ledger entry on the wire.
+type admittedJSON struct {
+	ID     int64   `json:"id"`
+	Source int     `json:"source"`
+	Target int     `json:"target"`
+	Demand float64 `json:"demand"`
+	Value  float64 `json:"value"`
+	Price  float64 `json:"price"`
+	Path   []int   `json:"path"`
+}
+
+func encodeAdmitted(a *truthfulufp.AdmittedRequest) admittedJSON {
+	return admittedJSON{
+		ID:     a.ID,
+		Source: a.Request.Source,
+		Target: a.Request.Target,
+		Demand: a.Request.Demand,
+		Value:  a.Request.Value,
+		Price:  a.Price,
+		Path:   a.Path,
 	}
 }
 
-// healthResponse is /healthz: liveness plus the engine's counters.
+func (s *server) handleNetworkRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Network) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, errors.New("request is missing a network"))
+		return
+	}
+	g, err := truthfulufp.UnmarshalNetwork(req.Network)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	sess, err := s.engine.Sessions().Register(g, s.eps(req.Eps))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	info, err := sess.Info()
+	if err != nil {
+		// Only possible if the session was evicted in the same instant.
+		writeError(w, http.StatusServiceUnavailable, codeSessionClosed, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/networks/"+sess.ID())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	if err := json.NewEncoder(w).Encode(networkResponse{Network: info}); err != nil {
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// session resolves the {id} path segment to a live session.
+func (s *server) session(w http.ResponseWriter, r *http.Request) (*truthfulufp.Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.engine.Sessions().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no network %q (expired, closed, or never registered)", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+// sessionError writes the envelope for a failed session operation:
+// a concurrent eviction is 410 Gone, anything else is a bad request.
+func sessionError(w http.ResponseWriter, err error) {
+	if errors.Is(err, truthfulufp.ErrSessionClosed) {
+		writeError(w, http.StatusGone, codeSessionClosed, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, codeBadRequest, err)
+}
+
+func (s *server) handleNetworkInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	info, err := sess.Info()
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	ledger, err := sess.Ledger()
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	resp := networkResponse{Network: info, Ledger: make([]admittedJSON, 0, len(ledger))}
+	for _, a := range ledger {
+		resp.Ledger = append(resp.Ledger, encodeAdmitted(a))
+	}
+	writeResult(w, resp)
+}
+
+func (s *server) handleNetworkDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.engine.Sessions().Close(id) {
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no network %q (expired, closed, or never registered)", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// admitRequest is the body of /admit and /price: one online request.
+type admitRequest struct {
+	Source int     `json:"source"`
+	Target int     `json:"target"`
+	Demand float64 `json:"demand"`
+	Value  float64 `json:"value"`
+}
+
+// decisionResponse is the outcome of an admit or price call. Price is
+// null when no path exists (JSON has no +Inf).
+type decisionResponse struct {
+	Admitted bool     `json:"admitted"`
+	ID       int64    `json:"id,omitempty"`
+	Reason   string   `json:"reason,omitempty"`
+	Price    *float64 `json:"price"`
+	Path     []int    `json:"path,omitempty"`
+	// ElapsedMs is the server-side cost of this streamed step — the
+	// number the session layer exists to shrink.
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+func encodeDecision(d truthfulufp.AdmitDecision, elapsed time.Duration) decisionResponse {
+	resp := decisionResponse{
+		Admitted:  d.Admitted,
+		ID:        d.ID,
+		Reason:    string(d.Reason),
+		Path:      d.Path,
+		ElapsedMs: ms(elapsed),
+	}
+	if d.Reason != truthfulufp.RejectNoPath {
+		price := d.Price
+		resp.Price = &price
+	}
+	return resp
+}
+
+// streamOp runs one admit/price call: decode the request, run op under
+// the session's lock, answer with the decision.
+func (s *server) streamOp(w http.ResponseWriter, r *http.Request, op func(*truthfulufp.Session, truthfulufp.Request) (truthfulufp.AdmitDecision, error)) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req admitRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	d, err := op(sess, truthfulufp.Request{
+		Source: req.Source, Target: req.Target, Demand: req.Demand, Value: req.Value,
+	})
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeResult(w, encodeDecision(d, time.Since(start)))
+}
+
+func (s *server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	s.streamOp(w, r, (*truthfulufp.Session).Admit)
+}
+
+func (s *server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	s.streamOp(w, r, (*truthfulufp.Session).Quote)
+}
+
+// releaseRequest is the body of /release: a prior admission's id.
+type releaseRequest struct {
+	ID int64 `json:"id"`
+}
+
+type releaseResponse struct {
+	Released admittedJSON `json:"released"`
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req releaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	a, err := sess.Release(req.ID)
+	if err != nil {
+		if errors.Is(err, truthfulufp.ErrSessionClosed) {
+			writeError(w, http.StatusGone, codeSessionClosed, err)
+		} else {
+			writeError(w, http.StatusNotFound, codeNotFound, err)
+		}
+		return
+	}
+	writeResult(w, releaseResponse{Released: encodeAdmitted(a)})
+}
+
+// healthResponse is /v1/healthz: liveness, the engine's counters, and
+// the session manager's.
 type healthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSec     float64 `json:"uptimeSec"`
-	Workers       int     `json:"workers"`
-	Submitted     int64   `json:"submitted"`
-	Completed     int64   `json:"completed"`
-	CacheHits     int64   `json:"cacheHits"`
-	Coalesced     int64   `json:"coalesced"`
-	Failures      int64   `json:"failures"`
-	Cancelled     int64   `json:"cancelled"`
-	JobsPerSec    float64 `json:"jobsPerSec"`
-	LatencyMeanMs float64 `json:"latencyMeanMs"`
-	LatencyMaxMs  float64 `json:"latencyMaxMs"`
+	Status        string                   `json:"status"`
+	UptimeSec     float64                  `json:"uptimeSec"`
+	Workers       int                      `json:"workers"`
+	Submitted     int64                    `json:"submitted"`
+	Completed     int64                    `json:"completed"`
+	CacheHits     int64                    `json:"cacheHits"`
+	Coalesced     int64                    `json:"coalesced"`
+	Failures      int64                    `json:"failures"`
+	Cancelled     int64                    `json:"cancelled"`
+	JobsPerSec    float64                  `json:"jobsPerSec"`
+	LatencyMeanMs float64                  `json:"latencyMeanMs"`
+	LatencyMaxMs  float64                  `json:"latencyMaxMs"`
+	Sessions      truthfulufp.SessionStats `json:"sessions"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -429,6 +691,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Failures:   snap.Failures,
 		Cancelled:  snap.Cancelled,
 		JobsPerSec: snap.JobsPerSec(),
+		Sessions:   snap.Sessions,
 	}
 	if snap.Latency.N() > 0 {
 		resp.LatencyMeanMs = snap.Latency.Mean() * 1e3
@@ -447,8 +710,8 @@ func writeResult(w http.ResponseWriter, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: err.Error()}})
 }

@@ -56,12 +56,17 @@ func postJSON(t *testing.T, url string, body any) (int, []byte) {
 	return resp.StatusCode, out
 }
 
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 type wireResponse struct {
 	Allocation json.RawMessage `json:"allocation"`
 	Outcome    json.RawMessage `json:"outcome"`
 	CacheHit   bool            `json:"cacheHit"`
 	ElapsedMs  float64         `json:"elapsedMs"`
-	Error      string          `json:"error"`
+	Error      *wireError      `json:"error"`
 }
 
 func solveBody(t *testing.T, inst *truthfulufp.Instance, extra map[string]any) map[string]any {
@@ -347,7 +352,9 @@ func TestServeHealthz(t *testing.T) {
 	}
 }
 
-// TestServeErrors covers the rejection paths.
+// TestServeErrors is the wire-schema gate for the unified error
+// envelope: every rejection path answers {"error":{"code","message"}}
+// with the documented status and stable code.
 func TestServeErrors(t *testing.T) {
 	ts, _ := newTestServer(t)
 	inst := testInstance(t, 20)
@@ -357,13 +364,22 @@ func TestServeErrors(t *testing.T) {
 		url    string
 		body   any
 		status int
+		code   string
 	}{
-		{"bad JSON", "/solve", "{", http.StatusBadRequest},
-		{"missing instance", "/solve", map[string]any{"eps": 0.25}, http.StatusBadRequest},
-		{"unknown kind", "/solve", solveBody(t, inst, map[string]any{"kind": "ufp/nonsense"}), http.StatusBadRequest},
-		{"auction kind on solve", "/solve", solveBody(t, inst, map[string]any{"kind": "muca/solve"}), http.StatusBadRequest},
-		{"bad eps", "/solve", solveBody(t, inst, map[string]any{"eps": 7.0}), http.StatusUnprocessableEntity},
-		{"unknown auction mode", "/auction", map[string]any{"mode": "x", "instance": json.RawMessage(`{"multiplicity":[2]}`)}, http.StatusBadRequest},
+		{"bad JSON", "/solve", "{", http.StatusBadRequest, "bad_request"},
+		{"trailing garbage", "/solve", "{} {}", http.StatusBadRequest, "bad_request"},
+		{"unknown field", "/solve", `{"bogus": 1}`, http.StatusBadRequest, "bad_request"},
+		{"missing instance", "/solve", map[string]any{"eps": 0.25}, http.StatusBadRequest, "bad_request"},
+		{"unknown kind", "/solve", solveBody(t, inst, map[string]any{"kind": "ufp/nonsense"}), http.StatusBadRequest, "unknown_algorithm"},
+		{"auction kind on solve", "/solve", solveBody(t, inst, map[string]any{"kind": "muca/solve"}), http.StatusBadRequest, "bad_request"},
+		{"bad eps", "/solve", solveBody(t, inst, map[string]any{"eps": 7.0}), http.StatusUnprocessableEntity, "solve_failed"},
+		{"unknown auction mode", "/auction", map[string]any{"mode": "x", "instance": json.RawMessage(`{"multiplicity":[2]}`)}, http.StatusBadRequest, "bad_request"},
+		{"missing v1 algorithm", "/v1/solve", solveBody(t, inst, nil), http.StatusBadRequest, "bad_request"},
+		{"unknown v1 algorithm", "/v1/solve", solveBody(t, inst, map[string]any{"algorithm": "ufp/imaginary"}), http.StatusBadRequest, "unknown_algorithm"},
+		{"missing network", "/v1/networks", map[string]any{"eps": 0.25}, http.StatusBadRequest, "bad_request"},
+		{"bad network", "/v1/networks", map[string]any{"network": json.RawMessage(`{"directed":true,"vertices":2,"edges":[{"from":0,"to":9,"capacity":4}]}`)}, http.StatusBadRequest, "bad_request"},
+		{"admit on unknown network", "/v1/networks/nope/admit", map[string]any{"source": 0, "target": 1, "demand": 0.5, "value": 1}, http.StatusNotFound, "not_found"},
+		{"release on unknown network", "/v1/networks/nope/release", map[string]any{"id": 1}, http.StatusNotFound, "not_found"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var data []byte
@@ -386,8 +402,11 @@ func TestServeErrors(t *testing.T) {
 				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, out)
 			}
 			var e wireResponse
-			if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
-				t.Fatalf("error body not JSON with error field: %s", out)
+			if err := json.Unmarshal(out, &e); err != nil || e.Error == nil {
+				t.Fatalf("error body not the envelope: %s", out)
+			}
+			if e.Error.Code != tc.code || e.Error.Message == "" {
+				t.Fatalf("envelope = %+v, want code %q with a message", e.Error, tc.code)
 			}
 		})
 	}
@@ -401,8 +420,13 @@ func TestServeErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Fatalf("status %d, want 413", resp.StatusCode)
+		}
+		var e wireResponse
+		if err := json.Unmarshal(out, &e); err != nil || e.Error == nil || e.Error.Code != "body_too_large" {
+			t.Fatalf("413 body not the envelope with body_too_large: %s", out)
 		}
 	})
 

@@ -39,6 +39,10 @@
 //     use it via NewEngine/Engine.Do for heavy traffic. Solves abandoned
 //     by every waiter are cancelled mid-run and their workers reclaimed.
 //
+//   - internal/session: the stateful serving layer for the paper's
+//     online setting — registered networks with persistent prices,
+//     flows, and warm path caches (see "Session lifecycle" below).
+//
 //   - internal/scenario: the scenario catalog — named, seeded topology
 //     families (fat-tree, Waxman backbone, scale-free, small-world,
 //     metro ring-of-rings, single-sink star-of-trees) × demand models
@@ -106,4 +110,37 @@
 // canonical), so the solvers' allocations do not depend on caching;
 // Options.NoIncremental and EngineOptions.NoIncremental disable it for
 // benchmarking (BENCH_path.json tracks the speedups).
+//
+// # Session lifecycle: register → stream → release → evict
+//
+// The offline entry points above take a whole Instance and return a
+// whole Allocation. The session layer serves the paper's online
+// admission setting instead: a network registered once holds live
+// solver state — the exponential dual prices y_e = (1/c_e)·e^{εB·f_e/c_e},
+// the residual flow ledger, and a warm incremental path cache — and
+// each streamed request costs one single-target shortest-path query,
+// not a full solve:
+//
+//	mgr := truthfulufp.NewSessionManager(truthfulufp.SessionConfig{})
+//	sess, err := mgr.Register(g, 0.25) // validates, freezes, prices at 1/c_e
+//	d, err := sess.Admit(truthfulufp.Request{Source: 0, Target: 1, Demand: 1, Value: 2})
+//	// d.Admitted, d.Price, d.Path, d.ID; or d.Reason: price|capacity|no-path
+//	q, err := sess.Quote(r)      // prices without admitting or mutating
+//	a, err := sess.Release(d.ID) // returns capacity; prices never fall
+//
+// Admission follows the paper's online rule — route on the cheapest
+// price path, admit iff demand·dist ≤ value, raise prices
+// multiplicatively along the path — so the streamed mechanism is
+// monotone and truthful; because releases return capacity without
+// repricing, truthfulness survives churn too. A session's operations
+// are serialized and safe for concurrent use; distinct sessions
+// proceed in parallel. Managers evict least-recently-used sessions
+// beyond SessionConfig.MaxSessions and lazily expire idle ones after
+// SessionConfig.TTL; evicted sessions answer ErrSessionClosed. The
+// same state machine is available without a manager as
+// NewAdmissionState, and as the batch registry algorithm "ufp/online"
+// (OnlineAdmission), whose allocations are byte-identical to streaming
+// the same request sequence. Over HTTP, cmd/ufpserve exposes sessions
+// at POST /v1/networks and streams admits at
+// POST /v1/networks/{id}/admit (see README.md for the wire schema).
 package truthfulufp

@@ -127,6 +127,11 @@ func unfrozen(g *graph.Graph) *graph.Graph {
 //     answered by a full Dijkstra tree + PathTo versus the early-exit
 //     single-target search (Scratch.ShortestPathTo) the mechanism's
 //     payment bisection runs on.
+//   - SessionAdmit/{full-resolve,streamed}: the stateful session API's
+//     headline — one op is either the full batch online solve a
+//     stateless client pays to refresh its view per request, or one
+//     streamed admit against a persistent AdmissionState with warm
+//     prices and path cache.
 //   - ScenarioCatalog/solve: SolveUFP across every topology family at
 //     default size (gravity demands), the end-to-end catalog sweep.
 func PathCases(quick bool) []Case {
@@ -231,6 +236,42 @@ func PathCases(quick bool) []Case {
 			}
 		}
 	}
+	sessionAdmit := func(streamed bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			inst := waxmanInstance(quick)
+			const eps = 0.25
+			b.ReportAllocs()
+			if !streamed {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a, err := core.OnlineAdmission(inst, eps, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if a.Iterations == 0 {
+						b.Fatal("batch online solve admitted nothing")
+					}
+				}
+				return
+			}
+			reqs := inst.Requests
+			var st *core.AdmissionState
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh state every pass through the request sequence: its
+				// cost amortizes over the admits like a registration would.
+				if i%len(reqs) == 0 {
+					var err error
+					if st, err = core.NewAdmissionState(inst.G, eps, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := st.Admit(reqs[i%len(reqs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	return []Case{
 		{"DijkstraCSR/csr", func(b *testing.B) {
 			g := waxmanInstance(quick).G
@@ -248,6 +289,8 @@ func PathCases(quick bool) []Case {
 		{"IncrementalBellman/incremental", bellman(false)},
 		{"SingleTarget/full-tree", singleTarget(false)},
 		{"SingleTarget/early-exit", singleTarget(true)},
+		{"SessionAdmit/full-resolve", sessionAdmit(false)},
+		{"SessionAdmit/streamed", sessionAdmit(true)},
 		{"ScenarioCatalog/solve", func(b *testing.B) {
 			var insts []*core.Instance
 			for _, t := range scenario.Topologies() {
@@ -304,7 +347,12 @@ type Snapshot struct {
 	BellmanSpeedup    float64 `json:"bellman_speedup"`
 	// SingleTargetSpeedup is full-tree ns/op over early-exit ns/op for
 	// one (source, target) query — the mechanism-bisection oracle's win.
-	SingleTargetSpeedup float64          `json:"single_target_speedup"`
+	SingleTargetSpeedup float64 `json:"single_target_speedup"`
+	// SessionAdmitSpeedup is the stateful session API's win: full
+	// batch-resolve ns/op over per-admit streamed ns/op on the waxman
+	// scenario (one streamed admit versus the full solve a stateless
+	// client re-runs per request).
+	SessionAdmitSpeedup float64          `json:"session_admit_speedup"`
 	Benchmarks          map[string]Entry `json:"benchmarks"`
 }
 
@@ -330,6 +378,9 @@ var speedups = []struct {
 	{"SingleTarget", func(s *Snapshot, v float64) { s.SingleTargetSpeedup = v },
 		func(s Snapshot) float64 { return s.SingleTargetSpeedup },
 		"SingleTarget/full-tree", "SingleTarget/early-exit"},
+	{"SessionAdmit", func(s *Snapshot, v float64) { s.SessionAdmitSpeedup = v },
+		func(s Snapshot) float64 { return s.SessionAdmitSpeedup },
+		"SessionAdmit/full-resolve", "SessionAdmit/streamed"},
 }
 
 // Run measures every case with the standard testing harness. It panics
@@ -380,7 +431,7 @@ func ReadJSON(r io.Reader) (Snapshot, error) {
 
 // Compare is the CI trend gate: it fails when any derived speedup the
 // baseline carries — IncrementalSolve, IncrementalBottleneck,
-// IncrementalBellman, SingleTarget — has regressed more than
+// IncrementalBellman, SingleTarget, SessionAdmit — has regressed more than
 // maxRegression (a fraction, e.g. 0.25) relative to the baseline.
 // Ratios absent from the baseline (older snapshots predating a pair)
 // are skipped, so the gate tightens as snapshots are refreshed.

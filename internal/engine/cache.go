@@ -1,62 +1,39 @@
 package engine
 
 import (
-	"container/list"
 	"sync"
+
+	"truthfulufp/internal/lru"
 )
 
-// lruCache is a fixed-capacity least-recently-used result cache keyed by
-// job fingerprint. Safe for concurrent use.
+// lruCache is a fixed-capacity least-recently-used result cache keyed
+// by job fingerprint: a locked wrapper over the shared lru.Cache, which
+// the session manager also builds its eviction policy on. Safe for
+// concurrent use.
 type lruCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
-}
-
-type cacheEntry struct {
-	key string
-	res *Result
+	mu    sync.Mutex
+	cache *lru.Cache[string, *Result]
 }
 
 func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element, capacity),
-	}
+	return &lruCache{cache: lru.New[string, *Result](capacity, nil)}
 }
 
 func (c *lruCache) get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return c.cache.Get(key)
 }
 
 func (c *lruCache) put(key string, res *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
+	c.cache.Put(key, res)
 }
 
 // len returns the number of cached results.
 func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return c.cache.Len()
 }

@@ -24,6 +24,7 @@ import (
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/mechanism"
 	"truthfulufp/internal/pathfind"
+	"truthfulufp/internal/session"
 	"truthfulufp/internal/solver"
 	"truthfulufp/internal/stats"
 )
@@ -137,6 +138,12 @@ type Config struct {
 	// QueueDepth bounds the pending-job queue; 0 means 4×workers. Submit
 	// blocks (respecting its context) when the queue is full.
 	QueueDepth int
+	// MaxSessions bounds live stateful sessions (LRU eviction beyond
+	// it); 0 means session.DefaultMaxSessions, negative unbounded. See
+	// Sessions.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (0 = never).
+	SessionTTL time.Duration
 }
 
 // DefaultCacheSize is the result-cache capacity when Config.CacheSize is
@@ -184,6 +191,10 @@ type Engine struct {
 	// Dijkstra scratches (≈ workers × intra-solve parallelism) instead of
 	// allocating fresh ones per job.
 	paths *pathfind.Pool
+	// sessions is the stateful serving side: registered networks with
+	// live online-admission state, dispatched beside the batch job pool
+	// and drawing scratch buffers from the same paths pool.
+	sessions *session.Manager
 
 	start     time.Time
 	submitted stats.Counter
@@ -216,6 +227,11 @@ func New(cfg Config) *Engine {
 		paths:    pathfind.NewPool(),
 		start:    time.Now(),
 	}
+	e.sessions = session.NewManager(session.Config{
+		MaxSessions: cfg.MaxSessions,
+		TTL:         cfg.SessionTTL,
+		PathPool:    e.paths,
+	})
 	if cfg.CacheSize > 0 {
 		e.cache = newLRUCache(cfg.CacheSize)
 	}
@@ -233,6 +249,12 @@ func New(cfg Config) *Engine {
 
 // Workers returns the engine's inter-job worker count.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Sessions returns the engine's stateful session manager — registered
+// networks with live online-admission state, served beside the batch
+// job pool. It stays usable after Close (sessions hold no goroutines),
+// though a closing server will normally stop routing to it.
+func (e *Engine) Sessions() *session.Manager { return e.sessions }
 
 // Close drains the queue, stops the workers, and blocks until in-flight
 // jobs finish. Subsequent Do calls return ErrClosed.
@@ -465,6 +487,9 @@ type Snapshot struct {
 	// successful executions (cache hits, coalesced waits, and failures
 	// excluded).
 	Latency stats.Summary
+	// Sessions is the stateful session manager's counters (live count,
+	// evictions, streamed operations).
+	Sessions session.Stats
 }
 
 // JobsPerSec is the engine's lifetime successful-execution throughput.
@@ -487,5 +512,6 @@ func (e *Engine) Snapshot() Snapshot {
 		Cancelled: e.cancelled.Load(),
 		Uptime:    time.Since(e.start),
 		Latency:   e.latency.Snapshot(),
+		Sessions:  e.sessions.Stats(),
 	}
 }

@@ -1,0 +1,109 @@
+// Package lru provides a small generic least-recently-used cache used
+// by the engine's result cache and the session manager's eviction
+// policy. It is deliberately not thread-safe: both callers already hold
+// their own locks around richer invariants (result singleflight,
+// session lifecycle), so locking stays in the caller and the cache
+// stays a pure data structure.
+package lru
+
+import "container/list"
+
+// Cache is a fixed-capacity LRU map from K to V. A zero or negative
+// capacity means unbounded (no automatic eviction). The zero value is
+// not ready to use; construct with New.
+type Cache[K comparable, V any] struct {
+	capacity int
+	onEvict  func(K, V)
+	order    *list.List // front = most recently used
+	entries  map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a cache holding at most capacity entries (<= 0 for
+// unbounded). onEvict, if non-nil, is called for every entry removed by
+// capacity eviction or Remove — but not for a Put that overwrites an
+// existing key.
+func New[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[K, V] {
+	return &Cache[K, V]{
+		capacity: capacity,
+		onEvict:  onEvict,
+		order:    list.New(),
+		entries:  make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value under key and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value under key without disturbing recency.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or overwrites key, marks it most recently used, and
+// evicts least-recently-used entries while over capacity. It returns
+// how many entries were evicted.
+func (c *Cache[K, V]) Put(key K, val V) int {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+	evicted := 0
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		c.removeElement(c.order.Back())
+		evicted++
+	}
+	return evicted
+}
+
+// Remove deletes key, invoking onEvict, and reports whether it was
+// present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// Oldest returns the least-recently-used entry without disturbing
+// recency — the probe point for lazy TTL sweeps.
+func (c *Cache[K, V]) Oldest() (K, V, bool) {
+	if el := c.order.Back(); el != nil {
+		e := el.Value.(*entry[K, V])
+		return e.key, e.val, true
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}
+
+// Len returns the number of entries.
+func (c *Cache[K, V]) Len() int { return c.order.Len() }
+
+func (c *Cache[K, V]) removeElement(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.val)
+	}
+}

@@ -1,0 +1,105 @@
+package lru
+
+import "testing"
+
+func TestPutGetEvict(t *testing.T) {
+	var evicted []int
+	c := New[int, string](2, func(k int, _ string) { evicted = append(evicted, k) })
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	// 1 is now most recent; inserting 3 must evict 2.
+	if n := c.Put(3, "c"); n != 1 {
+		t.Fatalf("Put(3) evicted %d entries, want 1", n)
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("Get(2) still present after eviction")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v after eviction", v, ok)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	calls := 0
+	c := New[string, int](2, func(string, int) { calls++ })
+	c.Put("x", 1)
+	c.Put("x", 2)
+	if calls != 0 {
+		t.Fatalf("onEvict called %d times on overwrite, want 0", calls)
+	}
+	if v, _ := c.Get("x"); v != 2 {
+		t.Fatalf("Get(x) = %d, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	c := New[int, int](2, nil)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	if v, ok := c.Peek(1); !ok || v != 10 {
+		t.Fatalf("Peek(1) = %d, %v", v, ok)
+	}
+	// Peek must not have promoted 1: inserting 3 evicts 1, not 2.
+	c.Put(3, 30)
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("1 survived eviction after a Peek-only touch")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Fatal("2 evicted although more recent than 1")
+	}
+}
+
+func TestRemoveAndOldest(t *testing.T) {
+	var evicted []int
+	c := New[int, int](0, func(k int, _ int) { evicted = append(evicted, k) })
+	for i := 1; i <= 3; i++ {
+		c.Put(i, i)
+	}
+	if k, v, ok := c.Oldest(); !ok || k != 1 || v != 1 {
+		t.Fatalf("Oldest = %d, %d, %v, want 1, 1, true", k, v, ok)
+	}
+	if !c.Remove(1) {
+		t.Fatal("Remove(1) = false")
+	}
+	if c.Remove(1) {
+		t.Fatal("Remove(1) succeeded twice")
+	}
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	if k, _, _ := c.Oldest(); k != 2 {
+		t.Fatalf("Oldest after Remove = %d, want 2", k)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New[int, int](0, func(int, int) { t.Fatal("onEvict fired on unbounded cache") })
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+}
+
+func TestOldestEmpty(t *testing.T) {
+	c := New[int, int](1, nil)
+	if _, _, ok := c.Oldest(); ok {
+		t.Fatal("Oldest on empty cache returned ok")
+	}
+}

@@ -1,0 +1,74 @@
+package pathfind
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestAddSourceGrowsCache: sources added after construction answer
+// PathTo and Refresh queries identically to sources present from the
+// start, across randomized monotone price-update sequences.
+func TestAddSourceGrowsCache(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 31))
+	for seq := 0; seq < 50; seq++ {
+		g, w := randomPricedGraph(rng, 6+rng.IntN(12))
+		n := g.NumVertices()
+		inc := NewIncremental(g, nil, nil)
+		if inc.NumSlots() != 0 {
+			t.Fatalf("empty cache has %d slots", inc.NumSlots())
+		}
+		for step := 0; step < 12; step++ {
+			src := rng.IntN(n)
+			slot := inc.AddSource(src)
+			if again := inc.AddSource(src); again != slot {
+				t.Fatalf("seq %d: duplicate AddSource(%d) = %d, first %d", seq, src, again, slot)
+			}
+			if inc.Source(slot) != src {
+				t.Fatalf("seq %d: Source(%d) = %d, want %d", seq, slot, inc.Source(slot), src)
+			}
+			dst := rng.IntN(n)
+			for dst == src {
+				dst = rng.IntN(n)
+			}
+			path, dist, ok := inc.PathTo(slot, dst, FromSlice(w))
+			want := Dijkstra(g, src, FromSlice(w))
+			wantPath, wantOK := want.PathTo(dst)
+			if ok != wantOK || (ok && (dist != want.Dist[dst] || !equalPaths(path, wantPath))) {
+				t.Fatalf("seq %d step %d: PathTo(%d→%d) = %v,%g,%v; want %v,%g,%v",
+					seq, step, src, dst, path, dist, ok, wantPath, want.Dist[dst], wantOK)
+			}
+			// Monotone price bump along the answered path, reported like an
+			// admission would.
+			if ok {
+				for _, e := range path {
+					w[e] *= 1 + rng.Float64()
+				}
+				inc.Invalidate(path)
+			}
+		}
+		// A full Refresh over every slot (original and added alike) must
+		// reproduce from-scratch trees.
+		active := make([]int, inc.NumSlots())
+		for i := range active {
+			active[i] = i
+		}
+		inc.Refresh(active, FromSlice(w), 2)
+		for slot := 0; slot < inc.NumSlots(); slot++ {
+			if !treesEqual(Dijkstra(g, inc.Source(slot), FromSlice(w)), inc.Tree(slot)) {
+				t.Fatalf("seq %d: refreshed tree of added source %d differs from recompute", seq, inc.Source(slot))
+			}
+		}
+	}
+}
+
+func equalPaths(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -141,6 +141,40 @@ func NewIncrementalKind(g *graph.Graph, kind TreeKind, sources []int, pool *Pool
 	return inc
 }
 
+// AddSource appends a source vertex to the cache and returns its slot
+// (the existing slot if the source is already present). The new slot
+// starts dirty, so the next Refresh or PathTo touching it computes its
+// structure from scratch; existing slots are untouched. This is what
+// lets a long-lived session cache grow with the traffic it serves
+// instead of fixing its source universe at construction. Like Refresh,
+// it must be driven from the cache's single driving goroutine.
+func (inc *Incremental) AddSource(source int) int {
+	if s, ok := inc.slot[source]; ok {
+		return s
+	}
+	s := len(inc.sources)
+	inc.slot[source] = s
+	inc.sources = append(inc.sources, source)
+	if inc.kind == KindHopBounded {
+		inc.tables = append(inc.tables, nil)
+	} else {
+		inc.trees = append(inc.trees, nil)
+	}
+	inc.fresh = append(inc.fresh, false)
+	inc.uses = append(inc.uses, nil)
+	inc.targets = append(inc.targets, nil)
+	inc.activeStamp = append(inc.activeStamp, 0)
+	if inc.kind != KindHopBounded {
+		inc.ptFresh = append(inc.ptFresh, false)
+		inc.ptTarget = append(inc.ptTarget, -1)
+		inc.ptDist = append(inc.ptDist, 0)
+		inc.ptOK = append(inc.ptOK, false)
+		inc.ptPath = append(inc.ptPath, nil)
+		inc.ptUses = append(inc.ptUses, nil)
+	}
+	return s
+}
+
 // Kind returns the cache's structure kind.
 func (inc *Incremental) Kind() TreeKind { return inc.kind }
 

@@ -9,6 +9,7 @@ import (
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/session"
 )
 
 // catalogFullRule is the pre-refactor reasonable-rule implementation
@@ -109,6 +110,90 @@ func TestCatalogIncrementalEquivalence(t *testing.T) {
 				}
 				if !reflect.DeepEqual(want.Routed, got.Routed) || want.Value != got.Value || want.Stop != got.Stop {
 					t.Fatalf("reasonable engine allocations differ with/without the tree cache")
+				}
+			})
+		}
+	}
+}
+
+// TestCatalogOnlineSessionEquivalence is the session layer's
+// acceptance gate over the full S1 catalog: streaming every request of
+// a scenario instance through a registered session (warm incremental
+// path cache, live prices) admits exactly the requests, on exactly the
+// paths, that the offline batch spelling (OnlineAdmission) admits —
+// with the incremental cache on and off — and releasing then
+// re-offering every admission keeps the ledger consistent without ever
+// lowering a price.
+func TestCatalogOnlineSessionEquivalence(t *testing.T) {
+	const eps = 0.5
+	for _, topo := range scenario.Topologies() {
+		for _, dm := range scenario.Demands() {
+			t.Run(topo.Name+"/"+dm.Name, func(t *testing.T) {
+				inst, err := scenario.Generate(scenario.Config{Topology: topo.Name, Demand: dm.Name, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch, err := core.OnlineAdmission(inst, eps, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				noInc, err := core.OnlineAdmission(inst, eps, &core.Options{NoIncremental: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(batch, noInc) {
+					t.Fatal("online batch allocations differ with/without the incremental cache")
+				}
+
+				mgr := session.NewManager(session.Config{})
+				sess, err := mgr.Register(inst.G, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var streamed []core.Routed
+				var value float64
+				prices := make(map[int64]float64)
+				for i, r := range inst.Requests {
+					d, err := sess.Admit(r)
+					if err != nil {
+						t.Fatalf("admit %d: %v", i, err)
+					}
+					if d.Admitted {
+						streamed = append(streamed, core.Routed{Request: i, Path: d.Path})
+						value += r.Value
+						prices[d.ID] = d.Price
+					}
+				}
+				if !reflect.DeepEqual(batch.Routed, streamed) || batch.Value != value {
+					t.Fatalf("streamed admits differ from batch OnlineAdmission:\n got %v\nwant %v", streamed, batch.Routed)
+				}
+				if err := batch.CheckFeasible(inst, false); err != nil {
+					t.Fatal(err)
+				}
+
+				// Release every admission, then re-offer each at its original
+				// value: capacity is back, so none may be rejected for
+				// capacity, and no quote may undercut the original price.
+				ledger, err := sess.Ledger()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, a := range ledger {
+					if _, err := sess.Release(a.ID); err != nil {
+						t.Fatalf("release %d: %v", a.ID, err)
+					}
+				}
+				for _, a := range ledger {
+					q, err := sess.Quote(a.Request)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if q.Reason == core.RejectCapacity {
+						t.Fatalf("request %+v capacity-rejected after full release", a.Request)
+					}
+					if q.Admitted && q.Price < prices[a.ID] {
+						t.Fatalf("quote %g undercuts the original price %g: release lowered prices", q.Price, prices[a.ID])
+					}
 				}
 			})
 		}

@@ -1,0 +1,366 @@
+// Package session is the stateful serving layer for the paper's online
+// admission setting: a Manager of long-lived Sessions, each one a
+// registered network (frozen CSR graph) with live solver state — the
+// exponential dual prices, the residual flow ledger, and a warm
+// dirty-source path cache (core.AdmissionState). A client registers a
+// topology once and then streams admit / quote / release calls against
+// it; each call costs one single-target shortest-path query, usually
+// served incrementally, instead of the full solve a stateless
+// per-request API pays.
+//
+// Sessions are evicted least-recently-used beyond Config.MaxSessions
+// and lazily expired after Config.TTL of idleness (swept from the LRU's
+// cold end on every Manager entry, so expiry needs no background
+// goroutine). An evicted or explicitly closed session answers every
+// subsequent call with ErrSessionClosed; an operation already holding
+// the session when eviction strikes completes normally — eviction is a
+// resource-reclaim signal, not a linearization point.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+	"truthfulufp/internal/lru"
+	"truthfulufp/internal/pathfind"
+	"truthfulufp/internal/stats"
+)
+
+// ErrSessionClosed is returned by session operations after the session
+// was closed or evicted.
+var ErrSessionClosed = errors.New("session: closed")
+
+// DefaultMaxSessions is the live-session cap when Config.MaxSessions is
+// zero.
+const DefaultMaxSessions = 64
+
+// Config tunes a Manager.
+type Config struct {
+	// MaxSessions bounds live sessions (LRU eviction beyond it). 0 means
+	// DefaultMaxSessions; negative means unbounded.
+	MaxSessions int
+	// TTL expires sessions idle longer than this (0 = never). Expiry is
+	// lazy: expired sessions are reclaimed on the next Manager call.
+	TTL time.Duration
+	// PathPool, if non-nil, supplies the Dijkstra scratch buffers every
+	// session's path cache draws from (the engine passes its per-process
+	// pool here); nil uses one private pool shared by the manager's
+	// sessions.
+	PathPool *pathfind.Pool
+}
+
+// Stats is a point-in-time view of a Manager's counters.
+type Stats struct {
+	// Live is the number of sessions currently registered.
+	Live int `json:"live"`
+	// Created counts sessions ever registered.
+	Created int64 `json:"created"`
+	// EvictedLRU counts sessions evicted for capacity.
+	EvictedLRU int64 `json:"evictedLru"`
+	// EvictedTTL counts sessions expired for idleness.
+	EvictedTTL int64 `json:"evictedTtl"`
+	// Closed counts sessions closed explicitly.
+	Closed int64 `json:"closed"`
+	// Admits / Rejects / Quotes / Releases count streamed operations
+	// across all sessions, live and gone.
+	Admits   int64 `json:"admits"`
+	Rejects  int64 `json:"rejects"`
+	Quotes   int64 `json:"quotes"`
+	Releases int64 `json:"releases"`
+}
+
+// Manager owns the live sessions: registration, lookup, LRU/TTL
+// eviction, and fleet-wide counters. Safe for concurrent use.
+type Manager struct {
+	cfg  Config
+	pool *pathfind.Pool
+
+	mu       sync.Mutex
+	sessions *lru.Cache[string, *Session]
+	nextID   uint64
+
+	created    stats.Counter
+	evictedLRU stats.Counter
+	evictedTTL stats.Counter
+	closed     stats.Counter
+	admits     stats.Counter
+	rejects    stats.Counter
+	quotes     stats.Counter
+	releases   stats.Counter
+}
+
+// NewManager builds a Manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	pool := cfg.PathPool
+	if pool == nil {
+		pool = pathfind.NewPool()
+	}
+	m := &Manager{cfg: cfg, pool: pool}
+	m.sessions = lru.New(cfg.MaxSessions, func(_ string, s *Session) {
+		s.markClosed()
+	})
+	return m
+}
+
+// Register creates a session for a network: the graph is validated and
+// frozen, the solver state initialized (prices at 1/c_e, empty ledger),
+// and the session stored under a fresh id. Registering may LRU-evict
+// the coldest session when the manager is at capacity. The graph is
+// owned by the session afterwards and must not be mutated.
+func (m *Manager) Register(g *graph.Graph, eps float64) (*Session, error) {
+	st, err := core.NewAdmissionState(g, eps, &core.Options{PathPool: m.pool})
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s := &Session{
+		mgr:     m,
+		st:      st,
+		eps:     eps,
+		created: now,
+	}
+	s.lastUsed.Store(now.UnixNano())
+	m.mu.Lock()
+	m.sweepLocked(now)
+	m.nextID++
+	s.id = fmt.Sprintf("n%d", m.nextID)
+	m.evictedLRU.Add(int64(m.sessions.Put(s.id, s)))
+	m.mu.Unlock()
+	m.created.Inc()
+	return s, nil
+}
+
+// Get returns the live session under id, marking it most recently used.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(time.Now())
+	s, ok := m.sessions.Get(id)
+	if ok {
+		s.touch()
+	}
+	return s, ok
+}
+
+// Close removes the session under id, reporting whether it was live.
+// Its state is dropped; the capacity it held is not returned anywhere —
+// the network is simply gone.
+func (m *Manager) Close(id string) bool {
+	m.mu.Lock()
+	ok := m.sessions.Remove(id)
+	m.mu.Unlock()
+	if ok {
+		m.closed.Inc()
+	}
+	return ok
+}
+
+// Len returns the number of live sessions (after sweeping expired
+// ones).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(time.Now())
+	return m.sessions.Len()
+}
+
+// Stats returns current counter values.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	m.sweepLocked(time.Now())
+	live := m.sessions.Len()
+	m.mu.Unlock()
+	return Stats{
+		Live:       live,
+		Created:    m.created.Load(),
+		EvictedLRU: m.evictedLRU.Load(),
+		EvictedTTL: m.evictedTTL.Load(),
+		Closed:     m.closed.Load(),
+		Admits:     m.admits.Load(),
+		Rejects:    m.rejects.Load(),
+		Quotes:     m.quotes.Load(),
+		Releases:   m.releases.Load(),
+	}
+}
+
+// sweepLocked expires idle sessions from the LRU's cold end. Recency
+// order and last-use order coincide (every path that touches a session
+// also touches its recency), so the sweep stops at the first live
+// session. Caller holds m.mu.
+func (m *Manager) sweepLocked(now time.Time) {
+	if m.cfg.TTL <= 0 {
+		return
+	}
+	cutoff := now.Add(-m.cfg.TTL).UnixNano()
+	for {
+		id, s, ok := m.sessions.Oldest()
+		if !ok || s.lastUsed.Load() > cutoff {
+			return
+		}
+		m.sessions.Remove(id)
+		m.evictedTTL.Inc()
+	}
+}
+
+// Session is one registered network's live solver state. Operations
+// are serialized by the session's own lock, so concurrent admits on
+// one session are safe and observe a total order; distinct sessions
+// proceed in parallel.
+type Session struct {
+	id      string
+	mgr     *Manager
+	eps     float64
+	created time.Time
+
+	// lastUsed is the last operation's time (unix nanos), read by the
+	// manager's TTL sweep without taking the session lock.
+	lastUsed atomic.Int64
+	// closedFlag is set by eviction/close, possibly while an operation
+	// is in flight (see the package comment on eviction semantics).
+	closedFlag atomic.Bool
+
+	mu       sync.Mutex
+	st       *core.AdmissionState
+	admits   int64
+	rejects  int64
+	releases int64
+}
+
+// ID returns the session's manager-assigned id.
+func (s *Session) ID() string { return s.id }
+
+// Eps returns the accuracy parameter the session was registered with.
+func (s *Session) Eps() float64 { return s.eps }
+
+func (s *Session) markClosed() { s.closedFlag.Store(true) }
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// Admit streams one online request into the session (see
+// core.AdmissionState.Admit).
+func (s *Session) Admit(r core.Request) (core.Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closedFlag.Load() {
+		return core.Decision{}, ErrSessionClosed
+	}
+	s.touch()
+	d, err := s.st.Admit(r)
+	if err != nil {
+		return d, err
+	}
+	if d.Admitted {
+		s.admits++
+		s.mgr.admits.Inc()
+	} else {
+		s.rejects++
+		s.mgr.rejects.Inc()
+	}
+	return d, nil
+}
+
+// Quote prices a request without admitting it (see
+// core.AdmissionState.Quote).
+func (s *Session) Quote(r core.Request) (core.Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closedFlag.Load() {
+		return core.Decision{}, ErrSessionClosed
+	}
+	s.touch()
+	d, err := s.st.Quote(r)
+	if err != nil {
+		return d, err
+	}
+	s.mgr.quotes.Inc()
+	return d, nil
+}
+
+// Release frees a prior admission's capacity (see
+// core.AdmissionState.Release).
+func (s *Session) Release(id int64) (*core.AdmittedRequest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closedFlag.Load() {
+		return nil, ErrSessionClosed
+	}
+	s.touch()
+	a, err := s.st.Release(id)
+	if err != nil {
+		return nil, err
+	}
+	s.releases++
+	s.mgr.releases.Inc()
+	return a, nil
+}
+
+// Ledger returns the session's live admissions in ascending ID order.
+// The entries are snapshots of shared state; treat them as read-only.
+func (s *Session) Ledger() ([]*core.AdmittedRequest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closedFlag.Load() {
+		return nil, ErrSessionClosed
+	}
+	return s.st.Ledger(), nil
+}
+
+// Info is a point-in-time view of one session.
+type Info struct {
+	ID       string  `json:"id"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	Directed bool    `json:"directed"`
+	Eps      float64 `json:"eps"`
+	B        float64 `json:"b"`
+	Admitted int     `json:"admitted"` // live ledger size
+	Value    float64 `json:"value"`    // Σ values of live admissions
+	DualSum  float64 `json:"dualSum"`  // saturation gauge Σ c_e·y_e
+	Admits   int64   `json:"admits"`   // lifetime admissions
+	Rejects  int64   `json:"rejects"`
+	Releases int64   `json:"releases"`
+	// PathRecomputed / PathReused are the warm path cache's counters:
+	// reused/(reused+recomputed) is the fraction of admissions served
+	// without a fresh shortest-path search.
+	PathRecomputed int64     `json:"pathRecomputed"`
+	PathReused     int64     `json:"pathReused"`
+	Created        time.Time `json:"created"`
+	LastUsed       time.Time `json:"lastUsed"`
+}
+
+// Info returns the session's current view.
+func (s *Session) Info() (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closedFlag.Load() {
+		return Info{}, ErrSessionClosed
+	}
+	g := s.st.Graph()
+	rec, reu := s.st.PathStats()
+	return Info{
+		ID:             s.id,
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		Directed:       g.Directed(),
+		Eps:            s.eps,
+		B:              g.MinCapacity(),
+		Admitted:       s.st.NumAdmitted(),
+		Value:          s.st.Value(),
+		DualSum:        s.st.DualSum(),
+		Admits:         s.admits,
+		Rejects:        s.rejects,
+		Releases:       s.releases,
+		PathRecomputed: rec,
+		PathReused:     reu,
+		Created:        s.created,
+		LastUsed:       time.Unix(0, s.lastUsed.Load()),
+	}, nil
+}

@@ -1,0 +1,253 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
+)
+
+// diamond builds the 4-vertex two-path graph used across the repo's
+// tests.
+func diamond(capacity float64) *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(0, 1, capacity)
+	g.AddEdge(1, 3, capacity)
+	g.AddEdge(0, 2, capacity)
+	g.AddEdge(2, 3, capacity)
+	return g
+}
+
+func register(t *testing.T, m *Manager, capacity float64) *Session {
+	t.Helper()
+	s, err := m.Register(diamond(capacity), 0.25)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return s
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := NewManager(Config{})
+	s := register(t, m, 4)
+	if s.ID() == "" {
+		t.Fatal("empty session id")
+	}
+	got, ok := m.Get(s.ID())
+	if !ok || got != s {
+		t.Fatalf("Get(%q) = %v, %v", s.ID(), got, ok)
+	}
+	d, err := s.Admit(core.Request{Source: 0, Target: 3, Demand: 1, Value: 50})
+	if err != nil || !d.Admitted {
+		t.Fatalf("Admit = %+v, %v", d, err)
+	}
+	q, err := s.Quote(core.Request{Source: 0, Target: 3, Demand: 1, Value: 50})
+	if err != nil || !q.Admitted {
+		t.Fatalf("Quote = %+v, %v", q, err)
+	}
+	led, err := s.Ledger()
+	if err != nil || len(led) != 1 || led[0].ID != d.ID {
+		t.Fatalf("Ledger = %v, %v", led, err)
+	}
+	if _, err := s.Release(d.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	info, err := s.Info()
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if info.ID != s.ID() || info.Vertices != 4 || info.Edges != 4 || info.Admitted != 0 ||
+		info.Admits != 1 || info.Releases != 1 || info.Eps != 0.25 || info.B != 4 {
+		t.Fatalf("Info = %+v", info)
+	}
+	if !m.Close(s.ID()) {
+		t.Fatal("Close = false for live session")
+	}
+	if m.Close(s.ID()) {
+		t.Fatal("Close succeeded twice")
+	}
+	if _, ok := m.Get(s.ID()); ok {
+		t.Fatal("closed session still gettable")
+	}
+	if _, err := s.Admit(core.Request{Source: 0, Target: 3, Demand: 1, Value: 50}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Admit on closed session: %v, want ErrSessionClosed", err)
+	}
+	st := m.Stats()
+	if st.Live != 0 || st.Created != 1 || st.Closed != 1 || st.Admits != 1 || st.Quotes != 1 || st.Releases != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2})
+	s1 := register(t, m, 4)
+	s2 := register(t, m, 4)
+	// Touch s1 so s2 is the LRU victim.
+	if _, ok := m.Get(s1.ID()); !ok {
+		t.Fatal("Get(s1) failed")
+	}
+	s3 := register(t, m, 4)
+	if _, ok := m.Get(s2.ID()); ok {
+		t.Fatal("LRU session survived registration beyond capacity")
+	}
+	if _, err := s2.Admit(core.Request{Source: 0, Target: 3, Demand: 1, Value: 50}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Admit on evicted session: %v, want ErrSessionClosed", err)
+	}
+	for _, s := range []*Session{s1, s3} {
+		if _, ok := m.Get(s.ID()); !ok {
+			t.Fatalf("session %s missing after eviction", s.ID())
+		}
+	}
+	st := m.Stats()
+	if st.Live != 2 || st.EvictedLRU != 1 {
+		t.Fatalf("Stats = %+v, want live 2, evicted_lru 1", st)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	m := NewManager(Config{TTL: 250 * time.Millisecond})
+	s1 := register(t, m, 4)
+	s2 := register(t, m, 4)
+	// Keep s2 warm well past the TTL while s1 idles out; the touch
+	// interval is far below the TTL so s2 cannot falsely expire.
+	for i := 0; i < 40; i++ {
+		time.Sleep(25 * time.Millisecond)
+		if _, ok := m.Get(s2.ID()); !ok {
+			t.Fatal("warm session expired")
+		}
+	}
+	if _, ok := m.Get(s1.ID()); ok {
+		t.Fatal("idle session never expired")
+	}
+	if _, ok := m.Get(s2.ID()); !ok {
+		t.Fatal("warm session expired with the idle one")
+	}
+	if st := m.Stats(); st.EvictedTTL != 1 || st.Live != 1 {
+		t.Fatalf("Stats = %+v, want evicted_ttl 1, live 1", st)
+	}
+}
+
+// TestConcurrentAdmits hammers one session from many goroutines (run
+// under -race in CI): every admit must observe a consistent total
+// order — no lost updates in ledger, flow, or counters.
+func TestConcurrentAdmits(t *testing.T) {
+	m := NewManager(Config{})
+	// Capacity 64 per edge, demands 1: exactly 128 admits fit (two
+	// disjoint 2-edge paths), if values always clear the rising price.
+	s := register(t, m, 64)
+	const goroutines, perG = 8, 32
+	var wg sync.WaitGroup
+	admitted := make([]int, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d, err := s.Admit(core.Request{Source: 0, Target: 3, Demand: 1, Value: 1e12})
+				if err != nil {
+					t.Errorf("goroutine %d: Admit: %v", gi, err)
+					return
+				}
+				if d.Admitted {
+					admitted[gi]++
+				} else if d.Reason != core.RejectCapacity && d.Reason != core.RejectPrice {
+					t.Errorf("goroutine %d: unexpected reject %q", gi, d.Reason)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	info, err := s.Info()
+	if err != nil {
+		t.Fatalf("Info: %v", err)
+	}
+	if info.Admitted != total || info.Admits != int64(total) {
+		t.Fatalf("ledger %d / admits %d, want %d", info.Admitted, info.Admits, total)
+	}
+	if info.Rejects != int64(goroutines*perG-total) {
+		t.Fatalf("rejects = %d, want %d", info.Rejects, goroutines*perG-total)
+	}
+	led, err := s.Ledger()
+	if err != nil || len(led) != total {
+		t.Fatalf("Ledger len %d, %v; want %d", len(led), err, total)
+	}
+	// ε·B·d/c = 0.25·64·1/64 = 0.25 per admit on a path edge; with value
+	// 1e12 the price test never fails before capacity does, so exactly
+	// the capacity-feasible 128 must have been admitted.
+	if total != 128 {
+		t.Fatalf("admitted %d, want exactly 128 (2 paths × capacity 64)", total)
+	}
+}
+
+func TestConcurrentSessionsAndEviction(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 4})
+	var wg sync.WaitGroup
+	for gi := 0; gi < 8; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s, err := m.Register(diamond(8), 0.25)
+				if err != nil {
+					t.Errorf("goroutine %d: Register: %v", gi, err)
+					return
+				}
+				// Races with other goroutines' evictions by design: the only
+				// acceptable failure is ErrSessionClosed.
+				if _, err := s.Admit(core.Request{Source: 0, Target: 3, Demand: 0.5, Value: 100}); err != nil && !errors.Is(err, ErrSessionClosed) {
+					t.Errorf("goroutine %d: Admit: %v", gi, err)
+					return
+				}
+				if gi%2 == 0 {
+					m.Close(s.ID())
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Created != 160 {
+		t.Fatalf("Stats.Created = %d, want 160", st.Created)
+	}
+	if st.Live > 4 {
+		t.Fatalf("Stats.Live = %d exceeds MaxSessions 4", st.Live)
+	}
+	if got := m.Len(); got != st.Live {
+		t.Fatalf("Len() = %d != Stats.Live %d", got, st.Live)
+	}
+}
+
+func TestRegisterRejectsBadNetworks(t *testing.T) {
+	m := NewManager(Config{})
+	small := graph.New(2)
+	small.AddEdge(0, 1, 0.5) // B < 1
+	if _, err := m.Register(small, 0.25); err == nil {
+		t.Fatal("B < 1 network accepted")
+	}
+	if _, err := m.Register(diamond(4), 0); err == nil {
+		t.Fatal("eps = 0 accepted")
+	}
+	if st := m.Stats(); st.Created != 0 {
+		t.Fatalf("failed registrations counted: %+v", st)
+	}
+}
+
+func TestSessionIDsAreUnique(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2})
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		s := register(t, m, 4)
+		if seen[s.ID()] {
+			t.Fatalf("duplicate session id %q", s.ID())
+		}
+		seen[s.ID()] = true
+	}
+}

@@ -122,6 +122,13 @@ func init() {
 		}),
 	})
 	Register(&funcSolver{
+		name: "ufp/online", kind: KindUFP, usesEps: true, ignoresMaxIter: true,
+		desc: "online admission rule (pure-price routing + residual post-check): the batch spelling of the session layer's streamed admits",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			return core.OnlineAdmissionCtx(ctx, inst, p.Eps, p.ufpOptions())
+		}),
+	})
+	Register(&funcSolver{
 		name: "ufp/greedy", kind: KindUFP, usesEps: false, ignoresMaxIter: true,
 		desc: "value-density greedy baseline (ε ignored)",
 		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {

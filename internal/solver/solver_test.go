@@ -98,7 +98,7 @@ func TestParamNormalizationMetadata(t *testing.T) {
 			t.Errorf("%s UsesSeed = %v, want %v", s.Name(), !want, want)
 		}
 	}
-	singlePass := map[string]bool{"ufp/greedy": true, "ufp/sequential": true, "ufp/rounding": true}
+	singlePass := map[string]bool{"ufp/greedy": true, "ufp/sequential": true, "ufp/online": true, "ufp/rounding": true}
 	for _, s := range solver.Solvers() {
 		if want := !singlePass[s.Name()]; solver.UsesMaxIterations(s) != want {
 			t.Errorf("%s UsesMaxIterations = %v, want %v", s.Name(), !want, want)

@@ -117,6 +117,58 @@ func UnmarshalInstance(data []byte) (*Instance, error) {
 	return inst, nil
 }
 
+// networkJSON is the wire schema for a bare network (a topology with no
+// requests) — what POST /v1/networks registers. It is the instance
+// schema minus the requests field, so an instance file's graph section
+// can be pasted verbatim.
+type networkJSON struct {
+	Directed bool       `json:"directed"`
+	Vertices int        `json:"vertices"`
+	Edges    []edgeJSON `json:"edges"`
+}
+
+// MarshalNetwork encodes a capacitated graph as JSON (the
+// /v1/networks registration schema).
+func MarshalNetwork(g *Graph) ([]byte, error) {
+	out := networkJSON{
+		Directed: g.Directed(),
+		Vertices: g.NumVertices(),
+	}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, edgeJSON{e.From, e.To, e.Capacity})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalNetwork decodes a capacitated graph from JSON with strict
+// validation (unknown fields, out-of-range endpoints, and non-positive
+// or non-finite capacities are rejected).
+func UnmarshalNetwork(data []byte) (*Graph, error) {
+	var in networkJSON
+	if err := decodeStrict(data, &in); err != nil {
+		return nil, fmt.Errorf("truthfulufp: decoding network: %w", err)
+	}
+	if in.Vertices < 0 {
+		return nil, fmt.Errorf("truthfulufp: negative vertex count %d", in.Vertices)
+	}
+	var g *Graph
+	if in.Directed {
+		g = NewGraph(in.Vertices)
+	} else {
+		g = NewUndirectedGraph(in.Vertices)
+	}
+	for i, e := range in.Edges {
+		if e.From < 0 || e.From >= in.Vertices || e.To < 0 || e.To >= in.Vertices {
+			return nil, fmt.Errorf("truthfulufp: edge %d endpoints (%d,%d) out of range [0,%d)", i, e.From, e.To, in.Vertices)
+		}
+		if !(e.Capacity > 0) || !finite(e.Capacity) {
+			return nil, fmt.Errorf("truthfulufp: edge %d capacity %g not positive finite", i, e.Capacity)
+		}
+		g.AddEdge(e.From, e.To, e.Capacity)
+	}
+	return g, nil
+}
+
 // allocationJSON is the wire schema for UFP allocations (ufpserve's
 // solve responses). Stop reasons travel as their String() form, and a
 // null dualBound stands for +Inf (JSON has no infinities).

@@ -60,6 +60,8 @@ func directCall(t *testing.T, name string, eps float64, inst *truthfulufp.Instan
 		return wrap(core.BoundedUFPRepeat(inst, eps, &core.Options{MaxIterations: repeatCap}))
 	case "ufp/sequential":
 		return wrap(truthfulufp.SequentialPrimalDual(inst, eps, nil))
+	case "ufp/online":
+		return wrap(truthfulufp.OnlineAdmission(inst, eps, nil))
 	case "ufp/greedy":
 		return wrap(truthfulufp.GreedyByDensity(inst, nil))
 	case "ufp/rounding":
