@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-trend serve fmt vet ci smoke smoke-session
+.PHONY: all build test bench bench-json bench-trend serve fmt vet ci smoke smoke-session smoke-metrics
 
 all: build
 
@@ -69,4 +69,34 @@ smoke-session:
 	$(GO) run ./cmd/ufpgen -scenario fattree -seed 7 -o /tmp/session-smoke.json
 	$(GO) run ./cmd/ufpbench -session -in /tmp/session-smoke.json
 
-ci: fmt vet build test bench smoke smoke-session
+# Observability smoke (the CI step): start ufpserve, drive one request
+# through each instrumented subsystem — register + admit for the
+# session layer, the same solve twice for an engine cache hit — then
+# assert /metrics exposes non-zero counters for the http, session, and
+# engine-cache subsystems. One shell invocation so the EXIT trap always
+# reaps the background server.
+smoke-metrics: SHELL := /bin/bash
+smoke-metrics: .SHELLFLAGS := -o pipefail -c
+smoke-metrics:
+	$(GO) build -o /tmp/ufpserve-smoke ./cmd/ufpserve
+	/tmp/ufpserve-smoke -addr 127.0.0.1:18080 & \
+	trap 'kill $$! 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf 127.0.0.1:18080/v1/readyz > /dev/null && break; sleep 0.1; \
+	done; \
+	id=$$(curl -sf 127.0.0.1:18080/v1/networks \
+		-d '{"eps":0.25,"network":{"directed":true,"vertices":2,"edges":[{"from":0,"to":1,"capacity":30}]}}' \
+		| grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4); \
+	test -n "$$id"; \
+	curl -sf 127.0.0.1:18080/v1/networks/$$id/admit \
+		-d '{"source":0,"target":1,"demand":1,"value":2}' | grep -q '"admitted":true'; \
+	solve='{"algorithm":"ufp/solve","eps":0.25,"instance":{"directed":true,"vertices":2,"edges":[{"from":0,"to":1,"capacity":30}],"requests":[{"source":0,"target":1,"demand":1,"value":2}]}}'; \
+	curl -sf 127.0.0.1:18080/v1/solve -d "$$solve" > /dev/null; \
+	curl -sf 127.0.0.1:18080/v1/solve -d "$$solve" | grep -q '"cacheHit":true'; \
+	curl -sf 127.0.0.1:18080/metrics > /tmp/metrics-smoke.txt; \
+	grep -Eq '^ufp_http_requests_total\{.*\} [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
+	grep -Eq '^ufp_session_admits_total [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
+	grep -Eq '^ufp_engine_cache_hits_total [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
+	echo "metrics exposition smoke: ok"
+
+ci: fmt vet build test bench smoke smoke-session smoke-metrics

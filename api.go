@@ -9,6 +9,8 @@ import (
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/metrics"
+	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/scenario"
 	"truthfulufp/internal/session"
 	"truthfulufp/internal/solver"
@@ -120,6 +122,56 @@ func SolverDescription(s Solver) string { return solver.Description(s) }
 // solver.DefaultRepeatMaxIterations so registry-dispatched jobs cannot
 // run away uncapped.
 func SolverDefaultMaxIterations(s Solver) int { return solver.DefaultMaxIterations(s) }
+
+// Re-exported observability types. See internal/metrics: a stdlib-only
+// set of concurrency-safe instruments (counters, gauges, fixed-bucket
+// latency histograms with quantile extraction) bound to a registry
+// that writes the Prometheus text exposition format. Every serving
+// layer registers into one registry via Engine.RegisterMetrics, which
+// cmd/ufpserve serves at GET /metrics.
+type (
+	// MetricsRegistry is a concurrency-safe collection of metric
+	// families with a text-exposition writer (create with
+	// NewMetricsRegistry).
+	MetricsRegistry = metrics.Registry
+	// MetricsFamily is one metric name with its help text, type, and
+	// label schema.
+	MetricsFamily = metrics.Family
+	// MetricsCounter is a monotonically increasing instrument.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is an instrument whose value can go up and down.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a fixed-bucket distribution instrument with
+	// p50/p95/p99/p999 extraction.
+	MetricsHistogram = metrics.Histogram
+	// MetricsHistogramSnapshot is a point-in-time histogram copy.
+	MetricsHistogramSnapshot = metrics.HistogramSnapshot
+	// PathCacheStats is the incremental path cache's observer view
+	// (refresh counts, dirty-source split, PathTo hit/miss split); see
+	// AdmissionState.CacheStats and SessionManager.PathCacheStats.
+	PathCacheStats = pathfind.CacheStats
+)
+
+// MetricsTextContentType is the Content-Type of the exposition format
+// MetricsRegistry writes.
+const MetricsTextContentType = metrics.TextContentType
+
+// MetricsDefLatencyBuckets is the default latency bucket layout
+// (seconds, exponential from 1µs to ~33s).
+var MetricsDefLatencyBuckets = metrics.DefLatencyBuckets
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMetricsHistogram builds a standalone histogram over the given
+// strictly increasing finite upper bounds.
+func NewMetricsHistogram(bounds []float64) *MetricsHistogram { return metrics.NewHistogram(bounds) }
+
+// MetricsExponentialBuckets returns count histogram upper bounds
+// starting at start and growing by factor.
+func MetricsExponentialBuckets(start, factor float64, count int) []float64 {
+	return metrics.ExponentialBuckets(start, factor, count)
+}
 
 // ErrEngineClosed is returned by Engine.Do after Engine.Close.
 var ErrEngineClosed = engine.ErrClosed

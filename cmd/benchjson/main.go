@@ -67,6 +67,10 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "bellman speedup:       %.2fx\n", snap.BellmanSpeedup)
 	fmt.Fprintf(os.Stderr, "single-target speedup: %.2fx\n", snap.SingleTargetSpeedup)
 	fmt.Fprintf(os.Stderr, "session-admit speedup: %.2fx\n", snap.SessionAdmitSpeedup)
+	if l := snap.SessionAdmitLatency; l != nil {
+		fmt.Fprintf(os.Stderr, "session-admit latency: p50 %.3f / p99 %.3f / p999 %.3f ms (%d admits)\n",
+			l.P50Ms, l.P99Ms, l.P999Ms, l.Count)
+	}
 	if err := write(*out, snap); err != nil {
 		return err
 	}

@@ -65,6 +65,7 @@ import (
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/engine"
 	"truthfulufp/internal/experiments"
+	"truthfulufp/internal/metrics"
 	"truthfulufp/internal/scenario"
 	"truthfulufp/internal/session"
 	"truthfulufp/internal/solver"
@@ -265,6 +266,7 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	defer e.Close()
 	ctx := context.Background()
 	latencies := make([]float64, len(stream)) // client-observed seconds
+	hist := metrics.NewHistogram(metrics.DefLatencyBuckets)
 	errs := make([]error, len(stream))
 	var wg sync.WaitGroup
 	submit := func(i int) {
@@ -272,6 +274,7 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 		start := time.Now()
 		_, err := e.Do(ctx, engine.Job{Algorithm: cfg.alg, Eps: cfg.eps, UFP: stream[i]})
 		latencies[i] = time.Since(start).Seconds()
+		hist.Observe(latencies[i])
 		errs[i] = err
 	}
 	var sem chan struct{}
@@ -316,9 +319,12 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 		cfg.jobs, source, shape, snap.Workers, cfg.alg, cfg.dup)
 	fmt.Fprintf(out, "  wall time        %v\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(out, "  throughput       %.1f jobs/sec\n", float64(cfg.jobs)/wall.Seconds())
+	hs := hist.Snapshot()
 	fmt.Fprintf(out, "  latency mean     %.3f ms\n", lat.Mean()*1e3)
 	fmt.Fprintf(out, "  latency p50/p95  %.3f / %.3f ms\n",
-		stats.Quantile(latencies, 0.5)*1e3, stats.Quantile(latencies, 0.95)*1e3)
+		hs.Quantile(0.5)*1e3, hs.Quantile(0.95)*1e3)
+	fmt.Fprintf(out, "  latency p99/p999 %.3f / %.3f ms\n",
+		hs.Quantile(0.99)*1e3, hs.Quantile(0.999)*1e3)
 	fmt.Fprintf(out, "  latency max      %.3f ms\n", lat.Max()*1e3)
 	fmt.Fprintf(out, "  executions       %d (cache hits %d, coalesced %d)\n",
 		snap.Completed, snap.CacheHits, snap.Coalesced)
@@ -388,12 +394,14 @@ func runSession(out io.Writer, cfg sessionBenchConfig) error {
 	regElapsed := time.Since(regStart)
 
 	latencies := make([]float64, len(inst.Requests)) // per-admit seconds
+	hist := metrics.NewHistogram(metrics.DefLatencyBuckets)
 	admitted := 0
 	var value float64
 	for i, r := range inst.Requests {
 		start := time.Now()
 		d, err := sess.Admit(r)
 		latencies[i] = time.Since(start).Seconds()
+		hist.Observe(latencies[i])
 		if err != nil {
 			return fmt.Errorf("session: admit %d: %w", i, err)
 		}
@@ -424,9 +432,12 @@ func runSession(out io.Writer, cfg sessionBenchConfig) error {
 		len(inst.Requests), source, cfg.eps, info.Vertices, info.Edges)
 	fmt.Fprintf(out, "  register           %v\n", regElapsed.Round(time.Microsecond))
 	fmt.Fprintf(out, "  admitted           %d/%d (value %.4g)\n", admitted, len(inst.Requests), value)
+	hs := hist.Snapshot()
 	fmt.Fprintf(out, "  admit mean         %.3f ms\n", lat.Mean()*1e3)
 	fmt.Fprintf(out, "  admit p50/p95      %.3f / %.3f ms\n",
-		stats.Quantile(latencies, 0.5)*1e3, stats.Quantile(latencies, 0.95)*1e3)
+		hs.Quantile(0.5)*1e3, hs.Quantile(0.95)*1e3)
+	fmt.Fprintf(out, "  admit p99/p999     %.3f / %.3f ms\n",
+		hs.Quantile(0.99)*1e3, hs.Quantile(0.999)*1e3)
 	fmt.Fprintf(out, "  admit max          %.3f ms\n", lat.Max()*1e3)
 	fmt.Fprintf(out, "  path cache         %d reused / %d recomputed\n", info.PathReused, info.PathRecomputed)
 	if resolve.N() > 0 {

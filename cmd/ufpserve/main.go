@@ -10,6 +10,7 @@
 //
 //	ufpserve [-addr :8080] [-workers 0] [-solve-workers 1] [-cache 1024]
 //	         [-eps 0.25] [-timeout 60s] [-max-sessions 64] [-session-ttl 0]
+//	         [-log-format text|json] [-pprof-addr ""]
 //
 // v1 endpoints:
 //
@@ -21,7 +22,20 @@
 //	POST   /v1/networks/{id}/admit    {"source": 0, "target": 3, "demand": 0.5, "value": 2}
 //	POST   /v1/networks/{id}/price    (same body; quotes without admitting)
 //	POST   /v1/networks/{id}/release  {"id": 7}
-//	GET    /v1/healthz
+//	GET    /v1/healthz                liveness: 200 while the process serves
+//	GET    /v1/readyz                 readiness: 503 while draining on shutdown
+//	GET    /metrics                   Prometheus text exposition (ufp_http_*, ufp_engine_*, ufp_session_*, ufp_pathcache_*)
+//
+// Observability: every route runs through the instrument middleware
+// (request counters by status class, in-flight gauge, per-route latency
+// histograms, Server-Timing on v1 routes) and emits one structured
+// log/slog line per request with a request id that is adopted from an
+// inbound X-Request-Id header or generated, echoed on the response, and
+// included in the error envelope. -pprof-addr starts net/http/pprof on
+// a separate listener (off by default — profiling is opt-in and never
+// shares the serving port). On SIGINT/SIGTERM the server marks itself
+// draining (readiness flips to 503 so load balancers stop routing),
+// finishes in-flight requests, and only then shuts the engine down.
 //
 // Deprecated aliases (Deprecation/Sunset headers; see README migration
 // table): POST /solve, /mechanism, /auction map onto the /v1/solve
@@ -41,8 +55,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"truthfulufp"
@@ -67,8 +86,14 @@ func run(args []string, logw io.Writer) error {
 		timeout      = fs.Duration("timeout", 60*time.Second, "per-request solve timeout, 0 = none (a solve abandoned by every client is cancelled and its worker reclaimed)")
 		maxSessions  = fs.Int("max-sessions", 0, "live session cap, LRU eviction beyond it (0 = default, negative = unbounded)")
 		sessionTTL   = fs.Duration("session-ttl", 0, "expire sessions idle longer than this (0 = never)")
+		logFormat    = fs.String("log-format", "text", "structured request log format: text|json")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := newLogger(*logFormat, logw)
+	if err != nil {
 		return err
 	}
 	engine := truthfulufp.NewEngine(truthfulufp.EngineConfig{
@@ -79,49 +104,153 @@ func run(args []string, logw io.Writer) error {
 		MaxSessions:  *maxSessions,
 		SessionTTL:   *sessionTTL,
 	})
+	// Closed explicitly after the HTTP drain below; the defer covers
+	// early error returns.
 	defer engine.Close()
+	s := newServer(engine, *eps, *timeout, truthfulufp.NewMetricsRegistry(), logger)
 	// No blanket WriteTimeout: dispatch sets a per-request write deadline
 	// after the body is read, so slow uploads don't eat the solve budget.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(engine, *eps, *timeout),
+		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(logw, "ufpserve: listening on %s (%d workers)\n", *addr, engine.Workers())
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		return err
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *pprofAddr != "" {
+		psrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if perr := psrv.ListenAndServe(); !errors.Is(perr, http.ErrServerClosed) {
+				logger.Error("pprof server", slog.Any("err", perr))
+			}
+		}()
+		defer psrv.Close()
 	}
-	return nil
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("listening", slog.String("addr", *addr), slog.Int("workers", engine.Workers()))
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		// Drain order: flip readiness (load balancers stop routing), let
+		// Shutdown finish the in-flight requests — including streamed
+		// session operations — then the deferred engine.Close drains the
+		// job queue. Session state needs no draining of its own: it holds
+		// no goroutines, only memory.
+		s.draining.Store(true)
+		logger.Info("draining", slog.Duration("timeout", drainTimeout))
+		shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		<-errc // ListenAndServe has returned http.ErrServerClosed
+		return nil
+	}
 }
 
-// server holds the handler's dependencies.
+// drainTimeout bounds graceful shutdown: in-flight requests get this
+// long to finish before the process exits anyway.
+const drainTimeout = 30 * time.Second
+
+// pprofMux serves the net/http/pprof handlers on a mux of their own —
+// profiling never shares the serving port or its middleware.
+func pprofMux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
+}
+
+// server holds the handler's dependencies and the HTTP-layer
+// instruments the middleware updates per request.
 type server struct {
 	engine     *truthfulufp.Engine
 	defaultEps float64
 	timeout    time.Duration
+	logger     *slog.Logger
+	reg        *truthfulufp.MetricsRegistry
+	// draining flips /v1/readyz to 503 during graceful shutdown.
+	draining atomic.Bool
+
+	httpReqs    *truthfulufp.MetricsFamily // counter{route,code,deprecated}
+	httpLatency *truthfulufp.MetricsFamily // histogram{route}
+	inFlight    *truthfulufp.MetricsGauge
 }
 
-// newHandler wires the endpoint mux around an engine. The engine is
-// owned by the caller (tests share one across httptest servers).
+// newServer wires a server around an engine, registering the engine's
+// metric families (and, below, its own ufp_http_* families) into reg.
+// A nil reg gets a private registry; a nil logger discards. The engine
+// is owned by the caller (tests share one across httptest servers —
+// each gets its own registry, so re-registration never collides).
+func newServer(engine *truthfulufp.Engine, defaultEps float64, timeout time.Duration, reg *truthfulufp.MetricsRegistry, logger *slog.Logger) *server {
+	if reg == nil {
+		reg = truthfulufp.NewMetricsRegistry()
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	engine.RegisterMetrics(reg)
+	s := &server{engine: engine, defaultEps: defaultEps, timeout: timeout, logger: logger, reg: reg}
+	s.httpReqs = reg.NewCounterFamily("ufp_http_requests_total",
+		"HTTP requests by route pattern, status class, and deprecation.",
+		"route", "code", "deprecated")
+	s.httpLatency = reg.NewHistogramFamily("ufp_http_request_duration_seconds",
+		"Wall time serving each request, by route pattern.",
+		truthfulufp.MetricsDefLatencyBuckets, "route")
+	s.inFlight = reg.NewGaugeFamily("ufp_http_in_flight",
+		"Requests currently being served.").Gauge()
+	return s
+}
+
+// newHandler is the one-call convenience wiring (private registry,
+// discard logger) used by tests.
 func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Duration) http.Handler {
-	s := &server{engine: engine, defaultEps: defaultEps, timeout: timeout}
+	return newServer(engine, defaultEps, timeout, nil, nil).handler()
+}
+
+// handler builds the endpoint mux, every route instrumented — the
+// deprecated aliases run through the same middleware chain with
+// deprecated="true" so legacy traffic volume is measurable.
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
-	mux.HandleFunc("POST /v1/solve", s.handleV1Solve)
-	mux.HandleFunc("POST /v1/networks", s.handleNetworkRegister)
-	mux.HandleFunc("GET /v1/networks/{id}", s.handleNetworkInfo)
-	mux.HandleFunc("DELETE /v1/networks/{id}", s.handleNetworkDelete)
-	mux.HandleFunc("POST /v1/networks/{id}/admit", s.handleAdmit)
-	mux.HandleFunc("POST /v1/networks/{id}/price", s.handlePrice)
-	mux.HandleFunc("POST /v1/networks/{id}/release", s.handleRelease)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	v1 := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, false, h))
+	}
+	legacy := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, true, h))
+	}
+	v1("GET /v1/algorithms", "/v1/algorithms", s.handleAlgorithms)
+	v1("POST /v1/solve", "/v1/solve", s.handleV1Solve)
+	v1("POST /v1/networks", "/v1/networks", s.handleNetworkRegister)
+	v1("GET /v1/networks/{id}", "/v1/networks/{id}", s.handleNetworkInfo)
+	v1("DELETE /v1/networks/{id}", "/v1/networks/{id}", s.handleNetworkDelete)
+	v1("POST /v1/networks/{id}/admit", "/v1/networks/{id}/admit", s.handleAdmit)
+	v1("POST /v1/networks/{id}/price", "/v1/networks/{id}/price", s.handlePrice)
+	v1("POST /v1/networks/{id}/release", "/v1/networks/{id}/release", s.handleRelease)
+	v1("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	v1("GET /v1/readyz", "/v1/readyz", s.handleReadyz)
+	v1("GET /metrics", "/metrics", s.reg.Handler().ServeHTTP)
 	// Deprecated aliases over the same dispatch.
-	mux.HandleFunc("POST /solve", s.handleLegacySolve)
-	mux.HandleFunc("POST /mechanism", s.handleLegacyMechanism)
-	mux.HandleFunc("POST /auction", s.handleLegacyAuction)
-	mux.HandleFunc("GET /healthz", s.deprecated("/v1/healthz", s.handleHealthz))
+	legacy("POST /solve", "/solve", s.handleLegacySolve)
+	legacy("POST /mechanism", "/mechanism", s.handleLegacyMechanism)
+	legacy("POST /auction", "/auction", s.handleLegacyAuction)
+	legacy("GET /healthz", "/healthz", s.deprecated("/v1/healthz", s.handleHealthz))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mux.ServeHTTP(w, r)
 		// dispatch sets a per-request write deadline, and with no blanket
@@ -173,6 +302,10 @@ type errorResponse struct {
 type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RequestID echoes the request's id (the X-Request-Id response
+	// header) so a client-reported failure is greppable in the request
+	// log.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // maxRequestBytes caps request bodies so one oversized instance cannot
@@ -700,6 +833,24 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, resp)
 }
 
+// readyResponse is /v1/readyz while serving.
+type readyResponse struct {
+	Status string `json:"status"`
+}
+
+// handleReadyz is the readiness probe: 200 while serving, 503 once the
+// server is draining on shutdown (liveness — /v1/healthz — stays 200
+// throughout, so orchestrators stop routing without restarting the
+// process mid-drain).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable,
+			errors.New("server is draining"))
+		return
+	}
+	writeResult(w, readyResponse{Status: "ok"})
+}
+
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func writeResult(w http.ResponseWriter, v any) {
@@ -713,5 +864,12 @@ func writeResult(w http.ResponseWriter, v any) {
 func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: err.Error()}})
+	json.NewEncoder(w).Encode(errorResponse{Error: errorBody{
+		Code:    code,
+		Message: err.Error(),
+		// The middleware sets the response header before the handler
+		// runs, so reading it back here threads the id into the envelope
+		// without changing every writeError call site.
+		RequestID: w.Header().Get(requestIDHeader),
+	}})
 }

@@ -1,0 +1,166 @@
+// Per-route observability middleware: request counters by status
+// class, an in-flight gauge, latency histograms, Server-Timing headers
+// on v1 routes, structured request logging, and per-request IDs. Every
+// route — v1 and deprecated alias alike — is registered through
+// server.instrument, so /metrics accounts for all traffic and
+// deprecated-traffic volume is measurable by label.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// newLogger builds the structured request logger per -log-format.
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
+}
+
+// requestIDHeader carries the request id in both directions: a usable
+// inbound value is adopted (so ids propagate through proxies and
+// retries), and the chosen id is always echoed on the response.
+const requestIDHeader = "X-Request-Id"
+
+// ridFallback numbers request ids if the system randomness source ever
+// fails.
+var ridFallback atomic.Uint64
+
+// requestID returns the caller-supplied id when present and sane, else
+// a fresh random one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(requestIDHeader); id != "" && len(id) <= 128 && isToken(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return hex.EncodeToString(b[:])
+	}
+	return fmt.Sprintf("req%d", ridFallback.Add(1))
+}
+
+// isToken reports whether s is printable non-space ASCII — the only
+// inbound ids worth echoing into headers and logs.
+func isToken(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// ridKey carries the request id through the request context.
+type ridKey struct{}
+
+// requestIDFrom returns the id instrument stored on the context ("" if
+// the request skipped the middleware).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// statusWriter records the response status for labeling and injects
+// the Server-Timing header just in time at the first write, when the
+// handler's own time is known but headers are still open.
+type statusWriter struct {
+	http.ResponseWriter
+	code   int
+	wrote  bool
+	start  time.Time
+	timing bool // v1 routes get a Server-Timing header
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote = true
+		w.code = code
+		if w.timing {
+			w.Header().Set("Server-Timing",
+				fmt.Sprintf("app;dur=%.3f", float64(time.Since(w.start))/float64(time.Millisecond)))
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap keeps http.NewResponseController working through the wrapper
+// — dispatch sets per-request write deadlines via the controller, and
+// the outer handler clears them.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// status returns the response code (200 when the handler never wrote
+// one explicitly).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// statusClass folds a status code into its exposition label: "2xx",
+// "4xx", "5xx", ...
+func statusClass(code int) string {
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// instrument wraps a route handler with the full observability chain:
+// request-id adoption/echo, in-flight gauge, per-route latency
+// histogram, status-class request counter (with the deprecated label),
+// Server-Timing on v1 routes, and one structured log line per request.
+// route is the label value — the route pattern, never the raw path, so
+// series cardinality stays bounded.
+func (s *server) instrument(route string, deprecated bool, h http.HandlerFunc) http.HandlerFunc {
+	dep := "false"
+	if deprecated {
+		dep = "true"
+	}
+	hist := s.httpLatency.Histogram(route)
+	timing := strings.HasPrefix(route, "/v1/")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inFlight.Inc()
+		defer s.inFlight.Dec()
+		rid := requestID(r)
+		w.Header().Set(requestIDHeader, rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+		sw := &statusWriter{ResponseWriter: w, start: start, timing: timing}
+		h(sw, r)
+		elapsed := time.Since(start)
+		hist.Observe(elapsed.Seconds())
+		status := sw.status()
+		s.httpReqs.Counter(route, statusClass(status), dep).Inc()
+		level := slog.LevelInfo
+		if status >= 500 {
+			level = slog.LevelError
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Float64("dur_ms", float64(elapsed)/float64(time.Millisecond)),
+			slog.String("request_id", rid),
+			slog.Bool("deprecated", deprecated),
+		)
+	}
+}

@@ -143,4 +143,24 @@
 // the same request sequence. Over HTTP, cmd/ufpserve exposes sessions
 // at POST /v1/networks and streams admits at
 // POST /v1/networks/{id}/admit (see README.md for the wire schema).
+//
+// # Observability
+//
+// Every serving layer is instrumented through the stdlib-only
+// internal/metrics registry, re-exported here as NewMetricsRegistry /
+// MetricsRegistry and friends. Engine.RegisterMetrics binds the
+// engine's counters (job lifecycle, result-cache hits and misses,
+// queue depth, worker utilization, solve-duration histogram) and its
+// session manager's (live sessions, admits/rejects/quotes/releases,
+// LRU-vs-TTL evictions, per-admit latency, and the fleet-wide
+// incremental path-cache profile from Manager.PathCacheStats) to a
+// registry, whose Handler serves the Prometheus text exposition
+// format. The underlying per-state counters are also available
+// programmatically: AdmissionState.CacheStats returns the
+// PathCacheStats (tree refreshes, recomputed vs reused, PathTo
+// hits/misses, dirty ratio) for one session. cmd/ufpserve wires all of
+// this to GET /metrics, adds per-route request metrics and structured
+// request logs with propagated X-Request-Id values, and gates
+// load-balancer traffic on GET /v1/readyz during graceful drain (see
+// the README's Operations section for the series catalog).
 package truthfulufp

@@ -12,9 +12,11 @@ import (
 	"math/rand/v2"
 	"sync"
 	"testing"
+	"time"
 
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/graph"
+	"truthfulufp/internal/metrics"
 	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/scenario"
 )
@@ -352,8 +354,62 @@ type Snapshot struct {
 	// batch-resolve ns/op over per-admit streamed ns/op on the waxman
 	// scenario (one streamed admit versus the full solve a stateless
 	// client re-runs per request).
-	SessionAdmitSpeedup float64          `json:"session_admit_speedup"`
-	Benchmarks          map[string]Entry `json:"benchmarks"`
+	SessionAdmitSpeedup float64 `json:"session_admit_speedup"`
+	// SessionAdmitLatency is the per-admit tail-latency profile of the
+	// streamed session path, measured by a dedicated pass through the
+	// waxman request stream into a metrics.Histogram (the ROADMAP
+	// cluster-bench trend gate's groundwork). Omitted in snapshots
+	// predating it, so older baselines still decode strictly.
+	SessionAdmitLatency *LatencyQuantiles `json:"session_admit_latency,omitempty"`
+	Benchmarks          map[string]Entry  `json:"benchmarks"`
+}
+
+// LatencyQuantiles is a bucket-estimated latency profile
+// (metrics.HistogramSnapshot.Quantile over the default bucket layout).
+type LatencyQuantiles struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	Count  int64   `json:"count"`
+}
+
+// latencyQuantiles folds a histogram into the snapshot's profile.
+func latencyQuantiles(s metrics.HistogramSnapshot) *LatencyQuantiles {
+	return &LatencyQuantiles{
+		P50Ms:  s.Quantile(0.5) * 1e3,
+		P95Ms:  s.Quantile(0.95) * 1e3,
+		P99Ms:  s.Quantile(0.99) * 1e3,
+		P999Ms: s.Quantile(0.999) * 1e3,
+		Count:  s.Count,
+	}
+}
+
+// measureSessionAdmitLatency streams the waxman request sequence
+// through fresh admission states (several passes, so the sample is
+// large enough for a p999) and observes each admit into a histogram —
+// the same instrument the session manager runs in production.
+func measureSessionAdmitLatency(quick bool) (*LatencyQuantiles, error) {
+	inst := waxmanInstance(quick)
+	h := metrics.NewHistogram(metrics.DefLatencyBuckets)
+	passes := 4
+	if quick {
+		passes = 2
+	}
+	for p := 0; p < passes; p++ {
+		st, err := core.NewAdmissionState(inst.G, 0.25, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range inst.Requests {
+			start := time.Now()
+			if _, err := st.Admit(r); err != nil {
+				return nil, err
+			}
+			h.Observe(time.Since(start).Seconds())
+		}
+	}
+	return latencyQuantiles(h.Snapshot()), nil
 }
 
 // speedups maps each derived ratio to its full/baseline benchmark pair
@@ -404,6 +460,11 @@ func Run(cases []Case, quick bool) Snapshot {
 		}
 		sp.assign(&snap, slow.NsPerOp/fast.NsPerOp)
 	}
+	lat, err := measureSessionAdmitLatency(quick)
+	if err != nil {
+		panic(fmt.Sprintf("bench: session-admit latency pass: %v", err))
+	}
+	snap.SessionAdmitLatency = lat
 	return snap
 }
 

@@ -281,6 +281,13 @@ func (st *AdmissionState) DualSum() float64 { return st.dualSum }
 // — the observable form of the warm-state speedup.
 func (st *AdmissionState) PathStats() (recomputed, reused int64) { return st.inc.Stats() }
 
+// CacheStats reports the full observer view of the warm path cache
+// (refresh counts, dirty-source split, PathTo hit/miss split) — what
+// the serving stack's /metrics gauges are built from. Call under
+// whatever serialization drives the state (its operations are
+// single-goroutine, like the cache's).
+func (st *AdmissionState) CacheStats() pathfind.CacheStats { return st.inc.CacheStats() }
+
 // Ledger returns the live admissions in ascending ID order. The entries
 // are shared with the state; treat them as read-only.
 func (st *AdmissionState) Ledger() []*AdmittedRequest {

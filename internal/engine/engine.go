@@ -23,6 +23,7 @@ import (
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/mechanism"
+	"truthfulufp/internal/metrics"
 	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/session"
 	"truthfulufp/internal/solver"
@@ -200,10 +201,17 @@ type Engine struct {
 	submitted stats.Counter
 	completed stats.Counter
 	hits      stats.Counter
+	misses    stats.Counter
 	coalesced stats.Counter
 	failures  stats.Counter
 	cancelled stats.Counter
 	latency   stats.ConcurrentSummary // per-execution solve seconds
+	// busy gauges workers currently executing a task; together with
+	// len(queue) it is the backpressure signal the scale-out work reads.
+	busy metrics.Gauge
+	// latencySec mirrors latency into fixed buckets for tail-quantile
+	// extraction; always allocated, adopted by RegisterMetrics.
+	latencySec *metrics.Histogram
 }
 
 // New starts an engine with cfg.Workers worker goroutines.
@@ -221,11 +229,12 @@ func New(cfg Config) *Engine {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
 	e := &Engine{
-		cfg:      cfg,
-		queue:    make(chan func(), cfg.QueueDepth),
-		inflight: make(map[string]*call),
-		paths:    pathfind.NewPool(),
-		start:    time.Now(),
+		cfg:        cfg,
+		queue:      make(chan func(), cfg.QueueDepth),
+		inflight:   make(map[string]*call),
+		paths:      pathfind.NewPool(),
+		start:      time.Now(),
+		latencySec: metrics.NewHistogram(metrics.DefLatencyBuckets),
 	}
 	e.sessions = session.NewManager(session.Config{
 		MaxSessions: cfg.MaxSessions,
@@ -240,7 +249,9 @@ func New(cfg Config) *Engine {
 		go func() {
 			defer e.wg.Done()
 			for task := range e.queue {
+				e.busy.Inc()
 				task()
+				e.busy.Dec()
 			}
 		}()
 	}
@@ -298,6 +309,7 @@ func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 	e.submitted.Inc()
 	key := job.fingerprint(s)
 	counted := false
+	missed := false
 	for {
 		if !job.NoCache && e.cache != nil {
 			if res, ok := e.cache.get(key); ok {
@@ -319,6 +331,13 @@ func (e *Engine) Do(ctx context.Context, job Job) (*Result, error) {
 			counted = true
 		}
 		if leader {
+			// A cache-eligible job that has to execute is a cache miss
+			// (coalesced waiters are neither hits nor misses — they never
+			// consulted the cache for an answer of their own).
+			if !job.NoCache && e.cache != nil && !missed {
+				e.misses.Inc()
+				missed = true
+			}
 			if err := e.enqueue(ctx, job, s, key, c); err != nil {
 				e.leave(c)
 				return nil, err
@@ -406,6 +425,7 @@ func (e *Engine) enqueue(ctx context.Context, job Job, s solver.Solver, key stri
 		} else {
 			res.Elapsed = time.Since(start)
 			e.latency.Add(res.Elapsed.Seconds())
+			e.latencySec.Observe(res.Elapsed.Seconds())
 			e.completed.Inc()
 		}
 		// Cache and retire the call under one lock so no identical job can
@@ -514,4 +534,50 @@ func (e *Engine) Snapshot() Snapshot {
 		Latency:   e.latency.Snapshot(),
 		Sessions:  e.sessions.Stats(),
 	}
+}
+
+// RegisterMetrics registers the engine's instrument families —
+// ufp_engine_* job counters, cache hit/miss/size, queue depth and
+// worker utilization gauges, and the solve latency histogram — into
+// reg, and delegates to the session manager for the ufp_session_* and
+// ufp_pathcache_* families. Call once per registry; counters are
+// func-backed (read at scrape time), so registration costs the hot
+// path nothing.
+func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+	counter := func(name, help string, fn func() int64) {
+		reg.NewCounterFamily(name, help).Func(fn)
+	}
+	gauge := func(name, help string, fn func() float64) {
+		reg.NewGaugeFamily(name, help).GaugeFunc(fn)
+	}
+	counter("ufp_engine_jobs_submitted_total", "Jobs accepted by Do.", e.submitted.Load)
+	counter("ufp_engine_jobs_completed_total", "Executions finished successfully.", e.completed.Load)
+	counter("ufp_engine_jobs_failed_total", "Executions that returned a non-cancellation error.", e.failures.Load)
+	counter("ufp_engine_jobs_cancelled_total", "Executions stopped early because every waiter left.", e.cancelled.Load)
+	counter("ufp_engine_jobs_coalesced_total", "Submissions folded into an identical in-flight job.", e.coalesced.Load)
+	counter("ufp_engine_cache_hits_total", "Answers served from the result cache.", e.hits.Load)
+	counter("ufp_engine_cache_misses_total", "Cache-eligible jobs that had to execute.", e.misses.Load)
+	gauge("ufp_engine_cache_entries", "Results currently held by the LRU cache.", func() float64 {
+		if e.cache == nil {
+			return 0
+		}
+		return float64(e.cache.len())
+	})
+	gauge("ufp_engine_queue_depth", "Tasks waiting in the job queue.", func() float64 {
+		return float64(len(e.queue))
+	})
+	gauge("ufp_engine_queue_capacity", "Job queue capacity.", func() float64 {
+		return float64(cap(e.queue))
+	})
+	gauge("ufp_engine_workers", "Worker goroutines.", func() float64 {
+		return float64(e.cfg.Workers)
+	})
+	gauge("ufp_engine_workers_busy", "Workers currently executing a task.", e.busy.Value)
+	gauge("ufp_engine_worker_utilization", "Busy fraction of the worker pool (0..1).", func() float64 {
+		return e.busy.Value() / float64(e.cfg.Workers)
+	})
+	reg.NewHistogramFamily("ufp_engine_solve_duration_seconds",
+		"Per-execution solve wall time (successful executions; cache hits and coalesced waits excluded).",
+		metrics.DefLatencyBuckets).Observe(e.latencySec)
+	e.sessions.RegisterMetrics(reg)
 }

@@ -99,6 +99,18 @@ func (c *Cache[K, V]) Oldest() (K, V, bool) {
 // Len returns the number of entries.
 func (c *Cache[K, V]) Len() int { return c.order.Len() }
 
+// Each calls fn for every entry from most to least recently used,
+// stopping early when fn returns false. Recency is not disturbed; fn
+// must not mutate the cache.
+func (c *Cache[K, V]) Each(fn func(K, V) bool) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
 func (c *Cache[K, V]) removeElement(el *list.Element) {
 	e := el.Value.(*entry[K, V])
 	c.order.Remove(el)

@@ -1,0 +1,216 @@
+// Package metrics is the serving stack's observability substrate: a
+// stdlib-only set of concurrency-safe instruments — monotonic counters,
+// gauges, and fixed-bucket latency histograms with quantile extraction
+// — bound to a Registry that exposes them in the Prometheus text
+// exposition format (text/plain; version=0.0.4). Every layer of the
+// stack (HTTP middleware, the solve engine, the session manager, the
+// incremental path caches) registers its instruments into one registry,
+// which cmd/ufpserve serves at GET /metrics.
+//
+// Instruments come in two flavors: owned (a *Counter / *Gauge /
+// *Histogram the producing code updates on its hot path — one atomic op
+// per event) and func-backed (a closure evaluated at scrape time,
+// the zero-cost way to expose counters and sizes a subsystem already
+// tracks). Both attach to a Family, which carries the metric name,
+// help text, and label schema; an unlabeled family is simply one with
+// zero label names and a single child.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing instrument. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (callers must keep counters monotone: delta >= 0).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instrument whose value can go up and down. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+	adds atomic.Int64  // integer Inc/Dec fast path
+}
+
+// Set replaces the gauge's float component.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Inc adds 1. Add/Inc/Dec and Set address disjoint components (integer
+// delta and float base); Value reports their sum, so a gauge is driven
+// either by Set or by Inc/Dec, not both.
+func (g *Gauge) Inc() { g.adds.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.adds.Add(-1) }
+
+// Add adds delta to the integer component.
+func (g *Gauge) Add(delta int64) { g.adds.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	return math.Float64frombits(g.bits.Load()) + float64(g.adds.Load())
+}
+
+// Histogram is a fixed-bucket distribution instrument: observation
+// counts per bucket plus a running sum, all updated atomically so
+// Observe is safe (and cheap) on concurrent hot paths. Buckets are
+// cumulative in exposition (le = upper bound), Prometheus-style; an
+// implicit +Inf bucket catches everything beyond the last bound.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	n      atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// finite upper bounds (a trailing +Inf bound is dropped — the implicit
+// overflow bucket covers it). It panics on an empty or misordered
+// bound slice.
+func NewHistogram(bounds []float64) *Histogram {
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], 1) {
+		bounds = bounds[:n-1]
+	}
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one finite bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// growing by factor: start, start·factor, start·factor², ...
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if !(start > 0) || !(factor > 1) || count < 1 {
+		panic("metrics: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// DefLatencyBuckets is the default duration bucket layout (seconds):
+// 26 exponential buckets from 1µs to ~33s, covering everything from a
+// warm cached path lookup to a pathological full solve.
+var DefLatencyBuckets = ExponentialBuckets(1e-6, 2, 26)
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bounds returns the histogram's finite upper bounds (shared; treat as
+// read-only).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot returns a consistent-enough point-in-time copy for reporting
+// (buckets are read in sequence; a concurrent Observe may straddle the
+// read, an error of at most the in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile is shorthand for Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // finite upper bounds
+	Counts []int64   // per-bucket (non-cumulative); last is +Inf overflow
+	Sum    float64
+	Count  int64
+}
+
+// Mean returns the mean observation (0 with none).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimator as Prometheus's histogram_quantile: observations are
+// assumed uniform within a bucket, the first bucket's lower bound is 0
+// (the instrument is meant for non-negative quantities), and a rank
+// landing in the +Inf overflow bucket reports the last finite bound.
+// It returns NaN with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			if i == len(s.Bounds) { // +Inf bucket: no upper bound to interpolate to
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			return lo + (hi-lo)*((rank-cum)/float64(c))
+		}
+		cum += float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+
+	"truthfulufp/internal/stats"
+)
+
+// TestExpositionGolden pins the exact text exposition: HELP/TYPE lines,
+// name sorting, label rendering and escaping, histogram bucket/sum/
+// count rendering, and integer-vs-float value formatting.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reqs := reg.NewCounterFamily("test_requests_total", "Requests by route.", "route", "code")
+	reqs.Counter("/v1/solve", "2xx").Add(3)
+	reqs.Counter("/v1/solve", "5xx").Inc()
+	reqs.Counter(`we"ird\ro`+"\nute", "4xx").Inc()
+
+	g := reg.NewGaugeFamily("test_in_flight", "In-flight requests.")
+	g.Gauge().Add(2)
+
+	reg.NewGaugeFamily("test_queue_depth", `Depth with \ and
+newline in help.`).GaugeFunc(func() float64 { return 1.5 })
+
+	h := reg.NewHistogramFamily("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	hh := h.Histogram()
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		hh.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_in_flight In-flight requests.
+# TYPE test_in_flight gauge
+test_in_flight 2
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="10"} 4
+test_latency_seconds_bucket{le="+Inf"} 5
+test_latency_seconds_sum 56.05
+test_latency_seconds_count 5
+# HELP test_queue_depth Depth with \\ and\nnewline in help.
+# TYPE test_queue_depth gauge
+test_queue_depth 1.5
+# HELP test_requests_total Requests by route.
+# TYPE test_requests_total counter
+test_requests_total{route="/v1/solve",code="2xx"} 3
+test_requests_total{route="/v1/solve",code="5xx"} 1
+test_requests_total{route="we\"ird\\ro\nute",code="4xx"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramQuantiles checks the bucket-interpolated quantiles
+// against the exact order statistics of stats.Quantile: with
+// fine-grained buckets the estimate must land within one bucket width
+// of the truth, and mean/count/sum must agree with stats.Summary.
+func TestHistogramQuantiles(t *testing.T) {
+	bounds := make([]float64, 200)
+	for i := range bounds {
+		bounds[i] = float64(i+1) / 200 // uniform buckets over (0, 1]
+	}
+	h := NewHistogram(bounds)
+	rng := rand.New(rand.NewPCG(7, 11))
+	xs := make([]float64, 5000)
+	var sum stats.Summary
+	for i := range xs {
+		xs[i] = rng.Float64()
+		h.Observe(xs[i])
+		sum.Add(xs[i])
+	}
+	snap := h.Snapshot()
+	if snap.Count != int64(sum.N()) {
+		t.Fatalf("count = %d, want %d", snap.Count, sum.N())
+	}
+	if math.Abs(snap.Mean()-sum.Mean()) > 1e-9 {
+		t.Errorf("mean = %g, want %g", snap.Mean(), sum.Mean())
+	}
+	width := 1.0 / 200
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		exact := stats.Quantile(xs, q)
+		got := snap.Quantile(q)
+		if math.Abs(got-exact) > width {
+			t.Errorf("q=%g: histogram %g vs exact %g (> one bucket width %g)", q, got, exact, width)
+		}
+	}
+}
+
+// TestHistogramQuantileEdges pins the boundary behavior: no
+// observations → NaN; everything in the overflow bucket → last finite
+// bound; q clamped into [0,1].
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty histogram quantile = %g, want NaN", q)
+	}
+	h.Observe(100)
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("overflow-bucket quantile = %g, want last bound 2", q)
+	}
+	h2 := NewHistogram([]float64{1, 2, 4})
+	h2.Observe(0.5)
+	h2.Observe(1.5)
+	h2.Observe(3)
+	if q := h2.Quantile(-1); q != h2.Quantile(0) {
+		t.Errorf("q<0 not clamped: %g vs %g", q, h2.Quantile(0))
+	}
+	if q := h2.Quantile(2); q != h2.Quantile(1) {
+		t.Errorf("q>1 not clamped: %g vs %g", q, h2.Quantile(1))
+	}
+}
+
+// TestRegistryPanics pins the registration error contract.
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	reg.NewCounterFamily("dup_total", "")
+	expectPanic("duplicate name", func() { reg.NewGaugeFamily("dup_total", "") })
+	expectPanic("bad metric name", func() { reg.NewCounterFamily("0bad", "") })
+	expectPanic("bad label name", func() { reg.NewCounterFamily("ok_total", "", "le") })
+	expectPanic("label arity", func() {
+		reg.NewCounterFamily("labeled_total", "", "a").Counter("x", "y")
+	})
+	expectPanic("bad bounds", func() { NewHistogram([]float64{2, 1}) })
+	expectPanic("empty bounds", func() { NewHistogram(nil) })
+}
+
+// TestConcurrentInstruments exercises the atomics under the race
+// detector.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounterFamily("c_total", "").Counter()
+	g := reg.NewGaugeFamily("g", "").Gauge()
+	h := reg.NewHistogramFamily("h", "", DefLatencyBuckets).Histogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %g, want 0", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestHistogramAdoption checks Family.Observe adoption and the bounds
+// mismatch panic.
+func TestHistogramAdoption(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram([]float64{1, 2, 3})
+	fam := reg.NewHistogramFamily("adopted_seconds", "", []float64{1, 2, 3})
+	fam.Observe(h)
+	h.Observe(1.5)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `adopted_seconds_bucket{le="2"} 1`) {
+		t.Errorf("adopted histogram not exposed:\n%s", b.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bounds mismatch: no panic")
+		}
+	}()
+	reg.NewHistogramFamily("mismatch_seconds", "", []float64{1, 2}).Observe(h)
+}

@@ -1,0 +1,392 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format the registry writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Registry is a concurrency-safe collection of metric families. Names
+// are unique across the registry; registration panics on a duplicate or
+// malformed name — like the solver registry, a name collision is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Family
+	names  []string // registration order; exposition sorts
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Family)}
+}
+
+// familyKind is the exposed TYPE of a family.
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Family is one metric name with its help text, type, and label schema,
+// holding any number of children (one per distinct label-value tuple;
+// exactly one for an unlabeled family). Children are either owned
+// instruments or scrape-time functions.
+type Family struct {
+	name       string
+	help       string
+	kind       familyKind
+	labelNames []string
+	bounds     []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+}
+
+type child struct {
+	labelValues []string
+	counter     *Counter
+	counterFn   func() int64
+	gauge       *Gauge
+	gaugeFn     func() float64
+	hist        *Histogram
+}
+
+// register adds a family under r, panicking on duplicates or malformed
+// names.
+func (r *Registry) register(name, help string, kind familyKind, labelNames []string, bounds []float64) *Family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) || strings.HasPrefix(l, "__") || l == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	f := &Family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		bounds:     bounds,
+		children:   make(map[string]*child),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.byName[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+// validName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewCounterFamily registers a counter family. With zero labelNames the
+// family is a single series; Counter()/Func() then take no label
+// values.
+func (r *Registry) NewCounterFamily(name, help string, labelNames ...string) *Family {
+	return r.register(name, help, kindCounter, labelNames, nil)
+}
+
+// NewGaugeFamily registers a gauge family.
+func (r *Registry) NewGaugeFamily(name, help string, labelNames ...string) *Family {
+	return r.register(name, help, kindGauge, labelNames, nil)
+}
+
+// NewHistogramFamily registers a histogram family over the given bucket
+// bounds (see NewHistogram).
+func (r *Registry) NewHistogramFamily(name, help string, bounds []float64, labelNames ...string) *Family {
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], 1) {
+		bounds = bounds[:n-1]
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram family %q needs bucket bounds", name))
+	}
+	return r.register(name, help, kindHistogram, labelNames, append([]float64(nil), bounds...))
+}
+
+// key joins label values into the child map key.
+func (f *Family) key(labelValues []string) string {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s takes %d label values, got %d", f.name, len(f.labelNames), len(labelValues)))
+	}
+	return strings.Join(labelValues, "\xff")
+}
+
+// add installs a child (or returns the existing one for the same label
+// values; mixing owned and func-backed children under one tuple
+// panics).
+func (f *Family) add(labelValues []string, mk func() *child) *child {
+	k := f.key(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[k]; ok {
+		return c
+	}
+	c := mk()
+	c.labelValues = append([]string(nil), labelValues...)
+	f.children[k] = c
+	f.order = append(f.order, k)
+	return c
+}
+
+// Counter returns the owned counter under the given label values,
+// creating it on first use.
+func (f *Family) Counter(labelValues ...string) *Counter {
+	if f.kind != kindCounter {
+		panic(fmt.Sprintf("metrics: %s is a %s family, not counter", f.name, f.kind))
+	}
+	c := f.add(labelValues, func() *child { return &child{counter: new(Counter)} })
+	if c.counter == nil {
+		panic(fmt.Sprintf("metrics: %s%v is func-backed", f.name, labelValues))
+	}
+	return c.counter
+}
+
+// Func attaches a scrape-time counter child: fn is evaluated on every
+// exposition. The way to surface a count a subsystem already tracks.
+func (f *Family) Func(fn func() int64, labelValues ...string) {
+	if f.kind != kindCounter {
+		panic(fmt.Sprintf("metrics: %s is a %s family, not counter", f.name, f.kind))
+	}
+	f.add(labelValues, func() *child { return &child{counterFn: fn} })
+}
+
+// Gauge returns the owned gauge under the given label values.
+func (f *Family) Gauge(labelValues ...string) *Gauge {
+	if f.kind != kindGauge {
+		panic(fmt.Sprintf("metrics: %s is a %s family, not gauge", f.name, f.kind))
+	}
+	c := f.add(labelValues, func() *child { return &child{gauge: new(Gauge)} })
+	if c.gauge == nil {
+		panic(fmt.Sprintf("metrics: %s%v is func-backed", f.name, labelValues))
+	}
+	return c.gauge
+}
+
+// GaugeFunc attaches a scrape-time gauge child.
+func (f *Family) GaugeFunc(fn func() float64, labelValues ...string) {
+	if f.kind != kindGauge {
+		panic(fmt.Sprintf("metrics: %s is a %s family, not gauge", f.name, f.kind))
+	}
+	f.add(labelValues, func() *child { return &child{gaugeFn: fn} })
+}
+
+// Histogram returns the owned histogram under the given label values,
+// created with the family's bucket bounds.
+func (f *Family) Histogram(labelValues ...string) *Histogram {
+	if f.kind != kindHistogram {
+		panic(fmt.Sprintf("metrics: %s is a %s family, not histogram", f.name, f.kind))
+	}
+	c := f.add(labelValues, func() *child { return &child{hist: NewHistogram(f.bounds)} })
+	return c.hist
+}
+
+// Observe attaches an existing histogram as a child — the adoption path
+// for instruments allocated before any registry exists (the engine's
+// and session manager's latency histograms). The histogram's bounds
+// must equal the family's.
+func (f *Family) Observe(h *Histogram, labelValues ...string) {
+	if f.kind != kindHistogram {
+		panic(fmt.Sprintf("metrics: %s is a %s family, not histogram", f.name, f.kind))
+	}
+	if len(h.bounds) != len(f.bounds) {
+		panic(fmt.Sprintf("metrics: %s bucket layout mismatch", f.name))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != f.bounds[i] {
+			panic(fmt.Sprintf("metrics: %s bucket layout mismatch", f.name))
+		}
+	}
+	f.add(labelValues, func() *child { return &child{hist: h} })
+}
+
+// WriteText writes every family in the Prometheus text exposition
+// format, families sorted by name and series by label values, so output
+// is deterministic (golden-testable) regardless of registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	fams := make(map[string]*Family, len(names))
+	for _, n := range names {
+		fams[n] = r.byName[n]
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fams[n].writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition (the body of
+// GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+func (f *Family) writeText(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	sort.Sort(&bySortKey{keys, children})
+
+	if f.help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+	for _, c := range children {
+		switch f.kind {
+		case kindCounter:
+			v := c.counterFn
+			if v == nil {
+				v = c.counter.Value
+			}
+			f.writeSeries(b, "", c.labelValues, "", formatInt(v()))
+		case kindGauge:
+			var v float64
+			if c.gaugeFn != nil {
+				v = c.gaugeFn()
+			} else {
+				v = c.gauge.Value()
+			}
+			f.writeSeries(b, "", c.labelValues, "", formatFloat(v))
+		case kindHistogram:
+			s := c.hist.Snapshot()
+			var cum int64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				f.writeSeries(b, "_bucket", c.labelValues, formatFloat(bound), formatInt(cum))
+			}
+			cum += s.Counts[len(s.Bounds)]
+			f.writeSeries(b, "_bucket", c.labelValues, "+Inf", formatInt(cum))
+			f.writeSeries(b, "_sum", c.labelValues, "", formatFloat(s.Sum))
+			f.writeSeries(b, "_count", c.labelValues, "", formatInt(s.Count))
+		}
+	}
+}
+
+// writeSeries emits one sample line: name[suffix]{labels[,le]} value.
+func (f *Family) writeSeries(b *strings.Builder, suffix string, labelValues []string, le, value string) {
+	b.WriteString(f.name)
+	b.WriteString(suffix)
+	if len(labelValues) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, v := range labelValues {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f.labelNames[i])
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(v))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labelValues) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// bySortKey sorts children by their label-value key alongside the keys.
+type bySortKey struct {
+	keys     []string
+	children []*child
+}
+
+func (s *bySortKey) Len() int           { return len(s.keys) }
+func (s *bySortKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *bySortKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.children[i], s.children[j] = s.children[j], s.children[i]
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines (the HELP line rules).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, double quotes, and newlines (the
+// label-value rules).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

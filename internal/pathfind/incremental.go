@@ -81,6 +81,9 @@ type Incremental struct {
 
 	recomputed int64 // structures rebuilt by Refresh
 	reused     int64 // active structures served from cache
+	refreshes  int64 // Refresh calls
+	ptHits     int64 // PathTo answers served from a fresh tree or cached path
+	ptMisses   int64 // PathTo answers that ran an early-exit search
 }
 
 // NewIncremental builds an additive (Dijkstra) cache for the given
@@ -290,6 +293,7 @@ func (inc *Incremental) InvalidateAll() {
 // deduplicated here, because handing the same slot to two workers would
 // race on its structure.
 func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) int {
+	inc.refreshes++
 	inc.activeGen++
 	if inc.activeGen == 0 { // uint32 wraparound: invalidate stale stamps
 		for i := range inc.activeStamp {
@@ -430,6 +434,7 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 	if inc.fresh[slot] {
 		t := inc.trees[slot]
 		inc.reused++
+		inc.ptHits++
 		if math.IsInf(t.Dist[target], 1) {
 			return nil, math.Inf(1), false
 		}
@@ -438,6 +443,7 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 	}
 	if inc.ptFresh[slot] && int(inc.ptTarget[slot]) == target {
 		inc.reused++
+		inc.ptHits++
 		return inc.ptPath[slot], inc.ptDist[slot], inc.ptOK[slot]
 	}
 	sc := inc.pool.Get(inc.g.NumVertices())
@@ -451,6 +457,7 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 	}
 	inc.pool.Put(sc)
 	inc.recomputed++
+	inc.ptMisses++
 	u := inc.ptUses[slot]
 	if u == nil {
 		u = make([]uint64, inc.words)
@@ -476,4 +483,49 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 // the dirty-source speedup.
 func (inc *Incremental) Stats() (recomputed, reused int64) {
 	return inc.recomputed, inc.reused
+}
+
+// CacheStats is the cache's full observer view: lifetime counters cheap
+// enough to read on every scrape. The fields only ever increase; an
+// aggregation over several caches (the session manager sums its live
+// sessions') may still shrink as caches are dropped, which is why the
+// serving stack surfaces them as gauges.
+type CacheStats struct {
+	// Refreshes counts Refresh calls (solver iterations driving the
+	// cache).
+	Refreshes int64
+	// Recomputed / Reused split the structures (and single-target
+	// searches) the cache was asked for into rebuilt-from-scratch versus
+	// served-clean — Stats() in struct form.
+	Recomputed int64
+	Reused     int64
+	// PathToHits / PathToMisses split PathTo answers into served from a
+	// fresh tree or clean cached path versus answered by an early-exit
+	// search.
+	PathToHits   int64
+	PathToMisses int64
+}
+
+// DirtyRatio is the fraction of demanded structures that had to be
+// recomputed (0 with no demand): the dirty-source rate the incremental
+// design exists to keep small.
+func (s CacheStats) DirtyRatio() float64 {
+	total := s.Recomputed + s.Reused
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Recomputed) / float64(total)
+}
+
+// CacheStats returns the cache's observer counters. Like every other
+// read, it must be driven from the cache's single driving goroutine (or
+// under the caller's lock serializing against it).
+func (inc *Incremental) CacheStats() CacheStats {
+	return CacheStats{
+		Refreshes:    inc.refreshes,
+		Recomputed:   inc.recomputed,
+		Reused:       inc.reused,
+		PathToHits:   inc.ptHits,
+		PathToMisses: inc.ptMisses,
+	}
 }

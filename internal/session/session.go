@@ -27,6 +27,7 @@ import (
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/lru"
+	"truthfulufp/internal/metrics"
 	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/stats"
 )
@@ -92,6 +93,14 @@ type Manager struct {
 	rejects    stats.Counter
 	quotes     stats.Counter
 	releases   stats.Counter
+
+	// admitLatency / quoteLatency bucket the per-call solver time of
+	// Admit and Quote across all sessions — the paper's online setting
+	// makes per-admit latency the product metric, so it is always
+	// measured (one histogram observation per call) and adopted into a
+	// registry by RegisterMetrics.
+	admitLatency *metrics.Histogram
+	quoteLatency *metrics.Histogram
 }
 
 // NewManager builds a Manager.
@@ -103,7 +112,12 @@ func NewManager(cfg Config) *Manager {
 	if pool == nil {
 		pool = pathfind.NewPool()
 	}
-	m := &Manager{cfg: cfg, pool: pool}
+	m := &Manager{
+		cfg:          cfg,
+		pool:         pool,
+		admitLatency: metrics.NewHistogram(metrics.DefLatencyBuckets),
+		quoteLatency: metrics.NewHistogram(metrics.DefLatencyBuckets),
+	}
 	m.sessions = lru.New(cfg.MaxSessions, func(_ string, s *Session) {
 		s.markClosed()
 	})
@@ -191,6 +205,77 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
+// PathCacheStats sums the warm path caches' observer counters over the
+// currently live sessions: the fleet-wide dirty-source picture. Values
+// shrink when sessions are evicted (the counters of a gone session are
+// gone with it), so /metrics surfaces them as gauges.
+func (m *Manager) PathCacheStats() pathfind.CacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var agg pathfind.CacheStats
+	m.sessions.Each(func(_ string, s *Session) bool {
+		// m.mu before s.mu is the manager's lock order: session operations
+		// under s.mu only touch the manager's atomic counters, never m.mu.
+		s.mu.Lock()
+		cs := s.st.CacheStats()
+		s.mu.Unlock()
+		agg.Refreshes += cs.Refreshes
+		agg.Recomputed += cs.Recomputed
+		agg.Reused += cs.Reused
+		agg.PathToHits += cs.PathToHits
+		agg.PathToMisses += cs.PathToMisses
+		return true
+	})
+	return agg
+}
+
+// RegisterMetrics registers the manager's instrument families — the
+// ufp_session_* lifecycle and operation counters, the admit/quote
+// latency histograms, and the ufp_pathcache_* gauges aggregated over
+// live sessions — into reg. Call once per registry; the scalar
+// families are func-backed and read at scrape time.
+func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
+	counter := func(name, help string, fn func() int64) {
+		reg.NewCounterFamily(name, help).Func(fn)
+	}
+	reg.NewGaugeFamily("ufp_session_live", "Sessions currently registered.").GaugeFunc(func() float64 {
+		return float64(m.Len())
+	})
+	counter("ufp_session_created_total", "Sessions ever registered.", m.created.Load)
+	evictions := reg.NewCounterFamily("ufp_session_evictions_total",
+		"Sessions evicted, split by reason (lru = capacity, ttl = idleness).", "reason")
+	evictions.Func(m.evictedLRU.Load, "lru")
+	evictions.Func(m.evictedTTL.Load, "ttl")
+	counter("ufp_session_closed_total", "Sessions closed explicitly.", m.closed.Load)
+	counter("ufp_session_admits_total", "Streamed requests admitted.", m.admits.Load)
+	counter("ufp_session_rejects_total", "Streamed requests rejected.", m.rejects.Load)
+	counter("ufp_session_quotes_total", "Price quotes served.", m.quotes.Load)
+	counter("ufp_session_releases_total", "Admissions released.", m.releases.Load)
+	reg.NewHistogramFamily("ufp_session_admit_duration_seconds",
+		"Per-admit solver time (one observation per Admit call, admitted or not).",
+		metrics.DefLatencyBuckets).Observe(m.admitLatency)
+	reg.NewHistogramFamily("ufp_session_quote_duration_seconds",
+		"Per-quote solver time.",
+		metrics.DefLatencyBuckets).Observe(m.quoteLatency)
+	pcGauge := func(name, help string, fn func(pathfind.CacheStats) float64) {
+		reg.NewGaugeFamily(name, help).GaugeFunc(func() float64 {
+			return fn(m.PathCacheStats())
+		})
+	}
+	pcGauge("ufp_pathcache_refreshes", "Refresh calls summed over live sessions' path caches.",
+		func(s pathfind.CacheStats) float64 { return float64(s.Refreshes) })
+	pcGauge("ufp_pathcache_tree_recomputed", "Structures rebuilt from scratch (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.Recomputed) })
+	pcGauge("ufp_pathcache_tree_reused", "Structures served clean from cache (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.Reused) })
+	pcGauge("ufp_pathcache_path_hits", "PathTo answers served from a fresh tree or clean cached path (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.PathToHits) })
+	pcGauge("ufp_pathcache_path_misses", "PathTo answers that ran an early-exit search (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.PathToMisses) })
+	pcGauge("ufp_pathcache_dirty_ratio", "Fraction of demanded structures recomputed (live sessions, 0..1).",
+		func(s pathfind.CacheStats) float64 { return s.DirtyRatio() })
+}
+
 // sweepLocked expires idle sessions from the LRU's cold end. Recency
 // order and last-use order coincide (every path that touches a session
 // also touches its recency), so the sweep stops at the first live
@@ -253,7 +338,9 @@ func (s *Session) Admit(r core.Request) (core.Decision, error) {
 		return core.Decision{}, ErrSessionClosed
 	}
 	s.touch()
+	start := time.Now()
 	d, err := s.st.Admit(r)
+	s.mgr.admitLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return d, err
 	}
@@ -276,7 +363,9 @@ func (s *Session) Quote(r core.Request) (core.Decision, error) {
 		return core.Decision{}, ErrSessionClosed
 	}
 	s.touch()
+	start := time.Now()
 	d, err := s.st.Quote(r)
+	s.mgr.quoteLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return d, err
 	}
