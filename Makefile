@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-trend serve fmt vet ci smoke smoke-session smoke-metrics
+.PHONY: all build test bench bench-json bench-trend fuzz-smoke serve fmt vet ci smoke smoke-session smoke-metrics
 
 all: build
 
@@ -30,11 +30,21 @@ bench-json:
 # Benchmark trend gate (the CI step): measure the full-size path suite
 # into a throwaway snapshot and fail on a >25% regression of any
 # derived speedup (IncrementalSolve, IncrementalBottleneck,
-# IncrementalBellman, SingleTarget, SessionAdmit) relative to the
-# committed BENCH_path.json. Speedup ratios are machine-portable;
-# absolute ns/op are not.
+# IncrementalBellman, SingleTarget, Landmark, Bidirectional,
+# AuctionReasonable, SessionAdmit) relative to the committed
+# BENCH_path.json. Speedup ratios are machine-portable; absolute ns/op
+# are not.
 bench-trend:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH_path_fresh.json -baseline BENCH_path.json -max-regression 0.25
+
+# Short native-fuzz passes over the path engine's canonical tie-break
+# invariants (the CI step): leximax bottleneck tree properties, and the
+# ALT/bidirectional oracle's bit-identity to the plain search, each
+# against fresh randomly generated (graph, weights, bump-sequence)
+# triples. Go allows one -fuzz target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzBottleneckLeximax$$' -fuzztime=10s ./internal/pathfind/
+	$(GO) test -run='^$$' -fuzz='^FuzzLandmarkOracle$$' -fuzztime=10s ./internal/pathfind/
 
 serve:
 	$(GO) run ./cmd/ufpserve
@@ -99,4 +109,4 @@ smoke-metrics:
 	grep -Eq '^ufp_engine_cache_hits_total [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
 	echo "metrics exposition smoke: ok"
 
-ci: fmt vet build test bench smoke smoke-session smoke-metrics
+ci: fmt vet build test bench fuzz-smoke smoke smoke-session smoke-metrics

@@ -45,6 +45,10 @@
 //
 // In experiment mode -scenario restricts the S1 catalog sweep to one
 // topology family.
+//
+// Every mode accepts -cpuprofile and -memprofile, which write pprof
+// profiles of the run (CPU for its whole duration, heap at exit) for
+// `go tool pprof`.
 package main
 
 import (
@@ -55,6 +59,8 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -111,9 +117,37 @@ func run(args []string, out io.Writer) error {
 		size     = fs.Int("size", 0, "session: scenario vertex count (0 = topology default; 1000 = the waxman-1k target)")
 		requests = fs.Int("requests", 0, "session: scenario request count (0 = topology default)")
 		resolves = fs.Int("resolve-samples", 3, "session: timed full-solve samples for the stateless comparison")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ufpbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ufpbench: memprofile:", err)
+			}
+		}()
 	}
 	if *algs {
 		cliio.PrintAlgorithms(out, nil)
@@ -440,6 +474,17 @@ func runSession(out io.Writer, cfg sessionBenchConfig) error {
 		hs.Quantile(0.99)*1e3, hs.Quantile(0.999)*1e3)
 	fmt.Fprintf(out, "  admit max          %.3f ms\n", lat.Max()*1e3)
 	fmt.Fprintf(out, "  path cache         %d reused / %d recomputed\n", info.PathReused, info.PathRecomputed)
+	if info.OracleSearches > 0 {
+		fmt.Fprintf(out, "  path oracle        %d searches, %.1f%% pruned vs full tree\n",
+			info.OracleSearches, info.OraclePruneRatio*100)
+	}
+	if info.BidiProbes > 0 {
+		fmt.Fprintf(out, "  bidi probes        %d (%d met)\n", info.BidiProbes, info.BidiMeets)
+	}
+	if info.PolicyTree+info.PolicySingle > 0 {
+		fmt.Fprintf(out, "  refresh policy     %d tree / %d single decisions\n",
+			info.PolicyTree, info.PolicySingle)
+	}
 	if resolve.N() > 0 {
 		fmt.Fprintf(out, "  full resolve mean  %.3f ms (%d samples)\n", resolve.Mean()*1e3, resolve.N())
 		if lat.Mean() > 0 {

@@ -103,11 +103,18 @@
 // each primal-dual iteration raises prices only on the edges of the one
 // admitted path, so only structures using those edges (restricted, for
 // trees, to the paths serving each source's own request targets) are
-// recomputed. Single-target queries run on an early-exit oracle
-// (Scratch.ShortestPathTo / Incremental.PathTo) instead of whole trees;
-// the mechanism's payment bisection uses it throughout. Cached answers
+// recomputed. Single-target queries run on a goal-directed oracle
+// (Scratch.ShortestPathTo / Incremental.PathTo) instead of whole trees,
+// accelerated by ALT landmark A* (tables built once from the initial
+// prices 1/c_e, which monotone price increases never undercut),
+// bidirectional meet-in-the-middle probes over the frozen reverse CSR,
+// and an adaptive per-source policy that watches observed dirty rates
+// and target fan-out to choose tree rebuilds versus oracle queries
+// (Options.Adaptive / Landmarks / Bidirectional); the mechanism's
+// payment bisection enables all three automatically. Cached answers
 // are bit-identical to recomputation (every kind's tie-break is
-// canonical), so the solvers' allocations do not depend on caching;
+// canonical, and each acceleration provably preserves it), so the
+// solvers' allocations do not depend on caching;
 // Options.NoIncremental and EngineOptions.NoIncremental disable it for
 // benchmarking (BENCH_path.json tracks the speedups).
 //

@@ -43,3 +43,43 @@ func TestBundleSumCacheMatchesFullResum(t *testing.T) {
 		}
 	}
 }
+
+// TestIterativeBundleMinCacheMatchesFullRecompute: the rule-generic
+// engine's dirty-request length cache selects exactly what the full
+// per-iteration recompute selects, for every built-in rule and both
+// stop regimes.
+func TestIterativeBundleMinCacheMatchesFullRecompute(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		inst, err := auction.RandomInstance(workload.NewRNG(seed+31), auction.RandomConfig{
+			Items: 10 + int(seed), Requests: 80, B: 15 + float64(seed)*5,
+			MultSpread: 0.4, BundleMin: 1, BundleMax: 5,
+			ValueMin: 0.5, ValueMax: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 0.1 + 0.1*float64(seed)
+		for _, rule := range auction.AllBundleRules() {
+			for _, feas := range []bool{false, true} {
+				opt := auction.BundleEngineOptions{
+					Rule: rule, Eps: eps,
+					FeasibleOnly: feas, UseDualStop: !feas,
+				}
+				optFull := opt
+				optFull.NoIncremental = true
+				full, err := auction.IterativeBundleMin(inst, optFull)
+				if err != nil {
+					t.Fatal(err)
+				}
+				incr, err := auction.IterativeBundleMin(inst, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(full, incr) {
+					t.Fatalf("seed %d rule %s feas %v: allocations differ:\n full: %+v\n incr: %+v",
+						seed, rule.Name(), feas, full, incr)
+				}
+			}
+		}
+	}
+}

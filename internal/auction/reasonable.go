@@ -101,12 +101,31 @@ type BundleEngineOptions struct {
 	// smaller index wins).
 	TieBreak      func(a, b int) bool
 	MaxIterations int
+	// NoIncremental disables the dirty-request bundle-length cache:
+	// every iteration recomputes every remaining request's length from
+	// scratch. Selections are identical either way — cached lengths are
+	// bit-identical to recomputation — so this exists for benchmarking
+	// the cache and as an escape hatch.
+	NoIncremental bool
 }
 
 // IterativeBundleMin runs a reasonable iterative bundle minimizing
 // algorithm (Definition 4.4): repeatedly select the unselected request
 // minimizing (1/v_r)·Rule-length and allocate its bundle. With
 // ExpBundleRule and the dual stop this coincides with Bounded-MUCA.
+//
+// Per-iteration work is kept incremental the same way the UFP engine's
+// path caches are: allocating a bundle only moves the loads of its own
+// items, so only requests sharing an item with the winner can see a
+// different Length next iteration. An item→requests inverted index
+// marks exactly those dirty, and the selection scan recomputes dirty
+// lengths (and feasibility) from scratch while reusing the rest. A
+// reused length is the bit-identical float the recompute would produce
+// — Length is a pure function of the request's own item loads, summed
+// in a fixed order — so selections never depend on the caching; the
+// dual-stop sum is still recomputed in full each iteration (an
+// incremental accumulation would NOT be bit-identical).
+// BundleEngineOptions.NoIncremental forces the full recompute.
 func IterativeBundleMin(inst *Instance, opt BundleEngineOptions) (*Allocation, error) {
 	if opt.Rule == nil {
 		return nil, errors.New("auction: IterativeBundleMin requires a Rule")
@@ -149,6 +168,20 @@ func IterativeBundleMin(inst *Instance, opt BundleEngineOptions) (*Allocation, e
 		}
 		return true
 	}
+	// Dirty-request length cache: byItem inverts bundle membership so an
+	// allocation dirties exactly the requests whose loads it moved.
+	length := make([]float64, len(inst.Requests))
+	feasible := make([]bool, len(inst.Requests))
+	dirty := make([]bool, len(inst.Requests))
+	for i := range dirty {
+		dirty[i] = true
+	}
+	byItem := make([][]int32, inst.NumItems())
+	for i, r := range inst.Requests {
+		for _, u := range r.Bundle {
+			byItem[u] = append(byItem[u], int32(i))
+		}
+	}
 	for {
 		if numRemaining == 0 {
 			alloc.Stop = StopAllSatisfied
@@ -173,10 +206,15 @@ func IterativeBundleMin(inst *Instance, opt BundleEngineOptions) (*Allocation, e
 			if !remaining[i] {
 				continue
 			}
-			if opt.FeasibleOnly && !fits(i) {
+			if dirty[i] || opt.NoIncremental {
+				length[i] = opt.Rule.Length(inst, i, load, opt.Eps, b)
+				feasible[i] = !opt.FeasibleOnly || fits(i)
+				dirty[i] = false
+			}
+			if !feasible[i] {
 				continue
 			}
-			ratio := opt.Rule.Length(inst, i, load, opt.Eps, b) / r.Value
+			ratio := length[i] / r.Value
 			switch {
 			case best < 0 || ratio < bestRatio && !ratiosTied(ratio, bestRatio):
 				best, bestRatio = i, ratio
@@ -190,6 +228,11 @@ func IterativeBundleMin(inst *Instance, opt BundleEngineOptions) (*Allocation, e
 		}
 		for _, u := range inst.Requests[best].Bundle {
 			load[u]++
+		}
+		for _, u := range inst.Requests[best].Bundle {
+			for _, i := range byItem[u] {
+				dirty[i] = true
+			}
 		}
 		alloc.Selected = append(alloc.Selected, best)
 		alloc.Value += inst.Requests[best].Value

@@ -14,11 +14,13 @@ import (
 	"testing"
 	"time"
 
+	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
 	"truthfulufp/internal/graph"
 	"truthfulufp/internal/metrics"
 	"truthfulufp/internal/pathfind"
 	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/workload"
 )
 
 // Case is one leaf benchmark: a slash-separated name and a standard
@@ -59,6 +61,17 @@ const (
 	quickBelHops    = 5
 	quickBelIters   = 4
 	quickBelReqs    = 60
+
+	// The auction pair measures the bundle engine's dirty-request length
+	// cache: per iteration the full recompute prices every remaining
+	// request while the cache prices only requests sharing an item with
+	// the last winner, so the ratio grows with requests/items sparsity.
+	auctionItems    = 150
+	auctionRequests = 2500
+	auctionIters    = 600
+	quickAucItems   = 40
+	quickAucReqs    = 400
+	quickAucIters   = 120
 )
 
 // instCache memoizes generated scenario instances across cases and
@@ -97,6 +110,29 @@ func waxmanSized(quick bool, requests int) *core.Instance {
 	return v.(*core.Instance)
 }
 
+// auctionInstance generates (and memoizes) the multi-unit auction
+// instance of the AuctionReasonable pair.
+func auctionInstance(quick bool) *auction.Instance {
+	items, requests := auctionItems, auctionRequests
+	if quick {
+		items, requests = quickAucItems, quickAucReqs
+	}
+	key := fmt.Sprintf("auction/%d/%d", items, requests)
+	if v, ok := instCache.Load(key); ok {
+		return v.(*auction.Instance)
+	}
+	inst, err := auction.RandomInstance(workload.NewRNG(5), auction.RandomConfig{
+		Items: items, Requests: requests, B: 60,
+		MultSpread: 0.4, BundleMin: 2, BundleMax: 6,
+		ValueMin: 0.5, ValueMax: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := instCache.LoadOrStore(key, inst)
+	return v.(*auction.Instance)
+}
+
 // unfrozen rebuilds a structurally identical graph without a frozen
 // CSR, for the adjacency-walk baseline.
 func unfrozen(g *graph.Graph) *graph.Graph {
@@ -125,10 +161,18 @@ func unfrozen(g *graph.Graph) *graph.Graph {
 //     kind-generic cache) with caching off and on.
 //   - IncrementalBellman/{full-recompute,incremental}: the same under
 //     LogHopsRule (KindHopBounded Bellman-Ford tables).
-//   - SingleTarget/{full-tree,early-exit}: one (source, target) query
-//     answered by a full Dijkstra tree + PathTo versus the early-exit
-//     single-target search (Scratch.ShortestPathTo) the mechanism's
-//     payment bisection runs on.
+//   - SingleTarget/{full-tree,early-exit,landmark,bidirectional}: one
+//     (source, target) query answered four ways — a full Dijkstra tree
+//     plus PathTo; the plain early-exit single-target search
+//     (Scratch.ShortestPathTo); the ALT landmark-pruned search
+//     (Scratch.ShortestPathToALT); and the bidirectional probe
+//     (ShortestPathToBidi). The last two are the next-gen oracle the
+//     mechanism's payment bisection runs on; all four return
+//     bit-identical paths.
+//   - AuctionReasonable/{full-recompute,incremental}: the iterative
+//     bundle-min engine (ExpBundleRule) with the dirty-request length
+//     cache off and on — identical selections, the ratio is the cache's
+//     per-iteration win.
 //   - SessionAdmit/{full-resolve,streamed}: the stateful session API's
 //     headline — one op is either the full batch online solve a
 //     stateless client pays to refresh its view per request, or one
@@ -203,11 +247,12 @@ func PathCases(quick bool) []Case {
 		return ruleSolve(func() core.Rule { return &core.LogHopsRule{MaxHops: belHops} },
 			0.25, belIters, belReqs, noInc)
 	}
-	singleTarget := func(early bool) func(b *testing.B) {
+	singleTarget := func(mode string) func(b *testing.B) {
 		return func(b *testing.B) {
 			inst := waxmanInstance(quick)
 			g := inst.G
 			g.Freeze()
+			g.FreezeReverse()
 			// Perturbed prices, as after a few primal-dual iterations: flat
 			// 1/c weights put most vertices on a handful of distance
 			// plateaus, which neuters the early exit's stop condition and
@@ -218,22 +263,55 @@ func PathCases(quick bool) []Case {
 				w[e] = (1 + rng.Float64()) / g.Edge(e).Capacity
 			}
 			weight := pathfind.FromSlice(w)
+			var lm *pathfind.Landmarks
+			if mode == "landmark" || mode == "bidirectional" {
+				lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, weight)
+			}
 			scratch := pathfind.NewScratch(g.NumVertices())
+			bwd := pathfind.NewScratch(g.NumVertices())
 			var tree *pathfind.Tree
 			reqs := inst.Requests
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r := reqs[i%len(reqs)]
-				if early {
-					if _, _, ok := scratch.ShortestPathTo(g, r.Source, r.Target, weight); !ok {
-						b.Fatal("unreachable target")
-					}
-					continue
+				var ok bool
+				switch mode {
+				case "early-exit":
+					_, _, ok = scratch.ShortestPathTo(g, r.Source, r.Target, weight)
+				case "landmark":
+					_, _, ok = scratch.ShortestPathToALT(g, r.Source, r.Target, weight, lm)
+				case "bidirectional":
+					_, _, ok = pathfind.ShortestPathToBidi(g, r.Source, r.Target, weight, lm, scratch, bwd)
+				default: // full-tree
+					tree = scratch.Dijkstra(g, r.Source, weight, tree)
+					_, ok = tree.PathTo(r.Target)
 				}
-				tree = scratch.Dijkstra(g, r.Source, weight, tree)
-				if _, ok := tree.PathTo(r.Target); !ok {
+				if !ok {
 					b.Fatal("unreachable target")
+				}
+			}
+		}
+	}
+	auctionSolve := func(noInc bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			inst := auctionInstance(quick)
+			aucIters := auctionIters
+			if quick {
+				aucIters = quickAucIters
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := auction.IterativeBundleMin(inst, auction.BundleEngineOptions{
+					Rule: auction.ExpBundleRule{}, Eps: 0.25, UseDualStop: true,
+					MaxIterations: aucIters, NoIncremental: noInc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Iterations == 0 {
+					b.Fatal("bundle engine selected nothing")
 				}
 			}
 		}
@@ -289,8 +367,12 @@ func PathCases(quick bool) []Case {
 		{"IncrementalBottleneck/incremental", bottleneck(false)},
 		{"IncrementalBellman/full-recompute", bellman(true)},
 		{"IncrementalBellman/incremental", bellman(false)},
-		{"SingleTarget/full-tree", singleTarget(false)},
-		{"SingleTarget/early-exit", singleTarget(true)},
+		{"SingleTarget/full-tree", singleTarget("full-tree")},
+		{"SingleTarget/early-exit", singleTarget("early-exit")},
+		{"SingleTarget/landmark", singleTarget("landmark")},
+		{"SingleTarget/bidirectional", singleTarget("bidirectional")},
+		{"AuctionReasonable/full-recompute", auctionSolve(true)},
+		{"AuctionReasonable/incremental", auctionSolve(false)},
 		{"SessionAdmit/full-resolve", sessionAdmit(false)},
 		{"SessionAdmit/streamed", sessionAdmit(true)},
 		{"ScenarioCatalog/solve", func(b *testing.B) {
@@ -347,9 +429,23 @@ type Snapshot struct {
 	// ≥3× targets on the waxman scenario.
 	BottleneckSpeedup float64 `json:"bottleneck_speedup"`
 	BellmanSpeedup    float64 `json:"bellman_speedup"`
-	// SingleTargetSpeedup is full-tree ns/op over early-exit ns/op for
-	// one (source, target) query — the mechanism-bisection oracle's win.
+	// SingleTargetSpeedup is full-tree ns/op over landmark ns/op for one
+	// (source, target) query — the full win of the mechanism-bisection
+	// oracle's default serving mode over materializing a tree. (Until
+	// the ALT oracle landed this ratio was full-tree over early-exit;
+	// the early-exit baseline is still measured, and LandmarkSpeedup
+	// isolates the pruning's increment over it.)
 	SingleTargetSpeedup float64 `json:"single_target_speedup"`
+	// LandmarkSpeedup is early-exit ns/op over landmark ns/op: what ALT
+	// lower-bound pruning adds on top of the plain early-exit search.
+	LandmarkSpeedup float64 `json:"landmark_speedup,omitempty"`
+	// BidiSpeedup is early-exit ns/op over bidirectional ns/op: the
+	// two-frontier probe's win on the same queries.
+	BidiSpeedup float64 `json:"bidi_speedup,omitempty"`
+	// AuctionSpeedup is full-recompute ns/op over incremental ns/op for
+	// the iterative bundle-min engine — the dirty-request length cache's
+	// win.
+	AuctionSpeedup float64 `json:"auction_speedup,omitempty"`
 	// SessionAdmitSpeedup is the stateful session API's win: full
 	// batch-resolve ns/op over per-admit streamed ns/op on the waxman
 	// scenario (one streamed admit versus the full solve a stateless
@@ -433,7 +529,16 @@ var speedups = []struct {
 		"IncrementalBellman/full-recompute", "IncrementalBellman/incremental"},
 	{"SingleTarget", func(s *Snapshot, v float64) { s.SingleTargetSpeedup = v },
 		func(s Snapshot) float64 { return s.SingleTargetSpeedup },
-		"SingleTarget/full-tree", "SingleTarget/early-exit"},
+		"SingleTarget/full-tree", "SingleTarget/landmark"},
+	{"Landmark", func(s *Snapshot, v float64) { s.LandmarkSpeedup = v },
+		func(s Snapshot) float64 { return s.LandmarkSpeedup },
+		"SingleTarget/early-exit", "SingleTarget/landmark"},
+	{"Bidirectional", func(s *Snapshot, v float64) { s.BidiSpeedup = v },
+		func(s Snapshot) float64 { return s.BidiSpeedup },
+		"SingleTarget/early-exit", "SingleTarget/bidirectional"},
+	{"AuctionReasonable", func(s *Snapshot, v float64) { s.AuctionSpeedup = v },
+		func(s Snapshot) float64 { return s.AuctionSpeedup },
+		"AuctionReasonable/full-recompute", "AuctionReasonable/incremental"},
 	{"SessionAdmit", func(s *Snapshot, v float64) { s.SessionAdmitSpeedup = v },
 		func(s Snapshot) float64 { return s.SessionAdmitSpeedup },
 		"SessionAdmit/full-resolve", "SessionAdmit/streamed"},
@@ -492,7 +597,8 @@ func ReadJSON(r io.Reader) (Snapshot, error) {
 
 // Compare is the CI trend gate: it fails when any derived speedup the
 // baseline carries — IncrementalSolve, IncrementalBottleneck,
-// IncrementalBellman, SingleTarget, SessionAdmit — has regressed more than
+// IncrementalBellman, SingleTarget, Landmark, Bidirectional,
+// AuctionReasonable, SessionAdmit — has regressed more than
 // maxRegression (a fraction, e.g. 0.25) relative to the baseline.
 // Ratios absent from the baseline (older snapshots predating a pair)
 // are skipped, so the gate tightens as snapshots are refreshed.

@@ -55,6 +55,28 @@ type Options struct {
 	// bisection, whose probes re-solve the instance dozens of times per
 	// winner, enables it for exactly that reason.
 	SingleTarget bool
+	// Adaptive replaces SingleTarget's static classification (lone-target
+	// sources to the oracle, everything else to trees) with the per-slot
+	// adaptive refresh policy (pathfind.Incremental.PreferSingle): a
+	// source fanning out to a few targets routes to single-target
+	// searches once its observed dirty rate makes whole-tree refreshes a
+	// loss. Answers are bit-identical whichever way a slot is routed, so
+	// the flag moves work, never results. Implies single-target serving;
+	// SingleTarget need not be set alongside it.
+	Adaptive bool
+	// Landmarks, if non-nil, prunes the single-target oracle's searches
+	// with ALT lower bounds (pathfind.BuildLandmarks). The tables must be
+	// built on the instance's frozen graph under a lower bound of the
+	// run's weights — the initial prices 1/capacity qualify for every
+	// exponential-price run, since prices only rise. The cache
+	// re-validates the bound lazily and self-disables on violation, so a
+	// stale table costs speed, never correctness.
+	Landmarks *pathfind.Landmarks
+	// Bidirectional routes single-target oracle misses through the
+	// bidirectional probe (meet-in-the-middle plus a potential-guided
+	// forward rerun) — the mechanism's critical-value bisection enables
+	// this for its probe re-solves.
+	Bidirectional bool
 	// PathPool, if non-nil, supplies the Dijkstra scratch buffers
 	// (see pathfind.Pool). Sharing one pool across many solves — as the
 	// engine does across its worker pool — keeps the per-solve allocation
@@ -91,7 +113,18 @@ func (o *Options) tieBreak() TieBreak {
 
 func (o *Options) noIncremental() bool { return o != nil && o.NoIncremental }
 
-func (o *Options) singleTarget() bool { return o != nil && o.SingleTarget }
+func (o *Options) singleTarget() bool { return o != nil && (o.SingleTarget || o.Adaptive) }
+
+func (o *Options) adaptive() bool { return o != nil && o.Adaptive }
+
+func (o *Options) landmarks() *pathfind.Landmarks {
+	if o == nil {
+		return nil
+	}
+	return o.Landmarks
+}
+
+func (o *Options) bidirectional() bool { return o != nil && o.Bidirectional }
 
 func (o *Options) pathPool() *pathfind.Pool {
 	if o == nil {
@@ -267,15 +300,21 @@ func boundedUFPLoop(ctx context.Context, inst *Instance, eps float64, opt *Optio
 // to recomputations (see pathfind.Incremental) — so is the candidate,
 // with or without the cache.
 type shortestPaths struct {
-	inst    *Instance
-	workers int
-	full    bool // Options.NoIncremental: recompute all active sources per call
-	single  bool // Options.SingleTarget: per-target oracle for lone sources
-	inc     *pathfind.Incremental
-	seen    []bool  // per-slot scratch for activeSlots
-	target  []int32 // per-slot single remaining target (-1: none seen yet)
-	multi   []bool  // per-slot: remaining requests span several targets
+	inst     *Instance
+	workers  int
+	full     bool // Options.NoIncremental: recompute all active sources per call
+	single   bool // single-target serving enabled (SingleTarget or Adaptive)
+	adaptive bool // Options.Adaptive: PreferSingle drives the routing
+	inc      *pathfind.Incremental
+	seen     []bool    // per-slot scratch for activeSlots
+	fan      [][]int32 // per-slot distinct remaining targets, capped past fanCap
+	tree     []bool    // per-slot: answer this iteration from the refreshed tree
 }
+
+// fanCap bounds the distinct-target counting in activeSlots: the
+// adaptive policy never routes fan-outs beyond the path-cache capacity
+// to single-target search, so counting further adds no signal.
+const fanCap = 8
 
 func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
 	sources := make([]int, 0, len(inst.Requests))
@@ -283,11 +322,15 @@ func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
 		sources = append(sources, r.Source)
 	}
 	sp := &shortestPaths{
-		inst:    inst,
-		workers: opt.workers(),
-		full:    opt.noIncremental(),
-		single:  opt.singleTarget(),
-		inc:     pathfind.NewIncremental(inst.G, sources, opt.pathPool()),
+		inst:     inst,
+		workers:  opt.workers(),
+		full:     opt.noIncremental(),
+		single:   opt.singleTarget(),
+		adaptive: opt.adaptive(),
+		inc:      pathfind.NewIncremental(inst.G, sources, opt.pathPool()),
+	}
+	if lm, bidi := opt.landmarks(), opt.bidirectional(); lm != nil || bidi {
+		sp.inc.SetOracle(pathfind.OracleConfig{Landmarks: lm, Bidirectional: bidi})
 	}
 	// Each slot only ever answers queries for its own requests' targets,
 	// so restrict the recorded edge sets to those paths: repricing an
@@ -302,8 +345,8 @@ func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
 	}
 	sp.seen = make([]bool, sp.inc.NumSlots())
 	if sp.single {
-		sp.target = make([]int32, sp.inc.NumSlots())
-		sp.multi = make([]bool, sp.inc.NumSlots())
+		sp.fan = make([][]int32, sp.inc.NumSlots())
+		sp.tree = make([]bool, sp.inc.NumSlots())
 	}
 	return sp
 }
@@ -334,7 +377,7 @@ func (sp *shortestPaths) bestCandidate(remaining []bool, y []float64, tie TieBre
 		slot, _ := sp.inc.Slot(r.Source)
 		var dist float64
 		var path func() []int
-		if sp.single && !sp.multi[slot] {
+		if sp.single && !sp.tree[slot] {
 			p, d, ok := sp.inc.PathTo(slot, r.Target, weight)
 			if !ok {
 				continue
@@ -374,19 +417,20 @@ func (sp *shortestPaths) invalidate(path []int) {
 }
 
 // activeSlots returns the slots needing a full tree this iteration:
-// every slot with a remaining request, minus — in single-target mode —
-// slots whose remaining requests all name one target (those are served
-// by Incremental.PathTo; sp.multi marks the rest). Requests only leave
-// the pool, so a slot can become single-target mid-run but never the
-// reverse within an iteration's classification.
+// every slot with a remaining request, minus those routed to
+// single-target serving (Incremental.PathTo; sp.tree marks the rest).
+// In static single-target mode a slot routes to the oracle exactly
+// when its remaining requests all name one target; in adaptive mode
+// the per-slot policy decides from the slot's fan-out and observed
+// dirty rate (pathfind.Incremental.PreferSingle). Requests only leave
+// the pool, so a slot's fan-out only shrinks over a run.
 func (sp *shortestPaths) activeSlots(remaining []bool) []int {
 	for i := range sp.seen {
 		sp.seen[i] = false
 	}
 	if sp.single {
-		for i := range sp.multi {
-			sp.multi[i] = false
-			sp.target[i] = -1
+		for i := range sp.fan {
+			sp.fan[i] = sp.fan[i][:0]
 		}
 	}
 	var live []int
@@ -400,12 +444,7 @@ func (sp *shortestPaths) activeSlots(remaining []bool) []int {
 			live = append(live, slot)
 		}
 		if sp.single {
-			switch {
-			case sp.target[slot] < 0:
-				sp.target[slot] = int32(r.Target)
-			case int(sp.target[slot]) != r.Target:
-				sp.multi[slot] = true
-			}
+			sp.fan[slot] = appendFan(sp.fan[slot], int32(r.Target))
 		}
 	}
 	if !sp.single {
@@ -413,9 +452,29 @@ func (sp *shortestPaths) activeSlots(remaining []bool) []int {
 	}
 	active := live[:0]
 	for _, slot := range live {
-		if sp.multi[slot] {
+		fanout := len(sp.fan[slot])
+		toTree := fanout > 1
+		if sp.adaptive {
+			toTree = !sp.inc.PreferSingle(slot, fanout)
+		}
+		sp.tree[slot] = toTree
+		if toTree {
 			active = append(active, slot)
 		}
 	}
 	return active
+}
+
+// appendFan records a distinct target, capped just past fanCap
+// (counting further carries no policy signal).
+func appendFan(fan []int32, t int32) []int32 {
+	if len(fan) > fanCap {
+		return fan
+	}
+	for _, x := range fan {
+		if x == t {
+			return fan
+		}
+	}
+	return append(fan, t)
 }

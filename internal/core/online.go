@@ -111,12 +111,25 @@ type AdmissionState struct {
 // released) admission ID.
 var ErrRequestNotFound = errors.New("core: admission id not found")
 
+// autoLandmarkMinVertices is the network size at which
+// NewAdmissionState builds ALT landmark tables by default. Below it
+// the 2k landmark Dijkstras cost more than they ever save; above it
+// they amortize over the session's admissions. NoIncremental disables
+// the auto-build along with the rest of the warm state.
+const autoLandmarkMinVertices = 64
+
 // NewAdmissionState builds the online solver state for a network. The
 // graph is validated and frozen; eps is the accuracy parameter ε in
-// (0,1]; opt supplies the shared scratch pool and the NoIncremental
-// escape hatch (other Options fields are ignored — admission is a
-// single-query step with no intra-step parallelism or tie-break
-// surface).
+// (0,1]; opt supplies the shared scratch pool, the NoIncremental
+// escape hatch, and the path-oracle knobs: Options.Landmarks installs
+// caller-built ALT tables (they must lower-bound the initial prices
+// 1/c_e), Options.Bidirectional routes oracle misses through the
+// bidirectional probe. When no tables are supplied, networks of
+// autoLandmarkMinVertices or more vertices get tables built from the
+// initial prices automatically — prices only rise, so the bounds hold
+// for the state's whole life. Other Options fields are ignored —
+// admission is a single-query step with no intra-step parallelism or
+// tie-break surface.
 func NewAdmissionState(g *graph.Graph, eps float64, opt *Options) (*AdmissionState, error) {
 	if g == nil {
 		return nil, errors.New("core: admission state needs a graph")
@@ -150,6 +163,13 @@ func NewAdmissionState(g *graph.Graph, eps float64, opt *Options) (*AdmissionSta
 	for e := 0; e < m; e++ {
 		st.y[e] = 1 / g.Edge(e).Capacity
 		st.dualSum++
+	}
+	lm := opt.landmarks()
+	if lm == nil && !opt.noIncremental() && g.NumVertices() >= autoLandmarkMinVertices {
+		lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, pathfind.FromSlice(st.y))
+	}
+	if lm != nil || opt.bidirectional() {
+		st.inc.SetOracle(pathfind.OracleConfig{Landmarks: lm, Bidirectional: opt.bidirectional()})
 	}
 	return st, nil
 }

@@ -33,6 +33,16 @@ type State struct {
 	// NoIncremental makes the cached rules recompute every active group's
 	// structure each iteration (see EngineOptions.NoIncremental).
 	NoIncremental bool
+	// Adaptive lets the rules' tree caches pick tree-vs-single-target
+	// serving per slot from observed dirty rates and fan-out
+	// (see EngineOptions.Adaptive).
+	Adaptive bool
+	// Landmarks builds ALT landmark tables for the additive tree caches'
+	// single-target searches (see EngineOptions.Landmarks).
+	Landmarks bool
+	// Bidirectional routes the caches' single-target misses through the
+	// bidirectional probe (see EngineOptions.Bidirectional).
+	Bidirectional bool
 	// Pool supplies the Dijkstra/bottleneck scratch buffers shared by the
 	// rules' per-group path queries. IterativePathMin always sets it; the
 	// rules fall back to a package-shared pool when driven by hand.
@@ -126,12 +136,17 @@ type treeCache struct {
 	maxHops int    // KindHopBounded table depth (0 = vertices - 1)
 	st      *State // identifies the run; a new engine run rebuilds the cache
 	incs    map[float64]*pathfind.Incremental
-	// single[k][slot] marks slots whose whole target universe is one
-	// vertex: those skip tree refreshes entirely and answer BestLen
-	// through the cache's single-target path oracle (Incremental.PathTo,
-	// tree kinds only). weightOf is the latest prepare's weight factory,
-	// which the oracle queries lazily.
+	// single[k][slot] marks slots routed to the single-target path
+	// oracle this iteration (Incremental.PathTo, tree kinds only): those
+	// skip tree refreshes entirely. Statically that is the slots whose
+	// whole declared target universe is one vertex; with State.Adaptive
+	// the per-slot policy also claims small-fan-out slots whose trees
+	// dirty nearly every iteration. fanout[k][slot] is the slot's
+	// distinct declared-target count (capped just past the policy
+	// ceiling); weightOf is the latest prepare's weight factory, which
+	// the oracle queries lazily.
 	single   map[float64][]bool
+	fanout   map[float64][]int
 	weightOf func(demand float64) pathfind.WeightFunc
 }
 
@@ -153,6 +168,7 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 		c.st = st
 		c.incs = make(map[float64]*pathfind.Incremental)
 		c.single = make(map[float64][]bool)
+		c.fanout = make(map[float64][]int)
 		byKey := make(map[float64][]int)
 		for _, g := range st.ActiveGroups {
 			k := c.key(st, g.Demand)
@@ -160,6 +176,16 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 		}
 		for k, sources := range byKey {
 			inc := pathfind.NewIncrementalKind(st.Inst.G, c.kind, sources, st.pool(), c.maxHops)
+			if c.kind == pathfind.KindAdditive && (st.Landmarks || st.Bidirectional) {
+				// Weights within a run only rise (flow only grows, and the
+				// residual filter only pushes edges to +Inf), so tables built
+				// from the run's first weights stay valid lower bounds.
+				var lm *pathfind.Landmarks
+				if st.Landmarks {
+					lm = pathfind.BuildLandmarks(st.Inst.G, pathfind.DefaultLandmarkCount, weightOf(k))
+				}
+				inc.SetOracle(pathfind.OracleConfig{Landmarks: lm, Bidirectional: st.Bidirectional})
+			}
 			targets := make(map[int][]int)
 			// Restrict each slot's recorded edges to the paths its own
 			// requests can query (BestLen only ever asks for a group's own
@@ -175,21 +201,14 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 				}
 			}
 			single := make([]bool, inc.NumSlots())
+			fan := make([]int, inc.NumSlots())
 			for slot, ts := range targets {
 				inc.SetTargets(slot, ts)
-				if c.kind != pathfind.KindHopBounded {
-					distinct := true
-					for _, t := range ts[1:] {
-						if t != ts[0] {
-							distinct = false
-							break
-						}
-					}
-					single[slot] = distinct
-				}
+				fan[slot] = distinctTargets(ts)
 			}
 			c.incs[k] = inc
 			c.single[k] = single
+			c.fanout[k] = fan
 		}
 	}
 	if st.NoIncremental {
@@ -216,7 +235,7 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 			c.prepare(st, weightOf)
 			return
 		}
-		if c.single[k][slot] {
+		if c.routeSingle(st, k, slot) {
 			continue // served by the path oracle, no tree to refresh
 		}
 		active[k] = append(active[k], slot)
@@ -224,6 +243,49 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 	for k, slots := range active {
 		c.incs[k].Refresh(slots, weightOf(k), st.Workers)
 	}
+}
+
+// routeSingle decides — and records in c.single for query — whether a
+// slot answers this iteration through the single-target path oracle
+// instead of a refreshed tree. Static mode routes exactly the
+// lone-target slots; adaptive mode asks the cache's per-slot policy
+// (fan-out versus observed dirty rate). Either way the answers are
+// bit-identical, so the choice moves work, never outcomes.
+func (c *treeCache) routeSingle(st *State, k float64, slot int) bool {
+	if c.kind == pathfind.KindHopBounded {
+		return false
+	}
+	fan := c.fanout[k][slot]
+	single := fan == 1
+	if st.Adaptive {
+		single = c.incs[k].PreferSingle(slot, fan)
+	}
+	c.single[k][slot] = single
+	return single
+}
+
+// distinctTargets counts distinct declared targets, capped just past
+// the adaptive policy's fan-out ceiling (all larger fan-outs route to
+// trees, so exact counts past it carry no signal).
+func distinctTargets(ts []int) int {
+	const limit = 8
+	var seen []int
+	for _, t := range ts {
+		dup := false
+		for _, x := range seen {
+			if x == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, t)
+			if len(seen) > limit {
+				break
+			}
+		}
+	}
+	return len(seen)
 }
 
 // query answers a single-target group through the path oracle
@@ -513,6 +575,19 @@ type EngineOptions struct {
 	// structures are bit-identical to recomputation — so this exists for
 	// benchmarking the caches and as an escape hatch.
 	NoIncremental bool
+	// Adaptive replaces the caches' static tree-vs-single-target routing
+	// (lone-target slots only) with the per-slot policy driven by
+	// observed dirty rates and fan-out. Allocations are identical either
+	// way — the single-target oracle is bit-identical to tree reads.
+	Adaptive bool
+	// Landmarks builds ALT landmark tables per demand class at the first
+	// iteration and uses them to prune the caches' single-target
+	// searches. Valid because within-run weights only rise; answers stay
+	// bit-identical.
+	Landmarks bool
+	// Bidirectional routes the caches' single-target misses through the
+	// bidirectional (forward+backward) probe; bit-identical answers.
+	Bidirectional bool
 	// PathPool, if non-nil, supplies the scratch buffers for the rules'
 	// path queries (see Options.PathPool); nil uses a shared pool.
 	PathPool *pathfind.Pool
@@ -562,6 +637,9 @@ func iterativePathMin(ctx context.Context, inst *Instance, opt EngineOptions) (*
 		FeasibleOnly:  opt.FeasibleOnly,
 		Workers:       workers,
 		NoIncremental: opt.NoIncremental,
+		Adaptive:      opt.Adaptive,
+		Landmarks:     opt.Landmarks,
+		Bidirectional: opt.Bidirectional,
 		Pool:          pool,
 	}
 	tie := opt.TieBreak

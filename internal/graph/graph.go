@@ -42,6 +42,7 @@ type Graph struct {
 	// (e.g. two engine jobs sharing one instance); topology mutations are
 	// not concurrency-safe, same as the rest of the struct.
 	csr      atomic.Pointer[CSR]
+	rcsr     atomic.Pointer[CSR]
 	freezeMu sync.Mutex
 }
 
@@ -104,8 +105,69 @@ func (g *Graph) Freeze() *CSR {
 // since the last topology mutation, else nil. It never builds.
 func (g *Graph) Frozen() *CSR { return g.csr.Load() }
 
+// FreezeReverse builds (once) the reverse CSR adjacency — the arcs
+// *entering* each vertex, with edge IDs preserved — and returns it.
+// Backward searches (bidirectional single-target probes) traverse it in
+// place of per-query reversal. For an undirected graph the adjacency is
+// symmetric, so the forward CSR itself is returned. Like Freeze it is
+// invalidated by topology mutations and safe for concurrent readers.
+func (g *Graph) FreezeReverse() *CSR {
+	if !g.directed {
+		return g.Freeze()
+	}
+	if c := g.rcsr.Load(); c != nil {
+		return c
+	}
+	g.freezeMu.Lock()
+	defer g.freezeMu.Unlock()
+	if c := g.rcsr.Load(); c != nil {
+		return c
+	}
+	deg := make([]int32, g.n+1)
+	arcs := 0
+	for _, out := range g.out {
+		for _, a := range out {
+			deg[a.To+1]++
+			arcs++
+		}
+	}
+	c := &CSR{
+		Start:  make([]int32, g.n+1),
+		Head:   make([]int32, arcs),
+		EdgeID: make([]int32, arcs),
+	}
+	for v := 0; v < g.n; v++ {
+		c.Start[v+1] = c.Start[v] + deg[v+1]
+	}
+	next := make([]int32, g.n)
+	copy(next, c.Start[:g.n])
+	for v, out := range g.out {
+		for _, a := range out {
+			k := next[a.To]
+			next[a.To]++
+			c.Head[k] = int32(v)
+			c.EdgeID[k] = int32(a.Edge)
+		}
+	}
+	g.rcsr.Store(c)
+	return c
+}
+
+// FrozenReverse returns the reverse CSR if FreezeReverse has been
+// called since the last topology mutation, else nil. For an undirected
+// graph it mirrors Frozen.
+func (g *Graph) FrozenReverse() *CSR {
+	if !g.directed {
+		return g.csr.Load()
+	}
+	return g.rcsr.Load()
+}
+
 // unfreeze drops the frozen CSR; every topology mutator calls it.
-func (g *Graph) unfreeze() { g.csr.Store(nil) }
+func (g *Graph) unfreeze() {
+	g.csr.Store(nil)
+	g.rcsr.Store(nil)
+}
 
 // New returns an empty directed graph with n vertices.
 func New(n int) *Graph {
@@ -225,6 +287,7 @@ func (g *Graph) Clone() *Graph {
 		copy(c.out[v], arcs)
 	}
 	c.csr.Store(g.csr.Load())
+	c.rcsr.Store(g.rcsr.Load())
 	return c
 }
 

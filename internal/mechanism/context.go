@@ -6,6 +6,7 @@ import (
 
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/graph"
 	"truthfulufp/internal/pathfind"
 )
 
@@ -32,10 +33,21 @@ func ctxErr(ctx context.Context) error {
 // BoundedUFPAlgCtx is BoundedUFPAlg carrying ctx into every probe of a
 // critical-value search (each probe checks it once per main-loop
 // iteration). A nil ctx adapts the plain, uncancellable call. See
-// BoundedUFPAlg for the probing tunings (shared scratch pool,
-// single-target oracle) the adapter applies.
+// BoundedUFPAlg for the probing tunings (shared scratch pool, adaptive
+// single-target oracle, ALT landmarks, bidirectional probes) the
+// adapter applies. The returned algorithm mutates adapter-local cache
+// state and must be driven from one goroutine at a time — which is how
+// the mechanism drivers call it.
 func BoundedUFPAlgCtx(ctx context.Context, eps float64, opt *core.Options) UFPAlgorithm {
 	pool := pathfind.NewPool()
+	// Bisection probes are clones sharing one frozen topology, and every
+	// probe's exponential prices start at the same floor 1/c_e — so one
+	// landmark build (keyed on the frozen CSR, in case the closure is
+	// reused across networks) serves all ~60 probes of every payment.
+	var (
+		lmCSR *graph.CSR
+		lm    *pathfind.Landmarks
+	)
 	return func(inst *core.Instance) (*core.Allocation, error) {
 		var o core.Options
 		if opt != nil {
@@ -44,7 +56,17 @@ func BoundedUFPAlgCtx(ctx context.Context, eps float64, opt *core.Options) UFPAl
 		if o.PathPool == nil {
 			o.PathPool = pool
 		}
-		o.SingleTarget = true
+		o.Adaptive = true
+		o.Bidirectional = true
+		if o.Landmarks == nil {
+			if csr := inst.G.Freeze(); csr != lmCSR {
+				g := inst.G
+				lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount,
+					func(e int) float64 { return 1 / g.Edge(e).Capacity })
+				lmCSR = csr
+			}
+			o.Landmarks = lm
+		}
 		return core.BoundedUFPCtx(ctx, inst, eps, &o)
 	}
 }

@@ -31,11 +31,14 @@ type UFPAlgorithm func(inst *core.Instance) (*core.Allocation, error)
 // already carries a scratch pool it installs one shared across all of
 // the closure's runs — the solver then reuses its Dijkstra state
 // instead of re-allocating it ~60 times per payment — and it enables
-// the single-target path oracle (core.Options.SingleTarget), so each
-// probe answers sources carrying one request with a cached early-exit
-// search (pathfind.Incremental.PathTo) instead of materializing a whole
-// shortest-path tree. Both tunings are bit-transparent: the adapted
-// algorithm's allocations are identical to a bare core.BoundedUFP.
+// the full single-target path oracle: the adaptive tree-vs-PathTo
+// policy (core.Options.Adaptive), ALT landmark pruning with tables
+// built once per frozen topology and shared across all probes
+// (core.Options.Landmarks — every probe's prices start at the same
+// floor 1/c_e, so the bounds hold for all of them), and bidirectional
+// probing for the remaining misses (core.Options.Bidirectional). All
+// tunings are bit-transparent: the adapted algorithm's allocations are
+// identical to a bare core.BoundedUFP.
 func BoundedUFPAlg(eps float64, opt *core.Options) UFPAlgorithm {
 	return BoundedUFPAlgCtx(nil, eps, opt)
 }

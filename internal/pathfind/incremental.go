@@ -39,14 +39,18 @@ import (
 // Solvers built on Incremental therefore produce exactly the
 // allocations of their full-recompute counterparts, for every kind.
 //
-// On top of the per-source structures, additive caches answer
+// On top of the per-source structures, tree-kind caches answer
 // single-target queries through PathTo, backed by an early-exit search
-// (Scratch.ShortestPathTo) and a per-slot cached (target, path) pair
-// with its own used-edge bitset: a cached path whose edges did not
-// change is still canonical-optimal under (1)-(3) by the same argument.
-// This is what the mechanism's critical-value bisection runs on — its
-// probe re-runs are dominated by sources carrying a single request, for
-// which materializing a whole tree is wasted work.
+// and a small per-slot list of cached (target, path) entries, each with
+// its own used-edge bitset: a cached path whose edges did not change is
+// still canonical-optimal under (1)-(3) by the same argument. This is
+// what the mechanism's critical-value bisection and the session API's
+// streamed admits run on — their queries are dominated by sources
+// carrying one or a few requests, for which materializing a whole tree
+// is wasted work. Additive caches can additionally be given a
+// single-target oracle (SetOracle): ALT landmark pruning and/or
+// bidirectional probes, both bit-identical to the plain early-exit
+// search, so flipping them on or off never changes an answer.
 //
 // An Incremental is driven from one goroutine (Refresh parallelizes
 // internally); the cached structures are owned by the cache and valid
@@ -71,20 +75,61 @@ type Incremental struct {
 	activeStamp []uint32
 	activeGen   uint32
 
-	// Single-target path cache (KindAdditive), one entry per slot.
-	ptFresh  []bool
-	ptTarget []int32
-	ptDist   []float64
-	ptOK     []bool
-	ptPath   [][]int
-	ptUses   [][]uint64
+	// Single-target path cache (tree kinds): per slot, up to ptCapacity
+	// cached (target, path) entries, most recently used first.
+	pt [][]ptEntry
+
+	// Single-target oracle (KindAdditive, see SetOracle): shared ALT
+	// landmark tables plus the lazily checked lower-bound guard, and the
+	// bidirectional-probe switch. lmPending holds edges invalidated
+	// since the last bound check — under the cache's contract those are
+	// the only edges whose weights may have changed, so draining it
+	// (lmUsable) re-validates the bound at O(changed) instead of
+	// O(edges).
+	lm         *Landmarks
+	lmOK       bool
+	lmCheckAll bool
+	lmPending  []int32
+	bidi       bool
+
+	// Per-slot adaptive-policy counters: how often the slot was demanded
+	// (Refresh-active or queried) and how often it was dirty when
+	// demanded. PreferSingle turns these into a refresh-policy decision.
+	slotDemand []int64
+	slotDirty  []int64
 
 	recomputed int64 // structures rebuilt by Refresh
 	reused     int64 // active structures served from cache
 	refreshes  int64 // Refresh calls
 	ptHits     int64 // PathTo answers served from a fresh tree or cached path
 	ptMisses   int64 // PathTo answers that ran an early-exit search
+
+	altSearches  int64 // single-target searches that ran ALT- or bidi-pruned
+	altTouched   int64 // vertices touched by those searches
+	altBudget    int64 // vertices a full tree build would touch instead
+	bidiProbes   int64 // bidirectional probes run
+	bidiMeets    int64 // probes whose frontiers bridged (reachable target)
+	policyTree   int64 // PreferSingle decisions to refresh the tree
+	policySingle int64 // PreferSingle decisions to route to single-target search
+	lmViolations int64 // landmark lower-bound violations (oracle self-disabled)
 }
+
+// ptEntry is one cached single-target answer: the canonical path (or
+// cached unreachability) from the slot's source to target, with the
+// bitset of edges whose invalidation voids it.
+type ptEntry struct {
+	target int32
+	fresh  bool
+	ok     bool
+	dist   float64
+	path   []int
+	uses   []uint64
+}
+
+// ptCapacity is the per-slot path-entry capacity. Sessions admitting
+// one source to a handful of targets hit fully within it, and the
+// adaptive policy routes fan-outs beyond it to tree refreshes anyway.
+const ptCapacity = 4
 
 // NewIncremental builds an additive (Dijkstra) cache for the given
 // source vertices — the historical constructor, equivalent to
@@ -133,15 +178,51 @@ func NewIncrementalKind(g *graph.Graph, kind TreeKind, sources []int, pool *Pool
 	inc.uses = make([][]uint64, n)
 	inc.targets = make([][]int32, n)
 	inc.activeStamp = make([]uint32, n)
+	inc.slotDemand = make([]int64, n)
+	inc.slotDirty = make([]int64, n)
 	if kind != KindHopBounded {
-		inc.ptFresh = make([]bool, n)
-		inc.ptTarget = make([]int32, n)
-		inc.ptDist = make([]float64, n)
-		inc.ptOK = make([]bool, n)
-		inc.ptPath = make([][]int, n)
-		inc.ptUses = make([][]uint64, n)
+		inc.pt = make([][]ptEntry, n)
 	}
 	return inc
+}
+
+// OracleConfig configures an additive cache's single-target oracle.
+type OracleConfig struct {
+	// Landmarks, when non-nil, prunes PathTo's early-exit searches with
+	// ALT lower bounds. The tables must have been built on the same
+	// frozen topology and on a lower bound of every weight function the
+	// cache will see; the cache re-validates the bound lazily against
+	// invalidated edges and self-disables (counting
+	// CacheStats.LandmarkViolations) if it is ever violated, so a
+	// contract slip degrades speed, not answers.
+	Landmarks *Landmarks
+	// Bidirectional routes PathTo misses through the bidirectional
+	// probe (forward/backward meet plus a potential-guided forward
+	// rerun), which the mechanism's critical-value bisection enables.
+	// The graph's reverse adjacency is frozen as a side effect.
+	Bidirectional bool
+}
+
+// SetOracle installs the single-target oracle configuration. It
+// applies to KindAdditive caches; other kinds ignore it (their PathTo
+// forms have no ALT/bidirectional variant). Both oracle paths are
+// bit-identical to the plain search, so SetOracle never invalidates
+// cached state and may be called at any point between queries.
+func (inc *Incremental) SetOracle(cfg OracleConfig) {
+	if inc.kind != KindAdditive {
+		return
+	}
+	if cfg.Landmarks != nil && cfg.Landmarks.csr != inc.g.Frozen() {
+		panic("pathfind: SetOracle landmarks built for a different frozen topology")
+	}
+	inc.lm = cfg.Landmarks
+	inc.lmOK = cfg.Landmarks != nil
+	inc.lmCheckAll = false
+	inc.lmPending = inc.lmPending[:0]
+	inc.bidi = cfg.Bidirectional
+	if inc.bidi {
+		inc.g.FreezeReverse()
+	}
 }
 
 // AddSource appends a source vertex to the cache and returns its slot
@@ -167,13 +248,10 @@ func (inc *Incremental) AddSource(source int) int {
 	inc.uses = append(inc.uses, nil)
 	inc.targets = append(inc.targets, nil)
 	inc.activeStamp = append(inc.activeStamp, 0)
+	inc.slotDemand = append(inc.slotDemand, 0)
+	inc.slotDirty = append(inc.slotDirty, 0)
 	if inc.kind != KindHopBounded {
-		inc.ptFresh = append(inc.ptFresh, false)
-		inc.ptTarget = append(inc.ptTarget, -1)
-		inc.ptDist = append(inc.ptDist, 0)
-		inc.ptOK = append(inc.ptOK, false)
-		inc.ptPath = append(inc.ptPath, nil)
-		inc.ptUses = append(inc.ptUses, nil)
+		inc.pt = append(inc.pt, nil)
 	}
 	return s
 }
@@ -259,15 +337,28 @@ func (inc *Incremental) Invalidate(edges []int) {
 			}
 		}
 	}
-	for s := range inc.ptFresh {
-		if !inc.ptFresh[s] {
-			continue
+	for s := range inc.pt {
+		for i := range inc.pt[s] {
+			en := &inc.pt[s][i]
+			if !en.fresh {
+				continue
+			}
+			for _, e := range edges {
+				if en.uses[e>>6]&(1<<(uint(e)&63)) != 0 {
+					en.fresh = false
+					break
+				}
+			}
 		}
-		u := inc.ptUses[s]
-		for _, e := range edges {
-			if u[e>>6]&(1<<(uint(e)&63)) != 0 {
-				inc.ptFresh[s] = false
-				break
+	}
+	if inc.lmOK && inc.lm != nil && !inc.lmCheckAll {
+		// Record the changed edges for the lazy landmark-bound check.
+		if len(inc.lmPending)+len(edges) > inc.g.NumEdges() {
+			inc.lmCheckAll = true
+			inc.lmPending = inc.lmPending[:0]
+		} else {
+			for _, e := range edges {
+				inc.lmPending = append(inc.lmPending, int32(e))
 			}
 		}
 	}
@@ -281,8 +372,14 @@ func (inc *Incremental) InvalidateAll() {
 	for s := range inc.fresh {
 		inc.fresh[s] = false
 	}
-	for s := range inc.ptFresh {
-		inc.ptFresh[s] = false
+	for s := range inc.pt {
+		for i := range inc.pt[s] {
+			inc.pt[s][i].fresh = false
+		}
+	}
+	if inc.lmOK && inc.lm != nil {
+		inc.lmCheckAll = true
+		inc.lmPending = inc.lmPending[:0]
 	}
 }
 
@@ -309,7 +406,9 @@ func (inc *Incremental) Refresh(active []int, weight WeightFunc, workers int) in
 		}
 		inc.activeStamp[s] = inc.activeGen
 		distinct++
+		inc.slotDemand[s]++
 		if !inc.fresh[s] {
+			inc.slotDirty[s]++
 			work = append(work, s)
 		}
 	}
@@ -419,18 +518,20 @@ func (inc *Incremental) rebuildUses(s int) {
 // whether target is reachable — bit-identical to refreshing the slot's
 // tree and reading Tree.PathTo/Tree.Dist, but without materializing a
 // tree when the slot is dirty. A fresh tree answers directly; otherwise
-// a cached (target, path) pair still clean under the invalidation
-// bitsets answers; otherwise an early-exit search
-// (Scratch.ShortestPathTo / Scratch.BottleneckPathTo) runs and its
-// result is cached with the path's own edge set (one target per slot at
-// a time). Unreachable results are cached with an empty edge set: under
-// monotone weights an unreachable target can never become reachable, so
-// the entry stays valid until InvalidateAll. Like Refresh, PathTo must
-// be driven from one goroutine.
+// a cached (target, path) entry still clean under the invalidation
+// bitsets answers (up to ptCapacity targets are cached per slot, LRU);
+// otherwise a single-target search runs — the plain early-exit search,
+// or its ALT-pruned / bidirectional form when SetOracle configured one
+// — and its result is cached with the path's own edge set. Unreachable
+// results are cached with an empty edge set: under monotone weights an
+// unreachable target can never become reachable, so the entry stays
+// valid until InvalidateAll. Like Refresh, PathTo must be driven from
+// one goroutine.
 func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, float64, bool) {
 	if inc.kind == KindHopBounded {
 		panic(fmt.Sprintf("pathfind: Incremental.PathTo on a %s cache (tree kinds only)", inc.kind))
 	}
+	inc.slotDemand[slot]++
 	if inc.fresh[slot] {
 		t := inc.trees[slot]
 		inc.reused++
@@ -441,27 +542,113 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 		p, _ := t.PathTo(target)
 		return p, t.Dist[target], true
 	}
-	if inc.ptFresh[slot] && int(inc.ptTarget[slot]) == target {
-		inc.reused++
-		inc.ptHits++
-		return inc.ptPath[slot], inc.ptDist[slot], inc.ptOK[slot]
+	list := inc.pt[slot]
+	for i := range list {
+		if list[i].fresh && int(list[i].target) == target {
+			en := list[i]
+			copy(list[1:i+1], list[:i]) // promote to most-recent
+			list[0] = en
+			inc.reused++
+			inc.ptHits++
+			return en.path, en.dist, en.ok
+		}
 	}
-	sc := inc.pool.Get(inc.g.NumVertices())
+	inc.slotDirty[slot]++
+	n := inc.g.NumVertices()
+	sc := inc.pool.Get(n)
 	var path []int
 	var dist float64
 	var ok bool
-	if inc.kind == KindBottleneck {
+	switch {
+	case inc.kind == KindBottleneck:
 		path, dist, ok = sc.BottleneckPathTo(inc.g, inc.sources[slot], target, weight)
-	} else {
+	case inc.bidi:
+		var lm *Landmarks
+		if inc.lmUsable(weight) {
+			lm = inc.lm
+		}
+		sc2 := inc.pool.Get(n)
+		var bst bidiStats
+		path, dist, ok, bst = bidiPathTo(inc.g, inc.sources[slot], target, weight, lm, sc, sc2)
+		inc.pool.Put(sc2)
+		inc.bidiProbes++
+		if bst.met {
+			inc.bidiMeets++
+		}
+		inc.altSearches++
+		inc.altTouched += int64(bst.touched)
+		inc.altBudget += int64(n)
+	case inc.lmUsable(weight):
+		path, dist, ok = sc.ShortestPathToALT(inc.g, inc.sources[slot], target, weight, inc.lm)
+		inc.altSearches++
+		inc.altTouched += int64(sc.Touched())
+		inc.altBudget += int64(n)
+	default:
 		path, dist, ok = sc.ShortestPathTo(inc.g, inc.sources[slot], target, weight)
 	}
 	inc.pool.Put(sc)
 	inc.recomputed++
 	inc.ptMisses++
-	u := inc.ptUses[slot]
+	inc.storePath(slot, target, path, dist, ok)
+	return path, dist, ok
+}
+
+// lmUsable reports whether the landmark tables may prune this query,
+// first draining the pending bound checks: every edge invalidated
+// since the last drain (the only edges whose weights may have changed,
+// per the cache contract) is compared against the build-time lower
+// bound, and any violation permanently disables the tables.
+func (inc *Incremental) lmUsable(weight WeightFunc) bool {
+	if !inc.lmOK || inc.lm == nil {
+		return false
+	}
+	if inc.lmCheckAll {
+		inc.lmCheckAll = false
+		inc.lmPending = inc.lmPending[:0]
+		for e, m := 0, inc.g.NumEdges(); e < m; e++ {
+			if weight(e) < inc.lm.lb[e] {
+				inc.lmOK = false
+				inc.lmViolations++
+				return false
+			}
+		}
+		return true
+	}
+	if len(inc.lmPending) > 0 {
+		for _, e := range inc.lmPending {
+			if weight(int(e)) < inc.lm.lb[e] {
+				inc.lmOK = false
+				inc.lmViolations++
+				return false
+			}
+		}
+		inc.lmPending = inc.lmPending[:0]
+	}
+	return true
+}
+
+// storePath caches a single-target answer in the slot's entry list:
+// most-recent first, stale entries reclaimed first, then the
+// least-recently-used entry evicted once the list is at capacity.
+func (inc *Incremental) storePath(slot, target int, path []int, dist float64, ok bool) {
+	list := inc.pt[slot]
+	victim := -1
+	for i := range list {
+		if !list[i].fresh {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if len(list) < ptCapacity {
+			list = append(list, ptEntry{})
+			inc.pt[slot] = list
+		}
+		victim = len(list) - 1
+	}
+	u := list[victim].uses
 	if u == nil {
 		u = make([]uint64, inc.words)
-		inc.ptUses[slot] = u
 	} else {
 		for i := range u {
 			u[i] = 0
@@ -470,12 +657,8 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 	for _, e := range path {
 		u[e>>6] |= 1 << (uint(e) & 63)
 	}
-	inc.ptFresh[slot] = true
-	inc.ptTarget[slot] = int32(target)
-	inc.ptDist[slot] = dist
-	inc.ptOK[slot] = ok
-	inc.ptPath[slot] = path
-	return path, dist, ok
+	copy(list[1:victim+1], list[:victim])
+	list[0] = ptEntry{target: int32(target), fresh: true, ok: ok, dist: dist, path: path, uses: u}
 }
 
 // Stats reports how many structures Refresh (and PathTo) rebuilt versus
@@ -483,6 +666,55 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 // the dirty-source speedup.
 func (inc *Incremental) Stats() (recomputed, reused int64) {
 	return inc.recomputed, inc.reused
+}
+
+// Adaptive-policy tuning. A slot's first policyWarmup demands carry no
+// signal, so they default to tree refreshes (the historical behavior);
+// after that the slot routes to single-target search when its observed
+// dirty rate exceeds policyCostRatio per queried target — the point at
+// which rebuilding a whole tree at the observed rate costs more than
+// answering each target with a pruned early-exit search (an oracle
+// search touches roughly a quarter of the graph or less, hence the
+// ratio).
+const (
+	policyWarmup    = 4
+	policyCostRatio = 0.25
+)
+
+// PreferSingle is the adaptive refresh policy: it reports whether a
+// slot currently fanning out to fanout distinct targets should be
+// answered through PathTo single-target searches (true) instead of
+// being included in tree Refreshes (false), based on the slot's
+// observed dirty rate. Because PathTo is bit-identical to refreshing
+// the tree and reading it, either decision returns the same answers —
+// the policy only moves work. A fanout of one always routes to
+// single-target search (an early-exit search never costs more than the
+// full tree build it replaces, and the path cache absorbs clean
+// repeats); fan-outs beyond the path-cache capacity always refresh the
+// tree. Decisions are counted in CacheStats.
+func (inc *Incremental) PreferSingle(slot, fanout int) bool {
+	single := inc.preferSingle(slot, fanout)
+	if single {
+		inc.policySingle++
+	} else {
+		inc.policyTree++
+	}
+	return single
+}
+
+func (inc *Incremental) preferSingle(slot, fanout int) bool {
+	if inc.kind == KindHopBounded || fanout <= 0 || fanout > ptCapacity {
+		return false
+	}
+	if fanout == 1 {
+		return true
+	}
+	demand := inc.slotDemand[slot]
+	if demand < policyWarmup {
+		return false
+	}
+	rate := float64(inc.slotDirty[slot]) / float64(demand)
+	return rate >= policyCostRatio*float64(fanout)
 }
 
 // CacheStats is the cache's full observer view: lifetime counters cheap
@@ -504,6 +736,27 @@ type CacheStats struct {
 	// search.
 	PathToHits   int64
 	PathToMisses int64
+	// AltSearches counts the PathTo misses answered by the configured
+	// oracle (ALT-pruned or bidirectional search); AltTouched is how
+	// many vertices those searches touched, against AltBudget — the
+	// vertices full tree builds would have touched — so
+	// 1 - AltTouched/AltBudget is the oracle's observed prune rate.
+	AltSearches int64
+	AltTouched  int64
+	AltBudget   int64
+	// BidiProbes / BidiMeets count bidirectional probes and how many of
+	// them bridged their forward and backward frontiers (an unbridged
+	// probe certifies unreachability).
+	BidiProbes int64
+	BidiMeets  int64
+	// PolicyTree / PolicySingle count PreferSingle's adaptive refresh
+	// decisions.
+	PolicyTree   int64
+	PolicySingle int64
+	// LandmarkViolations counts lower-bound violations that disabled
+	// the landmark tables (zero under the solvers' monotone-price
+	// contract).
+	LandmarkViolations int64
 }
 
 // DirtyRatio is the fraction of demanded structures that had to be
@@ -517,15 +770,34 @@ func (s CacheStats) DirtyRatio() float64 {
 	return float64(s.Recomputed) / float64(total)
 }
 
+// PruneRatio is the fraction of full-tree search work the oracle's
+// pruned searches avoided: 1 - AltTouched/AltBudget. It is 0 when no
+// oracle search has run and can dip negative if bidirectional probes
+// touch more vertices than the tree builds they replace.
+func (s CacheStats) PruneRatio() float64 {
+	if s.AltBudget == 0 {
+		return 0
+	}
+	return 1 - float64(s.AltTouched)/float64(s.AltBudget)
+}
+
 // CacheStats returns the cache's observer counters. Like every other
 // read, it must be driven from the cache's single driving goroutine (or
 // under the caller's lock serializing against it).
 func (inc *Incremental) CacheStats() CacheStats {
 	return CacheStats{
-		Refreshes:    inc.refreshes,
-		Recomputed:   inc.recomputed,
-		Reused:       inc.reused,
-		PathToHits:   inc.ptHits,
-		PathToMisses: inc.ptMisses,
+		Refreshes:          inc.refreshes,
+		Recomputed:         inc.recomputed,
+		Reused:             inc.reused,
+		PathToHits:         inc.ptHits,
+		PathToMisses:       inc.ptMisses,
+		AltSearches:        inc.altSearches,
+		AltTouched:         inc.altTouched,
+		AltBudget:          inc.altBudget,
+		BidiProbes:         inc.bidiProbes,
+		BidiMeets:          inc.bidiMeets,
+		PolicyTree:         inc.policyTree,
+		PolicySingle:       inc.policySingle,
+		LandmarkViolations: inc.lmViolations,
 	}
 }

@@ -1,0 +1,203 @@
+package pathfind
+
+import (
+	"math"
+
+	"truthfulufp/internal/graph"
+)
+
+// Landmarks is a read-only set of ALT (A*, Landmarks, Triangle
+// inequality) distance tables: for each of k landmark vertices L, the
+// shortest-path distance from L to every vertex and from every vertex
+// to L under a fixed lower-bound weight function. By the triangle
+// inequality, for any vertices u, t:
+//
+//	d(u,t) >= d_lb(u,t) >= max_L max( d_lb(L,t) - d_lb(L,u),
+//	                                  d_lb(u,L) - d_lb(t,L), 0 )
+//
+// for every weight function w >= lb, because raising weights can only
+// raise distances. The max over landmarks is a consistent potential
+// (pot(u) <= w(u->v) + pot(v) on every arc), which is exactly what the
+// A* single-target search needs to prune while staying bit-identical
+// to plain Dijkstra (see Scratch.ShortestPathToALT).
+//
+// The exponential-price solvers qualify structurally: prices start at
+// 1/capacity and only ever rise, so tables built on the initial prices
+// stay valid lower bounds for the whole run — no rebuild is ever needed
+// unless weights are swapped wholesale (which Incremental detects, see
+// OracleConfig).
+//
+// A Landmarks is immutable after construction and safe to share across
+// goroutines, pools, and cloned instances whose graphs share the same
+// frozen CSR.
+type Landmarks struct {
+	csr *graph.CSR // the frozen topology the tables were built on
+	ids []int32    // landmark vertex IDs, in selection order
+	lb  []float64  // per-edge lower-bound weight snapshot
+	fwd [][]float64
+	bwd [][]float64
+}
+
+// DefaultLandmarkCount is the landmark count consumers use when asked
+// for an automatic build: enough for strong bounds on sparse
+// network-like graphs without a noticeable table-build or per-touch
+// cost.
+const DefaultLandmarkCount = 8
+
+// BuildLandmarks selects up to k landmarks on g by farthest-point
+// seeding and precomputes their forward and backward distance tables
+// under weight, snapshotting weight as the tables' lower bound. The
+// first landmark is the highest-out-degree vertex (a well-connected
+// hub); each subsequent one is the vertex farthest (under the current
+// tables, unreachable counting as farthest so every component gets
+// covered) from all landmarks chosen so far. Vertices with no outgoing
+// arcs are never selected. The graph is frozen — forward and reverse —
+// as a side effect. Cost: one or two Dijkstras per landmark.
+//
+// weight must be a lower bound on every weight function later queried
+// against the tables; the solvers pass the initial prices 1/capacity.
+func BuildLandmarks(g *graph.Graph, k int, weight WeightFunc) *Landmarks {
+	n := g.NumVertices()
+	csr := g.Freeze()
+	rcsr := g.FreezeReverse()
+	m := g.NumEdges()
+	lm := &Landmarks{csr: csr, lb: make([]float64, m)}
+	for e := 0; e < m; e++ {
+		lm.lb[e] = weight(e)
+	}
+	if k <= 0 || n == 0 {
+		return lm
+	}
+	if k > n {
+		k = n
+	}
+	lbw := FromSlice(lm.lb)
+	s := NewScratch(n)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	isLandmark := make([]bool, n)
+	best, bestDeg := -1, int32(0)
+	for v := 0; v < n; v++ {
+		if deg := csr.Start[v+1] - csr.Start[v]; best < 0 || deg > bestDeg {
+			best, bestDeg = v, deg
+		}
+	}
+	for len(lm.ids) < k && best >= 0 {
+		lm.ids = append(lm.ids, int32(best))
+		isLandmark[best] = true
+		s.runAdditiveCSR(csr, n, int32(best), lbw)
+		f := snapshotDist(s, n)
+		lm.fwd = append(lm.fwd, f)
+		if g.Directed() {
+			s.runAdditiveCSR(rcsr, n, int32(best), lbw)
+			lm.bwd = append(lm.bwd, snapshotDist(s, n))
+		} else {
+			lm.bwd = append(lm.bwd, f) // symmetric distances
+		}
+		for v := 0; v < n; v++ {
+			if f[v] < minDist[v] {
+				minDist[v] = f[v]
+			}
+		}
+		best = -1
+		bestD := math.Inf(-1)
+		for v := 0; v < n; v++ {
+			if isLandmark[v] || csr.Start[v+1] == csr.Start[v] {
+				continue
+			}
+			if minDist[v] > bestD {
+				best, bestD = v, minDist[v]
+			}
+		}
+	}
+	return lm
+}
+
+// snapshotDist copies the scratch's reached distances into a dense
+// slice, unreached vertices mapping to +Inf.
+func snapshotDist(s *Scratch, n int) []float64 {
+	d := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range d {
+		d[i] = inf
+	}
+	for _, v := range s.order {
+		d[v] = s.dist[v]
+	}
+	return d
+}
+
+// K returns the number of landmarks actually selected.
+func (lm *Landmarks) K() int { return len(lm.ids) }
+
+// IDs returns the landmark vertex IDs. Callers must not modify the
+// returned slice.
+func (lm *Landmarks) IDs() []int32 { return lm.ids }
+
+// LowerBoundWeight returns the snapshotted lower-bound weight of edge
+// e — what a consumer compares a changed weight against to detect a
+// bound violation.
+func (lm *Landmarks) LowerBoundWeight(e int) float64 { return lm.lb[e] }
+
+// Bound returns the landmark lower bound on the distance from u to t
+// under any weight function >= the build-time lower bound. +Inf means
+// provably unreachable (the bound certifies there is no u->t path at
+// all — reachability is topological, since the build weights are
+// finite on every edge).
+func (lm *Landmarks) Bound(u, t int) float64 {
+	if u == t {
+		return 0
+	}
+	inf := math.Inf(1)
+	best := 0.0
+	for i := range lm.ids {
+		if fu, ft := lm.fwd[i][u], lm.fwd[i][t]; fu < inf && ft > fu {
+			if d := ft - fu; d > best {
+				best = d
+			}
+		}
+		if bu, bt := lm.bwd[i][u], lm.bwd[i][t]; bt < inf && bu > bt {
+			if d := bu - bt; d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// potential returns the ALT potential toward target t: a consistent
+// lower bound on each vertex's remaining distance to t, with
+// potential(t) == 0. The per-landmark t-columns are gathered once so
+// the per-vertex evaluation inside the search is k subtractions over
+// dense rows.
+func (lm *Landmarks) potential(t int32) func(int32) float64 {
+	k := len(lm.ids)
+	inf := math.Inf(1)
+	ft := make([]float64, k)
+	bt := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ft[i] = lm.fwd[i][t]
+		bt[i] = lm.bwd[i][t]
+	}
+	return func(u int32) float64 {
+		if u == t {
+			return 0
+		}
+		best := 0.0
+		for i := 0; i < k; i++ {
+			if fu := lm.fwd[i][u]; fu < inf && ft[i] > fu {
+				if d := ft[i] - fu; d > best {
+					best = d
+				}
+			}
+			if bu := lm.bwd[i][u]; bt[i] < inf && bu > bt[i] {
+				if d := bu - bt[i]; d > best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+}

@@ -1,0 +1,306 @@
+package pathfind
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"truthfulufp/internal/graph"
+)
+
+// TestQuickALTMatchesShortestPathTo: the ALT-pruned single-target
+// search is bit-identical to the plain early-exit search — for the
+// build-time weights and for monotonically bumped weights the tables
+// only lower-bound — across plateau-heavy graphs where canonical
+// tie-breaking does all the work.
+func TestQuickALTMatchesShortestPathTo(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^77))
+		nv := 3 + int(n%12)
+		g := graph.RandomStronglyConnected(rng, nv, nv+int(m%30), 1, 2)
+		w := plateauWeights(rng, g.NumEdges())
+		lm := BuildLandmarks(g, 4, FromSlice(w))
+		sc := NewScratch(nv)
+		for round := 0; round < 3; round++ {
+			for src := 0; src < nv; src++ {
+				for dst := 0; dst < nv; dst++ {
+					wantPath, wantDist, wantOK := sc.ShortestPathTo(g, src, dst, FromSlice(w))
+					path, dist, ok := sc.ShortestPathToALT(g, src, dst, FromSlice(w), lm)
+					if ok != wantOK || (ok && (dist != wantDist || !reflect.DeepEqual(path, wantPath))) {
+						return false
+					}
+				}
+			}
+			monotoneBump(rng, w)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBidiMatchesShortestPathTo: the bidirectional probe — with
+// and without landmark tightening — is bit-identical to the plain
+// early-exit search under the same monotone-bump regime.
+func TestQuickBidiMatchesShortestPathTo(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^99))
+		nv := 3 + int(n%12)
+		g := graph.RandomStronglyConnected(rng, nv, nv+int(m%30), 1, 2)
+		w := plateauWeights(rng, g.NumEdges())
+		lm := BuildLandmarks(g, 3, FromSlice(w))
+		sc, fs, bs := NewScratch(nv), NewScratch(nv), NewScratch(nv)
+		for round := 0; round < 3; round++ {
+			for src := 0; src < nv; src++ {
+				for dst := 0; dst < nv; dst++ {
+					wantPath, wantDist, wantOK := sc.ShortestPathTo(g, src, dst, FromSlice(w))
+					for _, tables := range []*Landmarks{nil, lm} {
+						path, dist, ok, _ := bidiPathTo(g, src, dst, FromSlice(w), tables, fs, bs)
+						if ok != wantOK || (ok && (dist != wantDist || !reflect.DeepEqual(path, wantPath))) {
+							return false
+						}
+					}
+				}
+			}
+			monotoneBump(rng, w)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLandmarkBoundAdmissible: every landmark lower bound is at
+// most the true distance under the build weights and stays admissible
+// after monotone bumps (including +Inf residual flips).
+func TestQuickLandmarkBoundAdmissible(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^55))
+		nv := 3 + int(n%12)
+		g := graph.RandomStronglyConnected(rng, nv, nv+int(m%30), 1, 2)
+		w := plateauWeights(rng, g.NumEdges())
+		lm := BuildLandmarks(g, 4, FromSlice(w))
+		sc := NewScratch(nv)
+		for round := 0; round < 3; round++ {
+			for src := 0; src < nv; src++ {
+				tr := sc.Dijkstra(g, src, FromSlice(w), nil)
+				for dst := 0; dst < nv; dst++ {
+					if lm.Bound(src, dst) > tr.Dist[dst] {
+						return false
+					}
+				}
+			}
+			monotoneBump(rng, w)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalOracleEquivalence: an additive Incremental with the
+// full oracle (landmarks + bidirectional probes) answers every PathTo
+// identically to an oracle-less twin through a monotone bump sequence,
+// with the landmark bound never violated and the oracle actually
+// exercised.
+func TestIncrementalOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	g := graph.RandomStronglyConnected(rng, 40, 140, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	base := append([]float64(nil), w...)
+	sources := []int{0, 3, 7, 11}
+	plain := NewIncremental(g, sources, nil)
+	oracle := NewIncremental(g, sources, nil)
+	oracle.SetOracle(OracleConfig{
+		Landmarks:     BuildLandmarks(g, 4, FromSlice(base)),
+		Bidirectional: true,
+	})
+	for round := 0; round < 20; round++ {
+		for slot := range sources {
+			dst := rng.IntN(g.NumVertices())
+			p1, d1, ok1 := plain.PathTo(slot, dst, FromSlice(w))
+			p2, d2, ok2 := oracle.PathTo(slot, dst, FromSlice(w))
+			if ok1 != ok2 || d1 != d2 || !reflect.DeepEqual(p1, p2) {
+				t.Fatalf("round %d slot %d dst %d: plain (%v,%v,%v) != oracle (%v,%v,%v)",
+					round, slot, dst, p1, d1, ok1, p2, d2, ok2)
+			}
+		}
+		touched := monotoneBump(rng, w)
+		plain.Invalidate(touched)
+		oracle.Invalidate(touched)
+	}
+	st := oracle.CacheStats()
+	if st.LandmarkViolations != 0 {
+		t.Fatalf("monotone bumps must never violate the landmark bound: %+v", st)
+	}
+	if st.AltSearches == 0 || st.BidiProbes == 0 {
+		t.Fatalf("oracle never exercised: %+v", st)
+	}
+}
+
+// TestOracleDisablesOnBoundViolation: lowering a weight below the
+// landmark build bound (a contract violation) disables the tables via
+// the lazy pending-edge check, after which answers still match a fresh
+// search under the new weights.
+func TestOracleDisablesOnBoundViolation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	inc := NewIncremental(g, []int{0}, nil)
+	inc.SetOracle(OracleConfig{Landmarks: BuildLandmarks(g, 3, FromSlice(w))})
+	if _, _, ok := inc.PathTo(0, g.NumVertices()-1, FromSlice(w)); !ok {
+		t.Fatal("strongly connected graph: target must be reachable")
+	}
+	w[0] /= 4 // below the build-time lower bound
+	inc.Invalidate([]int{0})
+	sc := NewScratch(g.NumVertices())
+	for dst := 0; dst < g.NumVertices(); dst++ {
+		wantPath, wantDist, wantOK := sc.ShortestPathTo(g, 0, dst, FromSlice(w))
+		path, dist, ok := inc.PathTo(0, dst, FromSlice(w))
+		if ok != wantOK || dist != wantDist || !reflect.DeepEqual(path, wantPath) {
+			t.Fatalf("dst %d: post-violation answer diverged", dst)
+		}
+	}
+	if st := inc.CacheStats(); st.LandmarkViolations != 1 {
+		t.Fatalf("violation not detected: %+v", st)
+	}
+}
+
+// TestPathCacheMultiTarget: the per-slot path cache holds several
+// targets at once — repeat queries over a small fan-out all hit after
+// the first pass — and invalidation drops exactly the entries whose
+// paths use a touched edge.
+func TestPathCacheMultiTarget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	g := graph.RandomStronglyConnected(rng, 30, 90, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	inc := NewIncremental(g, []int{0}, nil)
+	targets := []int{5, 9, 14, 20}
+	for _, dst := range targets {
+		inc.PathTo(0, dst, FromSlice(w))
+	}
+	before := inc.CacheStats()
+	for _, dst := range targets {
+		inc.PathTo(0, dst, FromSlice(w))
+	}
+	after := inc.CacheStats()
+	if hits := after.PathToHits - before.PathToHits; hits != int64(len(targets)) {
+		t.Fatalf("second pass: want %d cache hits, got %d", len(targets), hits)
+	}
+	if after.PathToMisses != before.PathToMisses {
+		t.Fatalf("second pass ran searches: %+v", after)
+	}
+}
+
+// TestPreferSinglePolicy: the adaptive policy routes fan-out-one slots
+// to single-target search, defaults to trees during warmup, and flips
+// a multi-target slot to single-target search only once its observed
+// dirty rate exceeds the per-target cost ratio.
+func TestPreferSinglePolicy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	inc := NewIncremental(g, []int{0, 1}, nil)
+	if !inc.PreferSingle(0, 1) {
+		t.Fatal("fan-out one must always route to single-target search")
+	}
+	if inc.PreferSingle(0, 2) {
+		t.Fatal("warmup slot must default to tree refreshes")
+	}
+	if inc.PreferSingle(0, ptCapacity+1) {
+		t.Fatal("fan-out beyond the path cache must refresh trees")
+	}
+	// Slot 0: always dirtied between refreshes -> dirty rate 1.
+	for i := 0; i < 8; i++ {
+		inc.Refresh([]int{0}, FromSlice(w), 1)
+		inc.InvalidateAll()
+	}
+	if !inc.PreferSingle(0, 2) {
+		t.Fatal("always-dirty slot must route to single-target search")
+	}
+	// Slot 1: refreshed repeatedly with no invalidation -> dirty rate ~0.
+	for i := 0; i < 8; i++ {
+		inc.Refresh([]int{1}, FromSlice(w), 1)
+	}
+	if inc.PreferSingle(1, 2) {
+		t.Fatal("clean slot must keep refreshing its tree")
+	}
+	st := inc.CacheStats()
+	if st.PolicySingle == 0 || st.PolicyTree == 0 {
+		t.Fatalf("policy decisions not counted: %+v", st)
+	}
+}
+
+// TestAddSourcePolicyAndOracle: slots grown by AddSource after
+// SetOracle inherit a sane adaptive-policy state (warmup counters at
+// zero, tree-default for multi-target fan-out) and are served by the
+// configured oracle, interacting correctly with SetTargets.
+func TestAddSourcePolicyAndOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 23))
+	g := graph.RandomStronglyConnected(rng, 30, 100, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	inc := NewIncremental(g, nil, nil)
+	inc.SetOracle(OracleConfig{Landmarks: BuildLandmarks(g, 3, FromSlice(w))})
+	sc := NewScratch(g.NumVertices())
+	for round := 0; round < 6; round++ {
+		src := rng.IntN(g.NumVertices())
+		slot := inc.AddSource(src)
+		if got := inc.AddSource(src); got != slot {
+			t.Fatalf("AddSource not idempotent: %d vs %d", got, slot)
+		}
+		if inc.slotDemand[slot] != 0 || inc.slotDirty[slot] != 0 {
+			t.Fatalf("grown slot %d inherited stale counters", slot)
+		}
+		if inc.PreferSingle(slot, 2) {
+			t.Fatal("grown slot must start in tree-default warmup")
+		}
+		dst := rng.IntN(g.NumVertices())
+		inc.SetTargets(slot, []int{dst})
+		wantPath, wantDist, wantOK := sc.ShortestPathTo(g, src, dst, FromSlice(w))
+		path, dist, ok := inc.PathTo(slot, dst, FromSlice(w))
+		if ok != wantOK || dist != wantDist || !reflect.DeepEqual(path, wantPath) {
+			t.Fatalf("grown slot %d: oracle answer diverged", slot)
+		}
+		touched := monotoneBump(rng, w)
+		inc.Invalidate(touched)
+	}
+	if st := inc.CacheStats(); st.AltSearches == 0 {
+		t.Fatalf("grown slots never used the oracle: %+v", st)
+	}
+}
+
+// TestBuildLandmarksShape: farthest-point selection returns distinct,
+// arc-bearing landmarks and tables sized to the graph, and Bound is
+// zero on the diagonal.
+func TestBuildLandmarksShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := graph.RandomStronglyConnected(rng, 25, 80, 1, 2)
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = 1 + rng.Float64()
+	}
+	lm := BuildLandmarks(g, 5, FromSlice(w))
+	if lm.K() != 5 {
+		t.Fatalf("want 5 landmarks, got %d", lm.K())
+	}
+	seen := map[int32]bool{}
+	for _, id := range lm.IDs() {
+		if seen[id] {
+			t.Fatalf("duplicate landmark %d", id)
+		}
+		seen[id] = true
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if b := lm.Bound(v, v); b != 0 {
+			t.Fatalf("Bound(%d,%d) = %v, want 0", v, v, b)
+		}
+	}
+	if lm.Bound(0, 1) < 0 || math.IsNaN(lm.Bound(0, 1)) {
+		t.Fatal("bound must be a nonnegative number")
+	}
+}

@@ -31,6 +31,12 @@ type Scratch struct {
 	keys [][]float64
 	cand []float64
 	lex  bool // this run orders the heap by leximax keys, not dist alone
+	// A*-mode state (see shortestPathToPot): pi[v] is v's potential for
+	// this run and fsc[v] = dist[v] + pi[v] the heap key. Potentials are
+	// fixed per vertex per run, so fsc only changes when dist does.
+	pi    []float64
+	fsc   []float64
+	astar bool // this run orders the heap by fsc, not dist
 }
 
 // NewScratch returns a Scratch sized for graphs with up to n vertices;
@@ -49,6 +55,8 @@ func (s *Scratch) grow(n int) {
 	}
 	old := len(s.dist)
 	s.dist = append(s.dist, make([]float64, n-old)...)
+	s.pi = append(s.pi, make([]float64, n-old)...)
+	s.fsc = append(s.fsc, make([]float64, n-old)...)
 	s.keys = append(s.keys, make([][]float64, n-old)...)
 	s.prevE = append(s.prevE, make([]int32, n-old)...)
 	s.prevV = append(s.prevV, make([]int32, n-old)...)
@@ -73,6 +81,7 @@ func (s *Scratch) reset(n int) {
 	s.order = s.order[:0]
 	s.heap = s.heap[:0]
 	s.lex = false
+	s.astar = false
 }
 
 // touch marks v visited this generation and records it for
@@ -307,6 +316,136 @@ func (s *Scratch) ShortestPathTo(g *graph.Graph, src, dst int, weight WeightFunc
 	return s.pathOut(src, dst), dd, true
 }
 
+// runAdditiveCSR runs a full additive Dijkstra from src over an
+// explicit CSR — the forward or reverse adjacency — leaving the result
+// in the scratch state (dist/prevE/prevV over s.order) instead of
+// materializing a Tree. Tie-break and semantics match Dijkstra.
+// Landmark table construction and the backward half of the
+// bidirectional probe run on this.
+func (s *Scratch) runAdditiveCSR(csr *graph.CSR, n int, src int32, weight WeightFunc) {
+	s.reset(n)
+	s.touch(src)
+	s.dist[src] = 0
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(src)
+	for len(s.heap) > 0 {
+		v := s.pop()
+		dv := s.dist[v]
+		for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+			s.relax(v, csr.EdgeID[k], csr.Head[k], dv, weight)
+		}
+	}
+}
+
+// altSlack is the relative slack on the A* stop bound. With a potential
+// that is consistent in exact arithmetic, float rounding of the
+// potential (differences of accumulated path sums) can overshoot a
+// tie-achieving vertex's f-key past dist[dst] by a few ulps; the search
+// therefore settles everything with f <= dist[dst]·(1+altSlack) before
+// stopping. The extra vertices cannot perturb the answer — an exact-tie
+// retarget of a vertex v needs dist[u] + w == dist[v] <= dist[dst] with
+// w >= 0, which pins dist[u] <= dist[dst], a vertex both the plain
+// early-exit search and the A* search settle — so the slack buys float
+// robustness without costing bit-identity.
+const altSlack = 1e-12
+
+// relaxA is relax for A* runs: identical tie-break, plus maintenance of
+// the fsc heap key and one potential evaluation on first touch.
+func (s *Scratch) relaxA(v, e, to int32, dv float64, weight WeightFunc, pot func(int32) float64) {
+	w := weight(int(e))
+	if math.IsInf(w, 1) {
+		return
+	}
+	nd := dv + w
+	if s.stamp[to] != s.gen {
+		s.touch(to)
+		s.dist[to] = nd
+		s.pi[to] = pot(to)
+		s.fsc[to] = nd + s.pi[to]
+		s.prevE[to], s.prevV[to] = e, v
+		s.push(to)
+		return
+	}
+	switch d := s.dist[to]; {
+	case nd < d:
+		s.dist[to] = nd
+		s.fsc[to] = nd + s.pi[to]
+		s.prevE[to], s.prevV[to] = e, v
+		s.decrease(to)
+	case nd == d && e > s.prevE[to]:
+		s.prevE[to], s.prevV[to] = e, v
+	}
+}
+
+// shortestPathToPot is ShortestPathTo guided by a potential: Dijkstra
+// ordered by f(v) = dist[v] + pot(v). pot must be consistent w.r.t. the
+// weights (pot(u) <= w(u->v) + pot(v) on every arc, up to float
+// rounding) with pot(dst) == 0, which makes it an admissible lower
+// bound on the remaining distance; then every vertex is settled at
+// most once (modulo ulp re-opens, which decrease handles) and the
+// search can stop once every f-key at most dist[dst] — every vertex
+// that can supply a canonical tie on the returned path — is settled.
+// The answer is bit-identical to ShortestPathTo: identical dist values
+// (the same float sums along the same paths) and identical
+// largest-edge-ID retargets along the path (see altSlack).
+func (s *Scratch) shortestPathToPot(g *graph.Graph, src, dst int, weight WeightFunc, pot func(int32) float64) ([]int, float64, bool) {
+	n := g.NumVertices()
+	s.reset(n)
+	s.astar = true
+	s.touch(int32(src))
+	s.dist[src] = 0
+	s.pi[src] = pot(int32(src))
+	s.fsc[src] = s.pi[src]
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(int32(src))
+	csr := g.Frozen()
+	found := false
+	var dd, bound float64
+	for len(s.heap) > 0 {
+		v := s.pop()
+		if found && s.fsc[v] > bound {
+			break // every f-key that can reach or tie dist[dst] is settled
+		}
+		dv := s.dist[v]
+		if int(v) == dst {
+			found, dd = true, dv
+			bound = dd * (1 + altSlack)
+		}
+		if csr != nil {
+			for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+				s.relaxA(v, csr.EdgeID[k], csr.Head[k], dv, weight, pot)
+			}
+		} else {
+			for _, a := range g.OutArcs(int(v)) {
+				s.relaxA(v, int32(a.Edge), int32(a.To), dv, weight, pot)
+			}
+		}
+	}
+	if !found {
+		return nil, math.Inf(1), false
+	}
+	return s.pathOut(src, dst), dd, true
+}
+
+// ShortestPathToALT is ShortestPathTo pruned by ALT (A*, landmarks,
+// triangle inequality) lower bounds: the landmark tables supply a
+// consistent potential that steers the search toward dst and lets it
+// stop after settling a fraction of the vertices the plain early-exit
+// search would. The landmarks must have been built on a lower bound of
+// weight (see BuildLandmarks); under that contract the answer is
+// bit-identical to ShortestPathTo. The number of vertices the run
+// touched is readable afterwards via Touched.
+func (s *Scratch) ShortestPathToALT(g *graph.Graph, src, dst int, weight WeightFunc, lm *Landmarks) ([]int, float64, bool) {
+	if lm == nil || lm.K() == 0 {
+		return s.ShortestPathTo(g, src, dst, weight)
+	}
+	return s.shortestPathToPot(g, src, dst, weight, lm.potential(int32(dst)))
+}
+
+// Touched reports how many vertices the scratch's last run reached —
+// the work profile the oracle metrics aggregate.
+func (s *Scratch) Touched() int { return len(s.order) }
+
 // BottleneckPathTo is the KindBottleneck form of ShortestPathTo: the
 // canonical minimax path from src to dst, its bottleneck value, and
 // whether dst is reachable, bit-identical to s.Bottleneck(...) followed
@@ -427,8 +566,18 @@ func (s *Scratch) pop() int32 {
 }
 
 // less orders heap entries: by dist, refined by the full leximax keys
-// in bottleneck runs. Additive runs never read s.keys.
+// in bottleneck runs (additive runs never read s.keys), or by the
+// potential-adjusted fsc key in A* runs (ties fall back to dist so
+// nearer vertices settle first; any tie order is correct — A* with a
+// consistent potential is label-setting regardless).
 func (s *Scratch) less(a, b int32) bool {
+	if s.astar {
+		fa, fb := s.fsc[a], s.fsc[b]
+		if fa != fb {
+			return fa < fb
+		}
+		return s.dist[a] < s.dist[b]
+	}
 	da, db := s.dist[a], s.dist[b]
 	if da != db {
 		return da < db

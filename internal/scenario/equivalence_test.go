@@ -116,6 +116,78 @@ func TestCatalogIncrementalEquivalence(t *testing.T) {
 	}
 }
 
+// TestCatalogOracleEquivalence is the next-gen path oracle's
+// acceptance gate over the full S1 catalog: ALT landmark pruning,
+// bidirectional probes, and the adaptive refresh policy produce
+// byte-identical results to the uncached, unpruned solver — for the
+// batch solver, the reasonable iterative engine, and the online
+// admission path. The oracle may only move work, never answers.
+func TestCatalogOracleEquivalence(t *testing.T) {
+	const eps = 0.5
+	for _, topo := range scenario.Topologies() {
+		for _, dm := range scenario.Demands() {
+			t.Run(topo.Name+"/"+dm.Name, func(t *testing.T) {
+				inst, err := scenario.Generate(scenario.Config{Topology: topo.Name, Demand: dm.Name, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := inst.G
+				// Initial exponential prices (flow 0) are 1/c_e and only
+				// rise — the permanent lower bound landmark tables need.
+				lm := pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount,
+					func(e int) float64 { return 1 / g.Edge(e).Capacity })
+
+				want, err := core.SolveUFP(inst, eps, &core.Options{NoIncremental: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := core.SolveUFP(inst, eps, &core.Options{
+					Adaptive: true, Landmarks: lm, Bidirectional: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.Routed, got.Routed) ||
+					want.Value != got.Value || want.Stop != got.Stop || want.DualBound != got.DualBound {
+					t.Fatalf("SolveUFP allocations differ with the full oracle on")
+				}
+
+				ewant, err := core.IterativePathMin(inst, core.EngineOptions{
+					Rule: &core.ExpRule{}, Eps: eps, UseDualStop: true, NoIncremental: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				egot, err := core.IterativePathMin(inst, core.EngineOptions{
+					Rule: &core.ExpRule{}, Eps: eps, UseDualStop: true,
+					Adaptive: true, Landmarks: true, Bidirectional: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ewant.Routed, egot.Routed) ||
+					ewant.Value != egot.Value || ewant.Stop != egot.Stop || ewant.DualBound != egot.DualBound {
+					t.Fatalf("reasonable engine allocations differ with the full oracle on")
+				}
+
+				owant, err := core.OnlineAdmission(inst, eps, &core.Options{NoIncremental: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ogot, err := core.OnlineAdmission(inst, eps, &core.Options{
+					Landmarks: lm, Bidirectional: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(owant, ogot) {
+					t.Fatal("online admissions differ with the oracle on")
+				}
+			})
+		}
+	}
+}
+
 // TestCatalogOnlineSessionEquivalence is the session layer's
 // acceptance gate over the full S1 catalog: streaming every request of
 // a scenario instance through a registered session (warm incremental

@@ -224,6 +224,14 @@ func (m *Manager) PathCacheStats() pathfind.CacheStats {
 		agg.Reused += cs.Reused
 		agg.PathToHits += cs.PathToHits
 		agg.PathToMisses += cs.PathToMisses
+		agg.AltSearches += cs.AltSearches
+		agg.AltTouched += cs.AltTouched
+		agg.AltBudget += cs.AltBudget
+		agg.BidiProbes += cs.BidiProbes
+		agg.BidiMeets += cs.BidiMeets
+		agg.PolicyTree += cs.PolicyTree
+		agg.PolicySingle += cs.PolicySingle
+		agg.LandmarkViolations += cs.LandmarkViolations
 		return true
 	})
 	return agg
@@ -274,6 +282,20 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
 		func(s pathfind.CacheStats) float64 { return float64(s.PathToMisses) })
 	pcGauge("ufp_pathcache_dirty_ratio", "Fraction of demanded structures recomputed (live sessions, 0..1).",
 		func(s pathfind.CacheStats) float64 { return s.DirtyRatio() })
+	pcGauge("ufp_pathcache_oracle_searches", "PathTo misses answered by the ALT/bidirectional oracle (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.AltSearches) })
+	pcGauge("ufp_pathcache_oracle_prune_ratio", "Fraction of the full-tree vertex budget the oracle's searches skipped (live sessions, 0..1).",
+		func(s pathfind.CacheStats) float64 { return s.PruneRatio() })
+	pcGauge("ufp_pathcache_bidi_probes", "Bidirectional probes run (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.BidiProbes) })
+	pcGauge("ufp_pathcache_bidi_meets", "Bidirectional probes whose frontiers bridged (live sessions).",
+		func(s pathfind.CacheStats) float64 { return float64(s.BidiMeets) })
+	policy := reg.NewGaugeFamily("ufp_pathcache_policy_decisions",
+		"Adaptive refresh-policy decisions, split by chosen serving mode (live sessions).", "mode")
+	policy.GaugeFunc(func() float64 { return float64(m.PathCacheStats().PolicyTree) }, "tree")
+	policy.GaugeFunc(func() float64 { return float64(m.PathCacheStats().PolicySingle) }, "single")
+	pcGauge("ufp_pathcache_landmark_violations", "Landmark lower-bound violations that disabled ALT tables (live sessions; nonzero means a price went down).",
+		func(s pathfind.CacheStats) float64 { return float64(s.LandmarkViolations) })
 }
 
 // sweepLocked expires idle sessions from the LRU's cold end. Recency
@@ -419,10 +441,21 @@ type Info struct {
 	// PathRecomputed / PathReused are the warm path cache's counters:
 	// reused/(reused+recomputed) is the fraction of admissions served
 	// without a fresh shortest-path search.
-	PathRecomputed int64     `json:"pathRecomputed"`
-	PathReused     int64     `json:"pathReused"`
-	Created        time.Time `json:"created"`
-	LastUsed       time.Time `json:"lastUsed"`
+	PathRecomputed int64 `json:"pathRecomputed"`
+	PathReused     int64 `json:"pathReused"`
+	// OracleSearches / OraclePruneRatio profile the cache's next-gen
+	// single-target oracle: searches it answered, and the fraction of
+	// the full-tree vertex budget its pruning skipped. BidiProbes /
+	// BidiMeets split the bidirectional probes; PolicyTree /
+	// PolicySingle count the adaptive refresh policy's decisions.
+	OracleSearches   int64     `json:"oracleSearches"`
+	OraclePruneRatio float64   `json:"oraclePruneRatio"`
+	BidiProbes       int64     `json:"bidiProbes"`
+	BidiMeets        int64     `json:"bidiMeets"`
+	PolicyTree       int64     `json:"policyTree"`
+	PolicySingle     int64     `json:"policySingle"`
+	Created          time.Time `json:"created"`
+	LastUsed         time.Time `json:"lastUsed"`
 }
 
 // Info returns the session's current view.
@@ -434,22 +467,29 @@ func (s *Session) Info() (Info, error) {
 	}
 	g := s.st.Graph()
 	rec, reu := s.st.PathStats()
+	cs := s.st.CacheStats()
 	return Info{
-		ID:             s.id,
-		Vertices:       g.NumVertices(),
-		Edges:          g.NumEdges(),
-		Directed:       g.Directed(),
-		Eps:            s.eps,
-		B:              g.MinCapacity(),
-		Admitted:       s.st.NumAdmitted(),
-		Value:          s.st.Value(),
-		DualSum:        s.st.DualSum(),
-		Admits:         s.admits,
-		Rejects:        s.rejects,
-		Releases:       s.releases,
-		PathRecomputed: rec,
-		PathReused:     reu,
-		Created:        s.created,
-		LastUsed:       time.Unix(0, s.lastUsed.Load()),
+		ID:               s.id,
+		Vertices:         g.NumVertices(),
+		Edges:            g.NumEdges(),
+		Directed:         g.Directed(),
+		Eps:              s.eps,
+		B:                g.MinCapacity(),
+		Admitted:         s.st.NumAdmitted(),
+		Value:            s.st.Value(),
+		DualSum:          s.st.DualSum(),
+		Admits:           s.admits,
+		Rejects:          s.rejects,
+		Releases:         s.releases,
+		PathRecomputed:   rec,
+		PathReused:       reu,
+		OracleSearches:   cs.AltSearches,
+		OraclePruneRatio: cs.PruneRatio(),
+		BidiProbes:       cs.BidiProbes,
+		BidiMeets:        cs.BidiMeets,
+		PolicyTree:       cs.PolicyTree,
+		PolicySingle:     cs.PolicySingle,
+		Created:          s.created,
+		LastUsed:         time.Unix(0, s.lastUsed.Load()),
 	}, nil
 }
