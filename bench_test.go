@@ -144,7 +144,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	ctx := context.Background()
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
-			e := engine.New(engine.Config{Workers: workers})
+			// BlockOnFull: the benchmark intentionally keeps more jobs in
+			// flight than worker+queue slots; shedding would abort it.
+			e := engine.New(engine.Config{Workers: workers, BlockOnFull: true})
 			defer e.Close()
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -14,7 +14,7 @@
 //	ufpbench -load [-shape closed|open] [-jobs 200] [-concurrency 16]
 //	         [-rate 200] [-dup 0.3] [-alg ufp/bounded] [-eps 0.25]
 //	         [-workers 0] [-seed 1] [-scenario fattree] [-demand gravity]
-//	         [-corpus dir]
+//	         [-corpus dir] [-targets http://a:8080,http://b:8080]
 //	ufpbench -algs
 //
 // Closed-loop traffic keeps -concurrency jobs in flight (peak
@@ -28,7 +28,12 @@
 // instances from the scenario catalog (see ufpgen -list) instead of
 // uniform random graphs; with -corpus it replays the instance files of
 // a ufpgen -corpus directory round-robin (in sorted filename order), so
-// a recorded corpus doubles as a reproducible load-test fixture.
+// a recorded corpus doubles as a reproducible load-test fixture. With
+// -targets the same stream drives one or more running ufpserve
+// processes over HTTP (round-robin across the base URLs) instead of an
+// in-process engine; a 429 from a shedding server counts toward the
+// reported shed rate, not as a failure, and the latency profile covers
+// served jobs only.
 //
 // With -session, ufpbench exercises the stateful session layer the way
 // a persistent client would: register the network once, then stream
@@ -52,11 +57,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -111,6 +119,7 @@ func run(args []string, out io.Writer) error {
 		kind        = fs.String("kind", "", "load: legacy spelling of -alg (default ufp/bounded)")
 		eps         = fs.Float64("eps", 0.25, "load/session: accuracy parameter ε")
 		seed        = fs.Uint64("seed", 1, "load/session: RNG seed")
+		targets     = fs.String("targets", "", "load: comma-separated ufpserve base URLs to drive over HTTP instead of an in-process engine (round-robin per job; 429s count as shed)")
 
 		session  = fs.Bool("session", false, "stream admits through a persistent session instead of experiments")
 		inPath   = fs.String("in", "", "session: stream this instance file (ufpgen output) instead of generating -scenario")
@@ -176,11 +185,21 @@ func run(args []string, out io.Writer) error {
 		if algorithm == "" {
 			algorithm = "ufp/bounded"
 		}
+		var urls []string
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
 		return runLoad(out, loadConfig{
 			shape: *shape, jobs: *jobs, concurrency: *concurrency, rate: *rate,
 			dup: *dup, alg: algorithm, eps: *eps, seed: *seed,
 			workers: *workers, scenario: *scen, demand: *demand, corpus: *corpus,
+			targets: urls,
 		})
+	}
+	if *targets != "" {
+		return fmt.Errorf("-targets only applies with -load")
 	}
 	if *alg != "" || *kind != "" {
 		return fmt.Errorf("-alg/-kind only apply with -load")
@@ -238,9 +257,10 @@ type loadConfig struct {
 	eps         float64
 	seed        uint64
 	workers     int
-	scenario    string // catalog topology ("" = uniform random instances)
-	demand      string // catalog demand model (with scenario)
-	corpus      string // directory of instance files to replay ("" = generate)
+	scenario    string   // catalog topology ("" = uniform random instances)
+	demand      string   // catalog demand model (with scenario)
+	corpus      string   // directory of instance files to replay ("" = generate)
+	targets     []string // ufpserve base URLs (nil = in-process engine)
 }
 
 // runLoad drives an in-process engine with a synthetic job stream and
@@ -296,17 +316,78 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 		return err
 	}
 
-	e := engine.New(engine.Config{Workers: cfg.workers})
-	defer e.Close()
+	// In-process mode keeps the engine's queue blocking: the generator
+	// itself is the only client, so pushing back on it beats shedding.
+	// Target mode drives real ufpserve processes over HTTP, where a 429
+	// is the datum — it counts as shed, never as an error.
+	var e *engine.Engine
+	var doJob func(ctx context.Context, i int) (shed bool, err error)
+	if len(cfg.targets) == 0 {
+		e = engine.New(engine.Config{Workers: cfg.workers, BlockOnFull: true})
+		defer e.Close()
+		doJob = func(ctx context.Context, i int) (bool, error) {
+			_, err := e.Do(ctx, engine.Job{Algorithm: cfg.alg, Eps: cfg.eps, UFP: stream[i]})
+			return false, err
+		}
+	} else {
+		// Bodies are marshalled up front so the measured latency is the
+		// serving path, not client-side JSON encoding.
+		bodies := make([][]byte, len(stream))
+		enc := map[*core.Instance][]byte{} // dup jobs share the instance pointer
+		for i, inst := range stream {
+			if b, ok := enc[inst]; ok {
+				bodies[i] = b
+				continue
+			}
+			raw, err := truthfulufp.MarshalInstance(inst)
+			if err != nil {
+				return err
+			}
+			b, err := json.Marshal(map[string]any{
+				"algorithm": cfg.alg, "eps": cfg.eps, "instance": json.RawMessage(raw),
+			})
+			if err != nil {
+				return err
+			}
+			enc[inst], bodies[i] = b, b
+		}
+		client := &http.Client{Timeout: 5 * time.Minute}
+		doJob = func(ctx context.Context, i int) (bool, error) {
+			url := cfg.targets[i%len(cfg.targets)] + "/v1/solve"
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(bodies[i]))
+			if err != nil {
+				return false, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				return false, err
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return false, nil
+			case http.StatusTooManyRequests:
+				return true, nil
+			default:
+				return false, fmt.Errorf("target %s: status %d", url, resp.StatusCode)
+			}
+		}
+	}
 	ctx := context.Background()
-	latencies := make([]float64, len(stream)) // client-observed seconds
+	latencies := make([]float64, len(stream)) // client-observed seconds, served jobs only
 	hist := metrics.NewHistogram(metrics.DefLatencyBuckets)
 	errs := make([]error, len(stream))
+	shed := make([]bool, len(stream))
 	var wg sync.WaitGroup
 	submit := func(i int) {
 		defer wg.Done()
 		start := time.Now()
-		_, err := e.Do(ctx, engine.Job{Algorithm: cfg.alg, Eps: cfg.eps, UFP: stream[i]})
+		s, err := doJob(ctx, i)
+		if shed[i] = s; s {
+			return // a fast 429 would distort the serving-latency profile
+		}
 		latencies[i] = time.Since(start).Seconds()
 		hist.Observe(latencies[i])
 		errs[i] = err
@@ -336,9 +417,17 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 		}
 	}
 
+	served := make([]float64, 0, len(stream))
+	shedCount := 0
+	for i := range stream {
+		if shed[i] {
+			shedCount++
+		} else {
+			served = append(served, latencies[i])
+		}
+	}
 	var lat stats.Summary
-	lat.AddAll(latencies)
-	snap := e.Snapshot()
+	lat.AddAll(served)
 	source := "random"
 	switch {
 	case cfg.corpus != "":
@@ -349,10 +438,16 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 			source += "/" + cfg.demand
 		}
 	}
-	fmt.Fprintf(out, "engine load: %d jobs (%s), %s loop, %d workers, alg %s, dup %.2f\n",
-		cfg.jobs, source, shape, snap.Workers, cfg.alg, cfg.dup)
+	if len(cfg.targets) == 0 {
+		snap := e.Snapshot()
+		fmt.Fprintf(out, "engine load: %d jobs (%s), %s loop, %d workers, alg %s, dup %.2f\n",
+			cfg.jobs, source, shape, snap.Workers, cfg.alg, cfg.dup)
+	} else {
+		fmt.Fprintf(out, "cluster load: %d jobs (%s), %s loop, %d targets, alg %s, dup %.2f\n",
+			cfg.jobs, source, shape, len(cfg.targets), cfg.alg, cfg.dup)
+	}
 	fmt.Fprintf(out, "  wall time        %v\n", wall.Round(time.Millisecond))
-	fmt.Fprintf(out, "  throughput       %.1f jobs/sec\n", float64(cfg.jobs)/wall.Seconds())
+	fmt.Fprintf(out, "  throughput       %.1f jobs/sec\n", float64(len(served))/wall.Seconds())
 	hs := hist.Snapshot()
 	fmt.Fprintf(out, "  latency mean     %.3f ms\n", lat.Mean()*1e3)
 	fmt.Fprintf(out, "  latency p50/p95  %.3f / %.3f ms\n",
@@ -360,8 +455,14 @@ func runLoad(out io.Writer, cfg loadConfig) error {
 	fmt.Fprintf(out, "  latency p99/p999 %.3f / %.3f ms\n",
 		hs.Quantile(0.99)*1e3, hs.Quantile(0.999)*1e3)
 	fmt.Fprintf(out, "  latency max      %.3f ms\n", lat.Max()*1e3)
-	fmt.Fprintf(out, "  executions       %d (cache hits %d, coalesced %d)\n",
-		snap.Completed, snap.CacheHits, snap.Coalesced)
+	if len(cfg.targets) == 0 {
+		snap := e.Snapshot()
+		fmt.Fprintf(out, "  executions       %d (cache hits %d, coalesced %d)\n",
+			snap.Completed, snap.CacheHits, snap.Coalesced)
+	} else {
+		fmt.Fprintf(out, "  shed             %d/%d (%.1f%% answered 429)\n",
+			shedCount, cfg.jobs, 100*float64(shedCount)/float64(cfg.jobs))
+	}
 	return nil
 }
 

@@ -11,6 +11,18 @@
 //	ufpserve [-addr :8080] [-workers 0] [-solve-workers 1] [-cache 1024]
 //	         [-eps 0.25] [-timeout 60s] [-max-sessions 64] [-session-ttl 0]
 //	         [-log-format text|json] [-pprof-addr ""]
+//	         [-shards 1] [-block-on-full]
+//	         [-route -peers http://a:8080,http://b:8080 -self 0]
+//
+// Scale-out: -shards N fronts N independent engine/session backends
+// with an in-process bounded-load consistent-hash router (jobs route by
+// instance fingerprint, session ops by session id, so each shard keeps
+// its own warm caches). -route spreads the same scheme across
+// processes: session ids gain a node prefix ("p1.") and any node
+// proxies a misrouted session call to its owner from the -peers list,
+// propagating the request id. A full job queue answers 429 with a
+// Retry-After hint derived from queue depth × mean solve latency
+// (-block-on-full restores the old blocking behaviour).
 //
 // v1 endpoints:
 //
@@ -22,9 +34,9 @@
 //	POST   /v1/networks/{id}/admit    {"source": 0, "target": 3, "demand": 0.5, "value": 2}
 //	POST   /v1/networks/{id}/price    (same body; quotes without admitting)
 //	POST   /v1/networks/{id}/release  {"id": 7}
-//	GET    /v1/healthz                liveness: 200 while the process serves
-//	GET    /v1/readyz                 readiness: 503 while draining on shutdown
-//	GET    /metrics                   Prometheus text exposition (ufp_http_*, ufp_engine_*, ufp_session_*, ufp_pathcache_*)
+//	GET    /v1/healthz                liveness: 200 while the process serves (cluster-wide counters)
+//	GET    /v1/readyz                 readiness: 503 while draining on shutdown; body reports queue saturation
+//	GET    /metrics                   Prometheus text exposition (ufp_http_*, ufp_engine_*, ufp_session_*, ufp_pathcache_*, ufp_shard_*)
 //
 // Observability: every route runs through the instrument middleware
 // (request counters by status class, in-flight gauge, per-route latency
@@ -56,10 +68,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -88,6 +104,11 @@ func run(args []string, logw io.Writer) error {
 		sessionTTL   = fs.Duration("session-ttl", 0, "expire sessions idle longer than this (0 = never)")
 		logFormat    = fs.String("log-format", "text", "structured request log format: text|json")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		shards       = fs.Int("shards", 1, "engine/session backends behind the in-process consistent-hash router (each gets its own worker pool, queue, cache, and sessions)")
+		block        = fs.Bool("block-on-full", false, "block on a full job queue instead of shedding with 429 + Retry-After")
+		route        = fs.Bool("route", false, "cluster route mode: proxy misrouted session calls to the peer named by the session id's node prefix (requires -peers and -self)")
+		peersFlag    = fs.String("peers", "", "comma-separated peer base URLs, this node included, in cluster-wide order (e.g. http://a:8080,http://b:8080)")
+		self         = fs.Int("self", 0, "this node's index into -peers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,18 +117,50 @@ func run(args []string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	engine := truthfulufp.NewEngine(truthfulufp.EngineConfig{
-		Workers:      *workers,
-		SolveWorkers: *solveWorkers,
-		CacheSize:    *cache,
-		QueueDepth:   *queue,
-		MaxSessions:  *maxSessions,
-		SessionTTL:   *sessionTTL,
+	if *workers == 0 && *shards > 1 {
+		// Split the machine across the shards instead of giving each one
+		// a full GOMAXPROCS pool.
+		*workers = max(1, runtime.GOMAXPROCS(0) / *shards)
+	}
+	var peers []string
+	nodePrefix := ""
+	if *route {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, strings.TrimRight(p, "/"))
+			}
+		}
+		if len(peers) < 2 {
+			return fmt.Errorf("-route needs at least two -peers base URLs, got %d", len(peers))
+		}
+		if *self < 0 || *self >= len(peers) {
+			return fmt.Errorf("-self %d is out of range for %d peers", *self, len(peers))
+		}
+		// The node prefix makes every session id name its owning node
+		// cluster-wide ("p1.s0-n3"), which is all the routing state the
+		// cluster has — no directory service.
+		nodePrefix = fmt.Sprintf("p%d.", *self)
+	}
+	router := truthfulufp.NewShardRouter(truthfulufp.ShardConfig{
+		Shards: *shards,
+		Engine: truthfulufp.EngineConfig{
+			Workers:      *workers,
+			SolveWorkers: *solveWorkers,
+			CacheSize:    *cache,
+			QueueDepth:   *queue,
+			BlockOnFull:  *block,
+			MaxSessions:  *maxSessions,
+			SessionTTL:   *sessionTTL,
+		},
+		IDPrefix: nodePrefix,
 	})
 	// Closed explicitly after the HTTP drain below; the defer covers
 	// early error returns.
-	defer engine.Close()
-	s := newServer(engine, *eps, *timeout, truthfulufp.NewMetricsRegistry(), logger)
+	defer router.Close()
+	s := newServer(router, *eps, *timeout, truthfulufp.NewMetricsRegistry(), logger)
+	if *route {
+		s.routeMode, s.peers, s.self = true, peers, *self
+	}
 	// No blanket WriteTimeout: dispatch sets a per-request write deadline
 	// after the body is read, so slow uploads don't eat the solve budget.
 	srv := &http.Server{
@@ -135,7 +188,8 @@ func run(args []string, logw io.Writer) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("listening", slog.String("addr", *addr), slog.Int("workers", engine.Workers()))
+	logger.Info("listening", slog.String("addr", *addr),
+		slog.Int("shards", router.NumShards()), slog.Int("workers", router.Snapshot().Workers))
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -180,7 +234,7 @@ func pprofMux() *http.ServeMux {
 // server holds the handler's dependencies and the HTTP-layer
 // instruments the middleware updates per request.
 type server struct {
-	engine     *truthfulufp.Engine
+	router     *truthfulufp.ShardRouter
 	defaultEps float64
 	timeout    time.Duration
 	logger     *slog.Logger
@@ -188,25 +242,35 @@ type server struct {
 	// draining flips /v1/readyz to 503 during graceful shutdown.
 	draining atomic.Bool
 
+	// Route mode: misrouted session calls (the id's node prefix names
+	// another peer) are proxied to peers[that index].
+	routeMode bool
+	peers     []string
+	self      int
+	client    *http.Client
+
 	httpReqs    *truthfulufp.MetricsFamily // counter{route,code,deprecated}
 	httpLatency *truthfulufp.MetricsFamily // histogram{route}
 	inFlight    *truthfulufp.MetricsGauge
+	forwarded   *truthfulufp.MetricsFamily // counter{peer}
 }
 
-// newServer wires a server around an engine, registering the engine's
-// metric families (and, below, its own ufp_http_* families) into reg.
-// A nil reg gets a private registry; a nil logger discards. The engine
-// is owned by the caller (tests share one across httptest servers —
-// each gets its own registry, so re-registration never collides).
-func newServer(engine *truthfulufp.Engine, defaultEps float64, timeout time.Duration, reg *truthfulufp.MetricsRegistry, logger *slog.Logger) *server {
+// newServer wires a server around a shard router, registering the
+// cluster's metric families (and, below, its own ufp_http_* families)
+// into reg. A nil reg gets a private registry; a nil logger discards.
+// The router is owned by the caller (tests share one across httptest
+// servers — each gets its own registry, so re-registration never
+// collides).
+func newServer(router *truthfulufp.ShardRouter, defaultEps float64, timeout time.Duration, reg *truthfulufp.MetricsRegistry, logger *slog.Logger) *server {
 	if reg == nil {
 		reg = truthfulufp.NewMetricsRegistry()
 	}
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	engine.RegisterMetrics(reg)
-	s := &server{engine: engine, defaultEps: defaultEps, timeout: timeout, logger: logger, reg: reg}
+	router.RegisterMetrics(reg)
+	s := &server{router: router, defaultEps: defaultEps, timeout: timeout, logger: logger, reg: reg,
+		client: &http.Client{Timeout: 2 * time.Minute}}
 	s.httpReqs = reg.NewCounterFamily("ufp_http_requests_total",
 		"HTTP requests by route pattern, status class, and deprecation.",
 		"route", "code", "deprecated")
@@ -215,13 +279,15 @@ func newServer(engine *truthfulufp.Engine, defaultEps float64, timeout time.Dura
 		truthfulufp.MetricsDefLatencyBuckets, "route")
 	s.inFlight = reg.NewGaugeFamily("ufp_http_in_flight",
 		"Requests currently being served.").Gauge()
+	s.forwarded = reg.NewCounterFamily("ufp_route_forwarded_total",
+		"Session calls proxied to a peer, by peer index (route mode).", "peer")
 	return s
 }
 
 // newHandler is the one-call convenience wiring (private registry,
 // discard logger) used by tests.
-func newHandler(engine *truthfulufp.Engine, defaultEps float64, timeout time.Duration) http.Handler {
-	return newServer(engine, defaultEps, timeout, nil, nil).handler()
+func newHandler(router *truthfulufp.ShardRouter, defaultEps float64, timeout time.Duration) http.Handler {
+	return newServer(router, defaultEps, timeout, nil, nil).handler()
 }
 
 // handler builds the endpoint mux, every route instrumented — the
@@ -290,6 +356,8 @@ const (
 	codeSessionClosed    = "session_closed"    // session evicted or closed mid-request
 	codeTimeout          = "timeout"           // solve exceeded the per-request timeout
 	codeUnavailable      = "unavailable"       // server shutting down
+	codeOverloaded       = "overloaded"        // job queue full; retry after the Retry-After hint
+	codeUpstream         = "upstream_error"    // route mode: the owning peer was unreachable
 	codeSolveFailed      = "solve_failed"      // algorithm rejected the instance
 	codeInternal         = "internal"          // response encoding failure
 )
@@ -405,7 +473,7 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request, job truthfuluf
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	res, err := s.engine.Do(ctx, job)
+	res, err := s.router.Do(ctx, job)
 	if err != nil {
 		status, code := http.StatusUnprocessableEntity, codeSolveFailed
 		switch {
@@ -413,6 +481,16 @@ func (s *server) dispatch(w http.ResponseWriter, r *http.Request, job truthfuluf
 			status, code = http.StatusGatewayTimeout, codeTimeout
 		case errors.Is(err, truthfulufp.ErrEngineClosed):
 			status, code = http.StatusServiceUnavailable, codeUnavailable
+		case errors.Is(err, truthfulufp.ErrEngineOverloaded):
+			status, code = http.StatusTooManyRequests, codeOverloaded
+			retry := time.Second
+			var oe *truthfulufp.EngineOverloadError
+			if errors.As(err, &oe) {
+				retry = oe.RetryAfter
+			}
+			// Whole seconds per RFC 9110, rounded up so the jittered hint
+			// never invites an instant retry.
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
 		}
 		writeError(w, status, code, err)
 		return nil, false
@@ -626,7 +704,7 @@ func (s *server) handleNetworkRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	sess, err := s.engine.Sessions().Register(g, s.eps(req.Eps))
+	sess, err := s.router.Register(g, s.eps(req.Eps))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
@@ -645,15 +723,88 @@ func (s *server) handleNetworkRegister(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// session resolves the {id} path segment to a live session.
+// session resolves the {id} path segment to a live session on its
+// owning local shard — or, in route mode, proxies the whole request to
+// the peer the id's node prefix names (the caller is then done: the
+// peer's response has been relayed).
 func (s *server) session(w http.ResponseWriter, r *http.Request) (*truthfulufp.Session, bool) {
 	id := r.PathValue("id")
-	sess, ok := s.engine.Sessions().Get(id)
+	if s.forwardSession(w, r, id) {
+		return nil, false
+	}
+	sess, ok := s.router.Session(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no network %q (expired, closed, or never registered)", id))
 		return nil, false
 	}
 	return sess, true
+}
+
+// forwardSession reports whether the request was proxied to a peer: in
+// route mode, an id owned by no local shard but carrying another
+// node's prefix ("p<j>.") belongs to peers[j]. Ids that parse to no
+// peer fall through to the local not-found path (and the router's
+// misrouted counter).
+func (s *server) forwardSession(w http.ResponseWriter, r *http.Request, id string) bool {
+	if !s.routeMode {
+		return false
+	}
+	if _, ok := s.router.Owner(id); ok {
+		return false
+	}
+	peer, ok := peerIndex(id)
+	if !ok || peer == s.self || peer >= len(s.peers) {
+		return false
+	}
+	s.proxy(w, r, peer)
+	return true
+}
+
+// peerIndex parses the node prefix "p<j>." off a session id.
+func peerIndex(id string) (int, bool) {
+	if len(id) < 3 || id[0] != 'p' {
+		return 0, false
+	}
+	dot := strings.IndexByte(id, '.')
+	if dot < 2 {
+		return 0, false
+	}
+	j, err := strconv.Atoi(id[1:dot])
+	if err != nil || j < 0 {
+		return 0, false
+	}
+	return j, true
+}
+
+// proxy relays the request verbatim to the owning peer, propagating
+// the request id so one logical call is greppable across the fleet's
+// request logs, and streams the peer's response back.
+func (s *server) proxy(w http.ResponseWriter, r *http.Request, peer int) {
+	url := s.peers[peer] + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeUpstream, err)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(requestIDHeader, w.Header().Get(requestIDHeader))
+	resp, err := s.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeUpstream,
+			fmt.Errorf("forwarding to peer %d: %w", peer, err))
+		return
+	}
+	defer resp.Body.Close()
+	s.forwarded.Counter(strconv.Itoa(peer)).Inc()
+	for _, h := range []string{"Content-Type", "Retry-After", "Location"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
 }
 
 // sessionError writes the envelope for a failed session operation:
@@ -690,7 +841,10 @@ func (s *server) handleNetworkInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleNetworkDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.engine.Sessions().Close(id) {
+	if s.forwardSession(w, r, id) {
+		return
+	}
+	if !s.router.CloseSession(id) {
 		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no network %q (expired, closed, or never registered)", id))
 		return
 	}
@@ -793,11 +947,12 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, releaseResponse{Released: encodeAdmitted(a)})
 }
 
-// healthResponse is /v1/healthz: liveness, the engine's counters, and
-// the session manager's.
+// healthResponse is /v1/healthz: liveness, the cluster's summed
+// counters, and the session managers'.
 type healthResponse struct {
 	Status        string                   `json:"status"`
 	UptimeSec     float64                  `json:"uptimeSec"`
+	Shards        int                      `json:"shards"`
 	Workers       int                      `json:"workers"`
 	Submitted     int64                    `json:"submitted"`
 	Completed     int64                    `json:"completed"`
@@ -805,6 +960,9 @@ type healthResponse struct {
 	Coalesced     int64                    `json:"coalesced"`
 	Failures      int64                    `json:"failures"`
 	Cancelled     int64                    `json:"cancelled"`
+	Shed          int64                    `json:"shed"`
+	Diverted      int64                    `json:"diverted"`
+	Misrouted     int64                    `json:"misrouted"`
 	JobsPerSec    float64                  `json:"jobsPerSec"`
 	LatencyMeanMs float64                  `json:"latencyMeanMs"`
 	LatencyMaxMs  float64                  `json:"latencyMaxMs"`
@@ -812,10 +970,11 @@ type healthResponse struct {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.engine.Snapshot()
+	snap := s.router.Snapshot()
 	resp := healthResponse{
 		Status:     "ok",
 		UptimeSec:  snap.Uptime.Seconds(),
+		Shards:     snap.Shards,
 		Workers:    snap.Workers,
 		Submitted:  snap.Submitted,
 		Completed:  snap.Completed,
@@ -823,32 +982,65 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Coalesced:  snap.Coalesced,
 		Failures:   snap.Failures,
 		Cancelled:  snap.Cancelled,
+		Shed:       snap.Shed,
+		Diverted:   snap.Diverted,
+		Misrouted:  snap.Misrouted,
 		JobsPerSec: snap.JobsPerSec(),
 		Sessions:   snap.Sessions,
 	}
-	if snap.Latency.N() > 0 {
-		resp.LatencyMeanMs = snap.Latency.Mean() * 1e3
-		resp.LatencyMaxMs = snap.Latency.Max() * 1e3
+	// Mean latency weights each shard by its sample count; max is the
+	// fleet max (quantile summaries don't merge, means and maxes do).
+	var n int
+	var sum, maxMs float64
+	for _, ss := range snap.PerShard {
+		lat := ss.Engine.Latency
+		if lat.N() == 0 {
+			continue
+		}
+		n += lat.N()
+		sum += lat.Mean() * float64(lat.N())
+		if m := lat.Max() * 1e3; m > maxMs {
+			maxMs = m
+		}
+	}
+	if n > 0 {
+		resp.LatencyMeanMs = sum / float64(n) * 1e3
+		resp.LatencyMaxMs = maxMs
 	}
 	writeResult(w, resp)
 }
 
-// readyResponse is /v1/readyz while serving.
+// readyResponse is /v1/readyz while serving. Saturated reports every
+// queue slot and worker busy cluster-wide — the load balancer's early
+// overload signal; the probe still answers 200 (shedding, not
+// draining: new jobs get fast 429s, streamed session ops still serve).
 type readyResponse struct {
-	Status string `json:"status"`
+	Status        string `json:"status"`
+	Saturated     bool   `json:"saturated"`
+	QueueDepth    int    `json:"queueDepth"`
+	QueueCapacity int    `json:"queueCapacity"`
+	Shed          int64  `json:"shed"`
 }
 
 // handleReadyz is the readiness probe: 200 while serving, 503 once the
 // server is draining on shutdown (liveness — /v1/healthz — stays 200
 // throughout, so orchestrators stop routing without restarting the
-// process mid-drain).
+// process mid-drain). While serving, the body carries the saturation
+// view so probes can distinguish "ready" from "ready but shedding".
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, codeUnavailable,
 			errors.New("server is draining"))
 		return
 	}
-	writeResult(w, readyResponse{Status: "ok"})
+	snap := s.router.Snapshot()
+	writeResult(w, readyResponse{
+		Status:        "ok",
+		Saturated:     snap.QueueCapacity > 0 && snap.QueueDepth >= snap.QueueCapacity,
+		QueueDepth:    snap.QueueDepth,
+		QueueCapacity: snap.QueueCapacity,
+		Shed:          snap.Shed,
+	})
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -40,10 +40,10 @@ func (s *syncBuffer) String() string {
 // struct (for the registry and the draining flag).
 func newInstrumentedServer(t *testing.T, buf *syncBuffer) (*httptest.Server, *server) {
 	t.Helper()
-	engine := truthfulufp.NewEngine(truthfulufp.EngineConfig{Workers: 2})
-	t.Cleanup(engine.Close)
+	router := truthfulufp.NewShardRouter(truthfulufp.ShardConfig{Engine: truthfulufp.EngineConfig{Workers: 2}})
+	t.Cleanup(router.Close)
 	logger := slog.New(slog.NewJSONHandler(buf, nil))
-	s := newServer(engine, 0.25, 30*time.Second, truthfulufp.NewMetricsRegistry(), logger)
+	s := newServer(router, 0.25, 30*time.Second, truthfulufp.NewMetricsRegistry(), logger)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return ts, s

@@ -77,6 +77,17 @@ type Options struct {
 	// forward rerun) — the mechanism's critical-value bisection enables
 	// this for its probe re-solves.
 	Bidirectional bool
+	// PolicyWarmup tunes the adaptive refresh policy's warm-up demand
+	// count (see pathfind.OracleConfig.PolicyWarmup). Zero keeps
+	// pathfind.DefaultPolicyWarmup; negative means no warm-up. Only
+	// meaningful with Adaptive; allocations are identical regardless —
+	// the policy moves work, never results.
+	PolicyWarmup int
+	// PolicyCostRatio tunes the adaptive policy's dirty-rate threshold
+	// (see pathfind.OracleConfig.PolicyCostRatio). Zero keeps
+	// pathfind.DefaultPolicyCostRatio; negative means zero (every
+	// eligible post-warm-up slot routes to single-target search).
+	PolicyCostRatio float64
 	// PathPool, if non-nil, supplies the Dijkstra scratch buffers
 	// (see pathfind.Pool). Sharing one pool across many solves — as the
 	// engine does across its worker pool — keeps the per-solve allocation
@@ -125,6 +136,32 @@ func (o *Options) landmarks() *pathfind.Landmarks {
 }
 
 func (o *Options) bidirectional() bool { return o != nil && o.Bidirectional }
+
+func (o *Options) policyWarmup() int {
+	if o == nil {
+		return 0
+	}
+	return o.PolicyWarmup
+}
+
+func (o *Options) policyCostRatio() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.PolicyCostRatio
+}
+
+// oracleConfig assembles the single-target oracle configuration the
+// options describe (landmarks and bidirectional probes for additive
+// caches, adaptive-policy knobs for every kind).
+func (o *Options) oracleConfig(lm *pathfind.Landmarks) pathfind.OracleConfig {
+	return pathfind.OracleConfig{
+		Landmarks:       lm,
+		Bidirectional:   o.bidirectional(),
+		PolicyWarmup:    o.policyWarmup(),
+		PolicyCostRatio: o.policyCostRatio(),
+	}
+}
 
 func (o *Options) pathPool() *pathfind.Pool {
 	if o == nil {
@@ -329,9 +366,7 @@ func newShortestPaths(inst *Instance, opt *Options) *shortestPaths {
 		adaptive: opt.adaptive(),
 		inc:      pathfind.NewIncremental(inst.G, sources, opt.pathPool()),
 	}
-	if lm, bidi := opt.landmarks(), opt.bidirectional(); lm != nil || bidi {
-		sp.inc.SetOracle(pathfind.OracleConfig{Landmarks: lm, Bidirectional: bidi})
-	}
+	sp.inc.SetOracle(opt.oracleConfig(opt.landmarks()))
 	// Each slot only ever answers queries for its own requests' targets,
 	// so restrict the recorded edge sets to those paths: repricing an
 	// edge used elsewhere in a tree no longer dirties it.

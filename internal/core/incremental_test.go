@@ -68,6 +68,49 @@ func TestIncrementalMatchesFullRecomputeSolvers(t *testing.T) {
 	}
 }
 
+// TestPolicyKnobsInvariance: the adaptive-policy knobs threaded through
+// Options and EngineOptions only move work between tree refreshes and
+// single-target searches — allocations are identical at both extremes
+// (everything routes single; warm-up so long nothing ever does).
+func TestPolicyKnobsInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		inst := randomInstance(t, seed+70, workload.UFPConfig{
+			Vertices: 18, Edges: 70, Requests: 60, Directed: seed%2 == 0,
+			B: 30, CapSpread: 0.3,
+			DemandMin: 0.3, DemandMax: 1, ValueMin: 0.5, ValueMax: 2,
+		})
+		want, err := core.BoundedUFP(inst, 0.3, &core.Options{NoIncremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, opt := range map[string]*core.Options{
+			"eager":  {Adaptive: true, PolicyWarmup: -1, PolicyCostRatio: -1},
+			"frozen": {Adaptive: true, PolicyWarmup: 1 << 30, PolicyCostRatio: 10},
+		} {
+			got, err := core.BoundedUFP(inst, 0.3, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocationsIdentical(t, "bounded/"+label, want, got)
+		}
+
+		ewant, err := core.IterativePathMin(inst, core.EngineOptions{
+			Rule: &core.ExpRule{}, Eps: 0.3, UseDualStop: true, NoIncremental: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		egot, err := core.IterativePathMin(inst, core.EngineOptions{
+			Rule: &core.ExpRule{}, Eps: 0.3, UseDualStop: true,
+			Adaptive: true, PolicyWarmup: -1, PolicyCostRatio: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocationsIdentical(t, "engine/eager", ewant, egot)
+	}
+}
+
 // TestSharedKeyParallelPrepare pins the duplicate-slot hazard: with
 // FeasibleOnly=false every demand class shares one tree cache, so a
 // source that appears under several distinct demands yields the same

@@ -168,9 +168,7 @@ func NewAdmissionState(g *graph.Graph, eps float64, opt *Options) (*AdmissionSta
 	if lm == nil && !opt.noIncremental() && g.NumVertices() >= autoLandmarkMinVertices {
 		lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, pathfind.FromSlice(st.y))
 	}
-	if lm != nil || opt.bidirectional() {
-		st.inc.SetOracle(pathfind.OracleConfig{Landmarks: lm, Bidirectional: opt.bidirectional()})
-	}
+	st.inc.SetOracle(opt.oracleConfig(lm))
 	return st, nil
 }
 

@@ -43,6 +43,10 @@ type State struct {
 	// Bidirectional routes the caches' single-target misses through the
 	// bidirectional probe (see EngineOptions.Bidirectional).
 	Bidirectional bool
+	// PolicyWarmup / PolicyCostRatio tune the caches' adaptive refresh
+	// policy (see EngineOptions; zero keeps the pathfind defaults).
+	PolicyWarmup    int
+	PolicyCostRatio float64
 	// Pool supplies the Dijkstra/bottleneck scratch buffers shared by the
 	// rules' per-group path queries. IterativePathMin always sets it; the
 	// rules fall back to a package-shared pool when driven by hand.
@@ -176,16 +180,21 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 		}
 		for k, sources := range byKey {
 			inc := pathfind.NewIncrementalKind(st.Inst.G, c.kind, sources, st.pool(), c.maxHops)
-			if c.kind == pathfind.KindAdditive && (st.Landmarks || st.Bidirectional) {
-				// Weights within a run only rise (flow only grows, and the
-				// residual filter only pushes edges to +Inf), so tables built
-				// from the run's first weights stay valid lower bounds.
-				var lm *pathfind.Landmarks
-				if st.Landmarks {
-					lm = pathfind.BuildLandmarks(st.Inst.G, pathfind.DefaultLandmarkCount, weightOf(k))
-				}
-				inc.SetOracle(pathfind.OracleConfig{Landmarks: lm, Bidirectional: st.Bidirectional})
+			// Weights within a run only rise (flow only grows, and the
+			// residual filter only pushes edges to +Inf), so tables built
+			// from the run's first weights stay valid lower bounds. The
+			// policy knobs apply to every kind; SetOracle ignores the
+			// landmark/bidirectional fields for non-additive caches.
+			var lm *pathfind.Landmarks
+			if st.Landmarks && c.kind == pathfind.KindAdditive {
+				lm = pathfind.BuildLandmarks(st.Inst.G, pathfind.DefaultLandmarkCount, weightOf(k))
 			}
+			inc.SetOracle(pathfind.OracleConfig{
+				Landmarks:       lm,
+				Bidirectional:   st.Bidirectional,
+				PolicyWarmup:    st.PolicyWarmup,
+				PolicyCostRatio: st.PolicyCostRatio,
+			})
 			targets := make(map[int][]int)
 			// Restrict each slot's recorded edges to the paths its own
 			// requests can query (BestLen only ever asks for a group's own
@@ -588,6 +597,14 @@ type EngineOptions struct {
 	// Bidirectional routes the caches' single-target misses through the
 	// bidirectional (forward+backward) probe; bit-identical answers.
 	Bidirectional bool
+	// PolicyWarmup tunes the adaptive refresh policy's warm-up demand
+	// count (see pathfind.OracleConfig.PolicyWarmup). Zero keeps
+	// pathfind.DefaultPolicyWarmup; negative means no warm-up.
+	PolicyWarmup int
+	// PolicyCostRatio tunes the adaptive policy's dirty-rate threshold
+	// (see pathfind.OracleConfig.PolicyCostRatio). Zero keeps
+	// pathfind.DefaultPolicyCostRatio; negative means zero.
+	PolicyCostRatio float64
 	// PathPool, if non-nil, supplies the scratch buffers for the rules'
 	// path queries (see Options.PathPool); nil uses a shared pool.
 	PathPool *pathfind.Pool
@@ -630,17 +647,19 @@ func iterativePathMin(ctx context.Context, inst *Instance, opt EngineOptions) (*
 		pool = sharedRulePool
 	}
 	st := &State{
-		Inst:          inst,
-		Flow:          make([]float64, inst.G.NumEdges()),
-		Eps:           opt.Eps,
-		B:             inst.B(),
-		FeasibleOnly:  opt.FeasibleOnly,
-		Workers:       workers,
-		NoIncremental: opt.NoIncremental,
-		Adaptive:      opt.Adaptive,
-		Landmarks:     opt.Landmarks,
-		Bidirectional: opt.Bidirectional,
-		Pool:          pool,
+		Inst:            inst,
+		Flow:            make([]float64, inst.G.NumEdges()),
+		Eps:             opt.Eps,
+		B:               inst.B(),
+		FeasibleOnly:    opt.FeasibleOnly,
+		Workers:         workers,
+		NoIncremental:   opt.NoIncremental,
+		Adaptive:        opt.Adaptive,
+		Landmarks:       opt.Landmarks,
+		Bidirectional:   opt.Bidirectional,
+		PolicyWarmup:    opt.PolicyWarmup,
+		PolicyCostRatio: opt.PolicyCostRatio,
+		Pool:            pool,
 	}
 	tie := opt.TieBreak
 	if tie == nil {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
@@ -136,15 +137,26 @@ type Config struct {
 	// CacheSize bounds the result cache (entries, LRU eviction). 0 means
 	// DefaultCacheSize; negative disables caching entirely.
 	CacheSize int
-	// QueueDepth bounds the pending-job queue; 0 means 4×workers. Submit
-	// blocks (respecting its context) when the queue is full.
+	// QueueDepth bounds the pending-job queue; 0 means 4×workers. A full
+	// queue sheds new executions with ErrOverloaded (see BlockOnFull).
 	QueueDepth int
+	// BlockOnFull restores the pre-shedding behavior: Do blocks
+	// (respecting its context) when the queue is full instead of failing
+	// fast with ErrOverloaded. CLIs driving a private engine at full
+	// throttle want this; servers should leave it off so overload
+	// surfaces as backpressure (429 + Retry-After) instead of unbounded
+	// queueing delay.
+	BlockOnFull bool
 	// MaxSessions bounds live stateful sessions (LRU eviction beyond
 	// it); 0 means session.DefaultMaxSessions, negative unbounded. See
 	// Sessions.
 	MaxSessions int
 	// SessionTTL expires sessions idle longer than this (0 = never).
 	SessionTTL time.Duration
+	// SessionIDPrefix is prepended to generated session ids (see
+	// session.Config.IDPrefix). The shard router gives each backend a
+	// distinct prefix so a session id names its owning shard.
+	SessionIDPrefix string
 }
 
 // DefaultCacheSize is the result-cache capacity when Config.CacheSize is
@@ -153,6 +165,26 @@ const DefaultCacheSize = 1024
 
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrOverloaded is the sentinel matched by errors.Is when Do sheds a
+// job because the queue is full (Config.BlockOnFull unset). The
+// concrete error is an *OverloadError carrying a retry hint.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// OverloadError is the error returned for shed jobs. RetryAfter is a
+// jittered estimate of when a slot should free up — current queue
+// depth times the mean solve latency, divided across the worker pool —
+// which ufpserve surfaces as the Retry-After header of its 429.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: overloaded (queue full); retry in %s", e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // call is one in-flight execution that any number of submitters may wait
 // on (singleflight).
@@ -205,6 +237,7 @@ type Engine struct {
 	coalesced stats.Counter
 	failures  stats.Counter
 	cancelled stats.Counter
+	shed      stats.Counter
 	latency   stats.ConcurrentSummary // per-execution solve seconds
 	// busy gauges workers currently executing a task; together with
 	// len(queue) it is the backpressure signal the scale-out work reads.
@@ -240,6 +273,7 @@ func New(cfg Config) *Engine {
 		MaxSessions: cfg.MaxSessions,
 		TTL:         cfg.SessionTTL,
 		PathPool:    e.paths,
+		IDPrefix:    cfg.SessionIDPrefix,
 	})
 	if cfg.CacheSize > 0 {
 		e.cache = newLRUCache(cfg.CacheSize)
@@ -260,6 +294,66 @@ func New(cfg Config) *Engine {
 
 // Workers returns the engine's inter-job worker count.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// QueueDepth returns the number of tasks currently waiting in the job
+// queue — the live backpressure signal behind the shard router's
+// per-shard gauges and the server's saturation-aware readiness.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// QueueCapacity returns the job queue's bound.
+func (e *Engine) QueueCapacity() int { return cap(e.queue) }
+
+// BusyWorkers returns the number of workers currently executing a task.
+func (e *Engine) BusyWorkers() float64 { return e.busy.Value() }
+
+// Counters is the engine's monotone job counters, read lock-free —
+// the cheap subset of Snapshot that aggregation layers (the shard
+// router's cluster-wide metric families) poll at scrape time without
+// paying for a latency summary or a session sweep.
+type Counters struct {
+	Submitted   int64
+	Completed   int64
+	CacheHits   int64
+	CacheMisses int64
+	Coalesced   int64
+	Failures    int64
+	Cancelled   int64
+	Shed        int64
+}
+
+// Counters returns the engine's current monotone counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Submitted:   e.submitted.Load(),
+		Completed:   e.completed.Load(),
+		CacheHits:   e.hits.Load(),
+		CacheMisses: e.misses.Load(),
+		Coalesced:   e.coalesced.Load(),
+		Failures:    e.failures.Load(),
+		Cancelled:   e.cancelled.Load(),
+		Shed:        e.shed.Load(),
+	}
+}
+
+// CacheMisses returns the number of cache-eligible jobs that had to
+// execute (the counterpart of Snapshot().CacheHits, exposed for
+// aggregation layers that re-derive the per-registry metric families).
+func (e *Engine) CacheMisses() int64 { return e.misses.Load() }
+
+// CacheEntries returns the number of results currently held by the LRU
+// cache (0 when caching is disabled).
+func (e *Engine) CacheEntries() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// LatencyHistogram exposes the engine's per-execution solve-latency
+// histogram (fixed DefLatencyBuckets), for aggregation layers — the
+// shard router labels one per shard — that cannot reuse
+// RegisterMetrics' unlabeled family names in the same registry.
+func (e *Engine) LatencyHistogram() *metrics.Histogram { return e.latencySec }
 
 // Sessions returns the engine's stateful session manager — registered
 // networks with live online-admission state, served beside the batch
@@ -285,6 +379,10 @@ func (e *Engine) Close() {
 // is done, or the engine closes. Identical jobs (same kind, ε, and
 // instance fingerprint) in flight are coalesced into one execution, and
 // completed results are served from the cache unless NoCache is set.
+// When the job queue is full, a job needing a fresh execution fails
+// fast with an *OverloadError (errors.Is ErrOverloaded) instead of
+// queueing unboundedly, unless Config.BlockOnFull restores blocking;
+// cache hits and coalesced joins still succeed under overload.
 //
 // Cancellation first abandons only the wait: the execution keeps running
 // for as long as any coalesced submitter still wants it (and its result
@@ -408,8 +506,9 @@ func (e *Engine) join(key string, wantCache bool) (c *call, leader bool, cached 
 	return c, true, nil
 }
 
-// enqueue hands the leader's execution to the worker pool, blocking on a
-// full queue until ctx is done. On failure the pending call is completed
+// enqueue hands the leader's execution to the worker pool. A full queue
+// sheds the job with an *OverloadError (or, with Config.BlockOnFull,
+// blocks until ctx is done). On failure the pending call is completed
 // with the error so coalesced waiters do not hang.
 func (e *Engine) enqueue(ctx context.Context, job Job, s solver.Solver, key string, c *call) error {
 	task := func() {
@@ -446,14 +545,48 @@ func (e *Engine) enqueue(ctx context.Context, job Job, s solver.Solver, key stri
 		e.abandon(key, c, err)
 		return err
 	}
+	if e.cfg.BlockOnFull {
+		select {
+		case e.queue <- task:
+			return nil
+		case <-ctx.Done():
+			err := ctx.Err()
+			e.abandon(key, c, err)
+			return err
+		}
+	}
 	select {
 	case e.queue <- task:
 		return nil
-	case <-ctx.Done():
-		err := ctx.Err()
+	default:
+		e.shed.Inc()
+		err := &OverloadError{RetryAfter: e.retryAfter()}
 		e.abandon(key, c, err)
 		return err
 	}
+}
+
+// retryAfter estimates when a queue slot should free up: the tasks
+// ahead of a retry (current depth plus the one being shed) times the
+// mean solve latency, spread across the worker pool, jittered ±50% so
+// a shed burst does not come back as a synchronized retry storm. With
+// no latency samples yet it falls back to a small constant.
+func (e *Engine) retryAfter() time.Duration {
+	lat := e.latency.Snapshot()
+	mean := lat.Mean()
+	if !(mean > 0) {
+		mean = 0.05
+	}
+	est := mean * float64(len(e.queue)+1) / float64(e.cfg.Workers)
+	est *= 0.5 + rand.Float64() // jitter in [0.5, 1.5)
+	d := time.Duration(est * float64(time.Second))
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // abandon completes a never-enqueued leader call with err so coalesced
@@ -502,6 +635,7 @@ type Snapshot struct {
 	Coalesced int64 // submissions folded into an identical in-flight job
 	Failures  int64 // executions that returned a non-cancellation error
 	Cancelled int64 // executions stopped early because every waiter left
+	Shed      int64 // jobs refused with ErrOverloaded on a full queue
 	Uptime    time.Duration
 	// Latency summarizes per-execution solve time in seconds over
 	// successful executions (cache hits, coalesced waits, and failures
@@ -530,6 +664,7 @@ func (e *Engine) Snapshot() Snapshot {
 		Coalesced: e.coalesced.Load(),
 		Failures:  e.failures.Load(),
 		Cancelled: e.cancelled.Load(),
+		Shed:      e.shed.Load(),
 		Uptime:    time.Since(e.start),
 		Latency:   e.latency.Snapshot(),
 		Sessions:  e.sessions.Stats(),
@@ -555,6 +690,7 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
 	counter("ufp_engine_jobs_failed_total", "Executions that returned a non-cancellation error.", e.failures.Load)
 	counter("ufp_engine_jobs_cancelled_total", "Executions stopped early because every waiter left.", e.cancelled.Load)
 	counter("ufp_engine_jobs_coalesced_total", "Submissions folded into an identical in-flight job.", e.coalesced.Load)
+	counter("ufp_engine_jobs_shed_total", "Jobs refused with ErrOverloaded on a full queue.", e.shed.Load)
 	counter("ufp_engine_cache_hits_total", "Answers served from the result cache.", e.hits.Load)
 	counter("ufp_engine_cache_misses_total", "Cache-eligible jobs that had to execute.", e.misses.Load)
 	gauge("ufp_engine_cache_entries", "Results currently held by the LRU cache.", func() float64 {

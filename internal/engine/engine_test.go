@@ -161,7 +161,9 @@ func TestEngineCacheDisabled(t *testing.T) {
 // call, plus the counter balance: every submission is either a fresh
 // execution, a cache hit, or coalesced into one.
 func TestEngineConcurrentJobs(t *testing.T) {
-	e := New(Config{Workers: 4})
+	// BlockOnFull: 60 concurrent submissions against a 16-deep queue is
+	// exactly the full-throttle CLI shape the opt-in exists for.
+	e := New(Config{Workers: 4, BlockOnFull: true})
 	defer e.Close()
 	stream, err := workload.UFPStream(workload.NewRNG(23), workload.TrafficConfig{
 		Shape: workload.ClosedLoop, Jobs: 60, Concurrency: 1,
@@ -399,6 +401,78 @@ func TestEngineWaiterSurvivesLeaderCancel(t *testing.T) {
 	}
 	if s := e.Snapshot(); s.Completed != 1 {
 		t.Errorf("executions = %d, want 1 (the waiter's resubmission)", s.Completed)
+	}
+}
+
+// TestEngineShedsOnFullQueue pins the overload semantics: with the
+// worker busy and the queue full, a job needing a fresh execution fails
+// fast with an *OverloadError carrying a positive Retry-After hint, and
+// the shed counter ticks.
+func TestEngineShedsOnFullQueue(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+
+	// Occupy the lone worker with a slow solve.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = e.Do(ctx, Job{Algorithm: "ufp/bounded", Eps: 0.1, UFP: slowInstance()})
+	}()
+	for e.BusyWorkers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the single queue slot with a second distinct job.
+	queued := Job{Algorithm: "ufp/bounded", Eps: 0.1, UFP: slowInstance()}
+	queued.UFP.Requests = queued.UFP.Requests[:1]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = e.Do(ctx, queued)
+	}()
+	for e.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := e.Do(context.Background(), Job{Algorithm: "ufp/bounded", Eps: 0.25, UFP: testUFPInstance(t, 81)})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Do on a saturated engine = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("overload error %v carries no positive Retry-After hint", err)
+	}
+	if s := e.Snapshot(); s.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", s.Shed)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestEngineBlockOnFull: the opt-in restores the blocking behavior —
+// more concurrent jobs than worker+queue slots all complete, and
+// nothing is shed.
+func TestEngineBlockOnFull(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1, BlockOnFull: true})
+	defer e.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Do(context.Background(), Job{Algorithm: "ufp/greedy", UFP: testUFPInstance(t, uint64(100+i))})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+	if s := e.Snapshot(); s.Shed != 0 || s.Completed != int64(len(errs)) {
+		t.Errorf("snapshot = %+v, want 0 shed / %d completed", s, len(errs))
 	}
 }
 

@@ -17,6 +17,7 @@
 package mcf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,6 +52,16 @@ type Result struct {
 // edge overload, which guarantees feasibility independent of the
 // analysis constants; the classic analysis gives Value >= (1-3ε)·OPT.
 func MaxProfitFlow(inst *core.Instance, eps float64) (*Result, error) {
+	return MaxProfitFlowCtx(context.Background(), inst, eps, 0)
+}
+
+// MaxProfitFlowCtx is MaxProfitFlow with cancellation checked once per
+// augmentation and an explicit iteration cap: maxIter <= 0 keeps the
+// scheme's own 4·m·log_{1+ε}((1+ε)/δ) bound, a positive value
+// truncates below it (the flow stays feasible — scaling is independent
+// of how many augmentations ran — only the (1-3ε) guarantee needs the
+// full count).
+func MaxProfitFlowCtx(ctx context.Context, inst *core.Instance, eps float64, maxIter int) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,8 +97,13 @@ func MaxProfitFlow(inst *core.Instance, eps float64) (*Result, error) {
 	for i, r := range inst.Requests {
 		bySource[r.Source] = append(bySource[r.Source], i)
 	}
-	maxIter := 4 * m * int(math.Ceil(math.Log((1+eps)/delta)/math.Log(1+eps)))
+	if bound := 4 * m * int(math.Ceil(math.Log((1+eps)/delta)/math.Log(1+eps))); maxIter <= 0 || maxIter > bound {
+		maxIter = bound
+	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Find the request and path minimizing price/profit.
 		bestRatio := math.Inf(1)
 		bestReq := -1
@@ -153,6 +169,28 @@ func MaxProfitFlow(inst *core.Instance, eps float64) (*Result, error) {
 		res.UpperBound = 0
 	}
 	return res, nil
+}
+
+// Allocation maps the fractional result onto the registry's common
+// allocation shape: one Routed entry per augmenting path (requests
+// repeat, like the Repeat variants), Value the scaled fractional
+// profit, DualBound the certified LP upper bound. Per-path flow
+// amounts have no slot in core.Routed, so the allocation is the
+// solution's support plus its certified value, not a reconstruction.
+func (r *Result) Allocation() *core.Allocation {
+	a := &core.Allocation{
+		Value:      r.Value,
+		Iterations: r.Iterations,
+		DualBound:  r.UpperBound,
+		Stop:       core.StopDualThreshold,
+	}
+	if len(r.Paths) == 0 {
+		a.Stop = core.StopNoRoutablePath
+	}
+	for _, p := range r.Paths {
+		a.Routed = append(a.Routed, core.Routed{Request: p.Request, Path: p.Path})
+	}
+	return a
 }
 
 // EdgeLoads returns the per-edge flow of the scaled solution.

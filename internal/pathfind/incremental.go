@@ -94,9 +94,13 @@ type Incremental struct {
 
 	// Per-slot adaptive-policy counters: how often the slot was demanded
 	// (Refresh-active or queried) and how often it was dirty when
-	// demanded. PreferSingle turns these into a refresh-policy decision.
-	slotDemand []int64
-	slotDirty  []int64
+	// demanded. PreferSingle turns these into a refresh-policy decision
+	// against the cache's policy knobs (OracleConfig; defaults
+	// DefaultPolicyWarmup / DefaultPolicyCostRatio).
+	slotDemand      []int64
+	slotDirty       []int64
+	policyWarmup    int64
+	policyCostRatio float64
 
 	recomputed int64 // structures rebuilt by Refresh
 	reused     int64 // active structures served from cache
@@ -154,12 +158,14 @@ func NewIncrementalKind(g *graph.Graph, kind TreeKind, sources []int, pool *Pool
 		maxHops = g.NumVertices() - 1
 	}
 	inc := &Incremental{
-		g:       g,
-		kind:    kind,
-		maxHops: maxHops,
-		pool:    pool,
-		slot:    make(map[int]int, len(sources)),
-		words:   (g.NumEdges() + 63) / 64,
+		g:               g,
+		kind:            kind,
+		maxHops:         maxHops,
+		pool:            pool,
+		slot:            make(map[int]int, len(sources)),
+		words:           (g.NumEdges() + 63) / 64,
+		policyWarmup:    DefaultPolicyWarmup,
+		policyCostRatio: DefaultPolicyCostRatio,
 	}
 	for _, s := range sources {
 		if _, dup := inc.slot[s]; dup {
@@ -201,14 +207,37 @@ type OracleConfig struct {
 	// rerun), which the mechanism's critical-value bisection enables.
 	// The graph's reverse adjacency is frozen as a side effect.
 	Bidirectional bool
+	// PolicyWarmup overrides the adaptive refresh policy's warm-up
+	// count: a slot's first PolicyWarmup demands always refresh the
+	// tree, because they carry no dirty-rate signal yet. Zero keeps
+	// DefaultPolicyWarmup; a negative value means no warm-up at all.
+	PolicyWarmup int
+	// PolicyCostRatio overrides the adaptive policy's dirty-rate
+	// threshold: past warm-up, a slot fanning out to f targets routes to
+	// single-target search once its observed dirty rate reaches
+	// PolicyCostRatio·f. Zero keeps DefaultPolicyCostRatio; a negative
+	// value means zero (every eligible post-warm-up slot routes to
+	// single-target search).
+	PolicyCostRatio float64
 }
 
-// SetOracle installs the single-target oracle configuration. It
-// applies to KindAdditive caches; other kinds ignore it (their PathTo
-// forms have no ALT/bidirectional variant). Both oracle paths are
-// bit-identical to the plain search, so SetOracle never invalidates
-// cached state and may be called at any point between queries.
+// SetOracle installs the single-target oracle configuration. The
+// policy knobs (PolicyWarmup, PolicyCostRatio) apply to every tree
+// kind; the oracle proper (Landmarks, Bidirectional) applies to
+// KindAdditive caches only — other kinds ignore those fields (their
+// PathTo forms have no ALT/bidirectional variant). Both oracle paths
+// are bit-identical to the plain search and the policy only moves
+// work, so SetOracle never invalidates cached state and may be called
+// at any point between queries.
 func (inc *Incremental) SetOracle(cfg OracleConfig) {
+	inc.policyWarmup = DefaultPolicyWarmup
+	if cfg.PolicyWarmup != 0 {
+		inc.policyWarmup = int64(max(cfg.PolicyWarmup, 0))
+	}
+	inc.policyCostRatio = DefaultPolicyCostRatio
+	if cfg.PolicyCostRatio != 0 {
+		inc.policyCostRatio = math.Max(cfg.PolicyCostRatio, 0)
+	}
 	if inc.kind != KindAdditive {
 		return
 	}
@@ -668,17 +697,18 @@ func (inc *Incremental) Stats() (recomputed, reused int64) {
 	return inc.recomputed, inc.reused
 }
 
-// Adaptive-policy tuning. A slot's first policyWarmup demands carry no
+// Adaptive-policy tuning defaults (overridable per cache through
+// OracleConfig). A slot's first DefaultPolicyWarmup demands carry no
 // signal, so they default to tree refreshes (the historical behavior);
 // after that the slot routes to single-target search when its observed
-// dirty rate exceeds policyCostRatio per queried target — the point at
-// which rebuilding a whole tree at the observed rate costs more than
-// answering each target with a pruned early-exit search (an oracle
-// search touches roughly a quarter of the graph or less, hence the
-// ratio).
+// dirty rate exceeds DefaultPolicyCostRatio per queried target — the
+// point at which rebuilding a whole tree at the observed rate costs
+// more than answering each target with a pruned early-exit search (an
+// oracle search touches roughly a quarter of the graph or less, hence
+// the ratio).
 const (
-	policyWarmup    = 4
-	policyCostRatio = 0.25
+	DefaultPolicyWarmup    = 4
+	DefaultPolicyCostRatio = 0.25
 )
 
 // PreferSingle is the adaptive refresh policy: it reports whether a
@@ -710,11 +740,14 @@ func (inc *Incremental) preferSingle(slot, fanout int) bool {
 		return true
 	}
 	demand := inc.slotDemand[slot]
-	if demand < policyWarmup {
+	if demand < inc.policyWarmup {
 		return false
 	}
-	rate := float64(inc.slotDirty[slot]) / float64(demand)
-	return rate >= policyCostRatio*float64(fanout)
+	var rate float64
+	if demand > 0 { // a no-warm-up cache may be asked before any demand
+		rate = float64(inc.slotDirty[slot]) / float64(demand)
+	}
+	return rate >= inc.policyCostRatio*float64(fanout)
 }
 
 // CacheStats is the cache's full observer view: lifetime counters cheap
@@ -757,6 +790,25 @@ type CacheStats struct {
 	// the landmark tables (zero under the solvers' monotone-price
 	// contract).
 	LandmarkViolations int64
+}
+
+// Add accumulates o's counters into s — the fleet-aggregation helper
+// used by the session manager (summing over live sessions) and the
+// shard router (summing over backends).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Refreshes += o.Refreshes
+	s.Recomputed += o.Recomputed
+	s.Reused += o.Reused
+	s.PathToHits += o.PathToHits
+	s.PathToMisses += o.PathToMisses
+	s.AltSearches += o.AltSearches
+	s.AltTouched += o.AltTouched
+	s.AltBudget += o.AltBudget
+	s.BidiProbes += o.BidiProbes
+	s.BidiMeets += o.BidiMeets
+	s.PolicyTree += o.PolicyTree
+	s.PolicySingle += o.PolicySingle
+	s.LandmarkViolations += o.LandmarkViolations
 }
 
 // DirtyRatio is the fraction of demanded structures that had to be

@@ -236,6 +236,49 @@ func TestPreferSinglePolicy(t *testing.T) {
 	}
 }
 
+// TestPolicyKnobs: OracleConfig's PolicyWarmup / PolicyCostRatio move
+// the adaptive policy's decisions, zero values keep the defaults, and
+// the knobs apply to non-additive caches too (they sit before
+// SetOracle's KindAdditive early return).
+func TestPolicyKnobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	for _, kind := range []TreeKind{KindAdditive, KindBottleneck} {
+		inc := NewIncrementalKind(g, kind, []int{0}, nil, 0)
+		// Simulated history: 10 demands, all dirty -> rate 1.
+		inc.slotDemand[0], inc.slotDirty[0] = 10, 10
+		if !inc.preferSingle(0, 2) {
+			t.Fatalf("%v: always-dirty slot must route single under defaults", kind)
+		}
+		inc.SetOracle(OracleConfig{PolicyWarmup: 20})
+		if inc.preferSingle(0, 2) {
+			t.Fatalf("%v: raised warm-up must keep the slot on trees", kind)
+		}
+		inc.SetOracle(OracleConfig{PolicyWarmup: -1})
+		if !inc.preferSingle(0, 2) {
+			t.Fatalf("%v: disabled warm-up must route single", kind)
+		}
+		inc.slotDirty[0] = 0 // rate 0: only a zero threshold routes single
+		inc.SetOracle(OracleConfig{})
+		if inc.preferSingle(0, 2) {
+			t.Fatalf("%v: zero config must restore the default ratio", kind)
+		}
+		inc.SetOracle(OracleConfig{PolicyCostRatio: -1})
+		if !inc.preferSingle(0, 2) {
+			t.Fatalf("%v: zeroed cost ratio must route every eligible slot single", kind)
+		}
+		inc.slotDirty[0] = 3 // rate 0.3: between 0.1·2 and the default 0.25·2
+		inc.SetOracle(OracleConfig{PolicyCostRatio: 0.1})
+		if !inc.preferSingle(0, 2) {
+			t.Fatalf("%v: lowered cost ratio must route single at rate 0.3", kind)
+		}
+		inc.SetOracle(OracleConfig{PolicyCostRatio: DefaultPolicyCostRatio})
+		if inc.preferSingle(0, 2) {
+			t.Fatalf("%v: default cost ratio must keep rate 0.3 on trees", kind)
+		}
+	}
+}
+
 // TestAddSourcePolicyAndOracle: slots grown by AddSource after
 // SetOracle inherit a sane adaptive-policy state (warmup counters at
 // zero, tree-default for multi-target fan-out) and are served by the

@@ -53,6 +53,11 @@ type Config struct {
 	// pool here); nil uses one private pool shared by the manager's
 	// sessions.
 	PathPool *pathfind.Pool
+	// IDPrefix is prepended to generated session ids ("n1", "n2", ...).
+	// The shard router gives each backend a distinct prefix ("s0-",
+	// "s1-", ...) so a session id names its owning shard and cluster
+	// peers can resolve misrouted calls without a directory service.
+	IDPrefix string
 }
 
 // Stats is a point-in-time view of a Manager's counters.
@@ -145,7 +150,7 @@ func (m *Manager) Register(g *graph.Graph, eps float64) (*Session, error) {
 	m.mu.Lock()
 	m.sweepLocked(now)
 	m.nextID++
-	s.id = fmt.Sprintf("n%d", m.nextID)
+	s.id = fmt.Sprintf("%sn%d", m.cfg.IDPrefix, m.nextID)
 	m.evictedLRU.Add(int64(m.sessions.Put(s.id, s)))
 	m.mu.Unlock()
 	m.created.Inc()
@@ -219,19 +224,7 @@ func (m *Manager) PathCacheStats() pathfind.CacheStats {
 		s.mu.Lock()
 		cs := s.st.CacheStats()
 		s.mu.Unlock()
-		agg.Refreshes += cs.Refreshes
-		agg.Recomputed += cs.Recomputed
-		agg.Reused += cs.Reused
-		agg.PathToHits += cs.PathToHits
-		agg.PathToMisses += cs.PathToMisses
-		agg.AltSearches += cs.AltSearches
-		agg.AltTouched += cs.AltTouched
-		agg.AltBudget += cs.AltBudget
-		agg.BidiProbes += cs.BidiProbes
-		agg.BidiMeets += cs.BidiMeets
-		agg.PolicyTree += cs.PolicyTree
-		agg.PolicySingle += cs.PolicySingle
-		agg.LandmarkViolations += cs.LandmarkViolations
+		agg.Add(cs)
 		return true
 	})
 	return agg
@@ -297,6 +290,15 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
 	pcGauge("ufp_pathcache_landmark_violations", "Landmark lower-bound violations that disabled ALT tables (live sessions; nonzero means a price went down).",
 		func(s pathfind.CacheStats) float64 { return float64(s.LandmarkViolations) })
 }
+
+// AdmitLatencyHistogram exposes the manager's per-admit latency
+// histogram for aggregation layers (the shard router labels one per
+// shard) that cannot reuse RegisterMetrics' family names in the same
+// registry.
+func (m *Manager) AdmitLatencyHistogram() *metrics.Histogram { return m.admitLatency }
+
+// QuoteLatencyHistogram is AdmitLatencyHistogram for Quote calls.
+func (m *Manager) QuoteLatencyHistogram() *metrics.Histogram { return m.quoteLatency }
 
 // sweepLocked expires idle sessions from the LRU's cold end. Recency
 // order and last-use order coincide (every path that touches a session

@@ -1,0 +1,228 @@
+// Package shard is the horizontal scale-out layer of the serving
+// stack: a bounded-load consistent-hash ring (ring.go) and a Router
+// (router.go) that fronts N engine/session backends inside one
+// process, routing solve jobs by instance fingerprint and session
+// operations by session id so each backend keeps its own warm
+// pathfind.Incremental caches, landmark tables, result cache, and
+// singleflight dedup — the state that makes repeated and streamed
+// traffic cheap, and that a naive round-robin would scatter.
+//
+// The ring is the classic Karger construction with virtual nodes plus
+// the consistent-hashing-with-bounded-loads refinement (Mirrokni,
+// Thorup, Zadimoghaddam): a key's primary owner is the first virtual
+// node clockwise from its hash, but a lookup that would push the owner
+// past c times the average load walks on to the next distinct member.
+// Membership changes move only the keys whose successor arc changed —
+// adding a member steals an ≈1/n fraction, removing one reassigns only
+// the removed member's arcs — so warm caches on surviving shards stay
+// warm.
+package shard
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member when
+// Ring.Replicas is zero. 128 points per member keeps the maximum arc
+// imbalance across a handful of shards within a few percent.
+const DefaultReplicas = 128
+
+// DefaultLoadFactor is the bounded-load factor c when Ring.LoadFactor
+// is zero: no member is loaded beyond c times the ceiling of the
+// average load.
+const DefaultLoadFactor = 1.25
+
+// point is one virtual node: a position on the 64-bit hash circle and
+// the member that owns it.
+type point struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is a bounded-load consistent-hash ring. It is a passive data
+// structure: lookups read it, Add/Remove rebuild it. The Router guards
+// it with its own lock; a Ring used directly needs external
+// synchronization between membership changes and lookups.
+type Ring struct {
+	replicas   int
+	loadFactor float64
+	members    []string // sorted, unique
+	points     []point  // sorted by hash
+}
+
+// NewRing builds a ring over the given members. replicas <= 0 means
+// DefaultReplicas; loadFactor <= 1 means DefaultLoadFactor. Duplicate
+// members collapse to one.
+func NewRing(members []string, replicas int, loadFactor float64) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if loadFactor <= 1 {
+		loadFactor = DefaultLoadFactor
+	}
+	r := &Ring{replicas: replicas, loadFactor: loadFactor}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			r.members = append(r.members, m)
+		}
+	}
+	sort.Strings(r.members)
+	r.rebuild()
+	return r
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the members in sorted order (a copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// LoadFactor returns the bounded-load factor c.
+func (r *Ring) LoadFactor() float64 { return r.loadFactor }
+
+// Add inserts a member, reporting whether it was new. Only keys on the
+// arcs the new member's virtual nodes claim move; every moved key moves
+// to the new member.
+func (r *Ring) Add(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	if i < len(r.members) && r.members[i] == member {
+		return false
+	}
+	r.members = append(r.members, "")
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = member
+	r.rebuild()
+	return true
+}
+
+// Remove deletes a member, reporting whether it was present. Only keys
+// the removed member owned move, each to the next surviving member on
+// its arc.
+func (r *Ring) Remove(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	if i >= len(r.members) || r.members[i] != member {
+		return false
+	}
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	r.rebuild()
+	return true
+}
+
+// rebuild recomputes the virtual-node points. Point hashes depend only
+// on (member, replica index), so surviving members land on identical
+// circle positions across rebuilds — the minimal-remap property.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	if cap(r.points) < len(r.members)*r.replicas {
+		r.points = make([]point, 0, len(r.members)*r.replicas)
+	}
+	for mi, m := range r.members {
+		for v := 0; v < r.replicas; v++ {
+			h := fnv1a(m + "#" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break by member name so a hash collision between two
+		// members' virtual nodes resolves identically on every rebuild.
+		return r.members[r.points[i].member] < r.members[r.points[j].member]
+	})
+}
+
+// Lookup returns the key's primary owner: the member of the first
+// virtual node clockwise from the key's hash ("" on an empty ring).
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.start(key)].member]
+}
+
+// start returns the index into points of the first virtual node
+// clockwise from key's hash position.
+func (r *Ring) start(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// LookupBounded returns the key's owner under the bounded-load rule:
+// walking clockwise from the key's position, the first member whose
+// current load (as reported by load, which is consulted once per
+// distinct member) is strictly below the threshold
+// ceil(c·(total+1)/n). The threshold always strictly exceeds the
+// minimum load, so the walk terminates on some member; a key lands off
+// its primary only while the primary is overloaded, and identical keys
+// re-converge to the primary as its load drains. Like Lookup, "" on an
+// empty ring.
+func (r *Ring) LookupBounded(key string, load func(member string) int) string {
+	n := len(r.members)
+	if n == 0 {
+		return ""
+	}
+	if n == 1 {
+		return r.members[0]
+	}
+	total := 0
+	for _, m := range r.members {
+		total += load(m)
+	}
+	// ceil(c·(total+1)/n): the +1 counts the key being placed.
+	threshold := int(r.loadFactor * float64(total+1) / float64(n))
+	if float64(threshold) < r.loadFactor*float64(total+1)/float64(n) {
+		threshold++
+	}
+	start := r.start(key)
+	seen := 0
+	tried := make([]bool, n)
+	for i := 0; seen < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if tried[p.member] {
+			continue
+		}
+		tried[p.member] = true
+		seen++
+		m := r.members[p.member]
+		if load(m) < threshold {
+			return m
+		}
+	}
+	// Unreachable when load is consistent (some member is below the
+	// threshold by averaging); under racy load readings, fall back to
+	// the primary owner.
+	return r.members[r.points[start].member]
+}
+
+// fnv1a is the 64-bit FNV-1a hash with a splitmix64 finalizer —
+// allocation-free and stable across processes. Raw FNV avalanches
+// poorly on short similar strings (virtual-node labels like "0#17"),
+// which skews arc lengths badly; the finalizer's two xor-shift rounds
+// spread those inputs uniformly over the circle.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

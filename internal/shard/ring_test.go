@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// TestRingBalanceBounded places 10k keys under the bounded-load rule
+// and checks no member ends up past the c·avg ceiling the rule
+// promises.
+func TestRingBalanceBounded(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members, 0, 1.25)
+	loads := make(map[string]int, len(members))
+	keys := testKeys(10000)
+	for _, k := range keys {
+		m := r.LookupBounded(k, func(m string) int { return loads[m] })
+		if m == "" {
+			t.Fatalf("LookupBounded(%q) returned no member", k)
+		}
+		loads[m]++
+	}
+	total := 0
+	for _, m := range members {
+		total += loads[m]
+	}
+	if total != len(keys) {
+		t.Fatalf("placed %d keys, want %d", total, len(keys))
+	}
+	// Every placement kept its member strictly below
+	// ceil(c·(total+1)/n) at placement time, so the final load cannot
+	// exceed the final ceiling.
+	bound := int(1.25*float64(len(keys))/float64(len(members))) + 1
+	for _, m := range members {
+		if loads[m] == 0 {
+			t.Errorf("member %s received no keys", m)
+		}
+		if loads[m] > bound {
+			t.Errorf("member %s load %d exceeds bounded-load ceiling %d", m, loads[m], bound)
+		}
+	}
+}
+
+// TestRingBalanceUnbounded checks the virtual nodes alone spread plain
+// lookups within a small constant factor.
+func TestRingBalanceUnbounded(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members, 0, 0)
+	loads := make(map[string]int, len(members))
+	for _, k := range testKeys(10000) {
+		loads[r.Lookup(k)]++
+	}
+	min, max := 1<<30, 0
+	for _, m := range members {
+		if loads[m] < min {
+			min = loads[m]
+		}
+		if loads[m] > max {
+			max = loads[m]
+		}
+	}
+	if min == 0 {
+		t.Fatalf("a member received no keys: %v", loads)
+	}
+	if float64(max)/float64(min) > 2.5 {
+		t.Errorf("virtual-node imbalance too high: min %d max %d (%v)", min, max, loads)
+	}
+}
+
+// TestRingMinimalRemapOnAdd checks that adding a member only steals
+// keys (every moved key moves to the new member) and steals roughly
+// its fair share.
+func TestRingMinimalRemapOnAdd(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 0, 0)
+	keys := testKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	if !r.Add("e") {
+		t.Fatal("Add(e) reported e already present")
+	}
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != "e" {
+			t.Fatalf("key %q moved %s -> %s, not to the new member", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new member")
+	}
+	// Fair share is 1/5; allow a factor-two slop for vnode variance.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.4 {
+		t.Errorf("add moved %.1f%% of keys, want ≈20%%", 100*frac)
+	}
+}
+
+// TestRingMinimalRemapOnRemove checks that removing a member moves
+// only the keys it owned.
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 0, 0)
+	keys := testKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	if !r.Remove("b") {
+		t.Fatal("Remove(b) reported b absent")
+	}
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if before[k] == "b" {
+			if after == "b" {
+				t.Fatalf("key %q still maps to removed member", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+}
+
+// TestRingDeterminism checks two rings built over the same membership
+// answer identically (placement is a pure function of the membership,
+// not construction order).
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"x", "y", "z"}, 0, 0)
+	b := NewRing([]string{"z", "x", "y"}, 0, 0)
+	for _, k := range testKeys(1000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings disagree on %q: %s vs %s", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0, 0)
+	if got := empty.Lookup("k"); got != "" {
+		t.Errorf("empty ring Lookup = %q, want empty", got)
+	}
+	if got := empty.LookupBounded("k", func(string) int { return 0 }); got != "" {
+		t.Errorf("empty ring LookupBounded = %q, want empty", got)
+	}
+	one := NewRing([]string{"solo"}, 0, 0)
+	if got := one.Lookup("k"); got != "solo" {
+		t.Errorf("single ring Lookup = %q", got)
+	}
+	if got := one.LookupBounded("k", func(string) int { return 1 << 20 }); got != "solo" {
+		t.Errorf("single ring LookupBounded = %q", got)
+	}
+}

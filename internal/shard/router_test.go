@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"truthfulufp/internal/engine"
+	"truthfulufp/internal/metrics"
+	"truthfulufp/internal/scenario"
+	"truthfulufp/internal/workload"
+)
+
+func testJob(t testing.TB, seed uint64) engine.Job {
+	t.Helper()
+	inst, err := workload.RandomUFP(workload.NewRNG(seed), workload.DefaultUFPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.Job{Algorithm: "ufp/greedy", UFP: inst}
+}
+
+// TestRouterSingleShardPassThrough: with one backend the router is a
+// pass-through — unprefixed session ids, every op on shard 0.
+func TestRouterSingleShardPassThrough(t *testing.T) {
+	r := New(Config{Shards: 1, Engine: engine.Config{Workers: 2}})
+	defer r.Close()
+	if r.NumShards() != 1 {
+		t.Fatalf("NumShards = %d", r.NumShards())
+	}
+	res, err := r.Do(context.Background(), testJob(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocation == nil {
+		t.Fatal("no allocation")
+	}
+	inst, err := workload.RandomUFP(workload.NewRNG(7), workload.DefaultUFPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Register(inst.G, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != "n1" {
+		t.Errorf("single-shard session id = %q, want legacy %q", s.ID(), "n1")
+	}
+	if i, ok := r.Owner(s.ID()); !ok || i != 0 {
+		t.Errorf("Owner(%q) = %d,%v", s.ID(), i, ok)
+	}
+	if got, ok := r.Session(s.ID()); !ok || got.ID() != s.ID() {
+		t.Errorf("Session(%q) lookup failed", s.ID())
+	}
+}
+
+// TestRouterJobAffinity: identical jobs land on the same shard, so the
+// second submission is a cache hit; distinct jobs spread.
+func TestRouterJobAffinity(t *testing.T) {
+	r := New(Config{Shards: 4, Engine: engine.Config{Workers: 1}})
+	defer r.Close()
+	job := testJob(t, 2)
+	if _, err := r.Do(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Do(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("identical resubmission was not a cache hit — job routed to a different shard?")
+	}
+	for seed := uint64(10); seed < 30; seed++ {
+		if _, err := r.Do(context.Background(), testJob(t, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Submitted != 22 {
+		t.Errorf("Submitted = %d, want 22", snap.Submitted)
+	}
+	if snap.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1", snap.CacheHits)
+	}
+	var routed, nonEmpty int64
+	for _, ss := range snap.PerShard {
+		routed += ss.Routed
+		if ss.Routed > 0 {
+			nonEmpty++
+		}
+	}
+	if routed != 22 {
+		t.Errorf("sum of per-shard routed = %d, want 22", routed)
+	}
+	if nonEmpty < 2 {
+		t.Errorf("20 distinct jobs all routed to %d shard(s); expected spread", nonEmpty)
+	}
+}
+
+// TestRouterSessionAffinity: session ids carry their shard prefix,
+// operations route home, LRU eviction invalidates the session without
+// ever counting as a misroute, and an unparseable id does.
+func TestRouterSessionAffinity(t *testing.T) {
+	r := New(Config{Shards: 4, Engine: engine.Config{Workers: 1, MaxSessions: 2}})
+	defer r.Close()
+	inst, err := workload.RandomUFP(workload.NewRNG(3), workload.DefaultUFPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, 24)
+	for i := 0; i < 24; i++ {
+		s, err := r.Register(inst.G, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, ok := r.Owner(s.ID())
+		if !ok {
+			t.Fatalf("router cannot resolve its own session id %q", s.ID())
+		}
+		if want := r.Prefix(owner); !strings.HasPrefix(s.ID(), want) {
+			t.Fatalf("session id %q does not carry owner prefix %q", s.ID(), want)
+		}
+		ids = append(ids, s.ID())
+	}
+	// 24 registrations over 4 shards × MaxSessions 2: most ids are now
+	// LRU-evicted. Every id must still resolve to an owner (affinity is
+	// a property of the id, not of liveness), lookups of evicted ids
+	// report not-found, and none of it counts as misrouted.
+	live := 0
+	for _, id := range ids {
+		if _, ok := r.Owner(id); !ok {
+			t.Fatalf("Owner(%q) lost after eviction", id)
+		}
+		if s, ok := r.Session(id); ok {
+			if s.ID() != id {
+				t.Fatalf("Session(%q) returned %q", id, s.ID())
+			}
+			live++
+		}
+	}
+	if live == 0 || live > 8 {
+		t.Errorf("live sessions = %d, want 1..8 (4 shards × cap 2)", live)
+	}
+	snap := r.Snapshot()
+	if snap.Misrouted != 0 {
+		t.Errorf("Misrouted = %d after only well-formed ids", snap.Misrouted)
+	}
+	if _, ok := r.Session("bogus-id"); ok {
+		t.Error("Session(bogus) reported ok")
+	}
+	if got := r.Snapshot().Misrouted; got != 1 {
+		t.Errorf("Misrouted = %d after bogus id, want 1", got)
+	}
+	var placed int64
+	for _, ss := range snap.PerShard {
+		placed += ss.SessionsPlaced
+	}
+	if placed != 24 {
+		t.Errorf("sum of SessionsPlaced = %d, want 24", placed)
+	}
+}
+
+// TestRouterConcurrentRouting hammers jobs and session ops from many
+// goroutines; run with -race this is the router's data-race gate.
+func TestRouterConcurrentRouting(t *testing.T) {
+	r := New(Config{Shards: 4, Engine: engine.Config{Workers: 2, BlockOnFull: true}})
+	defer r.Close()
+	inst, err := workload.RandomUFP(workload.NewRNG(4), workload.DefaultUFPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*16)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := r.Do(context.Background(), testJob(t, uint64(100+(w*8+i)%12))); err != nil {
+					errs <- err
+					return
+				}
+				s, err := r.Register(inst.G, 0.25)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, ok := r.Session(s.ID()); !ok {
+					continue // concurrently LRU-evicted; affinity still held
+				}
+				r.CloseSession(s.ID())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot().Misrouted; got != 0 {
+		t.Errorf("Misrouted = %d under concurrent routing", got)
+	}
+}
+
+// TestRouterCatalogEquivalence is the cluster equivalence gate: the
+// scenario catalog solved through a 4-shard router is byte-identical —
+// same fingerprints, same allocations — to the single-engine path.
+func TestRouterCatalogEquivalence(t *testing.T) {
+	r := New(Config{Shards: 4, Engine: engine.Config{Workers: 2}})
+	defer r.Close()
+	single := engine.New(engine.Config{Workers: 2})
+	defer single.Close()
+	for _, topo := range scenario.Topologies() {
+		for _, dm := range scenario.Demands() {
+			inst, err := scenario.Generate(scenario.Config{
+				Topology: topo.Name, Demand: dm.Name, Requests: 40, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			job := engine.Job{Algorithm: "ufp/solve", Eps: 0.5, UFP: inst}
+			want, err := single.Do(context.Background(), job)
+			if err != nil {
+				t.Fatalf("%s/%s: single engine: %v", topo.Name, dm.Name, err)
+			}
+			got, err := r.Do(context.Background(), job)
+			if err != nil {
+				t.Fatalf("%s/%s: router: %v", topo.Name, dm.Name, err)
+			}
+			wantB, err := json.Marshal(want.Allocation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotB, err := json.Marshal(got.Allocation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wantB) != string(gotB) {
+				t.Errorf("%s/%s: routed allocation differs from single-engine allocation", topo.Name, dm.Name)
+			}
+		}
+	}
+}
+
+// TestRouterMetrics checks the exposition: single-shard registration
+// stays byte-compatible with the engine's family set, multi-shard adds
+// the labeled per-shard split and the aggregate families.
+func TestRouterMetrics(t *testing.T) {
+	single := New(Config{Shards: 1, Engine: engine.Config{Workers: 1}})
+	defer single.Close()
+	reg1 := metrics.NewRegistry()
+	single.RegisterMetrics(reg1)
+	var b1 strings.Builder
+	if err := reg1.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ufp_engine_jobs_submitted_total 0",
+		"ufp_engine_jobs_shed_total 0",
+		"ufp_session_live 0",
+		"ufp_shard_count 1",
+		`ufp_shard_routed_total{shard="0"} 0`,
+	} {
+		if !strings.Contains(b1.String(), want) {
+			t.Errorf("single-shard exposition missing %q", want)
+		}
+	}
+
+	multi := New(Config{Shards: 3, Engine: engine.Config{Workers: 1}})
+	defer multi.Close()
+	if _, err := multi.Do(context.Background(), testJob(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	reg3 := metrics.NewRegistry()
+	multi.RegisterMetrics(reg3)
+	var b3 strings.Builder
+	if err := reg3.WriteText(&b3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ufp_engine_jobs_submitted_total 1",
+		"ufp_shard_count 3",
+		`ufp_shard_routed_total{shard="2"} `,
+		`ufp_engine_solve_duration_seconds_count{shard="0"} `,
+		"ufp_shard_diverted_total ",
+		"ufp_shard_misrouted_total 0",
+	} {
+		if !strings.Contains(b3.String(), want) {
+			t.Errorf("multi-shard exposition missing %q", want)
+		}
+	}
+}

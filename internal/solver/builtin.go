@@ -7,6 +7,7 @@ import (
 
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/mcf"
 	"truthfulufp/internal/mechanism"
 )
 
@@ -141,6 +142,17 @@ func init() {
 		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
 			rng := rand.New(rand.NewPCG(p.Seed, 0))
 			return core.RandomizedRoundingCtx(ctx, inst, rng, core.RoundingOptions{})
+		}),
+	})
+	Register(&funcSolver{
+		name: "ufp/fractional-gk", kind: KindUFP, usesEps: true,
+		desc: "Garg–Könemann fractional max-profit flow (the Figure 5 LP relaxation): certified (1-3ε) lower and dual upper bound; ε in (0, 1/2]",
+		fn: ufpAlloc(func(ctx context.Context, inst *core.Instance, p Params) (*core.Allocation, error) {
+			res, err := mcf.MaxProfitFlowCtx(ctx, inst, p.Eps, p.MaxIterations)
+			if err != nil {
+				return nil, err
+			}
+			return res.Allocation(), nil
 		}),
 	})
 	Register(&funcSolver{

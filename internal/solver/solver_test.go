@@ -19,6 +19,7 @@ var wantBuiltins = []string{
 	"muca/mechanism",
 	"muca/solve",
 	"ufp/bounded",
+	"ufp/fractional-gk",
 	"ufp/greedy",
 	"ufp/mechanism",
 	"ufp/repeat",

@@ -8,6 +8,7 @@ import (
 
 	"truthfulufp"
 	"truthfulufp/internal/core"
+	"truthfulufp/internal/mcf"
 	"truthfulufp/internal/scenario"
 )
 
@@ -64,6 +65,12 @@ func directCall(t *testing.T, name string, eps float64, inst *truthfulufp.Instan
 		return wrap(truthfulufp.OnlineAdmission(inst, eps, nil))
 	case "ufp/greedy":
 		return wrap(truthfulufp.GreedyByDensity(inst, nil))
+	case "ufp/fractional-gk":
+		res, err := mcf.MaxProfitFlow(inst, eps)
+		if err != nil {
+			t.Fatalf("direct %s: %v", name, err)
+		}
+		return truthfulufp.SolverOutput{Allocation: res.Allocation()}
 	case "ufp/rounding":
 		return wrap(truthfulufp.RandomizedRounding(inst, rand.New(rand.NewPCG(registrySeed, 0))))
 	case "ufp/mechanism":
