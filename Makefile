@@ -31,7 +31,8 @@ bench-json:
 # into a throwaway snapshot and fail on a >25% regression of any
 # derived speedup (IncrementalSolve, IncrementalBottleneck,
 # IncrementalBellman, SingleTarget, Landmark, Bidirectional,
-# AuctionReasonable, SessionAdmit) relative to the committed
+# BottleneckSingleTarget, LandmarkRebuild, AuctionReasonable,
+# SessionAdmit) relative to the committed
 # BENCH_path.json, and on a missing or never-shedding cluster serving
 # pass (cluster_serve). Speedup ratios and the shed contract are
 # machine-portable; absolute ns/op are not.
@@ -39,13 +40,16 @@ bench-trend:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH_path_fresh.json -baseline BENCH_path.json -max-regression 0.25
 
 # Short native-fuzz passes over the path engine's canonical tie-break
-# invariants (the CI step): leximax bottleneck tree properties, and the
-# ALT/bidirectional oracle's bit-identity to the plain search, each
-# against fresh randomly generated (graph, weights, bump-sequence)
-# triples. Go allows one -fuzz target per invocation, hence two runs.
+# invariants (the CI step): leximax bottleneck tree properties, the
+# ALT/bidirectional oracle's bit-identity to the plain search, and the
+# goal-directed bottleneck search's bit-identity to the plain leximax
+# search and full tree, each against fresh randomly generated (graph,
+# weights, bump-sequence) triples. Go allows one -fuzz target per
+# invocation, hence three runs.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzBottleneckLeximax$$' -fuzztime=10s ./internal/pathfind/
 	$(GO) test -run='^$$' -fuzz='^FuzzLandmarkOracle$$' -fuzztime=10s ./internal/pathfind/
+	$(GO) test -run='^$$' -fuzz='^FuzzBottleneckALT$$' -fuzztime=10s ./internal/pathfind/
 
 serve:
 	$(GO) run ./cmd/ufpserve
@@ -82,15 +86,18 @@ smoke-session:
 
 # Observability smoke (the CI step): start ufpserve, drive one request
 # through each instrumented subsystem — register + admit for the
-# session layer, the same solve twice for an engine cache hit — then
-# assert /metrics exposes non-zero counters for the http, session, and
-# engine-cache subsystems. One shell invocation so the EXIT trap always
-# reaps the background server.
+# session layer, the same solve twice for an engine cache hit, and a
+# 64-vertex path network streamed past one landmark staleness window
+# under an unattainable -landmark-stale-ratio so the lifecycle rebuilds
+# at least once — then assert /metrics exposes non-zero counters for
+# the http, session, engine-cache, and landmark-lifecycle subsystems.
+# One shell invocation so the EXIT trap always reaps the background
+# server.
 smoke-metrics: SHELL := /bin/bash
 smoke-metrics: .SHELLFLAGS := -o pipefail -c
 smoke-metrics:
 	$(GO) build -o /tmp/ufpserve-smoke ./cmd/ufpserve
-	/tmp/ufpserve-smoke -addr 127.0.0.1:18080 & \
+	/tmp/ufpserve-smoke -addr 127.0.0.1:18080 -landmark-stale-ratio 0.99 & \
 	trap 'kill $$! 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
 		curl -sf 127.0.0.1:18080/v1/readyz > /dev/null && break; sleep 0.1; \
@@ -104,10 +111,21 @@ smoke-metrics:
 	solve='{"algorithm":"ufp/solve","eps":0.25,"instance":{"directed":true,"vertices":2,"edges":[{"from":0,"to":1,"capacity":30}],"requests":[{"source":0,"target":1,"demand":1,"value":2}]}}'; \
 	curl -sf 127.0.0.1:18080/v1/solve -d "$$solve" > /dev/null; \
 	curl -sf 127.0.0.1:18080/v1/solve -d "$$solve" | grep -q '"cacheHit":true'; \
+	edges=$$(for i in $$(seq 0 62); do printf '{"from":%d,"to":%d,"capacity":30},' $$i $$((i+1)); done); \
+	big=$$(curl -sf 127.0.0.1:18080/v1/networks \
+		-d '{"eps":0.25,"network":{"directed":true,"vertices":64,"edges":['"$${edges%,}"']}}' \
+		| grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4); \
+	test -n "$$big"; \
+	for i in $$(seq 1 40); do \
+		curl -sf 127.0.0.1:18080/v1/networks/$$big/admit \
+			-d '{"source":0,"target":63,"demand":0.01,"value":1000000}' > /dev/null; \
+	done; \
 	curl -sf 127.0.0.1:18080/metrics > /tmp/metrics-smoke.txt; \
 	grep -Eq '^ufp_http_requests_total\{.*\} [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
 	grep -Eq '^ufp_session_admits_total [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
 	grep -Eq '^ufp_engine_cache_hits_total [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
+	grep -Eq '^ufp_pathcache_landmark_rebuilds_total [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
+	grep -Eq '^ufp_pathcache_landmark_registry_lookups_total\{result="miss"\} [0-9]*[1-9]' /tmp/metrics-smoke.txt; \
 	echo "metrics exposition smoke: ok"
 
 # Cluster smoke (the CI step): two route-mode ufpserve nodes, each

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -53,6 +54,21 @@ const (
 	bottleneckEps   = 1.0
 	bottleneckIters = 48
 	quickBotIters   = 12
+
+	// The congested-region instance of the BottleneckSingleTarget pair
+	// (see congestedInstance) is a directed random network at 8n arcs.
+	congestedSize = 2000
+	quickCongSize = 200
+
+	// The LandmarkRebuild pair's long-session network is sized so that
+	// twenty ε=1 passes of its admit stream reprice most of its edges
+	// (~76% at 400 vertices): the regime where the registration-time
+	// tables have genuinely lost their pruning power. On the waxman-1k
+	// backbone the same stream touches only ~14% of the 86k edges and
+	// the remaining flat-1/c plateaus neuter stale and rebuilt tables
+	// alike, measuring nothing.
+	rebuildSize     = 400
+	rebuildRequests = 300
 
 	// The Bellman-Ford (log-hops) pair uses a reduced hop depth and
 	// request count: a full-recompute iteration costs
@@ -99,6 +115,12 @@ func waxmanSized(quick bool, requests int) *core.Instance {
 	if quick {
 		size = quickSize
 	}
+	return waxmanAt(size, requests)
+}
+
+// waxmanAt generates (and memoizes) a waxman instance at an explicit
+// size and request count.
+func waxmanAt(size, requests int) *core.Instance {
 	key := fmt.Sprintf("waxman/%d/%d", size, requests)
 	if v, ok := instCache.Load(key); ok {
 		return v.(*core.Instance)
@@ -111,6 +133,15 @@ func waxmanSized(quick bool, requests int) *core.Instance {
 	}
 	v, _ := instCache.LoadOrStore(key, inst)
 	return v.(*core.Instance)
+}
+
+// rebuildInstance is the LandmarkRebuild pair's long-session network
+// (see rebuildSize); quick mode reuses the quick waxman backbone.
+func rebuildInstance(quick bool) *core.Instance {
+	if quick {
+		return waxmanInstance(true)
+	}
+	return waxmanAt(rebuildSize, rebuildRequests)
 }
 
 // auctionInstance generates (and memoizes) the multi-unit auction
@@ -134,6 +165,102 @@ func auctionInstance(quick bool) *auction.Instance {
 	}
 	v, _ := instCache.LoadOrStore(key, inst)
 	return v.(*auction.Instance)
+}
+
+// evolvedWeights streams the rebuild instance's request sequence
+// twenty times through a fresh AdmissionState at ε=1 — the
+// long-session heavy-repricing regime the landmark lifecycle targets
+// (at ε=1 the per-admit exponential bumps are strong enough that
+// sustained traffic drives most edge prices far above the
+// registration snapshot) — and reconstructs the resulting price
+// vector from the admitted ledger (y_e = (1/c_e)·e^{εB·f_e/c_e}):
+// realistic late-session weights under which registration-time
+// landmark tables have lost their pruning power. Memoized; the admit
+// stream is deterministic, so so is the vector.
+func evolvedWeights(quick bool) []float64 {
+	inst := rebuildInstance(quick)
+	g := inst.G
+	key := fmt.Sprintf("evolved/%d/%d", g.NumVertices(), len(inst.Requests))
+	if v, ok := instCache.Load(key); ok {
+		return v.([]float64)
+	}
+	const eps = 1
+	st, err := core.NewAdmissionState(g, eps, nil)
+	if err != nil {
+		panic(err)
+	}
+	for pass := 0; pass < 20; pass++ {
+		for _, r := range inst.Requests {
+			if _, err := st.Admit(r); err != nil {
+				panic(err)
+			}
+		}
+	}
+	w := make([]float64, g.NumEdges())
+	for e := range w {
+		w[e] = 1 / g.Edge(e).Capacity
+	}
+	bcap := g.MinCapacity()
+	for _, a := range st.Ledger() {
+		for _, e := range a.Path {
+			w[e] *= math.Exp(eps * bcap * a.Request.Demand / g.Edge(e).Capacity)
+		}
+	}
+	v, _ := instCache.LoadOrStore(key, w)
+	return v.([]float64)
+}
+
+// congestedNet is the directed congested-region instance of the
+// BottleneckSingleTarget pair (see congestedInstance).
+type congestedNet struct {
+	g     *graph.Graph
+	w     []float64
+	pairs [][2]int
+}
+
+// congestedInstance builds (and memoizes) a directed strongly
+// connected network in which one region — the middle half of the
+// vertices, think a congested pod — has had every outbound arc
+// repriced 50× by skewed traffic, while arcs into and inside the
+// region keep their initial 1/c prices. That asymmetry is the regime
+// where goal-directed bottleneck search earns its keep: a plain
+// leximax search from an outside source happily floods the cheap-to-
+// enter region, but every path back out crosses a repriced arc, so
+// minimax landmark tables built on the congested snapshot certify the
+// whole region is a dead end and the goal-directed search never pops
+// it. (On symmetric weights the strict-pruning condition essentially
+// never fires and the potential is pure overhead — the caveat the
+// pathfind docs spell out.) The query pairs sample outside endpoints.
+func congestedInstance(quick bool) *congestedNet {
+	n := congestedSize
+	if quick {
+		n = quickCongSize
+	}
+	key := fmt.Sprintf("congested/%d", n)
+	if v, ok := instCache.Load(key); ok {
+		return v.(*congestedNet)
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	g := graph.RandomStronglyConnected(rng, n, 8*n, 1, 2)
+	g.Freeze()
+	inRegion := func(v int) bool { return v >= n/4 && v < 3*n/4 }
+	w := make([]float64, g.NumEdges())
+	for e := range w {
+		ed := g.Edge(e)
+		w[e] = 1 / ed.Capacity
+		if inRegion(ed.From) && !inRegion(ed.To) {
+			w[e] *= 50
+		}
+	}
+	var pairs [][2]int
+	for len(pairs) < 64 {
+		s, t := rng.IntN(n), rng.IntN(n)
+		if s != t && !inRegion(s) && !inRegion(t) {
+			pairs = append(pairs, [2]int{s, t})
+		}
+	}
+	v, _ := instCache.LoadOrStore(key, &congestedNet{g: g, w: w, pairs: pairs})
+	return v.(*congestedNet)
 }
 
 // unfrozen rebuilds a structurally identical graph without a frozen
@@ -172,6 +299,22 @@ func unfrozen(g *graph.Graph) *graph.Graph {
 //     (ShortestPathToBidi). The last two are the next-gen oracle the
 //     mechanism's payment bisection runs on; all four return
 //     bit-identical paths.
+//   - BottleneckSingleTarget/{early-exit,landmark}: one bottleneck
+//     (source, target) query on the directed congested-region network
+//     (a region whose outbound arcs repriced 50×), answered by the
+//     plain leximax early-exit search (Scratch.BottleneckPathTo)
+//     versus the goal-directed search under the minimax landmark
+//     potential (BottleneckPathToALT); both return bit-identical
+//     paths, and the potential's strict bounds keep the goal-directed
+//     search out of the dead-end region the plain search floods.
+//   - LandmarkRebuild/{stale,rebuilt}: the landmark lifecycle's payoff —
+//     ALT single-target queries under late-session exponential prices
+//     (reconstructed from a genuine twenty-pass ε=1 admit stream over
+//     the waxman-400 long-session network, which reprices most of its
+//     edges) served by the registration-time tables versus tables
+//     re-selected against the evolved prices. Both are correct (stale
+//     bounds stay admissible); the ratio is the pruning power a
+//     staleness rebuild restores.
 //   - AuctionReasonable/{full-recompute,incremental}: the iterative
 //     bundle-min engine (ExpBundleRule) with the dirty-request length
 //     cache off and on — identical selections, the ratio is the cache's
@@ -296,6 +439,65 @@ func PathCases(quick bool) []Case {
 			}
 		}
 	}
+	bottleneckSingle := func(mode string) func(b *testing.B) {
+		return func(b *testing.B) {
+			net := congestedInstance(quick)
+			g := net.g
+			weight := pathfind.FromSlice(net.w)
+			var lm *pathfind.Landmarks
+			if mode == "landmark" {
+				// Tables on the congested snapshot — what a staleness
+				// rebuild hands a long-lived session after the region
+				// repriced.
+				lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, weight).WithBottleneck(g)
+			}
+			scratch := pathfind.NewScratch(g.NumVertices())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := net.pairs[i%len(net.pairs)]
+				var ok bool
+				if mode == "landmark" {
+					_, _, ok = scratch.BottleneckPathToALT(g, q[0], q[1], weight, lm)
+				} else {
+					_, _, ok = scratch.BottleneckPathTo(g, q[0], q[1], weight)
+				}
+				if !ok {
+					b.Fatal("unreachable target")
+				}
+			}
+		}
+	}
+	landmarkRebuild := func(rebuilt bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			inst := rebuildInstance(quick)
+			g := inst.G
+			g.Freeze()
+			w := evolvedWeights(quick)
+			weight := pathfind.FromSlice(w)
+			// The tables a session built at registration: exact for the
+			// initial prices 1/c_e, ever weaker as prices rise away from
+			// them.
+			initial := make([]float64, g.NumEdges())
+			for e := range initial {
+				initial[e] = 1 / g.Edge(e).Capacity
+			}
+			lm := pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, pathfind.FromSlice(initial))
+			if rebuilt {
+				lm = lm.Rebuild(g, weight)
+			}
+			scratch := pathfind.NewScratch(g.NumVertices())
+			reqs := inst.Requests
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := reqs[i%len(reqs)]
+				if _, _, ok := scratch.ShortestPathToALT(g, r.Source, r.Target, weight, lm); !ok {
+					b.Fatal("unreachable target")
+				}
+			}
+		}
+	}
 	auctionSolve := func(noInc bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			inst := auctionInstance(quick)
@@ -374,6 +576,10 @@ func PathCases(quick bool) []Case {
 		{"SingleTarget/early-exit", singleTarget("early-exit")},
 		{"SingleTarget/landmark", singleTarget("landmark")},
 		{"SingleTarget/bidirectional", singleTarget("bidirectional")},
+		{"BottleneckSingleTarget/early-exit", bottleneckSingle("early-exit")},
+		{"BottleneckSingleTarget/landmark", bottleneckSingle("landmark")},
+		{"LandmarkRebuild/stale", landmarkRebuild(false)},
+		{"LandmarkRebuild/rebuilt", landmarkRebuild(true)},
 		{"AuctionReasonable/full-recompute", auctionSolve(true)},
 		{"AuctionReasonable/incremental", auctionSolve(false)},
 		{"SessionAdmit/full-resolve", sessionAdmit(false)},
@@ -445,6 +651,17 @@ type Snapshot struct {
 	// BidiSpeedup is early-exit ns/op over bidirectional ns/op: the
 	// two-frontier probe's win on the same queries.
 	BidiSpeedup float64 `json:"bidi_speedup,omitempty"`
+	// BottleneckSingleTargetSpeedup is bottleneck early-exit ns/op over
+	// goal-directed (minimax-landmark) ns/op for one bottleneck
+	// (source, target) query on the congested-region network — what the
+	// minimax tables add on top of the plain leximax early exit when
+	// repricing is asymmetric.
+	BottleneckSingleTargetSpeedup float64 `json:"bottleneck_single_target_speedup,omitempty"`
+	// LandmarkRebuildSpeedup is stale-table ns/op over rebuilt-table
+	// ns/op for ALT queries under late-session prices: the pruning power
+	// a staleness rebuild restores to a long-lived session (the landmark
+	// lifecycle's ≥1.3× target).
+	LandmarkRebuildSpeedup float64 `json:"landmark_rebuild_speedup,omitempty"`
 	// AuctionSpeedup is full-recompute ns/op over incremental ns/op for
 	// the iterative bundle-min engine — the dirty-request length cache's
 	// win.
@@ -709,6 +926,12 @@ var speedups = []struct {
 	{"Bidirectional", func(s *Snapshot, v float64) { s.BidiSpeedup = v },
 		func(s Snapshot) float64 { return s.BidiSpeedup },
 		"SingleTarget/early-exit", "SingleTarget/bidirectional"},
+	{"BottleneckSingleTarget", func(s *Snapshot, v float64) { s.BottleneckSingleTargetSpeedup = v },
+		func(s Snapshot) float64 { return s.BottleneckSingleTargetSpeedup },
+		"BottleneckSingleTarget/early-exit", "BottleneckSingleTarget/landmark"},
+	{"LandmarkRebuild", func(s *Snapshot, v float64) { s.LandmarkRebuildSpeedup = v },
+		func(s Snapshot) float64 { return s.LandmarkRebuildSpeedup },
+		"LandmarkRebuild/stale", "LandmarkRebuild/rebuilt"},
 	{"AuctionReasonable", func(s *Snapshot, v float64) { s.AuctionSpeedup = v },
 		func(s Snapshot) float64 { return s.AuctionSpeedup },
 		"AuctionReasonable/full-recompute", "AuctionReasonable/incremental"},

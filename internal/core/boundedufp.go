@@ -69,9 +69,26 @@ type Options struct {
 	// built on the instance's frozen graph under a lower bound of the
 	// run's weights — the initial prices 1/capacity qualify for every
 	// exponential-price run, since prices only rise. The cache
-	// re-validates the bound lazily and self-disables on violation, so a
-	// stale table costs speed, never correctness.
+	// re-validates the bound lazily and rebuilds (or, past the violation
+	// budget, self-disables) on violation, so a stale table costs speed,
+	// never correctness.
 	Landmarks *pathfind.Landmarks
+	// LandmarkRegistry, if non-nil, is where automatic landmark builds
+	// (sessions past the auto-enable size, with Landmarks nil) are
+	// shared: structurally identical topologies with the same initial
+	// prices reuse one immutable table set instead of rebuilding per
+	// session or per shard. The serving stack passes
+	// pathfind.SharedLandmarks.
+	LandmarkRegistry *pathfind.LandmarkRegistry
+	// LandmarkStaleRatio tunes the landmark lifecycle's prune-ratio
+	// rebuild threshold (see pathfind.OracleConfig.StalePruneRatio).
+	// Zero keeps pathfind.DefaultStalePruneRatio; negative disables
+	// prune-driven rebuilds.
+	LandmarkStaleRatio float64
+	// OnLandmarkRebuild, if non-nil, observes every landmark rebuild
+	// with its duration in seconds (see pathfind.OracleConfig.OnRebuild)
+	// — the monotone-counter hook the session metrics feed on.
+	OnLandmarkRebuild func(seconds float64)
 	// Bidirectional routes single-target oracle misses through the
 	// bidirectional probe (meet-in-the-middle plus a potential-guided
 	// forward rerun) — the mechanism's critical-value bisection enables
@@ -151,15 +168,38 @@ func (o *Options) policyCostRatio() float64 {
 	return o.PolicyCostRatio
 }
 
+func (o *Options) landmarkRegistry() *pathfind.LandmarkRegistry {
+	if o == nil {
+		return nil
+	}
+	return o.LandmarkRegistry
+}
+
+func (o *Options) landmarkStaleRatio() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.LandmarkStaleRatio
+}
+
+func (o *Options) onLandmarkRebuild() func(float64) {
+	if o == nil {
+		return nil
+	}
+	return o.OnLandmarkRebuild
+}
+
 // oracleConfig assembles the single-target oracle configuration the
 // options describe (landmarks and bidirectional probes for additive
-// caches, adaptive-policy knobs for every kind).
+// caches, adaptive-policy and staleness knobs for every kind).
 func (o *Options) oracleConfig(lm *pathfind.Landmarks) pathfind.OracleConfig {
 	return pathfind.OracleConfig{
 		Landmarks:       lm,
 		Bidirectional:   o.bidirectional(),
 		PolicyWarmup:    o.policyWarmup(),
 		PolicyCostRatio: o.policyCostRatio(),
+		StalePruneRatio: o.landmarkStaleRatio(),
+		OnRebuild:       o.onLandmarkRebuild(),
 	}
 }
 

@@ -127,9 +127,14 @@ const autoLandmarkMinVertices = 64
 // bidirectional probe. When no tables are supplied, networks of
 // autoLandmarkMinVertices or more vertices get tables built from the
 // initial prices automatically — prices only rise, so the bounds hold
-// for the state's whole life. Other Options fields are ignored —
-// admission is a single-query step with no intra-step parallelism or
-// tie-break surface.
+// for the state's whole life — shared through Options.LandmarkRegistry
+// when one is configured. The landmark lifecycle keeps long sessions
+// fast: once the oracle's observed prune ratio decays below the
+// staleness threshold (Options.LandmarkStaleRatio), the tables are
+// rebuilt against the current prices (Options.OnLandmarkRebuild
+// observes each rebuild). Other Options fields are ignored — admission
+// is a single-query step with no intra-step parallelism or tie-break
+// surface.
 func NewAdmissionState(g *graph.Graph, eps float64, opt *Options) (*AdmissionState, error) {
 	if g == nil {
 		return nil, errors.New("core: admission state needs a graph")
@@ -166,7 +171,16 @@ func NewAdmissionState(g *graph.Graph, eps float64, opt *Options) (*AdmissionSta
 	}
 	lm := opt.landmarks()
 	if lm == nil && !opt.noIncremental() && g.NumVertices() >= autoLandmarkMinVertices {
-		lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, pathfind.FromSlice(st.y))
+		// Auto-build from the initial prices; a registry (the serving
+		// stack passes pathfind.SharedLandmarks) shares the tables with
+		// every other session on a structurally identical topology —
+		// initial prices are exactly 1/capacity, so sessions on the same
+		// network fingerprint-match.
+		if reg := opt.landmarkRegistry(); reg != nil {
+			lm = reg.Get(g, pathfind.DefaultLandmarkCount, pathfind.FromSlice(st.y), false)
+		} else {
+			lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount, pathfind.FromSlice(st.y))
+		}
 	}
 	st.inc.SetOracle(opt.oracleConfig(lm))
 	return st, nil

@@ -183,11 +183,18 @@ func (c *treeCache) prepare(st *State, weightOf func(demand float64) pathfind.We
 			// Weights within a run only rise (flow only grows, and the
 			// residual filter only pushes edges to +Inf), so tables built
 			// from the run's first weights stay valid lower bounds. The
-			// policy knobs apply to every kind; SetOracle ignores the
-			// landmark/bidirectional fields for non-additive caches.
+			// policy knobs apply to every kind; additive caches take the
+			// ALT tables, bottleneck caches the minimax-carrying ones
+			// (SetOracle ignores the rest per kind). Builds go through the
+			// shared registry: a run on a topology another session or a
+			// mechanism probe already solved — at the same weight snapshot,
+			// which at zero flow is exactly the initial prices —
+			// fingerprint-matches and reuses its tables.
 			var lm *pathfind.Landmarks
-			if st.Landmarks && c.kind == pathfind.KindAdditive {
-				lm = pathfind.BuildLandmarks(st.Inst.G, pathfind.DefaultLandmarkCount, weightOf(k))
+			if st.Landmarks && c.kind != pathfind.KindHopBounded {
+				lm = pathfind.SharedLandmarks.Get(
+					st.Inst.G, pathfind.DefaultLandmarkCount, weightOf(k),
+					c.kind == pathfind.KindBottleneck)
 			}
 			inc.SetOracle(pathfind.OracleConfig{
 				Landmarks:       lm,
@@ -590,9 +597,11 @@ type EngineOptions struct {
 	// way — the single-target oracle is bit-identical to tree reads.
 	Adaptive bool
 	// Landmarks builds ALT landmark tables per demand class at the first
-	// iteration and uses them to prune the caches' single-target
-	// searches. Valid because within-run weights only rise; answers stay
-	// bit-identical.
+	// iteration — shared through pathfind.SharedLandmarks across runs on
+	// the same topology and weight snapshot — and uses them to prune the
+	// caches' single-target searches: additive bounds for the additive
+	// rules, minimax bounds for the bottleneck rule. Valid because
+	// within-run weights only rise; answers stay bit-identical.
 	Landmarks bool
 	// Bidirectional routes the caches' single-target misses through the
 	// bidirectional (forward+backward) probe; bit-identical answers.

@@ -6,7 +6,6 @@ import (
 
 	"truthfulufp/internal/auction"
 	"truthfulufp/internal/core"
-	"truthfulufp/internal/graph"
 	"truthfulufp/internal/pathfind"
 )
 
@@ -40,14 +39,6 @@ func ctxErr(ctx context.Context) error {
 // the mechanism drivers call it.
 func BoundedUFPAlgCtx(ctx context.Context, eps float64, opt *core.Options) UFPAlgorithm {
 	pool := pathfind.NewPool()
-	// Bisection probes are clones sharing one frozen topology, and every
-	// probe's exponential prices start at the same floor 1/c_e — so one
-	// landmark build (keyed on the frozen CSR, in case the closure is
-	// reused across networks) serves all ~60 probes of every payment.
-	var (
-		lmCSR *graph.CSR
-		lm    *pathfind.Landmarks
-	)
 	return func(inst *core.Instance) (*core.Allocation, error) {
 		var o core.Options
 		if opt != nil {
@@ -59,13 +50,16 @@ func BoundedUFPAlgCtx(ctx context.Context, eps float64, opt *core.Options) UFPAl
 		o.Adaptive = true
 		o.Bidirectional = true
 		if o.Landmarks == nil {
-			if csr := inst.G.Freeze(); csr != lmCSR {
-				g := inst.G
-				lm = pathfind.BuildLandmarks(g, pathfind.DefaultLandmarkCount,
-					func(e int) float64 { return 1 / g.Edge(e).Capacity })
-				lmCSR = csr
-			}
-			o.Landmarks = lm
+			// Bisection probes are clones sharing one frozen topology, and
+			// every probe's exponential prices start at the same floor
+			// 1/c_e — so one landmark build serves all ~60 probes of every
+			// payment. The shared registry (fingerprinting topology +
+			// weight snapshot) is what used to be an adapter-local cache:
+			// it additionally shares the tables with every session and
+			// engine shard serving the same network.
+			g := inst.G
+			o.Landmarks = pathfind.SharedLandmarks.Get(g, pathfind.DefaultLandmarkCount,
+				func(e int) float64 { return 1 / g.Edge(e).Capacity }, false)
 		}
 		return core.BoundedUFPCtx(ctx, inst, eps, &o)
 	}

@@ -1,0 +1,126 @@
+package pathfind
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"truthfulufp/internal/graph"
+)
+
+// TestQuickBottleneckALTMatchesPathTo: the goal-directed bottleneck
+// search under the minimax landmark potential is bit-identical to the
+// plain leximax early-exit search — for the build weights and for
+// monotonically bumped weights — across plateau-heavy graphs where the
+// canonical (minimax, hops, lex-edge) tie-break does all the work.
+func TestQuickBottleneckALTMatchesPathTo(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^31))
+		nv := 3 + int(n%12)
+		g := graph.RandomStronglyConnected(rng, nv, nv+int(m%30), 1, 2)
+		w := plateauWeights(rng, g.NumEdges())
+		lm := BuildLandmarks(g, 4, FromSlice(w)).WithBottleneck(g)
+		sc := NewScratch(nv)
+		for round := 0; round < 3; round++ {
+			for src := 0; src < nv; src++ {
+				for dst := 0; dst < nv; dst++ {
+					wantPath, wantDist, wantOK := sc.BottleneckPathTo(g, src, dst, FromSlice(w))
+					path, dist, ok := sc.BottleneckPathToALT(g, src, dst, FromSlice(w), lm)
+					if ok != wantOK || (ok && (dist != wantDist || !reflect.DeepEqual(path, wantPath))) {
+						return false
+					}
+				}
+			}
+			monotoneBump(rng, w)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBottleneckALTMatchesTree: the goal-directed search also
+// matches the full canonical leximax tree, on filtered weights with
+// +Inf forbidden edges (unreachable answers and infinite bounds).
+func TestQuickBottleneckALTMatchesTree(t *testing.T) {
+	f := func(seed uint64, n, m uint8) bool {
+		g, w := randomFiltered(seed, n, m)
+		g.Freeze()
+		lm := BuildLandmarks(g, 3, FromSlice(w)).WithBottleneck(g)
+		sc := NewScratch(g.NumVertices())
+		for src := 0; src < g.NumVertices(); src++ {
+			tr := sc.Bottleneck(g, src, FromSlice(w), nil)
+			for dst := 0; dst < g.NumVertices(); dst++ {
+				path, dist, ok := sc.BottleneckPathToALT(g, src, dst, FromSlice(w), lm)
+				wantPath, wantOK := tr.PathTo(dst)
+				if ok != wantOK {
+					return false
+				}
+				if ok && (dist != tr.Dist[dst] || !reflect.DeepEqual(path, wantPath)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalBottleneckOracleEquivalence: a KindBottleneck
+// Incremental with minimax landmark tables answers every PathTo
+// identically to an oracle-less twin through a monotone bump sequence,
+// and the goal-directed search is actually exercised.
+func TestIncrementalBottleneckOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 53))
+	g := graph.RandomStronglyConnected(rng, 40, 140, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	sources := []int{0, 5, 9}
+	plain := NewIncrementalKind(g, KindBottleneck, sources, nil, 0)
+	oracle := NewIncrementalKind(g, KindBottleneck, sources, nil, 0)
+	oracle.SetOracle(OracleConfig{
+		Landmarks: BuildLandmarks(g, 4, FromSlice(w)).WithBottleneck(g),
+	})
+	for round := 0; round < 20; round++ {
+		for slot := range sources {
+			dst := rng.IntN(g.NumVertices())
+			p1, d1, ok1 := plain.PathTo(slot, dst, FromSlice(w))
+			p2, d2, ok2 := oracle.PathTo(slot, dst, FromSlice(w))
+			if ok1 != ok2 || d1 != d2 || !reflect.DeepEqual(p1, p2) {
+				t.Fatalf("round %d slot %d dst %d: plain (%v,%v,%v) != oracle (%v,%v,%v)",
+					round, slot, dst, p1, d1, ok1, p2, d2, ok2)
+			}
+		}
+		touched := monotoneBump(rng, w)
+		plain.Invalidate(touched)
+		oracle.Invalidate(touched)
+	}
+	st := oracle.CacheStats()
+	if st.LandmarkViolations != 0 {
+		t.Fatalf("monotone bumps must never violate the minimax bound: %+v", st)
+	}
+	if st.AltSearches == 0 {
+		t.Fatalf("goal-directed bottleneck search never exercised: %+v", st)
+	}
+}
+
+// TestSetOracleRejectsAdditiveTablesForBottleneck: a KindBottleneck
+// cache quietly declines landmark tables that do not carry the minimax
+// tables — the additive bounds say nothing about bottleneck values.
+func TestSetOracleRejectsAdditiveTablesForBottleneck(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 67))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	inc := NewIncrementalKind(g, KindBottleneck, []int{0}, nil, 0)
+	inc.SetOracle(OracleConfig{Landmarks: BuildLandmarks(g, 3, FromSlice(w))})
+	if inc.lm != nil {
+		t.Fatal("additive-only tables accepted by a bottleneck cache")
+	}
+	inc.PathTo(0, g.NumVertices()-1, FromSlice(w))
+	if st := inc.CacheStats(); st.AltSearches != 0 {
+		t.Fatalf("bottleneck cache used additive tables: %+v", st)
+	}
+}

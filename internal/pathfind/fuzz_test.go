@@ -65,6 +65,38 @@ func FuzzBottleneckLeximax(f *testing.F) {
 	})
 }
 
+// FuzzBottleneckALT: the goal-directed bottleneck search under the
+// minimax landmark potential stays bit-identical to the plain leximax
+// early-exit search AND to the full canonical leximax tree, under
+// random monotone repricing of the weights the tables only lower-bound.
+func FuzzBottleneckALT(f *testing.F) {
+	f.Add(uint64(3), uint8(6), uint8(11))
+	f.Add(uint64(88), uint8(10), uint8(27))
+	f.Add(uint64(424242), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, n, m uint8) {
+		g, w, rng := fuzzInstance(seed, n, m)
+		lm := BuildLandmarks(g, 4, FromSlice(w)).WithBottleneck(g)
+		sc := NewScratch(g.NumVertices())
+		for round := 0; round < 3; round++ {
+			for src := 0; src < g.NumVertices(); src++ {
+				tr := sc.Bottleneck(g, src, FromSlice(w), nil)
+				for dst := 0; dst < g.NumVertices(); dst++ {
+					wantPath, wantDist, wantOK := sc.BottleneckPathTo(g, src, dst, FromSlice(w))
+					path, dist, ok := sc.BottleneckPathToALT(g, src, dst, FromSlice(w), lm)
+					if ok != wantOK || (wantOK && (dist != wantDist || !reflect.DeepEqual(path, wantPath))) {
+						t.Fatalf("src %d dst %d: bottleneck ALT diverged from plain search", src, dst)
+					}
+					treePath, treeOK := tr.PathTo(dst)
+					if ok != treeOK || (ok && (dist != tr.Dist[dst] || !reflect.DeepEqual(path, treePath))) {
+						t.Fatalf("src %d dst %d: bottleneck ALT diverged from full leximax tree", src, dst)
+					}
+				}
+			}
+			monotoneBump(rng, w)
+		}
+	})
+}
+
 // FuzzLandmarkOracle: landmark lower bounds stay admissible against a
 // fresh Dijkstra under monotone bumps, and the ALT-pruned and
 // bidirectional searches stay bit-identical to the plain early-exit

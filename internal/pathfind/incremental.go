@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"truthfulufp/internal/graph"
 )
@@ -92,6 +93,27 @@ type Incremental struct {
 	lmPending  []int32
 	bidi       bool
 
+	// Landmark lifecycle (the staleness policy, see OracleConfig): the
+	// cache watches the oracle's prune ratio over fixed-size windows of
+	// searches and rebuilds the tables against the current prices when a
+	// window's ratio falls below lmStaleRatio — monotone repricing makes
+	// any current snapshot a valid lower bound for the rest of the run.
+	// lmBarren counts consecutive rebuilds whose following window stayed
+	// below the threshold (a graph whose searches are inherently
+	// unprunable); at maxBarrenRebuilds the prune-driven trigger pauses
+	// until a window clears the threshold again. Violation-triggered
+	// rebuilds are budgeted separately by lmStaleViol.
+	lmStaleRatio   float64 // window prune-ratio rebuild threshold; < 0 disables
+	lmStaleViol    int     // violation-rebuild budget; < 0 restores disable-on-first
+	onRebuild      func(seconds float64)
+	lmRebuilds     int64 // landmark table rebuilds (prune- or violation-triggered)
+	lmViolRebuilds int   // violation-triggered rebuilds since SetOracle
+	lmWinSearches  int64 // oracle searches in the current staleness window
+	lmWinTouched   int64 // vertices touched by those searches
+	lmWinBudget    int64 // vertices full tree builds would have touched
+	lmBarren       int
+	lmFromRebuild  bool // the current window is the first after a rebuild
+
 	// Per-slot adaptive-policy counters: how often the slot was demanded
 	// (Refresh-active or queried) and how often it was dirty when
 	// demanded. PreferSingle turns these into a refresh-policy decision
@@ -115,7 +137,7 @@ type Incremental struct {
 	bidiMeets    int64 // probes whose frontiers bridged (reachable target)
 	policyTree   int64 // PreferSingle decisions to refresh the tree
 	policySingle int64 // PreferSingle decisions to route to single-target search
-	lmViolations int64 // landmark lower-bound violations (oracle self-disabled)
+	lmViolations int64 // landmark lower-bound violations observed
 }
 
 // ptEntry is one cached single-target answer: the canonical path (or
@@ -192,21 +214,46 @@ func NewIncrementalKind(g *graph.Graph, kind TreeKind, sources []int, pool *Pool
 	return inc
 }
 
-// OracleConfig configures an additive cache's single-target oracle.
+// OracleConfig configures a tree-kind cache's single-target oracle.
 type OracleConfig struct {
 	// Landmarks, when non-nil, prunes PathTo's early-exit searches with
-	// ALT lower bounds. The tables must have been built on the same
-	// frozen topology and on a lower bound of every weight function the
-	// cache will see; the cache re-validates the bound lazily against
-	// invalidated edges and self-disables (counting
-	// CacheStats.LandmarkViolations) if it is ever violated, so a
-	// contract slip degrades speed, not answers.
+	// ALT lower bounds — additive bounds on KindAdditive caches, minimax
+	// bounds on KindBottleneck caches (the set must carry the minimax
+	// tables, Landmarks.WithBottleneck, or it is ignored there). The
+	// tables must have been built on the same frozen topology and on a
+	// lower bound of every weight function the cache will see; the cache
+	// re-validates the bound lazily against invalidated edges and, if it
+	// is ever violated (counting CacheStats.LandmarkViolations), rebuilds
+	// the tables from the current weights — or self-disables once the
+	// StaleViolations budget is spent — so a contract slip degrades
+	// speed, not answers.
 	Landmarks *Landmarks
 	// Bidirectional routes PathTo misses through the bidirectional
 	// probe (forward/backward meet plus a potential-guided forward
 	// rerun), which the mechanism's critical-value bisection enables.
-	// The graph's reverse adjacency is frozen as a side effect.
+	// KindAdditive only. The graph's reverse adjacency is frozen as a
+	// side effect.
 	Bidirectional bool
+	// StalePruneRatio overrides the staleness policy's rebuild
+	// threshold: after each window of DefaultStaleWindow oracle
+	// searches, if the window's observed prune ratio (1 -
+	// touched/budget) fell below the threshold, the landmark tables are
+	// rebuilt against the current weights — restoring the pruning power
+	// the build-time snapshot has lost to monotone repricing. Zero keeps
+	// DefaultStalePruneRatio; a negative value disables prune-driven
+	// rebuilds.
+	StalePruneRatio float64
+	// StaleViolations overrides the violation-rebuild budget: how many
+	// lower-bound violations may trigger a rebuild (again safe — the
+	// violating weights become the new lower bound) before the oracle
+	// permanently self-disables instead. Zero keeps
+	// DefaultStaleViolations; a negative value restores the historical
+	// disable-on-first-violation behavior.
+	StaleViolations int
+	// OnRebuild, when non-nil, is called after every landmark rebuild
+	// with the rebuild's wall-clock duration in seconds — the serving
+	// stack's hook for monotone rebuild counters and latency histograms.
+	OnRebuild func(seconds float64)
 	// PolicyWarmup overrides the adaptive refresh policy's warm-up
 	// count: a slot's first PolicyWarmup demands always refresh the
 	// tree, because they carry no dirty-rate signal yet. Zero keeps
@@ -222,11 +269,14 @@ type OracleConfig struct {
 }
 
 // SetOracle installs the single-target oracle configuration. The
-// policy knobs (PolicyWarmup, PolicyCostRatio) apply to every tree
-// kind; the oracle proper (Landmarks, Bidirectional) applies to
-// KindAdditive caches only — other kinds ignore those fields (their
-// PathTo forms have no ALT/bidirectional variant). Both oracle paths
-// are bit-identical to the plain search and the policy only moves
+// policy and staleness knobs (PolicyWarmup, PolicyCostRatio,
+// StalePruneRatio, StaleViolations, OnRebuild) apply to every tree
+// kind; the oracle proper applies to the tree kinds — ALT landmarks
+// and/or bidirectional probes on KindAdditive, minimax-ALT landmarks
+// on KindBottleneck (a set without the minimax tables is ignored
+// there, as is Bidirectional, which has no bottleneck form).
+// KindHopBounded ignores everything but the policy knobs. Every oracle
+// path is bit-identical to the plain search and the policy only moves
 // work, so SetOracle never invalidates cached state and may be called
 // at any point between queries.
 func (inc *Incremental) SetOracle(cfg OracleConfig) {
@@ -238,17 +288,34 @@ func (inc *Incremental) SetOracle(cfg OracleConfig) {
 	if cfg.PolicyCostRatio != 0 {
 		inc.policyCostRatio = math.Max(cfg.PolicyCostRatio, 0)
 	}
-	if inc.kind != KindAdditive {
+	inc.lmStaleRatio = DefaultStalePruneRatio
+	if cfg.StalePruneRatio != 0 {
+		inc.lmStaleRatio = cfg.StalePruneRatio // negative: no prune-driven rebuilds
+	}
+	inc.lmStaleViol = DefaultStaleViolations
+	if cfg.StaleViolations != 0 {
+		inc.lmStaleViol = cfg.StaleViolations // negative: disable on first violation
+	}
+	inc.onRebuild = cfg.OnRebuild
+	if inc.kind == KindHopBounded {
 		return
 	}
-	if cfg.Landmarks != nil && cfg.Landmarks.csr != inc.g.Frozen() {
+	lm := cfg.Landmarks
+	if inc.kind == KindBottleneck && lm != nil && !lm.HasBottleneck() {
+		lm = nil // bottleneck goal-direction needs the minimax tables
+	}
+	if lm != nil && lm.csr != inc.g.Frozen() {
 		panic("pathfind: SetOracle landmarks built for a different frozen topology")
 	}
-	inc.lm = cfg.Landmarks
-	inc.lmOK = cfg.Landmarks != nil
+	inc.lm = lm
+	inc.lmOK = lm != nil
 	inc.lmCheckAll = false
 	inc.lmPending = inc.lmPending[:0]
-	inc.bidi = cfg.Bidirectional
+	inc.resetLmWindow()
+	inc.lmBarren = 0
+	inc.lmFromRebuild = false
+	inc.lmViolRebuilds = 0
+	inc.bidi = cfg.Bidirectional && inc.kind == KindAdditive
 	if inc.bidi {
 		inc.g.FreezeReverse()
 	}
@@ -590,7 +657,15 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 	var ok bool
 	switch {
 	case inc.kind == KindBottleneck:
-		path, dist, ok = sc.BottleneckPathTo(inc.g, inc.sources[slot], target, weight)
+		if inc.lmUsable(weight) {
+			path, dist, ok = sc.BottleneckPathToALT(inc.g, inc.sources[slot], target, weight, inc.lm)
+			inc.altSearches++
+			inc.altTouched += int64(sc.Touched())
+			inc.altBudget += int64(n)
+			inc.noteOracleSearch(sc.Touched(), n, weight)
+		} else {
+			path, dist, ok = sc.BottleneckPathTo(inc.g, inc.sources[slot], target, weight)
+		}
 	case inc.bidi:
 		var lm *Landmarks
 		if inc.lmUsable(weight) {
@@ -607,11 +682,15 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 		inc.altSearches++
 		inc.altTouched += int64(bst.touched)
 		inc.altBudget += int64(n)
+		if lm != nil {
+			inc.noteOracleSearch(bst.touched, n, weight)
+		}
 	case inc.lmUsable(weight):
 		path, dist, ok = sc.ShortestPathToALT(inc.g, inc.sources[slot], target, weight, inc.lm)
 		inc.altSearches++
 		inc.altTouched += int64(sc.Touched())
 		inc.altBudget += int64(n)
+		inc.noteOracleSearch(sc.Touched(), n, weight)
 	default:
 		path, dist, ok = sc.ShortestPathTo(inc.g, inc.sources[slot], target, weight)
 	}
@@ -626,7 +705,9 @@ func (inc *Incremental) PathTo(slot, target int, weight WeightFunc) ([]int, floa
 // first draining the pending bound checks: every edge invalidated
 // since the last drain (the only edges whose weights may have changed,
 // per the cache contract) is compared against the build-time lower
-// bound, and any violation permanently disables the tables.
+// bound, and any violation is handed to lmViolated — which either
+// rebuilds the tables in place (keeping the oracle usable) or disables
+// them.
 func (inc *Incremental) lmUsable(weight WeightFunc) bool {
 	if !inc.lmOK || inc.lm == nil {
 		return false
@@ -636,9 +717,7 @@ func (inc *Incremental) lmUsable(weight WeightFunc) bool {
 		inc.lmPending = inc.lmPending[:0]
 		for e, m := 0, inc.g.NumEdges(); e < m; e++ {
 			if weight(e) < inc.lm.lb[e] {
-				inc.lmOK = false
-				inc.lmViolations++
-				return false
+				return inc.lmViolated(weight)
 			}
 		}
 		return true
@@ -646,14 +725,85 @@ func (inc *Incremental) lmUsable(weight WeightFunc) bool {
 	if len(inc.lmPending) > 0 {
 		for _, e := range inc.lmPending {
 			if weight(int(e)) < inc.lm.lb[e] {
-				inc.lmOK = false
-				inc.lmViolations++
-				return false
+				inc.lmPending = inc.lmPending[:0]
+				return inc.lmViolated(weight)
 			}
 		}
 		inc.lmPending = inc.lmPending[:0]
 	}
 	return true
+}
+
+// lmViolated reacts to a lower-bound violation. Within the
+// StaleViolations budget the tables are rebuilt against the current
+// weights — trivially a valid lower bound of themselves, so the oracle
+// stays usable and the violation costs one table build; past the
+// budget (or with a negative budget) the tables are permanently
+// disabled, the historical fail-safe. Either way the violation is
+// counted.
+func (inc *Incremental) lmViolated(weight WeightFunc) bool {
+	inc.lmViolations++
+	if inc.lmStaleViol >= 0 && inc.lmViolRebuilds < inc.lmStaleViol {
+		inc.lmViolRebuilds++
+		inc.rebuildLandmarks(weight)
+		return true
+	}
+	inc.lmOK = false
+	return false
+}
+
+// rebuildLandmarks re-selects and rebuilds the landmark tables against
+// the current weight snapshot (Landmarks.Rebuild — minimax tables
+// included iff the old set had them), clears the pending bound checks
+// (the new lower bound is the current weights), resets the staleness
+// window, and reports the rebuild to the OnRebuild hook.
+func (inc *Incremental) rebuildLandmarks(weight WeightFunc) {
+	start := time.Now()
+	inc.lm = inc.lm.Rebuild(inc.g, weight)
+	inc.lmOK = true
+	inc.lmCheckAll = false
+	inc.lmPending = inc.lmPending[:0]
+	inc.lmRebuilds++
+	inc.lmFromRebuild = true
+	inc.resetLmWindow()
+	if inc.onRebuild != nil {
+		inc.onRebuild(time.Since(start).Seconds())
+	}
+}
+
+// noteOracleSearch feeds one landmark-pruned search into the staleness
+// window and, at each window boundary, applies the rebuild policy (see
+// OracleConfig.StalePruneRatio).
+func (inc *Incremental) noteOracleSearch(touched, budget int, weight WeightFunc) {
+	if inc.lmStaleRatio < 0 || inc.lm == nil || !inc.lmOK {
+		return
+	}
+	inc.lmWinSearches++
+	inc.lmWinTouched += int64(touched)
+	inc.lmWinBudget += int64(budget)
+	if inc.lmWinSearches < DefaultStaleWindow {
+		return
+	}
+	below := false
+	if inc.lmWinBudget > 0 {
+		below = 1-float64(inc.lmWinTouched)/float64(inc.lmWinBudget) < inc.lmStaleRatio
+	}
+	first := inc.lmFromRebuild
+	inc.lmFromRebuild = false
+	if !below {
+		inc.lmBarren = 0 // a clearing window re-arms the prune trigger
+	} else if first {
+		inc.lmBarren++ // the rebuild didn't restore pruning power
+	}
+	inc.resetLmWindow()
+	if below && inc.lmBarren < maxBarrenRebuilds {
+		inc.rebuildLandmarks(weight)
+	}
+}
+
+// resetLmWindow restarts the staleness window.
+func (inc *Incremental) resetLmWindow() {
+	inc.lmWinSearches, inc.lmWinTouched, inc.lmWinBudget = 0, 0, 0
 }
 
 // storePath caches a single-target answer in the slot's entry list:
@@ -709,6 +859,23 @@ func (inc *Incremental) Stats() (recomputed, reused int64) {
 const (
 	DefaultPolicyWarmup    = 4
 	DefaultPolicyCostRatio = 0.25
+)
+
+// Landmark staleness-policy defaults (overridable per cache through
+// OracleConfig). The window is small enough that a long-lived session
+// notices decay within tens of admits but large enough that one
+// unlucky search cannot trigger a rebuild; the default threshold
+// rebuilds once pruning saves less than a fifth of the full-tree work
+// — the regime where the oracle is barely paying for its bound
+// evaluations. A rebuild costs one or two Dijkstras per landmark, so a
+// barren-graph guard stops prune-driven rebuilds after
+// maxBarrenRebuilds consecutive rebuilds that failed to lift the next
+// window back over the threshold.
+const (
+	DefaultStaleWindow     = 32
+	DefaultStalePruneRatio = 0.2
+	DefaultStaleViolations = 4
+	maxBarrenRebuilds      = 2
 )
 
 // PreferSingle is the adaptive refresh policy: it reports whether a
@@ -786,10 +953,13 @@ type CacheStats struct {
 	// decisions.
 	PolicyTree   int64
 	PolicySingle int64
-	// LandmarkViolations counts lower-bound violations that disabled
-	// the landmark tables (zero under the solvers' monotone-price
-	// contract).
+	// LandmarkViolations counts lower-bound violations (zero under the
+	// solvers' monotone-price contract); each one either triggered a
+	// rebuild or, past the StaleViolations budget, disabled the tables.
 	LandmarkViolations int64
+	// LandmarkRebuilds counts landmark table rebuilds — prune-ratio- or
+	// violation-triggered (see OracleConfig.StalePruneRatio).
+	LandmarkRebuilds int64
 }
 
 // Add accumulates o's counters into s — the fleet-aggregation helper
@@ -809,6 +979,7 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.PolicyTree += o.PolicyTree
 	s.PolicySingle += o.PolicySingle
 	s.LandmarkViolations += o.LandmarkViolations
+	s.LandmarkRebuilds += o.LandmarkRebuilds
 }
 
 // DirtyRatio is the fraction of demanded structures that had to be
@@ -851,5 +1022,6 @@ func (inc *Incremental) CacheStats() CacheStats {
 		PolicyTree:         inc.policyTree,
 		PolicySingle:       inc.policySingle,
 		LandmarkViolations: inc.lmViolations,
+		LandmarkRebuilds:   inc.lmRebuilds,
 	}
 }

@@ -27,15 +27,29 @@ import (
 // unless weights are swapped wholesale (which Incremental detects, see
 // OracleConfig).
 //
-// A Landmarks is immutable after construction and safe to share across
+// The same tables extend to the bottleneck (minimax) kind: the minimax
+// "triangle inequality" d_b(L,t) <= max(d_b(L,u), d_b(u,t)) yields, for
+// each landmark, a lower bound on the remaining bottleneck value —
+// d_b(u,t) >= d_b(L,t) whenever d_b(L,u) < d_b(L,t), and symmetrically
+// backwards — whose max over landmarks is a consistent minimax
+// potential (pot(u) <= max(w(u->v), pot(v))). WithBottleneck builds the
+// minimax tables on demand; they are optional because only
+// KindBottleneck consumers pay for them.
+//
+// A Landmarks is immutable after construction (WithBottleneck included,
+// which must run before the tables are shared) and safe to share across
 // goroutines, pools, and cloned instances whose graphs share the same
-// frozen CSR.
+// frozen CSR. LandmarkRegistry is the process-wide sharing layer.
 type Landmarks struct {
 	csr *graph.CSR // the frozen topology the tables were built on
 	ids []int32    // landmark vertex IDs, in selection order
 	lb  []float64  // per-edge lower-bound weight snapshot
 	fwd [][]float64
 	bwd [][]float64
+	// bfwd/bbwd are the optional minimax (bottleneck) distance tables
+	// over the same landmarks and lower bound (see WithBottleneck).
+	bfwd [][]float64
+	bbwd [][]float64
 }
 
 // DefaultLandmarkCount is the landmark count consumers use when asked
@@ -113,6 +127,76 @@ func BuildLandmarks(g *graph.Graph, k int, weight WeightFunc) *Landmarks {
 		}
 	}
 	return lm
+}
+
+// WithBottleneck extends the landmark set with minimax (bottleneck)
+// distance tables over the same landmarks and the same lower-bound
+// weight snapshot, and returns lm for chaining. The tables feed
+// Scratch.BottleneckPathToALT: for any weight function w >= lb,
+// raising weights can only raise minimax distances, so the bounds stay
+// admissible for the whole run exactly like the additive ones. Must be
+// called before lm is shared across goroutines (it mutates lm). Cost:
+// one or two scalar minimax Dijkstras per landmark. No-op when called
+// twice or when no landmarks were selected.
+func (lm *Landmarks) WithBottleneck(g *graph.Graph) *Landmarks {
+	if lm.bfwd != nil || len(lm.ids) == 0 {
+		return lm
+	}
+	n := g.NumVertices()
+	csr := g.Freeze()
+	rcsr := g.FreezeReverse()
+	if csr != lm.csr {
+		panic("pathfind: WithBottleneck graph does not match the landmarks' frozen CSR")
+	}
+	lbw := FromSlice(lm.lb)
+	s := NewScratch(n)
+	for _, id := range lm.ids {
+		s.runMinimaxCSR(csr, n, id, lbw)
+		f := snapshotDist(s, n)
+		lm.bfwd = append(lm.bfwd, f)
+		if g.Directed() {
+			s.runMinimaxCSR(rcsr, n, id, lbw)
+			lm.bbwd = append(lm.bbwd, snapshotDist(s, n))
+		} else {
+			lm.bbwd = append(lm.bbwd, f) // symmetric minimax distances
+		}
+	}
+	return lm
+}
+
+// HasBottleneck reports whether the minimax tables were built, i.e.
+// whether this set can goal-direct KindBottleneck searches.
+func (lm *Landmarks) HasBottleneck() bool { return lm.bfwd != nil }
+
+// Rebuild re-selects landmarks and rebuilds every table against the
+// current weight snapshot, returning a fresh set (lm is untouched —
+// concurrent readers of the old tables stay valid). Under the monotone
+// repricing contract the current prices are a lower bound on all future
+// prices, so a rebuild is safe at any point in a run and restores the
+// pruning power the original 1/capacity snapshot has lost. The new set
+// keeps the old one's landmark count and carries minimax tables iff
+// the old set had them.
+func (lm *Landmarks) Rebuild(g *graph.Graph, weight WeightFunc) *Landmarks {
+	k := len(lm.ids)
+	if k == 0 {
+		k = DefaultLandmarkCount
+	}
+	nl := BuildLandmarks(g, k, weight)
+	if lm.HasBottleneck() {
+		nl.WithBottleneck(g)
+	}
+	return nl
+}
+
+// rebind returns a shallow copy of lm whose tables are shared but whose
+// CSR pointer is csr — used by LandmarkRegistry to hand one table set
+// to a structurally identical graph that was frozen separately. The
+// caller must have verified structural identity (same vertex count,
+// arcs, edge IDs, and lower-bound weights).
+func (lm *Landmarks) rebind(csr *graph.CSR) *Landmarks {
+	cp := *lm
+	cp.csr = csr
+	return &cp
 }
 
 // snapshotDist copies the scratch's reached distances into a dense
@@ -195,6 +279,51 @@ func (lm *Landmarks) potential(t int32) func(int32) float64 {
 			if bu := lm.bwd[i][u]; bt[i] < inf && bu > bt[i] {
 				if d := bu - bt[i]; d > best {
 					best = d
+				}
+			}
+		}
+		return best
+	}
+}
+
+// bottleneckPotential returns the minimax potential toward target t: a
+// consistent lower bound on each vertex's remaining bottleneck value to
+// t. Per landmark L, the minimax triangle inequality
+// d_b(L,t) <= max(d_b(L,u), d_b(u,t)) gives d_b(u,t) >= d_b(L,t) when
+// d_b(L,u) < d_b(L,t) (forward term) and d_b(u,t) >= d_b(u,L) when
+// d_b(t,L) < d_b(u,L) (backward term); the conditions also cover the
+// +Inf cases (if u could reach t the composite path would contradict
+// the unreachability the table records). The max over terms is
+// consistent: pot(u) <= max(w(u->v), pot(v)) on every arc, which is
+// what BottleneckPathToALT needs for exact early termination. Unlike
+// the additive potential no float slack is involved — max() never
+// creates new values, so the comparison against the true distance is
+// exact.
+func (lm *Landmarks) bottleneckPotential(t int32) func(int32) float64 {
+	k := len(lm.ids)
+	ft := make([]float64, k)
+	bt := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ft[i] = lm.bfwd[i][t]
+		bt[i] = lm.bbwd[i][t]
+	}
+	ninf := math.Inf(-1)
+	return func(u int32) float64 {
+		if u == t {
+			// The empty path: matches the -Inf self-distance the
+			// leximax search uses for dist[src].
+			return ninf
+		}
+		best := 0.0
+		for i := 0; i < k; i++ {
+			if fu := lm.bfwd[i][u]; fu < ft[i] {
+				if ft[i] > best {
+					best = ft[i]
+				}
+			}
+			if bu := lm.bbwd[i][u]; bt[i] < bu {
+				if bu > best {
+					best = bu
 				}
 			}
 		}

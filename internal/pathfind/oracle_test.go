@@ -143,11 +143,11 @@ func TestIncrementalOracleEquivalence(t *testing.T) {
 	}
 }
 
-// TestOracleDisablesOnBoundViolation: lowering a weight below the
-// landmark build bound (a contract violation) disables the tables via
-// the lazy pending-edge check, after which answers still match a fresh
-// search under the new weights.
-func TestOracleDisablesOnBoundViolation(t *testing.T) {
+// TestOracleRebuildsOnBoundViolation: lowering a weight below the
+// landmark build bound (a contract violation) now triggers an in-place
+// rebuild against the current weights via the lazy pending-edge check —
+// the oracle stays enabled and answers still match a fresh search.
+func TestOracleRebuildsOnBoundViolation(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 9))
 	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
 	w := plateauWeights(rng, g.NumEdges())
@@ -166,8 +166,122 @@ func TestOracleDisablesOnBoundViolation(t *testing.T) {
 			t.Fatalf("dst %d: post-violation answer diverged", dst)
 		}
 	}
-	if st := inc.CacheStats(); st.LandmarkViolations != 1 {
+	st := inc.CacheStats()
+	if st.LandmarkViolations != 1 {
 		t.Fatalf("violation not detected: %+v", st)
+	}
+	if st.LandmarkRebuilds != 1 {
+		t.Fatalf("violation must rebuild, not disable: %+v", st)
+	}
+	if !inc.lmOK {
+		t.Fatalf("oracle disabled despite rebuild budget: %+v", st)
+	}
+}
+
+// TestOracleDisablesOnViolationPastBudget: a negative StaleViolations
+// restores the historical behavior — the first violation disables the
+// tables instead of rebuilding — and a zero budget defaults to
+// DefaultStaleViolations rebuilds before disabling.
+func TestOracleDisablesOnViolationPastBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	inc := NewIncremental(g, []int{0}, nil)
+	inc.SetOracle(OracleConfig{
+		Landmarks:       BuildLandmarks(g, 3, FromSlice(w)),
+		StaleViolations: -1,
+	})
+	inc.PathTo(0, g.NumVertices()-1, FromSlice(w))
+	w[0] /= 4
+	inc.Invalidate([]int{0})
+	for dst := 0; dst < g.NumVertices(); dst++ {
+		inc.PathTo(0, dst, FromSlice(w))
+	}
+	st := inc.CacheStats()
+	if st.LandmarkViolations != 1 || st.LandmarkRebuilds != 0 {
+		t.Fatalf("negative budget must disable without rebuilding: %+v", st)
+	}
+	if inc.lmOK {
+		t.Fatal("tables still enabled after budget-less violation")
+	}
+
+	// Default budget: violations rebuild until the budget runs out, then
+	// the tables disable for good.
+	inc2 := NewIncremental(g, []int{0}, nil)
+	w2 := plateauWeights(rng, g.NumEdges())
+	inc2.SetOracle(OracleConfig{Landmarks: BuildLandmarks(g, 3, FromSlice(w2))})
+	sc := NewScratch(g.NumVertices())
+	for i := 0; i <= DefaultStaleViolations; i++ {
+		dst := (i + 1) % g.NumVertices()
+		w2[i] /= 4 // violate one build-time bound per round
+		inc2.Invalidate([]int{i})
+		wantPath, wantDist, wantOK := sc.ShortestPathTo(g, 0, dst, FromSlice(w2))
+		path, dist, ok := inc2.PathTo(0, dst, FromSlice(w2))
+		if ok != wantOK || dist != wantDist || !reflect.DeepEqual(path, wantPath) {
+			t.Fatalf("round %d: answer diverged", i)
+		}
+	}
+	st2 := inc2.CacheStats()
+	if st2.LandmarkRebuilds != int64(DefaultStaleViolations) {
+		t.Fatalf("want %d violation rebuilds, got %+v", DefaultStaleViolations, st2)
+	}
+	if inc2.lmOK {
+		t.Fatal("tables must disable once the violation budget is spent")
+	}
+}
+
+// TestOracleStalenessRebuild: an aggressive StalePruneRatio forces a
+// staleness rebuild after one observation window, the rebuild counter
+// advances, the OnRebuild hook observes it, and answers stay identical
+// to an oracle-less twin throughout.
+func TestOracleStalenessRebuild(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	g := graph.RandomStronglyConnected(rng, 40, 140, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	plain := NewIncremental(g, []int{0}, nil)
+	inc := NewIncremental(g, []int{0}, nil)
+	var hookCalls int
+	inc.SetOracle(OracleConfig{
+		Landmarks:       BuildLandmarks(g, 4, FromSlice(w)),
+		StalePruneRatio: 0.999, // essentially every window is "stale"
+		OnRebuild:       func(_ float64) { hookCalls++ },
+	})
+	for round := 0; round < 3*DefaultStaleWindow; round++ {
+		dst := rng.IntN(g.NumVertices())
+		p1, d1, ok1 := plain.PathTo(0, dst, FromSlice(w))
+		p2, d2, ok2 := inc.PathTo(0, dst, FromSlice(w))
+		if ok1 != ok2 || d1 != d2 || !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("round %d dst %d: rebuilt oracle diverged", round, dst)
+		}
+		touched := monotoneBump(rng, w)
+		plain.Invalidate(touched)
+		inc.Invalidate(touched)
+	}
+	st := inc.CacheStats()
+	if st.LandmarkRebuilds == 0 {
+		t.Fatalf("aggressive threshold never rebuilt: %+v", st)
+	}
+	if int64(hookCalls) != st.LandmarkRebuilds {
+		t.Fatalf("OnRebuild saw %d calls, counter says %d", hookCalls, st.LandmarkRebuilds)
+	}
+	// The barren guard caps back-to-back fruitless rebuilds: with an
+	// unattainable threshold the rebuild count stays far below one per
+	// window.
+	if st.LandmarkRebuilds > int64(maxBarrenRebuilds)+1 {
+		t.Fatalf("barren guard failed to cap rebuilds: %+v", st)
+	}
+
+	// A negative threshold disables staleness rebuilds entirely.
+	inc2 := NewIncremental(g, []int{0}, nil)
+	inc2.SetOracle(OracleConfig{
+		Landmarks:       BuildLandmarks(g, 4, FromSlice(w)),
+		StalePruneRatio: -1,
+	})
+	for round := 0; round < 2*DefaultStaleWindow; round++ {
+		inc2.PathTo(0, rng.IntN(g.NumVertices()), FromSlice(w))
+	}
+	if st := inc2.CacheStats(); st.LandmarkRebuilds != 0 {
+		t.Fatalf("negative threshold must never rebuild: %+v", st)
 	}
 }
 

@@ -1,0 +1,109 @@
+package pathfind
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"truthfulufp/internal/graph"
+)
+
+// identicalGraphs builds two distinct *graph.Graph values with
+// byte-identical topology (same RNG seed), the cross-shard sharing
+// scenario: shards deserialize the same network independently.
+func identicalGraphs(seed uint64, n, m int) (*graph.Graph, *graph.Graph) {
+	g1 := graph.RandomStronglyConnected(rand.New(rand.NewPCG(seed, seed^7)), n, m, 1, 2)
+	g2 := graph.RandomStronglyConnected(rand.New(rand.NewPCG(seed, seed^7)), n, m, 1, 2)
+	return g1, g2
+}
+
+// TestRegistryShareAcrossGraphValues: a second Get for a structurally
+// identical graph (different *graph.Graph value) hits the registry,
+// and the rebound table set is accepted by SetOracle on the second
+// graph's cache — the cross-shard sharing path end to end.
+func TestRegistryShareAcrossGraphValues(t *testing.T) {
+	g1, g2 := identicalGraphs(5, 25, 80)
+	w := func(e int) float64 { return 1 / g1.Edge(e).Capacity }
+	r := NewLandmarkRegistry(0)
+	lm1 := r.Get(g1, 4, w, false)
+	lm2 := r.Get(g2, 4, func(e int) float64 { return 1 / g2.Edge(e).Capacity }, false)
+	if h, m := r.Stats(); h != 1 || m != 1 {
+		t.Fatalf("want 1 hit / 1 miss, got %d / %d", h, m)
+	}
+	if lm2.csr != g2.Freeze() {
+		t.Fatal("hit not rebound to the requesting graph's CSR")
+	}
+	if !reflect.DeepEqual(lm1.IDs(), lm2.IDs()) {
+		t.Fatal("shared sets diverged")
+	}
+	// The rebound set passes the oracle's topology check and serves
+	// queries identically to a private build.
+	inc := NewIncremental(g2, []int{0}, nil)
+	inc.SetOracle(OracleConfig{Landmarks: lm2})
+	sc := NewScratch(g2.NumVertices())
+	w2 := func(e int) float64 { return 1 / g2.Edge(e).Capacity }
+	for dst := 0; dst < g2.NumVertices(); dst++ {
+		wantPath, wantDist, wantOK := sc.ShortestPathTo(g2, 0, dst, w2)
+		path, dist, ok := inc.PathTo(0, dst, w2)
+		if ok != wantOK || dist != wantDist || !reflect.DeepEqual(path, wantPath) {
+			t.Fatalf("dst %d: shared-oracle answer diverged", dst)
+		}
+	}
+}
+
+// TestRegistryKeying: the landmark count, the weight snapshot, and the
+// bottleneck flag are all part of the key — differing in any one is a
+// miss, and a bottleneck entry actually carries the minimax tables.
+func TestRegistryKeying(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 11))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	r := NewLandmarkRegistry(0)
+	base := r.Get(g, 3, FromSlice(w), false)
+	if base.HasBottleneck() {
+		t.Fatal("additive entry must not carry minimax tables")
+	}
+	if r.Get(g, 4, FromSlice(w), false) == base {
+		t.Fatal("different k must be a different entry")
+	}
+	w2 := append([]float64(nil), w...)
+	w2[0] *= 2
+	if r.Get(g, 3, FromSlice(w2), false) == base {
+		t.Fatal("different weight snapshot must be a different entry")
+	}
+	bn := r.Get(g, 3, FromSlice(w), true)
+	if bn == base || !bn.HasBottleneck() {
+		t.Fatal("bottleneck entry must be distinct and carry minimax tables")
+	}
+	if got := r.Get(g, 3, FromSlice(w), false); got != base {
+		t.Fatal("original key must still hit after the variants")
+	}
+	if h, m := r.Stats(); h != 1 || m != 4 {
+		t.Fatalf("want 1 hit / 4 misses, got %d / %d", h, m)
+	}
+}
+
+// TestRegistryEviction: past capacity the least recently used entry is
+// evicted and a later Get for it rebuilds (a miss).
+func TestRegistryEviction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	g := graph.RandomStronglyConnected(rng, 20, 60, 1, 2)
+	w := plateauWeights(rng, g.NumEdges())
+	r := NewLandmarkRegistry(2)
+	r.Get(g, 2, FromSlice(w), false)
+	r.Get(g, 3, FromSlice(w), false)
+	r.Get(g, 2, FromSlice(w), false) // promote k=2 to MRU
+	r.Get(g, 4, FromSlice(w), false) // evicts the LRU entry, k=3
+	if r.Len() != 2 {
+		t.Fatalf("capacity 2 exceeded: %d entries", r.Len())
+	}
+	_, m0 := r.Stats()
+	r.Get(g, 2, FromSlice(w), false) // still cached
+	if _, m := r.Stats(); m != m0 {
+		t.Fatal("MRU-promoted entry was evicted")
+	}
+	r.Get(g, 3, FromSlice(w), false) // evicted -> rebuild
+	if _, m := r.Stats(); m != m0+1 {
+		t.Fatal("LRU entry survived past capacity")
+	}
+}

@@ -337,6 +337,42 @@ func (s *Scratch) runAdditiveCSR(csr *graph.CSR, n int, src int32, weight Weight
 	}
 }
 
+// runMinimaxCSR runs a full scalar minimax (bottleneck) Dijkstra from
+// src over an explicit CSR, leaving dist in the scratch state. Only the
+// distance values matter — the run backs landmark minimax table
+// construction, which never reads predecessors — so no leximax keys are
+// maintained: the scalar minimax value of a vertex is tie-break
+// independent.
+func (s *Scratch) runMinimaxCSR(csr *graph.CSR, n int, src int32, weight WeightFunc) {
+	s.reset(n)
+	s.touch(src)
+	s.dist[src] = math.Inf(-1) // the empty path has no edges: -Inf max
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(src)
+	for len(s.heap) > 0 {
+		v := s.pop()
+		dv := s.dist[v]
+		for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+			e, to := csr.EdgeID[k], csr.Head[k]
+			w := weight(int(e))
+			if math.IsInf(w, 1) {
+				continue
+			}
+			nd := math.Max(dv, w)
+			if s.stamp[to] != s.gen {
+				s.touch(to)
+				s.dist[to] = nd
+				s.prevE[to], s.prevV[to] = e, v
+				s.push(to)
+			} else if nd < s.dist[to] {
+				s.dist[to] = nd
+				s.prevE[to], s.prevV[to] = e, v
+				s.decrease(to)
+			}
+		}
+	}
+}
+
 // altSlack is the relative slack on the A* stop bound. With a potential
 // that is consistent in exact arithmetic, float rounding of the
 // potential (differences of accumulated path sums) can overshoot a
@@ -483,6 +519,112 @@ func (s *Scratch) BottleneckPathTo(g *graph.Graph, src, dst int, weight WeightFu
 	return nil, math.Inf(1), false
 }
 
+// relaxMaxA is relaxMax for minimax A* runs: identical candidate-key
+// construction and tie-breaks, plus maintenance of the fsc heap key
+// fsc[v] = max(dist[v], pi[v]) and one potential evaluation on first
+// touch.
+func (s *Scratch) relaxMaxA(v, e, to int32, weight WeightFunc, pot func(int32) float64) {
+	w := weight(int(e))
+	if math.IsInf(w, 1) {
+		return
+	}
+	nd := math.Max(s.dist[v], w)
+	if s.stamp[to] == s.gen && nd > s.dist[to] {
+		return // scalar screen: candidate max already worse
+	}
+	kv := s.keys[v]
+	s.cand = s.cand[:0]
+	inserted := false
+	for _, x := range kv {
+		if !inserted && w > x {
+			s.cand = append(s.cand, w)
+			inserted = true
+		}
+		s.cand = append(s.cand, x)
+	}
+	if !inserted {
+		s.cand = append(s.cand, w)
+	}
+	if s.stamp[to] != s.gen {
+		s.touch(to)
+		s.dist[to] = nd
+		s.pi[to] = pot(to)
+		s.fsc[to] = math.Max(nd, s.pi[to])
+		s.keys[to] = append(s.keys[to][:0], s.cand...)
+		s.prevE[to], s.prevV[to] = e, v
+		s.push(to)
+		return
+	}
+	switch {
+	case nd < s.dist[to] || lexLess(s.cand, s.keys[to]):
+		s.dist[to] = nd
+		s.fsc[to] = math.Max(nd, s.pi[to])
+		s.keys[to] = append(s.keys[to][:0], s.cand...)
+		s.prevE[to], s.prevV[to] = e, v
+		s.decrease(to)
+	case e > s.prevE[to] && lexEqual(s.cand, s.keys[to]):
+		s.prevE[to], s.prevV[to] = e, v
+	}
+}
+
+// bottleneckPathToPot is BottleneckPathTo guided by a minimax
+// potential: the search orders the heap by f(v) = max(dist[v], pot(v)),
+// ties broken by dist then by the full leximax key. pot must be
+// consistent under the minimax composition (pot(u) <= max(w(u->v),
+// pot(v)) on every arc) and admissible (pot(u) <= the true remaining
+// bottleneck value to dst); the landmark tables supply exactly that.
+// Unlike the additive A* no float slack is needed — max() never
+// synthesizes new float values, so f-keys compare exactly — and the
+// search still exits the moment dst pops: f is non-decreasing and the
+// leximax key strictly increasing along the canonical path, so every
+// predecessor and every tie-supplying relaxation source of the path
+// orders strictly before dst under (f, dist, key) and has been settled.
+// The answer is bit-identical to BottleneckPathTo.
+func (s *Scratch) bottleneckPathToPot(g *graph.Graph, src, dst int, weight WeightFunc, pot func(int32) float64) ([]int, float64, bool) {
+	n := g.NumVertices()
+	s.reset(n)
+	s.lex = true
+	s.astar = true
+	s.touch(int32(src))
+	s.dist[src] = math.Inf(-1)
+	s.pi[src] = pot(int32(src))
+	s.fsc[src] = s.pi[src]
+	s.keys[src] = s.keys[src][:0]
+	s.prevE[src], s.prevV[src] = -1, -1
+	s.push(int32(src))
+	csr := g.Frozen()
+	for len(s.heap) > 0 {
+		v := s.pop()
+		if int(v) == dst {
+			return s.pathOut(src, dst), s.dist[v], true
+		}
+		if csr != nil {
+			for k, end := csr.Start[v], csr.Start[v+1]; k < end; k++ {
+				s.relaxMaxA(v, csr.EdgeID[k], csr.Head[k], weight, pot)
+			}
+		} else {
+			for _, a := range g.OutArcs(int(v)) {
+				s.relaxMaxA(v, int32(a.Edge), int32(a.To), weight, pot)
+			}
+		}
+	}
+	return nil, math.Inf(1), false
+}
+
+// BottleneckPathToALT is BottleneckPathTo pruned by landmark-derived
+// minimax lower bounds: the bottleneck tables (Landmarks.WithBottleneck)
+// supply a consistent minimax potential that steers the leximax search
+// toward dst. The landmarks must have been built on a lower bound of
+// weight; under that contract the answer — path, value, and every
+// canonical tie-break — is bit-identical to BottleneckPathTo. Falls
+// back to the plain search when lm is nil or lacks the minimax tables.
+func (s *Scratch) BottleneckPathToALT(g *graph.Graph, src, dst int, weight WeightFunc, lm *Landmarks) ([]int, float64, bool) {
+	if lm == nil || lm.K() == 0 || !lm.HasBottleneck() {
+		return s.BottleneckPathTo(g, src, dst, weight)
+	}
+	return s.bottleneckPathToPot(g, src, dst, weight, lm.bottleneckPotential(int32(dst)))
+}
+
 // pathOut materializes the settled prev chain from src to dst as edge
 // IDs in path order.
 func (s *Scratch) pathOut(src, dst int) []int {
@@ -568,15 +710,23 @@ func (s *Scratch) pop() int32 {
 // less orders heap entries: by dist, refined by the full leximax keys
 // in bottleneck runs (additive runs never read s.keys), or by the
 // potential-adjusted fsc key in A* runs (ties fall back to dist so
-// nearer vertices settle first; any tie order is correct — A* with a
-// consistent potential is label-setting regardless).
+// nearer vertices settle first; in additive A* any tie order is
+// correct — A* with a consistent potential is label-setting regardless
+// — but minimax A* runs both astar and lex, and there the final lex
+// fall-through is load-bearing: it guarantees every strictly
+// lex-smaller label on the canonical path settles before dst pops, so
+// the early exit keeps the leximax tie-breaks bit-identical).
 func (s *Scratch) less(a, b int32) bool {
 	if s.astar {
 		fa, fb := s.fsc[a], s.fsc[b]
 		if fa != fb {
 			return fa < fb
 		}
-		return s.dist[a] < s.dist[b]
+		da, db := s.dist[a], s.dist[b]
+		if da != db {
+			return da < db
+		}
+		return s.lex && lexLess(s.keys[a], s.keys[b])
 	}
 	da, db := s.dist[a], s.dist[b]
 	if da != db {

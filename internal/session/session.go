@@ -58,6 +58,17 @@ type Config struct {
 	// "s1-", ...) so a session id names its owning shard and cluster
 	// peers can resolve misrouted calls without a directory service.
 	IDPrefix string
+	// PolicyWarmup / PolicyCostRatio tune every session's adaptive
+	// refresh policy (see core.Options); zero keeps the pathfind
+	// defaults.
+	PolicyWarmup    int
+	PolicyCostRatio float64
+	// LandmarkStaleRatio tunes the landmark lifecycle's prune-ratio
+	// rebuild threshold for every session's oracle (see core.Options /
+	// pathfind.OracleConfig.StalePruneRatio); zero keeps
+	// pathfind.DefaultStalePruneRatio, negative disables prune-driven
+	// rebuilds.
+	LandmarkStaleRatio float64
 }
 
 // Stats is a point-in-time view of a Manager's counters.
@@ -106,6 +117,15 @@ type Manager struct {
 	// registry by RegisterMetrics.
 	admitLatency *metrics.Histogram
 	quoteLatency *metrics.Histogram
+
+	// lmRebuilds / lmRebuildLatency observe the landmark lifecycle: the
+	// oracle's staleness policy rebuilds a session's tables in-place, and
+	// a per-session CacheStats sum would shrink on eviction — so the
+	// rebuild count and duration are accumulated manager-side through
+	// core.Options.OnLandmarkRebuild, keeping the exported counter
+	// monotone.
+	lmRebuilds       stats.Counter
+	lmRebuildLatency *metrics.Histogram
 }
 
 // NewManager builds a Manager.
@@ -118,10 +138,11 @@ func NewManager(cfg Config) *Manager {
 		pool = pathfind.NewPool()
 	}
 	m := &Manager{
-		cfg:          cfg,
-		pool:         pool,
-		admitLatency: metrics.NewHistogram(metrics.DefLatencyBuckets),
-		quoteLatency: metrics.NewHistogram(metrics.DefLatencyBuckets),
+		cfg:              cfg,
+		pool:             pool,
+		admitLatency:     metrics.NewHistogram(metrics.DefLatencyBuckets),
+		quoteLatency:     metrics.NewHistogram(metrics.DefLatencyBuckets),
+		lmRebuildLatency: metrics.NewHistogram(metrics.DefLatencyBuckets),
 	}
 	m.sessions = lru.New(cfg.MaxSessions, func(_ string, s *Session) {
 		s.markClosed()
@@ -135,7 +156,21 @@ func NewManager(cfg Config) *Manager {
 // the coldest session when the manager is at capacity. The graph is
 // owned by the session afterwards and must not be mutated.
 func (m *Manager) Register(g *graph.Graph, eps float64) (*Session, error) {
-	st, err := core.NewAdmissionState(g, eps, &core.Options{PathPool: m.pool})
+	st, err := core.NewAdmissionState(g, eps, &core.Options{
+		PathPool: m.pool,
+		// Auto-built landmark tables come from the process-wide registry,
+		// so shards and sessions serving the same topology share one set.
+		LandmarkRegistry:   pathfind.SharedLandmarks,
+		LandmarkStaleRatio: m.cfg.LandmarkStaleRatio,
+		PolicyWarmup:       m.cfg.PolicyWarmup,
+		PolicyCostRatio:    m.cfg.PolicyCostRatio,
+		// The hook fires under the session's lock mid-Admit; both sinks
+		// are concurrency-safe, so it stays cheap and lock-free here.
+		OnLandmarkRebuild: func(seconds float64) {
+			m.lmRebuilds.Inc()
+			m.lmRebuildLatency.Observe(seconds)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -287,8 +322,18 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
 		"Adaptive refresh-policy decisions, split by chosen serving mode (live sessions).", "mode")
 	policy.GaugeFunc(func() float64 { return float64(m.PathCacheStats().PolicyTree) }, "tree")
 	policy.GaugeFunc(func() float64 { return float64(m.PathCacheStats().PolicySingle) }, "single")
-	pcGauge("ufp_pathcache_landmark_violations", "Landmark lower-bound violations that disabled ALT tables (live sessions; nonzero means a price went down).",
+	pcGauge("ufp_pathcache_landmark_violations", "Landmark lower-bound violations caught by the oracle (live sessions; each triggers a rebuild, or disables the tables past the budget).",
 		func(s pathfind.CacheStats) float64 { return float64(s.LandmarkViolations) })
+	counter("ufp_pathcache_landmark_rebuilds_total",
+		"Landmark table rebuilds triggered by the staleness policy or a bound violation (monotone; survives session eviction).",
+		m.lmRebuilds.Load)
+	reg.NewHistogramFamily("ufp_pathcache_landmark_rebuild_duration_seconds",
+		"Wall time of each landmark table rebuild (2k Dijkstras plus minimax tables when enabled).",
+		metrics.DefLatencyBuckets).Observe(m.lmRebuildLatency)
+	registry := reg.NewCounterFamily("ufp_pathcache_landmark_registry_lookups_total",
+		"Shared landmark registry lookups, split by result (process-wide: one registry serves every shard, session, and mechanism probe).", "result")
+	registry.Func(func() int64 { h, _ := pathfind.SharedLandmarks.Stats(); return h }, "hit")
+	registry.Func(func() int64 { _, mi := pathfind.SharedLandmarks.Stats(); return mi }, "miss")
 }
 
 // AdmitLatencyHistogram exposes the manager's per-admit latency
@@ -299,6 +344,15 @@ func (m *Manager) AdmitLatencyHistogram() *metrics.Histogram { return m.admitLat
 
 // QuoteLatencyHistogram is AdmitLatencyHistogram for Quote calls.
 func (m *Manager) QuoteLatencyHistogram() *metrics.Histogram { return m.quoteLatency }
+
+// LandmarkRebuilds returns the manager's lifetime landmark-rebuild
+// count (monotone — unaffected by session eviction), for aggregation
+// layers summing across shards.
+func (m *Manager) LandmarkRebuilds() int64 { return m.lmRebuilds.Load() }
+
+// LandmarkRebuildHistogram exposes the rebuild-duration histogram for
+// aggregation layers, mirroring AdmitLatencyHistogram.
+func (m *Manager) LandmarkRebuildHistogram() *metrics.Histogram { return m.lmRebuildLatency }
 
 // sweepLocked expires idle sessions from the LRU's cold end. Recency
 // order and last-use order coincide (every path that touches a session
@@ -450,12 +504,16 @@ type Info struct {
 	// the full-tree vertex budget its pruning skipped. BidiProbes /
 	// BidiMeets split the bidirectional probes; PolicyTree /
 	// PolicySingle count the adaptive refresh policy's decisions.
-	OracleSearches   int64     `json:"oracleSearches"`
-	OraclePruneRatio float64   `json:"oraclePruneRatio"`
-	BidiProbes       int64     `json:"bidiProbes"`
-	BidiMeets        int64     `json:"bidiMeets"`
-	PolicyTree       int64     `json:"policyTree"`
-	PolicySingle     int64     `json:"policySingle"`
+	OracleSearches   int64   `json:"oracleSearches"`
+	OraclePruneRatio float64 `json:"oraclePruneRatio"`
+	BidiProbes       int64   `json:"bidiProbes"`
+	BidiMeets        int64   `json:"bidiMeets"`
+	PolicyTree       int64   `json:"policyTree"`
+	PolicySingle     int64   `json:"policySingle"`
+	// LandmarkRebuilds counts this session's landmark table rebuilds —
+	// the staleness policy re-selecting landmarks against the current
+	// price snapshot.
+	LandmarkRebuilds int64     `json:"landmarkRebuilds"`
 	Created          time.Time `json:"created"`
 	LastUsed         time.Time `json:"lastUsed"`
 }
@@ -491,6 +549,7 @@ func (s *Session) Info() (Info, error) {
 		BidiMeets:        cs.BidiMeets,
 		PolicyTree:       cs.PolicyTree,
 		PolicySingle:     cs.PolicySingle,
+		LandmarkRebuilds: cs.LandmarkRebuilds,
 		Created:          s.created,
 		LastUsed:         time.Unix(0, s.lastUsed.Load()),
 	}, nil

@@ -481,6 +481,23 @@ func (r *Router) registerAggregates(reg *metrics.Registry) {
 		"Adaptive refresh-policy decisions, split by chosen serving mode (live sessions).", "mode")
 	policy.GaugeFunc(func() float64 { return float64(pc().PolicyTree) }, "tree")
 	policy.GaugeFunc(func() float64 { return float64(pc().PolicySingle) }, "single")
-	pcGauge("ufp_pathcache_landmark_violations", "Landmark lower-bound violations that disabled ALT tables (live sessions; nonzero means a price went down).",
+	pcGauge("ufp_pathcache_landmark_violations", "Landmark lower-bound violations caught by the oracle (live sessions; each triggers a rebuild, or disables the tables past the budget).",
 		func(s pathfind.CacheStats) float64 { return float64(s.LandmarkViolations) })
+	counter("ufp_pathcache_landmark_rebuilds_total",
+		"Landmark table rebuilds triggered by the staleness policy or a bound violation (monotone; survives session eviction).",
+		func(b *backend) int64 { return b.eng.Sessions().LandmarkRebuilds() })
+	rebuildF := reg.NewHistogramFamily("ufp_pathcache_landmark_rebuild_duration_seconds",
+		"Wall time of each landmark table rebuild (2k Dijkstras plus minimax tables when enabled).",
+		metrics.DefLatencyBuckets, "shard")
+	for _, b := range r.backends {
+		rebuildF.Observe(b.eng.Sessions().LandmarkRebuildHistogram(), b.member)
+	}
+	// The landmark registry is process-wide — every shard's sessions and
+	// the mechanism probes share pathfind.SharedLandmarks — so its
+	// counters are read directly, NOT summed per shard (a sum would
+	// multiply-count the one registry by the shard count).
+	registry := reg.NewCounterFamily("ufp_pathcache_landmark_registry_lookups_total",
+		"Shared landmark registry lookups, split by result (process-wide: one registry serves every shard, session, and mechanism probe).", "result")
+	registry.Func(func() int64 { h, _ := pathfind.SharedLandmarks.Stats(); return h }, "hit")
+	registry.Func(func() int64 { _, m := pathfind.SharedLandmarks.Stats(); return m }, "miss")
 }
